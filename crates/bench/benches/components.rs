@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the individual Clara components backing the
+//! timing columns of Table 1/Table 2: matching, clustering, local-repair
+//! generation + ILP solving, tree edit distance and the AutoGrader baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clara_autograder::AutoGrader;
+use clara_bench::analyze_for_bench;
+use clara_core::{cluster_programs, find_matching, repair_attempt, RepairConfig};
+use clara_corpus::mooc::derivatives;
+use clara_corpus::{generate_dataset, DatasetConfig};
+use clara_lang::{parse_expression, parse_program};
+use clara_ted::expr_edit_distance;
+
+const C1: &str = "\
+def computeDeriv(poly):
+    result = []
+    for e in range(1, len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+";
+
+const C2: &str = "\
+def computeDeriv(poly):
+    deriv = []
+    for i in xrange(1,len(poly)):
+        deriv+=[float(i)*poly[i]]
+    if len(deriv)==0:
+        return [0.0]
+    return deriv
+";
+
+const I1: &str = "\
+def computeDeriv(poly):
+    new = []
+    for i in xrange(1,len(poly)):
+        new.append(float(i*poly[i]))
+    if new==[]:
+        return 0.0
+    return new
+";
+
+fn bench_matching(c: &mut Criterion) {
+    let problem = derivatives();
+    let p = analyze_for_bench(&problem, C1);
+    let q = analyze_for_bench(&problem, C2);
+    c.bench_function("matching/c1_vs_c2", |b| {
+        b.iter(|| black_box(find_matching(black_box(&p), black_box(&q))))
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let problem = derivatives();
+    let dataset = generate_dataset(
+        &problem,
+        DatasetConfig { correct_count: 30, incorrect_count: 0, seed: 9, ..DatasetConfig::default() },
+    );
+    let analyzed: Vec<_> = dataset
+        .correct
+        .iter()
+        .filter_map(|a| {
+            clara_core::AnalyzedProgram::from_text(&a.source, problem.entry, &problem.inputs(), clara_model::Fuel::default()).ok()
+        })
+        .collect();
+    c.bench_function("clustering/30_correct_solutions", |b| {
+        b.iter(|| black_box(cluster_programs(black_box(analyzed.clone()))))
+    });
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let problem = derivatives();
+    let clusters = cluster_programs(vec![analyze_for_bench(&problem, C1), analyze_for_bench(&problem, C2)]);
+    let attempt = analyze_for_bench(&problem, I1);
+    let inputs = problem.inputs();
+    let config = RepairConfig { parallel: false, ..RepairConfig::default() };
+    c.bench_function("repair/i1_against_one_cluster", |b| {
+        b.iter(|| black_box(repair_attempt(black_box(&clusters), black_box(&attempt), &inputs, &config)))
+    });
+}
+
+fn bench_ted(c: &mut Criterion) {
+    let a = parse_expression("result + [float(e) * poly[e]]").unwrap();
+    let b_expr = parse_expression("append(result, float(poly[e] * e))").unwrap();
+    c.bench_function("ted/loop_body_expressions", |b| {
+        b.iter(|| black_box(expr_edit_distance(black_box(&a), black_box(&b_expr))))
+    });
+}
+
+fn bench_autograder(c: &mut Criterion) {
+    let problem = derivatives();
+    let attempt = parse_program(I1).unwrap();
+    let grader = AutoGrader::mooc_scaled();
+    c.bench_function("autograder/i1_weak_model", |b| {
+        b.iter(|| black_box(grader.repair(black_box(&attempt), &problem.spec)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matching, bench_clustering, bench_repair, bench_ted, bench_autograder
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench behind **Figure 6**: computing the relative repair size
+//! (repair + tree-edit-distance normalisation) for a batch of incorrect
+//! attempts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clara_bench::{build_dataset, run_clara, Scale};
+use clara_corpus::mooc::derivatives;
+
+fn bench_fig6(c: &mut Criterion) {
+    let problem = derivatives();
+    let dataset = build_dataset(&problem, Scale { factor: 0.008 }, 0xF16);
+    let mut group = c.benchmark_group("fig6_relative_repair_sizes");
+    group.sample_size(10);
+    group.bench_function("derivatives_small_corpus", |b| {
+        b.iter(|| {
+            let run = run_clara(black_box(&dataset));
+            let sizes: Vec<f64> = run.attempts.iter().filter_map(|a| a.relative_size).collect();
+            black_box(sizes)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

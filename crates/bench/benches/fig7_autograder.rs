@@ -1,0 +1,56 @@
+//! Criterion bench behind **Figure 7**: the AutoGrader baseline search on a
+//! single- and a multi-fault attempt (its cost explains why the weak error
+//! model is used at MOOC scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clara_autograder::{AutoGrader, AutoGraderConfig, ErrorModel};
+use clara_corpus::mooc::derivatives;
+use clara_lang::parse_program;
+
+const SINGLE_FAULT: &str = "\
+def computeDeriv(poly):
+    result = []
+    for e in range(len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+";
+
+const DOUBLE_FAULT: &str = "\
+def computeDeriv(poly):
+    result = []
+    for e in range(len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return 0.0
+    else:
+        return result
+";
+
+fn bench_fig7(c: &mut Criterion) {
+    let problem = derivatives();
+    let single = parse_program(SINGLE_FAULT).unwrap();
+    let double = parse_program(DOUBLE_FAULT).unwrap();
+    let weak = AutoGrader::mooc_scaled();
+    let full = AutoGrader::new(AutoGraderConfig { model: ErrorModel::Full, ..AutoGraderConfig::default() });
+
+    let mut group = c.benchmark_group("fig7_autograder_search");
+    group.sample_size(10);
+    group.bench_function("weak_model_single_fault", |b| {
+        b.iter(|| black_box(weak.repair(black_box(&single), &problem.spec)))
+    });
+    group.bench_function("weak_model_double_fault", |b| {
+        b.iter(|| black_box(weak.repair(black_box(&double), &problem.spec)))
+    });
+    group.bench_function("full_model_single_fault", |b| {
+        b.iter(|| black_box(full.repair(black_box(&single), &problem.spec)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench behind **Table 1**: end-to-end repair of one incorrect
+//! MOOC attempt against a realistic cluster pool (the per-attempt repair time
+//! column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clara_core::{repair_attempt, AnalyzedProgram, RepairConfig};
+use clara_corpus::mooc::{derivatives, odd_tuples};
+use clara_corpus::{generate_dataset, DatasetConfig, Problem};
+use clara_model::Fuel;
+
+fn cluster_pool(problem: &Problem, correct: usize) -> Vec<clara_core::Cluster> {
+    let dataset = generate_dataset(
+        problem,
+        DatasetConfig { correct_count: correct, incorrect_count: 0, seed: 21, ..DatasetConfig::default() },
+    );
+    let analyzed: Vec<_> = dataset
+        .correct
+        .iter()
+        .filter_map(|a| AnalyzedProgram::from_text(&a.source, problem.entry, &problem.inputs(), Fuel::default()).ok())
+        .collect();
+    clara_core::cluster_programs(analyzed)
+}
+
+fn incorrect_attempt(problem: &Problem) -> AnalyzedProgram {
+    let dataset = generate_dataset(
+        problem,
+        DatasetConfig { correct_count: 1, incorrect_count: 6, seed: 33, ..DatasetConfig::default() },
+    );
+    let attempt = dataset
+        .incorrect
+        .iter()
+        .find(|a| {
+            AnalyzedProgram::from_text(&a.source, problem.entry, &problem.inputs(), Fuel::default()).is_ok()
+        })
+        .expect("at least one analysable incorrect attempt");
+    AnalyzedProgram::from_text(&attempt.source, problem.entry, &problem.inputs(), Fuel::default()).unwrap()
+}
+
+fn bench_table1_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_end_to_end_repair");
+    group.sample_size(10);
+    for problem in [derivatives(), odd_tuples()] {
+        let clusters = cluster_pool(&problem, 30);
+        let attempt = incorrect_attempt(&problem);
+        let inputs = problem.inputs();
+        let config = RepairConfig::default();
+        group.bench_function(problem.name, |b| {
+            b.iter(|| black_box(repair_attempt(black_box(&clusters), black_box(&attempt), &inputs, &config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_repair);
+criterion_main!(benches);

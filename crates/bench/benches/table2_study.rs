@@ -1,0 +1,51 @@
+//! Criterion bench behind **Table 2**: interactive feedback generation for a
+//! user-study problem (clustering an existing pool once, then repairing a
+//! fresh attempt, which is what the web front-end did per submission).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clara_core::{Clara, ClaraConfig};
+use clara_corpus::study::{fibonacci, trapezoid};
+use clara_corpus::{generate_dataset, DatasetConfig, Problem};
+
+fn engine_for(problem: &Problem, correct: usize) -> Clara {
+    let dataset = generate_dataset(
+        problem,
+        DatasetConfig { correct_count: correct, incorrect_count: 0, seed: 101, ..DatasetConfig::default() },
+    );
+    let mut clara = Clara::new(problem.entry, problem.inputs(), ClaraConfig::default());
+    for attempt in &dataset.correct {
+        let _ = clara.add_correct_solution(&attempt.source);
+    }
+    clara
+}
+
+fn first_incorrect(problem: &Problem) -> String {
+    let dataset = generate_dataset(
+        problem,
+        DatasetConfig { correct_count: 1, incorrect_count: 5, seed: 202, ..DatasetConfig::default() },
+    );
+    dataset
+        .incorrect
+        .iter()
+        .find(|a| clara_lang::parse_program(&a.source).is_ok())
+        .map(|a| a.source.clone())
+        .expect("an incorrect attempt exists")
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_interactive_feedback");
+    group.sample_size(10);
+    for problem in [fibonacci(), trapezoid()] {
+        let clara = engine_for(&problem, 25);
+        let attempt = first_incorrect(&problem);
+        group.bench_function(problem.name, |b| {
+            b.iter(|| black_box(clara.repair_source(black_box(&attempt))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,242 @@
+//! Dynamic analysis of student attempts: lowering + trace collection.
+//!
+//! An [`AnalyzedProgram`] bundles a model [`Program`] with the traces obtained
+//! by executing it on the assignment's test inputs (the set `I` of the
+//! paper). Everything the matching, clustering and repair algorithms need is
+//! derived from this structure.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use clara_lang::{parse_program, ParseError, SourceProgram, Value};
+use clara_model::{execute_on_inputs, lower_entry, Fuel, LowerError, Program, StructSig, Trace};
+
+/// Why a student attempt could not be analysed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The source text could not be parsed.
+    Parse(ParseError),
+    /// The program uses constructs the model does not support.
+    Unsupported(LowerError),
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::Parse(e) => write!(f, "{e}"),
+            AnalysisError::Unsupported(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<ParseError> for AnalysisError {
+    fn from(e: ParseError) -> Self {
+        AnalysisError::Parse(e)
+    }
+}
+
+impl From<LowerError> for AnalysisError {
+    fn from(e: LowerError) -> Self {
+        AnalysisError::Unsupported(e)
+    }
+}
+
+/// A lowered program together with its traces on the assignment inputs.
+#[derive(Debug, Clone)]
+pub struct AnalyzedProgram {
+    /// The model program.
+    pub program: Program,
+    /// One trace per input, in input order.
+    pub traces: Vec<Trace>,
+    /// A cheap fingerprint of the dynamic behaviour used as a clustering
+    /// pre-filter: programs with different fingerprints cannot match.
+    pub fingerprint: u64,
+}
+
+impl AnalyzedProgram {
+    /// Lowers `source`'s `entry` function and executes it on `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AnalysisError`] if the program cannot be lowered into the
+    /// model.
+    pub fn from_source(
+        source: &SourceProgram,
+        entry: &str,
+        inputs: &[Vec<Value>],
+        fuel: Fuel,
+    ) -> Result<Self, AnalysisError> {
+        let program = lower_entry(source, entry)?;
+        Ok(Self::from_program(program, inputs, fuel))
+    }
+
+    /// Parses, lowers and executes a source text in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AnalysisError`] for parse errors or unsupported
+    /// constructs.
+    pub fn from_text(
+        text: &str,
+        entry: &str,
+        inputs: &[Vec<Value>],
+        fuel: Fuel,
+    ) -> Result<Self, AnalysisError> {
+        let source = parse_program(text)?;
+        Self::from_source(&source, entry, inputs, fuel)
+    }
+
+    /// Executes an already-lowered program on `inputs`.
+    pub fn from_program(program: Program, inputs: &[Vec<Value>], fuel: Fuel) -> Self {
+        let traces = execute_on_inputs(&program, inputs, fuel);
+        let fingerprint = behaviour_fingerprint(&program, &traces);
+        AnalyzedProgram { program, traces, fingerprint }
+    }
+
+    /// The concatenated projection of `var` over all traces (the per-trace
+    /// projections separated by a marker so that boundaries cannot be
+    /// confused).
+    pub fn projection(&self, var: &str) -> Vec<Value> {
+        let mut out = Vec::new();
+        for trace in &self.traces {
+            out.extend(trace.projection(var));
+            out.push(Value::Str("⋄".to_owned()));
+        }
+        out
+    }
+
+    /// The concatenated location sequence over all traces.
+    pub fn location_sequence(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for trace in &self.traces {
+            out.extend(trace.locations().iter().map(|l| l.0));
+            out.push(usize::MAX);
+        }
+        out
+    }
+
+    /// The structural signature key of the program.
+    pub fn signature_key(&self) -> String {
+        StructSig::sequence_key(&self.program.signature)
+    }
+}
+
+/// A fingerprint of (control-flow structure, location sequence, multiset of
+/// per-variable value sequences). Two programs that match necessarily have
+/// equal fingerprints, so unequal fingerprints let clustering skip the full
+/// matching test.
+fn behaviour_fingerprint(program: &Program, traces: &[Trace]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    StructSig::sequence_key(&program.signature).hash(&mut hasher);
+    for trace in traces {
+        for loc in trace.locations() {
+            loc.0.hash(&mut hasher);
+        }
+        usize::MAX.hash(&mut hasher);
+    }
+    // Multiset of projection strings: order-independent combination (sum of
+    // per-variable hashes) so that variable naming/order does not matter.
+    let mut combined: u64 = 0;
+    for var in &program.vars {
+        let mut var_hasher = DefaultHasher::new();
+        for trace in traces {
+            for value in trace.projection(var) {
+                value.to_string().hash(&mut var_hasher);
+            }
+            "⋄".hash(&mut var_hasher);
+        }
+        combined = combined.wrapping_add(var_hasher.finish());
+    }
+    combined.hash(&mut hasher);
+    program.vars.len().hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(xs: &[f64]) -> Value {
+        Value::List(xs.iter().map(|x| Value::Float(*x)).collect())
+    }
+
+    fn inputs() -> Vec<Vec<Value>> {
+        vec![
+            vec![poly(&[6.3, 7.6, 12.14])],
+            vec![poly(&[3.0])],
+            vec![poly(&[1.0, 2.0, 3.0, 4.0])],
+        ]
+    }
+
+    const C1: &str = "\
+def computeDeriv(poly):
+    result = []
+    for e in range(1, len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+";
+
+    const C2: &str = "\
+def computeDeriv(poly):
+    deriv = []
+    for i in xrange(1,len(poly)):
+        deriv+=[float(i)*poly[i]]
+    if len(deriv)==0:
+        return [0.0]
+    return deriv
+";
+
+    #[test]
+    fn analysis_produces_one_trace_per_input() {
+        let analyzed = AnalyzedProgram::from_text(C1, "computeDeriv", &inputs(), Fuel::default()).unwrap();
+        assert_eq!(analyzed.traces.len(), 3);
+        assert_eq!(analyzed.signature_key(), "BL(B)B");
+    }
+
+    #[test]
+    fn matching_programs_have_equal_fingerprints() {
+        let a = AnalyzedProgram::from_text(C1, "computeDeriv", &inputs(), Fuel::default()).unwrap();
+        let b = AnalyzedProgram::from_text(C2, "computeDeriv", &inputs(), Fuel::default()).unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn different_behaviour_changes_the_fingerprint() {
+        let wrong = "\
+def computeDeriv(poly):
+    result = []
+    for e in range(len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+";
+        let a = AnalyzedProgram::from_text(C1, "computeDeriv", &inputs(), Fuel::default()).unwrap();
+        let b = AnalyzedProgram::from_text(wrong, "computeDeriv", &inputs(), Fuel::default()).unwrap();
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let err = AnalyzedProgram::from_text("def f(:\n", "f", &[], Fuel::default()).unwrap_err();
+        assert!(matches!(err, AnalysisError::Parse(_)));
+    }
+
+    #[test]
+    fn unsupported_constructs_are_reported() {
+        let err = AnalyzedProgram::from_text(
+            "def g(x):\n    return x\n\ndef f(x):\n    return g(x)\n",
+            "f",
+            &[],
+            Fuel::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::Unsupported(_)));
+    }
+}

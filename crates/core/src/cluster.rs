@@ -1,0 +1,272 @@
+//! Clustering of correct student solutions (§4, Definition 4.7).
+//!
+//! Clusters are the equivalence classes of the matching relation `∼_I`. Each
+//! cluster keeps an arbitrary representative and the set of *cluster
+//! expressions* `E_C(ℓ, v)`: all dynamically equivalent (but possibly
+//! syntactically different) expressions contributed by its members,
+//! translated to range over the representative's variables. The repair
+//! algorithm later mines these expressions to build candidate local repairs.
+
+use std::collections::HashMap;
+
+use clara_lang::{expr_to_string, Expr};
+use clara_model::Loc;
+
+use crate::analysis::AnalyzedProgram;
+use crate::matching::{apply_var_map, find_matching, VarMap};
+
+/// A cluster of dynamically equivalent correct solutions.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The cluster representative `P_C`.
+    pub representative: AnalyzedProgram,
+    /// Indices (into the input list of [`cluster_programs`]) of the members.
+    pub member_ids: Vec<usize>,
+    /// The cluster expressions `E_C(ℓ, v)`, over the representative's
+    /// variables, de-duplicated syntactically.
+    expressions: HashMap<(usize, String), Vec<Expr>>,
+}
+
+impl Cluster {
+    fn new(representative: AnalyzedProgram, id: usize) -> Self {
+        let mut cluster = Cluster {
+            representative,
+            member_ids: vec![id],
+            expressions: HashMap::new(),
+        };
+        let identity: VarMap = cluster
+            .representative
+            .program
+            .vars
+            .iter()
+            .map(|v| (v.clone(), v.clone()))
+            .collect();
+        cluster.absorb_expressions_with(&identity, &cluster.representative.program.clone());
+        cluster
+    }
+
+    /// Number of member programs.
+    pub fn size(&self) -> usize {
+        self.member_ids.len()
+    }
+
+    /// The cluster expressions for `(loc, var)`, where `var` is a variable of
+    /// the representative.
+    pub fn expressions(&self, loc: Loc, var: &str) -> &[Expr] {
+        self.expressions
+            .get(&(loc.0, var.to_owned()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All `(loc, var)` pairs that have at least one cluster expression.
+    pub fn expression_keys(&self) -> impl Iterator<Item = (Loc, &str)> {
+        self.expressions.keys().map(|(loc, var)| (Loc(*loc), var.as_str()))
+    }
+
+    /// Total number of stored cluster expressions (after de-duplication).
+    pub fn expression_count(&self) -> usize {
+        self.expressions.values().map(Vec::len).sum()
+    }
+
+    pub(crate) fn absorb_member(&mut self, member: &AnalyzedProgram, witness: &VarMap, id: usize) {
+        self.member_ids.push(id);
+        let program = member.program.clone();
+        self.absorb_expressions_with(witness, &program);
+    }
+
+    fn absorb_expressions_with(&mut self, witness: &VarMap, program: &clara_model::Program) {
+        for loc in program.locs() {
+            for (var, expr) in program.updates_at(loc) {
+                let rep_var = witness.get(var).cloned().unwrap_or_else(|| var.clone());
+                let translated = apply_var_map(expr, witness);
+                let entry = self.expressions.entry((loc.0, rep_var)).or_default();
+                let key = expr_to_string(&translated);
+                if !entry.iter().any(|existing| expr_to_string(existing) == key) {
+                    entry.push(translated);
+                }
+            }
+        }
+    }
+}
+
+/// Summary statistics of a clustering run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusteringStats {
+    /// Number of programs that were clustered.
+    pub program_count: usize,
+    /// Number of clusters produced.
+    pub cluster_count: usize,
+    /// Size of the largest cluster.
+    pub largest_cluster: usize,
+    /// Total number of mined cluster expressions.
+    pub expression_count: usize,
+}
+
+/// Groups correct solutions into clusters (equivalence classes of `∼_I`).
+///
+/// Programs are matched against existing cluster representatives; the
+/// behaviour fingerprint and structural signature serve as cheap pre-filters
+/// before the full matching algorithm of Fig. 4 runs.
+pub fn cluster_programs(programs: Vec<AnalyzedProgram>) -> Vec<Cluster> {
+    let mut clusters: Vec<Cluster> = Vec::new();
+    // Index clusters by fingerprint for a fast pre-filter.
+    let mut by_fingerprint: HashMap<u64, Vec<usize>> = HashMap::new();
+
+    for (id, program) in programs.into_iter().enumerate() {
+        let mut placed = false;
+        if let Some(candidates) = by_fingerprint.get(&program.fingerprint) {
+            for &cluster_index in candidates {
+                let witness = find_matching(&clusters[cluster_index].representative, &program);
+                if let Some(witness) = witness {
+                    clusters[cluster_index].absorb_member(&program, &witness, id);
+                    placed = true;
+                    break;
+                }
+            }
+        }
+        if !placed {
+            let fingerprint = program.fingerprint;
+            clusters.push(Cluster::new(program, id));
+            by_fingerprint.entry(fingerprint).or_default().push(clusters.len() - 1);
+        }
+    }
+    clusters
+}
+
+/// Computes summary statistics for a set of clusters.
+pub fn clustering_stats(clusters: &[Cluster]) -> ClusteringStats {
+    ClusteringStats {
+        program_count: clusters.iter().map(Cluster::size).sum(),
+        cluster_count: clusters.len(),
+        largest_cluster: clusters.iter().map(Cluster::size).max().unwrap_or(0),
+        expression_count: clusters.iter().map(Cluster::expression_count).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clara_lang::Value;
+    use clara_model::Fuel;
+
+    fn poly(xs: &[f64]) -> Value {
+        Value::List(xs.iter().map(|x| Value::Float(*x)).collect())
+    }
+
+    fn inputs() -> Vec<Vec<Value>> {
+        vec![
+            vec![poly(&[6.3, 7.6, 12.14])],
+            vec![poly(&[3.0])],
+            vec![poly(&[1.0, 2.0, 3.0, 4.0])],
+            vec![poly(&[])],
+        ]
+    }
+
+    fn analyze(src: &str) -> AnalyzedProgram {
+        AnalyzedProgram::from_text(src, "computeDeriv", &inputs(), Fuel::default()).unwrap()
+    }
+
+    const C1: &str = "\
+def computeDeriv(poly):
+    result = []
+    for e in range(1, len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+";
+
+    const C2: &str = "\
+def computeDeriv(poly):
+    deriv = []
+    for i in xrange(1,len(poly)):
+        deriv+=[float(i)*poly[i]]
+    if len(deriv)==0:
+        return [0.0]
+    return deriv
+";
+
+    const C3: &str = "\
+def computeDeriv(poly):
+    out = []
+    for k in range(1, len(poly)):
+        out = out + [1.0 * poly[k] * k]
+    if len(out) > 0:
+        return out
+    else:
+        return [0.0]
+";
+
+    const WHILE_VERSION: &str = "\
+def computeDeriv(poly):
+    result = []
+    i = 1
+    while i < len(poly):
+        result.append(float(poly[i]*i))
+        i = i + 1
+    if result == []:
+        return [0.0]
+    return result
+";
+
+    #[test]
+    fn equivalent_solutions_form_one_cluster() {
+        let clusters = cluster_programs(vec![analyze(C1), analyze(C2), analyze(C3)]);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].size(), 3);
+    }
+
+    #[test]
+    fn structurally_different_solutions_form_separate_clusters() {
+        let clusters = cluster_programs(vec![analyze(C1), analyze(WHILE_VERSION), analyze(C2)]);
+        assert_eq!(clusters.len(), 2);
+        let stats = clustering_stats(&clusters);
+        assert_eq!(stats.program_count, 3);
+        assert_eq!(stats.largest_cluster, 2);
+    }
+
+    #[test]
+    fn cluster_expressions_are_mined_from_all_members() {
+        let clusters = cluster_programs(vec![analyze(C1), analyze(C2), analyze(C3)]);
+        let cluster = &clusters[0];
+        // The loop-body assignment to `result` (location 2) has one expression
+        // per syntactically distinct member contribution (Fig. 2(c)).
+        let loop_exprs = cluster.expressions(Loc(2), "result");
+        assert!(loop_exprs.len() >= 3, "expected ≥3 mined expressions, got {}", loop_exprs.len());
+        let rendered: Vec<String> = loop_exprs.iter().map(expr_to_string).collect();
+        assert!(rendered.iter().any(|s| s.contains("append")), "{rendered:?}");
+        assert!(rendered.iter().any(|s| s.contains("+ [")), "{rendered:?}");
+        // The return expression variants of Fig. 2(d).
+        let return_exprs = cluster.expressions(Loc(3), "return");
+        assert!(return_exprs.len() >= 2);
+    }
+
+    #[test]
+    fn expressions_are_translated_to_representative_variables() {
+        let clusters = cluster_programs(vec![analyze(C1), analyze(C2)]);
+        let cluster = &clusters[0];
+        for (_, exprs) in cluster.expressions.iter() {
+            for expr in exprs {
+                for var in expr.variables() {
+                    assert!(
+                        cluster.representative.program.vars.contains(&var),
+                        "expression {} refers to non-representative variable {var}",
+                        expr_to_string(expr)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_programs_do_not_duplicate_expressions() {
+        let clusters_once = cluster_programs(vec![analyze(C1), analyze(C2)]);
+        let clusters_twice = cluster_programs(vec![analyze(C1), analyze(C2), analyze(C2), analyze(C1)]);
+        assert_eq!(clusters_once.len(), 1);
+        assert_eq!(clusters_twice.len(), 1);
+        assert_eq!(clusters_once[0].expression_count(), clusters_twice[0].expression_count());
+        assert_eq!(clusters_twice[0].size(), 4);
+    }
+}

@@ -1,0 +1,247 @@
+//! Feedback generation (§6.1, item 5).
+//!
+//! Clara turns the minimal repair into textual feedback that names the source
+//! location and describes the required modification, in the style of
+//! Fig. 2(g)/(h) and Figs. 8–10 of the paper. For very large repairs
+//! (cost above a threshold, §6.3 "Note") a generic strategy message is
+//! produced instead, because spelling out a near-total rewrite is not useful
+//! to a student.
+
+use clara_lang::expr_to_string;
+use clara_model::{special, LocKind, Program};
+
+use crate::repair::{ClusterRepair, RepairAction};
+
+/// Configuration of feedback rendering.
+#[derive(Debug, Clone)]
+pub struct FeedbackOptions {
+    /// Repairs with a total cost above this threshold produce a generic
+    /// strategy message instead of a detailed edit list (the paper uses 100).
+    pub large_repair_threshold: i64,
+    /// Show the replacement expressions (`true`), or only the locations that
+    /// must change (`false`) — one of the pedagogical choices discussed in §8.
+    pub show_expressions: bool,
+}
+
+impl Default for FeedbackOptions {
+    fn default() -> Self {
+        FeedbackOptions { large_repair_threshold: 100, show_expressions: true }
+    }
+}
+
+/// The feedback shown to a student for one attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Feedback {
+    /// A list of concrete, located edit suggestions.
+    Suggestions(Vec<String>),
+    /// The attempt is too far from any correct solution; a generic strategy
+    /// hint is shown instead.
+    GenericStrategy(String),
+    /// The attempt already matches a correct solution (no repair needed).
+    Correct,
+}
+
+impl Feedback {
+    /// The individual feedback lines (empty for `Correct`).
+    pub fn lines(&self) -> Vec<String> {
+        match self {
+            Feedback::Suggestions(lines) => lines.clone(),
+            Feedback::GenericStrategy(text) => vec![text.clone()],
+            Feedback::Correct => Vec::new(),
+        }
+    }
+
+    /// `true` if the feedback consists of concrete repair suggestions.
+    pub fn is_repair_feedback(&self) -> bool {
+        matches!(self, Feedback::Suggestions(_))
+    }
+}
+
+/// Renders the feedback for a repair, following the paper's textual style.
+pub fn render_feedback(repair: &ClusterRepair, original: &Program, options: &FeedbackOptions) -> Feedback {
+    if repair.actions.iter().all(|a| a.cost() == 0) {
+        return Feedback::Correct;
+    }
+    if repair.is_rewrite || repair.total_cost > options.large_repair_threshold {
+        return Feedback::GenericStrategy(generic_strategy(original));
+    }
+    let mut lines = Vec::new();
+    for action in &repair.actions {
+        match action {
+            RepairAction::Modify { loc, var, line, old, new, cost } => {
+                if *cost == 0 {
+                    continue;
+                }
+                let place = describe_slot(original, *loc, var, *line);
+                if options.show_expressions {
+                    lines.push(format!(
+                        "In {place}, change {} to {}.",
+                        render_expr_for_user(old),
+                        render_expr_for_user(new)
+                    ));
+                } else {
+                    lines.push(format!("In {place}, the expression is not correct."));
+                }
+            }
+            RepairAction::AddAssignment { loc, var, expr, .. } => {
+                let info = original.loc_info(*loc);
+                let place = match info.kind {
+                    LocKind::LoopCond => format!("the loop starting at line {}", info.line),
+                    _ => format!("line {}", info.line),
+                };
+                if options.show_expressions {
+                    lines.push(format!(
+                        "Add a new variable with the assignment {var} = {} near {place}.",
+                        render_expr_for_user(expr)
+                    ));
+                } else {
+                    lines.push(format!("Add a new variable near {place}."));
+                }
+            }
+            RepairAction::DeleteAssignment { loc, var, .. } => {
+                let info = original.loc_info(*loc);
+                lines.push(format!(
+                    "Delete the assignment to {var} near line {} (the variable is not needed).",
+                    original.update_line(*loc, var).unwrap_or(info.line)
+                ));
+            }
+        }
+    }
+    if lines.is_empty() {
+        Feedback::Correct
+    } else {
+        Feedback::Suggestions(lines)
+    }
+}
+
+/// Describes where a modification has to happen, in the wording used by the
+/// paper's examples ("In the iterator expression at line 3, ...").
+fn describe_slot(program: &Program, loc: clara_model::Loc, var: &str, line: Option<u32>) -> String {
+    let info = program.loc_info(loc);
+    let line = line.unwrap_or(info.line);
+    if var == special::COND {
+        return match info.kind {
+            LocKind::LoopCond => format!("the loop condition at line {line}"),
+            _ => format!("the branch condition at line {line}"),
+        };
+    }
+    if var == special::RETURN {
+        return format!("the return statement at line {line}");
+    }
+    if var == special::OUT {
+        return format!("the printed output at line {line}");
+    }
+    if var.starts_with("#it") {
+        return format!("the iterator expression at line {line}");
+    }
+    if var.starts_with('#') {
+        return format!("the control flow at line {line}");
+    }
+    format!("the assignment to {var} at line {line}")
+}
+
+/// Presents a model expression to the student. Iterator-variable plumbing is
+/// rendered as-is; this is a simple textual feedback system (the paper notes
+/// richer feedback is future work, §8).
+fn render_expr_for_user(expr: &clara_lang::Expr) -> String {
+    format!("`{}`", expr_to_string(expr))
+}
+
+/// The generic strategy message used when a repair is too large to be useful
+/// (§6.3 "Note": 403 of the user-study attempts received such feedback).
+pub fn generic_strategy(original: &Program) -> String {
+    format!(
+        "Your attempt at `{}` is still far from a working solution. Re-read the problem statement and start from the overall strategy: initialise your result, loop over the input, update the result inside the loop, and return or print it at the end.",
+        original.name
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AnalyzedProgram;
+    use crate::cluster::cluster_programs;
+    use crate::repair::{repair_attempt, RepairConfig};
+    use clara_lang::Value;
+    use clara_model::Fuel;
+
+    fn poly(xs: &[f64]) -> Value {
+        Value::List(xs.iter().map(|x| Value::Float(*x)).collect())
+    }
+
+    fn inputs() -> Vec<Vec<Value>> {
+        vec![
+            vec![poly(&[6.3, 7.6, 12.14])],
+            vec![poly(&[3.0])],
+            vec![poly(&[1.0, 2.0, 3.0, 4.0])],
+            vec![poly(&[])],
+        ]
+    }
+
+    const C1: &str = "\
+def computeDeriv(poly):
+    result = []
+    for e in range(1, len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+";
+
+    const I1: &str = "\
+def computeDeriv(poly):
+    new = []
+    for i in xrange(1,len(poly)):
+        new.append(float(i*poly[i]))
+    if new==[]:
+        return 0.0
+    return new
+";
+
+    #[test]
+    fn feedback_for_the_papers_i1() {
+        let ins = inputs();
+        let clusters = cluster_programs(vec![
+            AnalyzedProgram::from_text(C1, "computeDeriv", &ins, Fuel::default()).unwrap(),
+        ]);
+        let attempt = AnalyzedProgram::from_text(I1, "computeDeriv", &ins, Fuel::default()).unwrap();
+        let result = repair_attempt(&clusters, &attempt, &ins, &RepairConfig::default());
+        let repair = result.best.expect("I1 is repairable against C1's cluster");
+        let feedback = render_feedback(&repair, &attempt.program, &FeedbackOptions::default());
+        assert!(feedback.is_repair_feedback());
+        let text = feedback.lines().join("\n");
+        assert!(text.contains("return statement"), "feedback was: {text}");
+    }
+
+    #[test]
+    fn zero_cost_repairs_mean_the_attempt_is_equivalent() {
+        let ins = inputs();
+        let analyzed = AnalyzedProgram::from_text(C1, "computeDeriv", &ins, Fuel::default()).unwrap();
+        let clusters = cluster_programs(vec![analyzed.clone()]);
+        let result = repair_attempt(&clusters, &analyzed, &ins, &RepairConfig::default());
+        let repair = result.best.unwrap();
+        assert_eq!(repair.total_cost, 0);
+        let feedback = render_feedback(&repair, &analyzed.program, &FeedbackOptions::default());
+        assert_eq!(feedback, Feedback::Correct);
+    }
+
+    #[test]
+    fn large_repairs_fall_back_to_generic_strategy() {
+        let ins = inputs();
+        let clusters = cluster_programs(vec![
+            AnalyzedProgram::from_text(C1, "computeDeriv", &ins, Fuel::default()).unwrap(),
+        ]);
+        // An empty attempt: everything has to be synthesised.
+        let empty = "def computeDeriv(poly):\n    pass\n";
+        let attempt = AnalyzedProgram::from_text(empty, "computeDeriv", &ins, Fuel::default()).unwrap();
+        let result = repair_attempt(&clusters, &attempt, &ins, &RepairConfig::default());
+        let repair = result.best.expect("the trivial repair always exists");
+        let feedback = render_feedback(
+            &repair,
+            &attempt.program,
+            &FeedbackOptions { large_repair_threshold: 3, ..FeedbackOptions::default() },
+        );
+        assert!(matches!(feedback, Feedback::GenericStrategy(_)));
+    }
+}

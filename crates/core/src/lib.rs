@@ -1,0 +1,387 @@
+//! # clara-core — clustering and minimal program repair
+//!
+//! This crate implements the two contributions of *"Automated Clustering and
+//! Program Repair for Introductory Programming Assignments"* (PLDI 2018):
+//!
+//! * [`matching`] / [`cluster`]: dynamic-equivalence matching of correct
+//!   student solutions (§4) and their grouping into clusters, including the
+//!   mining of dynamically equivalent expression variants;
+//! * [`repair`]: the fully automated repair of incorrect attempts against
+//!   those clusters (§5), selecting a minimal consistent set of local repairs
+//!   with a 0-1 ILP; and
+//! * [`feedback`]: textual feedback generation from the minimal repair
+//!   (§6.1).
+//!
+//! The [`Clara`] engine bundles the full pipeline of Fig. 1: ingest correct
+//! solutions, cluster them, then repair incorrect attempts and render
+//! feedback.
+//!
+//! ```rust
+//! use clara_core::{Clara, ClaraConfig};
+//! use clara_lang::Value;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let poly = |xs: &[f64]| Value::List(xs.iter().map(|x| Value::Float(*x)).collect());
+//! let inputs = vec![
+//!     vec![poly(&[6.3, 7.6, 12.14])],
+//!     vec![poly(&[3.0])],
+//!     vec![poly(&[1.0, 2.0, 3.0, 4.0])],
+//! ];
+//! let mut clara = Clara::new("computeDeriv", inputs, ClaraConfig::default());
+//! clara.add_correct_solution(
+//!     "def computeDeriv(poly):\n    result = []\n    for e in range(1, len(poly)):\n        result.append(float(poly[e]*e))\n    if result == []:\n        return [0.0]\n    else:\n        return result\n",
+//! )?;
+//! let outcome = clara.repair_source(
+//!     "def computeDeriv(poly):\n    new = []\n    for i in xrange(1,len(poly)):\n        new.append(float(i*poly[i]))\n    if new==[]:\n        return 0.0\n    return new\n",
+//! )?;
+//! let repair = outcome.result.best.expect("repairable");
+//! assert!(repair.total_cost > 0);
+//! assert!(outcome.feedback.is_repair_feedback());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod cluster;
+pub mod feedback;
+pub mod matching;
+pub mod repair;
+
+pub use analysis::{AnalysisError, AnalyzedProgram};
+pub use cluster::{cluster_programs, clustering_stats, Cluster, ClusteringStats};
+pub use feedback::{generic_strategy, render_feedback, Feedback, FeedbackOptions};
+pub use matching::{apply_var_map, exprs_match, find_matching, VarMap};
+pub use repair::{
+    repair_against_cluster, repair_attempt, ClusterRepair, RepairAction, RepairConfig, RepairFailure,
+    RepairResult,
+};
+
+use clara_lang::Value;
+use clara_model::Fuel;
+
+/// Configuration of the end-to-end [`Clara`] engine.
+#[derive(Debug, Clone, Default)]
+pub struct ClaraConfig {
+    /// Repair-algorithm configuration.
+    pub repair: RepairConfig,
+    /// Feedback rendering options.
+    pub feedback: FeedbackOptions,
+}
+
+/// The end-to-end pipeline of Fig. 1: cluster correct solutions, repair
+/// incorrect attempts, render feedback.
+#[derive(Debug, Clone)]
+pub struct Clara {
+    entry: String,
+    inputs: Vec<Vec<Value>>,
+    config: ClaraConfig,
+    clusters: Vec<Cluster>,
+    correct_count: usize,
+}
+
+/// The result of repairing one attempt with the [`Clara`] engine.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The raw result of the repair algorithm.
+    pub result: RepairResult,
+    /// The rendered feedback (generic strategy text if the repair is large,
+    /// `Feedback::Correct` if no change is needed).
+    pub feedback: Feedback,
+}
+
+impl Clara {
+    /// Creates an engine for an assignment whose entry function is `entry`
+    /// and whose grading inputs are `inputs` (the set `I` of the paper).
+    pub fn new(entry: impl Into<String>, inputs: Vec<Vec<Value>>, config: ClaraConfig) -> Self {
+        Clara {
+            entry: entry.into(),
+            inputs,
+            config,
+            clusters: Vec::new(),
+            correct_count: 0,
+        }
+    }
+
+    /// The clusters built so far.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Number of correct solutions ingested so far.
+    pub fn correct_count(&self) -> usize {
+        self.correct_count
+    }
+
+    /// Summary statistics of the current clustering.
+    pub fn clustering_stats(&self) -> ClusteringStats {
+        clustering_stats(&self.clusters)
+    }
+
+    /// Adds a correct solution (source text) to the cluster pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AnalysisError`] if the solution cannot be parsed or
+    /// lowered; such solutions are simply not usable for repair.
+    pub fn add_correct_solution(&mut self, source: &str) -> Result<(), AnalysisError> {
+        let analyzed =
+            AnalyzedProgram::from_text(source, &self.entry, &self.inputs, self.config.repair.fuel)?;
+        self.add_correct_analyzed(analyzed);
+        Ok(())
+    }
+
+    /// Adds an already-analysed correct solution to the cluster pool.
+    pub fn add_correct_analyzed(&mut self, analyzed: AnalyzedProgram) {
+        self.correct_count += 1;
+        // Incremental clustering: try to place the solution into an existing
+        // cluster, otherwise open a new one.
+        let mut all: Vec<AnalyzedProgram> = Vec::with_capacity(1);
+        all.push(analyzed);
+        let new_clusters = {
+            // Reuse cluster_programs for a single program by matching against
+            // existing representatives first.
+            let program = all.pop().expect("just pushed");
+            let mut placed = false;
+            for cluster in &mut self.clusters {
+                if cluster.representative.fingerprint == program.fingerprint {
+                    if let Some(witness) = find_matching(&cluster.representative, &program) {
+                        cluster.absorb_member(&program, &witness, self.correct_count - 1);
+                        placed = true;
+                        break;
+                    }
+                }
+            }
+            if placed {
+                Vec::new()
+            } else {
+                cluster_programs(vec![program])
+            }
+        };
+        self.clusters.extend(new_clusters);
+    }
+
+    /// Repairs an incorrect attempt given as source text and renders
+    /// feedback.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AnalysisError`] if the attempt cannot be parsed or
+    /// lowered (these are the "unsupported feature" failures of §6.2).
+    pub fn repair_source(&self, source: &str) -> Result<RepairOutcome, AnalysisError> {
+        let attempt =
+            AnalyzedProgram::from_text(source, &self.entry, &self.inputs, self.config.repair.fuel)?;
+        Ok(self.repair_analyzed(&attempt))
+    }
+
+    /// Repairs an already-analysed incorrect attempt.
+    pub fn repair_analyzed(&self, attempt: &AnalyzedProgram) -> RepairOutcome {
+        let result = repair_attempt(&self.clusters, attempt, &self.inputs, &self.config.repair);
+        let feedback = match &result.best {
+            Some(repair) => render_feedback(repair, &attempt.program, &self.config.feedback),
+            None => Feedback::GenericStrategy(generic_strategy(&attempt.program)),
+        };
+        RepairOutcome { result, feedback }
+    }
+
+    /// The grading inputs of the assignment.
+    pub fn inputs(&self) -> &[Vec<Value>] {
+        &self.inputs
+    }
+
+    /// The execution fuel used for analysis.
+    pub fn fuel(&self) -> Fuel {
+        self.config.repair.fuel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clara_model::Loc;
+
+    fn poly(xs: &[f64]) -> Value {
+        Value::List(xs.iter().map(|x| Value::Float(*x)).collect())
+    }
+
+    fn inputs() -> Vec<Vec<Value>> {
+        vec![
+            vec![poly(&[6.3, 7.6, 12.14])],
+            vec![poly(&[3.0])],
+            vec![poly(&[1.0, 2.0, 3.0, 4.0])],
+            vec![poly(&[])],
+        ]
+    }
+
+    const C1: &str = "\
+def computeDeriv(poly):
+    result = []
+    for e in range(1, len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+";
+
+    const C2: &str = "\
+def computeDeriv(poly):
+    deriv = []
+    for i in xrange(1,len(poly)):
+        deriv+=[float(i)*poly[i]]
+    if len(deriv)==0:
+        return [0.0]
+    return deriv
+";
+
+    const I1: &str = "\
+def computeDeriv(poly):
+    new = []
+    for i in xrange(1,len(poly)):
+        new.append(float(i*poly[i]))
+    if new==[]:
+        return 0.0
+    return new
+";
+
+    const I2: &str = "\
+def computeDeriv(poly):
+    result = []
+    for i in range(len(poly)):
+        result[i]=float((i)*poly[i])
+    return result
+";
+
+    fn engine(correct: &[&str]) -> Clara {
+        let mut clara = Clara::new("computeDeriv", inputs(), ClaraConfig::default());
+        for src in correct {
+            clara.add_correct_solution(src).unwrap();
+        }
+        clara
+    }
+
+    #[test]
+    fn i1_gets_the_papers_small_repair() {
+        // Fig. 2(g): the only required change is in the return statement.
+        let clara = engine(&[C1, C2]);
+        assert_eq!(clara.clusters().len(), 1);
+        let outcome = clara.repair_source(I1).unwrap();
+        let repair = outcome.result.best.expect("I1 is repairable");
+        assert_eq!(repair.verified, Some(true));
+        // Only the return expression needs a (cost > 0) modification.
+        let costly: Vec<_> = repair.actions.iter().filter(|a| a.cost() > 0).collect();
+        assert_eq!(costly.len(), 1, "expected exactly one modification, got {costly:?}");
+        match costly[0] {
+            RepairAction::Modify { var, loc, .. } => {
+                assert_eq!(var, "return");
+                assert_eq!(*loc, Loc(3));
+            }
+            other => panic!("expected a modification of the return statement, got {other:?}"),
+        }
+        // The relative repair size reported in the paper for Fig. 2(g) is
+        // 0.03 — ours must also be small.
+        assert!(repair.total_cost <= 3, "cost was {}", repair.total_cost);
+    }
+
+    #[test]
+    fn i2_gets_a_repair_with_the_three_modifications() {
+        // Fig. 2(h): iterator expression, loop-body assignment, return.
+        let clara = engine(&[C1, C2]);
+        let outcome = clara.repair_source(I2).unwrap();
+        let repair = outcome.result.best.expect("I2 is repairable");
+        assert_eq!(repair.verified, Some(true));
+        let costly: Vec<_> = repair.actions.iter().filter(|a| a.cost() > 0).collect();
+        assert!(
+            (2..=4).contains(&costly.len()),
+            "expected the paper's ~3 modifications, got {}: {costly:?}",
+            costly.len()
+        );
+        // The iterator expression (the `for` iterable) must be among them.
+        assert!(
+            repair.actions.iter().any(|a| matches!(a, RepairAction::Modify { var, .. } if var.starts_with("#it"))),
+            "expected an iterator-expression modification: {:?}",
+            repair.actions
+        );
+        let feedback = outcome.feedback;
+        assert!(feedback.is_repair_feedback());
+        let text = feedback.lines().join("\n");
+        assert!(text.contains("iterator expression"), "feedback: {text}");
+    }
+
+    #[test]
+    fn correct_attempts_repair_with_zero_cost() {
+        let clara = engine(&[C1, C2]);
+        let outcome = clara.repair_source(C2).unwrap();
+        let repair = outcome.result.best.unwrap();
+        assert_eq!(repair.total_cost, 0);
+        assert_eq!(outcome.feedback, Feedback::Correct);
+    }
+
+    #[test]
+    fn clustering_is_incremental() {
+        let clara = engine(&[C1, C2, C1, C2]);
+        assert_eq!(clara.correct_count(), 4);
+        assert_eq!(clara.clusters().len(), 1);
+        assert_eq!(clara.clustering_stats().largest_cluster, 4);
+    }
+
+    #[test]
+    fn attempts_without_matching_control_flow_fail_gracefully() {
+        let clara = engine(&[C1]);
+        // A nested-loop attempt cannot be repaired against a single-loop
+        // cluster (§6.2 (1): 35 such failures in the MOOC experiment).
+        let nested = "\
+def computeDeriv(poly):
+    result = []
+    for i in range(len(poly)):
+        for j in range(i):
+            result.append(float(poly[i]))
+    return result
+";
+        let outcome = clara.repair_source(nested).unwrap();
+        assert!(outcome.result.best.is_none());
+        assert_eq!(outcome.result.failure, Some(RepairFailure::NoMatchingControlFlow));
+        assert!(matches!(outcome.feedback, Feedback::GenericStrategy(_)));
+    }
+
+    #[test]
+    fn unsupported_attempts_are_reported_as_analysis_errors() {
+        let clara = engine(&[C1]);
+        let err = clara
+            .repair_source("def helper(x):\n    return x\n\ndef computeDeriv(poly):\n    return helper(poly)\n")
+            .unwrap_err();
+        assert!(matches!(err, AnalysisError::Unsupported(_)));
+    }
+
+    #[test]
+    fn empty_attempts_get_the_trivial_rewrite() {
+        let clara = engine(&[C1, C2]);
+        let outcome = clara.repair_source("def computeDeriv(poly):\n    pass\n").unwrap();
+        let repair = outcome.result.best.expect("empty attempts are repaired by rewrite");
+        assert!(repair.total_cost > 5);
+        assert!(repair.relative_size(0).is_infinite());
+    }
+
+    #[test]
+    fn repairs_can_combine_expressions_from_different_solutions() {
+        // C2 contributes `deriv + [float(i)*poly[i]]`; an attempt whose loop
+        // body is close to that form should be repaired using C2's
+        // expression even though the representative is C1.
+        let clara = engine(&[C1, C2]);
+        let attempt = "\
+def computeDeriv(poly):
+    out = []
+    for i in xrange(1,len(poly)):
+        out += [float(i)*poly[i+1]]
+    if len(out)==0:
+        return [0.0]
+    return out
+";
+        let outcome = clara.repair_source(attempt).unwrap();
+        let repair = outcome.result.best.expect("repairable");
+        assert_eq!(repair.verified, Some(true));
+        assert!(repair.total_cost <= 3, "expected a small repair, cost was {}", repair.total_cost);
+    }
+}

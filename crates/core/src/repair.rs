@@ -1,0 +1,1042 @@
+//! The repair algorithm (§5 of the paper).
+//!
+//! Given an incorrect implementation and a cluster of correct solutions with
+//! the same control flow, the algorithm
+//!
+//! 1. generates *local repairs* for every location/variable pair of the
+//!    implementation (Fig. 5): either the implementation expression already
+//!    matches a representative expression under a partial variable relation
+//!    (`(ω, •)`), or a cluster expression translated to implementation
+//!    variables replaces it (`(ω⁻¹, ω(e))`);
+//! 2. selects a consistent, minimal-cost subset of local repairs by encoding
+//!    constraints (1)–(4) of Definition 5.5 as a 0-1 ILP and solving it with
+//!    `clara-ilp`;
+//! 3. decodes the solution into concrete [`RepairAction`]s, builds the
+//!    repaired program, and (optionally) verifies the soundness theorem
+//!    `P_C ∼_I P_repaired` (Theorem 5.3) by re-running the matcher.
+//!
+//! Variable addition and deletion (the `⋆` / `−` extension of §5) is
+//! supported: every cluster variable may map to a fresh implementation
+//! variable and every implementation variable may be deleted, which makes the
+//! trivial repair always available and the algorithm complete for clusters
+//! with matching control flow.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use clara_ilp::{IlpBuilder, SolveLimits, VarId};
+use clara_lang::{expr_to_string, Expr, Value};
+use clara_model::{Fuel, Loc, Program};
+use clara_ted::{expr_edit_distance, expr_tree_size};
+
+use crate::analysis::AnalyzedProgram;
+use crate::cluster::Cluster;
+use crate::matching::{exprs_match, find_matching, pinned, vars_compatible, VarMap};
+
+/// Configuration of the repair algorithm.
+#[derive(Debug, Clone)]
+pub struct RepairConfig {
+    /// Execution fuel used when re-running repaired programs for
+    /// verification.
+    pub fuel: Fuel,
+    /// Cap on the number of partial variable relations enumerated per
+    /// expression (the iteration of lines 9 and 13 in Fig. 5).
+    pub max_relations_per_expr: usize,
+    /// Branch-and-bound budget of the ILP solver.
+    pub ilp_limits: SolveLimits,
+    /// Verify `P_C ∼_I P_repaired` after decoding (Theorem 5.3).
+    pub verify: bool,
+    /// Process clusters on multiple threads (the paper notes Clara processes
+    /// clusters in parallel, §6.2 "Clusters").
+    pub parallel: bool,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            fuel: Fuel::default(),
+            max_relations_per_expr: 2_000,
+            ilp_limits: SolveLimits::default(),
+            verify: true,
+            parallel: true,
+        }
+    }
+}
+
+/// One concrete modification of the implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepairAction {
+    /// Replace the expression assigned to `var` at `loc`.
+    Modify {
+        /// Location of the modification.
+        loc: Loc,
+        /// The implementation variable whose update changes.
+        var: String,
+        /// Source line of the original expression, if known.
+        line: Option<u32>,
+        /// The original expression.
+        old: Expr,
+        /// The replacement expression (over implementation variables).
+        new: Expr,
+        /// Tree-edit-distance cost of this modification.
+        cost: i64,
+    },
+    /// Add an assignment for a freshly introduced variable.
+    AddAssignment {
+        /// Location of the new assignment.
+        loc: Loc,
+        /// Name of the fresh variable.
+        var: String,
+        /// The assigned expression (over implementation variables).
+        expr: Expr,
+        /// Cost (AST size of the added expression).
+        cost: i64,
+    },
+    /// Delete the assignment of a removed variable.
+    DeleteAssignment {
+        /// Location of the deleted assignment.
+        loc: Loc,
+        /// The deleted variable.
+        var: String,
+        /// The expression that was assigned.
+        old: Expr,
+        /// Cost (AST size of the removed expression).
+        cost: i64,
+    },
+}
+
+impl RepairAction {
+    /// The cost contribution of the action.
+    pub fn cost(&self) -> i64 {
+        match self {
+            RepairAction::Modify { cost, .. }
+            | RepairAction::AddAssignment { cost, .. }
+            | RepairAction::DeleteAssignment { cost, .. } => *cost,
+        }
+    }
+}
+
+/// The repair produced against one cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterRepair {
+    /// Index of the cluster (into the slice passed to [`repair_attempt`]).
+    pub cluster_index: usize,
+    /// Total cost (the ILP objective).
+    pub total_cost: i64,
+    /// The concrete modifications, in location order.
+    pub actions: Vec<RepairAction>,
+    /// The total variable relation `τ` for kept variables
+    /// (implementation variable → representative variable).
+    pub var_map: VarMap,
+    /// Freshly added variables: `(representative variable, fresh name)`.
+    pub added_vars: Vec<(String, String)>,
+    /// Deleted implementation variables.
+    pub deleted_vars: Vec<String>,
+    /// The repaired model program.
+    pub repaired: Program,
+    /// Whether `P_C ∼_I P_repaired` was re-established by the matcher
+    /// (Theorem 5.3); `None` if verification was disabled.
+    pub verified: Option<bool>,
+    /// `true` when the repair is the whole-program rewrite used for empty
+    /// attempts (its action locations refer to the representative, not the
+    /// attempt).
+    pub is_rewrite: bool,
+}
+
+impl ClusterRepair {
+    /// Number of modified expressions (the metric of Fig. 7).
+    pub fn modified_expression_count(&self) -> usize {
+        self.actions.iter().filter(|a| a.cost() > 0).count()
+    }
+
+    /// Relative repair size: cost divided by the AST size of the original
+    /// program (Fig. 6). Returns `f64::INFINITY` when the original program
+    /// has no expressions at all (empty attempts).
+    pub fn relative_size(&self, original_ast_size: usize) -> f64 {
+        if original_ast_size == 0 {
+            f64::INFINITY
+        } else {
+            self.total_cost as f64 / original_ast_size as f64
+        }
+    }
+}
+
+/// Why no repair was produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairFailure {
+    /// No cluster has the same control flow as the attempt (the fundamental
+    /// limitation discussed in §6.2 (1) and §8).
+    NoMatchingControlFlow,
+    /// The ILP solver exhausted its budget on every candidate cluster.
+    SolverBudgetExhausted,
+}
+
+impl std::fmt::Display for RepairFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairFailure::NoMatchingControlFlow => {
+                write!(f, "no correct solution with the same control flow exists")
+            }
+            RepairFailure::SolverBudgetExhausted => write!(f, "ILP solver budget exhausted"),
+        }
+    }
+}
+
+/// The outcome of the top-level repair procedure.
+#[derive(Debug, Clone)]
+pub struct RepairResult {
+    /// The minimal-cost repair across all candidate clusters.
+    pub best: Option<ClusterRepair>,
+    /// Why no repair was found (when `best` is `None`).
+    pub failure: Option<RepairFailure>,
+    /// Number of clusters with matching control flow that were tried.
+    pub candidate_clusters: usize,
+    /// Wall-clock time of the whole repair.
+    pub elapsed: Duration,
+}
+
+/// Repairs an incorrect attempt against every cluster and returns the
+/// minimal-cost repair (the top-level procedure sketched in Fig. 1 and §2.2).
+pub fn repair_attempt(
+    clusters: &[Cluster],
+    attempt: &AnalyzedProgram,
+    inputs: &[Vec<Value>],
+    config: &RepairConfig,
+) -> RepairResult {
+    let start = Instant::now();
+    let candidates: Vec<(usize, &Cluster)> = clusters
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.representative.program.same_control_flow(&attempt.program))
+        .collect();
+
+    if candidates.is_empty() {
+        // Completely empty attempts (no expressions at all) are still
+        // repaired by the trivial rewrite against the largest cluster; this
+        // mirrors Clara's behaviour on the 436 empty attempts of the MOOC
+        // dataset (their relative repair size is reported as ∞ in Fig. 6).
+        if attempt_is_empty(&attempt.program) {
+            if let Some(rewrite) = trivial_rewrite_repair(clusters, attempt) {
+                return RepairResult {
+                    best: Some(rewrite),
+                    failure: None,
+                    candidate_clusters: 0,
+                    elapsed: start.elapsed(),
+                };
+            }
+        }
+        return RepairResult {
+            best: None,
+            failure: Some(RepairFailure::NoMatchingControlFlow),
+            candidate_clusters: 0,
+            elapsed: start.elapsed(),
+        };
+    }
+
+    let repairs: Vec<Option<ClusterRepair>> = if config.parallel && candidates.len() > 1 {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let chunk_size = candidates.len().div_ceil(threads);
+        let mut results: Vec<Option<ClusterRepair>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|(index, cluster)| repair_against_cluster(cluster, *index, attempt, inputs, config))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.extend(handle.join().expect("repair worker panicked"));
+            }
+        });
+        results
+    } else {
+        candidates
+            .iter()
+            .map(|(index, cluster)| repair_against_cluster(cluster, *index, attempt, inputs, config))
+            .collect()
+    };
+
+    let best = repairs
+        .into_iter()
+        .flatten()
+        .min_by_key(|r| (r.total_cost, r.cluster_index));
+    let failure = if best.is_none() { Some(RepairFailure::SolverBudgetExhausted) } else { None };
+    RepairResult {
+        best,
+        failure,
+        candidate_clusters: candidates.len(),
+        elapsed: start.elapsed(),
+    }
+}
+
+/// `true` when the attempt contains no expressions at all (an empty or
+/// `pass`-only submission).
+fn attempt_is_empty(program: &Program) -> bool {
+    program.locs().all(|loc| program.updates_at(loc).is_empty())
+}
+
+/// The trivial rewrite used for completely empty attempts: replace the whole
+/// submission with the representative of the largest cluster. Every
+/// representative assignment counts as an added expression.
+fn trivial_rewrite_repair(clusters: &[Cluster], attempt: &AnalyzedProgram) -> Option<ClusterRepair> {
+    let (cluster_index, cluster) = clusters
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| c.size())?;
+    let rep = &cluster.representative;
+    let mut actions = Vec::new();
+    let mut total_cost = 0;
+    for loc in rep.program.locs() {
+        for (var, expr) in rep.program.updates_at(loc) {
+            let cost = expr_tree_size(expr) as i64;
+            total_cost += cost;
+            actions.push(RepairAction::AddAssignment { loc, var: var.clone(), expr: expr.clone(), cost });
+        }
+    }
+    Some(ClusterRepair {
+        cluster_index,
+        total_cost,
+        actions,
+        var_map: VarMap::new(),
+        added_vars: rep.program.user_vars().into_iter().map(|v| (v.clone(), v)).collect(),
+        deleted_vars: attempt.program.user_vars(),
+        repaired: rep.program.clone(),
+        verified: Some(true),
+        is_rewrite: true,
+    })
+}
+
+/// The target an expression variable is mapped to while enumerating partial
+/// variable relations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MapTarget {
+    /// An existing variable of the other program.
+    Existing(String),
+    /// A fresh variable introduced for the given representative variable.
+    Fresh(String),
+}
+
+/// A candidate local repair (an element of `LR(ℓ, v)` in Definition 5.4).
+#[derive(Debug, Clone)]
+struct CandidateRepair {
+    loc: Loc,
+    var: String,
+    /// Pair dependencies: representative variable → implementation target.
+    dependencies: Vec<(String, MapTarget)>,
+    /// `None` keeps the implementation expression (`(ω, •)`).
+    replacement: Option<Expr>,
+    cost: i64,
+}
+
+/// `true` when the representative variable may be introduced as a fresh
+/// implementation variable (special variables and positionally-pinned
+/// parameters never are).
+fn can_add(rep_var: &str, rep_params: &[String], impl_params: &[String]) -> bool {
+    if pinned(rep_var) {
+        return false;
+    }
+    match rep_params.iter().position(|p| p == rep_var) {
+        Some(position) => position >= impl_params.len(),
+        None => true,
+    }
+}
+
+/// `true` when the implementation variable may be deleted (special variables
+/// and positionally-pinned parameters never are).
+fn can_delete(impl_var: &str, impl_params: &[String], rep_params: &[String]) -> bool {
+    if pinned(impl_var) {
+        return false;
+    }
+    match impl_params.iter().position(|p| p == impl_var) {
+        Some(position) => position >= rep_params.len(),
+        None => true,
+    }
+}
+
+/// Derives the fresh implementation-variable name for an added
+/// representative variable.
+pub fn fresh_name(rep_var: &str, taken: &[String]) -> String {
+    let base = format!("new_{}", rep_var.trim_start_matches('#'));
+    if !taken.iter().any(|v| v == &base) {
+        return base;
+    }
+    let mut i = 2;
+    loop {
+        let candidate = format!("{base}_{i}");
+        if !taken.iter().any(|v| v == &candidate) {
+            return candidate;
+        }
+        i += 1;
+    }
+}
+
+/// Runs the repair algorithm of Fig. 5 against a single cluster.
+pub fn repair_against_cluster(
+    cluster: &Cluster,
+    cluster_index: usize,
+    attempt: &AnalyzedProgram,
+    inputs: &[Vec<Value>],
+    config: &RepairConfig,
+) -> Option<ClusterRepair> {
+    let rep = &cluster.representative;
+    if !rep.program.same_control_flow(&attempt.program) {
+        return None;
+    }
+    let rep_vars: Vec<String> = rep.program.vars.clone();
+    let impl_vars: Vec<String> = attempt.program.vars.clone();
+    let rep_params = rep.program.params.clone();
+    let impl_params = attempt.program.params.clone();
+    let traces = &rep.traces;
+
+    // ------------------------------------------------------------------
+    // Step 1: generate the sets of possible local repairs LR(ℓ, v₂).
+    // ------------------------------------------------------------------
+    let mut candidates: Vec<CandidateRepair> = Vec::new();
+    let mut candidates_by_slot: HashMap<(usize, String), Vec<usize>> = HashMap::new();
+
+    for loc in attempt.program.locs() {
+        for v2 in &impl_vars {
+            let e_impl = attempt.program.update(loc, v2);
+            let slot = (loc.0, v2.clone());
+            let mut seen: HashSet<String> = HashSet::new();
+
+            for v1 in &rep_vars {
+                if !vars_compatible(v2, v1, &impl_params, &rep_params) {
+                    continue;
+                }
+                let e_rep = rep.program.update(loc, v1);
+
+                // (ω, •): the implementation expression already matches.
+                let impl_sources: Vec<String> = {
+                    let mut vars = e_impl.variables();
+                    if !vars.contains(v2) {
+                        vars.push(v2.clone());
+                    }
+                    vars
+                };
+                for omega in enumerate_keep_relations(
+                    &impl_sources,
+                    v2,
+                    v1,
+                    &rep_vars,
+                    (&impl_params, &rep_params),
+                    config.max_relations_per_expr,
+                ) {
+                    let translated = e_impl.substitute(&|name| {
+                        omega.get(name).map(|target| Expr::Var(target.clone()))
+                    });
+                    if exprs_match(&e_rep, &translated, traces, loc) {
+                        let key = format!("keep|{v1}|{}", render_map(&omega));
+                        if seen.insert(key) {
+                            let dependencies = omega
+                                .iter()
+                                .map(|(impl_var, rep_var)| (rep_var.clone(), MapTarget::Existing(impl_var.clone())))
+                                .collect();
+                            let index = candidates.len();
+                            candidates.push(CandidateRepair {
+                                loc,
+                                var: v2.clone(),
+                                dependencies,
+                                replacement: None,
+                                cost: 0,
+                            });
+                            candidates_by_slot.entry(slot.clone()).or_default().push(index);
+                        }
+                    }
+                }
+
+                // (ω⁻¹, ω(e)): take a cluster expression and translate it to
+                // implementation variables.
+                for cluster_expr in cluster.expressions(loc, v1) {
+                    let rep_sources: Vec<String> = {
+                        let mut vars = cluster_expr.variables();
+                        if !vars.contains(v1) {
+                            vars.push(v1.clone());
+                        }
+                        vars
+                    };
+                    for omega in enumerate_replace_relations(
+                        &rep_sources,
+                        v1,
+                        v2,
+                        &impl_vars,
+                        (&impl_params, &rep_params),
+                        config.max_relations_per_expr,
+                    ) {
+                        let replacement = cluster_expr.substitute(&|name| {
+                            omega.get(name).map(|target| match target {
+                                MapTarget::Existing(impl_var) => Expr::Var(impl_var.clone()),
+                                MapTarget::Fresh(rep_var) => {
+                                    Expr::Var(fresh_name(rep_var, &impl_vars))
+                                }
+                            })
+                        });
+                        let key = format!("repl|{v1}|{}", expr_to_string(&replacement));
+                        if !seen.insert(key) {
+                            continue;
+                        }
+                        let cost = if replacement == e_impl {
+                            0
+                        } else {
+                            expr_edit_distance(&e_impl, &replacement) as i64
+                        };
+                        let dependencies =
+                            omega.iter().map(|(rep_var, target)| (rep_var.clone(), target.clone())).collect();
+                        let index = candidates.len();
+                        candidates.push(CandidateRepair {
+                            loc,
+                            var: v2.clone(),
+                            dependencies,
+                            replacement: Some(replacement),
+                            cost,
+                        });
+                        candidates_by_slot.entry(slot.clone()).or_default().push(index);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Step 2: encode constraints (1)–(4) of Definition 5.5 as a 0-1 ILP.
+    // ------------------------------------------------------------------
+    let mut ilp = IlpBuilder::new();
+    let mut pair_vars: HashMap<(String, String), VarId> = HashMap::new(); // (rep, impl)
+    let mut add_vars: HashMap<String, VarId> = HashMap::new(); // rep var → x_add
+    let mut del_vars: HashMap<String, VarId> = HashMap::new(); // impl var → x_del
+
+    for v1 in &rep_vars {
+        for v2 in &impl_vars {
+            if vars_compatible(v2, v1, &impl_params, &rep_params) {
+                let id = ilp.add_var(format!("pair:{v1}={v2}"), 0);
+                pair_vars.insert((v1.clone(), v2.clone()), id);
+            }
+        }
+        if can_add(v1, &rep_params, &impl_params) {
+            let cost = add_cost(&rep.program, cluster, v1);
+            add_vars.insert(v1.clone(), ilp.add_var(format!("add:{v1}"), cost));
+        }
+    }
+    for v2 in &impl_vars {
+        if can_delete(v2, &impl_params, &rep_params) {
+            let cost = delete_cost(&attempt.program, v2);
+            del_vars.insert(v2.clone(), ilp.add_var(format!("del:{v2}"), cost));
+        }
+    }
+
+    // Constraint (1): every representative variable is matched exactly once
+    // (to an implementation variable or to a fresh one).
+    for v1 in &rep_vars {
+        let mut row: Vec<VarId> = impl_vars
+            .iter()
+            .filter_map(|v2| pair_vars.get(&(v1.clone(), v2.clone())).copied())
+            .collect();
+        if let Some(add) = add_vars.get(v1) {
+            row.push(*add);
+        }
+        ilp.add_exactly_one(&row);
+    }
+    // Constraint (2): every implementation variable is matched exactly once
+    // (to a representative variable or deleted).
+    for v2 in &impl_vars {
+        let mut row: Vec<VarId> = rep_vars
+            .iter()
+            .filter_map(|v1| pair_vars.get(&(v1.clone(), v2.clone())).copied())
+            .collect();
+        if let Some(del) = del_vars.get(v2) {
+            row.push(*del);
+        }
+        ilp.add_exactly_one(&row);
+    }
+
+    // Local-repair selection variables.
+    let repair_ids: Vec<VarId> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| ilp.add_var(format!("lr:{i}:{}@{}", c.var, c.loc), c.cost))
+        .collect();
+
+    // Constraint (3): exactly one local repair per (ℓ, v₂) — or the variable
+    // is deleted.
+    for loc in attempt.program.locs() {
+        for v2 in &impl_vars {
+            let slot = (loc.0, v2.clone());
+            let mut row: Vec<VarId> = candidates_by_slot
+                .get(&slot)
+                .map(|ids| ids.iter().map(|&i| repair_ids[i]).collect())
+                .unwrap_or_default();
+            if let Some(del) = del_vars.get(v2) {
+                row.push(*del);
+            }
+            if row.is_empty() {
+                // A pinned special variable with no candidate local repair:
+                // the cluster cannot repair this attempt.
+                return None;
+            }
+            ilp.add_exactly_one(&row);
+        }
+    }
+
+    // Constraint (4): a selected local repair forces its variable pairs.
+    for (i, candidate) in candidates.iter().enumerate() {
+        for (rep_var, target) in &candidate.dependencies {
+            let pair_id = match target {
+                MapTarget::Existing(impl_var) => pair_vars.get(&(rep_var.clone(), impl_var.clone())).copied(),
+                MapTarget::Fresh(rep_var) => add_vars.get(rep_var).copied(),
+            };
+            match pair_id {
+                Some(pair_id) => ilp.add_implication(repair_ids[i], pair_id),
+                None => {
+                    // The dependency can never be satisfied (e.g. a pinned
+                    // variable paired with a different pinned variable);
+                    // forbid the repair.
+                    ilp.add_constraint(vec![(repair_ids[i], 1)], clara_ilp::Cmp::Eq, 0);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Step 3: solve and decode.
+    // ------------------------------------------------------------------
+    let solution = ilp.solve_with_limits(config.ilp_limits).ok()??;
+
+    let mut var_map = VarMap::new();
+    for ((v1, v2), id) in &pair_vars {
+        if solution.value(*id) {
+            var_map.insert(v2.clone(), v1.clone());
+        }
+    }
+    let added_vars: Vec<(String, String)> = add_vars
+        .iter()
+        .filter(|(_, id)| solution.value(**id))
+        .map(|(v1, _)| (v1.clone(), fresh_name(v1, &impl_vars)))
+        .collect();
+    let deleted_vars: Vec<String> = del_vars
+        .iter()
+        .filter(|(_, id)| solution.value(**id))
+        .map(|(v2, _)| v2.clone())
+        .collect();
+
+    // Translation of representative variables back to implementation
+    // variables (τ⁻¹ extended with the fresh names).
+    let mut back_map: HashMap<String, String> = HashMap::new();
+    for (v2, v1) in &var_map {
+        back_map.insert(v1.clone(), v2.clone());
+    }
+    for (v1, fresh) in &added_vars {
+        back_map.insert(v1.clone(), fresh.clone());
+    }
+
+    let mut actions: Vec<RepairAction> = Vec::new();
+    let mut repaired = attempt.program.clone();
+
+    // Selected local repairs.
+    for (i, candidate) in candidates.iter().enumerate() {
+        if !solution.value(repair_ids[i]) {
+            continue;
+        }
+        if let Some(new_expr) = &candidate.replacement {
+            let old = attempt.program.update(candidate.loc, &candidate.var);
+            if *new_expr != old {
+                repaired.set_update(
+                    candidate.loc,
+                    &candidate.var,
+                    new_expr.clone(),
+                    attempt.program.update_line(candidate.loc, &candidate.var).unwrap_or(0),
+                );
+                actions.push(RepairAction::Modify {
+                    loc: candidate.loc,
+                    var: candidate.var.clone(),
+                    line: attempt.program.update_line(candidate.loc, &candidate.var),
+                    old,
+                    new: new_expr.clone(),
+                    cost: candidate.cost,
+                });
+            }
+        }
+    }
+
+    // Added variables: copy the representative's assignments, translated back
+    // to implementation variables.
+    for (v1, fresh) in &added_vars {
+        repaired.add_var(fresh);
+        for loc in rep.program.locs() {
+            if let Some(rep_expr) = rep.program.explicit_update(loc, v1) {
+                let translated = rep_expr.substitute(&|name| {
+                    back_map.get(name).map(|target| Expr::Var(target.clone()))
+                });
+                let cost = expr_tree_size(&translated) as i64;
+                repaired.set_update(loc, fresh, translated.clone(), rep.program.update_line(loc, v1).unwrap_or(0));
+                actions.push(RepairAction::AddAssignment { loc, var: fresh.clone(), expr: translated, cost });
+            }
+        }
+    }
+
+    // Deleted variables: drop their assignments.
+    for v2 in &deleted_vars {
+        for loc in attempt.program.locs() {
+            if let Some(old) = attempt.program.explicit_update(loc, v2) {
+                let cost = expr_tree_size(old) as i64;
+                actions.push(RepairAction::DeleteAssignment { loc, var: v2.clone(), old: old.clone(), cost });
+                repaired.remove_update(loc, v2);
+            }
+        }
+        repaired.remove_var(v2);
+    }
+
+    actions.sort_by_key(|a| match a {
+        RepairAction::Modify { loc, .. }
+        | RepairAction::AddAssignment { loc, .. }
+        | RepairAction::DeleteAssignment { loc, .. } => loc.0,
+    });
+
+    // Optional verification of Theorem 5.3.
+    let verified = if config.verify {
+        let analyzed = AnalyzedProgram::from_program(repaired.clone(), inputs, config.fuel);
+        Some(find_matching(rep, &analyzed).is_some())
+    } else {
+        None
+    };
+
+    Some(ClusterRepair {
+        cluster_index,
+        total_cost: solution.objective,
+        actions,
+        var_map,
+        added_vars,
+        deleted_vars,
+        repaired,
+        verified,
+        is_rewrite: false,
+    })
+}
+
+fn render_map(map: &HashMap<String, String>) -> String {
+    let mut pairs: Vec<String> = map.iter().map(|(k, v)| format!("{k}->{v}")).collect();
+    pairs.sort();
+    pairs.join(",")
+}
+
+/// Cost of introducing the representative variable `v1` into the
+/// implementation: the representative's assignments have to be added.
+fn add_cost(rep: &Program, _cluster: &Cluster, v1: &str) -> i64 {
+    rep.locs()
+        .filter_map(|loc| rep.explicit_update(loc, v1))
+        .map(|e| expr_tree_size(e) as i64)
+        .sum()
+}
+
+/// Cost of deleting the implementation variable `v2`: all its assignments are
+/// removed.
+fn delete_cost(attempt: &Program, v2: &str) -> i64 {
+    attempt
+        .locs()
+        .filter_map(|loc| attempt.explicit_update(loc, v2))
+        .map(|e| expr_tree_size(e) as i64)
+        .sum()
+}
+
+/// Enumerates the injective partial relations ω mapping the implementation
+/// variables `sources` (which include `v2`) to representative variables, with
+/// `ω(v2) = v1` fixed. Used for `(ω, •)` local repairs.
+fn enumerate_keep_relations(
+    sources: &[String],
+    v2: &str,
+    v1: &str,
+    rep_vars: &[String],
+    params: (&[String], &[String]),
+    cap: usize,
+) -> Vec<HashMap<String, String>> {
+    let (impl_params, rep_params) = params;
+    let mut results = Vec::new();
+    let others: Vec<&String> = sources.iter().filter(|s| s.as_str() != v2).collect();
+    let mut current: HashMap<String, String> = HashMap::new();
+    current.insert(v2.to_owned(), v1.to_owned());
+    let mut used: HashSet<String> = HashSet::new();
+    used.insert(v1.to_owned());
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        index: usize,
+        others: &[&String],
+        rep_vars: &[String],
+        params: (&[String], &[String]),
+        current: &mut HashMap<String, String>,
+        used: &mut HashSet<String>,
+        results: &mut Vec<HashMap<String, String>>,
+        cap: usize,
+    ) {
+        if results.len() >= cap {
+            return;
+        }
+        if index == others.len() {
+            results.push(current.clone());
+            return;
+        }
+        let source = others[index];
+        for target in rep_vars {
+            if used.contains(target) || !vars_compatible(source, target, params.0, params.1) {
+                continue;
+            }
+            current.insert(source.to_string(), target.clone());
+            used.insert(target.clone());
+            recurse(index + 1, others, rep_vars, params, current, used, results, cap);
+            used.remove(target);
+            current.remove(source.as_str());
+        }
+    }
+    recurse(0, &others, rep_vars, (impl_params, rep_params), &mut current, &mut used, &mut results, cap);
+    results
+}
+
+/// Enumerates the injective partial relations ω mapping the representative
+/// variables `sources` (which include `v1`) to implementation variables or
+/// fresh variables, with `ω(v1) = v2` fixed. Used for `(ω⁻¹, ω(e))` local
+/// repairs.
+fn enumerate_replace_relations(
+    sources: &[String],
+    v1: &str,
+    v2: &str,
+    impl_vars: &[String],
+    params: (&[String], &[String]),
+    cap: usize,
+) -> Vec<HashMap<String, MapTarget>> {
+    let (impl_params, rep_params) = params;
+    let mut results = Vec::new();
+    let others: Vec<&String> = sources.iter().filter(|s| s.as_str() != v1).collect();
+    let mut current: HashMap<String, MapTarget> = HashMap::new();
+    current.insert(v1.to_owned(), MapTarget::Existing(v2.to_owned()));
+    let mut used: HashSet<String> = HashSet::new();
+    used.insert(v2.to_owned());
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        index: usize,
+        others: &[&String],
+        impl_vars: &[String],
+        params: (&[String], &[String]),
+        current: &mut HashMap<String, MapTarget>,
+        used: &mut HashSet<String>,
+        results: &mut Vec<HashMap<String, MapTarget>>,
+        cap: usize,
+    ) {
+        if results.len() >= cap {
+            return;
+        }
+        if index == others.len() {
+            results.push(current.clone());
+            return;
+        }
+        let source = others[index];
+        for target in impl_vars {
+            if used.contains(target) || !vars_compatible(target, source, params.0, params.1) {
+                continue;
+            }
+            current.insert(source.to_string(), MapTarget::Existing(target.clone()));
+            used.insert(target.clone());
+            recurse(index + 1, others, impl_vars, params, current, used, results, cap);
+            used.remove(target);
+            current.remove(source.as_str());
+        }
+        // The representative variable may also map to a fresh implementation
+        // variable (the ⋆ extension of §5).
+        if can_add(source, params.1, params.0) {
+            current.insert(source.to_string(), MapTarget::Fresh(source.to_string()));
+            recurse(index + 1, others, impl_vars, params, current, used, results, cap);
+            current.remove(source.as_str());
+        }
+    }
+    recurse(0, &others, impl_vars, (impl_params, rep_params), &mut current, &mut used, &mut results, cap);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AnalyzedProgram;
+    use crate::cluster::cluster_programs;
+    use clara_model::special;
+
+    fn poly(xs: &[f64]) -> Value {
+        Value::List(xs.iter().map(|x| Value::Float(*x)).collect())
+    }
+
+    fn inputs() -> Vec<Vec<Value>> {
+        vec![
+            vec![poly(&[6.3, 7.6, 12.14])],
+            vec![poly(&[3.0])],
+            vec![poly(&[1.0, 2.0, 3.0, 4.0])],
+            vec![poly(&[])],
+        ]
+    }
+
+    const C1: &str = "\
+def computeDeriv(poly):
+    result = []
+    for e in range(1, len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+";
+
+    const C2: &str = "\
+def computeDeriv(poly):
+    deriv = []
+    for i in xrange(1,len(poly)):
+        deriv+=[float(i)*poly[i]]
+    if len(deriv)==0:
+        return [0.0]
+    return deriv
+";
+
+    fn analyze(src: &str) -> AnalyzedProgram {
+        AnalyzedProgram::from_text(src, "computeDeriv", &inputs(), clara_model::Fuel::default()).unwrap()
+    }
+
+    fn derivatives_clusters() -> Vec<Cluster> {
+        cluster_programs(vec![analyze(C1), analyze(C2)])
+    }
+
+    #[test]
+    fn repairing_the_representative_costs_nothing() {
+        let clusters = derivatives_clusters();
+        let result = repair_attempt(&clusters, &analyze(C1), &inputs(), &RepairConfig::default());
+        let repair = result.best.unwrap();
+        assert_eq!(repair.total_cost, 0);
+        assert!(repair.added_vars.is_empty());
+        assert!(repair.deleted_vars.is_empty());
+        assert_eq!(repair.verified, Some(true));
+        assert!(!repair.is_rewrite);
+    }
+
+    #[test]
+    fn repair_respects_parameter_pinning() {
+        // The parameter must map to the representative's parameter, never be
+        // deleted or replaced by a fresh variable.
+        let clusters = derivatives_clusters();
+        let attempt = analyze(
+            "def computeDeriv(values):\n    out = []\n    for i in range(len(values)):\n        out.append(float(values[i]*i))\n    if out == []:\n        return [0.0]\n    return out\n",
+        );
+        let result = repair_attempt(&clusters, &attempt, &inputs(), &RepairConfig::default());
+        let repair = result.best.unwrap();
+        assert_eq!(repair.var_map.get("values").map(String::as_str), Some("poly"));
+        assert!(!repair.deleted_vars.contains(&"values".to_owned()));
+        assert!(repair.added_vars.iter().all(|(rep_var, _)| rep_var != "poly"));
+        assert_eq!(repair.verified, Some(true));
+    }
+
+    #[test]
+    fn special_variables_always_map_to_themselves() {
+        let clusters = derivatives_clusters();
+        let attempt = analyze(
+            "def computeDeriv(poly):\n    new = []\n    for i in xrange(1,len(poly)):\n        new.append(float(i*poly[i]))\n    if new==[]:\n        return 0.0\n    return new\n",
+        );
+        let result = repair_attempt(&clusters, &attempt, &inputs(), &RepairConfig::default());
+        let repair = result.best.unwrap();
+        for name in [special::COND, special::RETURN, special::RET_FLAG, special::OUT] {
+            assert_eq!(repair.var_map.get(name).map(String::as_str), Some(name));
+        }
+    }
+
+    #[test]
+    fn missing_guard_is_repaired_with_a_conditional_expression() {
+        // Dropping the `i > 0` filter means index 0 is included; the minimal
+        // repair has to reintroduce the distinction, either in the iterator
+        // or in the appended expression.
+        let clusters = derivatives_clusters();
+        let attempt = analyze(
+            "def computeDeriv(poly):\n    result = []\n    for e in range(len(poly)):\n        result.append(float(poly[e]*e))\n    if result == []:\n        return [0.0]\n    else:\n        return result\n",
+        );
+        let result = repair_attempt(&clusters, &attempt, &inputs(), &RepairConfig::default());
+        let repair = result.best.unwrap();
+        assert_eq!(repair.verified, Some(true));
+        assert!(repair.total_cost >= 1);
+        assert!(repair.modified_expression_count() >= 1);
+    }
+
+    #[test]
+    fn cheaper_cluster_wins_when_several_match() {
+        // Two separate clusters (for-based and while-based); the attempt is a
+        // broken while-based solution, so the while cluster must be chosen.
+        let while_ok = "\
+def computeDeriv(poly):
+    result = []
+    i = 1
+    while i < len(poly):
+        result.append(float(poly[i] * i))
+        i = i + 1
+    if result == []:
+        return [0.0]
+    return result
+";
+        let clusters = cluster_programs(vec![analyze(C1), analyze(while_ok)]);
+        assert_eq!(clusters.len(), 2);
+        let attempt = analyze(
+            "def computeDeriv(poly):\n    result = []\n    i = 0\n    while i < len(poly):\n        result.append(float(poly[i] * i))\n        i = i + 1\n    if result == []:\n        return [0.0]\n    return result\n",
+        );
+        let result = repair_attempt(&clusters, &attempt, &inputs(), &RepairConfig::default());
+        let repair = result.best.unwrap();
+        // Both clusters share the loop skeleton (a for-loop and a while-loop
+        // lower to the same structure), but the while-based cluster yields the
+        // cheaper repair and must win.
+        assert_eq!(result.candidate_clusters, 2);
+        assert_eq!(repair.cluster_index, 1, "the while-based cluster gives the minimal repair");
+        assert!(repair.total_cost <= 2, "cost was {}", repair.total_cost);
+        assert_eq!(repair.verified, Some(true));
+    }
+
+    #[test]
+    fn sequential_and_parallel_cluster_processing_agree() {
+        let clusters = derivatives_clusters();
+        let attempt = analyze(
+            "def computeDeriv(poly):\n    new = []\n    for i in xrange(1,len(poly)):\n        new.append(float(i*poly[i]))\n    if new==[]:\n        return 0.0\n    return new\n",
+        );
+        let sequential = RepairConfig { parallel: false, ..RepairConfig::default() };
+        let parallel = RepairConfig { parallel: true, ..RepairConfig::default() };
+        let a = repair_attempt(&clusters, &attempt, &inputs(), &sequential).best.unwrap();
+        let b = repair_attempt(&clusters, &attempt, &inputs(), &parallel).best.unwrap();
+        assert_eq!(a.total_cost, b.total_cost);
+        assert_eq!(a.cluster_index, b.cluster_index);
+    }
+
+    #[test]
+    fn fresh_names_avoid_collisions() {
+        assert_eq!(fresh_name("n", &["x".to_owned()]), "new_n");
+        assert_eq!(fresh_name("#it1", &[]), "new_it1");
+        assert_eq!(
+            fresh_name("n", &["new_n".to_owned()]),
+            "new_n_2"
+        );
+    }
+
+    #[test]
+    fn relative_size_handles_empty_programs() {
+        let clusters = derivatives_clusters();
+        let attempt = analyze("def computeDeriv(poly):\n    pass\n");
+        let result = repair_attempt(&clusters, &attempt, &inputs(), &RepairConfig::default());
+        let repair = result.best.unwrap();
+        assert!(repair.is_rewrite);
+        assert!(repair.relative_size(0).is_infinite());
+        assert!(repair.relative_size(100) > 0.0);
+    }
+
+    #[test]
+    fn no_matching_control_flow_is_reported() {
+        let clusters = derivatives_clusters();
+        let attempt = analyze(
+            "def computeDeriv(poly):\n    result = []\n    for i in range(len(poly)):\n        for j in range(i):\n            result.append(float(poly[i]))\n    return result\n",
+        );
+        let result = repair_attempt(&clusters, &attempt, &inputs(), &RepairConfig::default());
+        assert!(result.best.is_none());
+        assert_eq!(result.failure, Some(RepairFailure::NoMatchingControlFlow));
+        assert_eq!(result.candidate_clusters, 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Synthetic dataset generation: the stand-in for the MITx MOOC and ESC-101
+//! submission archives.
+//!
+//! A [`Dataset`] holds a pool of *correct* solutions (used for clustering)
+//! and a pool of *incorrect* attempts (to be repaired), generated
+//! deterministically from a seed so that every benchmark run sees the same
+//! corpus. The split mirrors the paper's 80:20 chronological split: the
+//! correct pool plays the role of the earlier submissions, the incorrect pool
+//! the later ones.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::mutation::{empty_attempt, mutate, unsupported_attempt, FaultKind};
+use crate::problem::Problem;
+use crate::variation::vary_seed;
+
+/// How an attempt was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttemptKind {
+    /// One of the hand-written seed solutions.
+    Seed,
+    /// A semantics-preserving variant of a seed.
+    Variant,
+    /// A fault-injected mutant of a correct solution.
+    Mutant,
+    /// A completely empty submission.
+    Empty,
+    /// A submission using unsupported language features.
+    Unsupported,
+}
+
+/// One student submission of the synthetic corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Attempt {
+    /// Stable identifier within the dataset.
+    pub id: usize,
+    /// The submission text.
+    pub source: String,
+    /// Whether the submission passes the full test suite.
+    pub is_correct: bool,
+    /// How the submission was produced.
+    pub kind: AttemptKind,
+    /// Number of injected faults (0 for correct attempts).
+    pub fault_count: usize,
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Number of correct solutions to generate.
+    pub correct_count: usize,
+    /// Number of incorrect attempts to generate.
+    pub incorrect_count: usize,
+    /// RNG seed (datasets are fully deterministic given the seed).
+    pub seed: u64,
+    /// Fraction of incorrect attempts that are completely empty
+    /// (the paper's MOOC data had 436 of 4,293 ≈ 10%).
+    pub empty_fraction: f64,
+    /// Fraction of incorrect attempts using unsupported features
+    /// (69 of 4,293 ≈ 1.6% in the paper).
+    pub unsupported_fraction: f64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            correct_count: 120,
+            incorrect_count: 40,
+            seed: 0xC1A7A,
+            empty_fraction: 0.10,
+            unsupported_fraction: 0.016,
+        }
+    }
+}
+
+/// A synthetic submission corpus for one assignment.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The assignment.
+    pub problem: Problem,
+    /// The correct-solution pool (for clustering).
+    pub correct: Vec<Attempt>,
+    /// The incorrect-attempt pool (to be repaired).
+    pub incorrect: Vec<Attempt>,
+    /// The configuration that produced the dataset.
+    pub config: DatasetConfig,
+}
+
+impl Dataset {
+    /// Total number of attempts.
+    pub fn total(&self) -> usize {
+        self.correct.len() + self.incorrect.len()
+    }
+}
+
+/// Generates a deterministic synthetic corpus for `problem`.
+pub fn generate_dataset(problem: &Problem, config: DatasetConfig) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ hash_name(problem.name));
+    let mut correct = Vec::with_capacity(config.correct_count);
+    let mut incorrect = Vec::with_capacity(config.incorrect_count);
+    let mut id = 0usize;
+
+    // Correct pool: all seeds first, then verified variants of random seeds.
+    for seed in &problem.seeds {
+        if correct.len() >= config.correct_count {
+            break;
+        }
+        correct.push(Attempt {
+            id,
+            source: (*seed).to_owned(),
+            is_correct: true,
+            kind: AttemptKind::Seed,
+            fault_count: 0,
+        });
+        id += 1;
+    }
+    while correct.len() < config.correct_count {
+        let seed = problem.seeds.choose(&mut rng).expect("problems have seeds");
+        let variant = vary_seed(problem, seed, &mut rng);
+        correct.push(Attempt {
+            id,
+            source: variant,
+            is_correct: true,
+            kind: AttemptKind::Variant,
+            fault_count: 0,
+        });
+        id += 1;
+    }
+
+    // Incorrect pool: empty and unsupported populations first, then
+    // fault-injected mutants of (variants of) correct solutions.
+    let empty_target = (config.incorrect_count as f64 * config.empty_fraction).round() as usize;
+    let unsupported_target =
+        (config.incorrect_count as f64 * config.unsupported_fraction).ceil() as usize;
+    for _ in 0..empty_target.min(config.incorrect_count) {
+        let attempt = empty_attempt(problem);
+        incorrect.push(Attempt {
+            id,
+            source: attempt.source,
+            is_correct: false,
+            kind: AttemptKind::Empty,
+            fault_count: 0,
+        });
+        id += 1;
+    }
+    for _ in 0..unsupported_target {
+        if incorrect.len() >= config.incorrect_count {
+            break;
+        }
+        let attempt = unsupported_attempt(problem, &mut rng);
+        incorrect.push(Attempt {
+            id,
+            source: attempt.source,
+            is_correct: false,
+            kind: AttemptKind::Unsupported,
+            fault_count: 0,
+        });
+        id += 1;
+    }
+    let mut attempts_without_mutant = 0usize;
+    while incorrect.len() < config.incorrect_count && attempts_without_mutant < 200 {
+        let seed = problem.seeds.choose(&mut rng).expect("problems have seeds");
+        // Mutate either the seed itself or a correct variant of it, so that
+        // incorrect attempts inherit the corpus' syntactic diversity.
+        let base = if rng.gen_bool(0.5) { (*seed).to_owned() } else { vary_seed(problem, seed, &mut rng) };
+        // Paper: "education programs are expected to have higher error
+        // density" — most attempts have one fault, a sizeable tail has more.
+        let fault_count = match rng.gen_range(0..10u32) {
+            0..=5 => 1,
+            6..=8 => 2,
+            _ => 3,
+        };
+        match mutate(problem, &base, fault_count, &mut rng) {
+            Some(mutant) => {
+                incorrect.push(Attempt {
+                    id,
+                    source: mutant.source,
+                    is_correct: false,
+                    kind: AttemptKind::Mutant,
+                    fault_count: mutant.faults.len(),
+                });
+                id += 1;
+                attempts_without_mutant = 0;
+            }
+            None => attempts_without_mutant += 1,
+        }
+    }
+
+    Dataset { problem: problem.clone(), correct, incorrect, config }
+}
+
+/// The fault kinds available to the mutator (re-exported for reporting).
+pub fn fault_kinds() -> &'static [FaultKind] {
+    FaultKind::all()
+}
+
+fn hash_name(name: &str) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut hasher = DefaultHasher::new();
+    name.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mooc::derivatives;
+    use crate::study::trapezoid;
+
+    fn small_config() -> DatasetConfig {
+        DatasetConfig { correct_count: 30, incorrect_count: 15, seed: 42, ..DatasetConfig::default() }
+    }
+
+    #[test]
+    fn datasets_have_the_requested_sizes() {
+        let dataset = generate_dataset(&derivatives(), small_config());
+        assert_eq!(dataset.correct.len(), 30);
+        assert_eq!(dataset.incorrect.len(), 15);
+        assert_eq!(dataset.total(), 45);
+    }
+
+    #[test]
+    fn correct_attempts_pass_and_incorrect_attempts_fail() {
+        let dataset = generate_dataset(&derivatives(), small_config());
+        for attempt in &dataset.correct {
+            assert_eq!(dataset.problem.grade_source(&attempt.source), Some(true), "{}", attempt.source);
+        }
+        for attempt in &dataset.incorrect {
+            assert_eq!(dataset.problem.grade_source(&attempt.source), Some(false), "{}", attempt.source);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_dataset(&derivatives(), small_config());
+        let b = generate_dataset(&derivatives(), small_config());
+        let texts_a: Vec<&str> = a.correct.iter().map(|x| x.source.as_str()).collect();
+        let texts_b: Vec<&str> = b.correct.iter().map(|x| x.source.as_str()).collect();
+        assert_eq!(texts_a, texts_b);
+        let inc_a: Vec<&str> = a.incorrect.iter().map(|x| x.source.as_str()).collect();
+        let inc_b: Vec<&str> = b.incorrect.iter().map(|x| x.source.as_str()).collect();
+        assert_eq!(inc_a, inc_b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_corpora() {
+        let a = generate_dataset(&derivatives(), small_config());
+        let b = generate_dataset(&derivatives(), DatasetConfig { seed: 43, ..small_config() });
+        let texts_a: Vec<&str> = a.incorrect.iter().map(|x| x.source.as_str()).collect();
+        let texts_b: Vec<&str> = b.incorrect.iter().map(|x| x.source.as_str()).collect();
+        assert_ne!(texts_a, texts_b);
+    }
+
+    #[test]
+    fn special_populations_are_present() {
+        let config = DatasetConfig { correct_count: 20, incorrect_count: 40, seed: 7, ..DatasetConfig::default() };
+        let dataset = generate_dataset(&derivatives(), config);
+        assert!(dataset.incorrect.iter().any(|a| a.kind == AttemptKind::Empty));
+        assert!(dataset.incorrect.iter().any(|a| a.kind == AttemptKind::Unsupported));
+        assert!(dataset.incorrect.iter().filter(|a| a.kind == AttemptKind::Mutant).count() >= 20);
+    }
+
+    #[test]
+    fn output_graded_problems_also_generate() {
+        let dataset = generate_dataset(&trapezoid(), small_config());
+        assert_eq!(dataset.correct.len(), 30);
+        assert!(dataset.incorrect.len() >= 10);
+    }
+}

@@ -1,0 +1,71 @@
+//! # clara-corpus — synthetic student-submission corpus
+//!
+//! The paper evaluates Clara on 17,266 MITx MOOC submissions and on an
+//! ESC-101 (IIT Kanpur) archive; both datasets are proprietary. This crate is
+//! the substitute substrate (see `DESIGN.md`): it defines the nine
+//! assignments of Appendix A ([`mooc`] and [`study`]), hand-written seed
+//! solutions implementing genuinely different strategies, a
+//! semantics-preserving [`variation`] engine that expands the seeds into a
+//! large pool of correct solutions, and a fault-injection [`mutation`] engine
+//! that derives realistic incorrect attempts. [`dataset`] combines these into
+//! deterministic, seeded corpora used by the benchmark harness.
+//!
+//! ```rust
+//! use clara_corpus::{generate_dataset, mooc, DatasetConfig};
+//!
+//! let problem = mooc::derivatives();
+//! let dataset = generate_dataset(
+//!     &problem,
+//!     DatasetConfig { correct_count: 50, incorrect_count: 20, ..DatasetConfig::default() },
+//! );
+//! assert_eq!(dataset.correct.len(), 50);
+//! assert!(dataset.incorrect.iter().all(|a| !a.is_correct));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dataset;
+pub mod mooc;
+pub mod mutation;
+pub mod problem;
+pub mod study;
+pub mod variation;
+
+pub use dataset::{generate_dataset, Attempt, AttemptKind, Dataset, DatasetConfig};
+pub use mutation::{empty_attempt, mutate, unsupported_attempt, FaultKind, Mutant};
+pub use problem::{GradingMode, Problem};
+pub use variation::{rename_variables, rename_with, tweak_expressions, vary_seed};
+
+/// All nine problems of the paper's evaluation (Table 1 + Table 2).
+pub fn all_problems() -> Vec<Problem> {
+    let mut problems = mooc::all_mooc_problems();
+    problems.extend(study::all_study_problems());
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_nine_problems() {
+        let problems = all_problems();
+        assert_eq!(problems.len(), 9);
+        let names: Vec<&str> = problems.iter().map(|p| p.name).collect();
+        assert!(names.contains(&"derivatives"));
+        assert!(names.contains(&"rhombus"));
+    }
+
+    #[test]
+    fn every_problem_has_a_consistent_reference() {
+        for problem in all_problems() {
+            assert_eq!(
+                problem.grade_source(problem.reference),
+                Some(true),
+                "reference of {} is not correct",
+                problem.name
+            );
+        }
+    }
+}

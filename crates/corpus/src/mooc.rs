@@ -1,0 +1,313 @@
+//! The three MITx MOOC problems of the paper's Table 1 (Appendix A):
+//! `derivatives`, `oddTuples` and `polynomials`, each with a grading input
+//! suite and a set of seed solutions implementing genuinely different
+//! strategies.
+
+use clara_lang::Value;
+
+use crate::problem::{GradingMode, Problem};
+
+fn poly(xs: &[f64]) -> Value {
+    Value::List(xs.iter().map(|x| Value::Float(*x)).collect())
+}
+
+fn tup(xs: &[&str]) -> Value {
+    Value::Tuple(xs.iter().map(|x| Value::Str((*x).to_owned())).collect())
+}
+
+fn int_tup(xs: &[i64]) -> Value {
+    Value::Tuple(xs.iter().map(|x| Value::Int(*x)).collect())
+}
+
+/// `derivatives`: compute and return the derivative of a polynomial
+/// (represented as a list of floats); return `[0.0]` when the derivative is
+/// zero.
+pub fn derivatives() -> Problem {
+    const REFERENCE: &str = "\
+def computeDeriv(poly):
+    result = []
+    for e in range(1, len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+";
+    const SEEDS: &[&str] = &[
+        REFERENCE,
+        "\
+def computeDeriv(poly):
+    deriv = []
+    for i in xrange(1,len(poly)):
+        deriv+=[float(i)*poly[i]]
+    if len(deriv)==0:
+        return [0.0]
+    return deriv
+",
+        "\
+def computeDeriv(poly):
+    out = []
+    for k in range(1, len(poly)):
+        out = out + [1.0 * poly[k] * k]
+    if len(out) > 0:
+        return out
+    else:
+        return [0.0]
+",
+        "\
+def computeDeriv(poly):
+    result = []
+    i = 1
+    while i < len(poly):
+        result.append(float(poly[i] * i))
+        i = i + 1
+    if result == []:
+        return [0.0]
+    return result
+",
+        "\
+def computeDeriv(poly):
+    if len(poly) < 2:
+        return [0.0]
+    result = []
+    for e in range(1, len(poly)):
+        result.append(float(poly[e] * e))
+    return result
+",
+        "\
+def computeDeriv(poly):
+    result = []
+    for i in range(len(poly) - 1, 0, -1):
+        result = [float(poly[i] * i)] + result
+    return result or [0.0]
+",
+        "\
+def computeDeriv(poly):
+    result = []
+    for i in range(len(poly)):
+        if i > 0:
+            result.append(float(poly[i] * i))
+    if result == []:
+        return [0.0]
+    return result
+",
+        "\
+def computeDeriv(poly):
+    if len(poly) <= 1:
+        return [0.0]
+    result = [0.0] * (len(poly) - 1)
+    for i in range(1, len(poly)):
+        result[i - 1] = float(poly[i] * i)
+    return result
+",
+    ];
+    Problem::new(
+        "derivatives",
+        "Compute and return the derivative of a polynomial function as a list of floats. If the derivative is 0, return [0.0].",
+        "computeDeriv",
+        GradingMode::ReturnValue,
+        REFERENCE,
+        SEEDS.to_vec(),
+        vec![
+            vec![poly(&[6.3, 7.6, 12.14])],
+            vec![poly(&[3.0])],
+            vec![poly(&[1.0, 2.0, 3.0, 4.0])],
+            vec![poly(&[])],
+            vec![poly(&[0.0, 8.4])],
+            vec![poly(&[2.0, -5.0, 1.5, 0.0, 3.0])],
+        ],
+    )
+}
+
+/// `oddTuples`: return a tuple containing every other element of the input
+/// tuple.
+pub fn odd_tuples() -> Problem {
+    const REFERENCE: &str = "\
+def oddTuples(aTup):
+    result = ()
+    for i in range(len(aTup)):
+        if i % 2 == 0:
+            result = result + (aTup[i],)
+    return result
+";
+    const SEEDS: &[&str] = &[
+        REFERENCE,
+        "\
+def oddTuples(aTup):
+    out = ()
+    for i in range(0, len(aTup), 2):
+        out += (aTup[i],)
+    return out
+",
+        "\
+def oddTuples(aTup):
+    result = ()
+    i = 0
+    while i < len(aTup):
+        result = result + (aTup[i],)
+        i = i + 2
+    return result
+",
+        "\
+def oddTuples(aTup):
+    rTup = ()
+    take = True
+    for item in aTup:
+        if take:
+            rTup = rTup + (item,)
+            take = False
+        else:
+            take = True
+    return rTup
+",
+        "\
+def oddTuples(aTup):
+    result = ()
+    for i in range(len(aTup)):
+        if i % 2 != 1:
+            result = result + (aTup[i],)
+    return result
+",
+        "\
+def oddTuples(aTup):
+    answer = ()
+    index = 0
+    while index < len(aTup):
+        if index % 2 == 0:
+            answer = answer + (aTup[index],)
+        index = index + 1
+    return answer
+",
+    ];
+    Problem::new(
+        "oddTuples",
+        "Given a tuple aTup, return a tuple containing every other element of aTup, starting with the first.",
+        "oddTuples",
+        GradingMode::ReturnValue,
+        REFERENCE,
+        SEEDS.to_vec(),
+        vec![
+            vec![tup(&["I", "am", "a", "test", "tuple"])],
+            vec![Value::Tuple(Vec::new())],
+            vec![tup(&["x"])],
+            vec![int_tup(&[1, 2, 3, 4])],
+            vec![int_tup(&[5, 6])],
+            vec![tup(&["a", "b", "c", "d", "e", "f", "g"])],
+        ],
+    )
+}
+
+/// `polynomials`: evaluate a polynomial (list of coefficients) at a value
+/// `x` and return the result as a float.
+pub fn polynomials() -> Problem {
+    const REFERENCE: &str = "\
+def evaluatePoly(poly, x):
+    total = 0.0
+    for i in range(len(poly)):
+        total = total + poly[i] * x ** i
+    return float(total)
+";
+    const SEEDS: &[&str] = &[
+        REFERENCE,
+        "\
+def evaluatePoly(poly, x):
+    total = 0
+    power = 1
+    for c in poly:
+        total = total + c * power
+        power = power * x
+    return float(total)
+",
+        "\
+def evaluatePoly(poly, x):
+    result = 0.0
+    i = 0
+    while i < len(poly):
+        result = result + poly[i] * x ** i
+        i = i + 1
+    return float(result)
+",
+        "\
+def evaluatePoly(poly, x):
+    value = 0.0
+    for i in range(len(poly) - 1, -1, -1):
+        value = value * x + poly[i]
+    return float(value)
+",
+        "\
+def evaluatePoly(poly, x):
+    total = 0.0
+    index = 0
+    for coef in poly:
+        total += coef * x ** index
+        index += 1
+    return float(total)
+",
+    ];
+    Problem::new(
+        "polynomials",
+        "Compute the value of a polynomial function at a given value x; return the value as a float.",
+        "evaluatePoly",
+        GradingMode::ReturnValue,
+        REFERENCE,
+        SEEDS.to_vec(),
+        vec![
+            vec![poly(&[0.0, 0.0, 5.0, 9.3, 7.0]), Value::Float(10.0)],
+            vec![poly(&[1.0, 2.0, 3.0]), Value::Float(2.0)],
+            vec![poly(&[5.0]), Value::Float(3.0)],
+            vec![poly(&[1.0, -2.0]), Value::Float(0.5)],
+            vec![poly(&[1.0, 2.0, 3.0, 4.0, 5.0]), Value::Float(1.5)],
+            vec![poly(&[2.5, 0.0, -1.0]), Value::Float(-2.0)],
+        ],
+    )
+}
+
+/// All three MOOC problems of Table 1.
+pub fn all_mooc_problems() -> Vec<Problem> {
+    vec![derivatives(), odd_tuples(), polynomials()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seed_passes_its_specification() {
+        for problem in all_mooc_problems() {
+            let failing = problem.check_seeds();
+            assert!(failing.is_empty(), "problem {}: failing seeds {failing:?}", problem.name);
+        }
+    }
+
+    #[test]
+    fn the_papers_incorrect_attempts_fail_the_specification() {
+        let problem = derivatives();
+        let i1 = "\
+def computeDeriv(poly):
+    new = []
+    for i in xrange(1,len(poly)):
+        new.append(float(i*poly[i]))
+    if new==[]:
+        return 0.0
+    return new
+";
+        let i2 = "\
+def computeDeriv(poly):
+    result = []
+    for i in range(len(poly)):
+        result[i]=float((i)*poly[i])
+    return result
+";
+        assert_eq!(problem.grade_source(i1), Some(false));
+        assert_eq!(problem.grade_source(i2), Some(false));
+    }
+
+    #[test]
+    fn problem_metadata_is_consistent() {
+        for problem in all_mooc_problems() {
+            assert!(problem.seeds.len() >= 5, "{} needs strategy diversity", problem.name);
+            assert!(problem.spec.tests.len() >= 5);
+            assert_eq!(problem.grading, GradingMode::ReturnValue);
+        }
+    }
+}

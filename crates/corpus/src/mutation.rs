@@ -1,0 +1,532 @@
+//! Fault injection: turning correct solutions into realistic incorrect
+//! attempts.
+//!
+//! The paper evaluates repair on thousands of real incorrect submissions;
+//! since the MITx/ESC-101 data is not available, the corpus generator derives
+//! incorrect attempts from correct ones by injecting the kinds of faults the
+//! paper discusses (off-by-one loop bounds, missing guards, wrong constants
+//! and operators, missing returns, wrong initialisation, ...), plus the two
+//! special populations called out explicitly in §6.2: completely empty
+//! attempts and attempts using unsupported language features. Every mutant is
+//! verified to actually fail the test suite (otherwise it is discarded).
+
+use clara_lang::ast::{BinOp, Expr, Lit, SourceProgram, Stmt, Target};
+use clara_lang::program_to_string;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::problem::Problem;
+
+/// The kinds of injected faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A literal constant was perturbed.
+    WrongConstant,
+    /// A comparison operator was replaced.
+    WrongComparison,
+    /// An arithmetic operator was replaced.
+    WrongOperator,
+    /// A `range(...)` bound was changed (off-by-one / dropped start).
+    WrongLoopBounds,
+    /// An index expression was shifted by one.
+    WrongIndex,
+    /// A type conversion (e.g. `float(...)`) was dropped.
+    DroppedConversion,
+    /// A guard (`if`) was removed, keeping only its then-branch.
+    DroppedGuard,
+    /// A statement (increment, append, return, print) was removed.
+    DroppedStatement,
+    /// The initialisation of an accumulator was changed.
+    WrongInitialisation,
+    /// A return/print expression was replaced by a different variable.
+    WrongResultVariable,
+}
+
+impl FaultKind {
+    /// All fault kinds the mutator can inject.
+    pub fn all() -> &'static [FaultKind] {
+        &[
+            FaultKind::WrongConstant,
+            FaultKind::WrongComparison,
+            FaultKind::WrongOperator,
+            FaultKind::WrongLoopBounds,
+            FaultKind::WrongIndex,
+            FaultKind::DroppedConversion,
+            FaultKind::DroppedGuard,
+            FaultKind::DroppedStatement,
+            FaultKind::WrongInitialisation,
+            FaultKind::WrongResultVariable,
+        ]
+    }
+}
+
+/// An incorrect attempt produced by fault injection.
+#[derive(Debug, Clone)]
+pub struct Mutant {
+    /// The source text of the incorrect attempt.
+    pub source: String,
+    /// The faults that were injected.
+    pub faults: Vec<FaultKind>,
+}
+
+/// Tries to produce an incorrect attempt by injecting `fault_count` faults
+/// into `seed_source`. Returns `None` if no failing mutant was found within
+/// the retry budget (e.g. every perturbation happened to stay correct).
+pub fn mutate<R: Rng>(
+    problem: &Problem,
+    seed_source: &str,
+    fault_count: usize,
+    rng: &mut R,
+) -> Option<Mutant> {
+    let parsed = problem.parse(seed_source);
+    for _ in 0..40 {
+        let mut mutated = parsed.clone();
+        let mut applied = Vec::new();
+        for _ in 0..fault_count {
+            let kind = *FaultKind::all().choose(rng).expect("fault list is not empty");
+            if apply_fault(&mut mutated, kind, rng) {
+                applied.push(kind);
+            }
+        }
+        if applied.is_empty() {
+            continue;
+        }
+        let text = program_to_string(&mutated);
+        if problem.grade_source(&text) == Some(false) {
+            return Some(Mutant { source: text, faults: applied });
+        }
+    }
+    None
+}
+
+/// Produces a completely empty attempt (`pass` body), one of the populations
+/// called out in §6.2 (the ∞ bucket of Fig. 6).
+pub fn empty_attempt(problem: &Problem) -> Mutant {
+    let parsed = problem.parse(problem.reference);
+    let function = &parsed.functions[0];
+    let source = format!("def {}({}):\n    pass\n", function.name, function.params.join(", "));
+    Mutant { source, faults: vec![FaultKind::DroppedStatement] }
+}
+
+/// Produces an *incorrect* attempt that additionally uses an unsupported
+/// construct (a helper function definition), reproducing the "unsupported
+/// feature" failure category of §6.2: such attempts are graded (they parse
+/// and fail the tests) but cannot be analysed by the program model.
+pub fn unsupported_attempt<R: Rng>(problem: &Problem, rng: &mut R) -> Mutant {
+    let buggy = mutate(problem, problem.reference, 1, rng)
+        .map(|m| m.source)
+        .unwrap_or_else(|| empty_attempt(problem).source);
+    let source = format!("def helper(x):\n    return x\n\n{buggy}");
+    Mutant { source, faults: vec![FaultKind::DroppedStatement] }
+}
+
+fn apply_fault<R: Rng>(program: &mut SourceProgram, kind: FaultKind, rng: &mut R) -> bool {
+    let mut applied = false;
+    for function in &mut program.functions {
+        if applied {
+            break;
+        }
+        applied = match kind {
+            FaultKind::DroppedGuard => drop_guard(&mut function.body, rng),
+            FaultKind::DroppedStatement => drop_statement(&mut function.body, rng),
+            FaultKind::WrongInitialisation => wrong_initialisation(&mut function.body, rng),
+            FaultKind::WrongResultVariable => wrong_result_variable(&mut function.body, rng),
+            _ => mutate_some_expression(&mut function.body, kind, rng),
+        };
+    }
+    applied
+}
+
+/// Collects mutable references to every expression slot of a body.
+fn expression_slots<'a>(stmts: &'a mut Vec<Stmt>, out: &mut Vec<&'a mut Expr>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { value, target, .. } => {
+                if let Target::Index(_, index) = target {
+                    out.push(index);
+                }
+                out.push(value);
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                out.push(cond);
+                expression_slots(then_body, out);
+                expression_slots(else_body, out);
+            }
+            Stmt::While { cond, body, .. } => {
+                out.push(cond);
+                expression_slots(body, out);
+            }
+            Stmt::For { iter, body, .. } => {
+                out.push(iter);
+                expression_slots(body, out);
+            }
+            Stmt::Return { value: Some(value), .. } => out.push(value),
+            Stmt::Print { args, .. } => {
+                for arg in args {
+                    out.push(arg);
+                }
+            }
+            Stmt::ExprStmt { expr, .. } => out.push(expr),
+            _ => {}
+        }
+    }
+}
+
+fn mutate_some_expression<R: Rng>(body: &mut Vec<Stmt>, kind: FaultKind, rng: &mut R) -> bool {
+    let mut slots = Vec::new();
+    expression_slots(body, &mut slots);
+    slots.shuffle(rng);
+    for slot in slots {
+        let mutated = mutate_expr(slot, kind, rng);
+        if let Some(new_expr) = mutated {
+            *slot = new_expr;
+            return true;
+        }
+    }
+    false
+}
+
+/// Tries to apply `kind` somewhere inside `expr`; returns the mutated whole
+/// expression on success.
+fn mutate_expr<R: Rng>(expr: &Expr, kind: FaultKind, rng: &mut R) -> Option<Expr> {
+    // Try the node itself first, then recurse into a random child.
+    if let Some(new_node) = mutate_node(expr, kind, rng) {
+        return Some(new_node);
+    }
+    let children = children_of(expr);
+    if children.is_empty() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..children.len()).collect();
+    order.shuffle(rng);
+    for child_index in order {
+        if let Some(new_child) = mutate_expr(&children[child_index], kind, rng) {
+            let mut new_children = children.clone();
+            new_children[child_index] = new_child;
+            return Some(rebuild(expr, &new_children));
+        }
+    }
+    None
+}
+
+fn mutate_node<R: Rng>(expr: &Expr, kind: FaultKind, rng: &mut R) -> Option<Expr> {
+    match (kind, expr) {
+        (FaultKind::WrongConstant, Expr::Lit(Lit::Int(k))) => {
+            let delta: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
+            Some(Expr::int(k + delta))
+        }
+        (FaultKind::WrongConstant, Expr::Lit(Lit::Float(f))) => Some(Expr::float(f + 1.0)),
+        (FaultKind::WrongComparison, Expr::Binary(op, lhs, rhs)) if op.is_comparison() => {
+            let alternatives = [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne];
+            let new_op = *alternatives.iter().filter(|o| *o != op).collect::<Vec<_>>().choose(rng)?;
+            Some(Expr::Binary(*new_op, lhs.clone(), rhs.clone()))
+        }
+        (FaultKind::WrongOperator, Expr::Binary(op, lhs, rhs)) => {
+            let new_op = match op {
+                BinOp::Add => BinOp::Sub,
+                BinOp::Sub => BinOp::Add,
+                BinOp::Mul => BinOp::Add,
+                BinOp::FloorDiv => BinOp::Mul,
+                BinOp::Mod => BinOp::FloorDiv,
+                _ => return None,
+            };
+            Some(Expr::Binary(new_op, lhs.clone(), rhs.clone()))
+        }
+        (FaultKind::WrongLoopBounds, Expr::Call(name, args)) if name == "range" || name == "xrange" => {
+            match args.len() {
+                2 => Some(Expr::Call(name.clone(), vec![args[1].clone()])),
+                1 => Some(Expr::Call(name.clone(), vec![Expr::int(1), args[0].clone()])),
+                3 => Some(Expr::Call(name.clone(), args[..2].to_vec())),
+                _ => None,
+            }
+        }
+        (FaultKind::WrongIndex, Expr::Index(base, idx)) => {
+            let delta = if rng.gen_bool(0.5) { BinOp::Add } else { BinOp::Sub };
+            Some(Expr::Index(
+                base.clone(),
+                Box::new(Expr::bin(delta, (**idx).clone(), Expr::int(1))),
+            ))
+        }
+        (FaultKind::DroppedConversion, Expr::Call(name, args))
+            if (name == "float" || name == "int" || name == "abs") && args.len() == 1 =>
+        {
+            Some(args[0].clone())
+        }
+        _ => None,
+    }
+}
+
+fn children_of(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::Lit(_) | Expr::Var(_) => Vec::new(),
+        Expr::List(items) | Expr::Tuple(items) => items.clone(),
+        Expr::Unary(_, inner) => vec![(**inner).clone()],
+        Expr::Binary(_, lhs, rhs) => vec![(**lhs).clone(), (**rhs).clone()],
+        Expr::Index(base, idx) => vec![(**base).clone(), (**idx).clone()],
+        Expr::Slice(base, lo, hi) => {
+            let mut out = vec![(**base).clone()];
+            if let Some(lo) = lo {
+                out.push((**lo).clone());
+            }
+            if let Some(hi) = hi {
+                out.push((**hi).clone());
+            }
+            out
+        }
+        Expr::Call(_, args) => args.clone(),
+        Expr::Method(recv, _, args) => {
+            let mut out = vec![(**recv).clone()];
+            out.extend(args.iter().cloned());
+            out
+        }
+    }
+}
+
+fn rebuild(expr: &Expr, children: &[Expr]) -> Expr {
+    match expr {
+        Expr::Lit(_) | Expr::Var(_) => expr.clone(),
+        Expr::List(_) => Expr::List(children.to_vec()),
+        Expr::Tuple(_) => Expr::Tuple(children.to_vec()),
+        Expr::Unary(op, _) => Expr::Unary(*op, Box::new(children[0].clone())),
+        Expr::Binary(op, _, _) => {
+            Expr::Binary(*op, Box::new(children[0].clone()), Box::new(children[1].clone()))
+        }
+        Expr::Index(_, _) => Expr::Index(Box::new(children[0].clone()), Box::new(children[1].clone())),
+        Expr::Slice(_, lo, hi) => {
+            let mut index = 1;
+            let new_lo = lo.as_ref().map(|_| {
+                let value = Box::new(children[index].clone());
+                index += 1;
+                value
+            });
+            let new_hi = hi.as_ref().map(|_| Box::new(children[index].clone()));
+            Expr::Slice(Box::new(children[0].clone()), new_lo, new_hi)
+        }
+        Expr::Call(name, _) => Expr::Call(name.clone(), children.to_vec()),
+        Expr::Method(_, name, _) => {
+            Expr::Method(Box::new(children[0].clone()), name.clone(), children[1..].to_vec())
+        }
+    }
+}
+
+fn drop_guard<R: Rng>(body: &mut Vec<Stmt>, rng: &mut R) -> bool {
+    // Find an `if` statement and replace it with one of its branches.
+    let positions: Vec<usize> = body
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, Stmt::If { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    if let Some(&index) = positions.choose(rng) {
+        if let Stmt::If { then_body, else_body, .. } = body[index].clone() {
+            let replacement = if else_body.is_empty() || rng.gen_bool(0.7) { then_body } else { else_body };
+            body.splice(index..=index, replacement);
+            return true;
+        }
+    }
+    // Otherwise recurse into loop bodies.
+    for stmt in body {
+        match stmt {
+            Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                if drop_guard(body, rng) {
+                    return true;
+                }
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                if drop_guard(then_body, rng) || drop_guard(else_body, rng) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn drop_statement<R: Rng>(body: &mut Vec<Stmt>, rng: &mut R) -> bool {
+    // Prefer dropping simple statements (assignments, returns, prints) from
+    // the innermost bodies.
+    for stmt in body.iter_mut() {
+        match stmt {
+            Stmt::While { body: inner, .. } | Stmt::For { body: inner, .. } => {
+                if inner.len() > 1 && rng.gen_bool(0.6) && drop_statement(inner, rng) {
+                    return true;
+                }
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                if then_body.len() > 1 && rng.gen_bool(0.3) && drop_statement(then_body, rng) {
+                    return true;
+                }
+                if else_body.len() > 1 && rng.gen_bool(0.3) && drop_statement(else_body, rng) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    let simple_positions: Vec<usize> = body
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            matches!(
+                s,
+                Stmt::Assign { .. } | Stmt::Return { .. } | Stmt::Print { .. } | Stmt::ExprStmt { .. }
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if body.len() > 1 {
+        if let Some(&index) = simple_positions.choose(rng) {
+            body.remove(index);
+            return true;
+        }
+    }
+    false
+}
+
+fn wrong_initialisation<R: Rng>(body: &mut [Stmt], rng: &mut R) -> bool {
+    for stmt in body.iter_mut() {
+        if let Stmt::Assign { value, op: None, .. } = stmt {
+            let replacement = match value {
+                Expr::List(items) if items.is_empty() => {
+                    Some(if rng.gen_bool(0.5) { Expr::int(0) } else { Expr::List(vec![Expr::float(0.0)]) })
+                }
+                Expr::Tuple(items) if items.is_empty() => Some(Expr::List(vec![])),
+                Expr::Lit(Lit::Int(0)) => Some(Expr::int(1)),
+                Expr::Lit(Lit::Int(1)) => Some(Expr::int(0)),
+                Expr::Lit(Lit::Float(_)) => Some(Expr::int(0)),
+                _ => None,
+            };
+            if let Some(new_value) = replacement {
+                *value = new_value;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn wrong_result_variable<R: Rng>(body: &mut Vec<Stmt>, rng: &mut R) -> bool {
+    let mut vars = Vec::new();
+    collect_assigned(body, &mut vars);
+    if vars.len() < 2 {
+        return false;
+    }
+    fn rewrite<R: Rng>(stmts: &mut Vec<Stmt>, vars: &[String], rng: &mut R) -> bool {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Return { value: Some(value), .. } => {
+                    if let Expr::Var(name) = value {
+                        let others: Vec<&String> = vars.iter().filter(|v| *v != name).collect();
+                        if let Some(other) = others.choose(rng) {
+                            *value = Expr::var((**other).clone());
+                            return true;
+                        }
+                    }
+                }
+                Stmt::Print { args, .. } => {
+                    for arg in args {
+                        if let Expr::Var(name) = arg {
+                            let others: Vec<&String> = vars.iter().filter(|v| *v != name).collect();
+                            if let Some(other) = others.choose(rng) {
+                                *arg = Expr::var((**other).clone());
+                                return true;
+                            }
+                        }
+                    }
+                }
+                Stmt::If { then_body, else_body, .. } => {
+                    if rewrite(then_body, vars, rng) || rewrite(else_body, vars, rng) {
+                        return true;
+                    }
+                }
+                Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                    if rewrite(body, vars, rng) {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+    rewrite(body, &vars, rng)
+}
+
+fn collect_assigned(body: &[Stmt], out: &mut Vec<String>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { target, .. } => {
+                let name = target.base_name().to_owned();
+                if !out.contains(&name) {
+                    out.push(name);
+                }
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                collect_assigned(then_body, out);
+                collect_assigned(else_body, out);
+            }
+            Stmt::While { body, .. } => collect_assigned(body, out),
+            Stmt::For { var, body, .. } => {
+                if !out.contains(var) {
+                    out.push(var.clone());
+                }
+                collect_assigned(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mooc::{derivatives, odd_tuples};
+    use crate::study::trapezoid;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn mutants_fail_the_specification() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for problem in [derivatives(), odd_tuples(), trapezoid()] {
+            let mut produced = 0;
+            for seed in &problem.seeds {
+                if let Some(mutant) = mutate(&problem, seed, 1, &mut rng) {
+                    produced += 1;
+                    assert_eq!(problem.grade_source(&mutant.source), Some(false));
+                    assert!(!mutant.faults.is_empty());
+                }
+            }
+            assert!(produced >= problem.seeds.len() / 2, "{}: too few mutants", problem.name);
+        }
+    }
+
+    #[test]
+    fn multi_fault_mutants_can_be_generated() {
+        let problem = derivatives();
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mutant = mutate(&problem, problem.reference, 3, &mut rng).expect("mutant");
+        assert!(!mutant.faults.is_empty());
+        assert_eq!(problem.grade_source(&mutant.source), Some(false));
+    }
+
+    #[test]
+    fn empty_attempts_parse_but_fail() {
+        let problem = derivatives();
+        let empty = empty_attempt(&problem);
+        assert_eq!(problem.grade_source(&empty.source), Some(false));
+        assert!(empty.source.contains("pass"));
+    }
+
+    #[test]
+    fn unsupported_attempts_contain_a_helper_function() {
+        let problem = derivatives();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let attempt = unsupported_attempt(&problem, &mut rng);
+        assert!(attempt.source.contains("def helper"));
+        // It still parses (so it is graded), but the model front-end rejects
+        // it, which is exactly the paper's "unsupported feature" category.
+        assert!(clara_lang::parse_program(&attempt.source).is_ok());
+    }
+}

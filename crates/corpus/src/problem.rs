@@ -1,0 +1,126 @@
+//! Assignment definitions: specification, reference solution and seed
+//! solutions.
+//!
+//! A [`Problem`] bundles everything the corpus generator needs for one
+//! assignment from Appendix A of the paper: the grading [`ProblemSpec`]
+//! (entry point plus test suite), a reference solution used to derive the
+//! expected outputs, and a set of hand-written *seed* solutions implementing
+//! genuinely different strategies (these become the different clusters).
+
+use clara_lang::{
+    parse_program, run_function, Expected, Limits, ProblemSpec, SourceProgram, TestCase, Value,
+};
+
+/// How an assignment is graded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GradingMode {
+    /// The return value of the entry function is compared.
+    ReturnValue,
+    /// The printed output is compared.
+    PrintedOutput,
+}
+
+/// One assignment: specification plus seed solutions.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// Short identifier (e.g. `"derivatives"`).
+    pub name: &'static str,
+    /// Human-readable problem statement (from Appendix A).
+    pub statement: &'static str,
+    /// Entry-point function name.
+    pub entry: &'static str,
+    /// How attempts are graded.
+    pub grading: GradingMode,
+    /// The reference solution (also the first seed).
+    pub reference: &'static str,
+    /// Hand-written correct solutions, each a different strategy.
+    pub seeds: Vec<&'static str>,
+    /// The grading specification (inputs plus expected behaviour).
+    pub spec: ProblemSpec,
+}
+
+impl Problem {
+    /// Builds a problem, deriving the expected behaviour of every test input
+    /// by running the reference solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference solution does not parse or fails to run on an
+    /// input — the built-in problems are covered by tests, so this only
+    /// triggers while developing a new problem definition.
+    pub fn new(
+        name: &'static str,
+        statement: &'static str,
+        entry: &'static str,
+        grading: GradingMode,
+        reference: &'static str,
+        seeds: Vec<&'static str>,
+        inputs: Vec<Vec<Value>>,
+    ) -> Self {
+        let parsed = parse_program(reference)
+            .unwrap_or_else(|e| panic!("reference solution of `{name}` does not parse: {e}"));
+        let tests = inputs
+            .into_iter()
+            .map(|args| {
+                let execution = run_function(&parsed, entry, &args, Limits::default())
+                    .unwrap_or_else(|e| panic!("reference solution of `{name}` failed: {e}"));
+                let expected = match grading {
+                    GradingMode::ReturnValue => Expected {
+                        return_value: Some(execution.return_value),
+                        output: None,
+                    },
+                    GradingMode::PrintedOutput => Expected {
+                        return_value: None,
+                        output: Some(execution.output),
+                    },
+                };
+                TestCase { args, expected }
+            })
+            .collect();
+        let mut spec = ProblemSpec::new(name, entry, tests);
+        // Student attempts routinely contain accidental infinite loops (e.g. a
+        // dropped loop increment); a tight step budget keeps grading fast for
+        // the tiny programs of introductory assignments.
+        spec.limits = Limits { max_steps: 10_000 };
+        Problem { name, statement, entry, grading, reference, seeds, spec }
+    }
+
+    /// The test inputs (the set `I` over which dynamic equivalence is
+    /// computed).
+    pub fn inputs(&self) -> Vec<Vec<Value>> {
+        self.spec.inputs()
+    }
+
+    /// Parses and grades a source text; returns `None` when it does not even
+    /// parse.
+    pub fn grade_source(&self, source: &str) -> Option<bool> {
+        let parsed = parse_program(source).ok()?;
+        Some(self.spec.is_correct(&parsed))
+    }
+
+    /// Parses a seed (or any) solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the text does not parse; seeds are static and covered by
+    /// tests.
+    pub fn parse(&self, source: &str) -> SourceProgram {
+        parse_program(source).unwrap_or_else(|e| panic!("solution of `{}` does not parse: {e}", self.name))
+    }
+
+    /// All seed solutions (the reference first), parsed.
+    pub fn parsed_seeds(&self) -> Vec<SourceProgram> {
+        self.seeds.iter().map(|s| self.parse(s)).collect()
+    }
+
+    /// Verifies that every seed passes the specification; returns the names
+    /// of failing seed indices (used by tests).
+    pub fn check_seeds(&self) -> Vec<usize> {
+        self.seeds
+            .iter()
+            .enumerate()
+            .filter(|(_, seed)| self.grade_source(seed) != Some(true))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}

@@ -1,0 +1,466 @@
+//! The six user-study problems of the paper's Table 2 (Appendix A):
+//! Fibonacci sequence, Special number, Reverse difference, Factorial
+//! interval, Trapezoid and Rhombus. The original study used C; here the
+//! attempts are MiniPy programs that read their inputs as function arguments
+//! and print their results (graded on printed output).
+
+use clara_lang::Value;
+
+use crate::problem::{GradingMode, Problem};
+
+/// `Fibonacci sequence`: given `k > 0`, print the `n > 0` such that
+/// `F_n <= k < F_{n+1}`.
+pub fn fibonacci() -> Problem {
+    const REFERENCE: &str = "\
+def fib(k):
+    a = 1
+    b = 1
+    n = 1
+    while b <= k:
+        c = a + b
+        a = b
+        b = c
+        n = n + 1
+    print(n)
+";
+    const SEEDS: &[&str] = &[
+        REFERENCE,
+        "\
+def fib(k):
+    prev = 1
+    cur = 1
+    count = 1
+    while cur <= k:
+        temp = cur
+        cur = cur + prev
+        prev = temp
+        count = count + 1
+    print(count)
+",
+        "\
+def fib(k):
+    a = 0
+    b = 1
+    n = 0
+    while b <= k:
+        c = a + b
+        a = b
+        b = c
+        n = n + 1
+    print(n)
+",
+        "\
+def fib(k):
+    a = 1
+    b = 1
+    n = 1
+    while a + b <= k + a:
+        c = a + b
+        a = b
+        b = c
+        n = n + 1
+    print(n)
+",
+    ];
+    Problem::new(
+        "fibonacci",
+        "Print the integer n > 0 such that F_n <= k < F_{n+1}.",
+        "fib",
+        GradingMode::PrintedOutput,
+        REFERENCE,
+        SEEDS.to_vec(),
+        vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+            vec![Value::Int(4)],
+            vec![Value::Int(8)],
+            vec![Value::Int(20)],
+            vec![Value::Int(100)],
+        ],
+    )
+}
+
+/// `Special number`: print YES if the sum of the cubes of the digits of `n`
+/// equals `n`, NO otherwise.
+pub fn special_number() -> Problem {
+    const REFERENCE: &str = "\
+def special(n):
+    s = 0
+    m = n
+    while m > 0:
+        d = m % 10
+        s = s + d * d * d
+        m = m // 10
+    if s == n:
+        print('YES')
+    else:
+        print('NO')
+";
+    const SEEDS: &[&str] = &[
+        REFERENCE,
+        "\
+def special(n):
+    total = 0
+    rest = n
+    while rest > 0:
+        digit = rest % 10
+        total = total + digit ** 3
+        rest = rest // 10
+    if total == n:
+        print('YES')
+    else:
+        print('NO')
+",
+        "\
+def special(n):
+    s = 0
+    for ch in str(n):
+        d = int(ch)
+        s = s + d * d * d
+    if s == n:
+        print('YES')
+    else:
+        print('NO')
+",
+        "\
+def special(n):
+    m = n
+    acc = 0
+    while m > 0:
+        acc = acc + (m % 10) ** 3
+        m = m // 10
+    if acc != n:
+        print('NO')
+    else:
+        print('YES')
+",
+    ];
+    Problem::new(
+        "special_number",
+        "Print YES if the sum of cubes of the digits of n equals n, NO otherwise.",
+        "special",
+        GradingMode::PrintedOutput,
+        REFERENCE,
+        SEEDS.to_vec(),
+        vec![
+            vec![Value::Int(371)],
+            vec![Value::Int(153)],
+            vec![Value::Int(370)],
+            vec![Value::Int(10)],
+            vec![Value::Int(9474)],
+            vec![Value::Int(407)],
+            vec![Value::Int(5)],
+        ],
+    )
+}
+
+/// `Reverse difference`: print the difference between `n` and its decimal
+/// reverse.
+pub fn reverse_difference() -> Problem {
+    const REFERENCE: &str = "\
+def revdiff(n):
+    m = n
+    r = 0
+    while m > 0:
+        r = r * 10 + m % 10
+        m = m // 10
+    print(n - r)
+";
+    const SEEDS: &[&str] = &[
+        REFERENCE,
+        "\
+def revdiff(n):
+    rest = n
+    rev = 0
+    while rest > 0:
+        digit = rest % 10
+        rev = rev * 10 + digit
+        rest = rest // 10
+    print(n - rev)
+",
+        "\
+def revdiff(n):
+    text = str(n)
+    rev = 0
+    for ch in text:
+        rev = rev * 10
+        rev = rev + int(ch)
+    reversed_text = ''
+    for ch in text:
+        reversed_text = ch + reversed_text
+    print(n - int(reversed_text))
+",
+        "\
+def revdiff(n):
+    reversed_text = ''
+    for ch in str(n):
+        reversed_text = ch + reversed_text
+    print(n - int(reversed_text))
+",
+    ];
+    Problem::new(
+        "reverse_difference",
+        "Print the difference of n and its reverse (e.g. 1234 -> -3087).",
+        "revdiff",
+        GradingMode::PrintedOutput,
+        REFERENCE,
+        SEEDS.to_vec(),
+        vec![
+            vec![Value::Int(1234)],
+            vec![Value::Int(1)],
+            vec![Value::Int(100)],
+            vec![Value::Int(505)],
+            vec![Value::Int(9876)],
+            vec![Value::Int(42)],
+        ],
+    )
+}
+
+/// `Factorial interval`: print how many factorial numbers lie in the closed
+/// interval `[n, m]`.
+pub fn factorial_interval() -> Problem {
+    const REFERENCE: &str = "\
+def factcount(n, m):
+    count = 0
+    f = 1
+    i = 1
+    while f <= m:
+        if f >= n:
+            count = count + 1
+        i = i + 1
+        f = f * i
+    print(count)
+";
+    const SEEDS: &[&str] = &[
+        REFERENCE,
+        "\
+def factcount(n, m):
+    total = 0
+    fact = 1
+    k = 1
+    while fact <= m:
+        if fact >= n:
+            total = total + 1
+        k = k + 1
+        fact = fact * k
+    print(total)
+",
+        "\
+def factcount(n, m):
+    count = 0
+    f = 1
+    i = 2
+    while f <= m:
+        if n <= f:
+            count = count + 1
+        f = f * i
+        i = i + 1
+    print(count)
+",
+        "\
+def factcount(n, m):
+    hits = 0
+    value = 1
+    step = 1
+    while value <= m:
+        inside = value >= n
+        if inside:
+            hits = hits + 1
+        step = step + 1
+        value = value * step
+    print(hits)
+",
+    ];
+    Problem::new(
+        "factorial_interval",
+        "Print the number of factorial numbers in the closed interval [n, m].",
+        "factcount",
+        GradingMode::PrintedOutput,
+        REFERENCE,
+        SEEDS.to_vec(),
+        vec![
+            vec![Value::Int(0), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(6)],
+            vec![Value::Int(3), Value::Int(30)],
+            vec![Value::Int(0), Value::Int(200)],
+            vec![Value::Int(7), Value::Int(23)],
+            vec![Value::Int(100), Value::Int(1000)],
+        ],
+    )
+}
+
+/// `Trapezoid`: print a trapezoid pattern of `*` with height `h` and base
+/// length `b`.
+pub fn trapezoid() -> Problem {
+    const REFERENCE: &str = "\
+def trapezoid(h, b):
+    i = 0
+    while i < h:
+        print(' ' * (h - 1 - i) + '*' * (b - 2 * (h - 1 - i)))
+        i = i + 1
+";
+    const SEEDS: &[&str] = &[
+        REFERENCE,
+        "\
+def trapezoid(h, b):
+    for i in range(h):
+        spaces = h - 1 - i
+        stars = b - 2 * spaces
+        print(' ' * spaces + '*' * stars)
+",
+        "\
+def trapezoid(h, b):
+    row = 0
+    while row < h:
+        line = ''
+        line = line + ' ' * (h - 1 - row)
+        line = line + '*' * (b - 2 * (h - 1 - row))
+        print(line)
+        row = row + 1
+",
+        "\
+def trapezoid(h, b):
+    stars = b - 2 * (h - 1)
+    spaces = h - 1
+    for i in range(h):
+        print(' ' * spaces + '*' * stars)
+        stars = stars + 2
+        spaces = spaces - 1
+",
+    ];
+    Problem::new(
+        "trapezoid",
+        "Print h lines forming a regular trapezoid of '*' with base length b.",
+        "trapezoid",
+        GradingMode::PrintedOutput,
+        REFERENCE,
+        SEEDS.to_vec(),
+        vec![
+            vec![Value::Int(5), Value::Int(14)],
+            vec![Value::Int(2), Value::Int(6)],
+            vec![Value::Int(1), Value::Int(4)],
+            vec![Value::Int(3), Value::Int(8)],
+            vec![Value::Int(4), Value::Int(10)],
+        ],
+    )
+}
+
+/// `Rhombus`: print a rhombus pattern of column numbers modulo 10 with
+/// height `h` (odd, at least 3).
+pub fn rhombus() -> Problem {
+    const REFERENCE: &str = "\
+def rhombus(h):
+    mid = (h + 1) // 2
+    r = 1
+    while r <= h:
+        d = mid - r
+        if d < 0:
+            d = -d
+        row = ' ' * d
+        c = d + 1
+        while c <= h - d:
+            row = row + str(c % 10)
+            c = c + 1
+        print(row)
+        r = r + 1
+";
+    const SEEDS: &[&str] = &[
+        REFERENCE,
+        "\
+def rhombus(h):
+    mid = (h + 1) // 2
+    for r in range(1, h + 1):
+        d = mid - r
+        if d < 0:
+            d = -d
+        line = ' ' * d
+        for c in range(d + 1, h - d + 1):
+            line = line + str(c % 10)
+        print(line)
+",
+        "\
+def rhombus(h):
+    middle = (h + 1) // 2
+    row = 1
+    while row <= h:
+        offset = abs(middle - row)
+        text = ' ' * offset
+        col = offset + 1
+        while col <= h - offset:
+            text = text + str(col % 10)
+            col = col + 1
+        print(text)
+        row = row + 1
+",
+    ];
+    Problem::new(
+        "rhombus",
+        "Print h lines forming a rhombus where each character is the column number modulo 10.",
+        "rhombus",
+        GradingMode::PrintedOutput,
+        REFERENCE,
+        SEEDS.to_vec(),
+        vec![
+            vec![Value::Int(3)],
+            vec![Value::Int(5)],
+            vec![Value::Int(7)],
+            vec![Value::Int(9)],
+        ],
+    )
+}
+
+/// All six user-study problems of Table 2.
+pub fn all_study_problems() -> Vec<Problem> {
+    vec![
+        fibonacci(),
+        special_number(),
+        reverse_difference(),
+        factorial_interval(),
+        trapezoid(),
+        rhombus(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seed_passes_its_specification() {
+        for problem in all_study_problems() {
+            let failing = problem.check_seeds();
+            assert!(failing.is_empty(), "problem {}: failing seeds {failing:?}", problem.name);
+        }
+    }
+
+    #[test]
+    fn reference_outputs_match_the_papers_examples() {
+        // Trapezoid example from Appendix A: h = 5, b = 14.
+        let problem = trapezoid();
+        let expected = "    ******\n   ********\n  **********\n ************\n**************\n";
+        let test = &problem.spec.tests[0];
+        assert_eq!(test.expected.output.as_deref(), Some(expected));
+
+        // Rhombus example from Appendix A: h = 5.
+        let problem = rhombus();
+        let expected = "  3\n 234\n12345\n 234\n  3\n";
+        let test = &problem.spec.tests[1];
+        assert_eq!(test.expected.output.as_deref(), Some(expected));
+    }
+
+    #[test]
+    fn fibonacci_reference_matches_the_definition() {
+        let problem = fibonacci();
+        // k = 1 -> n = 2 (F_2 = 1 <= 1 < F_3 = 2); k = 8 -> n = 6 (F_6 = 8).
+        assert_eq!(problem.spec.tests[0].expected.output.as_deref(), Some("2\n"));
+        assert_eq!(problem.spec.tests[3].expected.output.as_deref(), Some("6\n"));
+    }
+
+    #[test]
+    fn problems_are_output_graded() {
+        for problem in all_study_problems() {
+            assert_eq!(problem.grading, GradingMode::PrintedOutput, "{}", problem.name);
+            assert!(problem.seeds.len() >= 2);
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Semantics-preserving variation of correct seed solutions.
+//!
+//! The MOOC dataset of the paper contains thousands of correct solutions;
+//! most differ only superficially (variable names, `x == []` vs
+//! `len(x) == 0`, `append` vs `+=`, ...). This module synthesises such
+//! variation from the hand-written seeds: it renames variables and applies
+//! small semantics-preserving rewrites, then *verifies* the result against
+//! the problem specification (anything that no longer passes is discarded).
+//! This reproduces the property the clustering algorithm relies on: few
+//! behavioural strategies, many syntactic spellings per strategy.
+
+use clara_lang::ast::{BinOp, Expr, SourceProgram, Stmt, Target};
+use clara_lang::program_to_string;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::problem::Problem;
+
+/// Alternative names used when renaming user variables.
+const NAME_POOL: &[&str] = &[
+    "result", "res", "out", "output", "ans", "answer", "acc", "total", "deriv", "values", "lst",
+    "data", "tmp", "current", "aggr", "final", "ret", "collected",
+];
+
+/// Alternative names for index-like variables.
+const INDEX_POOL: &[&str] = &["i", "j", "k", "idx", "index", "pos", "n", "count", "step", "e", "it"];
+
+/// Renames the user variables (including parameters) of a program using the
+/// name pools; the mapping is chosen with `rng` but is always injective.
+pub fn rename_variables<R: Rng>(program: &SourceProgram, rng: &mut R) -> SourceProgram {
+    let vars = user_variables(program);
+    let mut mapping = std::collections::HashMap::new();
+    let mut taken: Vec<String> = vars.clone();
+    for var in &vars {
+        // Roughly half of the variables keep their name, the rest are renamed.
+        if rng.gen_bool(0.5) {
+            continue;
+        }
+        let pool: &[&str] = if var.len() <= 2 { INDEX_POOL } else { NAME_POOL };
+        let candidates: Vec<&&str> = pool.iter().filter(|c| !taken.iter().any(|t| t == **c)).collect();
+        if let Some(new_name) = candidates.choose(rng) {
+            mapping.insert(var.clone(), (***new_name).to_owned());
+            taken.push((***new_name).to_owned());
+        }
+    }
+    rename_with(program, &mapping)
+}
+
+/// Applies an explicit variable renaming to a whole program.
+pub fn rename_with(
+    program: &SourceProgram,
+    mapping: &std::collections::HashMap<String, String>,
+) -> SourceProgram {
+    let mut result = program.clone();
+    for function in &mut result.functions {
+        for param in &mut function.params {
+            if let Some(new_name) = mapping.get(param) {
+                *param = new_name.clone();
+            }
+        }
+        rename_stmts(&mut function.body, mapping);
+    }
+    result
+}
+
+fn rename_stmts(stmts: &mut [Stmt], mapping: &std::collections::HashMap<String, String>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { target, value, .. } => {
+                match target {
+                    Target::Name(name) => {
+                        if let Some(new_name) = mapping.get(name) {
+                            *name = new_name.clone();
+                        }
+                    }
+                    Target::Index(name, index) => {
+                        if let Some(new_name) = mapping.get(name) {
+                            *name = new_name.clone();
+                        }
+                        *index = index.rename(mapping);
+                    }
+                }
+                *value = value.rename(mapping);
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                *cond = cond.rename(mapping);
+                rename_stmts(then_body, mapping);
+                rename_stmts(else_body, mapping);
+            }
+            Stmt::While { cond, body, .. } => {
+                *cond = cond.rename(mapping);
+                rename_stmts(body, mapping);
+            }
+            Stmt::For { var, iter, body, .. } => {
+                if let Some(new_name) = mapping.get(var) {
+                    *var = new_name.clone();
+                }
+                *iter = iter.rename(mapping);
+                rename_stmts(body, mapping);
+            }
+            Stmt::Return { value: Some(value), .. } => *value = value.rename(mapping),
+            Stmt::Print { args, .. } => {
+                for arg in args {
+                    *arg = arg.rename(mapping);
+                }
+            }
+            Stmt::ExprStmt { expr, .. } => *expr = expr.rename(mapping),
+            _ => {}
+        }
+    }
+}
+
+fn user_variables(program: &SourceProgram) -> Vec<String> {
+    let mut vars = Vec::new();
+    let mut push = |name: &str, vars: &mut Vec<String>| {
+        if !vars.iter().any(|v| v == name) {
+            vars.push(name.to_owned());
+        }
+    };
+    fn walk(stmts: &[Stmt], push: &mut dyn FnMut(&str, &mut Vec<String>), vars: &mut Vec<String>) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign { target, value, .. } => {
+                    push(target.base_name(), vars);
+                    for v in value.variables() {
+                        push(&v, vars);
+                    }
+                }
+                Stmt::If { cond, then_body, else_body, .. } => {
+                    for v in cond.variables() {
+                        push(&v, vars);
+                    }
+                    walk(then_body, push, vars);
+                    walk(else_body, push, vars);
+                }
+                Stmt::While { cond, body, .. } => {
+                    for v in cond.variables() {
+                        push(&v, vars);
+                    }
+                    walk(body, push, vars);
+                }
+                Stmt::For { var, iter, body, .. } => {
+                    push(var, vars);
+                    for v in iter.variables() {
+                        push(&v, vars);
+                    }
+                    walk(body, push, vars);
+                }
+                Stmt::Return { value: Some(value), .. } => {
+                    for v in value.variables() {
+                        push(&v, vars);
+                    }
+                }
+                Stmt::Print { args, .. } => {
+                    for arg in args {
+                        for v in arg.variables() {
+                            push(&v, vars);
+                        }
+                    }
+                }
+                Stmt::ExprStmt { expr, .. } => {
+                    for v in expr.variables() {
+                        push(&v, vars);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for function in &program.functions {
+        for param in &function.params {
+            push(param, &mut vars);
+        }
+        walk(&function.body, &mut push, &mut vars);
+    }
+    vars
+}
+
+/// Applies up to `count` randomly chosen semantics-preserving rewrites.
+pub fn tweak_expressions<R: Rng>(program: &SourceProgram, count: usize, rng: &mut R) -> SourceProgram {
+    let mut result = program.clone();
+    for _ in 0..count {
+        let choice = rng.gen_range(0..6u32);
+        for function in &mut result.functions {
+            tweak_stmts(&mut function.body, choice, rng);
+        }
+    }
+    result
+}
+
+fn tweak_stmts<R: Rng>(stmts: &mut Vec<Stmt>, choice: u32, rng: &mut R) {
+    for stmt in stmts.iter_mut() {
+        match stmt {
+            Stmt::Assign { value, op, target, .. } => {
+                *value = tweak_expr(value, choice);
+                // `x = x + e`  <->  `x += e`.
+                if choice == 4 && op.is_none() && rng.gen_bool(0.7) {
+                    if let (Target::Name(name), Expr::Binary(BinOp::Add, lhs, rhs)) = (&*target, value.clone()) {
+                        if *lhs == Expr::var(name.clone()) {
+                            *op = Some(BinOp::Add);
+                            *value = rhs.as_ref().clone();
+                        }
+                    }
+                } else if choice == 5 {
+                    if let (Target::Name(name), Some(BinOp::Add)) = (&*target, &op) {
+                        // `x += e` -> `x = x + e`.
+                        *value = Expr::bin(BinOp::Add, Expr::var(name.clone()), value.clone());
+                        *op = None;
+                    }
+                }
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                *cond = tweak_expr(cond, choice);
+                tweak_stmts(then_body, choice, rng);
+                tweak_stmts(else_body, choice, rng);
+            }
+            Stmt::While { cond, body, .. } => {
+                *cond = tweak_expr(cond, choice);
+                tweak_stmts(body, choice, rng);
+            }
+            Stmt::For { iter, body, .. } => {
+                *iter = tweak_expr(iter, choice);
+                tweak_stmts(body, choice, rng);
+            }
+            Stmt::Return { value: Some(value), .. } => *value = tweak_expr(value, choice),
+            Stmt::Print { args, .. } => {
+                for arg in args {
+                    *arg = tweak_expr(arg, choice);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Statement-level rewrite: `xs.append(e)` <-> `xs += [e]`.
+    if choice == 3 {
+        for stmt in stmts.iter_mut() {
+            if let Stmt::ExprStmt { expr: Expr::Method(recv, method, args), line } = stmt {
+                if method == "append" && args.len() == 1 {
+                    if let Expr::Var(name) = recv.as_ref() {
+                        *stmt = Stmt::Assign {
+                            target: Target::Name(name.clone()),
+                            op: Some(BinOp::Add),
+                            value: Expr::List(vec![args[0].clone()]),
+                            line: *line,
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn tweak_expr(expr: &Expr, choice: u32) -> Expr {
+    let rewritten = match (choice, expr) {
+        // `x == []` <-> `len(x) == 0`.
+        (0, Expr::Binary(BinOp::Eq, lhs, rhs)) if **rhs == Expr::List(vec![]) => {
+            Some(Expr::bin(BinOp::Eq, Expr::call("len", vec![(**lhs).clone()]), Expr::int(0)))
+        }
+        (0, Expr::Binary(BinOp::Eq, lhs, rhs))
+            if **rhs == Expr::int(0) && matches!(&**lhs, Expr::Call(name, _) if name == "len") =>
+        {
+            if let Expr::Call(_, args) = &**lhs {
+                Some(Expr::bin(BinOp::Eq, args[0].clone(), Expr::List(vec![])))
+            } else {
+                None
+            }
+        }
+        // `float(a * b)` <-> `1.0 * a * b`.
+        (1, Expr::Call(name, args)) if name == "float" && args.len() == 1 => Some(Expr::bin(
+            BinOp::Mul,
+            Expr::float(1.0),
+            args[0].clone(),
+        )),
+        // `range` <-> `xrange`.
+        (2, Expr::Call(name, args)) if name == "range" => Some(Expr::Call("xrange".to_owned(), args.clone())),
+        (2, Expr::Call(name, args)) if name == "xrange" => Some(Expr::Call("range".to_owned(), args.clone())),
+        _ => None,
+    };
+    match rewritten {
+        Some(new) => new,
+        None => rebuild_children(expr, choice),
+    }
+}
+
+fn rebuild_children(expr: &Expr, choice: u32) -> Expr {
+    match expr {
+        Expr::Lit(_) | Expr::Var(_) => expr.clone(),
+        Expr::List(items) => Expr::List(items.iter().map(|e| tweak_expr(e, choice)).collect()),
+        Expr::Tuple(items) => Expr::Tuple(items.iter().map(|e| tweak_expr(e, choice)).collect()),
+        Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(tweak_expr(inner, choice))),
+        Expr::Binary(op, lhs, rhs) => {
+            Expr::Binary(*op, Box::new(tweak_expr(lhs, choice)), Box::new(tweak_expr(rhs, choice)))
+        }
+        Expr::Index(base, idx) => {
+            Expr::Index(Box::new(tweak_expr(base, choice)), Box::new(tweak_expr(idx, choice)))
+        }
+        Expr::Slice(base, lo, hi) => Expr::Slice(
+            Box::new(tweak_expr(base, choice)),
+            lo.as_ref().map(|e| Box::new(tweak_expr(e, choice))),
+            hi.as_ref().map(|e| Box::new(tweak_expr(e, choice))),
+        ),
+        Expr::Call(name, args) => {
+            Expr::Call(name.clone(), args.iter().map(|e| tweak_expr(e, choice)).collect())
+        }
+        Expr::Method(recv, name, args) => Expr::Method(
+            Box::new(tweak_expr(recv, choice)),
+            name.clone(),
+            args.iter().map(|e| tweak_expr(e, choice)).collect(),
+        ),
+    }
+}
+
+/// Produces a correct variant of a seed solution: rename + tweaks, verified
+/// against the problem specification. Falls back to the renamed-only (and
+/// ultimately to the original) version when a tweak broke correctness.
+pub fn vary_seed<R: Rng>(problem: &Problem, seed_source: &str, rng: &mut R) -> String {
+    let parsed = problem.parse(seed_source);
+    let renamed = rename_variables(&parsed, rng);
+    let tweak_count = rng.gen_range(0..3usize);
+    let tweaked = tweak_expressions(&renamed, tweak_count, rng);
+
+    let tweaked_text = program_to_string(&tweaked);
+    if problem.grade_source(&tweaked_text) == Some(true) {
+        return tweaked_text;
+    }
+    let renamed_text = program_to_string(&renamed);
+    if problem.grade_source(&renamed_text) == Some(true) {
+        return renamed_text;
+    }
+    seed_source.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mooc::derivatives;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn variants_remain_correct() {
+        let problem = derivatives();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for seed in &problem.seeds {
+            for _ in 0..5 {
+                let variant = vary_seed(&problem, seed, &mut rng);
+                assert_eq!(problem.grade_source(&variant), Some(true), "broken variant:\n{variant}");
+            }
+        }
+    }
+
+    #[test]
+    fn renaming_is_semantics_preserving() {
+        let problem = derivatives();
+        let parsed = problem.parse(problem.reference);
+        let mut mapping = std::collections::HashMap::new();
+        mapping.insert("result".to_owned(), "deriv".to_owned());
+        mapping.insert("e".to_owned(), "idx".to_owned());
+        let renamed = rename_with(&parsed, &mapping);
+        let text = program_to_string(&renamed);
+        assert!(text.contains("deriv"));
+        assert!(!text.contains("result"));
+        assert_eq!(problem.grade_source(&text), Some(true));
+    }
+
+    #[test]
+    fn variation_produces_syntactic_diversity() {
+        let problem = derivatives();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let variants: std::collections::HashSet<String> =
+            (0..20).map(|_| vary_seed(&problem, problem.reference, &mut rng)).collect();
+        assert!(variants.len() >= 5, "only {} distinct variants", variants.len());
+    }
+}

@@ -1,0 +1,536 @@
+//! Abstract syntax trees of MiniPy programs.
+//!
+//! The same [`Expr`] type is used for source-level expressions and for the
+//! expressions of the Clara program model (`clara-model`): the model simply
+//! introduces calls to a few extra builtins (`ite`, `head`, `tail`, `store`,
+//! `concat`) and special variable names that cannot appear in source programs.
+
+use std::fmt;
+
+/// A literal constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    /// Integer literal.
+    Int(i64),
+    /// Floating point literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// The `None` literal.
+    None,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical negation `not e`.
+    Not,
+}
+
+/// A binary operator. Comparison and boolean operators are included so that
+/// every operator application is a plain binary node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `//`
+    FloorDiv,
+    /// `%`
+    Mod,
+    /// `**`
+    Pow,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and` (short-circuit, returns an operand as in Python)
+    And,
+    /// `or` (short-circuit, returns an operand as in Python)
+    Or,
+}
+
+impl BinOp {
+    /// The surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::FloorDiv => "//",
+            BinOp::Mod => "%",
+            BinOp::Pow => "**",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
+
+    /// Returns `true` for the comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A MiniPy expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Lit(Lit),
+    /// A variable reference.
+    Var(String),
+    /// A list display `[e1, e2, ...]`.
+    List(Vec<Expr>),
+    /// A tuple display `(e1, e2, ...)`.
+    Tuple(Vec<Expr>),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// A binary operation (including comparisons and `and`/`or`).
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Indexing `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Slicing `base[lo:hi]`.
+    Slice(Box<Expr>, Option<Box<Expr>>, Option<Box<Expr>>),
+    /// A call of a (builtin) function by name.
+    Call(String, Vec<Expr>),
+    /// A method call `receiver.method(args)`.
+    Method(Box<Expr>, String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Lit(Lit::Int(v))
+    }
+
+    /// Convenience constructor for a float literal.
+    pub fn float(v: f64) -> Expr {
+        Expr::Lit(Lit::Float(v))
+    }
+
+    /// Convenience constructor for a string literal.
+    pub fn str(v: impl Into<String>) -> Expr {
+        Expr::Lit(Lit::Str(v.into()))
+    }
+
+    /// Convenience constructor for a boolean literal.
+    pub fn bool(v: bool) -> Expr {
+        Expr::Lit(Lit::Bool(v))
+    }
+
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for a call.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call(name.into(), args)
+    }
+
+    /// Convenience constructor for the model's conditional expression
+    /// `ite(cond, then, else)`.
+    pub fn ite(cond: Expr, then: Expr, otherwise: Expr) -> Expr {
+        Expr::Call("ite".to_owned(), vec![cond, then, otherwise])
+    }
+
+    /// The set of variables read by the expression (Definition 4.2),
+    /// in first-occurrence order and without duplicates.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Var(name) => {
+                if !out.iter().any(|v| v == name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::List(items) | Expr::Tuple(items) => {
+                for item in items {
+                    item.collect_variables(out);
+                }
+            }
+            Expr::Unary(_, inner) => inner.collect_variables(out),
+            Expr::Binary(_, lhs, rhs) => {
+                lhs.collect_variables(out);
+                rhs.collect_variables(out);
+            }
+            Expr::Index(base, idx) => {
+                base.collect_variables(out);
+                idx.collect_variables(out);
+            }
+            Expr::Slice(base, lo, hi) => {
+                base.collect_variables(out);
+                if let Some(lo) = lo {
+                    lo.collect_variables(out);
+                }
+                if let Some(hi) = hi {
+                    hi.collect_variables(out);
+                }
+            }
+            Expr::Call(_, args) => {
+                for arg in args {
+                    arg.collect_variables(out);
+                }
+            }
+            Expr::Method(recv, _, args) => {
+                recv.collect_variables(out);
+                for arg in args {
+                    arg.collect_variables(out);
+                }
+            }
+        }
+    }
+
+    /// Substitutes variables according to `subst` (Definition 4.3).
+    ///
+    /// Variables not present in the map are left untouched.
+    pub fn substitute(&self, subst: &dyn Fn(&str) -> Option<Expr>) -> Expr {
+        match self {
+            Expr::Lit(_) => self.clone(),
+            Expr::Var(name) => subst(name).unwrap_or_else(|| self.clone()),
+            Expr::List(items) => Expr::List(items.iter().map(|e| e.substitute(subst)).collect()),
+            Expr::Tuple(items) => Expr::Tuple(items.iter().map(|e| e.substitute(subst)).collect()),
+            Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(inner.substitute(subst))),
+            Expr::Binary(op, lhs, rhs) => {
+                Expr::Binary(*op, Box::new(lhs.substitute(subst)), Box::new(rhs.substitute(subst)))
+            }
+            Expr::Index(base, idx) => {
+                Expr::Index(Box::new(base.substitute(subst)), Box::new(idx.substitute(subst)))
+            }
+            Expr::Slice(base, lo, hi) => Expr::Slice(
+                Box::new(base.substitute(subst)),
+                lo.as_ref().map(|e| Box::new(e.substitute(subst))),
+                hi.as_ref().map(|e| Box::new(e.substitute(subst))),
+            ),
+            Expr::Call(name, args) => {
+                Expr::Call(name.clone(), args.iter().map(|e| e.substitute(subst)).collect())
+            }
+            Expr::Method(recv, name, args) => Expr::Method(
+                Box::new(recv.substitute(subst)),
+                name.clone(),
+                args.iter().map(|e| e.substitute(subst)).collect(),
+            ),
+        }
+    }
+
+    /// Renames variables according to a name-to-name map; names missing from
+    /// the map are kept.
+    pub fn rename(&self, map: &std::collections::HashMap<String, String>) -> Expr {
+        self.substitute(&|name| map.get(name).map(|new| Expr::Var(new.clone())))
+    }
+
+    /// The number of AST nodes in the expression (used for relative repair
+    /// size and as a crude complexity measure).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => 1,
+            Expr::List(items) | Expr::Tuple(items) => 1 + items.iter().map(Expr::size).sum::<usize>(),
+            Expr::Unary(_, inner) => 1 + inner.size(),
+            Expr::Binary(_, lhs, rhs) => 1 + lhs.size() + rhs.size(),
+            Expr::Index(base, idx) => 1 + base.size() + idx.size(),
+            Expr::Slice(base, lo, hi) => {
+                1 + base.size()
+                    + lo.as_ref().map(|e| e.size()).unwrap_or(0)
+                    + hi.as_ref().map(|e| e.size()).unwrap_or(0)
+            }
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::Method(recv, _, args) => {
+                1 + recv.size() + args.iter().map(Expr::size).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// The target of an assignment statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// Assignment to a variable, `x = e`.
+    Name(String),
+    /// Assignment to an index of a variable, `x[i] = e`.
+    Index(String, Expr),
+}
+
+impl Target {
+    /// The variable being (partially) assigned.
+    pub fn base_name(&self) -> &str {
+        match self {
+            Target::Name(name) | Target::Index(name, _) => name,
+        }
+    }
+}
+
+/// A MiniPy statement. Every statement carries the 1-based source line it
+/// starts on so that generated feedback can point at concrete locations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `target = value`, or an augmented assignment when `op` is `Some`.
+    Assign {
+        /// Assignment target.
+        target: Target,
+        /// Augmented-assignment operator (`+=`, `-=`, ...), if any.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `if cond: ... else: ...` (an `elif` chain is nested in `else_body`).
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Statements of the then branch.
+        then_body: Vec<Stmt>,
+        /// Statements of the else branch (possibly empty).
+        else_body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `while cond: ...`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `for var in iter: ...`
+    For {
+        /// Loop variable.
+        var: String,
+        /// Iterated expression.
+        iter: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `return [value]`
+    Return {
+        /// Returned expression, `None` literal if omitted.
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `print(a, b, ...)` — appends to the program's output.
+    Print {
+        /// Printed expressions.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// A bare expression statement (typically a method call such as
+    /// `xs.append(e)`).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `pass`
+    Pass {
+        /// Source line.
+        line: u32,
+    },
+    /// `break`
+    Break {
+        /// Source line.
+        line: u32,
+    },
+    /// `continue`
+    Continue {
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Stmt {
+    /// The 1-based source line the statement starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Assign { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Print { line, .. }
+            | Stmt::ExprStmt { line, .. }
+            | Stmt::Pass { line }
+            | Stmt::Break { line }
+            | Stmt::Continue { line } => *line,
+        }
+    }
+
+    /// Returns `true` if the statement contains a loop anywhere inside it.
+    pub fn contains_loop(&self) -> bool {
+        match self {
+            Stmt::While { .. } | Stmt::For { .. } => true,
+            Stmt::If { then_body, else_body, .. } => {
+                then_body.iter().any(Stmt::contains_loop) || else_body.iter().any(Stmt::contains_loop)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Function body.
+    pub body: Vec<Stmt>,
+    /// Source line of the `def`.
+    pub line: u32,
+}
+
+/// A parsed MiniPy source file: a sequence of function definitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceProgram {
+    /// The function definitions, in source order.
+    pub functions: Vec<Function>,
+}
+
+impl SourceProgram {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Number of statements in the whole program (a rough LOC measure that
+    /// ignores blank lines and formatting).
+    pub fn statement_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If { then_body, else_body, .. } => 1 + count(then_body) + count(else_body),
+                    Stmt::While { body, .. } | Stmt::For { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        self.functions.iter().map(|f| 1 + count(&f.body)).sum()
+    }
+
+    /// Total number of expression AST nodes in the program, the "AST size"
+    /// column of Table 1.
+    pub fn ast_size(&self) -> usize {
+        fn expr_sizes(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Assign { value, target, .. } => {
+                        value.size()
+                            + 1
+                            + match target {
+                                Target::Index(_, idx) => idx.size(),
+                                Target::Name(_) => 0,
+                            }
+                    }
+                    Stmt::If { cond, then_body, else_body, .. } => {
+                        cond.size() + 1 + expr_sizes(then_body) + expr_sizes(else_body)
+                    }
+                    Stmt::While { cond, body, .. } => cond.size() + 1 + expr_sizes(body),
+                    Stmt::For { iter, body, .. } => iter.size() + 2 + expr_sizes(body),
+                    Stmt::Return { value, .. } => 1 + value.as_ref().map(Expr::size).unwrap_or(0),
+                    Stmt::Print { args, .. } => 1 + args.iter().map(Expr::size).sum::<usize>(),
+                    Stmt::ExprStmt { expr, .. } => expr.size(),
+                    Stmt::Pass { .. } | Stmt::Break { .. } | Stmt::Continue { .. } => 1,
+                })
+                .sum()
+        }
+        self.functions.iter().map(|f| 1 + expr_sizes(&f.body)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn variables_are_deduplicated_in_order() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::var("x"), Expr::var("y")),
+            Expr::var("x"),
+        );
+        assert_eq!(e.variables(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn rename_replaces_only_mapped_names() {
+        let e = Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b"));
+        let mut map = HashMap::new();
+        map.insert("a".to_string(), "z".to_string());
+        let renamed = e.rename(&map);
+        assert_eq!(renamed, Expr::bin(BinOp::Add, Expr::var("z"), Expr::var("b")));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = Expr::call("append", vec![Expr::var("xs"), Expr::bin(BinOp::Mul, Expr::var("i"), Expr::int(2))]);
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn contains_loop_descends_into_branches() {
+        let inner = Stmt::For {
+            var: "i".into(),
+            iter: Expr::call("range", vec![Expr::int(3)]),
+            body: vec![Stmt::Pass { line: 3 }],
+            line: 2,
+        };
+        let stmt = Stmt::If {
+            cond: Expr::bool(true),
+            then_body: vec![inner],
+            else_body: vec![],
+            line: 1,
+        };
+        assert!(stmt.contains_loop());
+        assert!(!Stmt::Pass { line: 1 }.contains_loop());
+    }
+}

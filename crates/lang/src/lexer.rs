@@ -1,0 +1,472 @@
+//! Indentation-aware lexer for MiniPy source code.
+//!
+//! The lexer follows the usual Python layout rules: physical lines are turned
+//! into logical lines terminated by [`TokenKind::Newline`], and changes of
+//! leading whitespace emit [`TokenKind::Indent`] / [`TokenKind::Dedent`]
+//! tokens. Blank lines and comment-only lines are ignored. Newlines inside
+//! parentheses or brackets are ignored as well, so multi-line expressions work.
+
+use crate::error::ParseError;
+use crate::token::{Token, TokenKind};
+
+/// Tokenises MiniPy `source` into a vector of tokens terminated by
+/// [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed numbers, unterminated strings,
+/// inconsistent indentation or unexpected characters.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'src> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    indents: Vec<usize>,
+    paren_depth: usize,
+    _source: &'src str,
+}
+
+impl<'src> Lexer<'src> {
+    fn new(source: &'src str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+            indents: vec![0],
+            paren_depth: 0,
+            _source: source,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        self.tokens.push(Token::new(kind, self.line));
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        loop {
+            // At the start of a logical line: measure indentation.
+            if self.paren_depth == 0 {
+                let indent = self.measure_indentation();
+                if self.peek().is_none() {
+                    break;
+                }
+                self.handle_indentation(indent)?;
+            }
+            // Lex the rest of the line.
+            self.lex_line()?;
+            if self.peek().is_none() {
+                break;
+            }
+        }
+        // Close any open blocks.
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.push(TokenKind::Dedent);
+        }
+        self.push(TokenKind::Eof);
+        Ok(self.tokens)
+    }
+
+    /// Skips blank lines and comment lines, returning the indentation (in
+    /// columns, tabs counted as 4) of the first non-blank line.
+    fn measure_indentation(&mut self) -> usize {
+        loop {
+            let mut width = 0usize;
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                match c {
+                    ' ' => {
+                        width += 1;
+                        self.pos += 1;
+                    }
+                    '\t' => {
+                        width += 4;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                Some('\n') => {
+                    self.pos += 1;
+                    self.line += 1;
+                    continue;
+                }
+                Some('\r') => {
+                    self.pos += 1;
+                    continue;
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    continue;
+                }
+                None => {
+                    let _ = start;
+                    return width;
+                }
+                _ => return width,
+            }
+        }
+    }
+
+    fn handle_indentation(&mut self, indent: usize) -> Result<(), ParseError> {
+        let current = *self.indents.last().expect("indent stack is never empty");
+        if indent > current {
+            self.indents.push(indent);
+            self.push(TokenKind::Indent);
+        } else if indent < current {
+            while indent < *self.indents.last().expect("indent stack is never empty") {
+                self.indents.pop();
+                self.push(TokenKind::Dedent);
+            }
+            if indent != *self.indents.last().expect("indent stack is never empty") {
+                return Err(ParseError::new(self.line, "inconsistent indentation"));
+            }
+        }
+        Ok(())
+    }
+
+    fn lex_line(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                None => return Ok(()),
+                Some('\n') => {
+                    self.pos += 1;
+                    if self.paren_depth == 0 {
+                        self.push(TokenKind::Newline);
+                        self.line += 1;
+                        return Ok(());
+                    }
+                    self.line += 1;
+                }
+                Some('\r') => {
+                    self.pos += 1;
+                }
+                Some(' ') | Some('\t') => {
+                    self.pos += 1;
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(c) if c.is_ascii_digit() => self.lex_number()?,
+                Some('.') if self.peek_at(1).map(|c| c.is_ascii_digit()).unwrap_or(false) => {
+                    self.lex_number()?
+                }
+                Some(c) if c.is_alphabetic() || c == '_' => self.lex_name(),
+                Some('"') | Some('\'') => self.lex_string()?,
+                Some(_) => self.lex_operator()?,
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<(), ParseError> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.pos += 1;
+            } else if c == '.' && !is_float && self.peek_at(1).map(|n| n != '.').unwrap_or(true) {
+                is_float = true;
+                self.pos += 1;
+            } else if (c == 'e' || c == 'E')
+                && self
+                    .peek_at(1)
+                    .map(|n| n.is_ascii_digit() || n == '+' || n == '-')
+                    .unwrap_or(false)
+            {
+                is_float = true;
+                self.pos += 2;
+                while self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                    self.pos += 1;
+                }
+                break;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if is_float {
+            let value: f64 = text
+                .parse()
+                .map_err(|_| ParseError::new(self.line, format!("invalid float literal `{text}`")))?;
+            self.push(TokenKind::Float(value));
+        } else {
+            let value: i64 = text
+                .parse()
+                .map_err(|_| ParseError::new(self.line, format!("invalid integer literal `{text}`")))?;
+            self.push(TokenKind::Int(value));
+        }
+        Ok(())
+    }
+
+    fn lex_name(&mut self) {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        match TokenKind::keyword(&text) {
+            Some(kw) => self.push(kw),
+            None => self.push(TokenKind::Name(text)),
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<(), ParseError> {
+        let quote = self.bump().expect("caller checked a quote is present");
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => {
+                    return Err(ParseError::new(self.line, "unterminated string literal"))
+                }
+                Some('\\') => match self.bump() {
+                    Some('n') => value.push('\n'),
+                    Some('t') => value.push('\t'),
+                    Some('\\') => value.push('\\'),
+                    Some('\'') => value.push('\''),
+                    Some('"') => value.push('"'),
+                    Some(other) => {
+                        value.push('\\');
+                        value.push(other);
+                    }
+                    None => return Err(ParseError::new(self.line, "unterminated string literal")),
+                },
+                Some(c) if c == quote => break,
+                Some(c) => value.push(c),
+            }
+        }
+        self.push(TokenKind::Str(value));
+        Ok(())
+    }
+
+    fn lex_operator(&mut self) -> Result<(), ParseError> {
+        let c = self.bump().expect("caller checked a character is present");
+        let next = self.peek();
+        let kind = match (c, next) {
+            ('*', Some('*')) => {
+                self.pos += 1;
+                TokenKind::DoubleStar
+            }
+            ('*', Some('=')) => {
+                self.pos += 1;
+                TokenKind::StarAssign
+            }
+            ('*', _) => TokenKind::Star,
+            ('/', Some('/')) => {
+                self.pos += 1;
+                TokenKind::DoubleSlash
+            }
+            ('/', Some('=')) => {
+                self.pos += 1;
+                TokenKind::SlashAssign
+            }
+            ('/', _) => TokenKind::Slash,
+            ('+', Some('=')) => {
+                self.pos += 1;
+                TokenKind::PlusAssign
+            }
+            ('+', _) => TokenKind::Plus,
+            ('-', Some('=')) => {
+                self.pos += 1;
+                TokenKind::MinusAssign
+            }
+            ('-', _) => TokenKind::Minus,
+            ('%', Some('=')) => {
+                self.pos += 1;
+                TokenKind::PercentAssign
+            }
+            ('%', _) => TokenKind::Percent,
+            ('=', Some('=')) => {
+                self.pos += 1;
+                TokenKind::EqEq
+            }
+            ('=', _) => TokenKind::Assign,
+            ('!', Some('=')) => {
+                self.pos += 1;
+                TokenKind::NotEq
+            }
+            ('<', Some('=')) => {
+                self.pos += 1;
+                TokenKind::Le
+            }
+            ('<', Some('>')) => {
+                self.pos += 1;
+                TokenKind::NotEq
+            }
+            ('<', _) => TokenKind::Lt,
+            ('>', Some('=')) => {
+                self.pos += 1;
+                TokenKind::Ge
+            }
+            ('>', _) => TokenKind::Gt,
+            ('(', _) => {
+                self.paren_depth += 1;
+                TokenKind::LParen
+            }
+            (')', _) => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                TokenKind::RParen
+            }
+            ('[', _) => {
+                self.paren_depth += 1;
+                TokenKind::LBracket
+            }
+            (']', _) => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                TokenKind::RBracket
+            }
+            (',', _) => TokenKind::Comma,
+            (':', _) => TokenKind::Colon,
+            ('.', _) => TokenKind::Dot,
+            (other, _) => {
+                return Err(ParseError::new(
+                    self.line,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        };
+        self.push(kind);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        assert_eq!(
+            kinds("x = 1 + 2.5\n"),
+            vec![
+                T::Name("x".into()),
+                T::Assign,
+                T::Int(1),
+                T::Plus,
+                T::Float(2.5),
+                T::Newline,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_produces_indent_dedent() {
+        let toks = kinds("if x:\n    y = 1\nz = 2\n");
+        assert!(toks.contains(&T::Indent));
+        assert!(toks.contains(&T::Dedent));
+        let indent_pos = toks.iter().position(|t| *t == T::Indent).unwrap();
+        let dedent_pos = toks.iter().position(|t| *t == T::Dedent).unwrap();
+        assert!(indent_pos < dedent_pos);
+    }
+
+    #[test]
+    fn nested_blocks_close_at_eof() {
+        let toks = kinds("def f(x):\n    if x:\n        return 1\n");
+        let dedents = toks.iter().filter(|t| **t == T::Dedent).count();
+        assert_eq!(dedents, 2);
+        assert_eq!(*toks.last().unwrap(), T::Eof);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let toks = kinds("# a comment\n\nx = 1  # trailing\n\n");
+        assert_eq!(
+            toks,
+            vec![T::Name("x".into()), T::Assign, T::Int(1), T::Newline, T::Eof]
+        );
+    }
+
+    #[test]
+    fn newlines_inside_brackets_are_ignored() {
+        let toks = kinds("x = [1,\n     2]\n");
+        assert_eq!(toks.iter().filter(|t| **t == T::Newline).count(), 1);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds("s = \"a\\nb\"\n"),
+            vec![T::Name("s".into()), T::Assign, T::Str("a\nb".into()), T::Newline, T::Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_are_recognised() {
+        let toks = kinds("for i in range(3):\n    pass\n");
+        assert_eq!(toks[0], T::For);
+        assert_eq!(toks[2], T::In);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a //= 2\n")[0..2].to_vec(),
+            vec![T::Name("a".into()), T::DoubleSlash]
+        );
+        assert_eq!(
+            kinds("a ** b != c\n"),
+            vec![
+                T::Name("a".into()),
+                T::DoubleStar,
+                T::Name("b".into()),
+                T::NotEq,
+                T::Name("c".into()),
+                T::Newline,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn inconsistent_indentation_is_an_error() {
+        assert!(tokenize("if x:\n        y = 1\n    z = 2\n").is_err());
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = tokenize("x = 1\ny = 2\n").unwrap();
+        let y_tok = toks.iter().find(|t| t.kind == T::Name("y".into())).unwrap();
+        assert_eq!(y_tok.line, 2);
+    }
+}

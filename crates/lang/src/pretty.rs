@@ -1,0 +1,274 @@
+//! Pretty-printing of MiniPy expressions and statements.
+//!
+//! The printer produces Python-like surface syntax. It is used for three
+//! purposes: feedback messages ("change `range(len(poly))` to
+//! `range(1, len(poly))`"), canonical keys when de-duplicating dynamically
+//! equivalent cluster expressions, and debugging output.
+
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Expr, Function, Lit, SourceProgram, Stmt, Target, UnOp};
+
+/// Renders an expression as MiniPy source text.
+pub fn expr_to_string(expr: &Expr) -> String {
+    render_expr(expr, 0)
+}
+
+/// Renders a statement (and its nested blocks) as MiniPy source text with the
+/// given indentation depth.
+pub fn stmt_to_string(stmt: &Stmt, indent: usize) -> String {
+    let mut out = String::new();
+    render_stmt(stmt, indent, &mut out);
+    out
+}
+
+/// Renders a whole function definition as MiniPy source text.
+pub fn function_to_string(function: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "def {}({}):", function.name, function.params.join(", "));
+    if function.body.is_empty() {
+        out.push_str("    pass\n");
+    }
+    for stmt in &function.body {
+        render_stmt(stmt, 1, &mut out);
+    }
+    out
+}
+
+/// Renders a whole program as MiniPy source text.
+pub fn program_to_string(program: &SourceProgram) -> String {
+    let mut out = String::new();
+    for (i, function) in program.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&function_to_string(function));
+    }
+    out
+}
+
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div | BinOp::FloorDiv | BinOp::Mod => 5,
+        BinOp::Pow => 7,
+    }
+}
+
+fn render_expr(expr: &Expr, parent_prec: u8) -> String {
+    match expr {
+        Expr::Lit(lit) => render_lit(lit),
+        Expr::Var(name) => name.clone(),
+        Expr::List(items) => {
+            let inner: Vec<String> = items.iter().map(|e| render_expr(e, 0)).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Expr::Tuple(items) => {
+            let inner: Vec<String> = items.iter().map(|e| render_expr(e, 0)).collect();
+            if items.len() == 1 {
+                format!("({},)", inner[0])
+            } else {
+                format!("({})", inner.join(", "))
+            }
+        }
+        Expr::Unary(op, inner) => {
+            let rendered = render_expr(inner, 6);
+            match op {
+                UnOp::Neg => format!("-{rendered}"),
+                UnOp::Not => format!("not {rendered}"),
+            }
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let prec = precedence(*op);
+            let left = render_expr(lhs, prec);
+            let right = render_expr(rhs, prec + 1);
+            let text = format!("{left} {} {right}", op.symbol());
+            if prec < parent_prec {
+                format!("({text})")
+            } else {
+                text
+            }
+        }
+        Expr::Index(base, idx) => {
+            format!("{}[{}]", render_expr(base, 8), render_expr(idx, 0))
+        }
+        Expr::Slice(base, lo, hi) => {
+            let lo = lo.as_ref().map(|e| render_expr(e, 0)).unwrap_or_default();
+            let hi = hi.as_ref().map(|e| render_expr(e, 0)).unwrap_or_default();
+            format!("{}[{lo}:{hi}]", render_expr(base, 8))
+        }
+        Expr::Call(name, args) => {
+            let inner: Vec<String> = args.iter().map(|e| render_expr(e, 0)).collect();
+            format!("{name}({})", inner.join(", "))
+        }
+        Expr::Method(recv, name, args) => {
+            let inner: Vec<String> = args.iter().map(|e| render_expr(e, 0)).collect();
+            format!("{}.{name}({})", render_expr(recv, 8), inner.join(", "))
+        }
+    }
+}
+
+fn render_lit(lit: &Lit) -> String {
+    match lit {
+        Lit::Int(v) => v.to_string(),
+        Lit::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e16 {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        Lit::Str(v) => format!("'{}'", v.replace('\\', "\\\\").replace('\'', "\\'").replace('\n', "\\n")),
+        Lit::Bool(v) => if *v { "True" } else { "False" }.to_owned(),
+        Lit::None => "None".to_owned(),
+    }
+}
+
+fn render_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    match stmt {
+        Stmt::Assign { target, op, value, .. } => {
+            let target_text = match target {
+                Target::Name(name) => name.clone(),
+                Target::Index(name, idx) => format!("{name}[{}]", render_expr(idx, 0)),
+            };
+            let op_text = match op {
+                Some(op) => format!("{}=", op.symbol()),
+                None => "=".to_owned(),
+            };
+            let _ = writeln!(out, "{pad}{target_text} {op_text} {}", render_expr(value, 0));
+        }
+        Stmt::If { cond, then_body, else_body, .. } => {
+            let _ = writeln!(out, "{pad}if {}:", render_expr(cond, 0));
+            render_block(then_body, indent + 1, out);
+            if !else_body.is_empty() {
+                // Collapse `else: if ...` into `elif ...` for readability.
+                if else_body.len() == 1 {
+                    if let Stmt::If { .. } = &else_body[0] {
+                        let mut nested = String::new();
+                        render_stmt(&else_body[0], indent, &mut nested);
+                        let nested = nested.replacen(&format!("{pad}if"), &format!("{pad}elif"), 1);
+                        out.push_str(&nested);
+                        return;
+                    }
+                }
+                let _ = writeln!(out, "{pad}else:");
+                render_block(else_body, indent + 1, out);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "{pad}while {}:", render_expr(cond, 0));
+            render_block(body, indent + 1, out);
+        }
+        Stmt::For { var, iter, body, .. } => {
+            let _ = writeln!(out, "{pad}for {var} in {}:", render_expr(iter, 0));
+            render_block(body, indent + 1, out);
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(expr) => {
+                let _ = writeln!(out, "{pad}return {}", render_expr(expr, 0));
+            }
+            None => {
+                let _ = writeln!(out, "{pad}return");
+            }
+        },
+        Stmt::Print { args, .. } => {
+            let inner: Vec<String> = args.iter().map(|e| render_expr(e, 0)).collect();
+            let _ = writeln!(out, "{pad}print({})", inner.join(", "));
+        }
+        Stmt::ExprStmt { expr, .. } => {
+            let _ = writeln!(out, "{pad}{}", render_expr(expr, 0));
+        }
+        Stmt::Pass { .. } => {
+            let _ = writeln!(out, "{pad}pass");
+        }
+        Stmt::Break { .. } => {
+            let _ = writeln!(out, "{pad}break");
+        }
+        Stmt::Continue { .. } => {
+            let _ = writeln!(out, "{pad}continue");
+        }
+    }
+}
+
+fn render_block(stmts: &[Stmt], indent: usize, out: &mut String) {
+    if stmts.is_empty() {
+        let _ = writeln!(out, "{}pass", "    ".repeat(indent));
+        return;
+    }
+    for stmt in stmts {
+        render_stmt(stmt, indent, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expression, parse_program};
+
+    #[test]
+    fn expression_round_trip() {
+        for src in [
+            "result + [float(e) * poly[e]]",
+            "range(1, len(poly))",
+            "ite(result == [], [0.0], result)",
+            "not done and i < 10",
+            "-x ** 2",
+            "xs[1:]",
+            "(a, b)",
+            "'-' * (h - i)",
+        ] {
+            let expr = parse_expression(src).unwrap();
+            let printed = expr_to_string(&expr);
+            let reparsed = parse_expression(&printed).unwrap();
+            assert_eq!(expr, reparsed, "round-trip failed for `{src}` -> `{printed}`");
+        }
+    }
+
+    #[test]
+    fn program_round_trip() {
+        let src = "\
+def computeDeriv(poly):
+    result = []
+    for e in range(1, len(poly)):
+        result.append(float(poly[e] * e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+";
+        let prog = parse_program(src).unwrap();
+        let printed = program_to_string(&prog);
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn elif_is_rendered_compactly() {
+        let src = "\
+def sign(x):
+    if x > 0:
+        return 1
+    elif x == 0:
+        return 0
+    else:
+        return -1
+";
+        let prog = parse_program(src).unwrap();
+        let printed = program_to_string(&prog);
+        assert!(printed.contains("elif x == 0:"), "printed:\n{printed}");
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn parenthesisation_preserves_semantics() {
+        let expr = parse_expression("(a + b) * c").unwrap();
+        assert_eq!(expr_to_string(&expr), "(a + b) * c");
+        let expr2 = parse_expression("a + b * c").unwrap();
+        assert_eq!(expr_to_string(&expr2), "a + b * c");
+    }
+}

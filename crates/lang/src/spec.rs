@@ -1,0 +1,215 @@
+//! Assignment specifications and grading.
+//!
+//! A [`ProblemSpec`] captures what the course instructor provides for an
+//! assignment: the entry-point function name, a set of test inputs and the
+//! expected observable behaviour (return value and/or printed output) for
+//! each of them. As in the paper, a student attempt is *correct* exactly when
+//! it passes all tests (footnote 1 of the paper).
+
+use crate::ast::SourceProgram;
+use crate::error::InterpError;
+use crate::interp::{run_function, Limits};
+use crate::value::Value;
+
+/// What a test case checks.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Expected {
+    /// The expected return value, if the problem is graded on return values.
+    pub return_value: Option<Value>,
+    /// The expected printed output, if the problem is graded on output.
+    pub output: Option<String>,
+}
+
+/// A single test case: argument values plus the expected behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestCase {
+    /// Arguments passed to the entry function.
+    pub args: Vec<Value>,
+    /// Expected observable behaviour.
+    pub expected: Expected,
+}
+
+impl TestCase {
+    /// Creates a test case graded on the return value.
+    pub fn returning(args: Vec<Value>, expected: Value) -> Self {
+        TestCase {
+            args,
+            expected: Expected { return_value: Some(expected), output: None },
+        }
+    }
+
+    /// Creates a test case graded on printed output.
+    pub fn printing(args: Vec<Value>, expected: impl Into<String>) -> Self {
+        TestCase {
+            args,
+            expected: Expected { return_value: None, output: Some(expected.into()) },
+        }
+    }
+}
+
+/// An assignment specification: entry point plus test cases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProblemSpec {
+    /// Short problem identifier (e.g. `"derivatives"`).
+    pub name: String,
+    /// Name of the entry-point function students must define.
+    pub entry: String,
+    /// The grading test suite.
+    pub tests: Vec<TestCase>,
+    /// Interpreter limits used while grading.
+    pub limits: Limits,
+}
+
+impl ProblemSpec {
+    /// Creates a specification with default execution limits.
+    pub fn new(name: impl Into<String>, entry: impl Into<String>, tests: Vec<TestCase>) -> Self {
+        ProblemSpec {
+            name: name.into(),
+            entry: entry.into(),
+            tests,
+            limits: Limits::default(),
+        }
+    }
+
+    /// The test inputs, i.e. the set `I` of the paper over which dynamic
+    /// equivalence is computed.
+    pub fn inputs(&self) -> Vec<Vec<Value>> {
+        self.tests.iter().map(|t| t.args.clone()).collect()
+    }
+
+    /// Grades `program` against every test case.
+    pub fn grade(&self, program: &SourceProgram) -> GradeReport {
+        let mut results = Vec::with_capacity(self.tests.len());
+        for test in &self.tests {
+            let outcome = run_function(program, &self.entry, &test.args, self.limits);
+            let passed = match &outcome {
+                Ok(execution) => {
+                    let return_ok = test
+                        .expected
+                        .return_value
+                        .as_ref()
+                        .map(|want| execution.return_value.py_eq(want))
+                        .unwrap_or(true);
+                    let output_ok = test
+                        .expected
+                        .output
+                        .as_ref()
+                        .map(|want| execution.output.trim_end() == want.trim_end())
+                        .unwrap_or(true);
+                    return_ok && output_ok
+                }
+                Err(_) => false,
+            };
+            results.push(TestResult {
+                passed,
+                error: outcome.err(),
+            });
+        }
+        GradeReport { results }
+    }
+
+    /// Returns `true` if `program` passes every test case.
+    pub fn is_correct(&self, program: &SourceProgram) -> bool {
+        self.grade(program).all_passed()
+    }
+}
+
+/// The outcome of one test case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestResult {
+    /// Did the test pass?
+    pub passed: bool,
+    /// The runtime error, if the attempt crashed or timed out on this test.
+    pub error: Option<InterpError>,
+}
+
+/// The outcome of grading a program against a [`ProblemSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradeReport {
+    /// Per-test outcomes, in the order of [`ProblemSpec::tests`].
+    pub results: Vec<TestResult>,
+}
+
+impl GradeReport {
+    /// `true` if every test passed.
+    pub fn all_passed(&self) -> bool {
+        self.results.iter().all(|r| r.passed)
+    }
+
+    /// Number of passed tests.
+    pub fn passed_count(&self) -> usize {
+        self.results.iter().filter(|r| r.passed).count()
+    }
+
+    /// Index of the first failing test, if any.
+    pub fn first_failure(&self) -> Option<usize> {
+        self.results.iter().position(|r| !r.passed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn derivatives_spec() -> ProblemSpec {
+        let poly = |xs: &[f64]| Value::List(xs.iter().map(|x| Value::Float(*x)).collect());
+        ProblemSpec::new(
+            "derivatives",
+            "computeDeriv",
+            vec![
+                TestCase::returning(vec![poly(&[6.3, 7.6, 12.14])], poly(&[7.6, 24.28])),
+                TestCase::returning(vec![poly(&[3.0])], poly(&[0.0])),
+                TestCase::returning(vec![poly(&[1.0, 2.0, 3.0, 4.0])], poly(&[2.0, 6.0, 12.0])),
+            ],
+        )
+    }
+
+    #[test]
+    fn correct_attempt_passes() {
+        let c1 = parse_program(
+            "def computeDeriv(poly):\n    result = []\n    for e in range(1, len(poly)):\n        result.append(float(poly[e]*e))\n    if result == []:\n        return [0.0]\n    else:\n        return result\n",
+        )
+        .unwrap();
+        assert!(derivatives_spec().is_correct(&c1));
+    }
+
+    #[test]
+    fn incorrect_attempt_fails_with_details() {
+        let i1 = parse_program(
+            "def computeDeriv(poly):\n    new = []\n    for i in xrange(1,len(poly)):\n        new.append(float(i*poly[i]))\n    if new==[]:\n        return 0.0\n    return new\n",
+        )
+        .unwrap();
+        let report = derivatives_spec().grade(&i1);
+        assert!(!report.all_passed());
+        assert_eq!(report.passed_count(), 2);
+        assert_eq!(report.first_failure(), Some(1));
+    }
+
+    #[test]
+    fn output_based_grading() {
+        let spec = ProblemSpec::new(
+            "count_up",
+            "main",
+            vec![TestCase::printing(vec![Value::Int(2)], "1\n2\n")],
+        );
+        let good = parse_program("def main(n):\n    i = 1\n    while i <= n:\n        print(i)\n        i += 1\n").unwrap();
+        let bad = parse_program("def main(n):\n    i = 0\n    while i < n:\n        print(i)\n        i += 1\n").unwrap();
+        assert!(spec.is_correct(&good));
+        assert!(!spec.is_correct(&bad));
+    }
+
+    #[test]
+    fn crashing_attempt_is_incorrect() {
+        let spec = derivatives_spec();
+        let crash = parse_program("def computeDeriv(poly):\n    return poly[100]\n").unwrap();
+        let report = spec.grade(&crash);
+        assert!(!report.all_passed());
+        assert!(report.results[0].error.is_some());
+    }
+
+    #[test]
+    fn inputs_expose_the_test_inputs() {
+        assert_eq!(derivatives_spec().inputs().len(), 3);
+    }
+}

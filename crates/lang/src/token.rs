@@ -1,0 +1,189 @@
+//! Tokens produced by the MiniPy lexer.
+
+use std::fmt;
+
+/// A lexical token together with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// Creates a token of `kind` at `line`.
+    pub fn new(kind: TokenKind, line: u32) -> Self {
+        Token { kind, line }
+    }
+}
+
+/// The different kinds of tokens recognised by the lexer.
+///
+/// Keyword, operator and layout variants carry no payload; their meaning is
+/// given by their name (`Def` is the `def` keyword, `Le` is `<=`, ...).
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum TokenKind {
+    /// An identifier (variable or function name).
+    Name(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating point literal.
+    Float(f64),
+    /// A string literal (contents, without quotes).
+    Str(String),
+
+    // Keywords.
+    Def,
+    Return,
+    If,
+    Elif,
+    Else,
+    For,
+    While,
+    In,
+    And,
+    Or,
+    Not,
+    Print,
+    Pass,
+    Break,
+    Continue,
+    True,
+    False,
+    None,
+    Lambda,
+    Import,
+    Class,
+    Global,
+
+    // Operators and punctuation.
+    Plus,
+    Minus,
+    Star,
+    DoubleStar,
+    Slash,
+    DoubleSlash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+    Dot,
+
+    // Layout.
+    Newline,
+    Indent,
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Name(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Def => write!(f, "`def`"),
+            TokenKind::Return => write!(f, "`return`"),
+            TokenKind::If => write!(f, "`if`"),
+            TokenKind::Elif => write!(f, "`elif`"),
+            TokenKind::Else => write!(f, "`else`"),
+            TokenKind::For => write!(f, "`for`"),
+            TokenKind::While => write!(f, "`while`"),
+            TokenKind::In => write!(f, "`in`"),
+            TokenKind::And => write!(f, "`and`"),
+            TokenKind::Or => write!(f, "`or`"),
+            TokenKind::Not => write!(f, "`not`"),
+            TokenKind::Print => write!(f, "`print`"),
+            TokenKind::Pass => write!(f, "`pass`"),
+            TokenKind::Break => write!(f, "`break`"),
+            TokenKind::Continue => write!(f, "`continue`"),
+            TokenKind::True => write!(f, "`True`"),
+            TokenKind::False => write!(f, "`False`"),
+            TokenKind::None => write!(f, "`None`"),
+            TokenKind::Lambda => write!(f, "`lambda`"),
+            TokenKind::Import => write!(f, "`import`"),
+            TokenKind::Class => write!(f, "`class`"),
+            TokenKind::Global => write!(f, "`global`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::DoubleStar => write!(f, "`**`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::DoubleSlash => write!(f, "`//`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::PlusAssign => write!(f, "`+=`"),
+            TokenKind::MinusAssign => write!(f, "`-=`"),
+            TokenKind::StarAssign => write!(f, "`*=`"),
+            TokenKind::SlashAssign => write!(f, "`/=`"),
+            TokenKind::PercentAssign => write!(f, "`%=`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Newline => write!(f, "newline"),
+            TokenKind::Indent => write!(f, "indent"),
+            TokenKind::Dedent => write!(f, "dedent"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+impl TokenKind {
+    /// Returns the keyword token for `word`, if it is a keyword.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "def" => TokenKind::Def,
+            "return" => TokenKind::Return,
+            "if" => TokenKind::If,
+            "elif" => TokenKind::Elif,
+            "else" => TokenKind::Else,
+            "for" => TokenKind::For,
+            "while" => TokenKind::While,
+            "in" => TokenKind::In,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "not" => TokenKind::Not,
+            "print" => TokenKind::Print,
+            "pass" => TokenKind::Pass,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "True" => TokenKind::True,
+            "False" => TokenKind::False,
+            "None" => TokenKind::None,
+            "lambda" => TokenKind::Lambda,
+            "import" => TokenKind::Import,
+            "class" => TokenKind::Class,
+            "global" => TokenKind::Global,
+            _ => return None,
+        })
+    }
+}

@@ -1,0 +1,645 @@
+//! Dynamic values of the MiniPy language (the computation domain `D` of the
+//! paper, Definition 3.3).
+//!
+//! The domain contains booleans, integers, floats, strings, lists, tuples,
+//! `None` and the undefined value `⊥` ([`Value::Undef`]). All operations
+//! follow Python-like semantics; any failing operation reports an
+//! [`EvalError`] which the program model maps to `⊥`.
+
+use std::fmt;
+
+use crate::error::{EvalError, EvalErrorKind};
+
+/// A runtime value of the MiniPy language.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit floating point number.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An immutable string.
+    Str(String),
+    /// A list of values.
+    List(Vec<Value>),
+    /// A tuple of values.
+    Tuple(Vec<Value>),
+    /// Python's `None`.
+    None,
+    /// The undefined value `⊥` of the computation domain (Definition 3.3).
+    Undef,
+}
+
+impl Value {
+    /// Returns `true` if the value is the undefined value `⊥`.
+    pub fn is_undef(&self) -> bool {
+        matches!(self, Value::Undef)
+    }
+
+    /// Returns the numeric value as `f64` if the value is numeric
+    /// (`Int`, `Float` or `Bool`).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Returns the truthiness of the value following Python rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is `⊥` (its truthiness is not defined).
+    pub fn truthy(&self) -> Result<bool, EvalError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            Value::Int(i) => Ok(*i != 0),
+            Value::Float(f) => Ok(*f != 0.0),
+            Value::Str(s) => Ok(!s.is_empty()),
+            Value::List(v) | Value::Tuple(v) => Ok(!v.is_empty()),
+            Value::None => Ok(false),
+            Value::Undef => Err(EvalError::new(EvalErrorKind::UndefinedValue)),
+        }
+    }
+
+    /// A short name of the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+            Value::Tuple(_) => "tuple",
+            Value::None => "NoneType",
+            Value::Undef => "undef",
+        }
+    }
+
+    /// Python-style `str()` conversion.
+    pub fn to_display_string(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            other => format!("{other}"),
+        }
+    }
+
+    /// Structural equality following Python semantics: `1 == 1.0` is true and
+    /// `True == 1` is true; sequences compare element-wise. `⊥` is only equal
+    /// to `⊥` (this is what trace comparison needs).
+    pub fn py_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Undef, Value::Undef) => true,
+            (Value::Undef, _) | (_, Value::Undef) => false,
+            (Value::None, Value::None) => true,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::List(a), Value::List(b)) | (Value::Tuple(a), Value::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.py_eq(y))
+            }
+            _ => match (self.as_number(), other.as_number()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+
+    /// Python-style ordering comparison. Returns `None` when the values are
+    /// not comparable (e.g. an int and a list).
+    pub fn py_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::List(a), Value::List(b)) | (Value::Tuple(a), Value::Tuple(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.py_cmp(y) {
+                        Some(Ordering::Equal) => continue,
+                        other => return other,
+                    }
+                }
+                Some(a.len().cmp(&b.len()))
+            }
+            _ => {
+                let a = self.as_number()?;
+                let b = other.as_number()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.py_eq(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e16 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Bool(b) => write!(f, "{}", if *b { "True" } else { "False" }),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                if items.len() == 1 {
+                    write!(f, ",")?;
+                }
+                write!(f, ")")
+            }
+            Value::None => write!(f, "None"),
+            Value::Undef => write!(f, "⊥"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+
+fn type_error(op: &str, a: &Value, b: &Value) -> EvalError {
+    EvalError::type_error(format!(
+        "unsupported operand types for {op}: {} and {}",
+        a.type_name(),
+        b.type_name()
+    ))
+}
+
+fn both_ints(a: &Value, b: &Value) -> Option<(i64, i64)> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Some((*x, *y)),
+        (Value::Bool(x), Value::Int(y)) => Some((i64::from(*x), *y)),
+        (Value::Int(x), Value::Bool(y)) => Some((*x, i64::from(*y))),
+        (Value::Bool(x), Value::Bool(y)) => Some((i64::from(*x), i64::from(*y))),
+        _ => None,
+    }
+}
+
+/// Binary arithmetic and comparison operations on [`Value`]s.
+///
+/// These free functions implement the semantics of the corresponding MiniPy
+/// operators; they are used both by the expression evaluator and by the
+/// direct interpreter.
+pub mod ops {
+    use super::*;
+
+    /// Addition / concatenation (`+`).
+    pub fn add(a: &Value, b: &Value) -> Result<Value, EvalError> {
+        match (a, b) {
+            (Value::Str(x), Value::Str(y)) => Ok(Value::Str(format!("{x}{y}"))),
+            (Value::List(x), Value::List(y)) => {
+                let mut out = x.clone();
+                out.extend(y.iter().cloned());
+                Ok(Value::List(out))
+            }
+            (Value::Tuple(x), Value::Tuple(y)) => {
+                let mut out = x.clone();
+                out.extend(y.iter().cloned());
+                Ok(Value::Tuple(out))
+            }
+            _ => {
+                if let Some((x, y)) = both_ints(a, b) {
+                    Ok(Value::Int(x.wrapping_add(y)))
+                } else if let (Some(x), Some(y)) = (a.as_number(), b.as_number()) {
+                    Ok(Value::Float(x + y))
+                } else {
+                    Err(type_error("+", a, b))
+                }
+            }
+        }
+    }
+
+    /// Subtraction (`-`).
+    pub fn sub(a: &Value, b: &Value) -> Result<Value, EvalError> {
+        if let Some((x, y)) = both_ints(a, b) {
+            Ok(Value::Int(x.wrapping_sub(y)))
+        } else if let (Some(x), Some(y)) = (a.as_number(), b.as_number()) {
+            Ok(Value::Float(x - y))
+        } else {
+            Err(type_error("-", a, b))
+        }
+    }
+
+    /// Multiplication / repetition (`*`).
+    pub fn mul(a: &Value, b: &Value) -> Result<Value, EvalError> {
+        fn repeat<T: Clone>(items: &[T], n: i64) -> Vec<T> {
+            if n <= 0 {
+                Vec::new()
+            } else {
+                let mut out = Vec::with_capacity(items.len() * n as usize);
+                for _ in 0..n {
+                    out.extend(items.iter().cloned());
+                }
+                out
+            }
+        }
+        match (a, b) {
+            (Value::Str(s), Value::Int(n)) | (Value::Int(n), Value::Str(s)) => {
+                Ok(Value::Str(s.repeat((*n).max(0) as usize)))
+            }
+            (Value::List(v), Value::Int(n)) | (Value::Int(n), Value::List(v)) => {
+                Ok(Value::List(repeat(v, *n)))
+            }
+            (Value::Tuple(v), Value::Int(n)) | (Value::Int(n), Value::Tuple(v)) => {
+                Ok(Value::Tuple(repeat(v, *n)))
+            }
+            _ => {
+                if let Some((x, y)) = both_ints(a, b) {
+                    Ok(Value::Int(x.wrapping_mul(y)))
+                } else if let (Some(x), Some(y)) = (a.as_number(), b.as_number()) {
+                    Ok(Value::Float(x * y))
+                } else {
+                    Err(type_error("*", a, b))
+                }
+            }
+        }
+    }
+
+    /// True division (`/`); integer operands produce a float, as in Python 3.
+    pub fn div(a: &Value, b: &Value) -> Result<Value, EvalError> {
+        match (a.as_number(), b.as_number()) {
+            (Some(x), Some(y)) => {
+                if y == 0.0 {
+                    Err(EvalError::new(EvalErrorKind::DivisionByZero))
+                } else {
+                    Ok(Value::Float(x / y))
+                }
+            }
+            _ => Err(type_error("/", a, b)),
+        }
+    }
+
+    /// Floor division (`//`).
+    pub fn floor_div(a: &Value, b: &Value) -> Result<Value, EvalError> {
+        if let Some((x, y)) = both_ints(a, b) {
+            if y == 0 {
+                return Err(EvalError::new(EvalErrorKind::DivisionByZero));
+            }
+            Ok(Value::Int(x.div_euclid(y)))
+        } else if let (Some(x), Some(y)) = (a.as_number(), b.as_number()) {
+            if y == 0.0 {
+                return Err(EvalError::new(EvalErrorKind::DivisionByZero));
+            }
+            Ok(Value::Float((x / y).floor()))
+        } else {
+            Err(type_error("//", a, b))
+        }
+    }
+
+    /// Modulo (`%`), following Python's sign convention.
+    pub fn modulo(a: &Value, b: &Value) -> Result<Value, EvalError> {
+        if let Some((x, y)) = both_ints(a, b) {
+            if y == 0 {
+                return Err(EvalError::new(EvalErrorKind::DivisionByZero));
+            }
+            Ok(Value::Int(x.rem_euclid(y)))
+        } else if let (Some(x), Some(y)) = (a.as_number(), b.as_number()) {
+            if y == 0.0 {
+                return Err(EvalError::new(EvalErrorKind::DivisionByZero));
+            }
+            Ok(Value::Float(x - y * (x / y).floor()))
+        } else {
+            Err(type_error("%", a, b))
+        }
+    }
+
+    /// Exponentiation (`**`).
+    pub fn pow(a: &Value, b: &Value) -> Result<Value, EvalError> {
+        if let Some((x, y)) = both_ints(a, b) {
+            if y >= 0 {
+                let exp = u32::try_from(y.min(u32::MAX as i64)).unwrap_or(u32::MAX);
+                return Ok(Value::Int(x.wrapping_pow(exp)));
+            }
+        }
+        match (a.as_number(), b.as_number()) {
+            (Some(x), Some(y)) => Ok(Value::Float(x.powf(y))),
+            _ => Err(type_error("**", a, b)),
+        }
+    }
+
+    /// Unary negation (`-`).
+    pub fn neg(a: &Value) -> Result<Value, EvalError> {
+        match a {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            Value::Bool(b) => Ok(Value::Int(-i64::from(*b))),
+            _ => Err(EvalError::type_error(format!("bad operand type for unary -: {}", a.type_name()))),
+        }
+    }
+
+    /// Ordering comparison; `op` is one of `<`, `<=`, `>`, `>=`.
+    pub fn compare(op: &str, a: &Value, b: &Value) -> Result<Value, EvalError> {
+        use std::cmp::Ordering;
+        let ord = a
+            .py_cmp(b)
+            .ok_or_else(|| type_error(op, a, b))?;
+        let result = match op {
+            "<" => ord == Ordering::Less,
+            "<=" => ord != Ordering::Greater,
+            ">" => ord == Ordering::Greater,
+            ">=" => ord != Ordering::Less,
+            _ => return Err(EvalError::other(format!("unknown comparison operator `{op}`"))),
+        };
+        Ok(Value::Bool(result))
+    }
+
+    /// Sequence/string indexing with Python negative-index semantics.
+    pub fn index(base: &Value, idx: &Value) -> Result<Value, EvalError> {
+        let i = match idx {
+            Value::Int(i) => *i,
+            Value::Bool(b) => i64::from(*b),
+            _ => {
+                return Err(EvalError::type_error(format!(
+                    "indices must be integers, not {}",
+                    idx.type_name()
+                )))
+            }
+        };
+        let items: &[Value];
+        let string_item;
+        match base {
+            Value::List(v) | Value::Tuple(v) => items = v,
+            Value::Str(s) => {
+                let chars: Vec<char> = s.chars().collect();
+                let n = chars.len() as i64;
+                let real = if i < 0 { i + n } else { i };
+                if real < 0 || real >= n {
+                    return Err(EvalError::index_error("string index out of range"));
+                }
+                string_item = Value::Str(chars[real as usize].to_string());
+                return Ok(string_item);
+            }
+            _ => {
+                return Err(EvalError::type_error(format!(
+                    "{} is not subscriptable",
+                    base.type_name()
+                )))
+            }
+        }
+        let n = items.len() as i64;
+        let real = if i < 0 { i + n } else { i };
+        if real < 0 || real >= n {
+            return Err(EvalError::index_error("list index out of range"));
+        }
+        Ok(items[real as usize].clone())
+    }
+
+    /// Slicing `base[lo:hi]` with Python clamping semantics.
+    pub fn slice(base: &Value, lo: Option<&Value>, hi: Option<&Value>) -> Result<Value, EvalError> {
+        fn clamp(idx: Option<&Value>, default: i64, n: i64) -> Result<i64, EvalError> {
+            let raw = match idx {
+                Option::None => default,
+                Some(Value::Int(i)) => *i,
+                Some(Value::Bool(b)) => i64::from(*b),
+                Some(other) => {
+                    return Err(EvalError::type_error(format!(
+                        "slice indices must be integers, not {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            let adjusted = if raw < 0 { raw + n } else { raw };
+            Ok(adjusted.clamp(0, n))
+        }
+        match base {
+            Value::List(v) => {
+                let n = v.len() as i64;
+                let lo = clamp(lo, 0, n)?;
+                let hi = clamp(hi, n, n)?;
+                if lo >= hi {
+                    Ok(Value::List(Vec::new()))
+                } else {
+                    Ok(Value::List(v[lo as usize..hi as usize].to_vec()))
+                }
+            }
+            Value::Tuple(v) => {
+                let n = v.len() as i64;
+                let lo = clamp(lo, 0, n)?;
+                let hi = clamp(hi, n, n)?;
+                if lo >= hi {
+                    Ok(Value::Tuple(Vec::new()))
+                } else {
+                    Ok(Value::Tuple(v[lo as usize..hi as usize].to_vec()))
+                }
+            }
+            Value::Str(s) => {
+                let chars: Vec<char> = s.chars().collect();
+                let n = chars.len() as i64;
+                let lo = clamp(lo, 0, n)?;
+                let hi = clamp(hi, n, n)?;
+                if lo >= hi {
+                    Ok(Value::Str(String::new()))
+                } else {
+                    Ok(Value::Str(chars[lo as usize..hi as usize].iter().collect()))
+                }
+            }
+            _ => Err(EvalError::type_error(format!("{} is not sliceable", base.type_name()))),
+        }
+    }
+
+    /// Stores `value` at index `idx` of `base`, returning the updated sequence.
+    ///
+    /// This is the functional form of `base[idx] = value` used by the program
+    /// model (`store(base, idx, value)`).
+    pub fn store(base: &Value, idx: &Value, value: &Value) -> Result<Value, EvalError> {
+        let i = match idx {
+            Value::Int(i) => *i,
+            Value::Bool(b) => i64::from(*b),
+            _ => {
+                return Err(EvalError::type_error(format!(
+                    "indices must be integers, not {}",
+                    idx.type_name()
+                )))
+            }
+        };
+        match base {
+            Value::List(v) => {
+                let n = v.len() as i64;
+                let real = if i < 0 { i + n } else { i };
+                if real < 0 || real >= n {
+                    return Err(EvalError::index_error("list assignment index out of range"));
+                }
+                let mut out = v.clone();
+                out[real as usize] = value.clone();
+                Ok(Value::List(out))
+            }
+            _ => Err(EvalError::type_error(format!(
+                "{} does not support item assignment",
+                base.type_name()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ops;
+    use super::*;
+
+    #[test]
+    fn numeric_equality_crosses_types() {
+        assert_eq!(Value::Int(1), Value::Float(1.0));
+        assert_eq!(Value::Bool(true), Value::Int(1));
+        assert_ne!(Value::Int(1), Value::Str("1".into()));
+        assert_eq!(
+            Value::List(vec![Value::Int(0)]),
+            Value::List(vec![Value::Float(0.0)])
+        );
+    }
+
+    #[test]
+    fn undef_only_equals_undef() {
+        assert_eq!(Value::Undef, Value::Undef);
+        assert_ne!(Value::Undef, Value::None);
+        assert_ne!(Value::Undef, Value::Int(0));
+    }
+
+    #[test]
+    fn add_concatenates_sequences() {
+        let a = Value::List(vec![Value::Int(1)]);
+        let b = Value::List(vec![Value::Int(2)]);
+        assert_eq!(ops::add(&a, &b).unwrap(), Value::List(vec![Value::Int(1), Value::Int(2)]));
+        assert_eq!(
+            ops::add(&Value::Str("ab".into()), &Value::Str("cd".into())).unwrap(),
+            Value::Str("abcd".into())
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert!(ops::div(&Value::Int(1), &Value::Int(0)).is_err());
+        assert!(ops::modulo(&Value::Int(1), &Value::Int(0)).is_err());
+        assert!(ops::floor_div(&Value::Int(1), &Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn int_division_produces_float() {
+        assert_eq!(ops::div(&Value::Int(3), &Value::Int(2)).unwrap(), Value::Float(1.5));
+        assert_eq!(ops::floor_div(&Value::Int(3), &Value::Int(2)).unwrap(), Value::Int(1));
+        assert_eq!(ops::floor_div(&Value::Int(-3), &Value::Int(2)).unwrap(), Value::Int(-2));
+    }
+
+    #[test]
+    fn modulo_follows_python_sign() {
+        assert_eq!(ops::modulo(&Value::Int(-7), &Value::Int(3)).unwrap(), Value::Int(2));
+        assert_eq!(ops::modulo(&Value::Int(7), &Value::Int(3)).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn string_repetition() {
+        assert_eq!(
+            ops::mul(&Value::Str("ab".into()), &Value::Int(3)).unwrap(),
+            Value::Str("ababab".into())
+        );
+        assert_eq!(ops::mul(&Value::Str("ab".into()), &Value::Int(-1)).unwrap(), Value::Str(String::new()));
+    }
+
+    #[test]
+    fn negative_indexing() {
+        let lst = Value::List(vec![Value::Int(10), Value::Int(20), Value::Int(30)]);
+        assert_eq!(ops::index(&lst, &Value::Int(-1)).unwrap(), Value::Int(30));
+        assert!(ops::index(&lst, &Value::Int(3)).is_err());
+        assert!(ops::index(&lst, &Value::Int(-4)).is_err());
+    }
+
+    #[test]
+    fn slicing_clamps() {
+        let lst = Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(
+            ops::slice(&lst, Some(&Value::Int(1)), None).unwrap(),
+            Value::List(vec![Value::Int(2), Value::Int(3)])
+        );
+        assert_eq!(
+            ops::slice(&lst, Some(&Value::Int(-2)), Some(&Value::Int(100))).unwrap(),
+            Value::List(vec![Value::Int(2), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn store_replaces_element() {
+        let lst = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(
+            ops::store(&lst, &Value::Int(1), &Value::Int(9)).unwrap(),
+            Value::List(vec![Value::Int(1), Value::Int(9)])
+        );
+        assert!(ops::store(&lst, &Value::Int(2), &Value::Int(9)).is_err());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::List(vec![]).truthy().unwrap());
+        assert!(Value::List(vec![Value::Int(0)]).truthy().unwrap());
+        assert!(!Value::Str(String::new()).truthy().unwrap());
+        assert!(Value::Undef.truthy().is_err());
+    }
+
+    #[test]
+    fn ordering_comparisons() {
+        assert_eq!(ops::compare("<", &Value::Int(1), &Value::Float(1.5)).unwrap(), Value::Bool(true));
+        assert_eq!(
+            ops::compare(">=", &Value::Str("b".into()), &Value::Str("a".into())).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(ops::compare("<", &Value::Int(1), &Value::List(vec![])).is_err());
+    }
+
+    #[test]
+    fn display_formats_like_python() {
+        assert_eq!(Value::Float(7.6).to_string(), "7.6");
+        assert_eq!(Value::Float(1.0).to_string(), "1.0");
+        assert_eq!(Value::List(vec![Value::Float(0.0)]).to_string(), "[0.0]");
+        assert_eq!(Value::Tuple(vec![Value::Int(1)]).to_string(), "(1,)");
+        assert_eq!(Value::Bool(true).to_string(), "True");
+    }
+}

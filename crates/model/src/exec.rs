@@ -1,0 +1,171 @@
+//! Trace execution of model programs (the semantics of Definition 3.5).
+//!
+//! Executing a [`Program`] on an input memory produces a [`Trace`]: the
+//! sequence of location/memory pairs visited by the program. Every update
+//! expression is evaluated on the *old* memory (the values at location
+//! entry); evaluation errors produce the undefined value `⊥`, exactly as
+//! prescribed by Definition 3.4.
+
+use std::collections::HashMap;
+
+use clara_lang::{eval_expr, Value};
+
+use crate::program::{special, Loc, Program, Succ};
+
+/// A memory `σ : V → D` (only the unprimed values are stored; the primed
+/// values of a step are the `post` memory of that step).
+pub type Memory = HashMap<String, Value>;
+
+/// One element of a trace: the location and the memories before (`pre`,
+/// the old values) and after (`post`, the new/primed values) evaluating it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The location evaluated at this step.
+    pub loc: Loc,
+    /// Variable values before evaluating the location (`σ(v)`).
+    pub pre: Memory,
+    /// Variable values after evaluating the location (`σ(v')`).
+    pub post: Memory,
+}
+
+/// Why a trace ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceStatus {
+    /// The successor function reached `end`.
+    Completed,
+    /// The step budget was exhausted (the program most likely diverges).
+    OutOfFuel,
+    /// A branching location was reached but the branch condition `?`
+    /// evaluated to `⊥`, so no successor could be chosen.
+    StuckBranch,
+}
+
+/// The trace `⟦P⟧(ρ)` of a program on one input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The visited steps in order.
+    pub steps: Vec<Step>,
+    /// How the trace ended.
+    pub status: TraceStatus,
+}
+
+impl Trace {
+    /// The projection `γ|v`: the sequence of new values of `var` along the
+    /// trace (used by the matching algorithm, Fig. 4).
+    pub fn projection(&self, var: &str) -> Vec<Value> {
+        self.steps
+            .iter()
+            .map(|s| s.post.get(var).cloned().unwrap_or(Value::Undef))
+            .collect()
+    }
+
+    /// The sequence of visited locations.
+    pub fn locations(&self) -> Vec<Loc> {
+        self.steps.iter().map(|s| s.loc).collect()
+    }
+
+    /// The final value of the `return` variable, if the trace completed.
+    pub fn return_value(&self) -> Value {
+        self.steps
+            .last()
+            .and_then(|s| s.post.get(special::RETURN).cloned())
+            .unwrap_or(Value::Undef)
+    }
+
+    /// The final value of the output variable `#out`.
+    pub fn output(&self) -> String {
+        match self.steps.last().and_then(|s| s.post.get(special::OUT)) {
+            Some(Value::Str(s)) => s.clone(),
+            _ => String::new(),
+        }
+    }
+
+    /// The memories (old values) at a given location, in visit order; this is
+    /// what expression matching (Definition 4.5) evaluates candidate
+    /// expressions on.
+    pub fn memories_at(&self, loc: Loc) -> impl Iterator<Item = &Memory> {
+        self.steps.iter().filter(move |s| s.loc == loc).map(|s| &s.pre)
+    }
+}
+
+/// Execution budget for trace execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fuel {
+    /// Maximum number of trace steps (locations visited).
+    pub max_steps: usize,
+}
+
+impl Default for Fuel {
+    fn default() -> Self {
+        Fuel { max_steps: 5_000 }
+    }
+}
+
+/// Builds the initial memory for `program` from positional argument values.
+pub fn initial_memory(program: &Program, args: &[Value]) -> Memory {
+    let mut memory = Memory::new();
+    for var in &program.vars {
+        memory.insert(var.clone(), Value::Undef);
+    }
+    memory.insert(special::COND.to_owned(), Value::Undef);
+    memory.insert(special::RETURN.to_owned(), Value::Undef);
+    memory.insert(special::RET_FLAG.to_owned(), Value::Bool(false));
+    memory.insert(special::OUT.to_owned(), Value::Str(String::new()));
+    for (param, value) in program.params.iter().zip(args) {
+        memory.insert(param.clone(), value.clone());
+    }
+    memory
+}
+
+/// Executes `program` on positional arguments, producing its trace.
+pub fn execute(program: &Program, args: &[Value], fuel: Fuel) -> Trace {
+    execute_from(program, initial_memory(program, args), fuel)
+}
+
+/// Executes `program` starting from an explicit input memory `ρ`.
+pub fn execute_from(program: &Program, input: Memory, fuel: Fuel) -> Trace {
+    let mut steps = Vec::new();
+    let mut memory = input;
+    let mut loc = program.init;
+    let mut status = TraceStatus::Completed;
+
+    loop {
+        if steps.len() >= fuel.max_steps {
+            status = TraceStatus::OutOfFuel;
+            break;
+        }
+        let pre = memory.clone();
+        let mut post = memory.clone();
+        for (var, expr) in program.updates_at(loc) {
+            let value = eval_expr(expr, &pre).unwrap_or(Value::Undef);
+            post.insert(var.clone(), value);
+        }
+        steps.push(Step { loc, pre, post: post.clone() });
+
+        let branch = if program.is_branching(loc) {
+            match post.get(special::COND).cloned().unwrap_or(Value::Undef).truthy() {
+                Ok(b) => b,
+                Err(_) => {
+                    status = TraceStatus::StuckBranch;
+                    break;
+                }
+            }
+        } else {
+            true
+        };
+        match program.succ(loc, branch) {
+            Succ::End => break,
+            Succ::Loc(next) => {
+                memory = post;
+                loc = next;
+            }
+        }
+    }
+
+    Trace { steps, status }
+}
+
+/// Executes `program` on every input of `inputs` (the set `I` of the paper).
+pub fn execute_on_inputs(program: &Program, inputs: &[Vec<Value>], fuel: Fuel) -> Vec<Trace> {
+    inputs.iter().map(|args| execute(program, args, fuel)).collect()
+}

@@ -1,0 +1,369 @@
+//! The Clara program model (Definitions 3.1–3.2 of the paper).
+//!
+//! A [`Program`] is a tuple `(L, ℓ_init, V, U, S)`: a finite set of locations,
+//! an initial location, a finite set of variables, an *update function* `U`
+//! assigning an expression to every location/variable pair, and a *successor
+//! function* `S` mapping a location and a branch outcome to the next location
+//! (or to the special end marker).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use clara_lang::{expr_to_string, Expr};
+
+/// Names of the special model variables (the set `V♯` of Definition 3.1).
+pub mod special {
+    /// The branch-condition variable `?`.
+    pub const COND: &str = "?";
+    /// The return-value variable.
+    pub const RETURN: &str = "return";
+    /// Boolean flag recording that the program has executed a `return`.
+    pub const RET_FLAG: &str = "#ret";
+    /// Accumulated printed output.
+    pub const OUT: &str = "#out";
+
+    /// Returns `true` for special (model-introduced) variable names,
+    /// including generated iterator (`#it<n>`) and break (`#brk<n>`) flags.
+    pub fn is_special(name: &str) -> bool {
+        name == COND || name == RETURN || name.starts_with('#')
+    }
+
+    /// The special variables present in every lowered program, in a fixed
+    /// order.
+    pub fn always_present() -> [&'static str; 4] {
+        [COND, RETURN, RET_FLAG, OUT]
+    }
+}
+
+/// A program location (an index into [`Program::locations`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc(pub usize);
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// The successor of a location for a given branch outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Succ {
+    /// Control continues at the given location.
+    Loc(Loc),
+    /// The program terminates (the special value `end`).
+    End,
+}
+
+/// The role a location plays in the control-flow structure; used to build
+/// human-readable feedback and the structural signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocKind {
+    /// A loop-free basic block (possibly collapsed if-then-else code).
+    Block,
+    /// The condition location of a loop.
+    LoopCond,
+    /// A block that additionally decides a branch containing loops.
+    Branch,
+}
+
+/// Metadata about a location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocInfo {
+    /// What kind of location this is.
+    pub kind: LocKind,
+    /// 1-based source line this location is anchored at.
+    pub line: u32,
+    /// Human-readable description, e.g. `"the loop at line 3"`.
+    pub description: String,
+}
+
+/// The control-flow structure of a program reduced to its looping/branching
+/// skeleton (Definition 4.1 is realised by comparing these signatures; two
+/// lowered programs have the same control flow iff their signatures are
+/// equal, in which case locations correspond positionally).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StructSig {
+    /// A loop-free basic block.
+    Block,
+    /// A loop whose body has the given structure.
+    Loop(Vec<StructSig>),
+    /// A branch (if-then-else containing loops) with the two branch
+    /// structures.
+    Branch(Vec<StructSig>, Vec<StructSig>),
+}
+
+impl StructSig {
+    /// A compact textual rendering of a structure sequence, useful as a
+    /// clustering pre-filter key and in debug output.
+    pub fn sequence_key(sigs: &[StructSig]) -> String {
+        fn render(sig: &StructSig, out: &mut String) {
+            match sig {
+                StructSig::Block => out.push('B'),
+                StructSig::Loop(body) => {
+                    out.push_str("L(");
+                    for s in body {
+                        render(s, out);
+                    }
+                    out.push(')');
+                }
+                StructSig::Branch(then_sigs, else_sigs) => {
+                    out.push_str("I(");
+                    for s in then_sigs {
+                        render(s, out);
+                    }
+                    out.push('|');
+                    for s in else_sigs {
+                        render(s, out);
+                    }
+                    out.push(')');
+                }
+            }
+        }
+        let mut out = String::new();
+        for sig in sigs {
+            render(sig, &mut out);
+        }
+        out
+    }
+}
+
+/// A program in the Clara model (Definition 3.2), produced by lowering a
+/// MiniPy function (`clara-model::lower`) and consumed by the matching,
+/// clustering and repair algorithms in `clara-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Name of the function this program was lowered from.
+    pub name: String,
+    /// Parameter names (these are also ordinary variables).
+    pub params: Vec<String>,
+    /// Per-location metadata; the location set `L` is `0..locations.len()`.
+    pub locations: Vec<LocInfo>,
+    /// The initial location `ℓ_init`.
+    pub init: Loc,
+    /// All variables `V` (user variables, parameters and special variables).
+    pub vars: Vec<String>,
+    /// The control-flow skeleton used for structural matching.
+    pub signature: Vec<StructSig>,
+    updates: HashMap<usize, Vec<(String, Expr)>>,
+    succ: Vec<(Succ, Succ)>,
+    expr_lines: HashMap<(usize, String), u32>,
+}
+
+impl Program {
+    /// Creates an empty program shell. Used by the lowering pass and by the
+    /// repair algorithm when it constructs a repaired program.
+    pub fn new(name: String, params: Vec<String>) -> Self {
+        Program {
+            name,
+            params,
+            locations: Vec::new(),
+            init: Loc(0),
+            vars: Vec::new(),
+            signature: Vec::new(),
+            updates: HashMap::new(),
+            succ: Vec::new(),
+            expr_lines: HashMap::new(),
+        }
+    }
+
+    /// Adds a location and returns its identifier.
+    pub fn add_location(&mut self, info: LocInfo) -> Loc {
+        let loc = Loc(self.locations.len());
+        self.locations.push(info);
+        self.succ.push((Succ::End, Succ::End));
+        loc
+    }
+
+    /// Sets the update expression `U(loc, var) = expr`.
+    pub fn set_update(&mut self, loc: Loc, var: &str, expr: Expr, line: u32) {
+        let entry = self.updates.entry(loc.0).or_default();
+        if let Some(slot) = entry.iter_mut().find(|(name, _)| name == var) {
+            slot.1 = expr;
+        } else {
+            entry.push((var.to_owned(), expr));
+        }
+        self.expr_lines.insert((loc.0, var.to_owned()), line);
+    }
+
+    /// Sets the successors of `loc`.
+    pub fn set_succ(&mut self, loc: Loc, on_true: Succ, on_false: Succ) {
+        self.succ[loc.0] = (on_true, on_false);
+    }
+
+    /// Registers a variable name (idempotent).
+    pub fn add_var(&mut self, name: &str) {
+        if !self.vars.iter().any(|v| v == name) {
+            self.vars.push(name.to_owned());
+        }
+    }
+
+    /// Removes the explicit update `U(loc, var)`, reverting it to the
+    /// identity. Used when a repair deletes a variable.
+    pub fn remove_update(&mut self, loc: Loc, var: &str) {
+        if let Some(entries) = self.updates.get_mut(&loc.0) {
+            entries.retain(|(name, _)| name != var);
+        }
+        self.expr_lines.remove(&(loc.0, var.to_owned()));
+    }
+
+    /// Removes a variable from the variable set (its updates should be
+    /// removed first with [`Program::remove_update`]).
+    pub fn remove_var(&mut self, name: &str) {
+        self.vars.retain(|v| v != name);
+    }
+
+    /// The number of locations `|L|`.
+    pub fn location_count(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Iterates over all locations.
+    pub fn locs(&self) -> impl Iterator<Item = Loc> + '_ {
+        (0..self.locations.len()).map(Loc)
+    }
+
+    /// The update expression `U(loc, var)`. Variables without an explicit
+    /// update keep their value, i.e. the update is the identity `var`.
+    pub fn update(&self, loc: Loc, var: &str) -> Expr {
+        self.explicit_update(loc, var)
+            .cloned()
+            .unwrap_or_else(|| Expr::Var(var.to_owned()))
+    }
+
+    /// The explicitly set update expression, if any (`None` means identity).
+    pub fn explicit_update(&self, loc: Loc, var: &str) -> Option<&Expr> {
+        self.updates
+            .get(&loc.0)
+            .and_then(|entries| entries.iter().find(|(name, _)| name == var))
+            .map(|(_, expr)| expr)
+    }
+
+    /// All explicit updates at `loc`, in insertion order.
+    pub fn updates_at(&self, loc: Loc) -> &[(String, Expr)] {
+        self.updates.get(&loc.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The successor `S(loc, branch)`.
+    pub fn succ(&self, loc: Loc, branch: bool) -> Succ {
+        let (on_true, on_false) = self.succ[loc.0];
+        if branch {
+            on_true
+        } else {
+            on_false
+        }
+    }
+
+    /// Returns `true` if the two branch successors of `loc` differ, i.e. the
+    /// value of `?` at `loc` actually decides control flow.
+    pub fn is_branching(&self, loc: Loc) -> bool {
+        let (on_true, on_false) = self.succ[loc.0];
+        on_true != on_false
+    }
+
+    /// The source line an update was anchored at (for feedback).
+    pub fn update_line(&self, loc: Loc, var: &str) -> Option<u32> {
+        self.expr_lines.get(&(loc.0, var.to_owned())).copied()
+    }
+
+    /// Metadata of a location.
+    pub fn loc_info(&self, loc: Loc) -> &LocInfo {
+        &self.locations[loc.0]
+    }
+
+    /// Whether two programs have the same control flow (Definition 4.1):
+    /// lowering is deterministic, so equality of the structural signatures is
+    /// the structural-matching check, and locations then correspond
+    /// positionally (the structural matching `π` is the identity).
+    pub fn same_control_flow(&self, other: &Program) -> bool {
+        self.signature == other.signature && self.location_count() == other.location_count()
+    }
+
+    /// The user-visible (non-special) variables.
+    pub fn user_vars(&self) -> Vec<String> {
+        self.vars
+            .iter()
+            .filter(|v| !special::is_special(v))
+            .cloned()
+            .collect()
+    }
+
+    /// Total number of expression AST nodes over all explicit updates;
+    /// used as the program-size normaliser for relative repair size.
+    pub fn ast_size(&self) -> usize {
+        self.updates
+            .values()
+            .flat_map(|entries| entries.iter())
+            .map(|(_, expr)| expr.size())
+            .sum::<usize>()
+            .max(1)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {}({}):", self.name, self.params.join(", "))?;
+        writeln!(f, "  structure: {}", StructSig::sequence_key(&self.signature))?;
+        for loc in self.locs() {
+            let info = self.loc_info(loc);
+            writeln!(f, "  {loc} ({}):", info.description)?;
+            for (var, expr) in self.updates_at(loc) {
+                writeln!(f, "    {var} := {}", expr_to_string(expr))?;
+            }
+            let (t, fls) = (self.succ(loc, true), self.succ(loc, false));
+            let show = |s: Succ| match s {
+                Succ::Loc(l) => l.to_string(),
+                Succ::End => "end".to_owned(),
+            };
+            writeln!(f, "    succ: true -> {}, false -> {}", show(t), show(fls))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_defaults_to_identity() {
+        let mut p = Program::new("f".into(), vec!["x".into()]);
+        let l0 = p.add_location(LocInfo { kind: LocKind::Block, line: 1, description: "entry".into() });
+        p.add_var("x");
+        assert_eq!(p.update(l0, "x"), Expr::var("x"));
+        p.set_update(l0, "x", Expr::int(1), 1);
+        assert_eq!(p.update(l0, "x"), Expr::int(1));
+        assert_eq!(p.update_line(l0, "x"), Some(1));
+    }
+
+    #[test]
+    fn successors_and_branching() {
+        let mut p = Program::new("f".into(), vec![]);
+        let l0 = p.add_location(LocInfo { kind: LocKind::Block, line: 1, description: "b".into() });
+        let l1 = p.add_location(LocInfo { kind: LocKind::LoopCond, line: 2, description: "c".into() });
+        p.set_succ(l0, Succ::Loc(l1), Succ::Loc(l1));
+        p.set_succ(l1, Succ::Loc(l0), Succ::End);
+        assert!(!p.is_branching(l0));
+        assert!(p.is_branching(l1));
+        assert_eq!(p.succ(l1, false), Succ::End);
+    }
+
+    #[test]
+    fn signature_keys() {
+        let sig = vec![
+            StructSig::Block,
+            StructSig::Loop(vec![StructSig::Block]),
+            StructSig::Block,
+        ];
+        assert_eq!(StructSig::sequence_key(&sig), "BL(B)B");
+        let branch = vec![StructSig::Branch(vec![StructSig::Block], vec![StructSig::Loop(vec![StructSig::Block]), StructSig::Block])];
+        assert_eq!(StructSig::sequence_key(&branch), "I(B|L(B)B)");
+    }
+
+    #[test]
+    fn special_variable_predicates() {
+        assert!(special::is_special("?"));
+        assert!(special::is_special("return"));
+        assert!(special::is_special("#it1"));
+        assert!(!special::is_special("result"));
+    }
+}

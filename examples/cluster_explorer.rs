@@ -1,0 +1,69 @@
+//! Cluster exploration: build a synthetic correct-solution pool for
+//! `oddTuples`, cluster it, and print per-cluster statistics together with
+//! the mined dynamically-equivalent expressions (the Fig. 2(c)/(d) view of
+//! the data). This is the tool an instructor would use to understand how
+//! students approached an assignment.
+//!
+//! Run with `cargo run --release --example cluster_explorer [problem]` where
+//! `problem` is one of the nine assignment names (default: `oddTuples`).
+
+use clara::prelude::*;
+use clara_lang::expr_to_string;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "oddTuples".to_owned());
+    let problem = clara::corpus::all_problems()
+        .into_iter()
+        .find(|p| p.name == wanted)
+        .unwrap_or_else(|| {
+            eprintln!("unknown problem `{wanted}`, falling back to oddTuples");
+            clara::corpus::mooc::odd_tuples()
+        });
+
+    let dataset = generate_dataset(
+        &problem,
+        DatasetConfig { correct_count: 80, incorrect_count: 0, seed: 99, ..DatasetConfig::default() },
+    );
+
+    let analyzed: Vec<AnalyzedProgram> = dataset
+        .correct
+        .iter()
+        .filter_map(|a| {
+            AnalyzedProgram::from_text(&a.source, problem.entry, &problem.inputs(), Fuel::default()).ok()
+        })
+        .collect();
+    println!("{} of {} correct solutions are analysable", analyzed.len(), dataset.correct.len());
+
+    let clusters = cluster_programs(analyzed);
+    println!("{} clusters for `{}`:\n", clusters.len(), problem.name);
+
+    let mut sorted: Vec<&Cluster> = clusters.iter().collect();
+    sorted.sort_by_key(|c| std::cmp::Reverse(c.size()));
+
+    for (rank, cluster) in sorted.iter().enumerate().take(8) {
+        let rep = &cluster.representative.program;
+        println!(
+            "cluster #{rank}: {} member(s), control flow {}, {} variables, {} mined expressions",
+            cluster.size(),
+            clara_model::StructSig::sequence_key(&rep.signature),
+            rep.vars.len(),
+            cluster.expression_count()
+        );
+        // Show the mined equivalent expressions for the most interesting
+        // location/variable pairs (those with the most variants).
+        let mut keys: Vec<(clara_model::Loc, &str)> = cluster.expression_keys().collect();
+        keys.sort_by_key(|(loc, var)| (std::cmp::Reverse(cluster.expressions(*loc, var).len()), loc.0));
+        for (loc, var) in keys.into_iter().take(2) {
+            let expressions = cluster.expressions(loc, var);
+            if expressions.len() < 2 {
+                continue;
+            }
+            println!("  dynamically equivalent ways to compute `{var}` at {loc}:");
+            for expr in expressions.iter().take(6) {
+                println!("    {}", expr_to_string(expr));
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

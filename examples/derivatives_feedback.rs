@@ -1,0 +1,65 @@
+//! MOOC-style batch grading: generate a synthetic `derivatives` corpus,
+//! cluster the correct pool, repair every incorrect attempt and print a
+//! per-attempt report (a miniature version of the Table 1 experiment).
+//!
+//! Run with `cargo run --release --example derivatives_feedback`.
+
+use clara::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let problem = clara::corpus::mooc::derivatives();
+    let dataset = generate_dataset(
+        &problem,
+        DatasetConfig { correct_count: 60, incorrect_count: 15, seed: 2024, ..DatasetConfig::default() },
+    );
+    println!(
+        "synthetic corpus: {} correct solutions, {} incorrect attempts",
+        dataset.correct.len(),
+        dataset.incorrect.len()
+    );
+
+    let mut engine = Clara::new(problem.entry, problem.inputs(), ClaraConfig::default());
+    let mut usable = 0;
+    for attempt in &dataset.correct {
+        if engine.add_correct_solution(&attempt.source).is_ok() {
+            usable += 1;
+        }
+    }
+    let stats = engine.clustering_stats();
+    println!(
+        "clustered {usable} usable correct solutions into {} clusters (largest has {} members)\n",
+        stats.cluster_count, stats.largest_cluster
+    );
+
+    let mut repaired = 0;
+    let mut total_cost = 0;
+    for attempt in &dataset.incorrect {
+        print!("attempt #{:<3} [{:?}, {} fault(s)] ... ", attempt.id, attempt.kind, attempt.fault_count);
+        match engine.repair_source(&attempt.source) {
+            Err(err) => println!("unsupported ({err})"),
+            Ok(outcome) => match outcome.result.best {
+                Some(repair) => {
+                    repaired += 1;
+                    total_cost += repair.total_cost;
+                    println!(
+                        "repaired with cost {:>3} in {:>6.2?} ({} suggestion(s))",
+                        repair.total_cost,
+                        outcome.result.elapsed,
+                        outcome.feedback.lines().len()
+                    );
+                    for line in outcome.feedback.lines().iter().take(3) {
+                        println!("        {line}");
+                    }
+                }
+                None => println!("not repaired ({:?})", outcome.result.failure),
+            },
+        }
+    }
+
+    println!(
+        "\nrepaired {repaired}/{} attempts; average repair cost {:.1}",
+        dataset.incorrect.len(),
+        total_cost as f64 / repaired.max(1) as f64
+    );
+    Ok(())
+}

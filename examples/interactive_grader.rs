@@ -1,0 +1,120 @@
+//! Interactive-teaching simulation (the §6.3 user-study setting): a student
+//! submits successive attempts at the `Fibonacci sequence` problem; after
+//! every submission the engine grades it and, if it is wrong, prints
+//! Clara-generated feedback. Correct submissions are added to the cluster
+//! pool, exactly as in the study.
+//!
+//! Run with `cargo run --release --example interactive_grader`, or pass a
+//! path to a MiniPy file to grade your own attempt:
+//! `cargo run --release --example interactive_grader -- my_attempt.py`.
+
+use clara::prelude::*;
+
+/// The successive attempts of a (simulated) study participant.
+const SESSION: &[(&str, &str)] = &[
+    (
+        "first try: forgot to advance the loop counter",
+        "\
+def fib(k):
+    a = 1
+    b = 1
+    n = 1
+    while b <= k:
+        c = a + b
+        a = b
+        b = c
+    print(n)
+",
+    ),
+    (
+        "second try: counts, but starts the count at 0",
+        "\
+def fib(k):
+    a = 1
+    b = 1
+    n = 0
+    while b <= k:
+        c = a + b
+        a = b
+        b = c
+        n = n + 1
+    print(n)
+",
+    ),
+    (
+        "third try: correct",
+        "\
+def fib(k):
+    a = 1
+    b = 1
+    n = 1
+    while b <= k:
+        c = a + b
+        a = b
+        b = c
+        n = n + 1
+    print(n)
+",
+    ),
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let problem = clara::corpus::study::fibonacci();
+    let dataset = generate_dataset(
+        &problem,
+        DatasetConfig { correct_count: 40, incorrect_count: 0, seed: 7, ..DatasetConfig::default() },
+    );
+
+    let mut engine = Clara::new(problem.entry, problem.inputs(), ClaraConfig::default());
+    for attempt in &dataset.correct {
+        let _ = engine.add_correct_solution(&attempt.source);
+    }
+    println!(
+        "existing pool: {} correct solutions in {} clusters\n",
+        engine.correct_count(),
+        engine.clusters().len()
+    );
+
+    // Optionally grade a file supplied on the command line instead of the
+    // built-in session.
+    if let Some(path) = std::env::args().nth(1) {
+        let source = std::fs::read_to_string(&path)?;
+        grade_one(&problem, &mut engine, "your attempt", &source)?;
+        return Ok(());
+    }
+
+    for (label, attempt) in SESSION {
+        grade_one(&problem, &mut engine, label, attempt)?;
+    }
+    Ok(())
+}
+
+fn grade_one(
+    problem: &Problem,
+    engine: &mut Clara,
+    label: &str,
+    source: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!("--- {label} ---");
+    match problem.grade_source(source) {
+        Some(true) => {
+            println!("all tests pass — adding the solution to the cluster pool\n");
+            let _ = engine.add_correct_solution(source);
+        }
+        Some(false) => {
+            let start = std::time::Instant::now();
+            match engine.repair_source(source) {
+                Ok(outcome) => {
+                    println!("tests fail — feedback generated in {:.2?}:", start.elapsed());
+                    for line in outcome.feedback.lines() {
+                        println!("  * {line}");
+                    }
+                    println!();
+                }
+                Err(err) => println!("tests fail and the attempt cannot be analysed: {err}\n"),
+            }
+        }
+        None => println!("the attempt does not parse\n"),
+    }
+    Ok(())
+}

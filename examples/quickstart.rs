@@ -1,0 +1,83 @@
+//! Quick start: cluster the paper's two correct `derivatives` solutions and
+//! repair the two incorrect attempts of Fig. 2, printing the generated
+//! feedback (compare with Fig. 2(g) and (h) of the paper).
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use clara::prelude::*;
+
+const C1: &str = "\
+def computeDeriv(poly):
+    result = []
+    for e in range(1, len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+";
+
+const C2: &str = "\
+def computeDeriv(poly):
+    deriv = []
+    for i in xrange(1,len(poly)):
+        deriv+=[float(i)*poly[i]]
+    if len(deriv)==0:
+        return [0.0]
+    return deriv
+";
+
+const I1: &str = "\
+def computeDeriv(poly):
+    new = []
+    for i in xrange(1,len(poly)):
+        new.append(float(i*poly[i]))
+    if new==[]:
+        return 0.0
+    return new
+";
+
+const I2: &str = "\
+def computeDeriv(poly):
+    result = []
+    for i in range(len(poly)):
+        result[i]=float((i)*poly[i])
+    return result
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The `derivatives` assignment from the paper, with its grading inputs.
+    let problem = clara::corpus::mooc::derivatives();
+    let mut engine = Clara::new(problem.entry, problem.inputs(), ClaraConfig::default());
+
+    // Cluster the correct solutions (C1 and C2 are dynamically equivalent, so
+    // they end up in the same cluster — §2.1).
+    engine.add_correct_solution(C1)?;
+    engine.add_correct_solution(C2)?;
+    let stats = engine.clustering_stats();
+    println!(
+        "clustered {} correct solutions into {} cluster(s), mining {} equivalent expressions\n",
+        stats.program_count, stats.cluster_count, stats.expression_count
+    );
+
+    for (name, attempt) in [("I1 (Fig. 2e)", I1), ("I2 (Fig. 2f)", I2)] {
+        println!("=== Repairing {name} ===");
+        let outcome = engine.repair_source(attempt)?;
+        match &outcome.result.best {
+            Some(repair) => {
+                println!(
+                    "repair found: cost {} ({} modified expression(s)), verified: {:?}",
+                    repair.total_cost,
+                    repair.modified_expression_count(),
+                    repair.verified
+                );
+                for line in outcome.feedback.lines() {
+                    println!("  - {line}");
+                }
+            }
+            None => println!("no repair found: {:?}", outcome.result.failure),
+        }
+        println!();
+    }
+    Ok(())
+}

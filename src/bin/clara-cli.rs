@@ -1,0 +1,168 @@
+//! `clara-cli` — command-line front end for the Clara pipeline.
+//!
+//! ```text
+//! clara-cli problems                      # list the built-in assignments
+//! clara-cli grade  <problem> <file>       # run the grading test suite on an attempt
+//! clara-cli repair <problem> <file>       # grade and, if incorrect, print repair feedback
+//! clara-cli clusters <problem> [n]        # cluster a synthetic pool of n correct solutions
+//! ```
+//!
+//! The `<problem>` argument is one of the nine assignment names from the
+//! paper's Appendix A (see `clara-cli problems`). Attempts are MiniPy files.
+
+use std::process::ExitCode;
+
+use clara::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!("  clara-cli problems");
+    eprintln!("  clara-cli grade  <problem> <attempt.py>");
+    eprintln!("  clara-cli repair <problem> <attempt.py>");
+    eprintln!("  clara-cli clusters <problem> [pool-size]");
+    ExitCode::from(2)
+}
+
+fn find_problem(name: &str) -> Option<Problem> {
+    clara::corpus::all_problems().into_iter().find(|p| p.name == name)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("problems") => {
+            for problem in clara::corpus::all_problems() {
+                println!("{:<20} entry `{}`, {} tests — {}", problem.name, problem.entry, problem.spec.tests.len(), problem.statement);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("grade") if args.len() == 3 => grade(&args[1], &args[2]),
+        Some("repair") if args.len() == 3 => repair(&args[1], &args[2]),
+        Some("clusters") if args.len() >= 2 => {
+            let pool = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60);
+            clusters(&args[1], pool)
+        }
+        _ => usage(),
+    }
+}
+
+fn load(path: &str) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(err) => {
+            eprintln!("cannot read `{path}`: {err}");
+            None
+        }
+    }
+}
+
+fn grade(problem_name: &str, path: &str) -> ExitCode {
+    let Some(problem) = find_problem(problem_name) else {
+        eprintln!("unknown problem `{problem_name}` (see `clara-cli problems`)");
+        return ExitCode::from(2);
+    };
+    let Some(source) = load(path) else { return ExitCode::from(2) };
+    match parse_program(&source) {
+        Err(err) => {
+            println!("syntax error: {err}");
+            ExitCode::FAILURE
+        }
+        Ok(parsed) => {
+            let report = problem.spec.grade(&parsed);
+            println!("{} / {} tests passed", report.passed_count(), problem.spec.tests.len());
+            if report.all_passed() {
+                println!("the attempt is correct");
+                ExitCode::SUCCESS
+            } else {
+                if let Some(index) = report.first_failure() {
+                    let test = &problem.spec.tests[index];
+                    println!(
+                        "first failing test: arguments {:?}",
+                        test.args.iter().map(ToString::to_string).collect::<Vec<_>>()
+                    );
+                }
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+fn repair(problem_name: &str, path: &str) -> ExitCode {
+    let Some(problem) = find_problem(problem_name) else {
+        eprintln!("unknown problem `{problem_name}` (see `clara-cli problems`)");
+        return ExitCode::from(2);
+    };
+    let Some(source) = load(path) else { return ExitCode::from(2) };
+    if problem.grade_source(&source) == Some(true) {
+        println!("the attempt already passes all tests — nothing to repair");
+        return ExitCode::SUCCESS;
+    }
+
+    // Build the correct-solution pool from the problem's seeds plus a
+    // synthetic expansion, mirroring how a course would use its archive.
+    let dataset = generate_dataset(
+        &problem,
+        DatasetConfig { correct_count: 60, incorrect_count: 0, seed: 4242, ..DatasetConfig::default() },
+    );
+    let mut engine = Clara::new(problem.entry, problem.inputs(), ClaraConfig::default());
+    for attempt in &dataset.correct {
+        let _ = engine.add_correct_solution(&attempt.source);
+    }
+    eprintln!(
+        "(cluster pool: {} correct solutions in {} clusters)",
+        engine.correct_count(),
+        engine.clusters().len()
+    );
+
+    match engine.repair_source(&source) {
+        Err(err) => {
+            println!("the attempt cannot be analysed: {err}");
+            ExitCode::FAILURE
+        }
+        Ok(outcome) => {
+            match &outcome.result.best {
+                Some(found) => {
+                    println!(
+                        "repair found (cost {}, {} modified expressions, {:.2?}):",
+                        found.total_cost,
+                        found.modified_expression_count(),
+                        outcome.result.elapsed
+                    );
+                }
+                None => println!("no repair found: {:?}", outcome.result.failure),
+            }
+            for line in outcome.feedback.lines() {
+                println!("  * {line}");
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn clusters(problem_name: &str, pool: usize) -> ExitCode {
+    let Some(problem) = find_problem(problem_name) else {
+        eprintln!("unknown problem `{problem_name}` (see `clara-cli problems`)");
+        return ExitCode::from(2);
+    };
+    let dataset = generate_dataset(
+        &problem,
+        DatasetConfig { correct_count: pool, incorrect_count: 0, seed: 4242, ..DatasetConfig::default() },
+    );
+    let mut engine = Clara::new(problem.entry, problem.inputs(), ClaraConfig::default());
+    for attempt in &dataset.correct {
+        let _ = engine.add_correct_solution(&attempt.source);
+    }
+    let stats = engine.clustering_stats();
+    println!(
+        "{}: {} correct solutions -> {} clusters (largest {}, {} mined expressions)",
+        problem.name, stats.program_count, stats.cluster_count, stats.largest_cluster, stats.expression_count
+    );
+    for (index, cluster) in engine.clusters().iter().enumerate() {
+        println!(
+            "  cluster {index:>2}: {:>3} member(s), control flow {}",
+            cluster.size(),
+            clara_model::StructSig::sequence_key(&cluster.representative.program.signature)
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,92 @@
+//! Cross-crate property-based tests: invariants of the matching relation,
+//! the repair algorithm and the corpus generator that must hold for *every*
+//! seed/variant combination, not just the hand-picked examples.
+
+use proptest::prelude::*;
+
+use clara::prelude::*;
+use clara_core::AnalyzedProgram;
+use clara_model::Fuel;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn problems() -> Vec<Problem> {
+    clara::corpus::all_problems()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// The matching relation is reflexive: every analysable seed matches
+    /// itself with the identity witness (part of the equivalence-relation
+    /// argument of §4).
+    #[test]
+    fn matching_is_reflexive(problem_index in 0usize..9, seed_index in 0usize..4) {
+        let problems = problems();
+        let problem = &problems[problem_index % problems.len()];
+        let seed = problem.seeds[seed_index % problem.seeds.len()];
+        if let Ok(analyzed) = AnalyzedProgram::from_text(seed, problem.entry, &problem.inputs(), Fuel::default()) {
+            let witness = find_matching(&analyzed, &analyzed).expect("a program matches itself");
+            for (from, to) in &witness {
+                prop_assert_eq!(from, to);
+            }
+        }
+    }
+
+    /// Variable renaming never changes the cluster structure: a seed and its
+    /// renamed variant always land in the same cluster.
+    #[test]
+    fn renaming_preserves_dynamic_equivalence(problem_index in 0usize..9, seed_index in 0usize..4, rng_seed in 0u64..1000) {
+        let problems = problems();
+        let problem = &problems[problem_index % problems.len()];
+        let seed = problem.seeds[seed_index % problem.seeds.len()];
+        let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+        let renamed_program = clara::corpus::rename_variables(&problem.parse(seed), &mut rng);
+        let renamed = clara_lang::program_to_string(&renamed_program);
+
+        let original = AnalyzedProgram::from_text(seed, problem.entry, &problem.inputs(), Fuel::default());
+        let variant = AnalyzedProgram::from_text(&renamed, problem.entry, &problem.inputs(), Fuel::default());
+        if let (Ok(original), Ok(variant)) = (original, variant) {
+            prop_assert!(
+                find_matching(&original, &variant).is_some(),
+                "renamed variant no longer matches:\n{}",
+                renamed
+            );
+        }
+    }
+
+    /// Every fault-injected mutant that can be analysed is repaired against
+    /// its own seed's cluster, and the repair cost is positive (the mutant
+    /// really is incorrect).
+    #[test]
+    fn mutants_are_repairable_against_their_seed(problem_index in 0usize..3, rng_seed in 0u64..500) {
+        let problems = problems();
+        let problem = &problems[problem_index % 3]; // MOOC problems only: fastest specs
+        let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+        let seed = problem.seeds[(rng_seed as usize) % problem.seeds.len()];
+        if let Some(mutant) = clara::corpus::mutate(problem, seed, 1, &mut rng) {
+            let mut engine = Clara::new(problem.entry, problem.inputs(), ClaraConfig::default());
+            engine.add_correct_solution(seed).unwrap();
+            if let Ok(outcome) = engine.repair_source(&mutant.source) {
+                if let Some(repair) = outcome.result.best {
+                    prop_assert!(repair.total_cost > 0, "mutant repaired with zero cost");
+                    prop_assert_ne!(repair.verified, Some(false));
+                }
+            }
+        }
+    }
+
+    /// Grading is deterministic and consistent between the spec-level API and
+    /// the engine-level zero-cost-repair check.
+    #[test]
+    fn correct_seeds_always_repair_with_zero_cost(problem_index in 0usize..9, seed_index in 0usize..3) {
+        let problems = problems();
+        let problem = &problems[problem_index % problems.len()];
+        let seed = problem.seeds[seed_index % problem.seeds.len()];
+        let mut engine = Clara::new(problem.entry, problem.inputs(), ClaraConfig::default());
+        if engine.add_correct_solution(seed).is_ok() {
+            let outcome = engine.repair_source(seed).unwrap();
+            prop_assert_eq!(outcome.result.best.unwrap().total_cost, 0);
+        }
+    }
+}
