@@ -20,7 +20,7 @@
 #![warn(rust_2018_idioms)]
 
 use clara_lang::ast::{BinOp, Expr, Lit, SourceProgram, Stmt, Target};
-use clara_lang::{ProblemSpec};
+use clara_lang::ProblemSpec;
 
 /// Which rewrite rules the error model contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +108,11 @@ impl AutoGrader {
     /// out) — these are the "AutoGrader fails" cases of §6.2.1.
     pub fn repair(&self, attempt: &SourceProgram, spec: &ProblemSpec) -> Option<AutoGraderRepair> {
         if spec.is_correct(attempt) {
-            return Some(AutoGraderRepair { rewrites: Vec::new(), repaired: attempt.clone(), candidates_tried: 0 });
+            return Some(AutoGraderRepair {
+                rewrites: Vec::new(),
+                repaired: attempt.clone(),
+                candidates_tried: 0,
+            });
         }
         let sites = collect_sites(attempt);
         let program_vars = collect_variables(attempt);
@@ -124,16 +128,9 @@ impl AutoGrader {
         // then pairs, then triples.
         for edits in 1..=self.config.max_edits {
             let mut chosen: Vec<usize> = Vec::new();
-            if let Some(repair) = self.search_combinations(
-                attempt,
-                spec,
-                &sites,
-                &per_site,
-                0,
-                edits,
-                &mut chosen,
-                &mut tried,
-            ) {
+            if let Some(repair) =
+                self.search_combinations(attempt, spec, &sites, &per_site, 0, edits, &mut chosen, &mut tried)
+            {
                 return Some(repair);
             }
             if tried >= self.config.max_candidates {
@@ -243,14 +240,18 @@ impl AutoGrader {
                     return None;
                 }
                 let mut replacements = vec![
-                    (fixed_site, per_site[fixed_site][fixed_variant].0.clone(), per_site[fixed_site][fixed_variant].1),
+                    (
+                        fixed_site,
+                        per_site[fixed_site][fixed_variant].0.clone(),
+                        per_site[fixed_site][fixed_variant].1,
+                    ),
                     (site_index, variant.clone(), *rule),
                 ];
                 if remaining > 1 {
                     // Three simultaneous edits: try every third site after
                     // this one.
-                    for third_site in (site_index + 1)..sites.len() {
-                        for (third_variant, third_rule) in &per_site[third_site] {
+                    for (third_site, third_variants) in per_site.iter().enumerate().skip(site_index + 1) {
+                        for (third_variant, third_rule) in third_variants {
                             if *tried >= self.config.max_candidates {
                                 return None;
                             }
@@ -505,7 +506,11 @@ fn collect_variables(program: &SourceProgram) -> Vec<String> {
 /// All single-rule variants of an expression under the error model. Rules are
 /// applied at every sub-expression position, each application yielding one
 /// variant of the whole expression.
-pub fn expression_variants(expr: &Expr, model: ErrorModel, program_vars: &[String]) -> Vec<(Expr, &'static str)> {
+pub fn expression_variants(
+    expr: &Expr,
+    model: ErrorModel,
+    program_vars: &[String],
+) -> Vec<(Expr, &'static str)> {
     let mut variants: Vec<(Expr, &'static str)> = Vec::new();
     rewrite_positions(expr, &mut |sub| single_node_rewrites(sub, model, program_vars), &mut variants);
     // Whole-expression rules.
@@ -580,7 +585,9 @@ fn rebuild_with_children(expr: &Expr, children: &[Expr]) -> Expr {
         Expr::List(_) => Expr::List(children.to_vec()),
         Expr::Tuple(_) => Expr::Tuple(children.to_vec()),
         Expr::Unary(op, _) => Expr::Unary(*op, Box::new(children[0].clone())),
-        Expr::Binary(op, _, _) => Expr::Binary(*op, Box::new(children[0].clone()), Box::new(children[1].clone())),
+        Expr::Binary(op, _, _) => {
+            Expr::Binary(*op, Box::new(children[0].clone()), Box::new(children[1].clone()))
+        }
         Expr::Index(_, _) => Expr::Index(Box::new(children[0].clone()), Box::new(children[1].clone())),
         Expr::Slice(_, lo, hi) => {
             let mut index = 1;
@@ -600,7 +607,11 @@ fn rebuild_with_children(expr: &Expr, children: &[Expr]) -> Expr {
 }
 
 /// The per-node rewrite rules of the error model.
-fn single_node_rewrites(expr: &Expr, model: ErrorModel, program_vars: &[String]) -> Vec<(Expr, &'static str)> {
+fn single_node_rewrites(
+    expr: &Expr,
+    model: ErrorModel,
+    program_vars: &[String],
+) -> Vec<(Expr, &'static str)> {
     let mut out = Vec::new();
     match expr {
         Expr::Lit(Lit::Int(k)) => {
@@ -625,10 +636,7 @@ fn single_node_rewrites(expr: &Expr, model: ErrorModel, program_vars: &[String])
         }
         Expr::Call(name, args) if (name == "range" || name == "xrange") && !args.is_empty() => {
             if args.len() == 1 {
-                out.push((
-                    Expr::Call(name.clone(), vec![Expr::int(1), args[0].clone()]),
-                    "range-start-1",
-                ));
+                out.push((Expr::Call(name.clone(), vec![Expr::int(1), args[0].clone()]), "range-start-1"));
                 out.push((
                     Expr::Call(
                         name.clone(),
@@ -664,9 +672,11 @@ fn single_node_rewrites(expr: &Expr, model: ErrorModel, program_vars: &[String])
                 "index+1",
             ));
         }
-        Expr::Binary(op @ (BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::FloorDiv), lhs, rhs)
-            if model == ErrorModel::Full =>
-        {
+        Expr::Binary(
+            op @ (BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::FloorDiv),
+            lhs,
+            rhs,
+        ) if model == ErrorModel::Full => {
             let swapped = match op {
                 BinOp::Add => BinOp::Sub,
                 BinOp::Sub => BinOp::Add,
@@ -781,7 +791,8 @@ mod tests {
         .unwrap();
         let weak = AutoGrader::mooc_scaled();
         assert!(weak.repair(&attempt, &derivatives_spec()).is_none());
-        let full = AutoGrader::new(AutoGraderConfig { model: ErrorModel::Full, ..AutoGraderConfig::default() });
+        let full =
+            AutoGrader::new(AutoGraderConfig { model: ErrorModel::Full, ..AutoGraderConfig::default() });
         let repair = full.repair(&attempt, &derivatives_spec()).expect("full model repairs variable misuse");
         assert!(derivatives_spec().is_correct(&repair.repaired));
     }

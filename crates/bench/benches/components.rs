@@ -63,7 +63,13 @@ fn bench_clustering(c: &mut Criterion) {
         .correct
         .iter()
         .filter_map(|a| {
-            clara_core::AnalyzedProgram::from_text(&a.source, problem.entry, &problem.inputs(), clara_model::Fuel::default()).ok()
+            clara_core::AnalyzedProgram::from_text(
+                &a.source,
+                problem.entry,
+                &problem.inputs(),
+                clara_model::Fuel::default(),
+            )
+            .ok()
         })
         .collect();
     c.bench_function("clustering/30_correct_solutions", |b| {

@@ -18,7 +18,9 @@ fn cluster_pool(problem: &Problem, correct: usize) -> Vec<clara_core::Cluster> {
     let analyzed: Vec<_> = dataset
         .correct
         .iter()
-        .filter_map(|a| AnalyzedProgram::from_text(&a.source, problem.entry, &problem.inputs(), Fuel::default()).ok())
+        .filter_map(|a| {
+            AnalyzedProgram::from_text(&a.source, problem.entry, &problem.inputs(), Fuel::default()).ok()
+        })
         .collect();
     clara_core::cluster_programs(analyzed)
 }

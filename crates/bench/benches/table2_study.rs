@@ -40,9 +40,8 @@ fn bench_table2(c: &mut Criterion) {
     for problem in [fibonacci(), trapezoid()] {
         let clara = engine_for(&problem, 25);
         let attempt = first_incorrect(&problem);
-        group.bench_function(problem.name, |b| {
-            b.iter(|| black_box(clara.repair_source(black_box(&attempt))))
-        });
+        group
+            .bench_function(problem.name, |b| b.iter(|| black_box(clara.repair_source(black_box(&attempt)))));
     }
     group.finish();
 }

@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 
 use clara_autograder::ErrorModel;
-use clara_bench::{build_dataset, run_autograder, run_clara, write_json_report, Scale};
+use clara_bench::{emit_json_report, run_autograder, run_clara, RunMode};
 use clara_corpus::mooc::all_mooc_problems;
 use serde::Serialize;
 
@@ -30,15 +30,16 @@ fn bucket_label(count: usize) -> String {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let mode = RunMode::from_env_and_args();
+    let scale = mode.scale();
     let mut equal = 0usize;
     let mut ag_fewer = 0usize;
     let mut clara_fewer = 0usize;
     let mut clara_dist: HashMap<String, usize> = HashMap::new();
     let mut ag_dist: HashMap<String, usize> = HashMap::new();
 
-    for problem in all_mooc_problems() {
-        let dataset = build_dataset(&problem, scale, 0xC1A7A);
+    for problem in mode.problems(all_mooc_problems()) {
+        let dataset = mode.dataset(&problem, scale, 0xC1A7A);
         let clara_run = run_clara(&dataset);
         let ag_results = run_autograder(&dataset, ErrorModel::Weak, 2);
 
@@ -68,7 +69,10 @@ fn main() {
         }
     }
 
-    println!("Figure 7(a) — number of modified expressions when both tools repair (scale {}):", scale.factor);
+    println!(
+        "Figure 7(a) — number of modified expressions when both tools repair ({}):",
+        mode.corpus_label(scale)
+    );
     println!("  equal number        : {equal}");
     println!("  AutoGrader modifies fewer : {ag_fewer}");
     println!("  Clara modifies fewer      : {clara_fewer}");
@@ -90,8 +94,9 @@ fn main() {
     println!("Paper: most AutoGrader repairs modify a single expression and the percentage");
     println!("falls off faster than Clara's (Clara can afford larger, multi-expression repairs).");
 
-    write_json_report(
+    emit_json_report(
         "fig7",
+        mode,
         &Fig7Report {
             equal,
             autograder_fewer: ag_fewer,

@@ -13,7 +13,7 @@
 //!   whole-program rewrite (the paper's category (d));
 //! * **not-repaired** — no repair was produced.
 
-use clara_bench::{build_dataset, run_clara, write_json_report, Scale};
+use clara_bench::{emit_json_report, run_clara, RunMode};
 use clara_corpus::mooc::all_mooc_problems;
 use serde::Serialize;
 
@@ -27,11 +27,12 @@ struct QualityReport {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let mode = RunMode::from_env_and_args();
+    let scale = mode.scale();
     let mut report = QualityReport::default();
 
-    for problem in all_mooc_problems() {
-        let dataset = build_dataset(&problem, scale, 0x5EED5);
+    for problem in mode.problems(all_mooc_problems()) {
+        let dataset = mode.dataset(&problem, scale, 0x5EED5);
         let run = run_clara(&dataset);
         for attempt in &run.attempts {
             report.sampled += 1;
@@ -52,14 +53,34 @@ fn main() {
     }
 
     let pct = |n: usize| 100.0 * n as f64 / report.sampled.max(1) as f64;
-    println!("Repair-quality proxy over {} incorrect attempts (scale {}):", report.sampled, scale.factor);
-    println!("  small and targeted (≈ paper's 'smallest, most natural'): {:>4}  ({:.0}%)", report.small_and_targeted, pct(report.small_and_targeted));
-    println!("  larger than needed (≈ paper's 'almost smallest'/(c))   : {:>4}  ({:.0}%)", report.larger_than_needed, pct(report.larger_than_needed));
-    println!("  whole-program rewrite (≈ paper's category (d))         : {:>4}  ({:.0}%)", report.rewrite, pct(report.rewrite));
-    println!("  not repaired                                            : {:>4}  ({:.0}%)", report.not_repaired, pct(report.not_repaired));
+    println!(
+        "Repair-quality proxy over {} incorrect attempts ({}):",
+        report.sampled,
+        mode.corpus_label(scale)
+    );
+    println!(
+        "  small and targeted (≈ paper's 'smallest, most natural'): {:>4}  ({:.0}%)",
+        report.small_and_targeted,
+        pct(report.small_and_targeted)
+    );
+    println!(
+        "  larger than needed (≈ paper's 'almost smallest'/(c))   : {:>4}  ({:.0}%)",
+        report.larger_than_needed,
+        pct(report.larger_than_needed)
+    );
+    println!(
+        "  whole-program rewrite (≈ paper's category (d))         : {:>4}  ({:.0}%)",
+        report.rewrite,
+        pct(report.rewrite)
+    );
+    println!(
+        "  not repaired                                            : {:>4}  ({:.0}%)",
+        report.not_repaired,
+        pct(report.not_repaired)
+    );
     println!();
     println!("Paper (manual inspection of 100 repairs): 72% smallest, 9% almost smallest,");
     println!("11% different from the student's idea, 8% student idea indeterminable.");
 
-    write_json_report("quality", &report);
+    emit_json_report("quality", mode, &report);
 }

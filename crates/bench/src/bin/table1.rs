@@ -8,7 +8,7 @@
 //! AutoGrader baseline, and prints the same columns the paper reports.
 
 use clara_autograder::ErrorModel;
-use clara_bench::{build_dataset, format_seconds, run_autograder, run_clara, write_json_report, Scale};
+use clara_bench::{emit_json_report, format_seconds, run_autograder, run_clara, RunMode};
 use clara_corpus::mooc::all_mooc_problems;
 use serde::Serialize;
 
@@ -32,8 +32,9 @@ struct Table1Row {
 }
 
 fn main() {
-    let scale = Scale::from_env();
-    println!("Table 1 — MOOC evaluation with AutoGrader comparison (corpus scale factor {}):", scale.factor);
+    let mode = RunMode::from_env_and_args();
+    let scale = mode.scale();
+    println!("Table 1 — MOOC evaluation with AutoGrader comparison ({}):", mode.corpus_label(scale));
     println!(
         "{:<14} {:>4} {:>4} {:>9} {:>16} {:>11} {:>22} {:>22} {:>16} {:>16}",
         "problem",
@@ -53,8 +54,8 @@ fn main() {
     let mut all_clara_times = Vec::new();
     let mut all_ag_times = Vec::new();
 
-    for problem in all_mooc_problems() {
-        let dataset = build_dataset(&problem, scale, 0xC1A7A);
+    for problem in mode.problems(all_mooc_problems()) {
+        let dataset = mode.dataset(&problem, scale, 0xC1A7A);
         let clara_run = run_clara(&dataset);
         let autograder_results = run_autograder(&dataset, ErrorModel::Weak, 2);
 
@@ -138,5 +139,5 @@ fn main() {
     println!("AutoGrader repairs 19.29% in 19.7s (6.3s).  The reproduction target is the shape:");
     println!("Clara repairs nearly everything, AutoGrader a small fraction, Clara is faster per attempt.");
 
-    write_json_report("table1", &rows);
+    emit_json_report("table1", mode, &rows);
 }

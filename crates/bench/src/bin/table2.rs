@@ -9,7 +9,7 @@
 //! grades (1–5) came from human participants and cannot be reproduced; the
 //! paper's numbers are reprinted for reference.
 
-use clara_bench::{build_dataset, format_seconds, run_clara, write_json_report, Scale};
+use clara_bench::{emit_json_report, format_seconds, run_clara, RunMode};
 use clara_corpus::study::all_study_problems;
 use clara_corpus::{generate_dataset, DatasetConfig};
 use serde::Serialize;
@@ -43,19 +43,28 @@ fn paper_grades(problem: &str) -> &'static str {
 }
 
 fn main() {
-    let scale = Scale::from_env();
-    println!("Table 2 — user-study problems, interactive setting (scale {}):", scale.factor);
+    let mode = RunMode::from_env_and_args();
+    let scale = mode.scale();
+    println!("Table 2 — user-study problems, interactive setting ({}):", mode.corpus_label(scale));
     println!(
         "{:<20} {:>4} {:>16} {:>9} {:>8} {:>18} {:>20} {:>16} {:>14}",
-        "problem", "LOC", "#correct (e+s)", "#clusters", "#incorr", "#feedback (%)", "#repair-feedb (%)", "time avg (med)", "grades 1..5"
+        "problem",
+        "LOC",
+        "#correct (e+s)",
+        "#clusters",
+        "#incorr",
+        "#feedback (%)",
+        "#repair-feedb (%)",
+        "time avg (med)",
+        "grades 1..5"
     );
 
     let mut rows = Vec::new();
-    for problem in all_study_problems() {
+    for problem in mode.problems(all_study_problems()) {
         // "Existing" pool (ESC-101 stand-in) at the configured scale, plus a
         // small "study" pool of extra correct attempts collected during the
         // sessions (the paper's `exist.+study` column).
-        let dataset = build_dataset(&problem, scale, 0xE5C101);
+        let dataset = mode.dataset(&problem, scale, 0xE5C101);
         let study_extra = generate_dataset(
             &problem,
             DatasetConfig {
@@ -67,12 +76,10 @@ fn main() {
         );
         let mut combined = dataset.clone();
         let base = combined.correct.len();
-        combined
-            .correct
-            .extend(study_extra.correct.into_iter().enumerate().map(|(i, mut attempt)| {
-                attempt.id = base + i;
-                attempt
-            }));
+        combined.correct.extend(study_extra.correct.into_iter().enumerate().map(|(i, mut attempt)| {
+            attempt.id = base + i;
+            attempt
+        }));
 
         let run = run_clara(&combined);
         let incorrect = run.attempts.len();
@@ -119,5 +126,5 @@ fn main() {
     println!("average feedback time 8s; repairs with cost > 100 fall back to a generic strategy");
     println!("message (403 cases in the study).");
 
-    write_json_report("table2", &rows);
+    emit_json_report("table2", mode, &rows);
 }

@@ -163,11 +163,7 @@ mod tests {
     }
 
     fn inputs() -> Vec<Vec<Value>> {
-        vec![
-            vec![poly(&[6.3, 7.6, 12.14])],
-            vec![poly(&[3.0])],
-            vec![poly(&[1.0, 2.0, 3.0, 4.0])],
-        ]
+        vec![vec![poly(&[6.3, 7.6, 12.14])], vec![poly(&[3.0])], vec![poly(&[1.0, 2.0, 3.0, 4.0])]]
     }
 
     const C1: &str = "\

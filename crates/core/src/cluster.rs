@@ -29,18 +29,9 @@ pub struct Cluster {
 
 impl Cluster {
     fn new(representative: AnalyzedProgram, id: usize) -> Self {
-        let mut cluster = Cluster {
-            representative,
-            member_ids: vec![id],
-            expressions: HashMap::new(),
-        };
-        let identity: VarMap = cluster
-            .representative
-            .program
-            .vars
-            .iter()
-            .map(|v| (v.clone(), v.clone()))
-            .collect();
+        let mut cluster = Cluster { representative, member_ids: vec![id], expressions: HashMap::new() };
+        let identity: VarMap =
+            cluster.representative.program.vars.iter().map(|v| (v.clone(), v.clone())).collect();
         cluster.absorb_expressions_with(&identity, &cluster.representative.program.clone());
         cluster
     }
@@ -53,10 +44,7 @@ impl Cluster {
     /// The cluster expressions for `(loc, var)`, where `var` is a variable of
     /// the representative.
     pub fn expressions(&self, loc: Loc, var: &str) -> &[Expr] {
-        self.expressions
-            .get(&(loc.0, var.to_owned()))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.expressions.get(&(loc.0, var.to_owned())).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// All `(loc, var)` pairs that have at least one cluster expression.

@@ -202,9 +202,10 @@ def computeDeriv(poly):
     #[test]
     fn feedback_for_the_papers_i1() {
         let ins = inputs();
-        let clusters = cluster_programs(vec![
-            AnalyzedProgram::from_text(C1, "computeDeriv", &ins, Fuel::default()).unwrap(),
-        ]);
+        let clusters =
+            cluster_programs(vec![
+                AnalyzedProgram::from_text(C1, "computeDeriv", &ins, Fuel::default()).unwrap()
+            ]);
         let attempt = AnalyzedProgram::from_text(I1, "computeDeriv", &ins, Fuel::default()).unwrap();
         let result = repair_attempt(&clusters, &attempt, &ins, &RepairConfig::default());
         let repair = result.best.expect("I1 is repairable against C1's cluster");
@@ -229,9 +230,10 @@ def computeDeriv(poly):
     #[test]
     fn large_repairs_fall_back_to_generic_strategy() {
         let ins = inputs();
-        let clusters = cluster_programs(vec![
-            AnalyzedProgram::from_text(C1, "computeDeriv", &ins, Fuel::default()).unwrap(),
-        ]);
+        let clusters =
+            cluster_programs(vec![
+                AnalyzedProgram::from_text(C1, "computeDeriv", &ins, Fuel::default()).unwrap()
+            ]);
         // An empty attempt: everything has to be synthesised.
         let empty = "def computeDeriv(poly):\n    pass\n";
         let attempt = AnalyzedProgram::from_text(empty, "computeDeriv", &ins, Fuel::default()).unwrap();

@@ -96,13 +96,7 @@ impl Clara {
     /// Creates an engine for an assignment whose entry function is `entry`
     /// and whose grading inputs are `inputs` (the set `I` of the paper).
     pub fn new(entry: impl Into<String>, inputs: Vec<Vec<Value>>, config: ClaraConfig) -> Self {
-        Clara {
-            entry: entry.into(),
-            inputs,
-            config,
-            clusters: Vec::new(),
-            correct_count: 0,
-        }
+        Clara { entry: entry.into(), inputs, config, clusters: Vec::new(), correct_count: 0 }
     }
 
     /// The clusters built so far.
@@ -171,8 +165,7 @@ impl Clara {
     /// Returns an [`AnalysisError`] if the attempt cannot be parsed or
     /// lowered (these are the "unsupported feature" failures of §6.2).
     pub fn repair_source(&self, source: &str) -> Result<RepairOutcome, AnalysisError> {
-        let attempt =
-            AnalyzedProgram::from_text(source, &self.entry, &self.inputs, self.config.repair.fuel)?;
+        let attempt = AnalyzedProgram::from_text(source, &self.entry, &self.inputs, self.config.repair.fuel)?;
         Ok(self.repair_analyzed(&attempt))
     }
 
@@ -300,7 +293,10 @@ def computeDeriv(poly):
         );
         // The iterator expression (the `for` iterable) must be among them.
         assert!(
-            repair.actions.iter().any(|a| matches!(a, RepairAction::Modify { var, .. } if var.starts_with("#it"))),
+            repair
+                .actions
+                .iter()
+                .any(|a| matches!(a, RepairAction::Modify { var, .. } if var.starts_with("#it"))),
             "expected an iterator-expression modification: {:?}",
             repair.actions
         );
@@ -350,7 +346,9 @@ def computeDeriv(poly):
     fn unsupported_attempts_are_reported_as_analysis_errors() {
         let clara = engine(&[C1]);
         let err = clara
-            .repair_source("def helper(x):\n    return x\n\ndef computeDeriv(poly):\n    return helper(poly)\n")
+            .repair_source(
+                "def helper(x):\n    return x\n\ndef computeDeriv(poly):\n    return helper(poly)\n",
+            )
             .unwrap_err();
         assert!(matches!(err, AnalysisError::Unsupported(_)));
     }

@@ -141,7 +141,7 @@ fn perfect_matching(candidates: &[Vec<usize>], right_size: usize) -> Option<Vec<
             result[*left] = right;
         }
     }
-    if result.iter().any(|&r| r == usize::MAX) {
+    if result.contains(&usize::MAX) {
         return None;
     }
     Some(result)
@@ -309,10 +309,7 @@ def computeDeriv(poly):
         map.insert("i".to_owned(), "e".to_owned());
         let expr = parse_expression("deriv + [float(i)*poly[i]]").unwrap();
         let translated = apply_var_map(&expr, &map);
-        assert_eq!(
-            clara_lang::expr_to_string(&translated),
-            "result + [float(e) * poly[e]]"
-        );
+        assert_eq!(clara_lang::expr_to_string(&translated), "result + [float(e) * poly[e]]");
     }
 
     #[test]

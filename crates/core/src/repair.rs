@@ -244,7 +244,9 @@ pub fn repair_attempt(
                     scope.spawn(move || {
                         chunk
                             .iter()
-                            .map(|(index, cluster)| repair_against_cluster(cluster, *index, attempt, inputs, config))
+                            .map(|(index, cluster)| {
+                                repair_against_cluster(cluster, *index, attempt, inputs, config)
+                            })
                             .collect::<Vec<_>>()
                     })
                 })
@@ -261,17 +263,9 @@ pub fn repair_attempt(
             .collect()
     };
 
-    let best = repairs
-        .into_iter()
-        .flatten()
-        .min_by_key(|r| (r.total_cost, r.cluster_index));
+    let best = repairs.into_iter().flatten().min_by_key(|r| (r.total_cost, r.cluster_index));
     let failure = if best.is_none() { Some(RepairFailure::SolverBudgetExhausted) } else { None };
-    RepairResult {
-        best,
-        failure,
-        candidate_clusters: candidates.len(),
-        elapsed: start.elapsed(),
-    }
+    RepairResult { best, failure, candidate_clusters: candidates.len(), elapsed: start.elapsed() }
 }
 
 /// `true` when the attempt contains no expressions at all (an empty or
@@ -284,10 +278,7 @@ fn attempt_is_empty(program: &Program) -> bool {
 /// submission with the representative of the largest cluster. Every
 /// representative assignment counts as an added expression.
 fn trivial_rewrite_repair(clusters: &[Cluster], attempt: &AnalyzedProgram) -> Option<ClusterRepair> {
-    let (cluster_index, cluster) = clusters
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, c)| c.size())?;
+    let (cluster_index, cluster) = clusters.iter().enumerate().max_by_key(|(_, c)| c.size())?;
     let rep = &cluster.representative;
     let mut actions = Vec::new();
     let mut total_cost = 0;
@@ -427,15 +418,16 @@ pub fn repair_against_cluster(
                     (&impl_params, &rep_params),
                     config.max_relations_per_expr,
                 ) {
-                    let translated = e_impl.substitute(&|name| {
-                        omega.get(name).map(|target| Expr::Var(target.clone()))
-                    });
+                    let translated =
+                        e_impl.substitute(&|name| omega.get(name).map(|target| Expr::Var(target.clone())));
                     if exprs_match(&e_rep, &translated, traces, loc) {
                         let key = format!("keep|{v1}|{}", render_map(&omega));
                         if seen.insert(key) {
                             let dependencies = omega
                                 .iter()
-                                .map(|(impl_var, rep_var)| (rep_var.clone(), MapTarget::Existing(impl_var.clone())))
+                                .map(|(impl_var, rep_var)| {
+                                    (rep_var.clone(), MapTarget::Existing(impl_var.clone()))
+                                })
                                 .collect();
                             let index = candidates.len();
                             candidates.push(CandidateRepair {
@@ -471,9 +463,7 @@ pub fn repair_against_cluster(
                         let replacement = cluster_expr.substitute(&|name| {
                             omega.get(name).map(|target| match target {
                                 MapTarget::Existing(impl_var) => Expr::Var(impl_var.clone()),
-                                MapTarget::Fresh(rep_var) => {
-                                    Expr::Var(fresh_name(rep_var, &impl_vars))
-                                }
+                                MapTarget::Fresh(rep_var) => Expr::Var(fresh_name(rep_var, &impl_vars)),
                             })
                         });
                         let key = format!("repl|{v1}|{}", expr_to_string(&replacement));
@@ -532,10 +522,8 @@ pub fn repair_against_cluster(
     // Constraint (1): every representative variable is matched exactly once
     // (to an implementation variable or to a fresh one).
     for v1 in &rep_vars {
-        let mut row: Vec<VarId> = impl_vars
-            .iter()
-            .filter_map(|v2| pair_vars.get(&(v1.clone(), v2.clone())).copied())
-            .collect();
+        let mut row: Vec<VarId> =
+            impl_vars.iter().filter_map(|v2| pair_vars.get(&(v1.clone(), v2.clone())).copied()).collect();
         if let Some(add) = add_vars.get(v1) {
             row.push(*add);
         }
@@ -544,10 +532,8 @@ pub fn repair_against_cluster(
     // Constraint (2): every implementation variable is matched exactly once
     // (to a representative variable or deleted).
     for v2 in &impl_vars {
-        let mut row: Vec<VarId> = rep_vars
-            .iter()
-            .filter_map(|v1| pair_vars.get(&(v1.clone(), v2.clone())).copied())
-            .collect();
+        let mut row: Vec<VarId> =
+            rep_vars.iter().filter_map(|v1| pair_vars.get(&(v1.clone(), v2.clone())).copied()).collect();
         if let Some(del) = del_vars.get(v2) {
             row.push(*del);
         }
@@ -617,11 +603,8 @@ pub fn repair_against_cluster(
         .filter(|(_, id)| solution.value(**id))
         .map(|(v1, _)| (v1.clone(), fresh_name(v1, &impl_vars)))
         .collect();
-    let deleted_vars: Vec<String> = del_vars
-        .iter()
-        .filter(|(_, id)| solution.value(**id))
-        .map(|(v2, _)| v2.clone())
-        .collect();
+    let deleted_vars: Vec<String> =
+        del_vars.iter().filter(|(_, id)| solution.value(**id)).map(|(v2, _)| v2.clone()).collect();
 
     // Translation of representative variables back to implementation
     // variables (τ⁻¹ extended with the fresh names).
@@ -668,11 +651,15 @@ pub fn repair_against_cluster(
         repaired.add_var(fresh);
         for loc in rep.program.locs() {
             if let Some(rep_expr) = rep.program.explicit_update(loc, v1) {
-                let translated = rep_expr.substitute(&|name| {
-                    back_map.get(name).map(|target| Expr::Var(target.clone()))
-                });
+                let translated =
+                    rep_expr.substitute(&|name| back_map.get(name).map(|target| Expr::Var(target.clone())));
                 let cost = expr_tree_size(&translated) as i64;
-                repaired.set_update(loc, fresh, translated.clone(), rep.program.update_line(loc, v1).unwrap_or(0));
+                repaired.set_update(
+                    loc,
+                    fresh,
+                    translated.clone(),
+                    rep.program.update_line(loc, v1).unwrap_or(0),
+                );
                 actions.push(RepairAction::AddAssignment { loc, var: fresh.clone(), expr: translated, cost });
             }
         }
@@ -726,20 +713,13 @@ fn render_map(map: &HashMap<String, String>) -> String {
 /// Cost of introducing the representative variable `v1` into the
 /// implementation: the representative's assignments have to be added.
 fn add_cost(rep: &Program, _cluster: &Cluster, v1: &str) -> i64 {
-    rep.locs()
-        .filter_map(|loc| rep.explicit_update(loc, v1))
-        .map(|e| expr_tree_size(e) as i64)
-        .sum()
+    rep.locs().filter_map(|loc| rep.explicit_update(loc, v1)).map(|e| expr_tree_size(e) as i64).sum()
 }
 
 /// Cost of deleting the implementation variable `v2`: all its assignments are
 /// removed.
 fn delete_cost(attempt: &Program, v2: &str) -> i64 {
-    attempt
-        .locs()
-        .filter_map(|loc| attempt.explicit_update(loc, v2))
-        .map(|e| expr_tree_size(e) as i64)
-        .sum()
+    attempt.locs().filter_map(|loc| attempt.explicit_update(loc, v2)).map(|e| expr_tree_size(e) as i64).sum()
 }
 
 /// Enumerates the injective partial relations ω mapping the implementation
@@ -1011,10 +991,7 @@ def computeDeriv(poly):
     fn fresh_names_avoid_collisions() {
         assert_eq!(fresh_name("n", &["x".to_owned()]), "new_n");
         assert_eq!(fresh_name("#it1", &[]), "new_it1");
-        assert_eq!(
-            fresh_name("n", &["new_n".to_owned()]),
-            "new_n_2"
-        );
+        assert_eq!(fresh_name("n", &["new_n".to_owned()]), "new_n_2");
     }
 
     #[test]

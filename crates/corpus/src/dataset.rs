@@ -133,8 +133,7 @@ pub fn generate_dataset(problem: &Problem, config: DatasetConfig) -> Dataset {
     // Incorrect pool: empty and unsupported populations first, then
     // fault-injected mutants of (variants of) correct solutions.
     let empty_target = (config.incorrect_count as f64 * config.empty_fraction).round() as usize;
-    let unsupported_target =
-        (config.incorrect_count as f64 * config.unsupported_fraction).ceil() as usize;
+    let unsupported_target = (config.incorrect_count as f64 * config.unsupported_fraction).ceil() as usize;
     for _ in 0..empty_target.min(config.incorrect_count) {
         let attempt = empty_attempt(problem);
         incorrect.push(Attempt {
@@ -257,7 +256,8 @@ mod tests {
 
     #[test]
     fn special_populations_are_present() {
-        let config = DatasetConfig { correct_count: 20, incorrect_count: 40, seed: 7, ..DatasetConfig::default() };
+        let config =
+            DatasetConfig { correct_count: 20, incorrect_count: 40, seed: 7, ..DatasetConfig::default() };
         let dataset = generate_dataset(&derivatives(), config);
         assert!(dataset.incorrect.iter().any(|a| a.kind == AttemptKind::Empty));
         assert!(dataset.incorrect.iter().any(|a| a.kind == AttemptKind::Unsupported));

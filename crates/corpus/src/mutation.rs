@@ -242,10 +242,7 @@ fn mutate_node<R: Rng>(expr: &Expr, kind: FaultKind, rng: &mut R) -> Option<Expr
         }
         (FaultKind::WrongIndex, Expr::Index(base, idx)) => {
             let delta = if rng.gen_bool(0.5) { BinOp::Add } else { BinOp::Sub };
-            Some(Expr::Index(
-                base.clone(),
-                Box::new(Expr::bin(delta, (**idx).clone(), Expr::int(1))),
-            ))
+            Some(Expr::Index(base.clone(), Box::new(Expr::bin(delta, (**idx).clone(), Expr::int(1)))))
         }
         (FaultKind::DroppedConversion, Expr::Call(name, args))
             if (name == "float" || name == "int" || name == "abs") && args.len() == 1 =>
@@ -309,14 +306,13 @@ fn rebuild(expr: &Expr, children: &[Expr]) -> Expr {
     }
 }
 
+// Clippy suggests hoisting these `if`s into match guards, but the guards
+// would need `&mut` access to the pattern bindings, which guards cannot take.
+#[allow(clippy::collapsible_match)]
 fn drop_guard<R: Rng>(body: &mut Vec<Stmt>, rng: &mut R) -> bool {
     // Find an `if` statement and replace it with one of its branches.
-    let positions: Vec<usize> = body
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| matches!(s, Stmt::If { .. }))
-        .map(|(i, _)| i)
-        .collect();
+    let positions: Vec<usize> =
+        body.iter().enumerate().filter(|(_, s)| matches!(s, Stmt::If { .. })).map(|(i, _)| i).collect();
     if let Some(&index) = positions.choose(rng) {
         if let Stmt::If { then_body, else_body, .. } = body[index].clone() {
             let replacement = if else_body.is_empty() || rng.gen_bool(0.7) { then_body } else { else_body };
@@ -343,6 +339,9 @@ fn drop_guard<R: Rng>(body: &mut Vec<Stmt>, rng: &mut R) -> bool {
     false
 }
 
+// Clippy suggests hoisting these `if`s into match guards, but the guards
+// would need `&mut` access to the pattern bindings, which guards cannot take.
+#[allow(clippy::collapsible_match)]
 fn drop_statement<R: Rng>(body: &mut Vec<Stmt>, rng: &mut R) -> bool {
     // Prefer dropping simple statements (assignments, returns, prints) from
     // the innermost bodies.
@@ -412,6 +411,8 @@ fn wrong_result_variable<R: Rng>(body: &mut Vec<Stmt>, rng: &mut R) -> bool {
     if vars.len() < 2 {
         return false;
     }
+    // See `drop_guard` on why clippy's guard suggestion cannot apply.
+    #[allow(clippy::collapsible_match)]
     fn rewrite<R: Rng>(stmts: &mut Vec<Stmt>, vars: &[String], rng: &mut R) -> bool {
         for stmt in stmts {
             match stmt {

@@ -65,14 +65,12 @@ impl Problem {
                 let execution = run_function(&parsed, entry, &args, Limits::default())
                     .unwrap_or_else(|e| panic!("reference solution of `{name}` failed: {e}"));
                 let expected = match grading {
-                    GradingMode::ReturnValue => Expected {
-                        return_value: Some(execution.return_value),
-                        output: None,
-                    },
-                    GradingMode::PrintedOutput => Expected {
-                        return_value: None,
-                        output: Some(execution.output),
-                    },
+                    GradingMode::ReturnValue => {
+                        Expected { return_value: Some(execution.return_value), output: None }
+                    }
+                    GradingMode::PrintedOutput => {
+                        Expected { return_value: None, output: Some(execution.output) }
+                    }
                 };
                 TestCase { args, expected }
             })

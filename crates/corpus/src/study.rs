@@ -400,25 +400,13 @@ def rhombus(h):
         GradingMode::PrintedOutput,
         REFERENCE,
         SEEDS.to_vec(),
-        vec![
-            vec![Value::Int(3)],
-            vec![Value::Int(5)],
-            vec![Value::Int(7)],
-            vec![Value::Int(9)],
-        ],
+        vec![vec![Value::Int(3)], vec![Value::Int(5)], vec![Value::Int(7)], vec![Value::Int(9)]],
     )
 }
 
 /// All six user-study problems of Table 2.
 pub fn all_study_problems() -> Vec<Problem> {
-    vec![
-        fibonacci(),
-        special_number(),
-        reverse_difference(),
-        factorial_interval(),
-        trapezoid(),
-        rhombus(),
-    ]
+    vec![fibonacci(), special_number(), reverse_difference(), factorial_interval(), trapezoid(), rhombus()]
 }
 
 #[cfg(test)]

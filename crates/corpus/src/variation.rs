@@ -18,8 +18,24 @@ use crate::problem::Problem;
 
 /// Alternative names used when renaming user variables.
 const NAME_POOL: &[&str] = &[
-    "result", "res", "out", "output", "ans", "answer", "acc", "total", "deriv", "values", "lst",
-    "data", "tmp", "current", "aggr", "final", "ret", "collected",
+    "result",
+    "res",
+    "out",
+    "output",
+    "ans",
+    "answer",
+    "acc",
+    "total",
+    "deriv",
+    "values",
+    "lst",
+    "data",
+    "tmp",
+    "current",
+    "aggr",
+    "final",
+    "ret",
+    "collected",
 ];
 
 /// Alternative names for index-like variables.
@@ -188,14 +204,16 @@ pub fn tweak_expressions<R: Rng>(program: &SourceProgram, count: usize, rng: &mu
     result
 }
 
-fn tweak_stmts<R: Rng>(stmts: &mut Vec<Stmt>, choice: u32, rng: &mut R) {
+fn tweak_stmts<R: Rng>(stmts: &mut [Stmt], choice: u32, rng: &mut R) {
     for stmt in stmts.iter_mut() {
         match stmt {
             Stmt::Assign { value, op, target, .. } => {
                 *value = tweak_expr(value, choice);
                 // `x = x + e`  <->  `x += e`.
                 if choice == 4 && op.is_none() && rng.gen_bool(0.7) {
-                    if let (Target::Name(name), Expr::Binary(BinOp::Add, lhs, rhs)) = (&*target, value.clone()) {
+                    if let (Target::Name(name), Expr::Binary(BinOp::Add, lhs, rhs)) =
+                        (&*target, value.clone())
+                    {
                         if *lhs == Expr::var(name.clone()) {
                             *op = Some(BinOp::Add);
                             *value = rhs.as_ref().clone();
@@ -266,11 +284,9 @@ fn tweak_expr(expr: &Expr, choice: u32) -> Expr {
             }
         }
         // `float(a * b)` <-> `1.0 * a * b`.
-        (1, Expr::Call(name, args)) if name == "float" && args.len() == 1 => Some(Expr::bin(
-            BinOp::Mul,
-            Expr::float(1.0),
-            args[0].clone(),
-        )),
+        (1, Expr::Call(name, args)) if name == "float" && args.len() == 1 => {
+            Some(Expr::bin(BinOp::Mul, Expr::float(1.0), args[0].clone()))
+        }
         // `range` <-> `xrange`.
         (2, Expr::Call(name, args)) if name == "range" => Some(Expr::Call("xrange".to_owned(), args.clone())),
         (2, Expr::Call(name, args)) if name == "xrange" => Some(Expr::Call("range".to_owned(), args.clone())),

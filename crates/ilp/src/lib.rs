@@ -165,8 +165,7 @@ impl IlpBuilder {
     /// Panics if the default node budget is exhausted; use
     /// [`IlpBuilder::solve_with_limits`] to handle that case explicitly.
     pub fn solve(&self) -> Option<Solution> {
-        self.solve_with_limits(SolveLimits::default())
-            .expect("default ILP node budget exhausted")
+        self.solve_with_limits(SolveLimits::default()).expect("default ILP node budget exhausted")
     }
 
     /// Solves the problem. `Ok(None)` means the problem is infeasible.
@@ -176,14 +175,9 @@ impl IlpBuilder {
     /// Returns [`BudgetExhausted`] if the node budget was reached before the
     /// search completed.
     pub fn solve_with_limits(&self, limits: SolveLimits) -> Result<Option<Solution>, BudgetExhausted> {
-        let mut solver = Solver {
-            problem: self,
-            assignment: vec![None; self.names.len()],
-            best: None,
-            nodes: 0,
-            limits,
-        };
-        solver.search(0)?;
+        let mut solver =
+            Solver { problem: self, assignment: vec![None; self.names.len()], best: None, nodes: 0, limits };
+        solver.search()?;
         Ok(solver.best)
     }
 }
@@ -324,11 +318,10 @@ impl Solver<'_> {
                 }
             }
         }
-        best.map(|(i, _)| i)
-            .or_else(|| self.assignment.iter().position(Option::is_none))
+        best.map(|(i, _)| i).or_else(|| self.assignment.iter().position(Option::is_none))
     }
 
-    fn search(&mut self, depth: usize) -> Result<(), BudgetExhausted> {
+    fn search(&mut self) -> Result<(), BudgetExhausted> {
         self.nodes += 1;
         if self.nodes > self.limits.max_nodes {
             return Err(BudgetExhausted);
@@ -368,7 +361,7 @@ impl Solver<'_> {
         let order = if self.problem.weights[var] >= 0 { [false, true] } else { [true, false] };
         for value in order {
             self.assignment[var] = Some(value);
-            self.search(depth + 1)?;
+            self.search()?;
             self.assignment[var] = None;
         }
         self.undo(&trail);
@@ -449,8 +442,8 @@ mod tests {
                 vars[i][j] = ilp.add_var(format!("x{i}{j}"), c);
             }
         }
-        for i in 0..3 {
-            ilp.add_exactly_one(&vars[i]);
+        for (i, row) in vars.iter().enumerate() {
+            ilp.add_exactly_one(row);
             let column: Vec<VarId> = (0..3).map(|r| vars[r][i]).collect();
             ilp.add_exactly_one(&column);
         }
@@ -520,11 +513,8 @@ mod tests {
                 let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
                 let feasible = ilp_constraints_hold(ilp, &assignment);
                 if feasible {
-                    let obj: i64 = assignment
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &v)| if v { ilp.weights[i] } else { 0 })
-                        .sum();
+                    let obj: i64 =
+                        assignment.iter().enumerate().map(|(i, &v)| if v { ilp.weights[i] } else { 0 }).sum();
                     best = Some(best.map_or(obj, |b: i64| b.min(obj)));
                 }
             }
@@ -550,7 +540,10 @@ mod tests {
                 let weights = prop::collection::vec(-5i64..10, num_vars);
                 let constraints = prop::collection::vec(
                     (
-                        prop::collection::vec((0..num_vars, prop_oneof![Just(1i64), Just(-1i64)]), 1..=num_vars.min(4)),
+                        prop::collection::vec(
+                            (0..num_vars, prop_oneof![Just(1i64), Just(-1i64)]),
+                            1..=num_vars.min(4),
+                        ),
                         prop_oneof![Just(Cmp::Eq), Just(Cmp::Ge)],
                         -1i64..3,
                     ),
@@ -562,7 +555,8 @@ mod tests {
                         ilp.add_var(format!("x{i}"), *w);
                     }
                     for (terms, cmp, rhs) in constraints {
-                        let terms: Vec<(VarId, i64)> = terms.into_iter().map(|(v, c)| (VarId(v), c)).collect();
+                        let terms: Vec<(VarId, i64)> =
+                            terms.into_iter().map(|(v, c)| (VarId(v), c)).collect();
                         ilp.add_constraint(terms, cmp, rhs);
                     }
                     ilp

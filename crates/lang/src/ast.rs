@@ -274,9 +274,7 @@ impl Expr {
                     + hi.as_ref().map(|e| e.size()).unwrap_or(0)
             }
             Expr::Call(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
-            Expr::Method(recv, _, args) => {
-                1 + recv.size() + args.iter().map(Expr::size).sum::<usize>()
-            }
+            Expr::Method(recv, _, args) => 1 + recv.size() + args.iter().map(Expr::size).sum::<usize>(),
         }
     }
 }
@@ -493,11 +491,7 @@ mod tests {
 
     #[test]
     fn variables_are_deduplicated_in_order() {
-        let e = Expr::bin(
-            BinOp::Add,
-            Expr::bin(BinOp::Mul, Expr::var("x"), Expr::var("y")),
-            Expr::var("x"),
-        );
+        let e = Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, Expr::var("x"), Expr::var("y")), Expr::var("x"));
         assert_eq!(e.variables(), vec!["x".to_string(), "y".to_string()]);
     }
 
@@ -512,7 +506,8 @@ mod tests {
 
     #[test]
     fn size_counts_nodes() {
-        let e = Expr::call("append", vec![Expr::var("xs"), Expr::bin(BinOp::Mul, Expr::var("i"), Expr::int(2))]);
+        let e =
+            Expr::call("append", vec![Expr::var("xs"), Expr::bin(BinOp::Mul, Expr::var("i"), Expr::int(2))]);
         assert_eq!(e.size(), 5);
     }
 
@@ -524,12 +519,7 @@ mod tests {
             body: vec![Stmt::Pass { line: 3 }],
             line: 2,
         };
-        let stmt = Stmt::If {
-            cond: Expr::bool(true),
-            then_body: vec![inner],
-            else_body: vec![],
-            line: 1,
-        };
+        let stmt = Stmt::If { cond: Expr::bool(true), then_body: vec![inner], else_body: vec![], line: 1 };
         assert!(stmt.contains_loop());
         assert!(!Stmt::Pass { line: 1 }.contains_loop());
     }

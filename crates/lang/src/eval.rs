@@ -33,7 +33,7 @@ impl Env for HashMap<String, Value> {
     }
 }
 
-impl<'a, T: Env + ?Sized> Env for &'a T {
+impl<T: Env + ?Sized> Env for &T {
     fn lookup(&self, name: &str) -> Option<Value> {
         (**self).lookup(name)
     }
@@ -54,9 +54,7 @@ pub fn eval_expr<E: Env>(expr: &Expr, env: &E) -> Result<Value, EvalError> {
     match expr {
         Expr::Lit(lit) => Ok(eval_lit(lit)),
         Expr::Var(name) => match env.lookup(name) {
-            Some(Value::Undef) | None => {
-                Err(EvalError::new(EvalErrorKind::UndefinedVariable(name.clone())))
-            }
+            Some(Value::Undef) | None => Err(EvalError::new(EvalErrorKind::UndefinedVariable(name.clone()))),
             Some(value) => Ok(value),
         },
         Expr::List(items) => {
@@ -163,9 +161,7 @@ pub fn apply_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, EvalError> 
 }
 
 fn arity_error(name: &str, expected: &str, actual: usize) -> EvalError {
-    EvalError::new(EvalErrorKind::ArityError(format!(
-        "{name}() expects {expected} arguments, got {actual}"
-    )))
+    EvalError::new(EvalErrorKind::ArityError(format!("{name}() expects {expected} arguments, got {actual}")))
 }
 
 fn eval_call<E: Env>(name: &str, args: &[Expr], env: &E) -> Result<Value, EvalError> {
@@ -176,11 +172,7 @@ fn eval_call<E: Env>(name: &str, args: &[Expr], env: &E) -> Result<Value, EvalEr
             return Err(arity_error("ite", "3", args.len()));
         }
         let cond = eval_expr(&args[0], env)?;
-        return if cond.truthy()? {
-            eval_expr(&args[1], env)
-        } else {
-            eval_expr(&args[2], env)
-        };
+        return if cond.truthy()? { eval_expr(&args[1], env) } else { eval_expr(&args[2], env) };
     }
     let values = args.iter().map(|e| eval_expr(e, env)).collect::<Result<Vec<_>, _>>()?;
     if let Some(result) = env.call_function(name, &values) {
@@ -241,7 +233,9 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
         "len" => match args {
             [Value::List(v)] | [Value::Tuple(v)] => Ok(Value::Int(v.len() as i64)),
             [Value::Str(s)] => Ok(Value::Int(s.chars().count() as i64)),
-            [other] => Err(EvalError::type_error(format!("object of type {} has no len()", other.type_name()))),
+            [other] => {
+                Err(EvalError::type_error(format!("object of type {} has no len()", other.type_name())))
+            }
             _ => Err(arity_error("len", "1", args.len())),
         },
         "float" => match args {
@@ -253,7 +247,10 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
                         .parse::<f64>()
                         .map(Value::Float)
                         .map_err(|_| EvalError::type_error("could not convert string to float")),
-                    _ => Err(EvalError::type_error(format!("float() argument must be a number, got {}", v.type_name()))),
+                    _ => Err(EvalError::type_error(format!(
+                        "float() argument must be a number, got {}",
+                        v.type_name()
+                    ))),
                 },
             },
             _ => Err(arity_error("float", "1", args.len())),
@@ -268,7 +265,10 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
                     .parse::<i64>()
                     .map(Value::Int)
                     .map_err(|_| EvalError::type_error("invalid literal for int()")),
-                _ => Err(EvalError::type_error(format!("int() argument must be a number, got {}", v.type_name()))),
+                _ => Err(EvalError::type_error(format!(
+                    "int() argument must be a number, got {}",
+                    v.type_name()
+                ))),
             },
             _ => Err(arity_error("int", "1", args.len())),
         },
@@ -284,7 +284,9 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
             [Value::Int(i)] => Ok(Value::Int(i.abs())),
             [Value::Float(f)] => Ok(Value::Float(f.abs())),
             [Value::Bool(b)] => Ok(Value::Int(i64::from(*b))),
-            [other] => Err(EvalError::type_error(format!("bad operand type for abs(): {}", other.type_name()))),
+            [other] => {
+                Err(EvalError::type_error(format!("bad operand type for abs(): {}", other.type_name())))
+            }
             _ => Err(arity_error("abs", "1", args.len())),
         },
         "min" | "max" => {
@@ -298,9 +300,8 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
             }
             let mut best = items[0].clone();
             for item in &items[1..] {
-                let ord = item
-                    .py_cmp(&best)
-                    .ok_or_else(|| EvalError::type_error("values are not comparable"))?;
+                let ord =
+                    item.py_cmp(&best).ok_or_else(|| EvalError::type_error("values are not comparable"))?;
                 let take = if name == "min" { ord.is_lt() } else { ord.is_gt() };
                 if take {
                     best = item.clone();
@@ -341,9 +342,7 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
             _ => Err(arity_error("sorted", "1 (a sequence)", args.len())),
         },
         "reversed" => match args {
-            [Value::List(v)] | [Value::Tuple(v)] => {
-                Ok(Value::List(v.iter().rev().cloned().collect()))
-            }
+            [Value::List(v)] | [Value::Tuple(v)] => Ok(Value::List(v.iter().rev().cloned().collect())),
             [Value::Str(s)] => Ok(Value::Str(s.chars().rev().collect())),
             _ => Err(arity_error("reversed", "1 (a sequence)", args.len())),
         },
@@ -365,10 +364,9 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
                 out.push(item.clone());
                 Ok(Value::List(out))
             }
-            [other, _] => Err(EvalError::type_error(format!(
-                "append() expects a list, got {}",
-                other.type_name()
-            ))),
+            [other, _] => {
+                Err(EvalError::type_error(format!("append() expects a list, got {}", other.type_name())))
+            }
             _ => Err(arity_error("append", "2", args.len())),
         },
         "head" => match args {
@@ -442,10 +440,7 @@ fn eval_method(recv: &Value, name: &str, args: &[Value]) -> Result<Value, EvalEr
             [needle] => Ok(Value::Int(v.iter().filter(|x| x.py_eq(needle)).count() as i64)),
             _ => Err(arity_error("count", "1", args.len())),
         },
-        _ => Err(EvalError::type_error(format!(
-            "{} object has no usable method `{name}`",
-            recv.type_name()
-        ))),
+        _ => Err(EvalError::type_error(format!("{} object has no usable method `{name}`", recv.type_name()))),
     }
 }
 
@@ -547,20 +542,14 @@ mod tests {
         assert_eq!(eval("head(it)", &e).unwrap(), Value::Int(1));
         assert_eq!(eval("tail(it)", &e).unwrap(), Value::List(vec![Value::Int(2)]));
         assert_eq!(eval("len(it) > 0", &e).unwrap(), Value::Bool(true));
-        assert_eq!(
-            eval("store(it, 0, 9)", &e).unwrap(),
-            Value::List(vec![Value::Int(9), Value::Int(2)])
-        );
+        assert_eq!(eval("store(it, 0, 9)", &e).unwrap(), Value::List(vec![Value::Int(9), Value::Int(2)]));
         assert_eq!(eval("concat('a', 1, 'b')", &e).unwrap(), Value::Str("a1b".into()));
     }
 
     #[test]
     fn method_calls_evaluate_functionally() {
         let e = env(&[("xs", Value::List(vec![Value::Int(1)]))]);
-        assert_eq!(
-            eval("xs.count(1)", &e).unwrap(),
-            Value::Int(1)
-        );
+        assert_eq!(eval("xs.count(1)", &e).unwrap(), Value::Int(1));
         assert!(eval("xs.length()", &e).is_err());
     }
 
@@ -589,9 +578,6 @@ mod tests {
     #[test]
     fn unknown_function_is_an_error() {
         let e = env(&[]);
-        assert!(matches!(
-            eval("frobnicate(1)", &e).unwrap_err().kind,
-            EvalErrorKind::UnknownFunction(_)
-        ));
+        assert!(matches!(eval("frobnicate(1)", &e).unwrap_err().kind, EvalErrorKind::UnknownFunction(_)));
     }
 }

@@ -52,14 +52,9 @@ pub fn run_function(
     args: &[Value],
     limits: Limits,
 ) -> Result<Execution, InterpError> {
-    let function = program
-        .function(entry)
-        .ok_or_else(|| InterpError::MissingFunction(entry.to_owned()))?;
+    let function = program.function(entry).ok_or_else(|| InterpError::MissingFunction(entry.to_owned()))?;
     if function.params.len() != args.len() {
-        return Err(InterpError::ArityMismatch {
-            expected: function.params.len(),
-            actual: args.len(),
-        });
+        return Err(InterpError::ArityMismatch { expected: function.params.len(), actual: args.len() });
     }
     let interp = Interp {
         program,
@@ -76,11 +71,7 @@ pub fn run_function(
         _ => Value::None,
     };
     let state = interp.state.into_inner();
-    Ok(Execution {
-        return_value,
-        output: state.output,
-        steps: state.steps,
-    })
+    Ok(Execution { return_value, output: state.output, steps: state.steps })
 }
 
 /// Control-flow outcome of executing a statement or block.
@@ -144,10 +135,7 @@ impl<'p> Interp<'p> {
 
     fn call_user_function(&self, callee: &Function, args: &[Value]) -> Result<Value, InterpError> {
         if callee.params.len() != args.len() {
-            return Err(InterpError::ArityMismatch {
-                expected: callee.params.len(),
-                actual: args.len(),
-            });
+            return Err(InterpError::ArityMismatch { expected: callee.params.len(), actual: args.len() });
         }
         self.tick()?;
         let mut env: HashMap<String, Value> = HashMap::new();
@@ -161,11 +149,7 @@ impl<'p> Interp<'p> {
         })
     }
 
-    fn run_block(
-        &self,
-        stmts: &[Stmt],
-        env: &mut HashMap<String, Value>,
-    ) -> Result<Flow, InterpError> {
+    fn run_block(&self, stmts: &[Stmt], env: &mut HashMap<String, Value>) -> Result<Flow, InterpError> {
         for stmt in stmts {
             match self.run_stmt(stmt, env)? {
                 Flow::Normal => continue,
@@ -289,7 +273,8 @@ impl<'p> Interp<'p> {
                             let result = if name == "append" {
                                 let base = self.eval(&call_args[0], env)?;
                                 let item = self.eval(&call_args[1], env)?;
-                                crate::eval::call_builtin("append", &[base, item]).map_err(InterpError::from)?
+                                crate::eval::call_builtin("append", &[base, item])
+                                    .map_err(InterpError::from)?
                             } else {
                                 let base = self.eval(&call_args[0], env)?;
                                 match base {
@@ -356,7 +341,7 @@ def computeDeriv(poly):
     #[test]
     fn papers_correct_attempts_agree() {
         let poly = Value::List(vec![Value::Float(6.3), Value::Float(7.6), Value::Float(12.14)]);
-        let r1 = run(C1, "computeDeriv", &[poly.clone()]);
+        let r1 = run(C1, "computeDeriv", std::slice::from_ref(&poly));
         let r2 = run(C2, "computeDeriv", &[poly]);
         assert_eq!(r1.return_value, Value::List(vec![Value::Float(7.6), Value::Float(24.28)]));
         assert_eq!(r1.return_value, r2.return_value);

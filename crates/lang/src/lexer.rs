@@ -200,10 +200,7 @@ impl<'src> Lexer<'src> {
                 is_float = true;
                 self.pos += 1;
             } else if (c == 'e' || c == 'E')
-                && self
-                    .peek_at(1)
-                    .map(|n| n.is_ascii_digit() || n == '+' || n == '-')
-                    .unwrap_or(false)
+                && self.peek_at(1).map(|n| n.is_ascii_digit() || n == '+' || n == '-').unwrap_or(false)
             {
                 is_float = true;
                 self.pos += 2;
@@ -251,9 +248,7 @@ impl<'src> Lexer<'src> {
         let mut value = String::new();
         loop {
             match self.bump() {
-                None | Some('\n') => {
-                    return Err(ParseError::new(self.line, "unterminated string literal"))
-                }
+                None | Some('\n') => return Err(ParseError::new(self.line, "unterminated string literal")),
                 Some('\\') => match self.bump() {
                     Some('n') => value.push('\n'),
                     Some('t') => value.push('\t'),
@@ -353,12 +348,7 @@ impl<'src> Lexer<'src> {
             (',', _) => TokenKind::Comma,
             (':', _) => TokenKind::Colon,
             ('.', _) => TokenKind::Dot,
-            (other, _) => {
-                return Err(ParseError::new(
-                    self.line,
-                    format!("unexpected character `{other}`"),
-                ))
-            }
+            (other, _) => return Err(ParseError::new(self.line, format!("unexpected character `{other}`"))),
         };
         self.push(kind);
         Ok(())
@@ -378,15 +368,7 @@ mod tests {
     fn simple_assignment() {
         assert_eq!(
             kinds("x = 1 + 2.5\n"),
-            vec![
-                T::Name("x".into()),
-                T::Assign,
-                T::Int(1),
-                T::Plus,
-                T::Float(2.5),
-                T::Newline,
-                T::Eof
-            ]
+            vec![T::Name("x".into()), T::Assign, T::Int(1), T::Plus, T::Float(2.5), T::Newline, T::Eof]
         );
     }
 
@@ -411,10 +393,7 @@ mod tests {
     #[test]
     fn comments_and_blank_lines_are_skipped() {
         let toks = kinds("# a comment\n\nx = 1  # trailing\n\n");
-        assert_eq!(
-            toks,
-            vec![T::Name("x".into()), T::Assign, T::Int(1), T::Newline, T::Eof]
-        );
+        assert_eq!(toks, vec![T::Name("x".into()), T::Assign, T::Int(1), T::Newline, T::Eof]);
     }
 
     #[test]
@@ -440,10 +419,7 @@ mod tests {
 
     #[test]
     fn operators() {
-        assert_eq!(
-            kinds("a //= 2\n")[0..2].to_vec(),
-            vec![T::Name("a".into()), T::DoubleSlash]
-        );
+        assert_eq!(kinds("a //= 2\n")[0..2].to_vec(), vec![T::Name("a".into()), T::DoubleSlash]);
         assert_eq!(
             kinds("a ** b != c\n"),
             vec![

@@ -86,10 +86,7 @@ impl Parser {
         if self.eat(kind) {
             Ok(())
         } else {
-            Err(ParseError::new(
-                self.peek_line(),
-                format!("expected {kind}, found {}", self.peek()),
-            ))
+            Err(ParseError::new(self.peek_line(), format!("expected {kind}, found {}", self.peek())))
         }
     }
 
@@ -97,10 +94,7 @@ impl Parser {
         if self.check(&TokenKind::Eof) {
             Ok(())
         } else {
-            Err(ParseError::new(
-                self.peek_line(),
-                format!("expected end of input, found {}", self.peek()),
-            ))
+            Err(ParseError::new(self.peek_line(), format!("expected end of input, found {}", self.peek())))
         }
     }
 
@@ -170,10 +164,7 @@ impl Parser {
     fn parse_name(&mut self) -> Result<String, ParseError> {
         match self.bump() {
             TokenKind::Name(name) => Ok(name),
-            other => Err(ParseError::new(
-                self.peek_line(),
-                format!("expected identifier, found {other}"),
-            )),
+            other => Err(ParseError::new(self.peek_line(), format!("expected identifier, found {other}"))),
         }
     }
 
@@ -211,10 +202,7 @@ impl Parser {
             TokenKind::While => self.parse_while(),
             TokenKind::For => self.parse_for(),
             TokenKind::Def | TokenKind::Class | TokenKind::Lambda | TokenKind::Global => {
-                Err(ParseError::new(
-                    self.peek_line(),
-                    format!("unsupported construct {}", self.peek()),
-                ))
+                Err(ParseError::new(self.peek_line(), format!("unsupported construct {}", self.peek())))
             }
             _ => {
                 let stmt = self.parse_simple_statement()?;
@@ -282,7 +270,9 @@ impl Parser {
             TokenKind::Print => {
                 self.bump();
                 let mut args = Vec::new();
-                if !self.check(&TokenKind::Newline) && !self.check(&TokenKind::Eof) && !self.check(&TokenKind::Dedent)
+                if !self.check(&TokenKind::Newline)
+                    && !self.check(&TokenKind::Eof)
+                    && !self.check(&TokenKind::Dedent)
                 {
                     args.push(self.parse_expr()?);
                     while self.eat(&TokenKind::Comma) {
@@ -335,10 +325,7 @@ impl Parser {
                 Expr::Index(base, idx) => match *base {
                     Expr::Var(name) => Target::Index(name, *idx),
                     _ => {
-                        return Err(ParseError::new(
-                            line,
-                            "only simple variables can be subscript-assigned",
-                        ))
+                        return Err(ParseError::new(line, "only simple variables can be subscript-assigned"))
                     }
                 },
                 _ => return Err(ParseError::new(line, "invalid assignment target")),
@@ -420,7 +407,12 @@ impl Parser {
             // of binary comparisons, as in Python.
             if matches!(
                 self.peek(),
-                TokenKind::EqEq | TokenKind::NotEq | TokenKind::Lt | TokenKind::Le | TokenKind::Gt | TokenKind::Ge
+                TokenKind::EqEq
+                    | TokenKind::NotEq
+                    | TokenKind::Lt
+                    | TokenKind::Le
+                    | TokenKind::Gt
+                    | TokenKind::Ge
             ) {
                 let next_op = match self.peek() {
                     TokenKind::EqEq => BinOp::Eq,

@@ -32,18 +32,12 @@ pub struct TestCase {
 impl TestCase {
     /// Creates a test case graded on the return value.
     pub fn returning(args: Vec<Value>, expected: Value) -> Self {
-        TestCase {
-            args,
-            expected: Expected { return_value: Some(expected), output: None },
-        }
+        TestCase { args, expected: Expected { return_value: Some(expected), output: None } }
     }
 
     /// Creates a test case graded on printed output.
     pub fn printing(args: Vec<Value>, expected: impl Into<String>) -> Self {
-        TestCase {
-            args,
-            expected: Expected { return_value: None, output: Some(expected.into()) },
-        }
+        TestCase { args, expected: Expected { return_value: None, output: Some(expected.into()) } }
     }
 }
 
@@ -63,12 +57,7 @@ pub struct ProblemSpec {
 impl ProblemSpec {
     /// Creates a specification with default execution limits.
     pub fn new(name: impl Into<String>, entry: impl Into<String>, tests: Vec<TestCase>) -> Self {
-        ProblemSpec {
-            name: name.into(),
-            entry: entry.into(),
-            tests,
-            limits: Limits::default(),
-        }
+        ProblemSpec { name: name.into(), entry: entry.into(), tests, limits: Limits::default() }
     }
 
     /// The test inputs, i.e. the set `I` of the paper over which dynamic
@@ -100,10 +89,7 @@ impl ProblemSpec {
                 }
                 Err(_) => false,
             };
-            results.push(TestResult {
-                passed,
-                error: outcome.err(),
-            });
+            results.push(TestResult { passed, error: outcome.err() });
         }
         GradeReport { results }
     }
@@ -188,13 +174,14 @@ mod tests {
 
     #[test]
     fn output_based_grading() {
-        let spec = ProblemSpec::new(
-            "count_up",
-            "main",
-            vec![TestCase::printing(vec![Value::Int(2)], "1\n2\n")],
-        );
-        let good = parse_program("def main(n):\n    i = 1\n    while i <= n:\n        print(i)\n        i += 1\n").unwrap();
-        let bad = parse_program("def main(n):\n    i = 0\n    while i < n:\n        print(i)\n        i += 1\n").unwrap();
+        let spec =
+            ProblemSpec::new("count_up", "main", vec![TestCase::printing(vec![Value::Int(2)], "1\n2\n")]);
+        let good =
+            parse_program("def main(n):\n    i = 1\n    while i <= n:\n        print(i)\n        i += 1\n")
+                .unwrap();
+        let bad =
+            parse_program("def main(n):\n    i = 0\n    while i < n:\n        print(i)\n        i += 1\n")
+                .unwrap();
         assert!(spec.is_correct(&good));
         assert!(!spec.is_correct(&bad));
     }

@@ -381,9 +381,7 @@ pub mod ops {
     /// Ordering comparison; `op` is one of `<`, `<=`, `>`, `>=`.
     pub fn compare(op: &str, a: &Value, b: &Value) -> Result<Value, EvalError> {
         use std::cmp::Ordering;
-        let ord = a
-            .py_cmp(b)
-            .ok_or_else(|| type_error(op, a, b))?;
+        let ord = a.py_cmp(b).ok_or_else(|| type_error(op, a, b))?;
         let result = match op {
             "<" => ord == Ordering::Less,
             "<=" => ord != Ordering::Greater,
@@ -406,10 +404,8 @@ pub mod ops {
                 )))
             }
         };
-        let items: &[Value];
-        let string_item;
-        match base {
-            Value::List(v) | Value::Tuple(v) => items = v,
+        let items: &[Value] = match base {
+            Value::List(v) | Value::Tuple(v) => v,
             Value::Str(s) => {
                 let chars: Vec<char> = s.chars().collect();
                 let n = chars.len() as i64;
@@ -417,16 +413,10 @@ pub mod ops {
                 if real < 0 || real >= n {
                     return Err(EvalError::index_error("string index out of range"));
                 }
-                string_item = Value::Str(chars[real as usize].to_string());
-                return Ok(string_item);
+                return Ok(Value::Str(chars[real as usize].to_string()));
             }
-            _ => {
-                return Err(EvalError::type_error(format!(
-                    "{} is not subscriptable",
-                    base.type_name()
-                )))
-            }
-        }
+            _ => return Err(EvalError::type_error(format!("{} is not subscriptable", base.type_name()))),
+        };
         let n = items.len() as i64;
         let real = if i < 0 { i + n } else { i };
         if real < 0 || real >= n {
@@ -514,10 +504,7 @@ pub mod ops {
                 out[real as usize] = value.clone();
                 Ok(Value::List(out))
             }
-            _ => Err(EvalError::type_error(format!(
-                "{} does not support item assignment",
-                base.type_name()
-            ))),
+            _ => Err(EvalError::type_error(format!("{} does not support item assignment", base.type_name()))),
         }
     }
 }
@@ -532,10 +519,7 @@ mod tests {
         assert_eq!(Value::Int(1), Value::Float(1.0));
         assert_eq!(Value::Bool(true), Value::Int(1));
         assert_ne!(Value::Int(1), Value::Str("1".into()));
-        assert_eq!(
-            Value::List(vec![Value::Int(0)]),
-            Value::List(vec![Value::Float(0.0)])
-        );
+        assert_eq!(Value::List(vec![Value::Int(0)]), Value::List(vec![Value::Float(0.0)]));
     }
 
     #[test]
@@ -578,10 +562,7 @@ mod tests {
 
     #[test]
     fn string_repetition() {
-        assert_eq!(
-            ops::mul(&Value::Str("ab".into()), &Value::Int(3)).unwrap(),
-            Value::Str("ababab".into())
-        );
+        assert_eq!(ops::mul(&Value::Str("ab".into()), &Value::Int(3)).unwrap(), Value::Str("ababab".into()));
         assert_eq!(ops::mul(&Value::Str("ab".into()), &Value::Int(-1)).unwrap(), Value::Str(String::new()));
     }
 

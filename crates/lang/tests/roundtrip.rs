@@ -1,0 +1,59 @@
+//! Parse → pretty-print → re-parse round-trips for the MiniPy front end.
+//!
+//! The corpus seed programs are the richest MiniPy sample in the repository;
+//! any printer/parser disagreement (precedence, indentation, string
+//! escaping) shows up as a re-parse failure or a different AST here. The
+//! corpus crate is a dev-dependency: cargo permits the cycle because it only
+//! exists for tests.
+
+use clara_lang::{parse_program, program_to_string};
+
+#[test]
+fn corpus_seed_programs_round_trip() {
+    let mut checked = 0usize;
+    for problem in clara_corpus::all_problems() {
+        for (index, seed) in problem.seeds.iter().enumerate() {
+            let parsed = parse_program(seed)
+                .unwrap_or_else(|e| panic!("{} seed {index} does not parse: {e}", problem.name));
+            let printed = program_to_string(&parsed);
+            let reparsed = parse_program(&printed).unwrap_or_else(|e| {
+                panic!(
+                    "{} seed {index}: pretty output does not re-parse: {e}\n--- printed ---\n{printed}",
+                    problem.name
+                )
+            });
+            assert_eq!(
+                parsed, reparsed,
+                "{} seed {index}: AST changed across print/re-parse\n--- printed ---\n{printed}",
+                problem.name
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 30, "expected the corpus to provide many seeds, found {checked}");
+}
+
+#[test]
+fn reference_solutions_round_trip() {
+    for problem in clara_corpus::all_problems() {
+        let parsed = parse_program(problem.reference)
+            .unwrap_or_else(|e| panic!("{} reference does not parse: {e}", problem.name));
+        let printed = program_to_string(&parsed);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("{} reference reprint fails: {e}\n{printed}", problem.name));
+        assert_eq!(parsed, reparsed, "{}: reference AST changed across print/re-parse", problem.name);
+    }
+}
+
+#[test]
+fn pretty_printing_is_a_fixpoint() {
+    // Printing an already-printed program must be the identity: a second
+    // print that differs indicates the printer invents or loses syntax.
+    for problem in clara_corpus::all_problems() {
+        for (index, seed) in problem.seeds.iter().enumerate() {
+            let printed = program_to_string(&parse_program(seed).unwrap());
+            let reprinted = program_to_string(&parse_program(&printed).unwrap());
+            assert_eq!(printed, reprinted, "{} seed {index}: printer is not idempotent", problem.name);
+        }
+    }
+}

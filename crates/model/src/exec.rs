@@ -53,10 +53,7 @@ impl Trace {
     /// The projection `γ|v`: the sequence of new values of `var` along the
     /// trace (used by the matching algorithm, Fig. 4).
     pub fn projection(&self, var: &str) -> Vec<Value> {
-        self.steps
-            .iter()
-            .map(|s| s.post.get(var).cloned().unwrap_or(Value::Undef))
-            .collect()
+        self.steps.iter().map(|s| s.post.get(var).cloned().unwrap_or(Value::Undef)).collect()
     }
 
     /// The sequence of visited locations.
@@ -66,10 +63,7 @@ impl Trace {
 
     /// The final value of the `return` variable, if the trace completed.
     pub fn return_value(&self) -> Value {
-        self.steps
-            .last()
-            .and_then(|s| s.post.get(special::RETURN).cloned())
-            .unwrap_or(Value::Undef)
+        self.steps.last().and_then(|s| s.post.get(special::RETURN).cloned()).unwrap_or(Value::Undef)
     }
 
     /// The final value of the output variable `#out`.
@@ -93,11 +87,27 @@ impl Trace {
 pub struct Fuel {
     /// Maximum number of trace steps (locations visited).
     pub max_steps: usize,
+    /// Maximum size of any single value produced by an update, in
+    /// [`value_size_units`]. Diverging programs that *grow* data every
+    /// iteration (`out = out + line` in an infinite loop) would otherwise
+    /// stay within `max_steps` while the per-step memory clones stored in the
+    /// trace balloon to gigabytes.
+    pub max_value_units: usize,
 }
 
 impl Default for Fuel {
     fn default() -> Self {
-        Fuel { max_steps: 5_000 }
+        Fuel { max_steps: 5_000, max_value_units: 64 * 1024 }
+    }
+}
+
+/// Approximate size of a value: scalars count 1, strings their length, and
+/// containers the sum over their elements (plus 1 for the container).
+pub fn value_size_units(value: &Value) -> usize {
+    match value {
+        Value::Int(_) | Value::Float(_) | Value::Bool(_) | Value::None | Value::Undef => 1,
+        Value::Str(s) => 1 + s.len(),
+        Value::List(items) | Value::Tuple(items) => 1 + items.iter().map(value_size_units).sum::<usize>(),
     }
 }
 
@@ -136,11 +146,17 @@ pub fn execute_from(program: &Program, input: Memory, fuel: Fuel) -> Trace {
         }
         let pre = memory.clone();
         let mut post = memory.clone();
+        let mut oversized = false;
         for (var, expr) in program.updates_at(loc) {
             let value = eval_expr(expr, &pre).unwrap_or(Value::Undef);
+            oversized |= value_size_units(&value) > fuel.max_value_units;
             post.insert(var.clone(), value);
         }
         steps.push(Step { loc, pre, post: post.clone() });
+        if oversized {
+            status = TraceStatus::OutOfFuel;
+            break;
+        }
 
         let branch = if program.is_branching(loc) {
             match post.get(special::COND).cloned().unwrap_or(Value::Undef).truthy() {

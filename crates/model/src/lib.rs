@@ -43,7 +43,9 @@ pub mod exec;
 pub mod lower;
 pub mod program;
 
-pub use exec::{execute, execute_from, execute_on_inputs, initial_memory, Fuel, Memory, Step, Trace, TraceStatus};
+pub use exec::{
+    execute, execute_from, execute_on_inputs, initial_memory, Fuel, Memory, Step, Trace, TraceStatus,
+};
 pub use lower::{lower_entry, lower_function, LowerError};
 pub use program::{special, Loc, LocInfo, LocKind, Program, StructSig, Succ};
 
@@ -114,7 +116,7 @@ def computeDeriv(poly):
             let source = parse_program(src).unwrap();
             let program = lower_entry(&source, "computeDeriv").unwrap();
             for input in [poly(&[6.3, 7.6, 12.14]), poly(&[3.0]), poly(&[]), poly(&[1.0, 2.0, 3.0, 4.0])] {
-                let trace = execute(&program, &[input.clone()], Fuel::default());
+                let trace = execute(&program, std::slice::from_ref(&input), Fuel::default());
                 let direct = run_function(&source, "computeDeriv", &[input], Limits::default()).unwrap();
                 assert_eq!(trace.return_value(), direct.return_value, "mismatch for {src}");
             }
@@ -171,7 +173,7 @@ def first_even(xs):
         let source = parse_program(src).unwrap();
         let program = lower_entry(&source, "first_even").unwrap();
         let xs = Value::List(vec![Value::Int(3), Value::Int(4), Value::Int(5), Value::Int(6)]);
-        let trace = execute(&program, &[xs.clone()], Fuel::default());
+        let trace = execute(&program, std::slice::from_ref(&xs), Fuel::default());
         let direct = run_function(&source, "first_even", &[xs], Limits::default()).unwrap();
         assert_eq!(trace.return_value(), direct.return_value);
         assert_eq!(trace.return_value(), Value::Int(4));
@@ -211,7 +213,7 @@ def f(n):
         assert_eq!(StructSig::sequence_key(&p.signature), "I(BL(B)B|B)B");
         let source = parse_program(src).unwrap();
         for n in [Value::Int(4), Value::Int(0), Value::Int(-2)] {
-            let trace = execute(&p, &[n.clone()], Fuel::default());
+            let trace = execute(&p, std::slice::from_ref(&n), Fuel::default());
             let direct = run_function(&source, "f", &[n], Limits::default()).unwrap();
             assert_eq!(trace.return_value(), direct.return_value);
         }
@@ -231,7 +233,7 @@ def sign(x):
         let p = lower_src(src, "sign");
         assert_eq!(p.location_count(), 1);
         for x in [Value::Int(5), Value::Int(0), Value::Int(-3)] {
-            let trace = execute(&p, &[x.clone()], Fuel::default());
+            let trace = execute(&p, std::slice::from_ref(&x), Fuel::default());
             let source = parse_program(src).unwrap();
             let direct = run_function(&source, "sign", &[x], Limits::default()).unwrap();
             assert_eq!(trace.return_value(), direct.return_value);
@@ -247,7 +249,7 @@ def f(n):
     return n
 ";
         let p = lower_src(src, "f");
-        let trace = execute(&p, &[Value::Int(0)], Fuel { max_steps: 100 });
+        let trace = execute(&p, &[Value::Int(0)], Fuel { max_steps: 100, ..Fuel::default() });
         assert_eq!(trace.status, TraceStatus::OutOfFuel);
     }
 

@@ -212,11 +212,8 @@ impl BlockCtx {
 
     /// Records the (guarded) assignment `var := value`.
     fn assign(&mut self, var: &str, value: Expr, line: u32) -> Result<(), LowerError> {
-        let value = if is_true(&self.guard) {
-            value
-        } else {
-            make_ite(self.guard.clone(), value, self.current(var))
-        };
+        let value =
+            if is_true(&self.guard) { value } else { make_ite(self.guard.clone(), value, self.current(var)) };
         if value.size() > MAX_EXPR_SIZE {
             return Err(LowerError::new(line, "composed update expression grew too large"));
         }
@@ -310,7 +307,12 @@ impl Lowerer {
             match loopy {
                 None => {
                     // Trailing block of the sequence.
-                    let ctx = self.lower_block(chunk, std::mem::take(&mut prelude), maybe_returned, brk_flag.clone())?;
+                    let ctx = self.lower_block(
+                        chunk,
+                        std::mem::take(&mut prelude),
+                        maybe_returned,
+                        brk_flag.clone(),
+                    )?;
                     let loc = self.emit_block(LocKind::Block, chunk_line, "block", &ctx);
                     self.connect(&pending, loc);
                     entry.get_or_insert(loc);
@@ -339,8 +341,12 @@ impl Lowerer {
                     let body_has_return = contains_return(body);
 
                     // Block before the loop.
-                    let mut ctx =
-                        self.lower_block(chunk, std::mem::take(&mut prelude), maybe_returned, brk_flag.clone())?;
+                    let mut ctx = self.lower_block(
+                        chunk,
+                        std::mem::take(&mut prelude),
+                        maybe_returned,
+                        brk_flag.clone(),
+                    )?;
                     let maybe_returned_before = maybe_returned || ctx.maybe_returned;
 
                     // Loop-specific initialisation appended to the before-block.
@@ -406,8 +412,12 @@ impl Lowerer {
                     remaining = rest;
                 }
                 Some(Stmt::If { cond, then_body, else_body, line }) => {
-                    let ctx =
-                        self.lower_block(chunk, std::mem::take(&mut prelude), maybe_returned, brk_flag.clone())?;
+                    let ctx = self.lower_block(
+                        chunk,
+                        std::mem::take(&mut prelude),
+                        maybe_returned,
+                        brk_flag.clone(),
+                    )?;
                     let maybe_returned_here = maybe_returned || ctx.maybe_returned;
                     let mut branch_cond = ctx.subst(cond);
                     if !is_true(&ctx.guard) {
@@ -422,12 +432,12 @@ impl Lowerer {
                         self.lower_seq(then_body, maybe_returned_here, Vec::new(), brk_flag.clone(), *line)?;
                     let else_out =
                         self.lower_seq(else_body, maybe_returned_here, Vec::new(), brk_flag.clone(), *line)?;
-                    self.prog
-                        .set_succ(branch_loc, Succ::Loc(then_out.entry), Succ::Loc(else_out.entry));
+                    self.prog.set_succ(branch_loc, Succ::Loc(then_out.entry), Succ::Loc(else_out.entry));
 
                     sigs.push(StructSig::Branch(then_out.sigs, else_out.sigs));
                     pending = then_out.exits.into_iter().chain(else_out.exits).collect();
-                    maybe_returned = maybe_returned_here || then_out.maybe_returned || else_out.maybe_returned;
+                    maybe_returned =
+                        maybe_returned_here || then_out.maybe_returned || else_out.maybe_returned;
                     remaining = rest;
                 }
                 Some(other) => {
@@ -439,11 +449,8 @@ impl Lowerer {
 
     /// Emits a block location with the updates accumulated in `ctx`.
     fn emit_block(&mut self, kind: LocKind, line: u32, what: &str, ctx: &BlockCtx) -> Loc {
-        let loc = self.prog.add_location(LocInfo {
-            kind,
-            line,
-            description: format!("{what} at line {line}"),
-        });
+        let loc =
+            self.prog.add_location(LocInfo { kind, line, description: format!("{what} at line {line}") });
         for (var, expr) in &ctx.env {
             let stmt_line = ctx.lines.get(var).copied().unwrap_or(line);
             self.prog.set_update(loc, var, expr.clone(), stmt_line);
@@ -539,7 +546,10 @@ impl Lowerer {
                     } else {
                         let merged = make_ite(branch_cond.clone(), then_value, else_value);
                         if merged.size() > MAX_EXPR_SIZE {
-                            return Err(LowerError::new(stmt.line(), "composed update expression grew too large"));
+                            return Err(LowerError::new(
+                                stmt.line(),
+                                "composed update expression grew too large",
+                            ));
                         }
                         ctx.env.insert(var.clone(), merged);
                     }
@@ -578,8 +588,7 @@ impl Lowerer {
             Stmt::ExprStmt { expr, line } => match expr {
                 Expr::Method(recv, method, args) if method == "append" && args.len() == 1 => {
                     if let Expr::Var(name) = recv.as_ref() {
-                        let new_value =
-                            Expr::call("append", vec![ctx.current(name), ctx.subst(&args[0])]);
+                        let new_value = Expr::call("append", vec![ctx.current(name), ctx.subst(&args[0])]);
                         ctx.assign(name, new_value, *line)?;
                     } else {
                         return Err(LowerError::new(*line, "append on a non-variable receiver"));
@@ -587,7 +596,8 @@ impl Lowerer {
                 }
                 Expr::Method(recv, method, args) if method == "pop" && args.is_empty() => {
                     if let Expr::Var(name) = recv.as_ref() {
-                        let new_value = Expr::Method(Box::new(ctx.current(name)), "pop".to_owned(), Vec::new());
+                        let new_value =
+                            Expr::Method(Box::new(ctx.current(name)), "pop".to_owned(), Vec::new());
                         ctx.assign(name, new_value, *line)?;
                     } else {
                         return Err(LowerError::new(*line, "pop on a non-variable receiver"));
@@ -600,10 +610,8 @@ impl Lowerer {
             },
             Stmt::Pass { .. } => {}
             Stmt::Break { line } => {
-                let flag = ctx
-                    .brk_flag
-                    .clone()
-                    .ok_or_else(|| LowerError::new(*line, "break outside of a loop"))?;
+                let flag =
+                    ctx.brk_flag.clone().ok_or_else(|| LowerError::new(*line, "break outside of a loop"))?;
                 ctx.assign(&flag, TRUE, *line)?;
                 ctx.guard = FALSE;
             }
@@ -611,10 +619,7 @@ impl Lowerer {
                 ctx.guard = FALSE;
             }
             Stmt::While { line, .. } | Stmt::For { line, .. } => {
-                return Err(LowerError::new(
-                    *line,
-                    "internal error: loop statement reached block lowering",
-                ));
+                return Err(LowerError::new(*line, "internal error: loop statement reached block lowering"));
             }
         }
         Ok(())

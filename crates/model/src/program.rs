@@ -225,9 +225,7 @@ impl Program {
     /// The update expression `U(loc, var)`. Variables without an explicit
     /// update keep their value, i.e. the update is the identity `var`.
     pub fn update(&self, loc: Loc, var: &str) -> Expr {
-        self.explicit_update(loc, var)
-            .cloned()
-            .unwrap_or_else(|| Expr::Var(var.to_owned()))
+        self.explicit_update(loc, var).cloned().unwrap_or_else(|| Expr::Var(var.to_owned()))
     }
 
     /// The explicitly set update expression, if any (`None` means identity).
@@ -280,11 +278,7 @@ impl Program {
 
     /// The user-visible (non-special) variables.
     pub fn user_vars(&self) -> Vec<String> {
-        self.vars
-            .iter()
-            .filter(|v| !special::is_special(v))
-            .cloned()
-            .collect()
+        self.vars.iter().filter(|v| !special::is_special(v)).cloned().collect()
     }
 
     /// Total number of expression AST nodes over all explicit updates;
@@ -349,13 +343,12 @@ mod tests {
 
     #[test]
     fn signature_keys() {
-        let sig = vec![
-            StructSig::Block,
-            StructSig::Loop(vec![StructSig::Block]),
-            StructSig::Block,
-        ];
+        let sig = vec![StructSig::Block, StructSig::Loop(vec![StructSig::Block]), StructSig::Block];
         assert_eq!(StructSig::sequence_key(&sig), "BL(B)B");
-        let branch = vec![StructSig::Branch(vec![StructSig::Block], vec![StructSig::Loop(vec![StructSig::Block]), StructSig::Block])];
+        let branch = vec![StructSig::Branch(
+            vec![StructSig::Block],
+            vec![StructSig::Loop(vec![StructSig::Block]), StructSig::Block],
+        )];
         assert_eq!(StructSig::sequence_key(&branch), "I(B|L(B)B)");
     }
 

@@ -188,16 +188,13 @@ fn tree_dist(a: &Flat, b: &Flat, i: usize, j: usize, dist: &mut [Vec<usize>]) {
             let node_b = lj + y - 1;
             if a.lml[node_a] == li && b.lml[node_b] == lj {
                 let rename_cost = usize::from(a.labels[node_a] != b.labels[node_b]);
-                fd[x][y] = (fd[x - 1][y] + 1)
-                    .min(fd[x][y - 1] + 1)
-                    .min(fd[x - 1][y - 1] + rename_cost);
+                fd[x][y] = (fd[x - 1][y] + 1).min(fd[x][y - 1] + 1).min(fd[x - 1][y - 1] + rename_cost);
                 dist[node_a][node_b] = fd[x][y];
             } else {
                 let prev_x = a.lml[node_a] - li;
                 let prev_y = b.lml[node_b] - lj;
-                fd[x][y] = (fd[x - 1][y] + 1)
-                    .min(fd[x][y - 1] + 1)
-                    .min(fd[prev_x][prev_y] + dist[node_a][node_b]);
+                fd[x][y] =
+                    (fd[x - 1][y] + 1).min(fd[x][y - 1] + 1).min(fd[prev_x][prev_y] + dist[node_a][node_b]);
             }
         }
     }
@@ -245,14 +242,20 @@ mod tests {
         let t1 = LabelTree::node(
             "f",
             vec![
-                LabelTree::node("d", vec![LabelTree::leaf("a"), LabelTree::node("c", vec![LabelTree::leaf("b")])]),
+                LabelTree::node(
+                    "d",
+                    vec![LabelTree::leaf("a"), LabelTree::node("c", vec![LabelTree::leaf("b")])],
+                ),
                 LabelTree::leaf("e"),
             ],
         );
         let t2 = LabelTree::node(
             "f",
             vec![
-                LabelTree::node("c", vec![LabelTree::node("d", vec![LabelTree::leaf("a"), LabelTree::leaf("b")])]),
+                LabelTree::node(
+                    "c",
+                    vec![LabelTree::node("d", vec![LabelTree::leaf("a"), LabelTree::leaf("b")])],
+                ),
                 LabelTree::leaf("e"),
             ],
         );

@@ -12,13 +12,10 @@ use clara_lang::expr_to_string;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wanted = std::env::args().nth(1).unwrap_or_else(|| "oddTuples".to_owned());
-    let problem = clara::corpus::all_problems()
-        .into_iter()
-        .find(|p| p.name == wanted)
-        .unwrap_or_else(|| {
-            eprintln!("unknown problem `{wanted}`, falling back to oddTuples");
-            clara::corpus::mooc::odd_tuples()
-        });
+    let problem = clara::corpus::all_problems().into_iter().find(|p| p.name == wanted).unwrap_or_else(|| {
+        eprintln!("unknown problem `{wanted}`, falling back to oddTuples");
+        clara::corpus::mooc::odd_tuples()
+    });
 
     let dataset = generate_dataset(
         &problem,

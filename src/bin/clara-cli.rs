@@ -32,7 +32,13 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("problems") => {
             for problem in clara::corpus::all_problems() {
-                println!("{:<20} entry `{}`, {} tests — {}", problem.name, problem.entry, problem.spec.tests.len(), problem.statement);
+                println!(
+                    "{:<20} entry `{}`, {} tests — {}",
+                    problem.name,
+                    problem.entry,
+                    problem.spec.tests.len(),
+                    problem.statement
+                );
             }
             ExitCode::SUCCESS
         }

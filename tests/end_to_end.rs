@@ -133,25 +133,22 @@ fn every_problem_supports_the_full_pipeline() {
         let mut analysable = 0;
         let mut repaired = 0;
         for attempt in &dataset.incorrect {
-            match engine.repair_source(&attempt.source) {
-                Ok(outcome) => {
-                    analysable += 1;
-                    if let Some(repair) = outcome.result.best {
-                        repaired += 1;
-                        assert_ne!(
-                            repair.verified,
-                            Some(false),
-                            "{}: unsound repair for attempt:\n{}\nactions: {:#?}\nvar_map: {:?}\nadded: {:?}\ndeleted: {:?}",
-                            problem.name,
-                            attempt.source,
-                            repair.actions,
-                            repair.var_map,
-                            repair.added_vars,
-                            repair.deleted_vars
-                        );
-                    }
+            if let Ok(outcome) = engine.repair_source(&attempt.source) {
+                analysable += 1;
+                if let Some(repair) = outcome.result.best {
+                    repaired += 1;
+                    assert_ne!(
+                        repair.verified,
+                        Some(false),
+                        "{}: unsound repair for attempt:\n{}\nactions: {:#?}\nvar_map: {:?}\nadded: {:?}\ndeleted: {:?}",
+                        problem.name,
+                        attempt.source,
+                        repair.actions,
+                        repair.var_map,
+                        repair.added_vars,
+                        repair.deleted_vars
+                    );
                 }
-                Err(_) => {}
             }
         }
         assert!(
@@ -170,7 +167,8 @@ fn empty_and_unsupported_attempts_are_handled_gracefully() {
     assert!(outcome.result.best.is_some());
     assert!(matches!(outcome.feedback, Feedback::GenericStrategy(_)));
     // Unsupported attempt: analysis error, no panic.
-    let err = engine.repair_source("def h(x):\n    return x\n\ndef computeDeriv(poly):\n    return h(poly)\n");
+    let err =
+        engine.repair_source("def h(x):\n    return x\n\ndef computeDeriv(poly):\n    return h(poly)\n");
     assert!(err.is_err());
     // Unparsable attempt: analysis error as well.
     let err = engine.repair_source("def computeDeriv(poly:\n    return\n");

@@ -1,0 +1,182 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro with
+//! `arg in strategy` bindings and an optional `#![proptest_config(..)]`,
+//! `prop_assert*`, integer-range / `Just` / tuple strategies, `prop_map`,
+//! `prop_flat_map`, `prop_recursive`, [`prop_oneof!`], `sample::select` and
+//! `collection::vec`.
+//!
+//! Differences from the real crate: cases are generated from a *fixed* seed
+//! derived from the test name (fully deterministic runs, no persistence
+//! files) and failing cases are reported by ordinary `assert!` panics without
+//! shrinking.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Per-test configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; the stub never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// Strategies over element samples.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Strategy returning one uniformly chosen element of a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Chooses uniformly from a non-empty list of options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            self.0[runner.random_below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds for generated collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange { min: exact, max: exact }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            SizeRange { min: range.start, max: range.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *range.start(), max: *range.end() }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with lengths in `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + runner.random_below(span) as usize;
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::TestRunner;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Module-tree mirror (`prop::sample::select`, `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Runs each property as `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!{ cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    runner.start_case(case);
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut runner);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking in the stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Uniform choice between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,42 @@
+//! Deterministic case generation: a SplitMix64 stream seeded from the test
+//! name, re-seeded per case so that case `n` is reproducible in isolation.
+
+/// Deterministic random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    base: u64,
+    state: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner whose stream depends only on `name`.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { base: hash, state: hash }
+    }
+
+    /// Re-seeds for the given case index (case streams are independent).
+    pub fn start_case(&mut self, case: u32) {
+        self.state = self.base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` must be positive).
+    pub fn random_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "random_below(0)");
+        self.next_u64() % n
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! [`ChaCha8Rng`] runs a genuine 8-round ChaCha block function over a key
+//! expanded from the `u64` seed with SplitMix64. The exact stream differs
+//! from the upstream crate (which nobody here depends on — only determinism
+//! matters for the corpus), but the generator is a real, well-distributed
+//! stream cipher rather than a toy LCG.
+
+use rand::{RngCore, SeedableRng};
+
+/// A deterministic ChaCha (8 rounds) random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// ChaCha state: 4 constant words, 8 key words, counter, 3 nonce words.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unserved word index in `block` (16 = exhausted).
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // Two rounds per iteration: one column round, one diagonal round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.block.iter_mut().zip(working.iter().zip(self.state.iter())) {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12..14.
+        let (low, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = low;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = seed;
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for i in 0..4 {
+            let word = splitmix64(&mut mix);
+            state[4 + 2 * i] = word as u32;
+            state[5 + 2 * i] = (word >> 32) as u32;
+        }
+        // Words 12..16 (counter + nonce) start at zero.
+        ChaCha8Rng { state, block: [0; 16], cursor: 16 }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let low = u64::from(self.next_u32());
+        let high = u64::from(self.next_u32());
+        (high << 32) | low
+    }
+}
+
+/// 20-round variant, same construction (provided for API parity).
+#[derive(Debug, Clone)]
+pub struct ChaCha20Rng(ChaCha8Rng);
+
+impl SeedableRng for ChaCha20Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        ChaCha20Rng(ChaCha8Rng::seed_from_u64(seed ^ 0x5ca1_ab1e_0020_0000))
+    }
+}
+
+impl RngCore for ChaCha20Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams for different seeds should diverge");
+    }
+
+    #[test]
+    fn words_are_well_distributed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut ones = 0u32;
+        for _ in 0..256 {
+            ones += rng.next_u32().count_ones();
+        }
+        let total = 256 * 32;
+        // Expect roughly half the bits set (loose 4-sigma style bound).
+        assert!((ones as i64 - total / 2).abs() < total / 10, "bit bias: {ones}/{total}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal API-compatible subset: a [`Serialize`] trait over a simple
+//! self-describing [`Content`] tree, the matching derive macros, and a marker
+//! [`Deserialize`] trait (nothing in this workspace deserializes).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value, the intermediate form produced by
+/// [`Serialize`] and consumed by `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map with string keys (struct fields keep declaration order).
+    Map(Vec<(String, Content)>),
+}
+
+/// A value that can be serialized into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the serialization data model.
+    fn to_content(&self) -> Content;
+}
+
+/// Marker trait matching serde's `Deserialize`; derived but never used in
+/// this workspace (nothing deserializes).
+pub trait Deserialize: Sized {}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(value) => value.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content(), self.2.to_content()])
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the two
+//! shapes this workspace actually uses — structs with named fields and enums
+//! with unit variants — by walking the raw `proc_macro::TokenStream` (no
+//! `syn`/`quote`: the build environment has no registry access). Generics,
+//! tuple structs and data-carrying enum variants are rejected with a compile
+//! error rather than silently miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Unit-variant enum: variant identifiers.
+    Enum(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` via the simplified `Content` data model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(parsed) => render_serialize(&parsed).parse().unwrap(),
+        Err(message) => compile_error(&message),
+    }
+}
+
+/// Derives the marker trait `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(parsed) => format!("impl ::serde::Deserialize for {} {{}}", parsed.name).parse().unwrap(),
+        Err(message) => compile_error(&message),
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+fn render_serialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    match &parsed.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(::std::string::String::from({f:?}), ::serde::Serialize::to_content(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Content::Str(::std::string::String::from({v:?}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("serde_derive stub: expected `struct` or `enum`".to_owned()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("serde_derive stub: expected type name".to_owned()),
+    };
+    i += 1;
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!("serde_derive stub: generic type `{name}` is not supported"));
+        }
+        _ => {
+            return Err(format!(
+                "serde_derive stub: `{name}` must be a braced struct or enum (tuple/unit shapes unsupported)"
+            ));
+        }
+    };
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_struct_fields(body)?),
+        "enum" => Shape::Enum(parse_enum_variants(body)?),
+        other => return Err(format!("serde_derive stub: unsupported item kind `{other}`")),
+    };
+    Ok(Parsed { name, shape })
+}
+
+/// Extracts field names from a named-field struct body. Commas inside angle
+/// brackets (`HashMap<String, f64>`) are not field separators, so the scanner
+/// tracks angle depth; function-pointer types (`fn(..) -> ..`) would confuse
+/// it and are not used by any derived type in this workspace.
+fn parse_struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(token) = tokens.get(i) else { break };
+        let TokenTree::Ident(ident) = token else {
+            return Err("serde_derive stub: expected field name (named fields only)".to_owned());
+        };
+        fields.push(ident.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err("serde_derive stub: expected `:` after field name".to_owned()),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(token) = tokens.get(i) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut expect_name = true;
+    for token in body {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '#' => {}
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {}
+            TokenTree::Ident(ident) if expect_name => {
+                variants.push(ident.to_string());
+                expect_name = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => expect_name = true,
+            other => {
+                return Err(format!(
+                    "serde_derive stub: only unit enum variants are supported (found `{other}`)"
+                ));
+            }
+        }
+    }
+    Ok(variants)
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for `serde_json`: serializes the vendored `serde`
+//! data model ([`serde::Content`]) to JSON text. Only the serialization half
+//! is provided; nothing in this workspace deserializes JSON.
+
+use std::fmt;
+
+use serde::{Content, Serialize};
+
+/// Serialization error (the vendored subset is infallible in practice, the
+/// type exists for API compatibility).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as a pretty-printed JSON string (two-space indent,
+/// matching real serde_json's default pretty formatter).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), Some("  "), 0);
+    Ok(out)
+}
+
+fn write_content(out: &mut String, content: &Content, indent: Option<&str>, level: usize) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(n) => out.push_str(&n.to_string()),
+        Content::U64(n) => out.push_str(&n.to_string()),
+        Content::F64(x) => write_f64(out, *x),
+        Content::Str(s) => write_json_string(out, s),
+        Content::Seq(items) => write_compound(out, indent, level, '[', ']', items.len(), |out, i, level| {
+            write_content(out, &items[i], indent, level);
+        }),
+        Content::Map(entries) => {
+            write_compound(out, indent, level, '{', '}', entries.len(), |out, i, level| {
+                write_json_string(out, &entries[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, &entries[i].1, indent, level);
+            })
+        }
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    indent: Option<&str>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..=level {
+                out.push_str(pad);
+            }
+        }
+        write_item(out, i, level + 1);
+    }
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str(pad);
+        }
+    }
+    out.push(close);
+}
+
+/// Real serde_json serializes non-finite floats as `null`; integral floats
+/// keep a trailing `.0` so they round-trip as floating point.
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42usize).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_string("a\"b\nc").unwrap(), "\"a\\\"b\\nc\"");
+        assert_eq!(to_string(&Option::<usize>::None).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_printing_matches_serde_json_shape() {
+        let value = Content::Map(vec![
+            ("name".to_owned(), Content::Str("clara".to_owned())),
+            ("sizes".to_owned(), Content::Seq(vec![Content::U64(1), Content::U64(2)])),
+            ("empty".to_owned(), Content::Seq(vec![])),
+        ]);
+        struct Raw(Content);
+        impl Serialize for Raw {
+            fn to_content(&self) -> Content {
+                self.0.clone()
+            }
+        }
+        let pretty = to_string_pretty(&Raw(value)).unwrap();
+        let expected = "{\n  \"name\": \"clara\",\n  \"sizes\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}";
+        assert_eq!(pretty, expected);
+    }
+}
