@@ -6,6 +6,7 @@
 //! derived from this structure.
 
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 use clara_lang::{parse_program, ParseError, SourceProgram, Value};
@@ -53,6 +54,19 @@ pub struct AnalyzedProgram {
     /// A cheap fingerprint of the dynamic behaviour used as a clustering
     /// pre-filter: programs with different fingerprints cannot match.
     pub fingerprint: u64,
+    /// Per-variable value projections (with trace separators) and their
+    /// hashes, precomputed once at analysis time. `find_matching` probes the
+    /// representative's projections on every clustering attempt, so these
+    /// must not be recomputed per probe.
+    projections: HashMap<String, Projection>,
+}
+
+/// A cached variable projection: the concatenated per-trace value sequences
+/// and a hash consistent with `Value`'s `py_eq`-based equality.
+#[derive(Debug, Clone)]
+struct Projection {
+    values: Vec<Value>,
+    hash: u64,
 }
 
 impl AnalyzedProgram {
@@ -91,20 +105,24 @@ impl AnalyzedProgram {
     /// Executes an already-lowered program on `inputs`.
     pub fn from_program(program: Program, inputs: &[Vec<Value>], fuel: Fuel) -> Self {
         let traces = execute_on_inputs(&program, inputs, fuel);
-        let fingerprint = behaviour_fingerprint(&program, &traces);
-        AnalyzedProgram { program, traces, fingerprint }
+        let projections = compute_projections(&program, &traces);
+        let fingerprint = behaviour_fingerprint(&program, &traces, &projections);
+        AnalyzedProgram { program, traces, fingerprint, projections }
     }
 
     /// The concatenated projection of `var` over all traces (the per-trace
     /// projections separated by a marker so that boundaries cannot be
-    /// confused).
-    pub fn projection(&self, var: &str) -> Vec<Value> {
-        let mut out = Vec::new();
-        for trace in &self.traces {
-            out.extend(trace.projection(var));
-            out.push(Value::Str("⋄".to_owned()));
-        }
-        out
+    /// confused). Precomputed at analysis time; unknown variables yield the
+    /// empty projection.
+    pub fn projection(&self, var: &str) -> &[Value] {
+        self.projections.get(var).map(|p| p.values.as_slice()).unwrap_or(&[])
+    }
+
+    /// A hash of [`AnalyzedProgram::projection`], consistent with the
+    /// `py_eq`-based equality of value slices: equal projections have equal
+    /// hashes, so unequal hashes prove two projections differ.
+    pub fn projection_hash(&self, var: &str) -> u64 {
+        self.projections.get(var).map(|p| p.hash).unwrap_or(0)
     }
 
     /// The concatenated location sequence over all traces.
@@ -123,11 +141,44 @@ impl AnalyzedProgram {
     }
 }
 
+/// Computes the per-variable projections (and their hashes) once for all
+/// variables of the program.
+fn compute_projections(program: &Program, traces: &[Trace]) -> HashMap<String, Projection> {
+    let separator = Value::str("⋄");
+    program
+        .vars
+        .iter()
+        .map(|var| {
+            let mut values = Vec::new();
+            for trace in traces {
+                values.extend(trace.projection(var));
+                values.push(separator.clone());
+            }
+            let mut hasher = DefaultHasher::new();
+            values.len().hash(&mut hasher);
+            for value in &values {
+                value.hash(&mut hasher);
+            }
+            (var.clone(), Projection { hash: hasher.finish(), values })
+        })
+        .collect()
+}
+
 /// A fingerprint of (control-flow structure, location sequence, multiset of
 /// per-variable value sequences). Two programs that match necessarily have
 /// equal fingerprints, so unequal fingerprints let clustering skip the full
 /// matching test.
-fn behaviour_fingerprint(program: &Program, traces: &[Trace]) -> u64 {
+///
+/// The per-variable hashes are the cached projection hashes, which hash
+/// values through `Value`'s `py_eq`-consistent `Hash`. (The previous
+/// rendering-based hash distinguished `1` from `1.0`, which `py_eq` — and
+/// therefore the matcher — does not, so two matchable programs could be
+/// missed by the pre-filter.)
+fn behaviour_fingerprint(
+    program: &Program,
+    traces: &[Trace],
+    projections: &HashMap<String, Projection>,
+) -> u64 {
     let mut hasher = DefaultHasher::new();
     StructSig::sequence_key(&program.signature).hash(&mut hasher);
     for trace in traces {
@@ -136,18 +187,11 @@ fn behaviour_fingerprint(program: &Program, traces: &[Trace]) -> u64 {
         }
         usize::MAX.hash(&mut hasher);
     }
-    // Multiset of projection strings: order-independent combination (sum of
+    // Multiset of projection hashes: order-independent combination (sum of
     // per-variable hashes) so that variable naming/order does not matter.
     let mut combined: u64 = 0;
-    for var in &program.vars {
-        let mut var_hasher = DefaultHasher::new();
-        for trace in traces {
-            for value in trace.projection(var) {
-                value.to_string().hash(&mut var_hasher);
-            }
-            "⋄".hash(&mut var_hasher);
-        }
-        combined = combined.wrapping_add(var_hasher.finish());
+    for projection in projections.values() {
+        combined = combined.wrapping_add(projection.hash);
     }
     combined.hash(&mut hasher);
     program.vars.len().hash(&mut hasher);

@@ -7,9 +7,9 @@
 //! translated to range over the representative's variables. The repair
 //! algorithm later mines these expressions to build candidate local repairs.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use clara_lang::{expr_to_string, Expr};
+use clara_lang::Expr;
 use clara_model::Loc;
 
 use crate::analysis::AnalyzedProgram;
@@ -23,13 +23,21 @@ pub struct Cluster {
     /// Indices (into the input list of [`cluster_programs`]) of the members.
     pub member_ids: Vec<usize>,
     /// The cluster expressions `E_C(ℓ, v)`, over the representative's
-    /// variables, de-duplicated syntactically.
+    /// variables, de-duplicated structurally.
     expressions: HashMap<(usize, String), Vec<Expr>>,
+    /// Set view of `expressions` for O(1) structural dedup (Expr is
+    /// `Eq + Hash`).
+    expression_set: HashSet<(usize, String, Expr)>,
 }
 
 impl Cluster {
     fn new(representative: AnalyzedProgram, id: usize) -> Self {
-        let mut cluster = Cluster { representative, member_ids: vec![id], expressions: HashMap::new() };
+        let mut cluster = Cluster {
+            representative,
+            member_ids: vec![id],
+            expressions: HashMap::new(),
+            expression_set: HashSet::new(),
+        };
         let identity: VarMap =
             cluster.representative.program.vars.iter().map(|v| (v.clone(), v.clone())).collect();
         cluster.absorb_expressions_with(&identity, &cluster.representative.program.clone());
@@ -68,10 +76,8 @@ impl Cluster {
             for (var, expr) in program.updates_at(loc) {
                 let rep_var = witness.get(var).cloned().unwrap_or_else(|| var.clone());
                 let translated = apply_var_map(expr, witness);
-                let entry = self.expressions.entry((loc.0, rep_var)).or_default();
-                let key = expr_to_string(&translated);
-                if !entry.iter().any(|existing| expr_to_string(existing) == key) {
-                    entry.push(translated);
+                if self.expression_set.insert((loc.0, rep_var.clone(), translated.clone())) {
+                    self.expressions.entry((loc.0, rep_var)).or_default().push(translated);
                 }
             }
         }
@@ -135,7 +141,7 @@ pub fn clustering_stats(clusters: &[Cluster]) -> ClusteringStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clara_lang::Value;
+    use clara_lang::{expr_to_string, Value};
     use clara_model::Fuel;
 
     fn poly(xs: &[f64]) -> Value {

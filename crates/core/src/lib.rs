@@ -49,6 +49,7 @@ pub mod cluster;
 pub mod feedback;
 pub mod matching;
 pub mod repair;
+pub mod sigcache;
 
 pub use analysis::{AnalysisError, AnalyzedProgram};
 pub use cluster::{cluster_programs, clustering_stats, Cluster, ClusteringStats};
@@ -58,6 +59,7 @@ pub use repair::{
     repair_against_cluster, repair_attempt, ClusterRepair, RepairAction, RepairConfig, RepairFailure,
     RepairResult,
 };
+pub use sigcache::{SignatureCache, ValueSignature};
 
 use clara_lang::Value;
 use clara_model::Fuel;

@@ -70,20 +70,18 @@ pub fn find_matching(p: &AnalyzedProgram, q: &AnalyzedProgram) -> Option<VarMap>
         return None;
     }
 
-    // Pre-compute projections of every variable of both programs.
-    let p_proj: HashMap<&str, Vec<Value>> =
-        p.program.vars.iter().map(|v| (v.as_str(), p.projection(v))).collect();
-    let q_proj: HashMap<&str, Vec<Value>> =
-        q.program.vars.iter().map(|v| (v.as_str(), q.projection(v))).collect();
-
-    // Candidate edges M ⊆ V_Q × V_P (Fig. 4, lines 5-10).
+    // Candidate edges M ⊆ V_Q × V_P (Fig. 4, lines 5-10). Projections are
+    // precomputed on the `AnalyzedProgram`s; the cached hashes (consistent
+    // with `py_eq`) reject almost all unequal pairs before the value-by-value
+    // comparison runs.
     let q_vars: Vec<&str> = q.program.vars.iter().map(String::as_str).collect();
     let p_vars: Vec<&str> = p.program.vars.iter().map(String::as_str).collect();
     let mut candidates: Vec<Vec<usize>> = vec![Vec::new(); q_vars.len()];
     for (qi, q_var) in q_vars.iter().enumerate() {
         for (pi, p_var) in p_vars.iter().enumerate() {
             if vars_compatible(q_var, p_var, &q.program.params, &p.program.params)
-                && q_proj[q_var] == p_proj[p_var]
+                && q.projection_hash(q_var) == p.projection_hash(p_var)
+                && q.projection(q_var) == p.projection(p_var)
             {
                 candidates[qi].push(pi);
             }
@@ -151,7 +149,16 @@ fn perfect_matching(candidates: &[Vec<usize>], right_size: usize) -> Option<Vec<
 /// evaluate to the same value on every memory occurring at location `ℓ` in
 /// the traces `Γ`. Evaluation errors yield the undefined value `⊥`, which is
 /// only equal to itself.
+///
+/// Structurally identical expressions match unconditionally. (This also
+/// keeps matching reflexive when an expression evaluates to `NaN`, whose
+/// `py_eq` is not — and keeps this function exactly equivalent to the
+/// cached [`crate::sigcache::SignatureCache`] paths, which use the same
+/// fast path.)
 pub fn exprs_match(e1: &Expr, e2: &Expr, traces: &[Trace], loc: Loc) -> bool {
+    if e1 == e2 {
+        return true;
+    }
     for trace in traces {
         for memory in trace.memories_at(loc) {
             let v1 = eval_expr(e1, memory).unwrap_or(Value::Undef);

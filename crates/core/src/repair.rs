@@ -25,13 +25,14 @@ use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use clara_ilp::{IlpBuilder, SolveLimits, VarId};
-use clara_lang::{expr_to_string, Expr, Value};
+use clara_lang::{Expr, Value};
 use clara_model::{Fuel, Loc, Program};
-use clara_ted::{expr_edit_distance, expr_tree_size};
+use clara_ted::{expr_tree_size, prepared_edit_distance, PreparedTree};
 
 use crate::analysis::AnalyzedProgram;
 use crate::cluster::Cluster;
 use crate::matching::{exprs_match, find_matching, pinned, vars_compatible, VarMap};
+use crate::sigcache::SignatureCache;
 
 /// Configuration of the repair algorithm.
 #[derive(Debug, Clone)]
@@ -49,6 +50,13 @@ pub struct RepairConfig {
     /// Process clusters on multiple threads (the paper notes Clara processes
     /// clusters in parallel, §6.2 "Clusters").
     pub parallel: bool,
+    /// Answer expression-matching queries through the per-cluster
+    /// [`SignatureCache`] (each distinct expression is evaluated once per
+    /// location) instead of re-evaluating both expressions pairwise per
+    /// query. The two paths are equivalent (property-tested); the flag
+    /// exists so equivalence can be asserted end to end and regressions
+    /// bisected.
+    pub use_signature_cache: bool,
 }
 
 impl Default for RepairConfig {
@@ -59,6 +67,7 @@ impl Default for RepairConfig {
             ilp_limits: SolveLimits::default(),
             verify: true,
             parallel: true,
+            use_signature_cache: true,
         }
     }
 }
@@ -233,6 +242,14 @@ pub fn repair_attempt(
         };
     }
 
+    // Per-cluster repairs run with verification off: only the winning
+    // repair's `verified` flag is observable from here, so Theorem 5.3 is
+    // re-established once for the minimal-cost repair instead of once per
+    // candidate cluster (verification re-executes the repaired program on
+    // every input and re-runs the matcher — as expensive as the repair
+    // itself when many clusters share the attempt's control flow).
+    let cluster_config = RepairConfig { verify: false, ..config.clone() };
+    let cluster_config = &cluster_config;
     let repairs: Vec<Option<ClusterRepair>> = if config.parallel && candidates.len() > 1 {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         let chunk_size = candidates.len().div_ceil(threads);
@@ -245,7 +262,7 @@ pub fn repair_attempt(
                         chunk
                             .iter()
                             .map(|(index, cluster)| {
-                                repair_against_cluster(cluster, *index, attempt, inputs, config)
+                                repair_against_cluster(cluster, *index, attempt, inputs, cluster_config)
                             })
                             .collect::<Vec<_>>()
                     })
@@ -259,13 +276,75 @@ pub fn repair_attempt(
     } else {
         candidates
             .iter()
-            .map(|(index, cluster)| repair_against_cluster(cluster, *index, attempt, inputs, config))
+            .map(|(index, cluster)| repair_against_cluster(cluster, *index, attempt, inputs, cluster_config))
             .collect()
     };
 
-    let best = repairs.into_iter().flatten().min_by_key(|r| (r.total_cost, r.cluster_index));
+    let mut best = repairs.into_iter().flatten().min_by_key(|r| (r.total_cost, r.cluster_index));
+    if config.verify {
+        if let Some(repair) = best.as_mut() {
+            let analyzed = AnalyzedProgram::from_program(repair.repaired.clone(), inputs, config.fuel);
+            let rep = &clusters[repair.cluster_index].representative;
+            repair.verified = Some(find_matching(rep, &analyzed).is_some());
+        }
+    }
     let failure = if best.is_none() { Some(RepairFailure::SolverBudgetExhausted) } else { None };
     RepairResult { best, failure, candidate_clusters: candidates.len(), elapsed: start.elapsed() }
+}
+
+/// Removes strictly dominated local repairs: two candidates for the same
+/// `(ℓ, v₂)` slot with identical dependency sets are interchangeable in every
+/// ILP constraint, so the strictly more expensive one can never occur in an
+/// optimal solution. Equal-cost candidates are all kept (they are distinct
+/// repairs the solver may legitimately pick among). Shrinks the ILP the
+/// solver has to chew on without changing the optimum.
+fn prune_dominated(
+    candidates: &mut Vec<CandidateRepair>,
+    candidates_by_slot: &mut HashMap<(usize, String), Vec<usize>>,
+) {
+    /// A candidate's interchangeability class: slot plus sorted dependencies.
+    type DominanceKey = (usize, String, Vec<(String, MapTarget)>);
+    // Dominance class → cheapest cost seen.
+    let mut cheapest: HashMap<DominanceKey, i64> = HashMap::new();
+    let mut keys: Vec<DominanceKey> = Vec::with_capacity(candidates.len());
+    for candidate in candidates.iter() {
+        let mut deps = candidate.dependencies.clone();
+        deps.sort();
+        let key = (candidate.loc.0, candidate.var.clone(), deps);
+        let entry = cheapest.entry(key.clone()).or_insert(candidate.cost);
+        if candidate.cost < *entry {
+            *entry = candidate.cost;
+        }
+        keys.push(key);
+    }
+    let keep: Vec<bool> = candidates.iter().zip(&keys).map(|(c, key)| c.cost <= cheapest[key]).collect();
+    if keep.iter().all(|&k| k) {
+        return;
+    }
+    // Compact the candidate list and remap the slot index.
+    let mut remap: Vec<Option<usize>> = vec![None; candidates.len()];
+    let mut next = 0usize;
+    for (i, &k) in keep.iter().enumerate() {
+        if k {
+            remap[i] = Some(next);
+            next += 1;
+        }
+    }
+    let mut i = 0usize;
+    candidates.retain(|_| {
+        let kept = keep[i];
+        i += 1;
+        kept
+    });
+    for ids in candidates_by_slot.values_mut() {
+        ids.retain_mut(|id| match remap[*id] {
+            Some(new_id) => {
+                *id = new_id;
+                true
+            }
+            None => false,
+        });
+    }
 }
 
 /// `true` when the attempt contains no expressions at all (an empty or
@@ -277,13 +356,65 @@ fn attempt_is_empty(program: &Program) -> bool {
 /// The trivial rewrite used for completely empty attempts: replace the whole
 /// submission with the representative of the largest cluster. Every
 /// representative assignment counts as an added expression.
+///
+/// `added_vars` follows the same convention as the normal decode path:
+/// `(representative variable, fresh implementation name)` pairs, restricted
+/// to variables that are genuinely introduced (positionally shared
+/// parameters are not additions), and the rewritten program actually uses
+/// the fresh names.
 fn trivial_rewrite_repair(clusters: &[Cluster], attempt: &AnalyzedProgram) -> Option<ClusterRepair> {
     let (cluster_index, cluster) = clusters.iter().enumerate().max_by_key(|(_, c)| c.size())?;
     let rep = &cluster.representative;
+    let rep_params = &rep.program.params;
+    let attempt_params = &attempt.program.params;
+    let attempt_vars = &attempt.program.vars;
+
+    // `taken` covers the attempt's variables, every representative variable
+    // (a fresh name must not collide with a representative variable that is
+    // itself being renamed) and the fresh names assigned so far.
+    let mut taken: Vec<String> = attempt_vars.clone();
+    taken.extend(rep.program.vars.iter().cloned());
+    let added_vars: Vec<(String, String)> = rep
+        .program
+        .user_vars()
+        .into_iter()
+        .filter(|v| can_add(v, rep_params, attempt_params))
+        .map(|v| {
+            let fresh = fresh_name(&v, &taken);
+            taken.push(fresh.clone());
+            (v, fresh)
+        })
+        .collect();
+    let rename: HashMap<String, String> =
+        added_vars.iter().filter(|(v, fresh)| v != fresh).cloned().collect();
+
+    // The repaired program is the representative with the added variables
+    // renamed to their fresh implementation names (assignment slots moved and
+    // every update expression rewritten).
+    let mut repaired = rep.program.clone();
+    if !rename.is_empty() {
+        for loc in rep.program.locs() {
+            for (var, expr) in rep.program.updates_at(loc) {
+                let line = rep.program.update_line(loc, var).unwrap_or(0);
+                let renamed_expr = expr.rename(&rename);
+                if let Some(fresh) = rename.get(var) {
+                    repaired.remove_update(loc, var);
+                    repaired.set_update(loc, fresh, renamed_expr, line);
+                } else {
+                    repaired.set_update(loc, var, renamed_expr, line);
+                }
+            }
+        }
+        for (old, fresh) in &rename {
+            repaired.remove_var(old);
+            repaired.add_var(fresh);
+        }
+    }
+
     let mut actions = Vec::new();
     let mut total_cost = 0;
-    for loc in rep.program.locs() {
-        for (var, expr) in rep.program.updates_at(loc) {
+    for loc in repaired.locs() {
+        for (var, expr) in repaired.updates_at(loc) {
             let cost = expr_tree_size(expr) as i64;
             total_cost += cost;
             actions.push(RepairAction::AddAssignment { loc, var: var.clone(), expr: expr.clone(), cost });
@@ -294,9 +425,14 @@ fn trivial_rewrite_repair(clusters: &[Cluster], attempt: &AnalyzedProgram) -> Op
         total_cost,
         actions,
         var_map: VarMap::new(),
-        added_vars: rep.program.user_vars().into_iter().map(|v| (v.clone(), v)).collect(),
-        deleted_vars: attempt.program.user_vars(),
-        repaired: rep.program.clone(),
+        added_vars,
+        deleted_vars: attempt
+            .program
+            .user_vars()
+            .into_iter()
+            .filter(|v| can_delete(v, attempt_params, rep_params))
+            .collect(),
+        repaired,
         verified: Some(true),
         is_rewrite: true,
     })
@@ -304,12 +440,75 @@ fn trivial_rewrite_repair(clusters: &[Cluster], attempt: &AnalyzedProgram) -> Op
 
 /// The target an expression variable is mapped to while enumerating partial
 /// variable relations.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum MapTarget {
     /// An existing variable of the other program.
     Existing(String),
     /// A fresh variable introduced for the given representative variable.
     Fresh(String),
+}
+
+/// Structural dedup key for candidate local repairs. (Previously these were
+/// rendered `format!`/`expr_to_string` strings; hashing the structures
+/// directly avoids the rendering allocations in the hottest loop.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum SeenKey {
+    /// `(ω, •)` candidate: representative variable plus the sorted ω pairs.
+    Keep(String, Vec<(String, String)>),
+    /// `(ω⁻¹, ω(e))` candidate: representative variable plus the translated
+    /// replacement expression.
+    Replace(String, Expr),
+}
+
+/// Variable-compatibility data hoisted out of the per-candidate work of
+/// [`repair_against_cluster`]: the `vars_compatible` matrix and the
+/// add/delete permissions depend only on the two variable sets, so they are
+/// computed once per cluster (O(vars²)) instead of per (location, candidate,
+/// ω-extension).
+struct CompatInfo {
+    rep_index: HashMap<String, usize>,
+    impl_index: HashMap<String, usize>,
+    rep_count: usize,
+    /// `matrix[impl_idx * rep_count + rep_idx]`.
+    matrix: Vec<bool>,
+    /// Indexed by representative variable.
+    addable: Vec<bool>,
+    /// Indexed by implementation variable.
+    deletable: Vec<bool>,
+}
+
+impl CompatInfo {
+    fn new(rep: &Program, attempt: &Program) -> Self {
+        let rep_count = rep.vars.len();
+        let rep_index: HashMap<String, usize> =
+            rep.vars.iter().enumerate().map(|(i, v)| (v.clone(), i)).collect();
+        let impl_index: HashMap<String, usize> =
+            attempt.vars.iter().enumerate().map(|(i, v)| (v.clone(), i)).collect();
+        let mut matrix = vec![false; attempt.vars.len() * rep_count];
+        for (i, impl_var) in attempt.vars.iter().enumerate() {
+            for (r, rep_var) in rep.vars.iter().enumerate() {
+                matrix[i * rep_count + r] = vars_compatible(impl_var, rep_var, &attempt.params, &rep.params);
+            }
+        }
+        let addable = rep.vars.iter().map(|v| can_add(v, &rep.params, &attempt.params)).collect();
+        let deletable = attempt.vars.iter().map(|v| can_delete(v, &attempt.params, &rep.params)).collect();
+        CompatInfo { rep_index, impl_index, rep_count, matrix, addable, deletable }
+    }
+
+    fn compatible(&self, impl_var: &str, rep_var: &str) -> bool {
+        match (self.impl_index.get(impl_var), self.rep_index.get(rep_var)) {
+            (Some(&i), Some(&r)) => self.matrix[i * self.rep_count + r],
+            _ => false,
+        }
+    }
+
+    fn can_add(&self, rep_var: &str) -> bool {
+        self.rep_index.get(rep_var).is_some_and(|&r| self.addable[r])
+    }
+
+    fn can_delete(&self, impl_var: &str) -> bool {
+        self.impl_index.get(impl_var).is_some_and(|&i| self.deletable[i])
+    }
 }
 
 /// A candidate local repair (an element of `LR(ℓ, v)` in Definition 5.4).
@@ -380,9 +579,29 @@ pub fn repair_against_cluster(
     }
     let rep_vars: Vec<String> = rep.program.vars.clone();
     let impl_vars: Vec<String> = attempt.program.vars.clone();
-    let rep_params = rep.program.params.clone();
-    let impl_params = attempt.program.params.clone();
     let traces = &rep.traces;
+    let compat = CompatInfo::new(&rep.program, &attempt.program);
+    // One signature cache per cluster: every structurally distinct expression
+    // is evaluated once per location, and each ω-enumeration query below
+    // collapses to a table lookup plus a hash comparison.
+    let mut sig_cache = if config.use_signature_cache { Some(SignatureCache::new(traces)) } else { None };
+    // Fresh implementation names for representative variables introduced by
+    // the ⋆ extension, assigned once (in `rep_vars` order, with `taken`
+    // accumulating) so that candidate replacement expressions and the decoded
+    // repair agree and two added variables never share a name (e.g. `#it1`
+    // and `it1` both deriving `new_it1`).
+    let fresh_names: HashMap<String, String> = {
+        let mut taken: Vec<String> = impl_vars.clone();
+        let mut map = HashMap::new();
+        for v1 in &rep_vars {
+            if compat.can_add(v1) {
+                let fresh = fresh_name(v1, &taken);
+                taken.push(fresh.clone());
+                map.insert(v1.clone(), fresh);
+            }
+        }
+        map
+    };
 
     // ------------------------------------------------------------------
     // Step 1: generate the sets of possible local repairs LR(ℓ, v₂).
@@ -394,10 +613,13 @@ pub fn repair_against_cluster(
         for v2 in &impl_vars {
             let e_impl = attempt.program.update(loc, v2);
             let slot = (loc.0, v2.clone());
-            let mut seen: HashSet<String> = HashSet::new();
+            let mut seen: HashSet<SeenKey> = HashSet::new();
+            // Flattened once per slot; every replacement candidate's edit
+            // distance compares against it.
+            let mut impl_tree: Option<PreparedTree> = None;
 
             for v1 in &rep_vars {
-                if !vars_compatible(v2, v1, &impl_params, &rep_params) {
+                if !compat.compatible(v2, v1) {
                     continue;
                 }
                 let e_rep = rep.program.update(loc, v1);
@@ -410,37 +632,48 @@ pub fn repair_against_cluster(
                     }
                     vars
                 };
-                for omega in enumerate_keep_relations(
+                for_each_keep_relation(
                     &impl_sources,
                     v2,
                     v1,
                     &rep_vars,
-                    (&impl_params, &rep_params),
+                    &compat,
                     config.max_relations_per_expr,
-                ) {
-                    let translated =
-                        e_impl.substitute(&|name| omega.get(name).map(|target| Expr::Var(target.clone())));
-                    if exprs_match(&e_rep, &translated, traces, loc) {
-                        let key = format!("keep|{v1}|{}", render_map(&omega));
-                        if seen.insert(key) {
-                            let dependencies = omega
-                                .iter()
-                                .map(|(impl_var, rep_var)| {
-                                    (rep_var.clone(), MapTarget::Existing(impl_var.clone()))
-                                })
-                                .collect();
-                            let index = candidates.len();
-                            candidates.push(CandidateRepair {
-                                loc,
-                                var: v2.clone(),
-                                dependencies,
-                                replacement: None,
-                                cost: 0,
-                            });
-                            candidates_by_slot.entry(slot.clone()).or_default().push(index);
+                    &mut |omega| {
+                        let matched = match sig_cache.as_mut() {
+                            // ω(e_impl) is never materialised: e_impl is
+                            // evaluated under a renaming view of each memory.
+                            Some(cache) => cache.matches_under_renaming(&e_rep, &e_impl, omega, loc),
+                            None => {
+                                let translated =
+                                    e_impl.substitute(&|name| omega.get(name).map(|t| Expr::Var(t.clone())));
+                                exprs_match(&e_rep, &translated, traces, loc)
+                            }
+                        };
+                        if matched {
+                            let mut pairs: Vec<(String, String)> =
+                                omega.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+                            pairs.sort();
+                            if seen.insert(SeenKey::Keep(v1.clone(), pairs)) {
+                                let dependencies = omega
+                                    .iter()
+                                    .map(|(impl_var, rep_var)| {
+                                        (rep_var.clone(), MapTarget::Existing(impl_var.clone()))
+                                    })
+                                    .collect();
+                                let index = candidates.len();
+                                candidates.push(CandidateRepair {
+                                    loc,
+                                    var: v2.clone(),
+                                    dependencies,
+                                    replacement: None,
+                                    cost: 0,
+                                });
+                                candidates_by_slot.entry(slot.clone()).or_default().push(index);
+                            }
                         }
-                    }
-                }
+                    },
+                );
 
                 // (ω⁻¹, ω(e)): take a cluster expression and translate it to
                 // implementation variables.
@@ -452,45 +685,54 @@ pub fn repair_against_cluster(
                         }
                         vars
                     };
-                    for omega in enumerate_replace_relations(
+                    for_each_replace_relation(
                         &rep_sources,
                         v1,
                         v2,
                         &impl_vars,
-                        (&impl_params, &rep_params),
+                        &compat,
                         config.max_relations_per_expr,
-                    ) {
-                        let replacement = cluster_expr.substitute(&|name| {
-                            omega.get(name).map(|target| match target {
-                                MapTarget::Existing(impl_var) => Expr::Var(impl_var.clone()),
-                                MapTarget::Fresh(rep_var) => Expr::Var(fresh_name(rep_var, &impl_vars)),
-                            })
-                        });
-                        let key = format!("repl|{v1}|{}", expr_to_string(&replacement));
-                        if !seen.insert(key) {
-                            continue;
-                        }
-                        let cost = if replacement == e_impl {
-                            0
-                        } else {
-                            expr_edit_distance(&e_impl, &replacement) as i64
-                        };
-                        let dependencies =
-                            omega.iter().map(|(rep_var, target)| (rep_var.clone(), target.clone())).collect();
-                        let index = candidates.len();
-                        candidates.push(CandidateRepair {
-                            loc,
-                            var: v2.clone(),
-                            dependencies,
-                            replacement: Some(replacement),
-                            cost,
-                        });
-                        candidates_by_slot.entry(slot.clone()).or_default().push(index);
-                    }
+                        &mut |omega| {
+                            let replacement = cluster_expr.substitute(&|name| {
+                                omega.get(name).map(|target| match target {
+                                    MapTarget::Existing(impl_var) => Expr::Var(impl_var.clone()),
+                                    MapTarget::Fresh(rep_var) => {
+                                        Expr::Var(fresh_names[rep_var.as_str()].clone())
+                                    }
+                                })
+                            });
+                            if !seen.insert(SeenKey::Replace(v1.clone(), replacement.clone())) {
+                                return;
+                            }
+                            let cost = if replacement == e_impl {
+                                0
+                            } else {
+                                let impl_tree =
+                                    impl_tree.get_or_insert_with(|| PreparedTree::from_expr(&e_impl));
+                                prepared_edit_distance(impl_tree, &PreparedTree::from_expr(&replacement))
+                                    as i64
+                            };
+                            let dependencies = omega
+                                .iter()
+                                .map(|(rep_var, target)| (rep_var.clone(), target.clone()))
+                                .collect();
+                            let index = candidates.len();
+                            candidates.push(CandidateRepair {
+                                loc,
+                                var: v2.clone(),
+                                dependencies,
+                                replacement: Some(replacement),
+                                cost,
+                            });
+                            candidates_by_slot.entry(slot.clone()).or_default().push(index);
+                        },
+                    );
                 }
             }
         }
     }
+
+    prune_dominated(&mut candidates, &mut candidates_by_slot);
 
     // ------------------------------------------------------------------
     // Step 2: encode constraints (1)–(4) of Definition 5.5 as a 0-1 ILP.
@@ -502,18 +744,18 @@ pub fn repair_against_cluster(
 
     for v1 in &rep_vars {
         for v2 in &impl_vars {
-            if vars_compatible(v2, v1, &impl_params, &rep_params) {
+            if compat.compatible(v2, v1) {
                 let id = ilp.add_var(format!("pair:{v1}={v2}"), 0);
                 pair_vars.insert((v1.clone(), v2.clone()), id);
             }
         }
-        if can_add(v1, &rep_params, &impl_params) {
+        if compat.can_add(v1) {
             let cost = add_cost(&rep.program, cluster, v1);
             add_vars.insert(v1.clone(), ilp.add_var(format!("add:{v1}"), cost));
         }
     }
     for v2 in &impl_vars {
-        if can_delete(v2, &impl_params, &rep_params) {
+        if compat.can_delete(v2) {
             let cost = delete_cost(&attempt.program, v2);
             del_vars.insert(v2.clone(), ilp.add_var(format!("del:{v2}"), cost));
         }
@@ -598,10 +840,12 @@ pub fn repair_against_cluster(
             var_map.insert(v2.clone(), v1.clone());
         }
     }
-    let added_vars: Vec<(String, String)> = add_vars
+    // In `rep_vars` order (deterministic — `add_vars` is a hash map), using
+    // the fresh names fixed before candidate generation.
+    let added_vars: Vec<(String, String)> = rep_vars
         .iter()
-        .filter(|(_, id)| solution.value(**id))
-        .map(|(v1, _)| (v1.clone(), fresh_name(v1, &impl_vars)))
+        .filter(|v1| add_vars.get(*v1).is_some_and(|id| solution.value(*id)))
+        .map(|v1| (v1.clone(), fresh_names[v1.as_str()].clone()))
         .collect();
     let deleted_vars: Vec<String> =
         del_vars.iter().filter(|(_, id)| solution.value(**id)).map(|(v2, _)| v2.clone()).collect();
@@ -704,12 +948,6 @@ pub fn repair_against_cluster(
     })
 }
 
-fn render_map(map: &HashMap<String, String>) -> String {
-    let mut pairs: Vec<String> = map.iter().map(|(k, v)| format!("{k}->{v}")).collect();
-    pairs.sort();
-    pairs.join(",")
-}
-
 /// Cost of introducing the representative variable `v1` into the
 /// implementation: the representative's assignments have to be added.
 fn add_cost(rep: &Program, _cluster: &Cluster, v1: &str) -> i64 {
@@ -724,116 +962,120 @@ fn delete_cost(attempt: &Program, v2: &str) -> i64 {
 
 /// Enumerates the injective partial relations ω mapping the implementation
 /// variables `sources` (which include `v2`) to representative variables, with
-/// `ω(v2) = v1` fixed. Used for `(ω, •)` local repairs.
-fn enumerate_keep_relations(
+/// `ω(v2) = v1` fixed, invoking `visit` for each relation. Used for
+/// `(ω, •)` local repairs. Visitor style: the relation map is reused across
+/// the whole enumeration instead of being cloned per result.
+fn for_each_keep_relation(
     sources: &[String],
     v2: &str,
     v1: &str,
     rep_vars: &[String],
-    params: (&[String], &[String]),
+    compat: &CompatInfo,
     cap: usize,
-) -> Vec<HashMap<String, String>> {
-    let (impl_params, rep_params) = params;
-    let mut results = Vec::new();
+    visit: &mut dyn FnMut(&HashMap<String, String>),
+) {
     let others: Vec<&String> = sources.iter().filter(|s| s.as_str() != v2).collect();
     let mut current: HashMap<String, String> = HashMap::new();
     current.insert(v2.to_owned(), v1.to_owned());
     let mut used: HashSet<String> = HashSet::new();
     used.insert(v1.to_owned());
+    let mut visited = 0usize;
 
     #[allow(clippy::too_many_arguments)]
     fn recurse(
         index: usize,
         others: &[&String],
         rep_vars: &[String],
-        params: (&[String], &[String]),
+        compat: &CompatInfo,
         current: &mut HashMap<String, String>,
         used: &mut HashSet<String>,
-        results: &mut Vec<HashMap<String, String>>,
+        visited: &mut usize,
         cap: usize,
+        visit: &mut dyn FnMut(&HashMap<String, String>),
     ) {
-        if results.len() >= cap {
+        if *visited >= cap {
             return;
         }
         if index == others.len() {
-            results.push(current.clone());
+            *visited += 1;
+            visit(current);
             return;
         }
         let source = others[index];
         for target in rep_vars {
-            if used.contains(target) || !vars_compatible(source, target, params.0, params.1) {
+            if used.contains(target) || !compat.compatible(source, target) {
                 continue;
             }
             current.insert(source.to_string(), target.clone());
             used.insert(target.clone());
-            recurse(index + 1, others, rep_vars, params, current, used, results, cap);
+            recurse(index + 1, others, rep_vars, compat, current, used, visited, cap, visit);
             used.remove(target);
             current.remove(source.as_str());
         }
     }
-    recurse(0, &others, rep_vars, (impl_params, rep_params), &mut current, &mut used, &mut results, cap);
-    results
+    recurse(0, &others, rep_vars, compat, &mut current, &mut used, &mut visited, cap, visit);
 }
 
 /// Enumerates the injective partial relations ω mapping the representative
 /// variables `sources` (which include `v1`) to implementation variables or
 /// fresh variables, with `ω(v1) = v2` fixed. Used for `(ω⁻¹, ω(e))` local
 /// repairs.
-fn enumerate_replace_relations(
+fn for_each_replace_relation(
     sources: &[String],
     v1: &str,
     v2: &str,
     impl_vars: &[String],
-    params: (&[String], &[String]),
+    compat: &CompatInfo,
     cap: usize,
-) -> Vec<HashMap<String, MapTarget>> {
-    let (impl_params, rep_params) = params;
-    let mut results = Vec::new();
+    visit: &mut dyn FnMut(&HashMap<String, MapTarget>),
+) {
     let others: Vec<&String> = sources.iter().filter(|s| s.as_str() != v1).collect();
     let mut current: HashMap<String, MapTarget> = HashMap::new();
     current.insert(v1.to_owned(), MapTarget::Existing(v2.to_owned()));
     let mut used: HashSet<String> = HashSet::new();
     used.insert(v2.to_owned());
+    let mut visited = 0usize;
 
     #[allow(clippy::too_many_arguments)]
     fn recurse(
         index: usize,
         others: &[&String],
         impl_vars: &[String],
-        params: (&[String], &[String]),
+        compat: &CompatInfo,
         current: &mut HashMap<String, MapTarget>,
         used: &mut HashSet<String>,
-        results: &mut Vec<HashMap<String, MapTarget>>,
+        visited: &mut usize,
         cap: usize,
+        visit: &mut dyn FnMut(&HashMap<String, MapTarget>),
     ) {
-        if results.len() >= cap {
+        if *visited >= cap {
             return;
         }
         if index == others.len() {
-            results.push(current.clone());
+            *visited += 1;
+            visit(current);
             return;
         }
         let source = others[index];
         for target in impl_vars {
-            if used.contains(target) || !vars_compatible(target, source, params.0, params.1) {
+            if used.contains(target) || !compat.compatible(target, source) {
                 continue;
             }
             current.insert(source.to_string(), MapTarget::Existing(target.clone()));
             used.insert(target.clone());
-            recurse(index + 1, others, impl_vars, params, current, used, results, cap);
+            recurse(index + 1, others, impl_vars, compat, current, used, visited, cap, visit);
             used.remove(target);
             current.remove(source.as_str());
         }
         // The representative variable may also map to a fresh implementation
         // variable (the ⋆ extension of §5).
-        if can_add(source, params.1, params.0) {
+        if compat.can_add(source) {
             current.insert(source.to_string(), MapTarget::Fresh(source.to_string()));
-            recurse(index + 1, others, impl_vars, params, current, used, results, cap);
+            recurse(index + 1, others, impl_vars, compat, current, used, visited, cap, visit);
             current.remove(source.as_str());
         }
     }
-    recurse(0, &others, impl_vars, (impl_params, rep_params), &mut current, &mut used, &mut results, cap);
-    results
+    recurse(0, &others, impl_vars, compat, &mut current, &mut used, &mut visited, cap, visit);
 }
 
 #[cfg(test)]
@@ -992,6 +1234,69 @@ def computeDeriv(poly):
         assert_eq!(fresh_name("n", &["x".to_owned()]), "new_n");
         assert_eq!(fresh_name("#it1", &[]), "new_it1");
         assert_eq!(fresh_name("n", &["new_n".to_owned()]), "new_n_2");
+    }
+
+    #[test]
+    fn cached_and_uncached_repair_agree() {
+        // The signature cache is a pure optimisation: candidate sets, ILP and
+        // decoded repairs must be identical with and without it.
+        let clusters = derivatives_clusters();
+        for attempt_src in [
+            C1,
+            "def computeDeriv(poly):\n    new = []\n    for i in xrange(1,len(poly)):\n        new.append(float(i*poly[i]))\n    if new==[]:\n        return 0.0\n    return new\n",
+            "def computeDeriv(poly):\n    result = []\n    for e in range(len(poly)):\n        result.append(float(poly[e]*e))\n    if result == []:\n        return [0.0]\n    else:\n        return result\n",
+        ] {
+            let attempt = analyze(attempt_src);
+            let cached = RepairConfig { use_signature_cache: true, ..RepairConfig::default() };
+            let uncached = RepairConfig { use_signature_cache: false, ..RepairConfig::default() };
+            let a = repair_attempt(&clusters, &attempt, &inputs(), &cached).best.unwrap();
+            let b = repair_attempt(&clusters, &attempt, &inputs(), &uncached).best.unwrap();
+            assert_eq!(a.total_cost, b.total_cost);
+            assert_eq!(a.cluster_index, b.cluster_index);
+            assert_eq!(a.actions.len(), b.actions.len());
+            assert_eq!(a.var_map, b.var_map);
+            assert_eq!(a.verified, b.verified);
+        }
+    }
+
+    #[test]
+    fn trivial_rewrite_reports_fresh_added_vars() {
+        // The rewrite path must report `added_vars` as representative →
+        // fresh-name pairs, exclude positionally shared parameters, and the
+        // rewritten program must actually use the fresh names.
+        let clusters = derivatives_clusters();
+        let attempt = analyze("def computeDeriv(poly):\n    pass\n");
+        let result = repair_attempt(&clusters, &attempt, &inputs(), &RepairConfig::default());
+        let repair = result.best.unwrap();
+        assert!(repair.is_rewrite);
+        // The shared parameter is never an addition.
+        assert!(repair.added_vars.iter().all(|(rep_var, _)| rep_var != "poly"));
+        assert!(!repair.added_vars.is_empty());
+        for (rep_var, fresh) in &repair.added_vars {
+            assert_ne!(rep_var, fresh, "fresh names follow the decode-path convention");
+            assert!(fresh.starts_with("new_"), "got fresh name {fresh}");
+            assert!(
+                repair.repaired.vars.iter().any(|v| v == fresh),
+                "repaired program must define the fresh variable {fresh}"
+            );
+            assert!(
+                !repair.repaired.vars.iter().any(|v| v == rep_var),
+                "repaired program must not keep the original name {rep_var}"
+            );
+        }
+        // Every added assignment refers to a variable of the repaired
+        // program (i.e. uses fresh names, not representative names).
+        for action in &repair.actions {
+            if let RepairAction::AddAssignment { var, expr, .. } = action {
+                assert!(repair.repaired.vars.iter().any(|v| v == var));
+                for used in expr.variables() {
+                    assert!(
+                        repair.repaired.vars.iter().any(|v| v == &used),
+                        "expression variable {used} missing from repaired program"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

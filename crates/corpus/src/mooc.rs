@@ -12,7 +12,7 @@ fn poly(xs: &[f64]) -> Value {
 }
 
 fn tup(xs: &[&str]) -> Value {
-    Value::Tuple(xs.iter().map(|x| Value::Str((*x).to_owned())).collect())
+    Value::Tuple(xs.iter().map(|x| Value::str(*x)).collect())
 }
 
 fn int_tup(xs: &[i64]) -> Value {
@@ -188,7 +188,7 @@ def oddTuples(aTup):
         SEEDS.to_vec(),
         vec![
             vec![tup(&["I", "am", "a", "test", "tuple"])],
-            vec![Value::Tuple(Vec::new())],
+            vec![Value::tuple(Vec::new())],
             vec![tup(&["x"])],
             vec![int_tup(&[1, 2, 3, 4])],
             vec![int_tup(&[5, 6])],

@@ -175,16 +175,37 @@ impl IlpBuilder {
     /// Returns [`BudgetExhausted`] if the node budget was reached before the
     /// search completed.
     pub fn solve_with_limits(&self, limits: SolveLimits) -> Result<Option<Solution>, BudgetExhausted> {
-        let mut solver =
-            Solver { problem: self, assignment: vec![None; self.names.len()], best: None, nodes: 0, limits };
-        solver.search()?;
+        // Var → constraints index so propagation only revisits constraints
+        // whose support actually changed.
+        let mut constraints_of: Vec<Vec<usize>> = vec![Vec::new(); self.names.len()];
+        for (ci, constraint) in self.constraints.iter().enumerate() {
+            for &(var, _) in &constraint.terms {
+                if !constraints_of[var.0].contains(&ci) {
+                    constraints_of[var.0].push(ci);
+                }
+            }
+        }
+        let mut solver = Solver {
+            problem: self,
+            constraints_of,
+            assignment: vec![None; self.names.len()],
+            in_queue: vec![false; self.constraints.len()],
+            best: None,
+            nodes: 0,
+            limits,
+        };
+        solver.search(None)?;
         Ok(solver.best)
     }
 }
 
 struct Solver<'p> {
     problem: &'p IlpBuilder,
+    /// For each variable, the constraints it occurs in.
+    constraints_of: Vec<Vec<usize>>,
     assignment: Vec<Option<bool>>,
+    /// Scratch de-duplication flags for the propagation worklist.
+    in_queue: Vec<bool>,
     best: Option<Solution>,
     nodes: u64,
     limits: SolveLimits,
@@ -201,11 +222,17 @@ enum Propagation {
 
 impl Solver<'_> {
     /// Current objective of the fixed part plus an admissible lower bound for
-    /// the free part (free variables contribute their weight only if
-    /// negative, since setting them to 0 is otherwise always possible).
-    fn lower_bound(&self) -> i64 {
+    /// the free part: free variables contribute their weight only if negative
+    /// (setting them to 0 is otherwise always possible), and every
+    /// unsatisfied `= 1` row over variable-disjoint supports must still pay
+    /// for its cheapest free variable. Disjointness (enforced greedily, each
+    /// free variable counted for at most one row) keeps the bound admissible:
+    /// a single selected variable can satisfy several overlapping rows while
+    /// paying its weight once.
+    fn lower_bound(&self, counted: &mut [bool]) -> i64 {
         let mut bound = 0;
         for (i, value) in self.assignment.iter().enumerate() {
+            counted[i] = false;
             let w = self.problem.weights[i];
             match value {
                 Some(true) => bound += w,
@@ -213,6 +240,44 @@ impl Solver<'_> {
                 None => {
                     if w < 0 {
                         bound += w;
+                    }
+                }
+            }
+        }
+        'rows: for constraint in &self.problem.constraints {
+            if constraint.cmp != Cmp::Eq || constraint.rhs != 1 {
+                continue;
+            }
+            let mut fixed_sum = 0i64;
+            let mut min_free: Option<i64> = None;
+            for &(var, coeff) in &constraint.terms {
+                match self.assignment[var.0] {
+                    Some(true) => fixed_sum += coeff,
+                    Some(false) => {}
+                    None => {
+                        if counted[var.0] {
+                            // Overlaps a row already counted; skip the row.
+                            continue 'rows;
+                        }
+                        if coeff == 1 {
+                            let w = self.problem.weights[var.0].max(0);
+                            min_free = Some(min_free.map_or(w, |m: i64| m.min(w)));
+                        } else {
+                            // Negative/other coefficients break the "must
+                            // pay for one of these" reading; skip the row.
+                            continue 'rows;
+                        }
+                    }
+                }
+            }
+            if fixed_sum != 0 {
+                continue;
+            }
+            if let Some(min_free) = min_free {
+                bound += min_free;
+                for &(var, _) in &constraint.terms {
+                    if self.assignment[var.0].is_none() {
+                        counted[var.0] = true;
                     }
                 }
             }
@@ -231,72 +296,116 @@ impl Solver<'_> {
     /// Checks constraints under the current partial assignment and derives
     /// forced values (unit propagation). Returns the indices of variables it
     /// fixed so the caller can undo them.
-    fn propagate(&mut self, trail: &mut Vec<usize>) -> Propagation {
-        loop {
-            let mut changed = false;
-            for constraint in &self.problem.constraints {
-                let mut fixed_sum = 0i64;
-                let mut free_pos = 0i64;
-                let mut free_neg = 0i64;
-                let mut free_vars: Vec<(usize, i64)> = Vec::new();
-                for &(var, coeff) in &constraint.terms {
-                    match self.assignment[var.0] {
-                        Some(true) => fixed_sum += coeff,
-                        Some(false) => {}
-                        None => {
-                            if coeff > 0 {
-                                free_pos += coeff;
-                            } else {
-                                free_neg += coeff;
-                            }
-                            free_vars.push((var.0, coeff));
-                        }
-                    }
+    ///
+    /// `seed` is the variable just branched on, if any: only the constraints
+    /// containing it (transitively, through forced variables) can yield new
+    /// information, so propagation walks a worklist instead of rescanning the
+    /// whole constraint set to a fixpoint.
+    fn propagate(&mut self, trail: &mut Vec<usize>, seed: Option<usize>) -> Propagation {
+        let mut queue: Vec<usize> = match seed {
+            Some(var) => {
+                for &ci in &self.constraints_of[var] {
+                    self.in_queue[ci] = true;
                 }
-                let max = fixed_sum + free_pos;
-                let min = fixed_sum + free_neg;
-                let feasible = match constraint.cmp {
-                    Cmp::Eq => constraint.rhs >= min && constraint.rhs <= max,
-                    Cmp::Ge => max >= constraint.rhs,
-                };
-                if !feasible {
-                    return Propagation::Conflict;
+                self.constraints_of[var].clone()
+            }
+            None => {
+                for flag in self.in_queue.iter_mut() {
+                    *flag = true;
                 }
-                // Forced assignments: a free variable whose two possible
-                // values leave the constraint satisfiable in only one way.
-                for &(index, coeff) in &free_vars {
-                    let force = |value: bool| -> bool {
-                        // Would fixing `index := value` make the constraint
-                        // unsatisfiable regardless of the other free vars?
-                        let delta = if value { coeff } else { 0 };
-                        let rest_pos = free_pos - if coeff > 0 { coeff } else { 0 };
-                        let rest_neg = free_neg - if coeff < 0 { coeff } else { 0 };
-                        let new_max = fixed_sum + delta + rest_pos;
-                        let new_min = fixed_sum + delta + rest_neg;
-                        match constraint.cmp {
-                            Cmp::Eq => !(constraint.rhs >= new_min && constraint.rhs <= new_max),
-                            Cmp::Ge => new_max < constraint.rhs,
+                (0..self.problem.constraints.len()).collect()
+            }
+        };
+        let mut head = 0;
+        while head < queue.len() {
+            let ci = queue[head];
+            head += 1;
+            self.in_queue[ci] = false;
+            let constraint = &self.problem.constraints[ci];
+            let mut fixed_sum = 0i64;
+            let mut free_pos = 0i64;
+            let mut free_neg = 0i64;
+            for &(var, coeff) in &constraint.terms {
+                match self.assignment[var.0] {
+                    Some(true) => fixed_sum += coeff,
+                    Some(false) => {}
+                    None => {
+                        if coeff > 0 {
+                            free_pos += coeff;
+                        } else {
+                            free_neg += coeff;
                         }
-                    };
-                    let true_bad = force(true);
-                    let false_bad = force(false);
-                    if true_bad && false_bad {
-                        return Propagation::Conflict;
-                    } else if true_bad {
-                        self.assignment[index] = Some(false);
-                        trail.push(index);
-                        changed = true;
-                    } else if false_bad {
-                        self.assignment[index] = Some(true);
-                        trail.push(index);
-                        changed = true;
                     }
                 }
             }
-            if !changed {
-                return Propagation::Ok;
+            let max = fixed_sum + free_pos;
+            let min = fixed_sum + free_neg;
+            let feasible = match constraint.cmp {
+                Cmp::Eq => constraint.rhs >= min && constraint.rhs <= max,
+                Cmp::Ge => max >= constraint.rhs,
+            };
+            if !feasible {
+                for &ci in &queue[head..] {
+                    self.in_queue[ci] = false;
+                }
+                return Propagation::Conflict;
+            }
+            // Forced assignments: a free variable whose two possible values
+            // leave the constraint satisfiable in only one way.
+            for term_index in 0..constraint.terms.len() {
+                let constraint = &self.problem.constraints[ci];
+                let (var, coeff) = constraint.terms[term_index];
+                if self.assignment[var.0].is_some() {
+                    continue;
+                }
+                let force = |value: bool| -> bool {
+                    // Would fixing `var := value` make the constraint
+                    // unsatisfiable regardless of the other free vars?
+                    let delta = if value { coeff } else { 0 };
+                    let rest_pos = free_pos - if coeff > 0 { coeff } else { 0 };
+                    let rest_neg = free_neg - if coeff < 0 { coeff } else { 0 };
+                    let new_max = fixed_sum + delta + rest_pos;
+                    let new_min = fixed_sum + delta + rest_neg;
+                    match constraint.cmp {
+                        Cmp::Eq => !(constraint.rhs >= new_min && constraint.rhs <= new_max),
+                        Cmp::Ge => new_max < constraint.rhs,
+                    }
+                };
+                let true_bad = force(true);
+                let false_bad = force(false);
+                let forced = if true_bad && false_bad {
+                    for &ci in &queue[head..] {
+                        self.in_queue[ci] = false;
+                    }
+                    return Propagation::Conflict;
+                } else if true_bad {
+                    self.assignment[var.0] = Some(false);
+                    false
+                } else if false_bad {
+                    self.assignment[var.0] = Some(true);
+                    true
+                } else {
+                    continue;
+                };
+                trail.push(var.0);
+                // The constraint's own free/fixed split changed.
+                if forced {
+                    fixed_sum += coeff;
+                }
+                if coeff > 0 {
+                    free_pos -= coeff;
+                } else {
+                    free_neg -= coeff;
+                }
+                for &other in &self.constraints_of[var.0] {
+                    if !self.in_queue[other] {
+                        self.in_queue[other] = true;
+                        queue.push(other);
+                    }
+                }
             }
         }
+        Propagation::Ok
     }
 
     fn all_assigned(&self) -> bool {
@@ -321,13 +430,13 @@ impl Solver<'_> {
         best.map(|(i, _)| i).or_else(|| self.assignment.iter().position(Option::is_none))
     }
 
-    fn search(&mut self) -> Result<(), BudgetExhausted> {
+    fn search(&mut self, branched: Option<usize>) -> Result<(), BudgetExhausted> {
         self.nodes += 1;
         if self.nodes > self.limits.max_nodes {
             return Err(BudgetExhausted);
         }
         let mut trail = Vec::new();
-        match self.propagate(&mut trail) {
+        match self.propagate(&mut trail, branched) {
             Propagation::Conflict => {
                 self.undo(&trail);
                 return Ok(());
@@ -335,8 +444,9 @@ impl Solver<'_> {
             Propagation::Ok => {}
         }
         // Prune by bound.
-        if let Some(best) = &self.best {
-            if self.lower_bound() >= best.objective {
+        if let Some(best_objective) = self.best.as_ref().map(|b| b.objective) {
+            let mut counted = vec![false; self.assignment.len()];
+            if self.lower_bound(&mut counted) >= best_objective {
                 self.undo(&trail);
                 return Ok(());
             }
@@ -361,7 +471,7 @@ impl Solver<'_> {
         let order = if self.problem.weights[var] >= 0 { [false, true] } else { [true, false] };
         for value in order {
             self.assignment[var] = Some(value);
-            self.search()?;
+            self.search(Some(var))?;
             self.assignment[var] = None;
         }
         self.undo(&trail);

@@ -6,6 +6,7 @@
 //! `concat`) and special variable names that cannot appear in source programs.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A literal constant.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +21,38 @@ pub enum Lit {
     Bool(bool),
     /// The `None` literal.
     None,
+}
+
+/// Literal equality is total in practice: MiniPy has no `NaN` literal, so the
+/// derived float comparison never hits the one non-reflexive case.
+impl Eq for Lit {}
+
+/// Structural hash consistent with the derived `PartialEq`: floats hash by
+/// bit pattern with `-0.0` normalised to `0.0` (the only pair of distinct
+/// bit patterns that compare equal).
+impl Hash for Lit {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Lit::Int(v) => {
+                state.write_u8(0);
+                v.hash(state);
+            }
+            Lit::Float(v) => {
+                state.write_u8(1);
+                let bits = if *v == 0.0 { 0.0f64.to_bits() } else { v.to_bits() };
+                state.write_u64(bits);
+            }
+            Lit::Str(v) => {
+                state.write_u8(2);
+                v.hash(state);
+            }
+            Lit::Bool(v) => {
+                state.write_u8(3);
+                v.hash(state);
+            }
+            Lit::None => state.write_u8(4),
+        }
+    }
 }
 
 /// A unary operator.
@@ -102,7 +135,11 @@ impl fmt::Display for BinOp {
 }
 
 /// A MiniPy expression.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq`/`Hash` are structural (two expressions are equal iff their trees
+/// are), which lets the clustering and repair layers key hash maps directly
+/// on expressions instead of rendering them to strings.
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Expr {
     /// A literal constant.
     Lit(Lit),
@@ -125,6 +162,8 @@ pub enum Expr {
     /// A method call `receiver.method(args)`.
     Method(Box<Expr>, String, Vec<Expr>),
 }
+
+impl Eq for Expr {}
 
 impl Expr {
     /// Convenience constructor for an integer literal.

@@ -59,11 +59,11 @@ pub fn eval_expr<E: Env>(expr: &Expr, env: &E) -> Result<Value, EvalError> {
         },
         Expr::List(items) => {
             let values = items.iter().map(|e| eval_expr(e, env)).collect::<Result<Vec<_>, _>>()?;
-            Ok(Value::List(values))
+            Ok(Value::list(values))
         }
         Expr::Tuple(items) => {
             let values = items.iter().map(|e| eval_expr(e, env)).collect::<Result<Vec<_>, _>>()?;
-            Ok(Value::Tuple(values))
+            Ok(Value::tuple(values))
         }
         Expr::Unary(op, inner) => {
             let value = eval_expr(inner, env)?;
@@ -97,7 +97,7 @@ fn eval_lit(lit: &Lit) -> Value {
     match lit {
         Lit::Int(v) => Value::Int(*v),
         Lit::Float(v) => Value::Float(*v),
-        Lit::Str(v) => Value::Str(v.clone()),
+        Lit::Str(v) => Value::str(v.as_str()),
         Lit::Bool(v) => Value::Bool(*v),
         Lit::None => Value::None,
     }
@@ -228,7 +228,7 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
                     i += step;
                 }
             }
-            Ok(Value::List(out))
+            Ok(Value::list(out))
         }
         "len" => match args {
             [Value::List(v)] | [Value::Tuple(v)] => Ok(Value::Int(v.len() as i64)),
@@ -273,7 +273,7 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
             _ => Err(arity_error("int", "1", args.len())),
         },
         "str" => match args {
-            [v] => Ok(Value::Str(v.to_display_string())),
+            [v] => Ok(Value::str(v.to_display_string())),
             _ => Err(arity_error("str", "1", args.len())),
         },
         "bool" => match args {
@@ -290,9 +290,9 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
             _ => Err(arity_error("abs", "1", args.len())),
         },
         "min" | "max" => {
-            let items: Vec<Value> = match args {
-                [Value::List(v)] | [Value::Tuple(v)] => v.clone(),
-                _ if args.len() >= 2 => args.to_vec(),
+            let items: &[Value] = match args {
+                [Value::List(v)] | [Value::Tuple(v)] => v,
+                _ if args.len() >= 2 => args,
                 _ => return Err(arity_error(name, "an iterable or at least 2", args.len())),
             };
             if items.is_empty() {
@@ -312,7 +312,7 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
         "sum" => match args {
             [Value::List(v)] | [Value::Tuple(v)] => {
                 let mut acc = Value::Int(0);
-                for item in v {
+                for item in v.iter() {
                     acc = ops::add(&acc, item)?;
                 }
                 Ok(acc)
@@ -335,34 +335,32 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
         },
         "sorted" => match args {
             [Value::List(v)] | [Value::Tuple(v)] => {
-                let mut out = v.clone();
+                let mut out = v.to_vec();
                 out.sort_by(|a, b| a.py_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-                Ok(Value::List(out))
+                Ok(Value::list(out))
             }
             _ => Err(arity_error("sorted", "1 (a sequence)", args.len())),
         },
         "reversed" => match args {
             [Value::List(v)] | [Value::Tuple(v)] => Ok(Value::List(v.iter().rev().cloned().collect())),
-            [Value::Str(s)] => Ok(Value::Str(s.chars().rev().collect())),
+            [Value::Str(s)] => Ok(Value::str(s.chars().rev().collect::<String>())),
             _ => Err(arity_error("reversed", "1 (a sequence)", args.len())),
         },
         "list" => match args {
-            [] => Ok(Value::List(Vec::new())),
+            [] => Ok(Value::list(Vec::new())),
             [Value::List(v)] | [Value::Tuple(v)] => Ok(Value::List(v.clone())),
-            [Value::Str(s)] => Ok(Value::List(s.chars().map(|c| Value::Str(c.to_string())).collect())),
+            [Value::Str(s)] => Ok(Value::List(s.chars().map(|c| Value::str(c.to_string())).collect())),
             _ => Err(arity_error("list", "0 or 1", args.len())),
         },
         "tuple" => match args {
-            [] => Ok(Value::Tuple(Vec::new())),
+            [] => Ok(Value::tuple(Vec::new())),
             [Value::List(v)] | [Value::Tuple(v)] => Ok(Value::Tuple(v.clone())),
             _ => Err(arity_error("tuple", "0 or 1", args.len())),
         },
         // --- Program-model builtins -------------------------------------
         "append" => match args {
             [Value::List(v), item] => {
-                let mut out = v.clone();
-                out.push(item.clone());
-                Ok(Value::List(out))
+                Ok(Value::List(v.iter().cloned().chain(std::iter::once(item.clone())).collect()))
             }
             [other, _] => {
                 Err(EvalError::type_error(format!("append() expects a list, got {}", other.type_name())))
@@ -376,14 +374,14 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
             [Value::Str(s)] => s
                 .chars()
                 .next()
-                .map(|c| Value::Str(c.to_string()))
+                .map(|c| Value::str(c.to_string()))
                 .ok_or_else(|| EvalError::index_error("head of empty string")),
             _ => Err(arity_error("head", "1 (a sequence)", args.len())),
         },
         "tail" => match args {
             [Value::List(v)] => Ok(Value::List(v.iter().skip(1).cloned().collect())),
             [Value::Tuple(v)] => Ok(Value::Tuple(v.iter().skip(1).cloned().collect())),
-            [Value::Str(s)] => Ok(Value::Str(s.chars().skip(1).collect())),
+            [Value::Str(s)] => Ok(Value::str(s.chars().skip(1).collect::<String>())),
             _ => Err(arity_error("tail", "1 (a sequence)", args.len())),
         },
         "store" => match args {
@@ -395,7 +393,7 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
             for arg in args {
                 out.push_str(&arg.to_display_string());
             }
-            Ok(Value::Str(out))
+            Ok(Value::str(out))
         }
         "ite" => match args {
             [cond, then, otherwise] => {
@@ -426,7 +424,7 @@ fn eval_method(recv: &Value, name: &str, args: &[Value]) -> Result<Value, EvalEr
             if v.is_empty() {
                 return Err(EvalError::index_error("pop from empty list"));
             }
-            Ok(Value::List(v[..v.len() - 1].to_vec()))
+            Ok(Value::list(v[..v.len() - 1].to_vec()))
         }
         (Value::List(v), "index") => match args {
             [needle] => v
@@ -470,40 +468,40 @@ mod tests {
     fn the_papers_loop_body_expression() {
         // append(result, float(poly[e]*e)) on the paper's example input.
         let e = env(&[
-            ("poly", Value::List(vec![Value::Float(6.3), Value::Float(7.6), Value::Float(12.14)])),
-            ("result", Value::List(vec![])),
+            ("poly", Value::list(vec![Value::Float(6.3), Value::Float(7.6), Value::Float(12.14)])),
+            ("result", Value::list(vec![])),
             ("e", Value::Int(1)),
         ]);
         let v = eval("result + [float(poly[e]*e)]", &e).unwrap();
-        assert_eq!(v, Value::List(vec![Value::Float(7.6)]));
+        assert_eq!(v, Value::list(vec![Value::Float(7.6)]));
         let v2 = eval("result + [float(e)*poly[e]]", &e).unwrap();
         assert_eq!(v, v2);
     }
 
     #[test]
     fn or_returns_operand_like_python() {
-        let e = env(&[("result", Value::List(vec![]))]);
-        assert_eq!(eval("result or [0.0]", &e).unwrap(), Value::List(vec![Value::Float(0.0)]));
-        let e2 = env(&[("result", Value::List(vec![Value::Int(1)]))]);
-        assert_eq!(eval("result or [0.0]", &e2).unwrap(), Value::List(vec![Value::Int(1)]));
+        let e = env(&[("result", Value::list(vec![]))]);
+        assert_eq!(eval("result or [0.0]", &e).unwrap(), Value::list(vec![Value::Float(0.0)]));
+        let e2 = env(&[("result", Value::list(vec![Value::Int(1)]))]);
+        assert_eq!(eval("result or [0.0]", &e2).unwrap(), Value::list(vec![Value::Int(1)]));
     }
 
     #[test]
     fn and_short_circuits() {
-        let e = env(&[("xs", Value::List(vec![]))]);
+        let e = env(&[("xs", Value::list(vec![]))]);
         // Without short-circuiting `xs[0]` would raise an index error.
         assert_eq!(eval("len(xs) > 0 and xs[0] == 1", &e).unwrap(), Value::Bool(false));
     }
 
     #[test]
     fn ite_is_lazy() {
-        let e = env(&[("xs", Value::List(vec![]))]);
+        let e = env(&[("xs", Value::list(vec![]))]);
         let expr = Expr::ite(
             parse_expression("len(xs) == 0").unwrap(),
             parse_expression("[0.0]").unwrap(),
             parse_expression("xs[0]").unwrap(),
         );
-        assert_eq!(eval_expr(&expr, &e).unwrap(), Value::List(vec![Value::Float(0.0)]));
+        assert_eq!(eval_expr(&expr, &e).unwrap(), Value::list(vec![Value::Float(0.0)]));
     }
 
     #[test]
@@ -511,20 +509,20 @@ mod tests {
         let e = env(&[]);
         assert_eq!(
             eval("range(3)", &e).unwrap(),
-            Value::List(vec![Value::Int(0), Value::Int(1), Value::Int(2)])
+            Value::list(vec![Value::Int(0), Value::Int(1), Value::Int(2)])
         );
         assert_eq!(
             eval("range(1, 4)", &e).unwrap(),
-            Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+            Value::list(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
         );
         assert_eq!(
             eval("range(0, 6, 2)", &e).unwrap(),
-            Value::List(vec![Value::Int(0), Value::Int(2), Value::Int(4)])
+            Value::list(vec![Value::Int(0), Value::Int(2), Value::Int(4)])
         );
         assert_eq!(eval("xrange(2)", &e).unwrap(), eval("range(2)", &e).unwrap());
         assert_eq!(
             eval("range(5, 0, -2)", &e).unwrap(),
-            Value::List(vec![Value::Int(5), Value::Int(3), Value::Int(1)])
+            Value::list(vec![Value::Int(5), Value::Int(3), Value::Int(1)])
         );
     }
 
@@ -538,17 +536,17 @@ mod tests {
 
     #[test]
     fn model_builtins() {
-        let e = env(&[("it", Value::List(vec![Value::Int(1), Value::Int(2)]))]);
+        let e = env(&[("it", Value::list(vec![Value::Int(1), Value::Int(2)]))]);
         assert_eq!(eval("head(it)", &e).unwrap(), Value::Int(1));
-        assert_eq!(eval("tail(it)", &e).unwrap(), Value::List(vec![Value::Int(2)]));
+        assert_eq!(eval("tail(it)", &e).unwrap(), Value::list(vec![Value::Int(2)]));
         assert_eq!(eval("len(it) > 0", &e).unwrap(), Value::Bool(true));
-        assert_eq!(eval("store(it, 0, 9)", &e).unwrap(), Value::List(vec![Value::Int(9), Value::Int(2)]));
+        assert_eq!(eval("store(it, 0, 9)", &e).unwrap(), Value::list(vec![Value::Int(9), Value::Int(2)]));
         assert_eq!(eval("concat('a', 1, 'b')", &e).unwrap(), Value::Str("a1b".into()));
     }
 
     #[test]
     fn method_calls_evaluate_functionally() {
-        let e = env(&[("xs", Value::List(vec![Value::Int(1)]))]);
+        let e = env(&[("xs", Value::list(vec![Value::Int(1)]))]);
         assert_eq!(eval("xs.count(1)", &e).unwrap(), Value::Int(1));
         assert!(eval("xs.length()", &e).is_err());
     }
@@ -564,14 +562,14 @@ mod tests {
 
     #[test]
     fn aggregate_builtins() {
-        let e = env(&[("xs", Value::List(vec![Value::Int(3), Value::Int(1), Value::Int(2)]))]);
+        let e = env(&[("xs", Value::list(vec![Value::Int(3), Value::Int(1), Value::Int(2)]))]);
         assert_eq!(eval("sum(xs)", &e).unwrap(), Value::Int(6));
         assert_eq!(eval("min(xs)", &e).unwrap(), Value::Int(1));
         assert_eq!(eval("max(xs)", &e).unwrap(), Value::Int(3));
         assert_eq!(eval("max(1, 5)", &e).unwrap(), Value::Int(5));
         assert_eq!(
             eval("sorted(xs)", &e).unwrap(),
-            Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+            Value::list(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
         );
     }
 

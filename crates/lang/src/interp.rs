@@ -224,8 +224,8 @@ impl<'p> Interp<'p> {
             Stmt::For { var, iter, body, .. } => {
                 let iterable = self.eval(iter, env)?;
                 let items: Vec<Value> = match iterable {
-                    Value::List(v) | Value::Tuple(v) => v,
-                    Value::Str(s) => s.chars().map(|c| Value::Str(c.to_string())).collect(),
+                    Value::List(v) | Value::Tuple(v) => v.to_vec(),
+                    Value::Str(s) => s.chars().map(|c| Value::str(c.to_string())).collect(),
                     other => {
                         return Err(InterpError::Eval(EvalError::type_error(format!(
                             "{} object is not iterable",
@@ -278,7 +278,7 @@ impl<'p> Interp<'p> {
                             } else {
                                 let base = self.eval(&call_args[0], env)?;
                                 match base {
-                                    Value::List(v) if !v.is_empty() => Value::List(v[..v.len() - 1].to_vec()),
+                                    Value::List(v) if !v.is_empty() => Value::list(v[..v.len() - 1].to_vec()),
                                     Value::List(_) => {
                                         return Err(InterpError::Eval(EvalError::index_error(
                                             "pop from empty list",
@@ -340,17 +340,17 @@ def computeDeriv(poly):
 
     #[test]
     fn papers_correct_attempts_agree() {
-        let poly = Value::List(vec![Value::Float(6.3), Value::Float(7.6), Value::Float(12.14)]);
+        let poly = Value::list(vec![Value::Float(6.3), Value::Float(7.6), Value::Float(12.14)]);
         let r1 = run(C1, "computeDeriv", std::slice::from_ref(&poly));
         let r2 = run(C2, "computeDeriv", &[poly]);
-        assert_eq!(r1.return_value, Value::List(vec![Value::Float(7.6), Value::Float(24.28)]));
+        assert_eq!(r1.return_value, Value::list(vec![Value::Float(7.6), Value::Float(24.28)]));
         assert_eq!(r1.return_value, r2.return_value);
     }
 
     #[test]
     fn derivative_of_constant_is_zero_list() {
-        let r = run(C1, "computeDeriv", &[Value::List(vec![Value::Float(3.0)])]);
-        assert_eq!(r.return_value, Value::List(vec![Value::Float(0.0)]));
+        let r = run(C1, "computeDeriv", &[Value::list(vec![Value::Float(3.0)])]);
+        assert_eq!(r.return_value, Value::list(vec![Value::Float(0.0)]));
     }
 
     #[test]
@@ -364,9 +364,9 @@ def computeDeriv(poly):
         return 0.0
     return new
 ";
-        let r = run(i1, "computeDeriv", &[Value::List(vec![Value::Float(3.0)])]);
+        let r = run(i1, "computeDeriv", &[Value::list(vec![Value::Float(3.0)])]);
         assert_eq!(r.return_value, Value::Float(0.0));
-        assert_ne!(r.return_value, Value::List(vec![Value::Float(0.0)]));
+        assert_ne!(r.return_value, Value::list(vec![Value::Float(0.0)]));
     }
 
     #[test]
@@ -382,7 +382,7 @@ def computeDeriv(poly):
         let out = run_function(
             &prog,
             "computeDeriv",
-            &[Value::List(vec![Value::Float(1.0), Value::Float(2.0)])],
+            &[Value::list(vec![Value::Float(1.0), Value::Float(2.0)])],
             Limits::default(),
         );
         assert!(out.is_err());
@@ -465,8 +465,8 @@ def f(xs):
     return xs
 ";
         assert_eq!(
-            run(src, "f", &[Value::List(vec![Value::Int(1), Value::Int(2)])]).return_value,
-            Value::List(vec![Value::Int(99), Value::Int(2)])
+            run(src, "f", &[Value::list(vec![Value::Int(1), Value::Int(2)])]).return_value,
+            Value::list(vec![Value::Int(99), Value::Int(2)])
         );
     }
 

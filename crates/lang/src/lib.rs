@@ -32,10 +32,10 @@
 //! let out = run_function(
 //!     &program,
 //!     "computeDeriv",
-//!     &[Value::List(vec![Value::Float(6.3), Value::Float(7.6), Value::Float(12.14)])],
+//!     &[Value::list(vec![Value::Float(6.3), Value::Float(7.6), Value::Float(12.14)])],
 //!     Limits::default(),
 //! )?;
-//! assert_eq!(out.return_value, Value::List(vec![Value::Float(7.6), Value::Float(24.28)]));
+//! assert_eq!(out.return_value, Value::list(vec![Value::Float(7.6), Value::Float(24.28)]));
 //! # Ok(())
 //! # }
 //! ```

@@ -39,6 +39,23 @@ impl TestCase {
     pub fn printing(args: Vec<Value>, expected: impl Into<String>) -> Self {
         TestCase { args, expected: Expected { return_value: None, output: Some(expected.into()) } }
     }
+
+    /// Whether an execution satisfies this test case's expectations.
+    pub fn accepts(&self, execution: &crate::interp::Execution) -> bool {
+        let return_ok = self
+            .expected
+            .return_value
+            .as_ref()
+            .map(|want| execution.return_value.py_eq(want))
+            .unwrap_or(true);
+        let output_ok = self
+            .expected
+            .output
+            .as_ref()
+            .map(|want| execution.output.trim_end() == want.trim_end())
+            .unwrap_or(true);
+        return_ok && output_ok
+    }
 }
 
 /// An assignment specification: entry point plus test cases.
@@ -71,32 +88,22 @@ impl ProblemSpec {
         let mut results = Vec::with_capacity(self.tests.len());
         for test in &self.tests {
             let outcome = run_function(program, &self.entry, &test.args, self.limits);
-            let passed = match &outcome {
-                Ok(execution) => {
-                    let return_ok = test
-                        .expected
-                        .return_value
-                        .as_ref()
-                        .map(|want| execution.return_value.py_eq(want))
-                        .unwrap_or(true);
-                    let output_ok = test
-                        .expected
-                        .output
-                        .as_ref()
-                        .map(|want| execution.output.trim_end() == want.trim_end())
-                        .unwrap_or(true);
-                    return_ok && output_ok
-                }
-                Err(_) => false,
-            };
+            let passed = outcome.as_ref().map(|execution| test.accepts(execution)).unwrap_or(false);
             results.push(TestResult { passed, error: outcome.err() });
         }
         GradeReport { results }
     }
 
-    /// Returns `true` if `program` passes every test case.
+    /// Returns `true` if `program` passes every test case. Unlike
+    /// [`ProblemSpec::grade`] this stops at the first failing test — the
+    /// AutoGrader baseline calls it once per searched candidate, and almost
+    /// all candidates fail an early test.
     pub fn is_correct(&self, program: &SourceProgram) -> bool {
-        self.grade(program).all_passed()
+        self.tests.iter().all(|test| {
+            run_function(program, &self.entry, &test.args, self.limits)
+                .map(|execution| test.accepts(&execution))
+                .unwrap_or(false)
+        })
     }
 }
 

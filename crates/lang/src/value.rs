@@ -5,12 +5,23 @@
 //! `None` and the undefined value `⊥` ([`Value::Undef`]). All operations
 //! follow Python-like semantics; any failing operation reports an
 //! [`EvalError`] which the program model maps to `⊥`.
+//!
+//! Strings, lists and tuples are backed by [`Arc`], so cloning a value is
+//! O(1) regardless of its size. Trace execution stores two memories per step
+//! and every environment lookup clones the looked-up value, so cheap clones
+//! are what keeps the matching/repair hot path out of `memcpy`. The values
+//! themselves are immutable (all operations build new values), so sharing is
+//! never observable. `Arc` rather than `Rc` because repair processes
+//! clusters on multiple threads and traces are shared across them.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::error::{EvalError, EvalErrorKind};
 
-/// A runtime value of the MiniPy language.
+/// A runtime value of the MiniPy language. Cloning is O(1): the sequence and
+/// string payloads are reference-counted.
 #[derive(Debug, Clone)]
 pub enum Value {
     /// A 64-bit signed integer.
@@ -20,11 +31,11 @@ pub enum Value {
     /// A boolean.
     Bool(bool),
     /// An immutable string.
-    Str(String),
+    Str(Arc<str>),
     /// A list of values.
-    List(Vec<Value>),
+    List(Arc<[Value]>),
     /// A tuple of values.
-    Tuple(Vec<Value>),
+    Tuple(Arc<[Value]>),
     /// Python's `None`.
     None,
     /// The undefined value `⊥` of the computation domain (Definition 3.3).
@@ -32,6 +43,21 @@ pub enum Value {
 }
 
 impl Value {
+    /// Builds a string value from anything convertible to a shared string.
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Builds a list value from a vector (or other owned sequence) of values.
+    pub fn list(items: impl Into<Arc<[Value]>>) -> Value {
+        Value::List(items.into())
+    }
+
+    /// Builds a tuple value from a vector (or other owned sequence) of values.
+    pub fn tuple(items: impl Into<Arc<[Value]>>) -> Value {
+        Value::Tuple(items.into())
+    }
+
     /// Returns `true` if the value is the undefined value `⊥`.
     pub fn is_undef(&self) -> bool {
         matches!(self, Value::Undef)
@@ -82,7 +108,7 @@ impl Value {
     /// Python-style `str()` conversion.
     pub fn to_display_string(&self) -> String {
         match self {
-            Value::Str(s) => s.clone(),
+            Value::Str(s) => s.to_string(),
             other => format!("{other}"),
         }
     }
@@ -97,7 +123,7 @@ impl Value {
             (Value::None, Value::None) => true,
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::List(a), Value::List(b)) | (Value::Tuple(a), Value::Tuple(b)) => {
-                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.py_eq(y))
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.py_eq(y))
             }
             _ => match (self.as_number(), other.as_number()) {
                 (Some(a), Some(b)) => a == b,
@@ -133,6 +159,46 @@ impl Value {
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
         self.py_eq(other)
+    }
+}
+
+/// Hashing is consistent with [`Value::py_eq`] (the `PartialEq` impl):
+/// `a.py_eq(b)` implies equal hashes. Numerics (`Int`, `Float`, `Bool`)
+/// compare across types, so they all hash through their canonical `f64`
+/// representation (with `-0.0` normalised to `0.0`); lists and tuples are
+/// distinct types under `py_eq` and hash with distinct discriminants. This is
+/// what lets trace signatures, projections and behaviour fingerprints use
+/// hashing as a sound pre-filter for dynamic equivalence.
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Undef => state.write_u8(0),
+            Value::None => state.write_u8(1),
+            Value::Str(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+            Value::List(items) => {
+                state.write_u8(3);
+                state.write_usize(items.len());
+                for item in items.iter() {
+                    item.hash(state);
+                }
+            }
+            Value::Tuple(items) => {
+                state.write_u8(4);
+                state.write_usize(items.len());
+                for item in items.iter() {
+                    item.hash(state);
+                }
+            }
+            Value::Int(_) | Value::Float(_) | Value::Bool(_) => {
+                state.write_u8(5);
+                let n = self.as_number().expect("numeric value");
+                let bits = if n == 0.0 { 0.0f64.to_bits() } else { n.to_bits() };
+                state.write_u64(bits);
+            }
+        }
     }
 }
 
@@ -198,13 +264,19 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_owned())
+        Value::Str(v.into())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v.into())
     }
 }
 
 impl From<Vec<Value>> for Value {
     fn from(v: Vec<Value>) -> Self {
-        Value::List(v)
+        Value::List(v.into())
     }
 }
 
@@ -237,16 +309,10 @@ pub mod ops {
     /// Addition / concatenation (`+`).
     pub fn add(a: &Value, b: &Value) -> Result<Value, EvalError> {
         match (a, b) {
-            (Value::Str(x), Value::Str(y)) => Ok(Value::Str(format!("{x}{y}"))),
-            (Value::List(x), Value::List(y)) => {
-                let mut out = x.clone();
-                out.extend(y.iter().cloned());
-                Ok(Value::List(out))
-            }
+            (Value::Str(x), Value::Str(y)) => Ok(Value::str(format!("{x}{y}"))),
+            (Value::List(x), Value::List(y)) => Ok(Value::List(x.iter().chain(y.iter()).cloned().collect())),
             (Value::Tuple(x), Value::Tuple(y)) => {
-                let mut out = x.clone();
-                out.extend(y.iter().cloned());
-                Ok(Value::Tuple(out))
+                Ok(Value::Tuple(x.iter().chain(y.iter()).cloned().collect()))
             }
             _ => {
                 if let Some((x, y)) = both_ints(a, b) {
@@ -286,13 +352,13 @@ pub mod ops {
         }
         match (a, b) {
             (Value::Str(s), Value::Int(n)) | (Value::Int(n), Value::Str(s)) => {
-                Ok(Value::Str(s.repeat((*n).max(0) as usize)))
+                Ok(Value::str(s.repeat((*n).max(0) as usize)))
             }
             (Value::List(v), Value::Int(n)) | (Value::Int(n), Value::List(v)) => {
-                Ok(Value::List(repeat(v, *n)))
+                Ok(Value::list(repeat(v, *n)))
             }
             (Value::Tuple(v), Value::Int(n)) | (Value::Int(n), Value::Tuple(v)) => {
-                Ok(Value::Tuple(repeat(v, *n)))
+                Ok(Value::tuple(repeat(v, *n)))
             }
             _ => {
                 if let Some((x, y)) = both_ints(a, b) {
@@ -413,7 +479,7 @@ pub mod ops {
                 if real < 0 || real >= n {
                     return Err(EvalError::index_error("string index out of range"));
                 }
-                return Ok(Value::Str(chars[real as usize].to_string()));
+                return Ok(Value::str(chars[real as usize].to_string()));
             }
             _ => return Err(EvalError::type_error(format!("{} is not subscriptable", base.type_name()))),
         };
@@ -448,9 +514,9 @@ pub mod ops {
                 let lo = clamp(lo, 0, n)?;
                 let hi = clamp(hi, n, n)?;
                 if lo >= hi {
-                    Ok(Value::List(Vec::new()))
+                    Ok(Value::list(Vec::new()))
                 } else {
-                    Ok(Value::List(v[lo as usize..hi as usize].to_vec()))
+                    Ok(Value::list(v[lo as usize..hi as usize].to_vec()))
                 }
             }
             Value::Tuple(v) => {
@@ -458,9 +524,9 @@ pub mod ops {
                 let lo = clamp(lo, 0, n)?;
                 let hi = clamp(hi, n, n)?;
                 if lo >= hi {
-                    Ok(Value::Tuple(Vec::new()))
+                    Ok(Value::tuple(Vec::new()))
                 } else {
-                    Ok(Value::Tuple(v[lo as usize..hi as usize].to_vec()))
+                    Ok(Value::tuple(v[lo as usize..hi as usize].to_vec()))
                 }
             }
             Value::Str(s) => {
@@ -469,9 +535,9 @@ pub mod ops {
                 let lo = clamp(lo, 0, n)?;
                 let hi = clamp(hi, n, n)?;
                 if lo >= hi {
-                    Ok(Value::Str(String::new()))
+                    Ok(Value::str(""))
                 } else {
-                    Ok(Value::Str(chars[lo as usize..hi as usize].iter().collect()))
+                    Ok(Value::str(chars[lo as usize..hi as usize].iter().collect::<String>()))
                 }
             }
             _ => Err(EvalError::type_error(format!("{} is not sliceable", base.type_name()))),
@@ -500,9 +566,9 @@ pub mod ops {
                 if real < 0 || real >= n {
                     return Err(EvalError::index_error("list assignment index out of range"));
                 }
-                let mut out = v.clone();
+                let mut out = v.to_vec();
                 out[real as usize] = value.clone();
-                Ok(Value::List(out))
+                Ok(Value::list(out))
             }
             _ => Err(EvalError::type_error(format!("{} does not support item assignment", base.type_name()))),
         }
@@ -519,7 +585,7 @@ mod tests {
         assert_eq!(Value::Int(1), Value::Float(1.0));
         assert_eq!(Value::Bool(true), Value::Int(1));
         assert_ne!(Value::Int(1), Value::Str("1".into()));
-        assert_eq!(Value::List(vec![Value::Int(0)]), Value::List(vec![Value::Float(0.0)]));
+        assert_eq!(Value::list(vec![Value::Int(0)]), Value::list(vec![Value::Float(0.0)]));
     }
 
     #[test]
@@ -531,9 +597,9 @@ mod tests {
 
     #[test]
     fn add_concatenates_sequences() {
-        let a = Value::List(vec![Value::Int(1)]);
-        let b = Value::List(vec![Value::Int(2)]);
-        assert_eq!(ops::add(&a, &b).unwrap(), Value::List(vec![Value::Int(1), Value::Int(2)]));
+        let a = Value::list(vec![Value::Int(1)]);
+        let b = Value::list(vec![Value::Int(2)]);
+        assert_eq!(ops::add(&a, &b).unwrap(), Value::list(vec![Value::Int(1), Value::Int(2)]));
         assert_eq!(
             ops::add(&Value::Str("ab".into()), &Value::Str("cd".into())).unwrap(),
             Value::Str("abcd".into())
@@ -563,12 +629,12 @@ mod tests {
     #[test]
     fn string_repetition() {
         assert_eq!(ops::mul(&Value::Str("ab".into()), &Value::Int(3)).unwrap(), Value::Str("ababab".into()));
-        assert_eq!(ops::mul(&Value::Str("ab".into()), &Value::Int(-1)).unwrap(), Value::Str(String::new()));
+        assert_eq!(ops::mul(&Value::Str("ab".into()), &Value::Int(-1)).unwrap(), Value::str(""));
     }
 
     #[test]
     fn negative_indexing() {
-        let lst = Value::List(vec![Value::Int(10), Value::Int(20), Value::Int(30)]);
+        let lst = Value::list(vec![Value::Int(10), Value::Int(20), Value::Int(30)]);
         assert_eq!(ops::index(&lst, &Value::Int(-1)).unwrap(), Value::Int(30));
         assert!(ops::index(&lst, &Value::Int(3)).is_err());
         assert!(ops::index(&lst, &Value::Int(-4)).is_err());
@@ -576,32 +642,32 @@ mod tests {
 
     #[test]
     fn slicing_clamps() {
-        let lst = Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        let lst = Value::list(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
         assert_eq!(
             ops::slice(&lst, Some(&Value::Int(1)), None).unwrap(),
-            Value::List(vec![Value::Int(2), Value::Int(3)])
+            Value::list(vec![Value::Int(2), Value::Int(3)])
         );
         assert_eq!(
             ops::slice(&lst, Some(&Value::Int(-2)), Some(&Value::Int(100))).unwrap(),
-            Value::List(vec![Value::Int(2), Value::Int(3)])
+            Value::list(vec![Value::Int(2), Value::Int(3)])
         );
     }
 
     #[test]
     fn store_replaces_element() {
-        let lst = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        let lst = Value::list(vec![Value::Int(1), Value::Int(2)]);
         assert_eq!(
             ops::store(&lst, &Value::Int(1), &Value::Int(9)).unwrap(),
-            Value::List(vec![Value::Int(1), Value::Int(9)])
+            Value::list(vec![Value::Int(1), Value::Int(9)])
         );
         assert!(ops::store(&lst, &Value::Int(2), &Value::Int(9)).is_err());
     }
 
     #[test]
     fn truthiness() {
-        assert!(!Value::List(vec![]).truthy().unwrap());
-        assert!(Value::List(vec![Value::Int(0)]).truthy().unwrap());
-        assert!(!Value::Str(String::new()).truthy().unwrap());
+        assert!(!Value::list(vec![]).truthy().unwrap());
+        assert!(Value::list(vec![Value::Int(0)]).truthy().unwrap());
+        assert!(!Value::str("").truthy().unwrap());
         assert!(Value::Undef.truthy().is_err());
     }
 
@@ -612,15 +678,15 @@ mod tests {
             ops::compare(">=", &Value::Str("b".into()), &Value::Str("a".into())).unwrap(),
             Value::Bool(true)
         );
-        assert!(ops::compare("<", &Value::Int(1), &Value::List(vec![])).is_err());
+        assert!(ops::compare("<", &Value::Int(1), &Value::list(vec![])).is_err());
     }
 
     #[test]
     fn display_formats_like_python() {
         assert_eq!(Value::Float(7.6).to_string(), "7.6");
         assert_eq!(Value::Float(1.0).to_string(), "1.0");
-        assert_eq!(Value::List(vec![Value::Float(0.0)]).to_string(), "[0.0]");
-        assert_eq!(Value::Tuple(vec![Value::Int(1)]).to_string(), "(1,)");
+        assert_eq!(Value::list(vec![Value::Float(0.0)]).to_string(), "[0.0]");
+        assert_eq!(Value::tuple(vec![Value::Int(1)]).to_string(), "(1,)");
         assert_eq!(Value::Bool(true).to_string(), "True");
     }
 }

@@ -41,19 +41,43 @@ pub enum TraceStatus {
 }
 
 /// The trace `⟦P⟧(ρ)` of a program on one input.
+///
+/// Construct traces with [`Trace::new`]: it precomputes a per-location index
+/// over the steps, so [`Trace::memories_at`] — the inner loop of expression
+/// matching (Definition 4.5) — is a slice walk instead of a scan over the
+/// whole trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// The visited steps in order.
     pub steps: Vec<Step>,
     /// How the trace ended.
     pub status: TraceStatus,
+    /// `loc_index[loc]` lists the indices of the steps at location `loc`, in
+    /// visit order.
+    loc_index: Vec<Vec<u32>>,
 }
 
 impl Trace {
+    /// Builds a trace from its steps, precomputing the per-location step
+    /// index.
+    pub fn new(steps: Vec<Step>, status: TraceStatus) -> Self {
+        let max_loc = steps.iter().map(|s| s.loc.0 + 1).max().unwrap_or(0);
+        let mut loc_index: Vec<Vec<u32>> = vec![Vec::new(); max_loc];
+        for (i, step) in steps.iter().enumerate() {
+            loc_index[step.loc.0].push(i as u32);
+        }
+        Trace { steps, status, loc_index }
+    }
+
     /// The projection `γ|v`: the sequence of new values of `var` along the
     /// trace (used by the matching algorithm, Fig. 4).
     pub fn projection(&self, var: &str) -> Vec<Value> {
         self.steps.iter().map(|s| s.post.get(var).cloned().unwrap_or(Value::Undef)).collect()
+    }
+
+    /// Indices (into [`Trace::steps`]) of the steps at `loc`, in visit order.
+    pub fn step_indices_at(&self, loc: Loc) -> &[u32] {
+        self.loc_index.get(loc.0).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The sequence of visited locations.
@@ -69,7 +93,7 @@ impl Trace {
     /// The final value of the output variable `#out`.
     pub fn output(&self) -> String {
         match self.steps.last().and_then(|s| s.post.get(special::OUT)) {
-            Some(Value::Str(s)) => s.clone(),
+            Some(Value::Str(s)) => s.to_string(),
             _ => String::new(),
         }
     }
@@ -78,7 +102,7 @@ impl Trace {
     /// what expression matching (Definition 4.5) evaluates candidate
     /// expressions on.
     pub fn memories_at(&self, loc: Loc) -> impl Iterator<Item = &Memory> {
-        self.steps.iter().filter(move |s| s.loc == loc).map(|s| &s.pre)
+        self.step_indices_at(loc).iter().map(|&i| &self.steps[i as usize].pre)
     }
 }
 
@@ -120,7 +144,7 @@ pub fn initial_memory(program: &Program, args: &[Value]) -> Memory {
     memory.insert(special::COND.to_owned(), Value::Undef);
     memory.insert(special::RETURN.to_owned(), Value::Undef);
     memory.insert(special::RET_FLAG.to_owned(), Value::Bool(false));
-    memory.insert(special::OUT.to_owned(), Value::Str(String::new()));
+    memory.insert(special::OUT.to_owned(), Value::str(""));
     for (param, value) in program.params.iter().zip(args) {
         memory.insert(param.clone(), value.clone());
     }
@@ -144,8 +168,8 @@ pub fn execute_from(program: &Program, input: Memory, fuel: Fuel) -> Trace {
             status = TraceStatus::OutOfFuel;
             break;
         }
-        let pre = memory.clone();
-        let mut post = memory.clone();
+        let pre = memory;
+        let mut post = pre.clone();
         let mut oversized = false;
         for (var, expr) in program.updates_at(loc) {
             let value = eval_expr(expr, &pre).unwrap_or(Value::Undef);
@@ -178,7 +202,7 @@ pub fn execute_from(program: &Program, input: Memory, fuel: Fuel) -> Trace {
         }
     }
 
-    Trace { steps, status }
+    Trace::new(steps, status)
 }
 
 /// Executes `program` on every input of `inputs` (the set `I` of the paper).

@@ -28,10 +28,10 @@
 //! assert_eq!(program.location_count(), 4); // ℓ_before, ℓ_cond, ℓ_loop, ℓ_after
 //! let trace = execute(
 //!     &program,
-//!     &[Value::List(vec![Value::Float(6.3), Value::Float(7.6), Value::Float(12.14)])],
+//!     &[Value::list(vec![Value::Float(6.3), Value::Float(7.6), Value::Float(12.14)])],
 //!     Fuel::default(),
 //! );
-//! assert_eq!(trace.return_value(), Value::List(vec![Value::Float(7.6), Value::Float(24.28)]));
+//! assert_eq!(trace.return_value(), Value::list(vec![Value::Float(7.6), Value::Float(24.28)]));
 //! # Ok(())
 //! # }
 //! ```
@@ -97,10 +97,10 @@ def computeDeriv(poly):
         assert_eq!(trace.status, TraceStatus::Completed);
         // result: [] before the loop, [7.6], [7.6, 24.28] inside, unchanged after.
         let result_values = trace.projection("result");
-        assert_eq!(result_values[0], Value::List(vec![]));
-        assert!(result_values.contains(&Value::List(vec![Value::Float(7.6)])));
-        assert!(result_values.contains(&Value::List(vec![Value::Float(7.6), Value::Float(24.28)])));
-        assert_eq!(trace.return_value(), Value::List(vec![Value::Float(7.6), Value::Float(24.28)]));
+        assert_eq!(result_values[0], Value::list(vec![]));
+        assert!(result_values.contains(&Value::list(vec![Value::Float(7.6)])));
+        assert!(result_values.contains(&Value::list(vec![Value::Float(7.6), Value::Float(24.28)])));
+        assert_eq!(trace.return_value(), Value::list(vec![Value::Float(7.6), Value::Float(24.28)]));
     }
 
     #[test]
@@ -134,7 +134,7 @@ def find(xs, x):
 ";
         let source = parse_program(src).unwrap();
         let program = lower_entry(&source, "find").unwrap();
-        let xs = Value::List(vec![Value::Int(5), Value::Int(7), Value::Int(9)]);
+        let xs = Value::list(vec![Value::Int(5), Value::Int(7), Value::Int(9)]);
         for needle in [Value::Int(7), Value::Int(42)] {
             let trace = execute(&program, &[xs.clone(), needle.clone()], Fuel::default());
             let direct = run_function(&source, "find", &[xs.clone(), needle], Limits::default()).unwrap();
@@ -172,7 +172,7 @@ def first_even(xs):
 ";
         let source = parse_program(src).unwrap();
         let program = lower_entry(&source, "first_even").unwrap();
-        let xs = Value::List(vec![Value::Int(3), Value::Int(4), Value::Int(5), Value::Int(6)]);
+        let xs = Value::list(vec![Value::Int(3), Value::Int(4), Value::Int(5), Value::Int(6)]);
         let trace = execute(&program, std::slice::from_ref(&xs), Fuel::default());
         let direct = run_function(&source, "first_even", &[xs], Limits::default()).unwrap();
         assert_eq!(trace.return_value(), direct.return_value);
@@ -262,7 +262,7 @@ def f(xs):
     return xs
 ";
         let p = lower_src(src, "f");
-        let trace = execute(&p, &[Value::List(vec![])], Fuel::default());
+        let trace = execute(&p, &[Value::list(vec![])], Fuel::default());
         assert_eq!(trace.status, TraceStatus::StuckBranch);
     }
 

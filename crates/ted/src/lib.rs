@@ -100,7 +100,7 @@ fn lit_label(lit: &Lit) -> String {
 
 /// The tree edit distance between two expressions (the paper's `diff`).
 pub fn expr_edit_distance(a: &Expr, b: &Expr) -> usize {
-    tree_edit_distance(&expr_to_tree(a), &expr_to_tree(b))
+    prepared_edit_distance(&PreparedTree::from_expr(a), &PreparedTree::from_expr(b))
 }
 
 /// Number of AST nodes of an expression, i.e. the edit distance from the
@@ -111,20 +111,28 @@ pub fn expr_tree_size(expr: &Expr) -> usize {
 
 /// The Zhang–Shasha tree edit distance with unit costs.
 pub fn tree_edit_distance(a: &LabelTree, b: &LabelTree) -> usize {
-    let fa = Flat::new(a);
-    let fb = Flat::new(b);
+    prepared_edit_distance(&PreparedTree::from_tree(a), &PreparedTree::from_tree(b))
+}
+
+/// The Zhang–Shasha tree edit distance between two pre-flattened trees.
+///
+/// When one side participates in many comparisons (the repair loop compares
+/// each implementation expression against every candidate replacement),
+/// prepare it once and reuse it here instead of re-flattening per call.
+pub fn prepared_edit_distance(fa: &PreparedTree, fb: &PreparedTree) -> usize {
     let mut dist = vec![vec![0usize; fb.len()]; fa.len()];
 
     for &i in &fa.keyroots {
         for &j in &fb.keyroots {
-            tree_dist(&fa, &fb, i, j, &mut dist);
+            tree_dist(fa, fb, i, j, &mut dist);
         }
     }
     dist[fa.len() - 1][fb.len() - 1]
 }
 
-/// A tree flattened into post-order arrays, as required by Zhang–Shasha.
-struct Flat {
+/// A tree flattened into the post-order arrays required by Zhang–Shasha.
+/// Prepare once, compare many times with [`prepared_edit_distance`].
+pub struct PreparedTree {
     labels: Vec<String>,
     /// `lml[i]` is the post-order index of the left-most leaf of the subtree
     /// rooted at node `i`.
@@ -132,8 +140,14 @@ struct Flat {
     keyroots: Vec<usize>,
 }
 
-impl Flat {
-    fn new(tree: &LabelTree) -> Self {
+impl PreparedTree {
+    /// Flattens an expression.
+    pub fn from_expr(expr: &Expr) -> Self {
+        Self::from_owned_tree(expr_to_tree(expr))
+    }
+
+    /// Flattens a label tree.
+    pub fn from_tree(tree: &LabelTree) -> Self {
         let mut labels = Vec::new();
         let mut lml = Vec::new();
         fn visit(node: &LabelTree, labels: &mut Vec<String>, lml: &mut Vec<usize>) -> usize {
@@ -150,7 +164,31 @@ impl Flat {
             index
         }
         visit(tree, &mut labels, &mut lml);
+        Self::finish(labels, lml)
+    }
 
+    /// Flattens a label tree by value, reusing its label allocations.
+    fn from_owned_tree(tree: LabelTree) -> Self {
+        let mut labels = Vec::new();
+        let mut lml = Vec::new();
+        fn visit(node: LabelTree, labels: &mut Vec<String>, lml: &mut Vec<usize>) -> usize {
+            let mut first_leaf = None;
+            for child in node.children {
+                let child_index = visit(child, labels, lml);
+                if first_leaf.is_none() {
+                    first_leaf = Some(lml[child_index]);
+                }
+            }
+            let index = labels.len();
+            labels.push(node.label);
+            lml.push(first_leaf.unwrap_or(index));
+            index
+        }
+        visit(tree, &mut labels, &mut lml);
+        Self::finish(labels, lml)
+    }
+
+    fn finish(labels: Vec<String>, lml: Vec<usize>) -> Self {
         // Keyroots: a node i is a keyroot iff no node j > i has the same
         // left-most leaf (this includes the root).
         let n = labels.len();
@@ -160,15 +198,21 @@ impl Flat {
                 keyroots.push(i);
             }
         }
-        Flat { labels, lml, keyroots }
+        PreparedTree { labels, lml, keyroots }
     }
 
-    fn len(&self) -> usize {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
         self.labels.len()
+    }
+
+    /// `true` when the tree is empty (never the case for expression trees).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
     }
 }
 
-fn tree_dist(a: &Flat, b: &Flat, i: usize, j: usize, dist: &mut [Vec<usize>]) {
+fn tree_dist(a: &PreparedTree, b: &PreparedTree, i: usize, j: usize, dist: &mut [Vec<usize>]) {
     let li = a.lml[i];
     let lj = b.lml[j];
     let rows = i - li + 2;

@@ -195,3 +195,50 @@ def computeDeriv(poly):
     assert!(repair.total_cost <= 3);
     assert_eq!(repair.verified, Some(true));
 }
+
+#[test]
+fn cached_and_uncached_repair_agree_across_the_synthetic_dataset() {
+    // The signature cache must be a pure optimisation: across a whole
+    // synthetic dataset (correct pool clustered once, every incorrect
+    // attempt repaired), the cached and uncached matching paths must produce
+    // identical repair costs and winning clusters.
+    use clara_model::Fuel;
+
+    for problem in [clara::corpus::mooc::derivatives(), clara::corpus::mooc::odd_tuples()] {
+        let dataset = generate_dataset(
+            &problem,
+            DatasetConfig { correct_count: 10, incorrect_count: 8, seed: 17, ..DatasetConfig::default() },
+        );
+        let inputs = problem.inputs();
+        let analyzed: Vec<AnalyzedProgram> = dataset
+            .correct
+            .iter()
+            .filter_map(|attempt| {
+                AnalyzedProgram::from_text(&attempt.source, problem.entry, &inputs, Fuel::default()).ok()
+            })
+            .collect();
+        let clusters = cluster_programs(analyzed);
+        let cached = RepairConfig { use_signature_cache: true, ..RepairConfig::default() };
+        let uncached = RepairConfig { use_signature_cache: false, ..RepairConfig::default() };
+
+        for attempt in &dataset.incorrect {
+            let Ok(analyzed) =
+                AnalyzedProgram::from_text(&attempt.source, problem.entry, &inputs, Fuel::default())
+            else {
+                continue;
+            };
+            let a = repair_attempt(&clusters, &analyzed, &inputs, &cached);
+            let b = repair_attempt(&clusters, &analyzed, &inputs, &uncached);
+            assert_eq!(a.candidate_clusters, b.candidate_clusters, "attempt {}", attempt.id);
+            match (&a.best, &b.best) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.total_cost, y.total_cost, "attempt {}", attempt.id);
+                    assert_eq!(x.cluster_index, y.cluster_index, "attempt {}", attempt.id);
+                    assert_eq!(x.verified, y.verified, "attempt {}", attempt.id);
+                }
+                (None, None) => {}
+                other => panic!("cached/uncached disagree on attempt {}: {other:?}", attempt.id),
+            }
+        }
+    }
+}
