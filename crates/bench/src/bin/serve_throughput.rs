@@ -1,0 +1,249 @@
+//! Serving throughput: the feedback service under Zipf-style MOOC traffic.
+//!
+//! This is the trajectory benchmark for the serving layer introduced in
+//! PR 3: it builds the per-problem cluster indexes cold, persists them,
+//! warm-loads them back (asserting byte-identical feedback), then replays a
+//! deterministic duplicate-heavy workload through the worker pool and
+//! reports requests/sec, p50/p95 latency, the cache hit rate and the warm
+//! vs cold index bring-up times. In `--smoke` mode the JSON report is
+//! mirrored to stdout and `BENCH_serve.json`.
+
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Instant;
+
+use clara_bench::{emit_json_report, median_f64, paper_counts, RunMode};
+use clara_core::ClaraConfig;
+use clara_corpus::mooc::all_mooc_problems;
+use clara_corpus::{
+    duplicate_fraction, generate_dataset, generate_workload, Dataset, DatasetConfig, WorkloadConfig,
+};
+use clara_server::{ClusterStore, FeedbackService, Request, Server, ServerConfig, ServiceConfig, Status};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ServeReport {
+    corpus: String,
+    problems: usize,
+    requests: usize,
+    /// End-to-end requests per second through the worker pool.
+    requests_per_sec: f64,
+    /// Per-request latency percentiles (enqueue → response), milliseconds.
+    p50_latency_ms: f64,
+    p95_latency_ms: f64,
+    /// Fraction of requests answered from the structural-hash cache.
+    cache_hit_rate: f64,
+    /// Upper bound on the cache hit rate: fraction of the workload that
+    /// repeats an earlier submission verbatim.
+    workload_duplicate_fraction: f64,
+    /// Structural-dedup rate of the underlying datasets (what a stored
+    /// corpus could be deduplicated to).
+    dataset_dedup_rate: f64,
+    /// Cold index bring-up: cluster the full correct pool.
+    cold_build_seconds: f64,
+    /// Warm index bring-up: load the persisted index (re-analyses only the
+    /// cluster representatives).
+    warm_load_seconds: f64,
+    /// cold_build_seconds / warm_load_seconds.
+    warm_speedup: f64,
+    /// Whether warm and cold indexes produced byte-identical feedback on
+    /// every probe attempt (the persistence acceptance criterion).
+    warm_cold_identical: bool,
+    /// Response status counts over the workload.
+    correct: u64,
+    repaired: u64,
+    no_repair: u64,
+    errors: u64,
+    /// Jobs lost to worker panics (must be 0).
+    worker_panics: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let index = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[index]
+}
+
+fn main() {
+    let mode = RunMode::from_env_and_args();
+    let scale = mode.scale();
+    let corpus_label = if mode.smoke {
+        "smoke subset: 2 problems, 40 correct + 8 incorrect each, 150 requests".to_owned()
+    } else {
+        mode.corpus_label(scale)
+    };
+    println!("Serve throughput — feedback service under Zipf traffic ({corpus_label}):");
+
+    // Traffic-model corpora: duplicate-heavy incorrect pools, mixed problems
+    // (two problems even in smoke mode — sharding with one shard would not
+    // exercise the problem-routing path).
+    let problems = if mode.smoke {
+        all_mooc_problems().into_iter().take(2).collect()
+    } else {
+        mode.problems(all_mooc_problems())
+    };
+    let datasets: Vec<Dataset> = problems
+        .iter()
+        .map(|problem| {
+            let (paper_correct, paper_incorrect) = paper_counts(problem.name);
+            let config = if mode.smoke {
+                // Large enough that cold clustering visibly dominates warm
+                // representative re-analysis, small enough for a <5 s smoke.
+                DatasetConfig {
+                    correct_count: 40,
+                    incorrect_count: 8,
+                    seed: 0x53E5,
+                    duplicate_rate: 0.3,
+                    ..DatasetConfig::default()
+                }
+            } else {
+                DatasetConfig {
+                    correct_count: scale.apply(paper_correct, 25),
+                    incorrect_count: scale.apply(paper_incorrect, 12),
+                    seed: 0x53E5,
+                    duplicate_rate: 0.3,
+                    ..DatasetConfig::default()
+                }
+            };
+            generate_dataset(problem, config)
+        })
+        .collect();
+    let dataset_dedup_rate = {
+        let stats: Vec<f64> = datasets.iter().map(|d| d.stats().structural_dedup_rate).collect();
+        stats.iter().sum::<f64>() / stats.len() as f64
+    };
+
+    // Cold bring-up: cluster every correct pool from scratch.
+    let cold_start = Instant::now();
+    let cold_stores: Vec<ClusterStore> = datasets
+        .iter()
+        .map(|dataset| {
+            let (store, _) = ClusterStore::build(
+                &dataset.problem,
+                dataset.correct.iter().map(|a| a.source.as_str()),
+                ClaraConfig::default(),
+            );
+            store
+        })
+        .collect();
+    let cold_build_seconds = cold_start.elapsed().as_secs_f64();
+
+    // Persist, then warm bring-up from the stored indexes.
+    let index_dir = std::env::temp_dir().join(format!("clara-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&index_dir);
+    for store in &cold_stores {
+        store.save(&index_dir).expect("persisting the cluster index");
+    }
+    let warm_start = Instant::now();
+    let warm_stores: Vec<ClusterStore> = datasets
+        .iter()
+        .map(|dataset| {
+            ClusterStore::load(&index_dir, &dataset.problem, ClaraConfig::default())
+                .expect("loading the cluster index")
+                .expect("index file exists")
+        })
+        .collect();
+    let warm_load_seconds = warm_start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&index_dir);
+
+    // Byte-identical feedback, warm vs cold, on every incorrect attempt.
+    let cold_service = FeedbackService::new(cold_stores, ServiceConfig::default());
+    let probe_service = FeedbackService::new(warm_stores.clone(), ServiceConfig::default());
+    let mut warm_cold_identical = true;
+    for dataset in &datasets {
+        for attempt in &dataset.incorrect {
+            let request = Request {
+                id: attempt.id as u64,
+                problem: dataset.problem.name.to_owned(),
+                source: attempt.source.clone(),
+                learn: None,
+            };
+            let cold = cold_service.handle(&request);
+            let warm = probe_service.handle(&request);
+            if cold.feedback != warm.feedback || cold.status != warm.status {
+                warm_cold_identical = false;
+                eprintln!("(warm/cold divergence on {} attempt {})", dataset.problem.name, attempt.id);
+            }
+        }
+    }
+
+    // Replay the Zipf workload through the pooled service.
+    let workload_config = if mode.smoke {
+        WorkloadConfig { requests: 150, ..WorkloadConfig::default() }
+    } else {
+        WorkloadConfig { requests: scale.apply(17_266, 400), ..WorkloadConfig::default() }
+    };
+    let workload = generate_workload(&datasets, workload_config);
+    let workload_duplicate_fraction = duplicate_fraction(&workload);
+
+    let service = Arc::new(FeedbackService::new(warm_stores, ServiceConfig::default()));
+    let mut server = Server::new(Arc::clone(&service), ServerConfig { workers: 4, queue_capacity: 32 });
+    let (reply, responses) = channel::<(Status, f64)>();
+    let replay_start = Instant::now();
+    for request in &workload {
+        let reply = reply.clone();
+        let submitted = Instant::now();
+        server
+            .submit(
+                Request {
+                    id: request.id as u64,
+                    problem: request.problem.clone(),
+                    source: request.source.clone(),
+                    learn: None,
+                },
+                move |response| {
+                    let _ = reply.send((response.status, submitted.elapsed().as_secs_f64() * 1e3));
+                },
+            )
+            .expect("pool accepts jobs");
+    }
+    drop(reply);
+    server.shutdown();
+    let replay_seconds = replay_start.elapsed().as_secs_f64();
+
+    let collected: Vec<(Status, f64)> = responses.iter().collect();
+    assert_eq!(collected.len(), workload.len(), "every request must be answered");
+    let mut latencies: Vec<f64> = collected.iter().map(|(_, ms)| *ms).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let count_status = |status: Status| collected.iter().filter(|(s, _)| *s == status).count() as u64;
+
+    let stats = service.stats();
+    let report = ServeReport {
+        corpus: corpus_label,
+        problems: datasets.len(),
+        requests: workload.len(),
+        requests_per_sec: workload.len() as f64 / replay_seconds,
+        p50_latency_ms: median_f64(latencies.clone()),
+        p95_latency_ms: percentile(&latencies, 0.95),
+        cache_hit_rate: stats.cache_hits as f64 / stats.requests.max(1) as f64,
+        workload_duplicate_fraction,
+        dataset_dedup_rate,
+        cold_build_seconds,
+        warm_load_seconds,
+        warm_speedup: cold_build_seconds / warm_load_seconds.max(1e-9),
+        warm_cold_identical,
+        correct: count_status(Status::Correct),
+        repaired: count_status(Status::Repaired),
+        no_repair: count_status(Status::NoRepair),
+        errors: count_status(Status::Error),
+        worker_panics: server.panic_count(),
+    };
+
+    println!("{:<28} {:>10}", "requests", report.requests);
+    println!("{:<28} {:>10.1}", "requests/sec", report.requests_per_sec);
+    println!("{:<28} {:>10.2}", "p50 latency (ms)", report.p50_latency_ms);
+    println!("{:<28} {:>10.2}", "p95 latency (ms)", report.p95_latency_ms);
+    println!("{:<28} {:>9.1}%", "cache hit rate", report.cache_hit_rate * 100.0);
+    println!("{:<28} {:>9.1}%", "workload duplicates", report.workload_duplicate_fraction * 100.0);
+    println!("{:<28} {:>10.3}", "cold build (s)", report.cold_build_seconds);
+    println!("{:<28} {:>10.3}", "warm load (s)", report.warm_load_seconds);
+    println!("{:<28} {:>9.1}x", "warm speedup", report.warm_speedup);
+    println!("{:<28} {:>10}", "warm == cold feedback", report.warm_cold_identical);
+    println!();
+    println!("The cache hit rate is bounded above by the workload duplicate fraction; the");
+    println!("gap is the (problem, structural-hash) pairs evicted or not yet seen.");
+
+    emit_json_report("serve", mode, &report);
+}

@@ -65,6 +65,39 @@ impl Cluster {
         self.expressions.values().map(Vec::len).sum()
     }
 
+    /// Exports the mined cluster expressions in a deterministic order
+    /// (sorted by location, then variable), preserving the per-slot mining
+    /// order that repair candidate enumeration sees. This is the
+    /// serialization contract of the persistent cluster index: feeding the
+    /// result to [`Cluster::from_parts`] reconstructs an equivalent cluster.
+    pub fn export_expressions(&self) -> Vec<(usize, String, Vec<Expr>)> {
+        let mut out: Vec<(usize, String, Vec<Expr>)> =
+            self.expressions.iter().map(|((loc, var), exprs)| (*loc, var.clone(), exprs.clone())).collect();
+        out.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        out
+    }
+
+    /// Rebuilds a cluster from a previously exported state: the re-analysed
+    /// representative, the stored member ids and the expression slots from
+    /// [`Cluster::export_expressions`]. Expressions are taken as-is — the
+    /// representative's own contributions must already be included (they
+    /// always are in an exported cluster).
+    pub fn from_parts(
+        representative: AnalyzedProgram,
+        member_ids: Vec<usize>,
+        expression_slots: Vec<(usize, String, Vec<Expr>)>,
+    ) -> Self {
+        let mut expressions: HashMap<(usize, String), Vec<Expr>> = HashMap::new();
+        let mut expression_set = HashSet::new();
+        for (loc, var, exprs) in expression_slots {
+            for expr in &exprs {
+                expression_set.insert((loc, var.clone(), expr.clone()));
+            }
+            expressions.insert((loc, var), exprs);
+        }
+        Cluster { representative, member_ids, expressions, expression_set }
+    }
+
     pub(crate) fn absorb_member(&mut self, member: &AnalyzedProgram, witness: &VarMap, id: usize) {
         self.member_ids.push(id);
         let program = member.program.clone();
@@ -252,6 +285,25 @@ def computeDeriv(poly):
                 }
             }
         }
+    }
+
+    #[test]
+    fn export_and_from_parts_reconstruct_the_cluster() {
+        let clusters = cluster_programs(vec![analyze(C1), analyze(C2), analyze(C3)]);
+        let original = &clusters[0];
+        let rebuilt = Cluster::from_parts(
+            original.representative.clone(),
+            original.member_ids.clone(),
+            original.export_expressions(),
+        );
+        assert_eq!(rebuilt.size(), original.size());
+        assert_eq!(rebuilt.expression_count(), original.expression_count());
+        for (loc, var) in original.expression_keys() {
+            assert_eq!(rebuilt.expressions(loc, var), original.expressions(loc, var), "({loc:?}, {var})");
+        }
+        // Export order is deterministic (sorted), so exporting the rebuilt
+        // cluster reproduces the exact same listing.
+        assert_eq!(rebuilt.export_expressions(), original.export_expressions());
     }
 
     #[test]

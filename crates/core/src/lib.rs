@@ -116,47 +116,53 @@ impl Clara {
         clustering_stats(&self.clusters)
     }
 
-    /// Adds a correct solution (source text) to the cluster pool.
+    /// Adds a correct solution (source text) to the cluster pool and returns
+    /// the index of the cluster it was placed into (online clustering, §2).
     ///
     /// # Errors
     ///
     /// Returns an [`AnalysisError`] if the solution cannot be parsed or
     /// lowered; such solutions are simply not usable for repair.
-    pub fn add_correct_solution(&mut self, source: &str) -> Result<(), AnalysisError> {
+    pub fn add_correct_solution(&mut self, source: &str) -> Result<usize, AnalysisError> {
         let analyzed =
             AnalyzedProgram::from_text(source, &self.entry, &self.inputs, self.config.repair.fuel)?;
-        self.add_correct_analyzed(analyzed);
-        Ok(())
+        Ok(self.add_correct_analyzed(analyzed))
     }
 
-    /// Adds an already-analysed correct solution to the cluster pool.
-    pub fn add_correct_analyzed(&mut self, analyzed: AnalyzedProgram) {
+    /// Adds an already-analysed correct solution to the cluster pool and
+    /// returns the index of the cluster it was placed into.
+    pub fn add_correct_analyzed(&mut self, analyzed: AnalyzedProgram) -> usize {
         self.correct_count += 1;
         // Incremental clustering: try to place the solution into an existing
         // cluster, otherwise open a new one.
-        let mut all: Vec<AnalyzedProgram> = Vec::with_capacity(1);
-        all.push(analyzed);
-        let new_clusters = {
-            // Reuse cluster_programs for a single program by matching against
-            // existing representatives first.
-            let program = all.pop().expect("just pushed");
-            let mut placed = false;
-            for cluster in &mut self.clusters {
-                if cluster.representative.fingerprint == program.fingerprint {
-                    if let Some(witness) = find_matching(&cluster.representative, &program) {
-                        cluster.absorb_member(&program, &witness, self.correct_count - 1);
-                        placed = true;
-                        break;
-                    }
+        for (index, cluster) in self.clusters.iter_mut().enumerate() {
+            if cluster.representative.fingerprint == analyzed.fingerprint {
+                if let Some(witness) = find_matching(&cluster.representative, &analyzed) {
+                    cluster.absorb_member(&analyzed, &witness, self.correct_count - 1);
+                    return index;
                 }
             }
-            if placed {
-                Vec::new()
-            } else {
-                cluster_programs(vec![program])
-            }
-        };
-        self.clusters.extend(new_clusters);
+        }
+        self.clusters.extend(cluster_programs(vec![analyzed]));
+        self.clusters.len() - 1
+    }
+
+    /// Reconstructs an engine from previously built clusters (the warm-start
+    /// path of the persistent cluster index): no matching runs, the clusters
+    /// are trusted as-is.
+    pub fn restore(
+        entry: impl Into<String>,
+        inputs: Vec<Vec<Value>>,
+        config: ClaraConfig,
+        clusters: Vec<Cluster>,
+        correct_count: usize,
+    ) -> Self {
+        Clara { entry: entry.into(), inputs, config, clusters, correct_count }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ClaraConfig {
+        &self.config
     }
 
     /// Repairs an incorrect attempt given as source text and renders

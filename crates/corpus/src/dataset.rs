@@ -62,6 +62,12 @@ pub struct DatasetConfig {
     /// Fraction of incorrect attempts using unsupported features
     /// (69 of 4,293 ≈ 1.6% in the paper).
     pub unsupported_fraction: f64,
+    /// Fraction of incorrect attempts that are verbatim resubmissions of an
+    /// earlier incorrect attempt (MOOC students routinely resubmit unchanged
+    /// or trivially reformatted code). `0.0` — the default — reproduces the
+    /// historical corpora byte-for-byte; serving benchmarks raise it to model
+    /// duplicate-heavy traffic.
+    pub duplicate_rate: f64,
 }
 
 impl Default for DatasetConfig {
@@ -72,6 +78,7 @@ impl Default for DatasetConfig {
             seed: 0xC1A7A,
             empty_fraction: 0.10,
             unsupported_fraction: 0.016,
+            duplicate_rate: 0.0,
         }
     }
 }
@@ -94,6 +101,54 @@ impl Dataset {
     pub fn total(&self) -> usize {
         self.correct.len() + self.incorrect.len()
     }
+
+    /// Structural-duplication statistics of the corpus (see [`DatasetStats`]).
+    pub fn stats(&self) -> DatasetStats {
+        let mut seen = std::collections::HashSet::new();
+        let mut parse_failures = 0usize;
+        let mut duplicates = 0usize;
+        for attempt in self.correct.iter().chain(&self.incorrect) {
+            match clara_lang::parse_program(&attempt.source) {
+                Ok(parsed) => {
+                    if !seen.insert(parsed.structural_hash()) {
+                        duplicates += 1;
+                    }
+                }
+                Err(_) => parse_failures += 1,
+            }
+        }
+        let total = self.total();
+        DatasetStats {
+            total,
+            correct: self.correct.len(),
+            incorrect: self.incorrect.len(),
+            parse_failures,
+            distinct_structural: seen.len(),
+            structural_dedup_rate: if total > 0 { duplicates as f64 / total as f64 } else { 0.0 },
+        }
+    }
+}
+
+/// Structural-duplication statistics of a [`Dataset`].
+///
+/// `structural_dedup_rate` is the fraction of attempts whose
+/// formatting-insensitive [`structural hash`](clara_lang::SourceProgram::structural_hash)
+/// was already contributed by an earlier attempt — an upper bound on the
+/// fraction of this traffic a result cache keyed on that hash can absorb.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DatasetStats {
+    /// Total number of attempts (correct + incorrect).
+    pub total: usize,
+    /// Number of correct attempts.
+    pub correct: usize,
+    /// Number of incorrect attempts.
+    pub incorrect: usize,
+    /// Attempts that do not parse (no structural hash; never cacheable).
+    pub parse_failures: usize,
+    /// Number of distinct structural hashes among the parseable attempts.
+    pub distinct_structural: usize,
+    /// Fraction of attempts that structurally duplicate an earlier one.
+    pub structural_dedup_rate: f64,
 }
 
 /// Generates a deterministic synthetic corpus for `problem`.
@@ -159,8 +214,12 @@ pub fn generate_dataset(problem: &Problem, config: DatasetConfig) -> Dataset {
         });
         id += 1;
     }
+    // Verbatim resubmissions are injected after the fresh pool is complete,
+    // so `duplicate_rate: 0.0` reproduces historical corpora exactly.
+    let duplicate_target = (config.incorrect_count as f64 * config.duplicate_rate).round() as usize;
+    let fresh_target = config.incorrect_count.saturating_sub(duplicate_target);
     let mut attempts_without_mutant = 0usize;
-    while incorrect.len() < config.incorrect_count && attempts_without_mutant < 200 {
+    while incorrect.len() < fresh_target && attempts_without_mutant < 200 {
         let seed = problem.seeds.choose(&mut rng).expect("problems have seeds");
         // Mutate either the seed itself or a correct variant of it, so that
         // incorrect attempts inherit the corpus' syntactic diversity.
@@ -186,6 +245,11 @@ pub fn generate_dataset(problem: &Problem, config: DatasetConfig) -> Dataset {
             }
             None => attempts_without_mutant += 1,
         }
+    }
+    while duplicate_target > 0 && incorrect.len() < config.incorrect_count && !incorrect.is_empty() {
+        let original = incorrect.choose(&mut rng).expect("pool is non-empty").clone();
+        incorrect.push(Attempt { id, ..original });
+        id += 1;
     }
 
     Dataset { problem: problem.clone(), correct, incorrect, config }
@@ -262,6 +326,50 @@ mod tests {
         assert!(dataset.incorrect.iter().any(|a| a.kind == AttemptKind::Empty));
         assert!(dataset.incorrect.iter().any(|a| a.kind == AttemptKind::Unsupported));
         assert!(dataset.incorrect.iter().filter(|a| a.kind == AttemptKind::Mutant).count() >= 20);
+    }
+
+    #[test]
+    fn duplicate_rate_injects_verbatim_resubmissions() {
+        let config = DatasetConfig { duplicate_rate: 0.5, incorrect_count: 20, ..small_config() };
+        let dataset = generate_dataset(&derivatives(), config);
+        assert_eq!(dataset.incorrect.len(), 20);
+        let sources: Vec<&str> = dataset.incorrect.iter().map(|a| a.source.as_str()).collect();
+        let distinct: std::collections::HashSet<&str> = sources.iter().copied().collect();
+        // 10 duplicates were injected on top of the 10 fresh attempts.
+        assert!(distinct.len() <= 10, "expected ≤10 distinct sources, got {}", distinct.len());
+        // Ids stay unique even for duplicated sources.
+        let ids: std::collections::HashSet<usize> = dataset.incorrect.iter().map(|a| a.id).collect();
+        assert_eq!(ids.len(), 20);
+        // Duplicates are still incorrect attempts.
+        for attempt in &dataset.incorrect {
+            assert_eq!(dataset.problem.grade_source(&attempt.source), Some(false));
+        }
+    }
+
+    #[test]
+    fn zero_duplicate_rate_reproduces_the_historical_corpus() {
+        let plain = generate_dataset(&derivatives(), small_config());
+        let explicit =
+            generate_dataset(&derivatives(), DatasetConfig { duplicate_rate: 0.0, ..small_config() });
+        let texts =
+            |d: &Dataset| d.correct.iter().chain(&d.incorrect).map(|a| a.source.clone()).collect::<Vec<_>>();
+        assert_eq!(texts(&plain), texts(&explicit));
+    }
+
+    #[test]
+    fn stats_report_the_structural_dedup_rate() {
+        let config = DatasetConfig { duplicate_rate: 0.5, incorrect_count: 20, ..small_config() };
+        let stats = generate_dataset(&derivatives(), config).stats();
+        assert_eq!(stats.total, 50);
+        assert_eq!(stats.correct, 30);
+        assert_eq!(stats.incorrect, 20);
+        // At least the 10 injected verbatim duplicates dedup structurally.
+        assert!(stats.structural_dedup_rate >= 0.2, "rate was {}", stats.structural_dedup_rate);
+        assert!(stats.distinct_structural + stats.parse_failures <= stats.total);
+        // The unparseable population cannot be structurally hashed but is
+        // still counted.
+        let no_dup_stats = generate_dataset(&derivatives(), small_config()).stats();
+        assert!(no_dup_stats.structural_dedup_rate < stats.structural_dedup_rate);
     }
 
     #[test]

@@ -2,13 +2,16 @@
 //!
 //! The paper evaluates Clara on 17,266 MITx MOOC submissions and on an
 //! ESC-101 (IIT Kanpur) archive; both datasets are proprietary. This crate is
-//! the substitute substrate (see `DESIGN.md`): it defines the nine
+//! the substitute substrate (see `crates/corpus/DESIGN.md` for the design
+//! rationale and the traffic model): it defines the nine
 //! assignments of Appendix A ([`mooc`] and [`study`]), hand-written seed
 //! solutions implementing genuinely different strategies, a
 //! semantics-preserving [`variation`] engine that expands the seeds into a
 //! large pool of correct solutions, and a fault-injection [`mutation`] engine
 //! that derives realistic incorrect attempts. [`dataset`] combines these into
-//! deterministic, seeded corpora used by the benchmark harness.
+//! deterministic, seeded corpora used by the benchmark harness, and
+//! [`workload`] turns the corpora into a Zipf-style duplicate-heavy request
+//! stream for the feedback service.
 //!
 //! ```rust
 //! use clara_corpus::{generate_dataset, mooc, DatasetConfig};
@@ -31,11 +34,13 @@ pub mod mutation;
 pub mod problem;
 pub mod study;
 pub mod variation;
+pub mod workload;
 
-pub use dataset::{generate_dataset, Attempt, AttemptKind, Dataset, DatasetConfig};
+pub use dataset::{generate_dataset, Attempt, AttemptKind, Dataset, DatasetConfig, DatasetStats};
 pub use mutation::{empty_attempt, mutate, unsupported_attempt, FaultKind, Mutant};
 pub use problem::{GradingMode, Problem};
 pub use variation::{rename_variables, rename_with, tweak_expressions, vary_seed};
+pub use workload::{duplicate_fraction, generate_workload, RequestKind, WorkloadConfig, WorkloadRequest};
 
 /// All nine problems of the paper's evaluation (Table 1 + Table 2).
 pub fn all_problems() -> Vec<Problem> {

@@ -1,0 +1,224 @@
+//! The serving traffic model: a seeded, Zipf-style request generator.
+//!
+//! MOOC submission traffic is *duplicate-heavy*: a handful of canonical
+//! near-solutions and copy-pasted buggy attempts account for most of the
+//! stream, with a long tail of one-off programs. This module models that
+//! shape for the feedback service: requests draw attempts from a pool of
+//! mixed-problem submissions under a Zipf rank distribution
+//! (`P(rank k) ∝ 1/k^s`), interleaved with an occasional *pathological*
+//! population — unparseable garbage, unsupported language features and empty
+//! submissions — that a production service must survive.
+//!
+//! Generation is fully deterministic given [`WorkloadConfig::seed`], so load
+//! benchmarks are reproducible request-by-request.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+use crate::dataset::Dataset;
+use crate::mutation::{empty_attempt, unsupported_attempt};
+
+/// What kind of submission a workload request carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RequestKind {
+    /// A correct solution (the service should answer "correct"; with
+    /// learning enabled it may also be inserted into the cluster index).
+    Correct,
+    /// An incorrect but analysable attempt (the repair path).
+    Incorrect,
+    /// A submission that does not even parse.
+    Garbage,
+    /// A submission using unsupported language features.
+    Unsupported,
+    /// An empty submission.
+    Empty,
+}
+
+/// One request of the generated traffic.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadRequest {
+    /// Position in the stream (0-based).
+    pub id: usize,
+    /// The problem the submission targets.
+    pub problem: String,
+    /// The submission text.
+    pub source: String,
+    /// Ground truth of how the request was produced.
+    pub kind: RequestKind,
+}
+
+/// Parameters of the traffic model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct WorkloadConfig {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// RNG seed; the stream is fully deterministic given the seed.
+    pub seed: u64,
+    /// Zipf exponent `s` of the rank distribution over the attempt pool.
+    /// `0.0` is uniform (duplicate-light); values around `1.0` produce the
+    /// duplicate-heavy head that MOOC traffic shows.
+    pub zipf_exponent: f64,
+    /// Fraction of requests that are pathological (garbage / unsupported /
+    /// empty submissions) rather than drawn from the attempt pool.
+    pub pathological_fraction: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig { requests: 200, seed: 0x5E12E, zipf_exponent: 1.1, pathological_fraction: 0.03 }
+    }
+}
+
+/// Generates a deterministic request stream over the attempts of `datasets`
+/// (typically one dataset per problem; requests interleave the problems).
+///
+/// # Panics
+///
+/// Panics if `datasets` is empty or contains only empty pools — a workload
+/// needs at least one attempt to sample.
+pub fn generate_workload(datasets: &[Dataset], config: WorkloadConfig) -> Vec<WorkloadRequest> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    // The sampling pool: every attempt of every dataset, tagged with its
+    // problem and ground truth. Ranks are a random permutation so that the
+    // Zipf head is not biased toward any particular problem or pool order.
+    let mut pool: Vec<(String, String, RequestKind)> = Vec::new();
+    for dataset in datasets {
+        for attempt in &dataset.correct {
+            pool.push((dataset.problem.name.to_owned(), attempt.source.clone(), RequestKind::Correct));
+        }
+        for attempt in &dataset.incorrect {
+            pool.push((dataset.problem.name.to_owned(), attempt.source.clone(), RequestKind::Incorrect));
+        }
+    }
+    assert!(!pool.is_empty(), "workload generation needs a non-empty attempt pool");
+    pool.shuffle(&mut rng);
+
+    // Inverse-CDF sampling over P(rank k) ∝ 1/k^s.
+    let weights: Vec<f64> = (1..=pool.len()).map(|k| 1.0 / (k as f64).powf(config.zipf_exponent)).collect();
+    let cumulative: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let total_weight = *cumulative.last().expect("non-empty pool");
+
+    let mut requests = Vec::with_capacity(config.requests);
+    for id in 0..config.requests {
+        if rng.gen_bool(config.pathological_fraction.clamp(0.0, 1.0)) {
+            requests.push(pathological_request(id, datasets, &mut rng));
+            continue;
+        }
+        let needle = rng.gen_range(0.0..total_weight);
+        let rank = cumulative.partition_point(|&c| c <= needle).min(pool.len() - 1);
+        let (problem, source, kind) = pool[rank].clone();
+        requests.push(WorkloadRequest { id, problem, source, kind });
+    }
+    requests
+}
+
+fn pathological_request<R: Rng>(id: usize, datasets: &[Dataset], rng: &mut R) -> WorkloadRequest {
+    let dataset = &datasets[rng.gen_range(0..datasets.len())];
+    let problem = dataset.problem.name.to_owned();
+    match rng.gen_range(0..3u32) {
+        0 => WorkloadRequest {
+            id,
+            problem,
+            source: "def broken(:\n    return ][\n".to_owned(),
+            kind: RequestKind::Garbage,
+        },
+        1 => WorkloadRequest {
+            id,
+            problem,
+            source: unsupported_attempt(&dataset.problem, rng).source,
+            kind: RequestKind::Unsupported,
+        },
+        _ => WorkloadRequest {
+            id,
+            problem,
+            source: empty_attempt(&dataset.problem).source,
+            kind: RequestKind::Empty,
+        },
+    }
+}
+
+/// Fraction of requests whose submission text already occurred earlier in
+/// the stream — the share of traffic a perfect result cache could answer
+/// without running repair.
+pub fn duplicate_fraction(requests: &[WorkloadRequest]) -> f64 {
+    if requests.is_empty() {
+        return 0.0;
+    }
+    let mut seen = std::collections::HashSet::new();
+    let duplicates = requests.iter().filter(|r| !seen.insert((r.problem.clone(), r.source.clone()))).count();
+    duplicates as f64 / requests.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_dataset, DatasetConfig};
+    use crate::mooc::{derivatives, odd_tuples};
+
+    fn datasets() -> Vec<Dataset> {
+        let config =
+            DatasetConfig { correct_count: 15, incorrect_count: 10, seed: 9, ..DatasetConfig::default() };
+        vec![generate_dataset(&derivatives(), config), generate_dataset(&odd_tuples(), config)]
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let datasets = datasets();
+        let a = generate_workload(&datasets, WorkloadConfig::default());
+        let b = generate_workload(&datasets, WorkloadConfig::default());
+        assert_eq!(a.len(), 200);
+        let texts = |reqs: &[WorkloadRequest]| {
+            reqs.iter().map(|r| (r.problem.clone(), r.source.clone())).collect::<Vec<_>>()
+        };
+        assert_eq!(texts(&a), texts(&b));
+    }
+
+    #[test]
+    fn zipf_traffic_is_duplicate_heavy() {
+        let requests = generate_workload(&datasets(), WorkloadConfig::default());
+        let rate = duplicate_fraction(&requests);
+        // 200 draws from a 50-attempt pool under s=1.1 revisit the head
+        // constantly; even a uniform sampler would duplicate heavily here,
+        // the Zipf head pushes it further.
+        assert!(rate > 0.5, "duplicate fraction was {rate}");
+        // A higher exponent concentrates the head → strictly more duplicates
+        // (with overwhelming probability at these sizes).
+        let heavy = generate_workload(
+            &datasets(),
+            WorkloadConfig { zipf_exponent: 2.0, ..WorkloadConfig::default() },
+        );
+        assert!(duplicate_fraction(&heavy) >= rate, "zipf head should concentrate traffic");
+    }
+
+    #[test]
+    fn workload_mixes_problems_and_includes_pathological_requests() {
+        let requests = generate_workload(
+            &datasets(),
+            WorkloadConfig { requests: 400, pathological_fraction: 0.1, ..WorkloadConfig::default() },
+        );
+        let problems: std::collections::HashSet<&str> = requests.iter().map(|r| r.problem.as_str()).collect();
+        assert_eq!(problems.len(), 2, "both problems should appear");
+        assert!(requests.iter().any(|r| r.kind == RequestKind::Garbage));
+        assert!(requests.iter().any(|r| matches!(r.kind, RequestKind::Unsupported | RequestKind::Empty)));
+        assert!(requests.iter().any(|r| r.kind == RequestKind::Correct));
+        assert!(requests.iter().any(|r| r.kind == RequestKind::Incorrect));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let datasets = datasets();
+        let a = generate_workload(&datasets, WorkloadConfig::default());
+        let b = generate_workload(&datasets, WorkloadConfig { seed: 1, ..WorkloadConfig::default() });
+        let texts = |reqs: &[WorkloadRequest]| reqs.iter().map(|r| r.source.clone()).collect::<Vec<_>>();
+        assert_ne!(texts(&a), texts(&b));
+    }
+}

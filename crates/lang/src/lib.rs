@@ -14,8 +14,8 @@
 //! * a [`pretty`]-printer used for feedback text and canonicalisation.
 //!
 //! The original Clara tool parsed real Python and C student submissions; in
-//! this reproduction MiniPy plays that role (see `DESIGN.md` for the
-//! substitution argument). The language is rich enough to express all
+//! this reproduction MiniPy plays that role (see `crates/corpus/DESIGN.md`
+//! for the substitution argument). The language is rich enough to express all
 //! assignments evaluated in the paper: list/float arithmetic, `for`/`while`
 //! loops, nested `if`/`elif`/`else`, `append`, subscripts, slicing, early
 //! `return`, and `print`.
@@ -50,6 +50,7 @@ pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod serde_impls;
 pub mod spec;
 pub mod token;
 pub mod value;

@@ -47,6 +47,28 @@ pub fn program_to_string(program: &SourceProgram) -> String {
     out
 }
 
+impl SourceProgram {
+    /// A formatting-insensitive hash of the program: two submissions that
+    /// differ only in whitespace, comments, blank lines or redundant
+    /// parentheses hash equal, while any structural difference (and any
+    /// variable renaming) changes the hash.
+    ///
+    /// Duplicate resubmission is the dominant pattern in MOOC traffic, so
+    /// the feedback service keys its result cache on this hash; the corpus
+    /// layer uses it to report how much of a dataset is structurally
+    /// duplicated.
+    pub fn structural_hash(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut hasher = DefaultHasher::new();
+        // The pretty-printer renders the canonical form (line numbers and
+        // original formatting are not consulted), so its output is exactly
+        // the structural identity we want.
+        program_to_string(self).hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
 fn precedence(op: BinOp) -> u8 {
     match op {
         BinOp::Or => 1,
@@ -262,6 +284,17 @@ def sign(x):
         assert!(printed.contains("elif x == 0:"), "printed:\n{printed}");
         let reparsed = parse_program(&printed).unwrap();
         assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn structural_hash_ignores_formatting_but_not_structure() {
+        let base = parse_program("def f(x):\n    return x + 1\n").unwrap();
+        let reformatted = parse_program("def f(x):\n\n    # comment\n    return (x + 1)\n").unwrap();
+        let renamed = parse_program("def f(y):\n    return y + 1\n").unwrap();
+        let different = parse_program("def f(x):\n    return 1 + x\n").unwrap();
+        assert_eq!(base.structural_hash(), reformatted.structural_hash());
+        assert_ne!(base.structural_hash(), renamed.structural_hash());
+        assert_ne!(base.structural_hash(), different.structural_hash());
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! An LRU result cache keyed by the structural program hash.
+//!
+//! Duplicate submissions dominate MOOC traffic (students resubmit unchanged
+//! code, and popular buggy attempts are copy-pasted), so the service fronts
+//! the repair pipeline with a cache keyed on the formatting-insensitive
+//! [`structural hash`](clara_lang::SourceProgram::structural_hash) of the
+//! submission, combined with the problem it targets. A hit answers in O(1)
+//! without touching the cluster index.
+//!
+//! The implementation is a classic hand-rolled LRU over `std` only: a
+//! `HashMap` for lookup plus a lazily compacted access queue (each access
+//! pushes a fresh `(key, stamp)` ticket; stale tickets are skipped during
+//! eviction). Eviction is amortised O(1).
+
+use std::collections::{HashMap, VecDeque};
+
+/// A bounded least-recently-used map from `u64` keys to `V`.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    capacity: usize,
+    map: HashMap<u64, Entry<V>>,
+    /// Access tickets, oldest first; only a ticket whose stamp matches the
+    /// entry's current stamp is live, all others are stale and skipped.
+    queue: VecDeque<(u64, u64)>,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    stamp: u64,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries; a capacity of 0
+    /// disables caching (every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        LruCache { capacity, map: HashMap::new(), queue: VecDeque::new(), next_stamp: 0, hits: 0, misses: 0 }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to the pipeline so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        if self.capacity == 0 || !self.map.contains_key(&key) {
+            self.misses += 1;
+            return None;
+        }
+        self.hits += 1;
+        let stamp = self.touch(key);
+        let entry = self.map.get_mut(&key).expect("checked above");
+        entry.stamp = stamp;
+        Some(&entry.value)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+    /// when the cache is full.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let stamp = self.touch(key);
+        self.map.insert(key, Entry { value, stamp });
+        while self.map.len() > self.capacity {
+            let Some((old_key, old_stamp)) = self.queue.pop_front() else { break };
+            if self.map.get(&old_key).is_some_and(|e| e.stamp == old_stamp) {
+                self.map.remove(&old_key);
+            }
+        }
+    }
+
+    /// Issues a fresh access ticket for `key` and compacts the queue when
+    /// stale tickets outnumber live entries too far.
+    fn touch(&mut self, key: u64) -> u64 {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.queue.push_back((key, stamp));
+        if self.queue.len() > self.map.len().saturating_mul(4) + 16 {
+            let map = &self.map;
+            // The just-issued ticket is exempt: the caller records `stamp` in
+            // the map only after `touch` returns, so the retain below would
+            // otherwise drop it and leave the entry unevictable forever.
+            self.queue.retain(|(k, s)| *s == stamp || map.get(k).is_some_and(|e| e.stamp == *s));
+        }
+        stamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut cache = LruCache::new(4);
+        assert!(cache.get(1).is_none());
+        cache.insert(1, "one");
+        assert_eq!(cache.get(1), Some(&"one"));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn least_recently_used_entry_is_evicted() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        // Touch 1 so that 2 becomes the LRU entry.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, 3);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(2).is_none(), "2 was the LRU entry");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn refreshing_a_key_does_not_grow_the_cache() {
+        let mut cache = LruCache::new(2);
+        for _ in 0..10 {
+            cache.insert(7, ());
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.insert(1, ());
+        assert!(cache.is_empty());
+        assert!(cache.get(1).is_none());
+    }
+
+    #[test]
+    fn entry_last_touched_during_compaction_is_still_evictable() {
+        // Regression: the compaction pass inside `touch` must not drop the
+        // ticket it just issued — the entry's map stamp is written only after
+        // `touch` returns, so dropping it would pin the entry forever.
+        let mut cache = LruCache::new(4);
+        for key in 0..4 {
+            cache.insert(key, ());
+        }
+        // 4 insert tickets + 29 get tickets = 33 > 4*4+16: the compaction
+        // fires exactly on the *final* access to key 0.
+        for _ in 0..29 {
+            let _ = cache.get(0);
+        }
+        // 8 newer inserts must push key 0 (now the LRU entry) out.
+        for key in 10..18 {
+            cache.insert(key, ());
+        }
+        assert_eq!(cache.len(), 4);
+        assert!(cache.get(0).is_none(), "key 0 was pinned by a dropped ticket");
+    }
+
+    #[test]
+    fn long_access_patterns_stay_bounded() {
+        let mut cache = LruCache::new(8);
+        for i in 0..10_000u64 {
+            cache.insert(i % 16, i);
+            let _ = cache.get(i % 5);
+        }
+        assert!(cache.len() <= 8);
+        // The lazily compacted queue must not grow with the access count.
+        assert!(cache.queue.len() <= 8 * 4 + 16, "queue grew to {}", cache.queue.len());
+    }
+}

@@ -1,0 +1,69 @@
+//! # clara-server — the sharded, cache-fronted feedback service
+//!
+//! The paper's clustering amortises repair cost across thousands of MOOC
+//! submissions; this crate turns the `clara-core` library into the
+//! long-running service that realises the amortisation online:
+//!
+//! * [`store`] — the **persistent cluster index**: per-problem
+//!   [`ClusterStore`]s built once from the correct pool, serialized to disk
+//!   as JSON, warm-loaded at startup (re-analysing only the `K` cluster
+//!   representatives instead of re-clustering all `N` solutions) and grown
+//!   incrementally as newly verified correct submissions arrive;
+//! * [`cache`] — an **LRU result cache** keyed by the formatting-insensitive
+//!   structural program hash, answering duplicate submissions (the dominant
+//!   case in MOOC traffic) in O(1);
+//! * [`pool`] — a hand-rolled, panic-isolated **worker pool** over
+//!   `std::thread` with a bounded job queue for backpressure (the build
+//!   environment is offline: no tokio);
+//! * [`service`] — the **sharded pipeline**: one independently locked shard
+//!   per problem behind the shared cache;
+//! * [`protocol`] / [`serve`] — the **front ends**: newline-delimited JSON
+//!   over stdin/stdout and a minimal `TcpListener` HTTP endpoint
+//!   (`POST /repair`, `GET /health`), both wired into `clara-cli` as the
+//!   `serve` and `batch` subcommands.
+//!
+//! ```rust
+//! use std::sync::Arc;
+//! use clara_core::ClaraConfig;
+//! use clara_corpus::mooc::derivatives;
+//! use clara_server::{ClusterStore, FeedbackService, Request, ServiceConfig, Status};
+//!
+//! let problem = derivatives();
+//! let seeds: Vec<&str> = problem.seeds.clone();
+//! let (store, _) = ClusterStore::build(&problem, seeds, ClaraConfig::default());
+//! let service = FeedbackService::new(vec![store], ServiceConfig::default());
+//! let response = service.handle(&Request {
+//!     id: 1,
+//!     problem: "derivatives".into(),
+//!     source: "def computeDeriv(poly):\n    new = []\n    for i in xrange(1,len(poly)):\n        new.append(float(i*poly[i]))\n    if new==[]:\n        return 0.0\n    return new\n".into(),
+//!     learn: None,
+//! });
+//! assert_eq!(response.status, Status::Repaired);
+//! assert!(!response.feedback.is_empty());
+//! // The same submission again — reformatted — is a cache hit.
+//! let dup = service.handle(&Request {
+//!     id: 2,
+//!     problem: "derivatives".into(),
+//!     source: "def computeDeriv(poly):\n\n    new = []\n    for i in xrange(1,len(poly)):\n        new.append(float(i*poly[i]))\n    if new==[]:\n        return 0.0\n    return new\n".into(),
+//!     learn: None,
+//! });
+//! assert!(dup.cache_hit);
+//! assert_eq!(dup.feedback, response.feedback);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod pool;
+pub mod protocol;
+pub mod serve;
+pub mod service;
+pub mod store;
+
+pub use cache::LruCache;
+pub use pool::{PoolClosed, WorkerPool};
+pub use protocol::{parse_request, render_response, Request, Response, Status};
+pub use serve::{run_ndjson, serve_http, Server, ServerConfig};
+pub use service::{FeedbackService, ServiceConfig, ServiceStats};
+pub use store::{ClusterStore, StoreError, STORE_FORMAT_VERSION};

@@ -1,0 +1,194 @@
+//! A hand-rolled worker pool over `std::thread` and channels.
+//!
+//! The build environment is offline, so there is no tokio; the serving
+//! pipeline instead uses the classic shared-receiver pool: a bounded
+//! [`sync_channel`](std::sync::mpsc::sync_channel) job queue (submission
+//! blocks when the queue is full — natural backpressure toward the front
+//! end) drained by `N` worker threads. Workers are panic-isolated: a job
+//! whose handler panics is counted and dropped, and the worker keeps
+//! serving subsequent jobs.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Error returned when submitting to a pool that has shut down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool is shut down")
+    }
+}
+
+impl std::error::Error for PoolClosed {}
+
+/// A fixed-size pool of panic-isolated worker threads draining a bounded
+/// job queue.
+pub struct WorkerPool<J: Send + 'static> {
+    sender: Option<SyncSender<J>>,
+    workers: Vec<JoinHandle<()>>,
+    panics: Arc<AtomicU64>,
+}
+
+impl<J: Send + 'static> WorkerPool<J> {
+    /// Spawns `workers` threads handling jobs with `handler`. At most
+    /// `queue_capacity` jobs wait in the queue; further submissions block
+    /// (backpressure).
+    pub fn new(workers: usize, queue_capacity: usize, handler: impl Fn(J) + Send + Sync + 'static) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = sync_channel::<J>(queue_capacity.max(1));
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handler = Arc::new(handler);
+        let panics = Arc::new(AtomicU64::new(0));
+        let handles = (0..workers)
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                let handler = Arc::clone(&handler);
+                let panics = Arc::clone(&panics);
+                std::thread::Builder::new()
+                    .name(format!("clara-worker-{index}"))
+                    .spawn(move || worker_loop(&receiver, handler.as_ref(), &panics))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool { sender: Some(sender), workers: handles, panics }
+    }
+
+    /// Submits a job, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolClosed`] when the pool has shut down.
+    pub fn submit(&self, job: J) -> Result<(), PoolClosed> {
+        match &self.sender {
+            Some(sender) => sender.send(job).map_err(|_| PoolClosed),
+            None => Err(PoolClosed),
+        }
+    }
+
+    /// Submits a job without blocking; `Ok(false)` signals a full queue
+    /// (the caller can shed load instead of waiting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolClosed`] when the pool has shut down.
+    pub fn try_submit(&self, job: J) -> Result<bool, PoolClosed> {
+        match &self.sender {
+            Some(sender) => match sender.try_send(job) {
+                Ok(()) => Ok(true),
+                Err(TrySendError::Full(_)) => Ok(false),
+                Err(TrySendError::Disconnected(_)) => Err(PoolClosed),
+            },
+            None => Err(PoolClosed),
+        }
+    }
+
+    /// Number of jobs whose handler panicked (the jobs were dropped, the
+    /// workers survived).
+    pub fn panic_count(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Closes the queue, drains the remaining jobs and joins all workers.
+    pub fn shutdown(&mut self) {
+        self.sender = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<J: Send + 'static> Drop for WorkerPool<J> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop<J>(receiver: &Mutex<Receiver<J>>, handler: &(impl Fn(J) + ?Sized), panics: &AtomicU64) {
+    loop {
+        // Hold the lock only for the dequeue, never while handling.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a sibling worker panicked *inside recv* — unreachable in practice
+        };
+        match job {
+            Ok(job) => {
+                if catch_unwind(AssertUnwindSafe(|| handler(job))).is_err() {
+                    panics.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => return, // queue closed and drained
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn jobs_are_processed_by_multiple_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&counter);
+        let mut pool = WorkerPool::new(4, 8, move |n: usize| {
+            seen.fetch_add(n, Ordering::SeqCst);
+        });
+        for _ in 0..100 {
+            pool.submit(1).unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(pool.panic_count(), 0);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_the_pool() {
+        let (reply, responses) = channel::<usize>();
+        let mut pool = WorkerPool::new(2, 4, move |n: usize| {
+            assert!(n != 13, "unlucky job");
+            reply.send(n).unwrap();
+        });
+        for n in [1, 13, 2, 13, 3] {
+            pool.submit(n).unwrap();
+        }
+        pool.shutdown();
+        let mut survived: Vec<usize> = responses.iter().collect();
+        survived.sort_unstable();
+        assert_eq!(survived, vec![1, 2, 3]);
+        assert_eq!(pool.panic_count(), 2);
+    }
+
+    #[test]
+    fn try_submit_signals_a_full_queue() {
+        let (release, gate) = channel::<()>();
+        let gate = Mutex::new(gate);
+        let mut pool = WorkerPool::new(1, 1, move |_: usize| {
+            let _ = gate.lock().unwrap().recv();
+        });
+        // First job occupies the worker; the queue (capacity 1) then fills.
+        pool.submit(0).unwrap();
+        let mut accepted = 0;
+        while pool.try_submit(1).unwrap() {
+            accepted += 1;
+            assert!(accepted < 100, "queue never filled");
+        }
+        for _ in 0..=accepted {
+            release.send(()).unwrap();
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn submitting_after_shutdown_errors() {
+        let mut pool = WorkerPool::new(1, 1, |_: usize| {});
+        pool.shutdown();
+        assert_eq!(pool.submit(1), Err(PoolClosed));
+        assert_eq!(pool.try_submit(1), Err(PoolClosed));
+    }
+}

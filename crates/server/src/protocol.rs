@@ -1,0 +1,184 @@
+//! The newline-delimited JSON wire protocol of the feedback service.
+//!
+//! One request per line in, one response per line out; responses carry the
+//! request `id` and may arrive out of order (the worker pool completes jobs
+//! as they finish). The same bodies are served over the minimal HTTP
+//! endpoint (`POST /repair`).
+//!
+//! ```text
+//! → {"id":1,"problem":"derivatives","source":"def computeDeriv(poly):\n    ..."}
+//! ← {"id":1,"status":"repaired","feedback":["In the return statement ..."],"cost":2,...}
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// A feedback request: one student submission for one problem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Problem name (see `clara-cli problems`).
+    pub problem: String,
+    /// The submission text.
+    pub source: String,
+    /// When `true` and the submission is correct, insert it into the
+    /// cluster index (online clustering). Requires learning to be enabled
+    /// service-side.
+    pub learn: Option<bool>,
+}
+
+/// Outcome category of a feedback request.
+///
+/// Serialized as the lowercase snake-case strings `"correct"`,
+/// `"repaired"`, `"no_repair"` and `"error"` (via the manual rename below,
+/// matching serde's `rename_all = "snake_case"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The submission passes the grading suite.
+    Correct,
+    /// A repair was found; `feedback` holds the suggestions.
+    Repaired,
+    /// The submission is analysable but no repair was found; `feedback`
+    /// holds the generic strategy hint.
+    NoRepair,
+    /// The submission could not be processed (syntax error, unsupported
+    /// features, unknown problem, malformed request).
+    Error,
+}
+
+impl Status {
+    /// The wire name of the status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Correct => "correct",
+            Status::Repaired => "repaired",
+            Status::NoRepair => "no_repair",
+            Status::Error => "error",
+        }
+    }
+}
+
+impl serde::Serialize for Status {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Str(self.as_str().to_owned())
+    }
+}
+
+impl serde::Deserialize for Status {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let text = content.as_str().ok_or_else(|| serde::DeError::expected("status string", content))?;
+        match text {
+            "correct" => Ok(Status::Correct),
+            "repaired" => Ok(Status::Repaired),
+            "no_repair" => Ok(Status::NoRepair),
+            "error" => Ok(Status::Error),
+            other => Err(serde::DeError(format!("unknown status `{other}`"))),
+        }
+    }
+}
+
+/// A feedback response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Response {
+    /// The request's correlation id (0 when the request line itself was
+    /// malformed).
+    pub id: u64,
+    /// Outcome category.
+    pub status: Status,
+    /// Feedback lines (repair suggestions, the generic strategy hint, or
+    /// empty for correct submissions).
+    pub feedback: Vec<String>,
+    /// Total repair cost (tree edit distance), when a repair was found.
+    pub cost: Option<i64>,
+    /// Whether the answer came from the structural-hash result cache.
+    pub cache_hit: bool,
+    /// Whether the submission was inserted into the cluster index.
+    pub learned: bool,
+    /// Error description when `status` is `error`.
+    pub error: Option<String>,
+    /// Service-side processing time in microseconds (cache hits report the
+    /// lookup time, not the original repair time).
+    pub elapsed_us: u64,
+}
+
+impl Response {
+    /// A malformed-request / failed-submission response.
+    pub fn error(id: u64, message: impl Into<String>) -> Response {
+        Response {
+            id,
+            status: Status::Error,
+            feedback: Vec::new(),
+            cost: None,
+            cache_hit: false,
+            learned: false,
+            error: Some(message.into()),
+            elapsed_us: 0,
+        }
+    }
+}
+
+/// Parses one NDJSON request line.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the malformation.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    serde_json::from_str(line).map_err(|e| e.to_string())
+}
+
+/// Renders a response as one NDJSON line (no trailing newline; compact JSON
+/// never contains raw newlines, so the line framing is safe).
+pub fn render_response(response: &Response) -> String {
+    serde_json::to_string(response).expect("response serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let line = r#"{"id":7,"problem":"derivatives","source":"def f(x):\n    return x\n","learn":true}"#;
+        let request = parse_request(line).unwrap();
+        assert_eq!(request.id, 7);
+        assert_eq!(request.problem, "derivatives");
+        assert!(request.source.contains('\n'));
+        assert_eq!(request.learn, Some(true));
+        let reparsed = parse_request(&serde_json::to_string(&request).unwrap()).unwrap();
+        assert_eq!(reparsed.source, request.source);
+    }
+
+    #[test]
+    fn learn_defaults_to_absent() {
+        let request = parse_request(r#"{"id":1,"problem":"p","source":"s"}"#).unwrap();
+        assert_eq!(request.learn, None);
+    }
+
+    #[test]
+    fn malformed_requests_error() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("{\"id\":}").is_err());
+        assert!(parse_request(r#"{"problem":"p","source":"s"}"#).is_err(), "missing id");
+    }
+
+    #[test]
+    fn response_roundtrip_is_single_line() {
+        let response = Response {
+            id: 3,
+            status: Status::Repaired,
+            feedback: vec!["line one\nwith newline".to_owned()],
+            cost: Some(2),
+            cache_hit: true,
+            learned: false,
+            error: None,
+            elapsed_us: 42,
+        };
+        let line = render_response(&response);
+        assert!(!line.contains('\n'), "NDJSON framing: {line}");
+        assert!(line.contains("\"status\":\"repaired\""), "{line}");
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.status, Status::Repaired);
+        assert_eq!(back.feedback, response.feedback);
+        assert_eq!(back.cost, Some(2));
+    }
+}

@@ -1,0 +1,339 @@
+//! Front ends: the pooled server wrapper, the stdin/stdout NDJSON loop and
+//! a minimal HTTP endpoint over `std::net::TcpListener`.
+//!
+//! Both front ends funnel requests through the same [`WorkerPool`] into the
+//! shared [`FeedbackService`]; the bounded job queue gives the service
+//! backpressure (a flooding client blocks instead of ballooning memory).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+use crate::pool::{PoolClosed, WorkerPool};
+use crate::protocol::{parse_request, render_response, Request, Response};
+use crate::service::FeedbackService;
+
+/// Worker-pool sizing of a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Bounded job-queue capacity (submission blocks when full).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+        ServerConfig { workers: workers.clamp(2, 8), queue_capacity: 64 }
+    }
+}
+
+type Job = (Request, Box<dyn FnOnce(Response) + Send>);
+
+/// A [`FeedbackService`] behind a panic-isolated worker pool.
+pub struct Server {
+    service: Arc<FeedbackService>,
+    pool: WorkerPool<Job>,
+}
+
+impl Server {
+    /// Spawns the worker pool over `service`.
+    pub fn new(service: Arc<FeedbackService>, config: ServerConfig) -> Self {
+        let handler_service = Arc::clone(&service);
+        let pool = WorkerPool::new(config.workers, config.queue_capacity, move |(request, reply): Job| {
+            reply(handler_service.handle(&request));
+        });
+        Server { service, pool }
+    }
+
+    /// The underlying service (for stats and persistence).
+    pub fn service(&self) -> &Arc<FeedbackService> {
+        &self.service
+    }
+
+    /// Enqueues a request; `on_response` runs on a worker thread when the
+    /// request completes. Blocks while the job queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolClosed`] after [`Server::shutdown`].
+    pub fn submit(
+        &self,
+        request: Request,
+        on_response: impl FnOnce(Response) + Send + 'static,
+    ) -> Result<(), PoolClosed> {
+        self.pool.submit((request, Box::new(on_response)))
+    }
+
+    /// Handles a request synchronously on the calling thread (bypasses the
+    /// queue; used by the HTTP front end for its request/response shape).
+    pub fn handle_sync(&self, request: &Request) -> Response {
+        self.service.handle(request)
+    }
+
+    /// Number of jobs lost to handler panics (workers survive them).
+    pub fn panic_count(&self) -> u64 {
+        self.pool.panic_count()
+    }
+
+    /// Drains the queue and joins the workers.
+    pub fn shutdown(&mut self) {
+        self.pool.shutdown();
+    }
+}
+
+/// Runs the NDJSON protocol: one request per `reader` line, one response
+/// per `writer` line (possibly out of order; correlate by `id`). Returns
+/// after EOF once every in-flight request has been answered.
+///
+/// # Errors
+///
+/// Returns the first I/O error of the reader.
+pub fn run_ndjson(
+    server: &mut Server,
+    reader: impl BufRead,
+    writer: Arc<Mutex<dyn Write + Send>>,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Ok(request) => {
+                let writer = Arc::clone(&writer);
+                let submitted = server.submit(request, move |response| {
+                    write_line(&writer, &response);
+                });
+                if submitted.is_err() {
+                    break;
+                }
+            }
+            Err(message) => {
+                write_line(&writer, &Response::error(0, format!("malformed request: {message}")));
+            }
+        }
+    }
+    // EOF: wait for in-flight requests so the client sees every response
+    // before the stream closes.
+    server.shutdown();
+    Ok(())
+}
+
+fn write_line(writer: &Mutex<dyn Write + Send>, response: &Response) {
+    let mut guard = writer.lock().expect("writer lock poisoned");
+    let _ = writeln!(guard, "{}", render_response(response));
+    let _ = guard.flush();
+}
+
+/// Serves the minimal HTTP API on `listener` until accept fails:
+///
+/// * `POST /repair` with a request body → a response body,
+/// * `GET /health` → service stats.
+///
+/// Connections are handled sequentially (the endpoint exists for
+/// curl-ability and health checks; bulk traffic belongs on the NDJSON
+/// protocol).
+///
+/// # Errors
+///
+/// Returns the accept-loop I/O error that terminated serving.
+pub fn serve_http(service: &FeedbackService, listener: TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        // A hung client must not wedge the accept loop.
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+        let _ = handle_http_connection(service, stream);
+    }
+    Ok(())
+}
+
+fn handle_http_connection(service: &FeedbackService, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Ok(());
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+        if let Some(value) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = value.trim().parse().unwrap_or(0);
+        }
+    }
+
+    const MAX_BODY: usize = 1 << 20;
+    let (status, body) = match (method, path) {
+        ("GET", "/health") => {
+            let stats = service.stats();
+            ("200 OK", serde_json::to_string(&stats).expect("stats serialize"))
+        }
+        ("POST", "/repair") if content_length > MAX_BODY => {
+            ("413 Payload Too Large", render_response(&Response::error(0, "body too large")))
+        }
+        ("POST", "/repair") => {
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            match std::str::from_utf8(&body)
+                .map_err(|e| e.to_string())
+                .and_then(|s| parse_request(s).map_err(|e| e.to_string()))
+            {
+                Ok(request) => ("200 OK", render_response(&service.handle(&request))),
+                Err(message) => (
+                    "400 Bad Request",
+                    render_response(&Response::error(0, format!("malformed request: {message}"))),
+                ),
+            }
+        }
+        _ => ("404 Not Found", render_response(&Response::error(0, format!("no route {method} {path}")))),
+    };
+
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use crate::store::ClusterStore;
+    use clara_core::ClaraConfig;
+    use clara_corpus::mooc::derivatives;
+    use std::sync::mpsc::{channel, Sender};
+
+    fn test_server(config: ServerConfig) -> Server {
+        let problem = derivatives();
+        let seeds: Vec<&str> = problem.seeds.clone();
+        let (store, _) = ClusterStore::build(&problem, seeds, ClaraConfig::default());
+        let service = Arc::new(FeedbackService::new(vec![store], ServiceConfig::default()));
+        Server::new(service, config)
+    }
+
+    fn ndjson_request(id: u64, source: &str) -> String {
+        render_request(&Request {
+            id,
+            problem: "derivatives".to_owned(),
+            source: source.to_owned(),
+            learn: None,
+        })
+    }
+
+    fn render_request(request: &Request) -> String {
+        serde_json::to_string(request).unwrap()
+    }
+
+    #[test]
+    fn ndjson_round_trip_over_in_memory_pipes() {
+        let mut server = test_server(ServerConfig { workers: 2, queue_capacity: 4 });
+        let input = [
+            ndjson_request(1, "def computeDeriv(poly):\n    return poly\n"),
+            "not json".to_owned(),
+            ndjson_request(2, derivatives().seeds[0]),
+        ]
+        .join("\n");
+        let output: Arc<Mutex<Vec<u8>>> = Arc::default();
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(SharedBuf(Arc::clone(&output))));
+        run_ndjson(&mut server, input.as_bytes(), sink).unwrap();
+        let text = String::from_utf8(output.lock().unwrap().clone()).unwrap();
+        let responses: Vec<Response> =
+            text.lines().map(|line| serde_json::from_str(line).expect(line)).collect();
+        assert_eq!(responses.len(), 3);
+        // The malformed line gets id 0; the real requests echo their ids.
+        let mut ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let by_id = |id: u64| responses.iter().find(|r| r.id == id).unwrap();
+        assert_eq!(by_id(2).status, crate::protocol::Status::Correct);
+        assert_eq!(by_id(0).status, crate::protocol::Status::Error);
+    }
+
+    #[test]
+    fn submit_delivers_responses_through_the_pool() {
+        let mut server = test_server(ServerConfig { workers: 2, queue_capacity: 8 });
+        let (reply, responses) = channel::<Response>();
+        for id in 0..6u64 {
+            let reply: Sender<Response> = reply.clone();
+            server
+                .submit(
+                    Request {
+                        id,
+                        problem: "derivatives".to_owned(),
+                        source: derivatives().seeds[0].to_owned(),
+                        learn: None,
+                    },
+                    move |response| {
+                        let _ = reply.send(response);
+                    },
+                )
+                .unwrap();
+        }
+        drop(reply);
+        server.shutdown();
+        let collected: Vec<Response> = responses.iter().collect();
+        assert_eq!(collected.len(), 6);
+        assert!(collected.iter().all(|r| r.status == crate::protocol::Status::Correct));
+        // All but the first are structural duplicates → cache hits.
+        assert_eq!(collected.iter().filter(|r| r.cache_hit).count(), 5);
+    }
+
+    #[test]
+    fn http_endpoint_answers_repair_and_health() {
+        let server = test_server(ServerConfig { workers: 1, queue_capacity: 4 });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let service = Arc::clone(server.service());
+        std::thread::spawn(move || {
+            let _ = serve_http(&service, listener);
+        });
+
+        let body = ndjson_request(9, "def computeDeriv(poly):\n    return poly\n");
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /repair HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        let json = reply.split("\r\n\r\n").nth(1).unwrap();
+        let response: Response = serde_json::from_str(json).unwrap();
+        assert_eq!(response.id, 9);
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /health HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        assert!(reply.contains("\"requests\""), "{reply}");
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /nope HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
+    }
+}

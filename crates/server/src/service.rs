@@ -1,0 +1,391 @@
+//! The sharded, cache-fronted feedback service.
+//!
+//! A [`FeedbackService`] owns one shard per problem — each shard an
+//! independently locked [`ClusterStore`] — plus a shared LRU result cache
+//! keyed by the structural program hash. Repairs take a shard read lock
+//! (concurrent repairs on the same problem proceed in parallel); online
+//! learning takes the write lock only when a verified-correct submission is
+//! actually inserted. The cache sits in front of everything: duplicate
+//! submissions — the dominant case in MOOC traffic — are answered in O(1)
+//! without running analysis or repair.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+use clara_core::{AnalysisError, ClaraConfig};
+use clara_corpus::Problem;
+use clara_lang::parse_program;
+use serde::Serialize;
+
+use crate::cache::LruCache;
+use crate::protocol::{Request, Response, Status};
+use crate::store::ClusterStore;
+
+/// Service-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Capacity of the structural-hash result cache (0 disables it).
+    pub cache_capacity: usize,
+    /// Whether `learn` requests may insert verified-correct submissions
+    /// into the cluster index.
+    pub learn: bool,
+    /// Engine configuration used for analysis and repair.
+    pub clara: ClaraConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { cache_capacity: 4096, learn: true, clara: ClaraConfig::default() }
+    }
+}
+
+/// Monotonic service counters, exposed via `GET /health` and the benchmark
+/// report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct ServiceStats {
+    /// Requests handled (including malformed ones).
+    pub requests: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Requests that ran the repair pipeline and produced a repair.
+    pub repaired: u64,
+    /// Requests whose submission was already correct.
+    pub correct: u64,
+    /// Analysable submissions for which no repair was found.
+    pub no_repair: u64,
+    /// Submissions rejected (syntax errors, unsupported features, unknown
+    /// problems, malformed requests).
+    pub errors: u64,
+    /// Correct submissions inserted into the cluster index online.
+    pub learned: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    repaired: AtomicU64,
+    correct: AtomicU64,
+    no_repair: AtomicU64,
+    errors: AtomicU64,
+    learned: AtomicU64,
+}
+
+/// The cached portion of a response (everything except per-request fields).
+#[derive(Debug, Clone)]
+struct CachedOutcome {
+    status: Status,
+    feedback: Vec<String>,
+    cost: Option<i64>,
+    error: Option<String>,
+}
+
+/// One problem shard: the cluster store behind its own lock.
+struct Shard {
+    problem: Problem,
+    store: RwLock<ClusterStore>,
+}
+
+/// The sharded, cache-fronted feedback service.
+pub struct FeedbackService {
+    shards: Vec<Shard>,
+    by_problem: HashMap<String, usize>,
+    cache: Mutex<LruCache<CachedOutcome>>,
+    counters: Counters,
+    config: ServiceConfig,
+}
+
+impl FeedbackService {
+    /// Builds a service from per-problem cluster stores.
+    pub fn new(stores: Vec<ClusterStore>, config: ServiceConfig) -> Self {
+        let shards: Vec<Shard> = stores
+            .into_iter()
+            .map(|store| Shard { problem: store.problem().clone(), store: RwLock::new(store) })
+            .collect();
+        let by_problem = shards.iter().enumerate().map(|(i, s)| (s.problem.name.to_owned(), i)).collect();
+        FeedbackService {
+            shards,
+            by_problem,
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            counters: Counters::default(),
+            config,
+        }
+    }
+
+    /// The problems this service can answer for.
+    pub fn problems(&self) -> Vec<&Problem> {
+        self.shards.iter().map(|s| &s.problem).collect()
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            repaired: self.counters.repaired.load(Ordering::Relaxed),
+            correct: self.counters.correct.load(Ordering::Relaxed),
+            no_repair: self.counters.no_repair.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            learned: self.counters.learned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Persists every shard's cluster index under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first save failure.
+    pub fn save_indexes(&self, dir: &std::path::Path) -> Result<(), crate::store::StoreError> {
+        for shard in &self.shards {
+            shard.store.read().expect("store lock poisoned").save(dir)?;
+        }
+        Ok(())
+    }
+
+    /// Handles one request synchronously (the worker-pool entry point).
+    pub fn handle(&self, request: &Request) -> Response {
+        let start = Instant::now();
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let mut response = self.handle_inner(request);
+        response.id = request.id;
+        response.elapsed_us = start.elapsed().as_micros() as u64;
+        match response.status {
+            Status::Correct => &self.counters.correct,
+            Status::Repaired => &self.counters.repaired,
+            Status::NoRepair => &self.counters.no_repair,
+            Status::Error => &self.counters.errors,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        response
+    }
+
+    fn handle_inner(&self, request: &Request) -> Response {
+        let Some(&shard_index) = self.by_problem.get(&request.problem) else {
+            return Response::error(
+                request.id,
+                format!("unknown problem `{}` (see `clara-cli problems`)", request.problem),
+            );
+        };
+        let shard = &self.shards[shard_index];
+
+        // Unparseable submissions have no structural hash and bypass the
+        // cache; parsing is also the cheapest stage, so this costs little.
+        let parsed = match parse_program(&request.source) {
+            Ok(parsed) => parsed,
+            Err(e) => return Response::error(request.id, format!("syntax error: {e}")),
+        };
+        let key = cache_key(shard_index, parsed.structural_hash());
+
+        if let Some(cached) = self.cache.lock().expect("cache lock poisoned").get(key).cloned() {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            // A cache hit answers the *feedback* question, but a learn
+            // request must still reach the index — the first occurrence may
+            // have been cached without the learn flag.
+            let learned = cached.status == Status::Correct && self.learn_if_requested(request, shard);
+            return Response {
+                id: request.id,
+                status: cached.status,
+                feedback: cached.feedback,
+                cost: cached.cost,
+                cache_hit: true,
+                learned,
+                error: cached.error,
+                elapsed_us: 0,
+            };
+        }
+
+        let correct = shard.problem.spec.is_correct(&parsed);
+        let mut learned = false;
+        let outcome = if correct {
+            // Online clustering (§2): verified-correct submissions grow the
+            // index when the client asks for it and the service allows it.
+            learned = self.learn_if_requested(request, shard);
+            CachedOutcome { status: Status::Correct, feedback: Vec::new(), cost: None, error: None }
+        } else {
+            let result = {
+                let store = shard.store.read().expect("store lock poisoned");
+                store.engine().repair_source(&request.source)
+            };
+            match result {
+                Ok(outcome) => {
+                    let status =
+                        if outcome.result.best.is_some() { Status::Repaired } else { Status::NoRepair };
+                    CachedOutcome {
+                        status,
+                        feedback: outcome.feedback.lines(),
+                        cost: outcome.result.best.as_ref().map(|r| r.total_cost),
+                        error: None,
+                    }
+                }
+                Err(AnalysisError::Parse(e)) => CachedOutcome {
+                    status: Status::Error,
+                    feedback: Vec::new(),
+                    cost: None,
+                    error: Some(format!("syntax error: {e}")),
+                },
+                Err(AnalysisError::Unsupported(e)) => CachedOutcome {
+                    status: Status::Error,
+                    feedback: Vec::new(),
+                    cost: None,
+                    error: Some(format!("unsupported: {e}")),
+                },
+            }
+        };
+
+        // Repair is deterministic given the index, so the outcome is safe to
+        // cache. Feedback cached before an online insertion may reflect the
+        // pre-insertion index — the same approximation a production service
+        // makes (an insertion only ever *adds* candidate expressions).
+        self.cache.lock().expect("cache lock poisoned").insert(key, outcome.clone());
+
+        Response {
+            id: request.id,
+            status: outcome.status,
+            feedback: outcome.feedback,
+            cost: outcome.cost,
+            cache_hit: false,
+            learned,
+            error: outcome.error,
+            elapsed_us: 0,
+        }
+    }
+
+    /// Inserts a verified-correct submission into the shard's cluster index
+    /// when the request asks for it and learning is enabled. Returns whether
+    /// an insertion happened.
+    fn learn_if_requested(&self, request: &Request, shard: &Shard) -> bool {
+        if !(self.config.learn && request.learn.unwrap_or(false)) {
+            return false;
+        }
+        let mut store = shard.store.write().expect("store lock poisoned");
+        if store.insert_correct(&request.source).is_ok() {
+            self.counters.learned.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cache hit/miss counters of the result cache.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        let cache = self.cache.lock().expect("cache lock poisoned");
+        (cache.hits(), cache.misses())
+    }
+}
+
+/// Combines the shard index and structural hash into one cache key.
+fn cache_key(shard_index: usize, structural_hash: u64) -> u64 {
+    // splitmix64-style mixing so that shard and hash both disturb all bits.
+    let mut x = structural_hash ^ (shard_index as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clara_corpus::mooc::derivatives;
+
+    fn service() -> FeedbackService {
+        let problem = derivatives();
+        let seeds: Vec<&str> = problem.seeds.clone();
+        let (store, _) = ClusterStore::build(&problem, seeds, ClaraConfig::default());
+        FeedbackService::new(vec![store], ServiceConfig::default())
+    }
+
+    fn request(id: u64, source: &str) -> Request {
+        Request { id, problem: "derivatives".to_owned(), source: source.to_owned(), learn: None }
+    }
+
+    const INCORRECT: &str = "\
+def computeDeriv(poly):
+    new = []
+    for i in xrange(1,len(poly)):
+        new.append(float(i*poly[i]))
+    if new==[]:
+        return 0.0
+    return new
+";
+
+    #[test]
+    fn incorrect_attempts_get_repair_feedback() {
+        let service = service();
+        let response = service.handle(&request(1, INCORRECT));
+        assert_eq!(response.status, Status::Repaired);
+        assert!(!response.feedback.is_empty());
+        assert!(response.cost.unwrap() > 0);
+        assert!(!response.cache_hit);
+    }
+
+    #[test]
+    fn duplicate_submissions_hit_the_cache_with_identical_feedback() {
+        let service = service();
+        let first = service.handle(&request(1, INCORRECT));
+        // Same program, different formatting — structurally identical.
+        let reformatted = INCORRECT.replace("    if new==[]:", "\n    if new==[]:");
+        let second = service.handle(&request(2, &reformatted));
+        assert!(second.cache_hit, "structural duplicate must hit the cache");
+        assert_eq!(second.feedback, first.feedback);
+        assert_eq!(second.cost, first.cost);
+        assert_eq!(second.id, 2);
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn correct_submissions_are_recognised_and_learned() {
+        let service = service();
+        let problem = derivatives();
+        let mut learn_request = request(1, problem.seeds[1]);
+        learn_request.learn = Some(true);
+        let response = service.handle(&learn_request);
+        assert_eq!(response.status, Status::Correct);
+        assert!(response.learned);
+        assert_eq!(service.stats().learned, 1);
+    }
+
+    #[test]
+    fn learn_requests_reach_the_index_even_on_cache_hits() {
+        // Regression: the first occurrence is cached *without* the learn
+        // flag; a later structurally identical request with learn:true must
+        // still be inserted.
+        let service = service();
+        let problem = derivatives();
+        let plain = service.handle(&request(1, problem.seeds[1]));
+        assert_eq!(plain.status, Status::Correct);
+        assert!(!plain.learned);
+        let mut learn_request = request(2, problem.seeds[1]);
+        learn_request.learn = Some(true);
+        let hit = service.handle(&learn_request);
+        assert!(hit.cache_hit);
+        assert!(hit.learned, "learn must not be swallowed by the cache");
+        assert_eq!(service.stats().learned, 1);
+    }
+
+    #[test]
+    fn pathological_submissions_are_rejected_not_crashed() {
+        let service = service();
+        let garbage = service.handle(&request(1, "def broken(:\n    return ][\n"));
+        assert_eq!(garbage.status, Status::Error);
+        assert!(garbage.error.unwrap().contains("syntax error"));
+        let unknown = service.handle(&Request {
+            id: 2,
+            problem: "nope".to_owned(),
+            source: "def f(x):\n    return x\n".to_owned(),
+            learn: None,
+        });
+        assert_eq!(unknown.status, Status::Error);
+        assert!(unknown.error.unwrap().contains("unknown problem"));
+        let unsupported = service.handle(&request(
+            3,
+            "def helper(x):\n    return x\n\ndef computeDeriv(poly):\n    return helper(poly)\n",
+        ));
+        assert_eq!(unsupported.status, Status::Error);
+        assert!(unsupported.error.unwrap().contains("unsupported"));
+    }
+}

@@ -1,0 +1,329 @@
+//! The persistent cluster index: per-problem cluster stores that serialize
+//! to disk and warm-load at startup.
+//!
+//! Clustering the correct pool is the expensive part of bringing a problem
+//! online (every solution is executed on every grading input, then matched
+//! against representatives). A [`ClusterStore`] therefore persists the
+//! *result* of clustering — one representative source plus the mined
+//! expression slots per cluster — as JSON. Warm loading re-analyses only the
+//! `K` representatives instead of re-clustering all `N ≫ K` solutions, and
+//! reconstructs clusters whose repair behaviour is bit-identical to the
+//! cold-built index (asserted by `tests/persistence.rs`).
+//!
+//! The store also supports *online* growth (§2 of the paper): newly verified
+//! correct submissions are inserted incrementally via
+//! [`ClusterStore::insert_correct`], which either joins an existing cluster
+//! or opens a new one.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use clara_core::{AnalysisError, AnalyzedProgram, Clara, ClaraConfig, Cluster, ClusteringStats};
+use clara_corpus::Problem;
+use clara_lang::Expr;
+use serde::{Deserialize, Serialize};
+
+/// On-disk format version; bumped when the stored shape changes.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Why a store could not be saved or loaded.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The file is not a valid stored index.
+    Format(String),
+    /// The stored index belongs to a different problem or format version.
+    Mismatch(String),
+    /// A stored representative no longer analyses (e.g. the language
+    /// evolved); the index must be rebuilt.
+    Analysis(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "index io error: {e}"),
+            StoreError::Format(e) => write!(f, "malformed index: {e}"),
+            StoreError::Mismatch(e) => write!(f, "index mismatch: {e}"),
+            StoreError::Analysis(e) => write!(f, "stale index: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// One expression slot `(ℓ, v) ↦ E_C(ℓ, v)` of a stored cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StoredSlot {
+    loc: usize,
+    var: String,
+    exprs: Vec<Expr>,
+}
+
+/// One cluster of the stored index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StoredCluster {
+    representative: String,
+    member_ids: Vec<usize>,
+    expressions: Vec<StoredSlot>,
+}
+
+/// The serialized form of a [`ClusterStore`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StoredIndex {
+    format_version: u32,
+    problem: String,
+    entry: String,
+    correct_count: usize,
+    clusters: Vec<StoredCluster>,
+}
+
+/// A per-problem cluster index: the [`Clara`] engine plus everything needed
+/// to persist and reconstruct it.
+#[derive(Debug, Clone)]
+pub struct ClusterStore {
+    problem: Problem,
+    engine: Clara,
+    /// Source text of each cluster's representative, parallel to
+    /// `engine.clusters()`. Only representatives are persisted — members
+    /// contribute their mined expressions, which live in the clusters.
+    rep_sources: Vec<String>,
+}
+
+impl ClusterStore {
+    /// Builds a store by incrementally clustering `sources`; solutions that
+    /// fail analysis are skipped (they are unusable for repair). Returns the
+    /// store and the number of usable solutions.
+    pub fn build<'a>(
+        problem: &Problem,
+        sources: impl IntoIterator<Item = &'a str>,
+        config: ClaraConfig,
+    ) -> (Self, usize) {
+        let mut store = ClusterStore {
+            problem: problem.clone(),
+            engine: Clara::new(problem.entry, problem.inputs(), config),
+            rep_sources: Vec::new(),
+        };
+        let mut usable = 0usize;
+        for source in sources {
+            if store.insert_correct(source).is_ok() {
+                usable += 1;
+            }
+        }
+        (store, usable)
+    }
+
+    /// The problem this store serves.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The underlying repair engine.
+    pub fn engine(&self) -> &Clara {
+        &self.engine
+    }
+
+    /// Clustering summary statistics.
+    pub fn stats(&self) -> ClusteringStats {
+        self.engine.clustering_stats()
+    }
+
+    /// Inserts a correct solution online and returns the index of the
+    /// cluster it joined (opening a new cluster if none matches).
+    ///
+    /// The caller is responsible for having *verified* the solution against
+    /// the grading suite first — the store trusts it (the service layer
+    /// grades before learning).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AnalysisError`] when the solution cannot be analysed.
+    pub fn insert_correct(&mut self, source: &str) -> Result<usize, AnalysisError> {
+        let index = self.engine.add_correct_solution(source)?;
+        if index == self.rep_sources.len() {
+            // The solution opened a new cluster and is its representative.
+            self.rep_sources.push(source.to_owned());
+        }
+        Ok(index)
+    }
+
+    /// Serializes the index to a JSON string.
+    pub fn to_json(&self) -> String {
+        let stored = StoredIndex {
+            format_version: STORE_FORMAT_VERSION,
+            problem: self.problem.name.to_owned(),
+            entry: self.problem.entry.to_owned(),
+            correct_count: self.engine.correct_count(),
+            clusters: self
+                .engine
+                .clusters()
+                .iter()
+                .zip(&self.rep_sources)
+                .map(|(cluster, source)| StoredCluster {
+                    representative: source.clone(),
+                    member_ids: cluster.member_ids.clone(),
+                    expressions: cluster
+                        .export_expressions()
+                        .into_iter()
+                        .map(|(loc, var, exprs)| StoredSlot { loc, var, exprs })
+                        .collect(),
+                })
+                .collect(),
+        };
+        serde_json::to_string(&stored).expect("index serialization is infallible")
+    }
+
+    /// Reconstructs a store from [`ClusterStore::to_json`] output. Only the
+    /// cluster representatives are re-analysed (executed on the grading
+    /// inputs); the mined expression slots are restored verbatim, so repair
+    /// behaviour is identical to the cold-built index.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] on malformed JSON, a problem/format-version
+    /// mismatch, or a representative that no longer analyses.
+    pub fn from_json(json: &str, problem: &Problem, config: ClaraConfig) -> Result<Self, StoreError> {
+        let stored: StoredIndex =
+            serde_json::from_str(json).map_err(|e| StoreError::Format(e.to_string()))?;
+        if stored.format_version != STORE_FORMAT_VERSION {
+            return Err(StoreError::Mismatch(format!(
+                "format version {} (expected {STORE_FORMAT_VERSION})",
+                stored.format_version
+            )));
+        }
+        if stored.problem != problem.name || stored.entry != problem.entry {
+            return Err(StoreError::Mismatch(format!(
+                "index is for `{}`/`{}`, not `{}`/`{}`",
+                stored.problem, stored.entry, problem.name, problem.entry
+            )));
+        }
+        let inputs = problem.inputs();
+        let mut clusters = Vec::with_capacity(stored.clusters.len());
+        let mut rep_sources = Vec::with_capacity(stored.clusters.len());
+        for cluster in stored.clusters {
+            let representative = AnalyzedProgram::from_text(
+                &cluster.representative,
+                problem.entry,
+                &inputs,
+                config.repair.fuel,
+            )
+            .map_err(|e| StoreError::Analysis(format!("representative of `{}`: {e}", stored.problem)))?;
+            let slots =
+                cluster.expressions.into_iter().map(|slot| (slot.loc, slot.var, slot.exprs)).collect();
+            clusters.push(Cluster::from_parts(representative, cluster.member_ids, slots));
+            rep_sources.push(cluster.representative);
+        }
+        let engine = Clara::restore(problem.entry, inputs, config, clusters, stored.correct_count);
+        Ok(ClusterStore { problem: problem.clone(), engine, rep_sources })
+    }
+
+    /// The index file path for `problem` under `dir`.
+    pub fn index_path(dir: &Path, problem_name: &str) -> PathBuf {
+        dir.join(format!("{problem_name}.clusters.json"))
+    }
+
+    /// Persists the index under `dir` (created if missing); the write is
+    /// atomic (temp file + rename) so a crashed writer never leaves a
+    /// half-written index behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError::Io`] when the directory or file cannot be
+    /// written.
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let path = Self::index_path(dir, self.problem.name);
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Loads the index for `problem` from `dir`. Returns `Ok(None)` when no
+    /// index file exists (a cold start).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the file exists but cannot be read or
+    /// reconstructed.
+    pub fn load(dir: &Path, problem: &Problem, config: ClaraConfig) -> Result<Option<Self>, StoreError> {
+        let path = Self::index_path(dir, problem.name);
+        let json = match std::fs::read_to_string(&path) {
+            Ok(json) => json,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        Self::from_json(&json, problem, config).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clara_corpus::mooc::derivatives;
+
+    fn store_with_seeds() -> ClusterStore {
+        let problem = derivatives();
+        let seeds: Vec<&str> = problem.seeds.clone();
+        let (store, usable) = ClusterStore::build(&problem, seeds, ClaraConfig::default());
+        assert!(usable >= 2);
+        store
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_clusters() {
+        let store = store_with_seeds();
+        let json = store.to_json();
+        let restored = ClusterStore::from_json(&json, &derivatives(), ClaraConfig::default()).unwrap();
+        assert_eq!(restored.stats(), store.stats());
+        assert_eq!(restored.rep_sources, store.rep_sources);
+        // Serialization is deterministic: a restored store serializes to the
+        // identical JSON.
+        assert_eq!(restored.to_json(), json);
+    }
+
+    #[test]
+    fn save_and_load_via_directory() {
+        let dir = std::env::temp_dir().join(format!("clara-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let problem = derivatives();
+        assert!(ClusterStore::load(&dir, &problem, ClaraConfig::default()).unwrap().is_none());
+        let store = store_with_seeds();
+        let path = store.save(&dir).unwrap();
+        assert!(path.exists());
+        let loaded = ClusterStore::load(&dir, &problem, ClaraConfig::default()).unwrap().unwrap();
+        assert_eq!(loaded.stats(), store.stats());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_problem_is_rejected() {
+        let store = store_with_seeds();
+        let json = store.to_json();
+        let other = clara_corpus::mooc::odd_tuples();
+        let err = ClusterStore::from_json(&json, &other, ClaraConfig::default()).unwrap_err();
+        assert!(matches!(err, StoreError::Mismatch(_)), "{err}");
+        let err = ClusterStore::from_json("{]", &derivatives(), ClaraConfig::default()).unwrap_err();
+        assert!(matches!(err, StoreError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn online_insertion_tracks_new_representatives() {
+        let problem = derivatives();
+        let (mut store, _) = ClusterStore::build(&problem, [problem.seeds[0]], ClaraConfig::default());
+        let before = store.engine.clusters().len();
+        assert_eq!(store.rep_sources.len(), before);
+        // Re-inserting the representative joins its own cluster.
+        let index = store.insert_correct(problem.seeds[0]).unwrap();
+        assert!(index < before);
+        assert_eq!(store.rep_sources.len(), before);
+        assert_eq!(store.engine.correct_count(), 2);
+    }
+}

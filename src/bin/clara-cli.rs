@@ -5,14 +5,42 @@
 //! clara-cli grade  <problem> <file>       # run the grading test suite on an attempt
 //! clara-cli repair <problem> <file>       # grade and, if incorrect, print repair feedback
 //! clara-cli clusters <problem> [n]        # cluster a synthetic pool of n correct solutions
+//! clara-cli serve [options] [problem...]  # run the feedback service (NDJSON on stdio)
+//! clara-cli batch <problem> <file...>     # repair many attempts through one shared index
 //! ```
 //!
 //! The `<problem>` argument is one of the nine assignment names from the
 //! paper's Appendix A (see `clara-cli problems`). Attempts are MiniPy files.
+//!
+//! Exit codes (asserted by the integration smoke test): `0` — the attempt is
+//! correct or a repair was found (for `batch`: all attempts), `1` — no
+//! repair was found / the attempt is incorrect or unsupported, `2` — usage,
+//! unknown problem, unreadable file or syntax error.
+//!
+//! ## `serve`
+//!
+//! `serve` builds (or warm-loads, with `--index-dir`) the per-problem
+//! cluster indexes, then answers newline-delimited JSON requests on
+//! stdin/stdout — see `clara_server::protocol` — until EOF. Options:
+//!
+//! * `--index-dir DIR` — persist/load cluster indexes under `DIR` (warm
+//!   start: only cluster representatives are re-analysed);
+//! * `--http ADDR` — additionally serve `POST /repair` / `GET /health` on
+//!   `ADDR` (e.g. `127.0.0.1:8077`);
+//! * `--pool-size N` — correct-solution pool built per problem when no
+//!   stored index exists (default 60);
+//! * `--workers N` / `--queue N` — worker pool sizing;
+//! * `--no-learn` — reject online insertion of correct submissions.
 
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
 use clara::prelude::*;
+use clara_server::{
+    run_ndjson, serve_http, ClusterStore, FeedbackService, Request, Server, ServerConfig, ServiceConfig,
+    Status,
+};
 
 fn usage() -> ExitCode {
     eprintln!("usage:");
@@ -20,6 +48,9 @@ fn usage() -> ExitCode {
     eprintln!("  clara-cli grade  <problem> <attempt.py>");
     eprintln!("  clara-cli repair <problem> <attempt.py>");
     eprintln!("  clara-cli clusters <problem> [pool-size]");
+    eprintln!("  clara-cli serve [--index-dir DIR] [--http ADDR] [--pool-size N]");
+    eprintln!("                  [--workers N] [--queue N] [--no-learn] [problem...]");
+    eprintln!("  clara-cli batch <problem> <attempt.py>...");
     ExitCode::from(2)
 }
 
@@ -48,6 +79,8 @@ fn main() -> ExitCode {
             let pool = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60);
             clusters(&args[1], pool)
         }
+        Some("serve") => serve(&args[1..]),
+        Some("batch") if args.len() >= 3 => batch(&args[1], &args[2..]),
         _ => usage(),
     }
 }
@@ -71,7 +104,7 @@ fn grade(problem_name: &str, path: &str) -> ExitCode {
     match parse_program(&source) {
         Err(err) => {
             println!("syntax error: {err}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
         Ok(parsed) => {
             let report = problem.spec.grade(&parsed);
@@ -93,27 +126,38 @@ fn grade(problem_name: &str, path: &str) -> ExitCode {
     }
 }
 
+/// Builds the correct-solution pool for a problem the way a course would use
+/// its archive: the problem's seeds plus a synthetic expansion.
+fn build_store(problem: &Problem, pool: usize) -> ClusterStore {
+    let dataset = generate_dataset(
+        problem,
+        DatasetConfig { correct_count: pool, incorrect_count: 0, seed: 4242, ..DatasetConfig::default() },
+    );
+    let (store, _) = ClusterStore::build(
+        problem,
+        dataset.correct.iter().map(|a| a.source.as_str()),
+        ClaraConfig::default(),
+    );
+    store
+}
+
 fn repair(problem_name: &str, path: &str) -> ExitCode {
     let Some(problem) = find_problem(problem_name) else {
         eprintln!("unknown problem `{problem_name}` (see `clara-cli problems`)");
         return ExitCode::from(2);
     };
     let Some(source) = load(path) else { return ExitCode::from(2) };
+    if let Err(err) = parse_program(&source) {
+        println!("syntax error: {err}");
+        return ExitCode::from(2);
+    }
     if problem.grade_source(&source) == Some(true) {
         println!("the attempt already passes all tests — nothing to repair");
         return ExitCode::SUCCESS;
     }
 
-    // Build the correct-solution pool from the problem's seeds plus a
-    // synthetic expansion, mirroring how a course would use its archive.
-    let dataset = generate_dataset(
-        &problem,
-        DatasetConfig { correct_count: 60, incorrect_count: 0, seed: 4242, ..DatasetConfig::default() },
-    );
-    let mut engine = Clara::new(problem.entry, problem.inputs(), ClaraConfig::default());
-    for attempt in &dataset.correct {
-        let _ = engine.add_correct_solution(&attempt.source);
-    }
+    let store = build_store(&problem, 60);
+    let engine = store.engine();
     eprintln!(
         "(cluster pool: {} correct solutions in {} clusters)",
         engine.correct_count(),
@@ -126,7 +170,7 @@ fn repair(problem_name: &str, path: &str) -> ExitCode {
             ExitCode::FAILURE
         }
         Ok(outcome) => {
-            match &outcome.result.best {
+            let exit = match &outcome.result.best {
                 Some(found) => {
                     println!(
                         "repair found (cost {}, {} modified expressions, {:.2?}):",
@@ -134,13 +178,17 @@ fn repair(problem_name: &str, path: &str) -> ExitCode {
                         found.modified_expression_count(),
                         outcome.result.elapsed
                     );
+                    ExitCode::SUCCESS
                 }
-                None => println!("no repair found: {:?}", outcome.result.failure),
-            }
+                None => {
+                    println!("no repair found: {:?}", outcome.result.failure);
+                    ExitCode::FAILURE
+                }
+            };
             for line in outcome.feedback.lines() {
                 println!("  * {line}");
             }
-            ExitCode::SUCCESS
+            exit
         }
     }
 }
@@ -150,20 +198,13 @@ fn clusters(problem_name: &str, pool: usize) -> ExitCode {
         eprintln!("unknown problem `{problem_name}` (see `clara-cli problems`)");
         return ExitCode::from(2);
     };
-    let dataset = generate_dataset(
-        &problem,
-        DatasetConfig { correct_count: pool, incorrect_count: 0, seed: 4242, ..DatasetConfig::default() },
-    );
-    let mut engine = Clara::new(problem.entry, problem.inputs(), ClaraConfig::default());
-    for attempt in &dataset.correct {
-        let _ = engine.add_correct_solution(&attempt.source);
-    }
-    let stats = engine.clustering_stats();
+    let store = build_store(&problem, pool);
+    let stats = store.stats();
     println!(
         "{}: {} correct solutions -> {} clusters (largest {}, {} mined expressions)",
         problem.name, stats.program_count, stats.cluster_count, stats.largest_cluster, stats.expression_count
     );
-    for (index, cluster) in engine.clusters().iter().enumerate() {
+    for (index, cluster) in store.engine().clusters().iter().enumerate() {
         println!(
             "  cluster {index:>2}: {:>3} member(s), control flow {}",
             cluster.size(),
@@ -171,4 +212,209 @@ fn clusters(problem_name: &str, pool: usize) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+struct ServeOptions {
+    problems: Vec<String>,
+    index_dir: Option<std::path::PathBuf>,
+    http: Option<String>,
+    pool_size: usize,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    learn: bool,
+}
+
+fn parse_serve_options(args: &[String]) -> Option<ServeOptions> {
+    let mut options = ServeOptions {
+        problems: Vec::new(),
+        index_dir: None,
+        http: None,
+        pool_size: 60,
+        workers: None,
+        queue: None,
+        learn: true,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--index-dir" => options.index_dir = Some(iter.next()?.into()),
+            "--http" => options.http = Some(iter.next()?.clone()),
+            "--pool-size" => options.pool_size = iter.next()?.parse().ok()?,
+            "--workers" => options.workers = Some(iter.next()?.parse().ok()?),
+            "--queue" => options.queue = Some(iter.next()?.parse().ok()?),
+            "--no-learn" => options.learn = false,
+            flag if flag.starts_with("--") => return None,
+            name => options.problems.push(name.to_owned()),
+        }
+    }
+    Some(options)
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let Some(options) = parse_serve_options(args) else { return usage() };
+    let all = clara::corpus::all_problems();
+    let selected: Vec<Problem> = if options.problems.is_empty() {
+        all
+    } else {
+        let mut selected = Vec::new();
+        for name in &options.problems {
+            match all.iter().find(|p| p.name == *name) {
+                Some(problem) => selected.push(problem.clone()),
+                None => {
+                    eprintln!("unknown problem `{name}` (see `clara-cli problems`)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        selected
+    };
+
+    // Bring every shard online: warm-load a stored index when possible,
+    // otherwise build cold from the synthetic archive (and persist for the
+    // next start when an index directory was given).
+    let mut stores = Vec::with_capacity(selected.len());
+    for problem in &selected {
+        let loaded = options.index_dir.as_deref().and_then(|dir| {
+            match ClusterStore::load(dir, problem, ClaraConfig::default()) {
+                Ok(store) => store,
+                Err(err) => {
+                    eprintln!("({}: ignoring stored index: {err})", problem.name);
+                    None
+                }
+            }
+        });
+        let store = match loaded {
+            Some(store) => {
+                eprintln!("({}: warm-loaded {} clusters)", problem.name, store.stats().cluster_count);
+                store
+            }
+            None => {
+                let store = build_store(problem, options.pool_size);
+                if let Some(dir) = options.index_dir.as_deref() {
+                    match store.save(dir) {
+                        Ok(path) => eprintln!("({}: index saved to {})", problem.name, path.display()),
+                        Err(err) => eprintln!("({}: could not save index: {err})", problem.name),
+                    }
+                }
+                eprintln!(
+                    "({}: cold-built {} clusters from {} solutions)",
+                    problem.name,
+                    store.stats().cluster_count,
+                    store.stats().program_count
+                );
+                store
+            }
+        };
+        stores.push(store);
+    }
+
+    let service = Arc::new(FeedbackService::new(
+        stores,
+        ServiceConfig { learn: options.learn, ..ServiceConfig::default() },
+    ));
+    let mut server_config = ServerConfig::default();
+    if let Some(workers) = options.workers {
+        server_config.workers = workers;
+    }
+    if let Some(queue) = options.queue {
+        server_config.queue_capacity = queue;
+    }
+    let mut server = Server::new(Arc::clone(&service), server_config);
+
+    if let Some(addr) = &options.http {
+        match std::net::TcpListener::bind(addr) {
+            Ok(listener) => {
+                eprintln!("(http endpoint on {addr})");
+                let http_service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let _ = serve_http(&http_service, listener);
+                });
+            }
+            Err(err) => {
+                eprintln!("cannot bind `{addr}`: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    eprintln!("(serving NDJSON on stdin/stdout; EOF shuts down)");
+    let stdin = std::io::stdin();
+    let stdout: Arc<Mutex<dyn std::io::Write + Send>> = Arc::new(Mutex::new(std::io::stdout()));
+    if let Err(err) = run_ndjson(&mut server, stdin.lock(), stdout) {
+        eprintln!("serve error: {err}");
+        return ExitCode::FAILURE;
+    }
+    let stats = service.stats();
+    // Persist what was learned online, so the next warm start sees it.
+    if let Some(dir) = options.index_dir.as_deref() {
+        if stats.learned > 0 {
+            match service.save_indexes(dir) {
+                Ok(()) => eprintln!("(re-saved indexes with {} learned solution(s))", stats.learned),
+                Err(err) => eprintln!("(could not re-save indexes: {err})"),
+            }
+        }
+    }
+    eprintln!(
+        "(served {} requests: {} cache hits, {} repaired, {} correct, {} no-repair, {} errors, {} learned)",
+        stats.requests,
+        stats.cache_hits,
+        stats.repaired,
+        stats.correct,
+        stats.no_repair,
+        stats.errors,
+        stats.learned
+    );
+    ExitCode::SUCCESS
+}
+
+fn batch(problem_name: &str, paths: &[String]) -> ExitCode {
+    let Some(problem) = find_problem(problem_name) else {
+        eprintln!("unknown problem `{problem_name}` (see `clara-cli problems`)");
+        return ExitCode::from(2);
+    };
+    let store = build_store(&problem, 60);
+    let service = FeedbackService::new(vec![store], ServiceConfig::default());
+
+    // Exit-code contract (module docs): 2 — unreadable/unparseable attempts,
+    // else 1 — attempts without a repair, else 0.
+    let mut errored = 0usize;
+    let mut unrepaired = 0usize;
+    for (index, path) in paths.iter().enumerate() {
+        let Some(source) = load(path) else {
+            errored += 1;
+            continue;
+        };
+        let response = service.handle(&Request {
+            id: index as u64,
+            problem: problem.name.to_owned(),
+            source,
+            learn: None,
+        });
+        let summary = match response.status {
+            Status::Correct => "correct".to_owned(),
+            Status::Repaired => format!(
+                "repaired (cost {}, {} suggestion(s)){}",
+                response.cost.unwrap_or(0),
+                response.feedback.len(),
+                if response.cache_hit { ", cached" } else { "" }
+            ),
+            Status::NoRepair => {
+                unrepaired += 1;
+                "no repair found".to_owned()
+            }
+            Status::Error => {
+                errored += 1;
+                format!("error: {}", response.error.as_deref().unwrap_or("unknown"))
+            }
+        };
+        println!("{path}: {summary}");
+        let _ = std::io::stdout().flush();
+    }
+    if errored > 0 {
+        ExitCode::from(2)
+    } else if unrepaired > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -21,7 +21,8 @@
 //! | [`ilp`] | exact 0-1 ILP branch-and-bound solver (Definition 5.5) |
 //! | [`core`] | matching, clustering, repair and feedback (§4–§5, the paper's contribution) |
 //! | [`autograder`] | the AutoGrader-style rewrite-rule baseline (§6.2.1) |
-//! | [`corpus`] | the synthetic student-submission corpus (assignments of Appendix A) |
+//! | [`corpus`] | the synthetic student-submission corpus (assignments of Appendix A) and the serving traffic model |
+//! | [`server`] | the serving layer: persistent cluster index, result cache, worker pool, NDJSON/HTTP front ends |
 //!
 //! ## Quick start
 //!
@@ -58,6 +59,7 @@ pub use clara_corpus as corpus;
 pub use clara_ilp as ilp;
 pub use clara_lang as lang;
 pub use clara_model as model;
+pub use clara_server as server;
 pub use clara_ted as ted;
 
 /// The most commonly used types, re-exported for convenience.

@@ -1,0 +1,147 @@
+//! Integration smoke test of the serving front end: spawns the real
+//! `clara-cli` binary, drives the NDJSON protocol over its stdio, and
+//! asserts the meaningful exit codes of the one-shot subcommands.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+use clara_server::{Response, Status};
+
+const CLI: &str = env!("CARGO_BIN_EXE_clara-cli");
+
+const CORRECT: &str = "\
+def computeDeriv(poly):
+    result = []
+    for e in range(1, len(poly)):
+        result.append(float(poly[e]*e))
+    if result == []:
+        return [0.0]
+    else:
+        return result
+";
+
+const INCORRECT: &str = "\
+def computeDeriv(poly):
+    new = []
+    for i in xrange(1,len(poly)):
+        new.append(float(i*poly[i]))
+    if new==[]:
+        return 0.0
+    return new
+";
+
+/// §6.2 (1): no correct solution shares this nested-loop control flow, so no
+/// repair exists.
+const NO_REPAIR: &str = "\
+def computeDeriv(poly):
+    result = []
+    for i in range(len(poly)):
+        for j in range(i):
+            for k in range(j):
+                result.append(float(poly[i]))
+    return result
+";
+
+const GARBAGE: &str = "def broken(:\n    return ][\n";
+
+fn request_line(id: u64, source: &str) -> String {
+    serde_json::to_string(&clara_server::Request {
+        id,
+        problem: "derivatives".to_owned(),
+        source: source.to_owned(),
+        learn: None,
+    })
+    .unwrap()
+}
+
+#[test]
+fn serve_answers_ndjson_requests_and_shuts_down_cleanly() {
+    let mut child = Command::new(CLI)
+        .args(["serve", "derivatives", "--pool-size", "12", "--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning clara-cli serve");
+
+    {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        for (id, source) in [(1u64, CORRECT), (2, INCORRECT), (3, GARBAGE)] {
+            writeln!(stdin, "{}", request_line(id, source)).expect("writing request");
+        }
+    }
+    // Closing stdin is the shutdown signal (EOF after in-flight jobs drain).
+    drop(child.stdin.take());
+
+    let stdout = child.stdout.take().expect("piped stdout");
+    let responses: Vec<Response> = BufReader::new(stdout)
+        .lines()
+        .map(|line| {
+            let line = line.expect("reading response line");
+            serde_json::from_str(&line).unwrap_or_else(|e| panic!("malformed response `{line}`: {e}"))
+        })
+        .collect();
+    assert_eq!(responses.len(), 3, "one response per request");
+
+    let by_id = |id: u64| {
+        responses
+            .iter()
+            .find(|r| r.id == id)
+            .unwrap_or_else(|| panic!("no response with id {id}: {responses:?}"))
+    };
+    assert_eq!(by_id(1).status, Status::Correct);
+    let repaired = by_id(2);
+    assert_eq!(repaired.status, Status::Repaired);
+    assert!(!repaired.feedback.is_empty(), "repair feedback must not be empty");
+    assert!(repaired.cost.unwrap_or(0) > 0);
+    let garbage = by_id(3);
+    assert_eq!(garbage.status, Status::Error);
+    assert!(garbage.error.as_deref().unwrap_or("").contains("syntax error"), "{garbage:?}");
+
+    let status = child.wait().expect("waiting for clara-cli serve");
+    assert!(status.success(), "serve must exit 0 on EOF, got {status:?}");
+}
+
+fn run_repair(source: &str) -> i32 {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("clara-smoke-{}-{:x}.py", std::process::id(), source.len()));
+    std::fs::write(&path, source).expect("writing attempt file");
+    let status = Command::new(CLI)
+        .args(["repair", "derivatives"])
+        .arg(&path)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("running clara-cli repair");
+    let _ = std::fs::remove_file(&path);
+    status.code().expect("exit code")
+}
+
+#[test]
+fn repair_exit_codes_are_meaningful() {
+    // 0 — a repair was found (and also for already-correct attempts).
+    assert_eq!(run_repair(INCORRECT), 0);
+    assert_eq!(run_repair(CORRECT), 0);
+    // 1 — analysable but no repair exists.
+    assert_eq!(run_repair(NO_REPAIR), 1);
+    // 2 — the attempt does not parse.
+    assert_eq!(run_repair(GARBAGE), 2);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let status = Command::new(CLI)
+        .args(["frobnicate"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("running clara-cli");
+    assert_eq!(status.code(), Some(2));
+    let status = Command::new(CLI)
+        .args(["repair", "no-such-problem", "/dev/null"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("running clara-cli");
+    assert_eq!(status.code(), Some(2));
+}

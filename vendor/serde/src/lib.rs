@@ -2,8 +2,9 @@
 //!
 //! The build environment has no crates.io access, so the workspace vendors a
 //! minimal API-compatible subset: a [`Serialize`] trait over a simple
-//! self-describing [`Content`] tree, the matching derive macros, and a marker
-//! [`Deserialize`] trait (nothing in this workspace deserializes).
+//! self-describing [`Content`] tree, a matching [`Deserialize`] trait that
+//! reads values back out of a [`Content`] tree (used by `serde_json::from_str`
+//! for the persistent cluster index), and the derive macros for both.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -35,9 +36,212 @@ pub trait Serialize {
     fn to_content(&self) -> Content;
 }
 
-/// Marker trait matching serde's `Deserialize`; derived but never used in
-/// this workspace (nothing deserializes).
-pub trait Deserialize: Sized {}
+impl Content {
+    /// The entries of a JSON object, or `None` for any other shape.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The items of a JSON array, or `None` for any other shape.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, or `None` for any other shape.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short shape name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds the standard "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Content) -> DeError {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can be reconstructed from a [`Content`] tree (the analogue of
+/// serde's `Deserialize`, monomorphic in the data model).
+pub trait Deserialize: Sized {
+    /// Reads a value out of the serialization data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the content shape does not match `Self`.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Looks up a struct field by name and deserializes it; missing fields see
+/// [`Content::Null`] (so `Option` fields default to `None`).
+///
+/// # Errors
+///
+/// Propagates the field's own [`DeError`], prefixed with the field name.
+pub fn field<T: Deserialize>(entries: &[(String, Content)], name: &str) -> Result<T, DeError> {
+    let content =
+        entries.iter().find(|(key, _)| key == name).map(|(_, value)| value).unwrap_or(&Content::Null);
+    T::from_content(content).map_err(|e| DeError(format!("field `{name}`: {e}")))
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let value: i128 = match content {
+                    Content::I64(n) => i128::from(*n),
+                    Content::U64(n) => i128::from(*n),
+                    // Integral floats round-trip as integers (JSON has one
+                    // number type).
+                    Content::F64(x) if *x == x.trunc() && x.abs() < 9.0e18 => *x as i128,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(value)
+                    .map_err(|_| DeError(format!("integer {value} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(x) => Ok(*x),
+            Content::I64(n) => Ok(*n as f64),
+            Content::U64(n) => Ok(*n as f64),
+            // `serde_json` writes non-finite floats as `null`.
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) if items.len() == 2 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+            }
+            other => Err(DeError::expected("2-element array", other)),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) if items.len() == 3 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?, C::from_content(&items[2])?))
+            }
+            other => Err(DeError::expected("3-element array", other)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_content(v)?))).collect()
+            }
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_content(v)?))).collect()
+            }
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
 
 macro_rules! impl_serialize_signed {
     ($($t:ty),*) => {$(

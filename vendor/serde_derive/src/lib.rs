@@ -30,12 +30,48 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-/// Derives the marker trait `serde::Deserialize`.
+/// Derives `serde::Deserialize` from the simplified `Content` data model.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
-        Ok(parsed) => format!("impl ::serde::Deserialize for {} {{}}", parsed.name).parse().unwrap(),
+        Ok(parsed) => render_deserialize(&parsed).parse().unwrap(),
         Err(message) => compile_error(&message),
+    }
+}
+
+fn render_deserialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    match &parsed.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> =
+                fields.iter().map(|f| format!("{f}: ::serde::field(entries, {f:?})?")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let entries = content.as_map().ok_or_else(|| ::serde::DeError::expected(concat!(\"object for struct `\", stringify!({name}), \"`\"), content))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> =
+                variants.iter().map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let text = content.as_str().ok_or_else(|| ::serde::DeError::expected(concat!(\"string for enum `\", stringify!({name}), \"`\"), content))?;\n\
+                         match text {{\n\
+                             {},\n\
+                             other => ::std::result::Result::Err(::serde::DeError(format!(\n\
+                                 \"unknown variant `{{other}}` of enum `{{}}`\", stringify!({name})))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n                             ")
+            )
+        }
     }
 }
 

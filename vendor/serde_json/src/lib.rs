@@ -1,10 +1,11 @@
 //! Offline stand-in for `serde_json`: serializes the vendored `serde`
-//! data model ([`serde::Content`]) to JSON text. Only the serialization half
-//! is provided; nothing in this workspace deserializes JSON.
+//! data model ([`serde::Content`]) to JSON text and parses JSON text back
+//! into it ([`from_str`], used by the persistent cluster index and the
+//! feedback-service wire protocol).
 
 use std::fmt;
 
-use serde::{Content, Serialize};
+use serde::{Content, Deserialize, Serialize};
 
 /// Serialization error (the vendored subset is infallible in practice, the
 /// type exists for API compatibility).
@@ -32,6 +33,239 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_content(&mut out, &value.to_content(), Some("  "), 0);
     Ok(out)
+}
+
+/// Parses a JSON text into a `T`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or when the parsed value does not
+/// match the shape of `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let content = parse_content(text)?;
+    T::from_content(&content).map_err(|e| Error(e.to_string()))
+}
+
+/// Parses a JSON text into the raw [`Content`] data model.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first malformed construct.
+pub fn parse_content(text: &str) -> Result<Content, Error> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> Error {
+        Error(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Content::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.parse_hex4()?;
+                            // Surrogate pairs encode astral-plane characters.
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let second = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(first)
+                            };
+                            out.push(c.ok_or_else(|| self.error("invalid unicode escape"))?);
+                            // parse_hex4 leaves pos on the byte after the
+                            // escape; skip the shared `pos += 1` below.
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded character (the input is a
+                    // &str, so byte boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let c = std::str::from_utf8(rest)
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| self.error("invalid utf-8 in string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let digits =
+            std::str::from_utf8(&self.bytes[self.pos..end]).map_err(|_| self.error("invalid \\u escape"))?;
+        let value = u32::from_str_radix(digits, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(value)
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(if n >= 0 { Content::U64(n as u64) } else { Content::I64(n) });
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Content::U64(n));
+            }
+        }
+        text.parse::<f64>().map(Content::F64).map_err(|_| self.error("invalid number"))
+    }
 }
 
 fn write_content(out: &mut String, content: &Content, indent: Option<&str>, level: usize) {
@@ -135,6 +369,55 @@ mod tests {
         assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
         assert_eq!(to_string("a\"b\nc").unwrap(), "\"a\\\"b\\nc\"");
         assert_eq!(to_string(&Option::<usize>::None).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse_content("null").unwrap(), Content::Null);
+        assert_eq!(parse_content("true").unwrap(), Content::Bool(true));
+        assert_eq!(parse_content(" 42 ").unwrap(), Content::U64(42));
+        assert_eq!(parse_content("-7").unwrap(), Content::I64(-7));
+        assert_eq!(parse_content("1.5").unwrap(), Content::F64(1.5));
+        assert_eq!(parse_content("1.0").unwrap(), Content::F64(1.0));
+        assert_eq!(parse_content("1e3").unwrap(), Content::F64(1000.0));
+        assert_eq!(parse_content("\"a\\nb\"").unwrap(), Content::Str("a\nb".to_owned()));
+        assert_eq!(parse_content("\"\\u00e9\\ud83d\\ude00\"").unwrap(), Content::Str("é😀".to_owned()));
+    }
+
+    #[test]
+    fn parse_compounds() {
+        assert_eq!(
+            parse_content("[1, [2], {}]").unwrap(),
+            Content::Seq(vec![Content::U64(1), Content::Seq(vec![Content::U64(2)]), Content::Map(vec![])])
+        );
+        assert_eq!(
+            parse_content("{\"a\": [true], \"b\": null}").unwrap(),
+            Content::Map(vec![
+                ("a".to_owned(), Content::Seq(vec![Content::Bool(true)])),
+                ("b".to_owned(), Content::Null),
+            ])
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in ["", "{", "[1,", "tru", "\"abc", "{\"a\" 1}", "1 2", "{\"a\":}", "nul"] {
+            assert!(parse_content(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let values: Vec<(String, Vec<u64>)> = vec![("a\"b".to_owned(), vec![1, 2]), ("⋄".to_owned(), vec![])];
+        let json = to_string(&values).unwrap();
+        let back: Vec<(String, Vec<u64>)> = from_str(&json).unwrap();
+        assert_eq!(values, back);
+        let floats = vec![0.1, 1.0, -2.5e-3, f64::MAX];
+        let back: Vec<f64> = from_str(&to_string(&floats).unwrap()).unwrap();
+        assert_eq!(floats, back);
+        let opt: Vec<Option<i64>> = vec![Some(-3), None];
+        let back: Vec<Option<i64>> = from_str(&to_string(&opt).unwrap()).unwrap();
+        assert_eq!(opt, back);
     }
 
     #[test]
