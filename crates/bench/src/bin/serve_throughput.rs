@@ -157,6 +157,7 @@ fn main() {
             let request = Request {
                 id: attempt.id as u64,
                 problem: dataset.problem.name.to_owned(),
+                lang: None,
                 source: attempt.source.clone(),
                 learn: None,
             };
@@ -190,6 +191,7 @@ fn main() {
                 Request {
                     id: request.id as u64,
                     problem: request.problem.clone(),
+                    lang: Some(request.lang.clone()),
                     source: request.source.clone(),
                     learn: None,
                 },

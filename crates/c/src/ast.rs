@@ -1,0 +1,239 @@
+//! Abstract syntax trees of MiniC programs.
+//!
+//! MiniC reuses the shared expression type [`clara_lang::Expr`] — the same
+//! type the program model's update expressions use — so the parser produces
+//! model-ready expression trees directly (`&&` becomes [`BinOp::And`],
+//! `c ? a : b` becomes the model's `ite(...)` call, and so on). Only the
+//! statement layer is C-specific.
+
+use clara_lang::ast::{Expr, Target};
+use clara_lang::BinOp;
+
+/// A MiniC value type (the subset has no pointers; arrays appear only as
+/// parameter markers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CType {
+    /// `int`
+    Int,
+    /// `float` (also accepted: `double`)
+    Float,
+    /// `void` (return type only)
+    Void,
+}
+
+impl CType {
+    /// The C keyword of the type.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            CType::Int => "int",
+            CType::Float => "float",
+            CType::Void => "void",
+        }
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CParam {
+    /// Parameter name.
+    pub name: String,
+    /// Element type.
+    pub ty: CType,
+    /// Whether the parameter is an array (`int xs[]`).
+    pub array: bool,
+}
+
+/// A MiniC statement. Every statement carries the 1-based source line it
+/// starts on so that generated feedback can point at concrete locations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CStmt {
+    /// A local declaration `int x;` or `int x = e;` (one declarator; the
+    /// parser splits comma lists into one statement each).
+    Decl {
+        /// Declared variable.
+        name: String,
+        /// Declared type.
+        ty: CType,
+        /// Initialiser, if any.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `target = value;`, or an augmented assignment when `op` is `Some`
+    /// (`x += e;`, `a[i] *= e;`, and the desugared `x++;`/`x--;`).
+    Assign {
+        /// Assignment target.
+        target: Target,
+        /// Augmented-assignment operator, if any.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) {...} else {...}` (an `else if` chain is nested in
+    /// `else_body`).
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Statements of the then branch.
+        then_body: Vec<CStmt>,
+        /// Statements of the else branch (possibly empty).
+        else_body: Vec<CStmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `while (cond) {...}`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<CStmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `for (init; cond; step) {...}`; any of the three headers may be
+    /// empty. `init` is a declaration or assignment, `step` an assignment.
+    For {
+        /// Loop initialiser.
+        init: Option<Box<CStmt>>,
+        /// Loop condition (`None` = always true).
+        cond: Option<Expr>,
+        /// Loop step.
+        step: Option<Box<CStmt>>,
+        /// Loop body.
+        body: Vec<CStmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `return e;` / `return;`
+    Return {
+        /// Returned expression, if any.
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `printf(fmt, args...);` — the observable output of a MiniC program.
+    Printf {
+        /// The format string (verbatim, with `%d`/`%f`/`%s` specifiers).
+        format: String,
+        /// The arguments consumed by the specifiers.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// A bare expression statement with no model effect.
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `break;`
+    Break {
+        /// Source line.
+        line: u32,
+    },
+    /// `continue;`
+    Continue {
+        /// Source line.
+        line: u32,
+    },
+    /// An empty statement `;`.
+    Empty {
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl CStmt {
+    /// The 1-based source line the statement starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            CStmt::Decl { line, .. }
+            | CStmt::Assign { line, .. }
+            | CStmt::If { line, .. }
+            | CStmt::While { line, .. }
+            | CStmt::For { line, .. }
+            | CStmt::Return { line, .. }
+            | CStmt::Printf { line, .. }
+            | CStmt::ExprStmt { line, .. }
+            | CStmt::Break { line }
+            | CStmt::Continue { line }
+            | CStmt::Empty { line } => *line,
+        }
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CFunction {
+    /// Function name.
+    pub name: String,
+    /// Declared return type.
+    pub ret: CType,
+    /// Parameters, in declaration order.
+    pub params: Vec<CParam>,
+    /// Function body.
+    pub body: Vec<CStmt>,
+    /// Source line of the function header.
+    pub line: u32,
+}
+
+impl CFunction {
+    /// The parameter names, in order.
+    pub fn param_names(&self) -> Vec<String> {
+        self.params.iter().map(|p| p.name.clone()).collect()
+    }
+}
+
+/// A parsed MiniC source file: a sequence of function definitions
+/// (preprocessor lines and comments are discarded by the lexer).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CProgram {
+    /// The function definitions, in source order.
+    pub functions: Vec<CFunction>,
+}
+
+impl CProgram {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&CFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Total number of expression AST nodes in the program (the "AST size"
+    /// measure shared with MiniPy: statements count 1 plus their
+    /// expressions).
+    pub fn ast_size(&self) -> usize {
+        fn stmt_size(stmt: &CStmt) -> usize {
+            match stmt {
+                CStmt::Decl { init, .. } => 1 + init.as_ref().map(Expr::size).unwrap_or(0),
+                CStmt::Assign { target, value, .. } => {
+                    1 + value.size()
+                        + match target {
+                            Target::Index(_, idx) => idx.size(),
+                            Target::Name(_) => 0,
+                        }
+                }
+                CStmt::If { cond, then_body, else_body, .. } => {
+                    1 + cond.size() + block_size(then_body) + block_size(else_body)
+                }
+                CStmt::While { cond, body, .. } => 1 + cond.size() + block_size(body),
+                CStmt::For { init, cond, step, body, .. } => {
+                    1 + init.as_deref().map(stmt_size).unwrap_or(0)
+                        + cond.as_ref().map(Expr::size).unwrap_or(0)
+                        + step.as_deref().map(stmt_size).unwrap_or(0)
+                        + block_size(body)
+                }
+                CStmt::Return { value, .. } => 1 + value.as_ref().map(Expr::size).unwrap_or(0),
+                CStmt::Printf { args, .. } => 1 + args.iter().map(Expr::size).sum::<usize>(),
+                CStmt::ExprStmt { expr, .. } => expr.size(),
+                CStmt::Break { .. } | CStmt::Continue { .. } | CStmt::Empty { .. } => 1,
+            }
+        }
+        fn block_size(stmts: &[CStmt]) -> usize {
+            stmts.iter().map(stmt_size).sum()
+        }
+        self.functions.iter().map(|f| 1 + block_size(&f.body)).sum()
+    }
+}

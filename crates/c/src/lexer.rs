@@ -1,0 +1,285 @@
+//! A hand-written lexer for MiniC.
+//!
+//! Comments (`//`, `/* */`) and preprocessor lines (`#include <stdio.h>` and
+//! friends) are discarded; every token carries the 1-based source line it
+//! starts on.
+
+use std::fmt;
+
+/// A MiniC token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A double-quoted string literal (escapes already resolved).
+    Str(String),
+    /// Any punctuation or operator (`"("`, `"&&"`, `"+="`, ...).
+    Punct(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(name) => write!(f, "`{name}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Float(v) => write!(f, "`{v}`"),
+            Tok::Str(_) => write!(f, "a string literal"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+        }
+    }
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexing error (unterminated comment/string, stray character).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description of the problem.
+    pub message: String,
+}
+
+/// The multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] =
+    &["<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "++", "--"];
+
+const SINGLE_PUNCT: &[(char, &str)] = &[
+    ('(', "("),
+    (')', ")"),
+    ('{', "{"),
+    ('}', "}"),
+    ('[', "["),
+    (']', "]"),
+    (';', ";"),
+    (',', ","),
+    ('+', "+"),
+    ('-', "-"),
+    ('*', "*"),
+    ('/', "/"),
+    ('%', "%"),
+    ('=', "="),
+    ('<', "<"),
+    ('>', ">"),
+    ('!', "!"),
+    ('?', "?"),
+    (':', ":"),
+    ('&', "&"),
+    ('|', "|"),
+];
+
+/// Tokenises MiniC source text.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated strings/comments and characters
+/// outside the language.
+pub fn lex(source: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut at_line_start = true;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            at_line_start = true;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Preprocessor lines are skipped wholesale.
+        if c == '#' && at_line_start {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        at_line_start = false;
+        // Comments.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            i += 2;
+            loop {
+                match (chars.get(i), chars.get(i + 1)) {
+                    (Some('*'), Some('/')) => {
+                        i += 2;
+                        break;
+                    }
+                    (Some('\n'), _) => {
+                        line += 1;
+                        i += 1;
+                    }
+                    (Some(_), _) => i += 1,
+                    (None, _) => {
+                        return Err(LexError {
+                            line: start_line,
+                            message: "unterminated /* comment".to_owned(),
+                        });
+                    }
+                }
+            }
+            continue;
+        }
+        // String literals.
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            let mut text = String::new();
+            loop {
+                match chars.get(i) {
+                    Some('"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some('\\') => {
+                        let escaped = match chars.get(i + 1) {
+                            Some('n') => '\n',
+                            Some('t') => '\t',
+                            Some('\\') => '\\',
+                            Some('"') => '"',
+                            Some('0') => '\0',
+                            Some(other) => *other,
+                            None => {
+                                return Err(LexError {
+                                    line: start_line,
+                                    message: "unterminated string literal".to_owned(),
+                                });
+                            }
+                        };
+                        text.push(escaped);
+                        i += 2;
+                    }
+                    Some('\n') | None => {
+                        return Err(LexError {
+                            line: start_line,
+                            message: "unterminated string literal".to_owned(),
+                        });
+                    }
+                    Some(other) => {
+                        text.push(*other);
+                        i += 1;
+                    }
+                }
+            }
+            out.push(SpannedTok { tok: Tok::Str(text), line: start_line });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if chars.get(i) == Some(&'.') && chars.get(i + 1).map(|d| d.is_ascii_digit()).unwrap_or(false) {
+                is_float = true;
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            let tok =
+                if is_float {
+                    Tok::Float(text.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("malformed float literal `{text}`"),
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("integer literal `{text}` out of range"),
+                    })?)
+                };
+            out.push(SpannedTok { tok, line });
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            out.push(SpannedTok { tok: Tok::Ident(text), line });
+            continue;
+        }
+        // Operators, longest first.
+        let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+        if let Some(p) = MULTI_PUNCT.iter().find(|p| rest.starts_with(**p)) {
+            out.push(SpannedTok { tok: Tok::Punct(p), line });
+            i += p.len();
+            continue;
+        }
+        if let Some((_, p)) = SINGLE_PUNCT.iter().find(|(ch, _)| *ch == c) {
+            out.push(SpannedTok { tok: Tok::Punct(p), line });
+            i += 1;
+            continue;
+        }
+        return Err(LexError { line, message: format!("unexpected character `{c}`") });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_function_header() {
+        let toks = lex("#include <stdio.h>\nint fib(int k) { // loop\n  return k; }").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert_eq!(kinds[0], &Tok::Ident("int".to_owned()));
+        assert_eq!(kinds[1], &Tok::Ident("fib".to_owned()));
+        assert!(toks.iter().any(|t| t.tok == Tok::Punct(";")));
+        // `return` is on line 3 (the #include took line 1).
+        let ret = toks.iter().find(|t| t.tok == Tok::Ident("return".to_owned())).unwrap();
+        assert_eq!(ret.line, 3);
+    }
+
+    #[test]
+    fn lexes_operators_maximal_munch() {
+        let toks = lex("a <= b && c++ + d == e").unwrap();
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Punct(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["<=", "&&", "++", "+", "=="]);
+    }
+
+    #[test]
+    fn lexes_literals_and_strings() {
+        let toks = lex("printf(\"n=%d\\n\", 3.5);").unwrap();
+        assert!(toks.iter().any(|t| t.tok == Tok::Str("n=%d\n".to_owned())));
+        assert!(toks.iter().any(|t| t.tok == Tok::Float(3.5)));
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("int x = `bad`;").is_err());
+    }
+}

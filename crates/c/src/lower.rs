@@ -1,0 +1,376 @@
+//! Desugaring of MiniC into the language-neutral surface IR.
+//!
+//! MiniC statements map onto the same surface statements the MiniPy frontend
+//! uses, so the [`ModelBuilder`] produces structurally identical model
+//! programs for structurally identical algorithms — the property the
+//! cross-language parity tests assert:
+//!
+//! * declarations with an initialiser become assignments, bare declarations
+//!   become `Nop`s (reads before the first write evaluate to `⊥`, matching
+//!   C's undefined-before-initialisation),
+//! * `x op= e`, `x++`, `a[i] = e` desugar exactly like their MiniPy
+//!   counterparts (`store` for index writes),
+//! * `for (init; cond; step)` is C sugar for `init; while (cond) { body;
+//!   step; }` — `continue` directly inside such a body is rejected, because
+//!   the model's `continue` would skip the step C still executes,
+//! * `printf(fmt, args)` splits the format string into literal chunks and
+//!   `%`-conversions, becoming one `Output` statement.
+
+use clara_lang::ast::{Expr, Lit, Target};
+use clara_model::builder::ModelBuilder;
+use clara_model::surface::{SurfaceFunction, SurfaceStmt};
+use clara_model::{LowerError, Program};
+
+use crate::ast::{CFunction, CProgram, CStmt};
+
+/// Lowers the entry function of a parsed MiniC program into the Clara model.
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] when the entry function is missing or the
+/// program uses a construct the model does not support (helper functions,
+/// `continue` inside a `for` body, `break` under nested loops, ...).
+pub fn lower_entry(program: &CProgram, entry: &str) -> Result<Program, LowerError> {
+    let function = program
+        .function(entry)
+        .ok_or_else(|| LowerError::new(1, format!("entry function `{entry}` is not defined")))?;
+    if program.functions.len() > 1 {
+        return Err(LowerError::new(
+            program.functions[1].line,
+            "helper function definitions are not supported by the program model",
+        ));
+    }
+    lower_function(function)
+}
+
+/// Lowers a single MiniC function into the Clara model.
+///
+/// # Errors
+///
+/// See [`lower_entry`].
+pub fn lower_function(function: &CFunction) -> Result<Program, LowerError> {
+    ModelBuilder::build(&surface_function(function)?)
+}
+
+/// Desugars a MiniC function into the language-neutral surface IR.
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] for MiniC constructs without a surface-IR
+/// meaning (`continue` in a `for` body, unsupported printf conversions).
+pub fn surface_function(function: &CFunction) -> Result<SurfaceFunction, LowerError> {
+    Ok(SurfaceFunction {
+        name: function.name.clone(),
+        params: function.param_names(),
+        body: surface_stmts(&function.body)?,
+        line: function.line,
+    })
+}
+
+fn surface_stmts(stmts: &[CStmt]) -> Result<Vec<SurfaceStmt>, LowerError> {
+    let mut out = Vec::new();
+    for stmt in stmts {
+        surface_stmt(stmt, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn surface_stmt(stmt: &CStmt, out: &mut Vec<SurfaceStmt>) -> Result<(), LowerError> {
+    match stmt {
+        CStmt::Decl { name, init, line, .. } => match init {
+            Some(expr) => {
+                out.push(SurfaceStmt::Assign { var: name.clone(), value: expr.clone(), line: *line });
+            }
+            None => out.push(SurfaceStmt::Nop { line: *line }),
+        },
+        CStmt::Assign { target, op, value, line } => out.push(assignment(target, *op, value, *line)),
+        CStmt::If { cond, then_body, else_body, line } => out.push(SurfaceStmt::If {
+            cond: cond.clone(),
+            then_body: surface_stmts(then_body)?,
+            else_body: surface_stmts(else_body)?,
+            line: *line,
+        }),
+        CStmt::While { cond, body, line } => {
+            out.push(SurfaceStmt::While { cond: cond.clone(), body: surface_stmts(body)?, line: *line })
+        }
+        CStmt::For { init, cond, step, body, line } => {
+            if contains_direct_continue(body) {
+                return Err(LowerError::new(
+                    *line,
+                    "continue inside a for loop is not supported (it would skip the loop step)",
+                ));
+            }
+            if let Some(init) = init {
+                surface_stmt(init, out)?;
+            }
+            let mut loop_body = surface_stmts(body)?;
+            if let Some(step) = step {
+                surface_stmt(step, &mut loop_body)?;
+            }
+            let cond = cond.clone().unwrap_or(Expr::Lit(Lit::Bool(true)));
+            out.push(SurfaceStmt::While { cond, body: loop_body, line: *line });
+        }
+        CStmt::Return { value, line } => {
+            let value = value.clone().unwrap_or(Expr::Lit(Lit::None));
+            out.push(SurfaceStmt::Return { value, line: *line });
+        }
+        CStmt::Printf { format, args, line } => {
+            out.push(SurfaceStmt::Output { pieces: printf_pieces(format, args, *line)?, line: *line });
+        }
+        CStmt::ExprStmt { line, .. } | CStmt::Empty { line } => {
+            // No observable effect in the model (runtime errors of dropped
+            // calls are outside the MiniC subset).
+            out.push(SurfaceStmt::Nop { line: *line });
+        }
+        CStmt::Break { line } => out.push(SurfaceStmt::Break { line: *line }),
+        CStmt::Continue { line } => out.push(SurfaceStmt::Continue { line: *line }),
+    }
+    Ok(())
+}
+
+fn assignment(target: &Target, op: Option<clara_lang::BinOp>, value: &Expr, line: u32) -> SurfaceStmt {
+    match target {
+        Target::Name(name) => {
+            let rhs = match op {
+                Some(binop) => Expr::bin(binop, Expr::var(name.clone()), value.clone()),
+                None => value.clone(),
+            };
+            SurfaceStmt::Assign { var: name.clone(), value: rhs, line }
+        }
+        Target::Index(name, index) => {
+            let stored = match op {
+                Some(binop) => Expr::bin(
+                    binop,
+                    Expr::Index(Box::new(Expr::var(name.clone())), Box::new(index.clone())),
+                    value.clone(),
+                ),
+                None => value.clone(),
+            };
+            let store = Expr::call("store", vec![Expr::var(name.clone()), index.clone(), stored]);
+            SurfaceStmt::Assign { var: name.clone(), value: store, line }
+        }
+    }
+}
+
+/// Splits a printf format string into `Output` pieces: literal chunks stay
+/// literal, `%d`/`%i`/`%f`/`%g`/`%s` consume one argument each (as `str(arg)`
+/// — formatting is `str`-style, self-consistent across the whole pipeline),
+/// and `%%` is a literal percent sign.
+fn printf_pieces(format: &str, args: &[Expr], line: u32) -> Result<Vec<Expr>, LowerError> {
+    let mut pieces = Vec::new();
+    let mut literal = String::new();
+    let mut remaining = args.iter();
+    let mut chars = format.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            literal.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('%') => literal.push('%'),
+            Some(spec @ ('d' | 'i' | 'f' | 'g' | 's')) => {
+                let arg = remaining.next().ok_or_else(|| {
+                    LowerError::new(
+                        line,
+                        format!("printf format has more conversions than arguments (%{spec})"),
+                    )
+                })?;
+                if !literal.is_empty() {
+                    pieces.push(Expr::str(std::mem::take(&mut literal)));
+                }
+                pieces.push(Expr::call("str", vec![arg.clone()]));
+            }
+            Some(other) => {
+                return Err(LowerError::new(line, format!("unsupported printf conversion `%{other}`")));
+            }
+            None => {
+                return Err(LowerError::new(line, "printf format ends in a bare `%`"));
+            }
+        }
+    }
+    if remaining.next().is_some() {
+        return Err(LowerError::new(line, "printf has more arguments than format conversions"));
+    }
+    if !literal.is_empty() {
+        pieces.push(Expr::str(literal));
+    }
+    Ok(pieces)
+}
+
+fn contains_direct_continue(stmts: &[CStmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        CStmt::Continue { .. } => true,
+        CStmt::If { then_body, else_body, .. } => {
+            contains_direct_continue(then_body) || contains_direct_continue(else_body)
+        }
+        // continue inside a nested loop belongs to that loop.
+        CStmt::While { .. } | CStmt::For { .. } => false,
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_c_program;
+    use clara_lang::Value;
+    use clara_model::{execute, Fuel, StructSig, TraceStatus};
+
+    const FIB_C: &str = "\
+int fib(int k) {
+    int a = 1;
+    int b = 1;
+    int n = 1;
+    while (b <= k) {
+        int c = a + b;
+        a = b;
+        b = c;
+        n = n + 1;
+    }
+    printf(\"%d\\n\", n);
+    return 0;
+}
+";
+
+    #[test]
+    fn fib_lowers_and_runs() {
+        let program = parse_c_program(FIB_C).unwrap();
+        let model = lower_entry(&program, "fib").unwrap();
+        assert_eq!(StructSig::sequence_key(&model.signature), "BL(B)B");
+        let trace = execute(&model, &[Value::Int(20)], Fuel::default());
+        assert_eq!(trace.status, TraceStatus::Completed);
+        assert_eq!(trace.output(), "7\n");
+    }
+
+    #[test]
+    fn for_loops_desugar_to_while_with_trailing_step() {
+        let src = "\
+void count(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        printf(\"%d\\n\", i);
+    }
+}
+";
+        let program = parse_c_program(src).unwrap();
+        let model = lower_entry(&program, "count").unwrap();
+        assert_eq!(StructSig::sequence_key(&model.signature), "BL(B)B");
+        let trace = execute(&model, &[Value::Int(3)], Fuel::default());
+        assert_eq!(trace.output(), "0\n1\n2\n");
+    }
+
+    #[test]
+    fn continue_in_for_is_rejected_but_fine_in_while() {
+        let bad = "\
+void f(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (i == 2) {
+            continue;
+        }
+        printf(\"%d\\n\", i);
+    }
+}
+";
+        let program = parse_c_program(bad).unwrap();
+        let err = lower_entry(&program, "f").unwrap_err();
+        assert!(err.message.contains("continue inside a for loop"), "{err}");
+        let good = "\
+void f(int n) {
+    int i = 0;
+    while (i < n) {
+        i = i + 1;
+        if (i == 2) {
+            continue;
+        }
+        printf(\"%d\\n\", i);
+    }
+}
+";
+        let program = parse_c_program(good).unwrap();
+        let model = lower_entry(&program, "f").unwrap();
+        let trace = execute(&model, &[Value::Int(4)], Fuel::default());
+        assert_eq!(trace.output(), "1\n3\n4\n");
+    }
+
+    #[test]
+    fn printf_formats_split_into_pieces() {
+        let src = "\
+void f(int a, int b) {
+    printf(\"sum of %d%% and %d: %d\\n\", a, b, a + b);
+}
+";
+        let program = parse_c_program(src).unwrap();
+        let model = lower_entry(&program, "f").unwrap();
+        let trace = execute(&model, &[Value::Int(2), Value::Int(3)], Fuel::default());
+        assert_eq!(trace.output(), "sum of 2% and 3: 5\n");
+        for (bad, needle) in [
+            ("void f(int a) { printf(\"%d %d\\n\", a); }", "more conversions"),
+            ("void f(int a) { printf(\"%d\\n\", a, a); }", "more arguments"),
+            ("void f(int a) { printf(\"%q\\n\", a); }", "unsupported printf conversion"),
+        ] {
+            let program = parse_c_program(bad).unwrap();
+            let err = lower_entry(&program, "f").unwrap_err();
+            assert!(err.message.contains(needle), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn helper_functions_are_unsupported() {
+        let src = "\
+int helper(int x) {
+    return x;
+}
+
+int f(int x) {
+    return helper(x);
+}
+";
+        let program = parse_c_program(src).unwrap();
+        let err = lower_entry(&program, "f").unwrap_err();
+        assert!(err.message.contains("helper function"), "{err}");
+        assert!(lower_entry(&parse_c_program("int g(int x) { return x; }").unwrap(), "f").is_err());
+    }
+
+    #[test]
+    fn break_and_early_return_are_modelled() {
+        let src = "\
+int first_multiple(int n, int limit) {
+    int i = 1;
+    int found = 0;
+    while (i <= limit) {
+        if (i % n == 0) {
+            found = i;
+            break;
+        }
+        i = i + 1;
+    }
+    return found;
+}
+";
+        let program = parse_c_program(src).unwrap();
+        let model = lower_entry(&program, "first_multiple").unwrap();
+        let trace = execute(&model, &[Value::Int(7), Value::Int(100)], Fuel::default());
+        assert_eq!(trace.return_value(), Value::Int(7));
+    }
+
+    #[test]
+    fn array_reads_and_index_arithmetic_work() {
+        let src = "\
+float sum(float xs[], int n) {
+    float total = 0.0;
+    int i = 0;
+    while (i < n) {
+        total = total + xs[i];
+        i = i + 1;
+    }
+    return total;
+}
+";
+        let program = parse_c_program(src).unwrap();
+        let model = lower_entry(&program, "sum").unwrap();
+        let xs = Value::list(vec![Value::Float(1.5), Value::Float(2.5)]);
+        let trace = execute(&model, &[xs, Value::Int(2)], Fuel::default());
+        assert_eq!(trace.return_value(), Value::Float(4.0));
+    }
+}

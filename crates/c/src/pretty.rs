@@ -1,0 +1,353 @@
+//! Pretty-printing of MiniC programs and C-syntax rendering of model
+//! expressions.
+//!
+//! Two consumers: feedback messages — a C student should read
+//! `d < 0 && m > 10`, not `d < 0 and m > 10` — and the canonical rendering
+//! behind the formatting-insensitive structural hash the feedback service
+//! keys its result cache on.
+
+use std::fmt::Write as _;
+
+use clara_lang::ast::{Expr, Lit, Target};
+use clara_lang::{BinOp, UnOp};
+
+use crate::ast::{CFunction, CProgram, CStmt};
+
+/// Renders a (model or source) expression as C surface syntax.
+///
+/// Model builtins render as calls (`len(xs)`, `head(it)`, ...) except for
+/// `ite(c, a, b)`, which C can express directly as `c ? a : b`. Booleans
+/// render as `1`/`0`, `and`/`or`/`not` as `&&`/`||`/`!`, and both division
+/// operators as `/` (C division *is* integer division on integers).
+pub fn c_expr_to_string(expr: &Expr) -> String {
+    render_expr(expr, 0)
+}
+
+/// Renders a statement (and its nested blocks) as MiniC source text with the
+/// given indentation depth.
+pub fn c_stmt_to_string(stmt: &CStmt, indent: usize) -> String {
+    let mut out = String::new();
+    render_stmt(stmt, indent, &mut out);
+    out
+}
+
+/// Renders a whole function definition as MiniC source text.
+pub fn c_function_to_string(function: &CFunction) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = function
+        .params
+        .iter()
+        .map(|p| format!("{} {}{}", p.ty.keyword(), p.name, if p.array { "[]" } else { "" }))
+        .collect();
+    let _ = writeln!(out, "{} {}({}) {{", function.ret.keyword(), function.name, params.join(", "));
+    for stmt in &function.body {
+        render_stmt(stmt, 1, &mut out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a whole program as MiniC source text.
+pub fn c_program_to_string(program: &CProgram) -> String {
+    let mut out = String::new();
+    for (i, function) in program.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&c_function_to_string(function));
+    }
+    out
+}
+
+impl CProgram {
+    /// A formatting-insensitive hash of the program: two submissions that
+    /// differ only in whitespace, comments, blank lines or redundant
+    /// parentheses hash equal, while any structural difference (and any
+    /// variable renaming) changes the hash. The MiniC counterpart of
+    /// `SourceProgram::structural_hash`; the feedback service keys its
+    /// result cache on it.
+    pub fn structural_hash(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut hasher = DefaultHasher::new();
+        c_program_to_string(self).hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+/// C operator precedence for the shared binary operators; `?:` sits below
+/// all of them at level 1.
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 2,
+        BinOp::And => 3,
+        BinOp::Eq | BinOp::Ne => 4,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 5,
+        BinOp::Add | BinOp::Sub => 6,
+        BinOp::Mul | BinOp::Div | BinOp::FloorDiv | BinOp::Mod => 7,
+        // `**` has no C operator; rendered as a pow(...) call instead.
+        BinOp::Pow => 8,
+    }
+}
+
+fn c_symbol(op: BinOp) -> &'static str {
+    match op {
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+        // Integer division *is* `/` in C; the parser's float-literal
+        // heuristic picked the variant, the rendering is the same.
+        BinOp::Div | BinOp::FloorDiv => "/",
+        other => other.symbol(),
+    }
+}
+
+fn render_expr(expr: &Expr, parent_prec: u8) -> String {
+    match expr {
+        Expr::Lit(lit) => render_lit(lit),
+        Expr::Var(name) => name.clone(),
+        Expr::List(items) | Expr::Tuple(items) => {
+            let inner: Vec<String> = items.iter().map(|e| render_expr(e, 0)).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        Expr::Unary(op, inner) => {
+            let rendered = render_expr(inner, 8);
+            match op {
+                UnOp::Neg => format!("-{rendered}"),
+                UnOp::Not => format!("!{rendered}"),
+            }
+        }
+        Expr::Binary(BinOp::Pow, lhs, rhs) => {
+            format!("pow({}, {})", render_expr(lhs, 0), render_expr(rhs, 0))
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let prec = precedence(*op);
+            let left = render_expr(lhs, prec);
+            let right = render_expr(rhs, prec + 1);
+            let text = format!("{left} {} {right}", c_symbol(*op));
+            if prec < parent_prec {
+                format!("({text})")
+            } else {
+                text
+            }
+        }
+        Expr::Index(base, idx) => {
+            format!("{}[{}]", render_expr(base, 9), render_expr(idx, 0))
+        }
+        Expr::Slice(base, lo, hi) => {
+            // No C syntax for slices; keep the bracketed form readable.
+            let lo = lo.as_ref().map(|e| render_expr(e, 0)).unwrap_or_default();
+            let hi = hi.as_ref().map(|e| render_expr(e, 0)).unwrap_or_default();
+            format!("{}[{lo}:{hi}]", render_expr(base, 9))
+        }
+        Expr::Call(name, args) if name == "ite" && args.len() == 3 => {
+            let text = format!(
+                "{} ? {} : {}",
+                render_expr(&args[0], 2),
+                render_expr(&args[1], 0),
+                render_expr(&args[2], 1),
+            );
+            if parent_prec > 1 {
+                format!("({text})")
+            } else {
+                text
+            }
+        }
+        Expr::Call(name, args) => {
+            let inner: Vec<String> = args.iter().map(|e| render_expr(e, 0)).collect();
+            format!("{name}({})", inner.join(", "))
+        }
+        Expr::Method(recv, name, args) => {
+            // No methods in C; render as a free call with the receiver first.
+            let mut inner = vec![render_expr(recv, 0)];
+            inner.extend(args.iter().map(|e| render_expr(e, 0)));
+            format!("{name}({})", inner.join(", "))
+        }
+    }
+}
+
+fn render_lit(lit: &Lit) -> String {
+    match lit {
+        Lit::Int(v) => v.to_string(),
+        Lit::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e16 {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        Lit::Str(v) => format!(
+            "\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n").replace('\t', "\\t")
+        ),
+        Lit::Bool(v) => if *v { "1" } else { "0" }.to_owned(),
+        Lit::None => "0".to_owned(),
+    }
+}
+
+fn render_target(target: &Target) -> String {
+    match target {
+        Target::Name(name) => name.clone(),
+        Target::Index(name, idx) => format!("{name}[{}]", render_expr(idx, 0)),
+    }
+}
+
+fn render_stmt(stmt: &CStmt, indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    match stmt {
+        CStmt::Decl { name, ty, init, .. } => match init {
+            Some(expr) => {
+                let _ = writeln!(out, "{pad}{} {name} = {};", ty.keyword(), render_expr(expr, 0));
+            }
+            None => {
+                let _ = writeln!(out, "{pad}{} {name};", ty.keyword());
+            }
+        },
+        CStmt::Assign { target, op, value, .. } => {
+            let op_text = match op {
+                Some(op) => format!("{}=", c_symbol(*op)),
+                None => "=".to_owned(),
+            };
+            let _ = writeln!(out, "{pad}{} {op_text} {};", render_target(target), render_expr(value, 0));
+        }
+        CStmt::If { cond, then_body, else_body, .. } => {
+            let _ = writeln!(out, "{pad}if ({}) {{", render_expr(cond, 0));
+            render_block(then_body, indent + 1, out);
+            if else_body.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else if else_body.len() == 1 && matches!(else_body[0], CStmt::If { .. }) {
+                // Collapse `else { if ... }` into `else if ...`.
+                let mut nested = String::new();
+                render_stmt(&else_body[0], indent, &mut nested);
+                let _ = write!(out, "{pad}}} else {}", nested.trim_start());
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                render_block(else_body, indent + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        CStmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "{pad}while ({}) {{", render_expr(cond, 0));
+            render_block(body, indent + 1, out);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        CStmt::For { init, cond, step, body, .. } => {
+            let header_part = |stmt: &Option<Box<CStmt>>| -> String {
+                match stmt {
+                    Some(stmt) => {
+                        let text = c_stmt_to_string(stmt, 0);
+                        text.trim_end().trim_end_matches(';').to_owned()
+                    }
+                    None => String::new(),
+                }
+            };
+            let cond_text = cond.as_ref().map(|e| render_expr(e, 0)).unwrap_or_default();
+            let _ = writeln!(out, "{pad}for ({}; {cond_text}; {}) {{", header_part(init), header_part(step));
+            render_block(body, indent + 1, out);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        CStmt::Return { value, .. } => match value {
+            Some(expr) => {
+                let _ = writeln!(out, "{pad}return {};", render_expr(expr, 0));
+            }
+            None => {
+                let _ = writeln!(out, "{pad}return;");
+            }
+        },
+        CStmt::Printf { format, args, .. } => {
+            let mut pieces = vec![render_lit(&Lit::Str(format.clone()))];
+            pieces.extend(args.iter().map(|e| render_expr(e, 0)));
+            let _ = writeln!(out, "{pad}printf({});", pieces.join(", "));
+        }
+        CStmt::ExprStmt { expr, .. } => {
+            let _ = writeln!(out, "{pad}{};", render_expr(expr, 0));
+        }
+        CStmt::Break { .. } => {
+            let _ = writeln!(out, "{pad}break;");
+        }
+        CStmt::Continue { .. } => {
+            let _ = writeln!(out, "{pad}continue;");
+        }
+        CStmt::Empty { .. } => {
+            let _ = writeln!(out, "{pad};");
+        }
+    }
+}
+
+fn render_block(stmts: &[CStmt], indent: usize, out: &mut String) {
+    for stmt in stmts {
+        render_stmt(stmt, indent, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_c_expression, parse_c_program};
+
+    #[test]
+    fn expression_round_trip() {
+        for src in [
+            "a + b * c",
+            "(a + b) * c",
+            "m % 10",
+            "x > 0 && y < 10 || !done",
+            "d < 0 ? -d : d",
+            "xs[i + 1]",
+            "len(xs) - 1",
+            "-x",
+        ] {
+            let expr = parse_c_expression(src).unwrap();
+            let printed = c_expr_to_string(&expr);
+            let reparsed = parse_c_expression(&printed).unwrap();
+            assert_eq!(expr, reparsed, "round-trip failed for `{src}` -> `{printed}`");
+        }
+    }
+
+    #[test]
+    fn c_specific_spellings() {
+        let e = parse_c_expression("a && !b || c").unwrap();
+        assert_eq!(c_expr_to_string(&e), "a && !b || c");
+        let e = parse_c_expression("m / 10").unwrap();
+        assert_eq!(c_expr_to_string(&e), "m / 10");
+        let e = parse_c_expression("x > 0 ? 1 : 0").unwrap();
+        assert_eq!(c_expr_to_string(&e), "x > 0 ? 1 : 0");
+        let e = clara_lang::Expr::ite(
+            parse_c_expression("x > y").unwrap(),
+            parse_c_expression("x").unwrap(),
+            parse_c_expression("y").unwrap(),
+        );
+        assert_eq!(c_expr_to_string(&e), "x > y ? x : y");
+    }
+
+    #[test]
+    fn program_round_trip() {
+        let src = "\
+int fib(int k) {
+    int a = 1;
+    int n = 1;
+    while (a <= k) {
+        a = a + 1;
+        n = n + 1;
+    }
+    printf(\"%d\\n\", n);
+    return 0;
+}
+";
+        let program = parse_c_program(src).unwrap();
+        let printed = c_program_to_string(&program);
+        let reparsed = parse_c_program(&printed).unwrap();
+        assert_eq!(program, reparsed);
+    }
+
+    #[test]
+    fn structural_hash_ignores_formatting_but_not_structure() {
+        let base = parse_c_program("int f(int x) { return x + 1; }").unwrap();
+        let reformatted =
+            parse_c_program("#include <stdio.h>\nint f(int x) {\n    /* c */ return (x + 1);\n}\n").unwrap();
+        let renamed = parse_c_program("int f(int y) { return y + 1; }").unwrap();
+        let different = parse_c_program("int f(int x) { return 1 + x; }").unwrap();
+        assert_eq!(base.structural_hash(), reformatted.structural_hash());
+        assert_ne!(base.structural_hash(), renamed.structural_hash());
+        assert_ne!(base.structural_hash(), different.structural_hash());
+    }
+}

@@ -10,13 +10,16 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 use clara_lang::{parse_program, ParseError, SourceProgram, Value};
+use clara_model::frontend::{FrontendError, Lang};
 use clara_model::{execute_on_inputs, lower_entry, Fuel, LowerError, Program, StructSig, Trace};
 
 /// Why a student attempt could not be analysed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnalysisError {
-    /// The source text could not be parsed.
+    /// The source text could not be parsed (MiniPy).
     Parse(ParseError),
+    /// The source text could not be parsed (any non-MiniPy frontend).
+    Syntax(FrontendError),
     /// The program uses constructs the model does not support.
     Unsupported(LowerError),
 }
@@ -25,8 +28,16 @@ impl std::fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AnalysisError::Parse(e) => write!(f, "{e}"),
+            AnalysisError::Syntax(e) => write!(f, "{e}"),
             AnalysisError::Unsupported(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl AnalysisError {
+    /// `true` for the parse-failure variants (of any frontend).
+    pub fn is_syntax_error(&self) -> bool {
+        matches!(self, AnalysisError::Parse(_) | AnalysisError::Syntax(_))
     }
 }
 
@@ -35,6 +46,12 @@ impl std::error::Error for AnalysisError {}
 impl From<ParseError> for AnalysisError {
     fn from(e: ParseError) -> Self {
         AnalysisError::Parse(e)
+    }
+}
+
+impl From<FrontendError> for AnalysisError {
+    fn from(e: FrontendError) -> Self {
+        AnalysisError::Syntax(e)
     }
 }
 
@@ -86,7 +103,7 @@ impl AnalyzedProgram {
         Ok(Self::from_program(program, inputs, fuel))
     }
 
-    /// Parses, lowers and executes a source text in one step.
+    /// Parses, lowers and executes a MiniPy source text in one step.
     ///
     /// # Errors
     ///
@@ -100,6 +117,33 @@ impl AnalyzedProgram {
     ) -> Result<Self, AnalysisError> {
         let source = parse_program(text)?;
         Self::from_source(&source, entry, inputs, fuel)
+    }
+
+    /// Parses, lowers and executes a source text written in `lang`.
+    ///
+    /// The MiniPy path is byte-identical to [`AnalyzedProgram::from_text`]
+    /// (including its error variants); other languages go through their
+    /// [`clara_model::frontend::Frontend`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AnalysisError`] for syntax errors or unsupported
+    /// constructs.
+    pub fn from_text_in(
+        lang: Lang,
+        text: &str,
+        entry: &str,
+        inputs: &[Vec<Value>],
+        fuel: Fuel,
+    ) -> Result<Self, AnalysisError> {
+        match lang {
+            Lang::MiniPy => Self::from_text(text, entry, inputs, fuel),
+            _ => {
+                let parsed = crate::frontends::frontend(lang).parse(text)?;
+                let program = parsed.lower(entry)?;
+                Ok(Self::from_program(program, inputs, fuel))
+            }
+        }
     }
 
     /// Executes an already-lowered program on `inputs`.

@@ -7,9 +7,10 @@
 //! produced instead, because spelling out a near-total rewrite is not useful
 //! to a student.
 
-use clara_lang::expr_to_string;
+use clara_model::frontend::Lang;
 use clara_model::{special, LocKind, Program};
 
+use crate::frontends::frontend;
 use crate::repair::{ClusterRepair, RepairAction};
 
 /// Configuration of feedback rendering.
@@ -21,11 +22,14 @@ pub struct FeedbackOptions {
     /// Show the replacement expressions (`true`), or only the locations that
     /// must change (`false`) — one of the pedagogical choices discussed in §8.
     pub show_expressions: bool,
+    /// The source language expressions are rendered in: C students see C
+    /// expressions, Python students Python expressions.
+    pub lang: Lang,
 }
 
 impl Default for FeedbackOptions {
     fn default() -> Self {
-        FeedbackOptions { large_repair_threshold: 100, show_expressions: true }
+        FeedbackOptions { large_repair_threshold: 100, show_expressions: true, lang: Lang::MiniPy }
     }
 }
 
@@ -76,8 +80,8 @@ pub fn render_feedback(repair: &ClusterRepair, original: &Program, options: &Fee
                 if options.show_expressions {
                     lines.push(format!(
                         "In {place}, change {} to {}.",
-                        render_expr_for_user(old),
-                        render_expr_for_user(new)
+                        render_expr_for_user(old, options.lang),
+                        render_expr_for_user(new, options.lang)
                     ));
                 } else {
                     lines.push(format!("In {place}, the expression is not correct."));
@@ -92,7 +96,7 @@ pub fn render_feedback(repair: &ClusterRepair, original: &Program, options: &Fee
                 if options.show_expressions {
                     lines.push(format!(
                         "Add a new variable with the assignment {var} = {} near {place}.",
-                        render_expr_for_user(expr)
+                        render_expr_for_user(expr, options.lang)
                     ));
                 } else {
                     lines.push(format!("Add a new variable near {place}."));
@@ -140,11 +144,12 @@ fn describe_slot(program: &Program, loc: clara_model::Loc, var: &str, line: Opti
     format!("the assignment to {var} at line {line}")
 }
 
-/// Presents a model expression to the student. Iterator-variable plumbing is
-/// rendered as-is; this is a simple textual feedback system (the paper notes
-/// richer feedback is future work, §8).
-fn render_expr_for_user(expr: &clara_lang::Expr) -> String {
-    format!("`{}`", expr_to_string(expr))
+/// Presents a model expression to the student in their source language's
+/// syntax. Iterator-variable plumbing is rendered as-is; this is a simple
+/// textual feedback system (the paper notes richer feedback is future work,
+/// §8).
+fn render_expr_for_user(expr: &clara_lang::Expr, lang: Lang) -> String {
+    format!("`{}`", frontend(lang).render_expr(expr))
 }
 
 /// The generic strategy message used when a repair is too large to be useful

@@ -1,0 +1,40 @@
+//! The `Lang → Frontend` registry.
+//!
+//! `clara-core` is the lowest layer that can see every frontend crate
+//! (`clara-model` hosts the MiniPy frontend and the trait, `clara-c` hosts
+//! MiniC), so the dispatch lives here. Everything above — the engine, the
+//! feedback renderer, the server, the CLI — asks for a frontend by
+//! [`Lang`] and never names a concrete language again.
+//!
+//! Adding frontend N+1 is a one-crate job: implement
+//! `clara_model::frontend::{Frontend, ParsedSubmission}` in the new crate,
+//! add a [`Lang`] variant, and add one arm below.
+
+use clara_model::frontend::{Frontend, Lang};
+
+/// The frontend serving `lang`.
+pub fn frontend(lang: Lang) -> &'static dyn Frontend {
+    match lang {
+        Lang::MiniPy => &clara_model::frontend::MINIPY,
+        Lang::MiniC => &clara_c::MINIC,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_lang_has_a_frontend_answering_for_it() {
+        for lang in Lang::all() {
+            assert_eq!(frontend(lang).lang(), lang);
+        }
+    }
+
+    #[test]
+    fn frontends_render_their_own_syntax() {
+        let expr = clara_lang::parse_expression("not a and b").unwrap();
+        assert_eq!(frontend(Lang::MiniPy).render_expr(&expr), "not a and b");
+        assert_eq!(frontend(Lang::MiniC).render_expr(&expr), "!a && b");
+    }
+}

@@ -47,6 +47,7 @@
 pub mod analysis;
 pub mod cluster;
 pub mod feedback;
+pub mod frontends;
 pub mod matching;
 pub mod repair;
 pub mod sigcache;
@@ -54,6 +55,7 @@ pub mod sigcache;
 pub use analysis::{AnalysisError, AnalyzedProgram};
 pub use cluster::{cluster_programs, clustering_stats, Cluster, ClusteringStats};
 pub use feedback::{generic_strategy, render_feedback, Feedback, FeedbackOptions};
+pub use frontends::frontend;
 pub use matching::{apply_var_map, exprs_match, find_matching, VarMap};
 pub use repair::{
     repair_against_cluster, repair_attempt, ClusterRepair, RepairAction, RepairConfig, RepairFailure,
@@ -62,6 +64,7 @@ pub use repair::{
 pub use sigcache::{SignatureCache, ValueSignature};
 
 use clara_lang::Value;
+use clara_model::frontend::Lang;
 use clara_model::Fuel;
 
 /// Configuration of the end-to-end [`Clara`] engine.
@@ -78,6 +81,7 @@ pub struct ClaraConfig {
 #[derive(Debug, Clone)]
 pub struct Clara {
     entry: String,
+    lang: Lang,
     inputs: Vec<Vec<Value>>,
     config: ClaraConfig,
     clusters: Vec<Cluster>,
@@ -95,10 +99,28 @@ pub struct RepairOutcome {
 }
 
 impl Clara {
-    /// Creates an engine for an assignment whose entry function is `entry`
-    /// and whose grading inputs are `inputs` (the set `I` of the paper).
+    /// Creates an engine for a MiniPy assignment whose entry function is
+    /// `entry` and whose grading inputs are `inputs` (the set `I` of the
+    /// paper).
     pub fn new(entry: impl Into<String>, inputs: Vec<Vec<Value>>, config: ClaraConfig) -> Self {
-        Clara { entry: entry.into(), inputs, config, clusters: Vec::new(), correct_count: 0 }
+        Self::new_in(Lang::MiniPy, entry, inputs, config)
+    }
+
+    /// Creates an engine for an assignment whose submissions are written in
+    /// `lang`; feedback expressions render in that language's syntax.
+    pub fn new_in(
+        lang: Lang,
+        entry: impl Into<String>,
+        inputs: Vec<Vec<Value>>,
+        mut config: ClaraConfig,
+    ) -> Self {
+        config.feedback.lang = lang;
+        Clara { entry: entry.into(), lang, inputs, config, clusters: Vec::new(), correct_count: 0 }
+    }
+
+    /// The language this engine parses and renders.
+    pub fn lang(&self) -> Lang {
+        self.lang
     }
 
     /// The clusters built so far.
@@ -124,8 +146,13 @@ impl Clara {
     /// Returns an [`AnalysisError`] if the solution cannot be parsed or
     /// lowered; such solutions are simply not usable for repair.
     pub fn add_correct_solution(&mut self, source: &str) -> Result<usize, AnalysisError> {
-        let analyzed =
-            AnalyzedProgram::from_text(source, &self.entry, &self.inputs, self.config.repair.fuel)?;
+        let analyzed = AnalyzedProgram::from_text_in(
+            self.lang,
+            source,
+            &self.entry,
+            &self.inputs,
+            self.config.repair.fuel,
+        )?;
         Ok(self.add_correct_analyzed(analyzed))
     }
 
@@ -147,9 +174,9 @@ impl Clara {
         self.clusters.len() - 1
     }
 
-    /// Reconstructs an engine from previously built clusters (the warm-start
-    /// path of the persistent cluster index): no matching runs, the clusters
-    /// are trusted as-is.
+    /// Reconstructs a MiniPy engine from previously built clusters (the
+    /// warm-start path of the persistent cluster index): no matching runs,
+    /// the clusters are trusted as-is.
     pub fn restore(
         entry: impl Into<String>,
         inputs: Vec<Vec<Value>>,
@@ -157,7 +184,21 @@ impl Clara {
         clusters: Vec<Cluster>,
         correct_count: usize,
     ) -> Self {
-        Clara { entry: entry.into(), inputs, config, clusters, correct_count }
+        Self::restore_in(Lang::MiniPy, entry, inputs, config, clusters, correct_count)
+    }
+
+    /// Reconstructs an engine for `lang` from previously built clusters
+    /// (see [`Clara::restore`]).
+    pub fn restore_in(
+        lang: Lang,
+        entry: impl Into<String>,
+        inputs: Vec<Vec<Value>>,
+        mut config: ClaraConfig,
+        clusters: Vec<Cluster>,
+        correct_count: usize,
+    ) -> Self {
+        config.feedback.lang = lang;
+        Clara { entry: entry.into(), lang, inputs, config, clusters, correct_count }
     }
 
     /// The engine configuration.
@@ -173,7 +214,13 @@ impl Clara {
     /// Returns an [`AnalysisError`] if the attempt cannot be parsed or
     /// lowered (these are the "unsupported feature" failures of §6.2).
     pub fn repair_source(&self, source: &str) -> Result<RepairOutcome, AnalysisError> {
-        let attempt = AnalyzedProgram::from_text(source, &self.entry, &self.inputs, self.config.repair.fuel)?;
+        let attempt = AnalyzedProgram::from_text_in(
+            self.lang,
+            source,
+            &self.entry,
+            &self.inputs,
+            self.config.repair.fuel,
+        )?;
         Ok(self.repair_analyzed(&attempt))
     }
 

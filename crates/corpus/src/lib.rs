@@ -29,6 +29,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod dataset;
+pub mod minic;
 pub mod mooc;
 pub mod mutation;
 pub mod problem;
@@ -37,16 +38,38 @@ pub mod variation;
 pub mod workload;
 
 pub use dataset::{generate_dataset, Attempt, AttemptKind, Dataset, DatasetConfig, DatasetStats};
+pub use minic::{all_minic_problems, generate_minic_dataset, minic_incorrect_attempts};
 pub use mutation::{empty_attempt, mutate, unsupported_attempt, FaultKind, Mutant};
 pub use problem::{GradingMode, Problem};
 pub use variation::{rename_variables, rename_with, tweak_expressions, vary_seed};
 pub use workload::{duplicate_fraction, generate_workload, RequestKind, WorkloadConfig, WorkloadRequest};
 
-/// All nine problems of the paper's evaluation (Table 1 + Table 2).
+use clara_model::frontend::Lang;
+
+/// All nine MiniPy problems of the paper's evaluation (Table 1 + Table 2).
 pub fn all_problems() -> Vec<Problem> {
     let mut problems = mooc::all_mooc_problems();
     problems.extend(study::all_study_problems());
     problems
+}
+
+/// Every problem across every frontend: the nine MiniPy problems plus the
+/// MiniC translations. Problem names are globally unique, so the combined
+/// set can be served by one service.
+pub fn all_problems_all_langs() -> Vec<Problem> {
+    let mut problems = all_problems();
+    problems.extend(all_minic_problems());
+    problems
+}
+
+/// Builds the dataset for a problem with the generator matching its
+/// language (the MiniPy variation/mutation engines, or the seed-cycling
+/// MiniC generator).
+pub fn generate_dataset_for(problem: &Problem, config: DatasetConfig) -> Dataset {
+    match problem.lang {
+        Lang::MiniPy => generate_dataset(problem, config),
+        Lang::MiniC => generate_minic_dataset(problem, config),
+    }
 }
 
 #[cfg(test)]

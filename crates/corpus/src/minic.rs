@@ -1,0 +1,496 @@
+//! MiniC translations of three user-study problems.
+//!
+//! The original user study (Table 2 of the paper) was run on *C*
+//! submissions; these are faithful C90-ish translations of the integer
+//! problems — `fibonacci`, `special_number` and `reverse_difference` — with
+//! seed solutions mirroring the strategy diversity of their MiniPy
+//! counterparts and hand-written buggy attempts standing in for the
+//! fault-injected mutants of the MiniPy corpus (the mutation engine is
+//! MiniPy-AST-based).
+//!
+//! The seeds are written so that the reference solutions lower to model
+//! programs *isomorphic* to the MiniPy references (same location structure,
+//! same traces on the shared inputs) — the cross-language parity tests
+//! assert exactly that.
+
+use clara_lang::Value;
+
+use crate::dataset::{Attempt, AttemptKind, Dataset, DatasetConfig};
+use crate::problem::{GradingMode, Problem};
+
+/// `fibonacci_c`: the MiniC translation of the `fibonacci` study problem —
+/// given `k > 0`, print the `n > 0` such that `F_n <= k < F_{n+1}`.
+pub fn fibonacci_c() -> Problem {
+    const REFERENCE: &str = "\
+int fib(int k) {
+    int a = 1;
+    int b = 1;
+    int n = 1;
+    while (b <= k) {
+        int c = a + b;
+        a = b;
+        b = c;
+        n = n + 1;
+    }
+    printf(\"%d\\n\", n);
+    return 0;
+}
+";
+    const SEEDS: &[&str] = &[
+        REFERENCE,
+        "\
+int fib(int k) {
+    int prev = 1;
+    int cur = 1;
+    int count = 1;
+    while (cur <= k) {
+        int temp = cur;
+        cur = cur + prev;
+        prev = temp;
+        count = count + 1;
+    }
+    printf(\"%d\\n\", count);
+    return 0;
+}
+",
+        "\
+int fib(int k) {
+    int a = 0;
+    int b = 1;
+    int n = 0;
+    while (b <= k) {
+        int c = a + b;
+        a = b;
+        b = c;
+        n = n + 1;
+    }
+    printf(\"%d\\n\", n);
+    return 0;
+}
+",
+        "\
+int fib(int k) {
+    int a = 1;
+    int b = 1;
+    int n = 1;
+    while (a + b <= k + a) {
+        int c = a + b;
+        a = b;
+        b = c;
+        n = n + 1;
+    }
+    printf(\"%d\\n\", n);
+    return 0;
+}
+",
+    ];
+    Problem::new_minic(
+        "fibonacci_c",
+        "Print the integer n > 0 such that F_n <= k < F_{n+1}. (MiniC)",
+        "fib",
+        GradingMode::PrintedOutput,
+        REFERENCE,
+        SEEDS.to_vec(),
+        vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+            vec![Value::Int(4)],
+            vec![Value::Int(8)],
+            vec![Value::Int(20)],
+            vec![Value::Int(100)],
+        ],
+    )
+}
+
+/// Hand-written buggy `fibonacci_c` attempts (off-by-one condition, missing
+/// swap, wrong initialisation, dropped increment guarded by the step limit).
+pub fn fibonacci_c_incorrect() -> Vec<&'static str> {
+    vec![
+        "\
+int fib(int k) {
+    int a = 1;
+    int b = 1;
+    int n = 1;
+    while (b < k) {
+        int c = a + b;
+        a = b;
+        b = c;
+        n = n + 1;
+    }
+    printf(\"%d\\n\", n);
+    return 0;
+}
+",
+        "\
+int fib(int k) {
+    int a = 1;
+    int b = 1;
+    int n = 0;
+    while (b <= k) {
+        int c = a + b;
+        a = b;
+        b = c;
+        n = n + 1;
+    }
+    printf(\"%d\\n\", n);
+    return 0;
+}
+",
+        "\
+int fib(int k) {
+    int a = 1;
+    int b = 1;
+    int n = 1;
+    while (b <= k) {
+        int c = a + b;
+        b = c;
+        n = n + 1;
+    }
+    printf(\"%d\\n\", n);
+    return 0;
+}
+",
+    ]
+}
+
+/// `special_number_c`: the MiniC translation of `special_number` — print YES
+/// if the sum of the cubes of the digits of `n` equals `n`, NO otherwise.
+pub fn special_number_c() -> Problem {
+    const REFERENCE: &str = "\
+int special(int n) {
+    int s = 0;
+    int m = n;
+    while (m > 0) {
+        int d = m % 10;
+        s = s + d * d * d;
+        m = m / 10;
+    }
+    if (s == n) {
+        printf(\"YES\\n\");
+    } else {
+        printf(\"NO\\n\");
+    }
+    return 0;
+}
+";
+    const SEEDS: &[&str] = &[
+        REFERENCE,
+        "\
+int special(int n) {
+    int total = 0;
+    int rest = n;
+    while (rest > 0) {
+        int digit = rest % 10;
+        total = total + digit * digit * digit;
+        rest = rest / 10;
+    }
+    if (total == n) {
+        printf(\"YES\\n\");
+    } else {
+        printf(\"NO\\n\");
+    }
+    return 0;
+}
+",
+        "\
+int special(int n) {
+    int m = n;
+    int acc = 0;
+    while (m > 0) {
+        acc = acc + (m % 10) * (m % 10) * (m % 10);
+        m = m / 10;
+    }
+    if (acc != n) {
+        printf(\"NO\\n\");
+    } else {
+        printf(\"YES\\n\");
+    }
+    return 0;
+}
+",
+    ];
+    Problem::new_minic(
+        "special_number_c",
+        "Print YES if the sum of cubes of the digits of n equals n, NO otherwise. (MiniC)",
+        "special",
+        GradingMode::PrintedOutput,
+        REFERENCE,
+        SEEDS.to_vec(),
+        vec![
+            vec![Value::Int(371)],
+            vec![Value::Int(153)],
+            vec![Value::Int(370)],
+            vec![Value::Int(10)],
+            vec![Value::Int(9474)],
+            vec![Value::Int(407)],
+            vec![Value::Int(5)],
+        ],
+    )
+}
+
+/// Hand-written buggy `special_number_c` attempts (squares instead of cubes,
+/// swapped branches, wrong digit extraction).
+pub fn special_number_c_incorrect() -> Vec<&'static str> {
+    vec![
+        "\
+int special(int n) {
+    int s = 0;
+    int m = n;
+    while (m > 0) {
+        int d = m % 10;
+        s = s + d * d;
+        m = m / 10;
+    }
+    if (s == n) {
+        printf(\"YES\\n\");
+    } else {
+        printf(\"NO\\n\");
+    }
+    return 0;
+}
+",
+        "\
+int special(int n) {
+    int s = 0;
+    int m = n;
+    while (m > 0) {
+        int d = m % 10;
+        s = s + d * d * d;
+        m = m / 10;
+    }
+    if (s == n) {
+        printf(\"NO\\n\");
+    } else {
+        printf(\"YES\\n\");
+    }
+    return 0;
+}
+",
+        "\
+int special(int n) {
+    int s = 0;
+    int m = n;
+    while (m > 0) {
+        int d = m / 10;
+        s = s + d * d * d;
+        m = m / 10;
+    }
+    if (s == n) {
+        printf(\"YES\\n\");
+    } else {
+        printf(\"NO\\n\");
+    }
+    return 0;
+}
+",
+    ]
+}
+
+/// `reverse_difference_c`: the MiniC translation of `reverse_difference` —
+/// print the difference between `n` and its decimal reverse.
+pub fn reverse_difference_c() -> Problem {
+    const REFERENCE: &str = "\
+int revdiff(int n) {
+    int m = n;
+    int r = 0;
+    while (m > 0) {
+        r = r * 10 + m % 10;
+        m = m / 10;
+    }
+    printf(\"%d\\n\", n - r);
+    return 0;
+}
+";
+    const SEEDS: &[&str] = &[
+        REFERENCE,
+        "\
+int revdiff(int n) {
+    int rest = n;
+    int rev = 0;
+    while (rest > 0) {
+        int digit = rest % 10;
+        rev = rev * 10 + digit;
+        rest = rest / 10;
+    }
+    printf(\"%d\\n\", n - rev);
+    return 0;
+}
+",
+        "\
+int revdiff(int n) {
+    int m = n;
+    int r = 0;
+    for (; m > 0; m = m / 10) {
+        r = r * 10 + m % 10;
+    }
+    printf(\"%d\\n\", n - r);
+    return 0;
+}
+",
+    ];
+    Problem::new_minic(
+        "reverse_difference_c",
+        "Print the difference of n and its reverse (e.g. 1234 -> -3087). (MiniC)",
+        "revdiff",
+        GradingMode::PrintedOutput,
+        REFERENCE,
+        SEEDS.to_vec(),
+        vec![
+            vec![Value::Int(1234)],
+            vec![Value::Int(1)],
+            vec![Value::Int(100)],
+            vec![Value::Int(505)],
+            vec![Value::Int(9876)],
+            vec![Value::Int(42)],
+        ],
+    )
+}
+
+/// Hand-written buggy `reverse_difference_c` attempts (reversed subtraction,
+/// dropped shift, wrong loop condition).
+pub fn reverse_difference_c_incorrect() -> Vec<&'static str> {
+    vec![
+        "\
+int revdiff(int n) {
+    int m = n;
+    int r = 0;
+    while (m > 0) {
+        r = r * 10 + m % 10;
+        m = m / 10;
+    }
+    printf(\"%d\\n\", r - n);
+    return 0;
+}
+",
+        "\
+int revdiff(int n) {
+    int m = n;
+    int r = 0;
+    while (m > 0) {
+        r = r + m % 10;
+        m = m / 10;
+    }
+    printf(\"%d\\n\", n - r);
+    return 0;
+}
+",
+        "\
+int revdiff(int n) {
+    int m = n;
+    int r = 0;
+    while (m > 10) {
+        r = r * 10 + m % 10;
+        m = m / 10;
+    }
+    printf(\"%d\\n\", n - r);
+    return 0;
+}
+",
+    ]
+}
+
+/// The MiniC problem set (the second-language counterpart of
+/// [`crate::all_problems`]).
+pub fn all_minic_problems() -> Vec<Problem> {
+    vec![fibonacci_c(), special_number_c(), reverse_difference_c()]
+}
+
+/// The hand-written incorrect attempts for a MiniC problem.
+pub fn minic_incorrect_attempts(problem_name: &str) -> Vec<&'static str> {
+    match problem_name {
+        "fibonacci_c" => fibonacci_c_incorrect(),
+        "special_number_c" => special_number_c_incorrect(),
+        "reverse_difference_c" => reverse_difference_c_incorrect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Builds a deterministic MiniC dataset: the correct pool cycles the seeds
+/// (duplicate resubmission is the dominant MOOC pattern, so verbatim
+/// repetition is realistic traffic), the incorrect pool cycles the
+/// hand-written buggy attempts. The MiniPy variation/mutation engines are
+/// AST-specific and do not apply here; `config.seed` is accepted for
+/// interface symmetry but the generation is deterministic regardless.
+pub fn generate_minic_dataset(problem: &Problem, config: DatasetConfig) -> Dataset {
+    let buggy = minic_incorrect_attempts(problem.name);
+    assert!(!buggy.is_empty(), "`{}` is not a MiniC problem with attempts", problem.name);
+    let mut id = 0usize;
+    let mut push = |pool: &mut Vec<Attempt>, source: &str, is_correct: bool, kind: AttemptKind| {
+        pool.push(Attempt {
+            id,
+            source: source.to_owned(),
+            is_correct,
+            kind,
+            fault_count: usize::from(!is_correct),
+        });
+        id += 1;
+    };
+    let mut correct = Vec::with_capacity(config.correct_count);
+    for i in 0..config.correct_count {
+        let source = problem.seeds[i % problem.seeds.len()];
+        let kind = if i < problem.seeds.len() { AttemptKind::Seed } else { AttemptKind::Variant };
+        push(&mut correct, source, true, kind);
+    }
+    let mut incorrect = Vec::with_capacity(config.incorrect_count);
+    for i in 0..config.incorrect_count {
+        push(&mut incorrect, buggy[i % buggy.len()], false, AttemptKind::Mutant);
+    }
+    Dataset { problem: problem.clone(), correct, incorrect, config }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_minic_reference_and_seed_is_correct() {
+        for problem in all_minic_problems() {
+            assert_eq!(problem.lang, clara_model::frontend::Lang::MiniC);
+            assert_eq!(problem.grade_source(problem.reference), Some(true), "{}", problem.name);
+            assert_eq!(problem.check_seeds(), Vec::<usize>::new(), "{}", problem.name);
+        }
+    }
+
+    #[test]
+    fn every_buggy_attempt_parses_but_fails_grading() {
+        for problem in all_minic_problems() {
+            for attempt in minic_incorrect_attempts(problem.name) {
+                assert_eq!(
+                    problem.grade_source(attempt),
+                    Some(false),
+                    "attempt for `{}` should parse and fail:\n{attempt}",
+                    problem.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minic_datasets_have_the_requested_shape() {
+        let problem = fibonacci_c();
+        let config = DatasetConfig { correct_count: 10, incorrect_count: 6, ..DatasetConfig::default() };
+        let dataset = generate_minic_dataset(&problem, config);
+        assert_eq!(dataset.correct.len(), 10);
+        assert_eq!(dataset.incorrect.len(), 6);
+        for attempt in &dataset.correct {
+            assert!(attempt.is_correct);
+        }
+        for attempt in &dataset.incorrect {
+            assert!(!attempt.is_correct);
+        }
+        // Ids are unique across both pools.
+        let ids: std::collections::HashSet<usize> =
+            dataset.correct.iter().chain(&dataset.incorrect).map(|a| a.id).collect();
+        assert_eq!(ids.len(), 16);
+    }
+
+    #[test]
+    fn grade_report_counts_failing_tests() {
+        let problem = special_number_c();
+        let report = problem.grade_report(special_number_c_incorrect()[0]).unwrap();
+        assert!(!report.all_passed());
+        assert!(report.passed_count() < problem.spec.tests.len());
+        // Unparseable submissions have no report.
+        assert!(problem.grade_report("int special( {").is_none());
+    }
+}

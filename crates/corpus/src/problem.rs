@@ -8,8 +8,10 @@
 //! genuinely different strategies (these become the different clusters).
 
 use clara_lang::{
-    parse_program, run_function, Expected, Limits, ProblemSpec, SourceProgram, TestCase, Value,
+    parse_program, run_function, Expected, GradeReport, Limits, ProblemSpec, SourceProgram, TestCase,
+    TestResult, Value,
 };
+use clara_model::frontend::{grading_fuel, model_passes_test, Frontend, Lang};
 
 /// How an assignment is graded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +31,8 @@ pub struct Problem {
     pub statement: &'static str,
     /// Entry-point function name.
     pub entry: &'static str,
+    /// The source language submissions are written in.
+    pub lang: Lang,
     /// How attempts are graded.
     pub grading: GradingMode,
     /// The reference solution (also the first seed).
@@ -80,7 +84,58 @@ impl Problem {
         // dropped loop increment); a tight step budget keeps grading fast for
         // the tiny programs of introductory assignments.
         spec.limits = Limits { max_steps: 10_000 };
-        Problem { name, statement, entry, grading, reference, seeds, spec }
+        Problem { name, statement, entry, lang: Lang::MiniPy, grading, reference, seeds, spec }
+    }
+
+    /// Builds a MiniC problem, deriving the expected behaviour of every test
+    /// input by lowering the C reference solution into the program model and
+    /// executing it (MiniC has no separate interpreter; the model *is* its
+    /// execution semantics, held trace-equivalent to the source by the
+    /// lowering tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference solution does not parse, lower or complete on
+    /// an input — the built-in problems are covered by tests, so this only
+    /// triggers while developing a new problem definition.
+    pub fn new_minic(
+        name: &'static str,
+        statement: &'static str,
+        entry: &'static str,
+        grading: GradingMode,
+        reference: &'static str,
+        seeds: Vec<&'static str>,
+        inputs: Vec<Vec<Value>>,
+    ) -> Self {
+        let parsed = clara_c::parse_c_program(reference)
+            .unwrap_or_else(|e| panic!("C reference solution of `{name}` does not parse: {e}"));
+        let program = clara_c::lower_entry(&parsed, entry)
+            .unwrap_or_else(|e| panic!("C reference solution of `{name}` does not lower: {e}"));
+        let limits = Limits { max_steps: 10_000 };
+        let fuel = clara_model::Fuel { max_steps: limits.max_steps as usize, ..Default::default() };
+        let tests = inputs
+            .into_iter()
+            .map(|args| {
+                let trace = clara_model::execute(&program, &args, fuel);
+                assert_eq!(
+                    trace.status,
+                    clara_model::TraceStatus::Completed,
+                    "C reference solution of `{name}` did not complete",
+                );
+                let expected = match grading {
+                    GradingMode::ReturnValue => {
+                        Expected { return_value: Some(trace.return_value()), output: None }
+                    }
+                    GradingMode::PrintedOutput => {
+                        Expected { return_value: None, output: Some(trace.output()) }
+                    }
+                };
+                TestCase { args, expected }
+            })
+            .collect();
+        let mut spec = ProblemSpec::new(name, entry, tests);
+        spec.limits = limits;
+        Problem { name, statement, entry, lang: Lang::MiniC, grading, reference, seeds, spec }
     }
 
     /// The test inputs (the set `I` over which dynamic equivalence is
@@ -89,20 +144,62 @@ impl Problem {
         self.spec.inputs()
     }
 
-    /// Parses and grades a source text; returns `None` when it does not even
-    /// parse.
+    /// Parses and grades a source text with the problem's frontend; returns
+    /// `None` when it does not even parse.
     pub fn grade_source(&self, source: &str) -> Option<bool> {
-        let parsed = parse_program(source).ok()?;
-        Some(self.spec.is_correct(&parsed))
+        match self.lang {
+            Lang::MiniPy => {
+                let parsed = parse_program(source).ok()?;
+                Some(self.spec.is_correct(&parsed))
+            }
+            Lang::MiniC => {
+                let parsed = clara_c::MINIC.parse(source).ok()?;
+                Some(parsed.passes(&self.spec))
+            }
+        }
     }
 
-    /// Parses a seed (or any) solution.
+    /// Parses and grades a source text per test case; returns `None` when it
+    /// does not even parse. MiniPy grades through the interpreter, MiniC
+    /// through model execution (unlowerable MiniC attempts fail every test).
+    pub fn grade_report(&self, source: &str) -> Option<GradeReport> {
+        match self.lang {
+            Lang::MiniPy => {
+                let parsed = parse_program(source).ok()?;
+                Some(self.spec.grade(&parsed))
+            }
+            Lang::MiniC => {
+                let parsed = clara_c::parse_c_program(source).ok()?;
+                let results = match clara_c::lower_entry(&parsed, self.entry) {
+                    Ok(program) => {
+                        let fuel = grading_fuel(&self.spec);
+                        self.spec
+                            .tests
+                            .iter()
+                            .map(|test| TestResult {
+                                passed: model_passes_test(&program, test, fuel),
+                                error: None,
+                            })
+                            .collect()
+                    }
+                    Err(_) => {
+                        self.spec.tests.iter().map(|_| TestResult { passed: false, error: None }).collect()
+                    }
+                };
+                Some(GradeReport { results })
+            }
+        }
+    }
+
+    /// Parses a seed (or any) solution as MiniPy (the variation and mutation
+    /// engines are MiniPy-AST-based and only run on MiniPy problems).
     ///
     /// # Panics
     ///
     /// Panics when the text does not parse; seeds are static and covered by
     /// tests.
     pub fn parse(&self, source: &str) -> SourceProgram {
+        debug_assert_eq!(self.lang, Lang::MiniPy, "`{}` is not a MiniPy problem", self.name);
         parse_program(source).unwrap_or_else(|e| panic!("solution of `{}` does not parse: {e}", self.name))
     }
 

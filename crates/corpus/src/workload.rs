@@ -12,6 +12,7 @@
 //! Generation is fully deterministic given [`WorkloadConfig::seed`], so load
 //! benchmarks are reproducible request-by-request.
 
+use clara_model::frontend::Lang;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -43,6 +44,9 @@ pub struct WorkloadRequest {
     pub id: usize,
     /// The problem the submission targets.
     pub problem: String,
+    /// The language tag of the submission (`"minipy"`/`"minic"`), taken
+    /// from the problem; mixed-language workloads interleave both.
+    pub lang: String,
     /// The submission text.
     pub source: String,
     /// Ground truth of how the request was produced.
@@ -82,15 +86,27 @@ pub fn generate_workload(datasets: &[Dataset], config: WorkloadConfig) -> Vec<Wo
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
 
     // The sampling pool: every attempt of every dataset, tagged with its
-    // problem and ground truth. Ranks are a random permutation so that the
-    // Zipf head is not biased toward any particular problem or pool order.
-    let mut pool: Vec<(String, String, RequestKind)> = Vec::new();
+    // problem, language and ground truth. Ranks are a random permutation so
+    // that the Zipf head is not biased toward any particular problem or
+    // pool order.
+    let mut pool: Vec<(String, String, String, RequestKind)> = Vec::new();
     for dataset in datasets {
+        let lang = dataset.problem.lang.as_str().to_owned();
         for attempt in &dataset.correct {
-            pool.push((dataset.problem.name.to_owned(), attempt.source.clone(), RequestKind::Correct));
+            pool.push((
+                dataset.problem.name.to_owned(),
+                lang.clone(),
+                attempt.source.clone(),
+                RequestKind::Correct,
+            ));
         }
         for attempt in &dataset.incorrect {
-            pool.push((dataset.problem.name.to_owned(), attempt.source.clone(), RequestKind::Incorrect));
+            pool.push((
+                dataset.problem.name.to_owned(),
+                lang.clone(),
+                attempt.source.clone(),
+                RequestKind::Incorrect,
+            ));
         }
     }
     assert!(!pool.is_empty(), "workload generation needs a non-empty attempt pool");
@@ -115,8 +131,8 @@ pub fn generate_workload(datasets: &[Dataset], config: WorkloadConfig) -> Vec<Wo
         }
         let needle = rng.gen_range(0.0..total_weight);
         let rank = cumulative.partition_point(|&c| c <= needle).min(pool.len() - 1);
-        let (problem, source, kind) = pool[rank].clone();
-        requests.push(WorkloadRequest { id, problem, source, kind });
+        let (problem, lang, source, kind) = pool[rank].clone();
+        requests.push(WorkloadRequest { id, problem, lang, source, kind });
     }
     requests
 }
@@ -124,26 +140,26 @@ pub fn generate_workload(datasets: &[Dataset], config: WorkloadConfig) -> Vec<Wo
 fn pathological_request<R: Rng>(id: usize, datasets: &[Dataset], rng: &mut R) -> WorkloadRequest {
     let dataset = &datasets[rng.gen_range(0..datasets.len())];
     let problem = dataset.problem.name.to_owned();
-    match rng.gen_range(0..3u32) {
-        0 => WorkloadRequest {
-            id,
-            problem,
-            source: "def broken(:\n    return ][\n".to_owned(),
-            kind: RequestKind::Garbage,
-        },
-        1 => WorkloadRequest {
-            id,
-            problem,
-            source: unsupported_attempt(&dataset.problem, rng).source,
-            kind: RequestKind::Unsupported,
-        },
-        _ => WorkloadRequest {
-            id,
-            problem,
-            source: empty_attempt(&dataset.problem).source,
-            kind: RequestKind::Empty,
-        },
-    }
+    let lang = dataset.problem.lang.as_str().to_owned();
+    let (source, kind) = match (dataset.problem.lang, rng.gen_range(0..3u32)) {
+        (Lang::MiniPy, 0) => ("def broken(:\n    return ][\n".to_owned(), RequestKind::Garbage),
+        (Lang::MiniPy, 1) => (unsupported_attempt(&dataset.problem, rng).source, RequestKind::Unsupported),
+        (Lang::MiniPy, _) => (empty_attempt(&dataset.problem).source, RequestKind::Empty),
+        (Lang::MiniC, 0) => ("int broken( { return ]]\n".to_owned(), RequestKind::Garbage),
+        (Lang::MiniC, 1) => (
+            // Parses, grades incorrect, and cannot be lowered (helper
+            // functions) — the C flavour of the §6.2 failure category.
+            format!(
+                "int helper(int x) {{ return x; }}\n\nint {}(int n) {{ return helper(n); }}\n",
+                dataset.problem.entry
+            ),
+            RequestKind::Unsupported,
+        ),
+        (Lang::MiniC, _) => {
+            (format!("int {}(int n) {{ return 0; }}\n", dataset.problem.entry), RequestKind::Empty)
+        }
+    };
+    WorkloadRequest { id, problem, lang, source, kind }
 }
 
 /// Fraction of requests whose submission text already occurred earlier in
@@ -197,6 +213,29 @@ mod tests {
             WorkloadConfig { zipf_exponent: 2.0, ..WorkloadConfig::default() },
         );
         assert!(duplicate_fraction(&heavy) >= rate, "zipf head should concentrate traffic");
+    }
+
+    #[test]
+    fn mixed_language_workloads_interleave_both_frontends() {
+        let config =
+            DatasetConfig { correct_count: 10, incorrect_count: 5, seed: 3, ..DatasetConfig::default() };
+        let datasets = vec![
+            generate_dataset(&derivatives(), config),
+            crate::minic::generate_minic_dataset(&crate::minic::fibonacci_c(), config),
+        ];
+        let requests = generate_workload(
+            &datasets,
+            WorkloadConfig { requests: 300, pathological_fraction: 0.1, ..WorkloadConfig::default() },
+        );
+        let langs: std::collections::HashSet<&str> = requests.iter().map(|r| r.lang.as_str()).collect();
+        assert_eq!(langs.len(), 2, "both languages should appear: {langs:?}");
+        // Language tags follow the problem, including for pathological
+        // requests.
+        for request in &requests {
+            let expected = if request.problem == "fibonacci_c" { "minic" } else { "minipy" };
+            assert_eq!(request.lang, expected, "request {} for {}", request.id, request.problem);
+        }
+        assert!(requests.iter().any(|r| r.lang == "minic" && r.kind == RequestKind::Incorrect));
     }
 
     #[test]

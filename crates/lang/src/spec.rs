@@ -20,6 +20,17 @@ pub struct Expected {
     pub output: Option<String>,
 }
 
+impl Expected {
+    /// The acceptance rule shared by every grading backend (interpreter and
+    /// model execution): return values compare by `py_eq`, printed output
+    /// modulo trailing whitespace.
+    pub fn matches(&self, return_value: &Value, output: &str) -> bool {
+        let return_ok = self.return_value.as_ref().map(|want| return_value.py_eq(want)).unwrap_or(true);
+        let output_ok = self.output.as_ref().map(|want| output.trim_end() == want.trim_end()).unwrap_or(true);
+        return_ok && output_ok
+    }
+}
+
 /// A single test case: argument values plus the expected behaviour.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TestCase {
@@ -42,19 +53,7 @@ impl TestCase {
 
     /// Whether an execution satisfies this test case's expectations.
     pub fn accepts(&self, execution: &crate::interp::Execution) -> bool {
-        let return_ok = self
-            .expected
-            .return_value
-            .as_ref()
-            .map(|want| execution.return_value.py_eq(want))
-            .unwrap_or(true);
-        let output_ok = self
-            .expected
-            .output
-            .as_ref()
-            .map(|want| execution.output.trim_end() == want.trim_end())
-            .unwrap_or(true);
-        return_ok && output_ok
+        self.expected.matches(&execution.return_value, &execution.output)
     }
 }
 

@@ -1,0 +1,256 @@
+//! The language-agnostic frontend abstraction.
+//!
+//! CLARA (the original tool) handled both Python and C submissions by
+//! lowering them into one program model (§3 of the paper). This module is
+//! the seam that makes the same true here: a [`Frontend`] turns source text
+//! into a [`ParsedSubmission`], which can be lowered into a model
+//! [`Program`], structurally hashed for the server's result cache, and
+//! graded against an assignment specification — all behind object-safe
+//! traits, so clustering, matching, ILP repair and the feedback service
+//! never know which language they are serving.
+//!
+//! The MiniPy frontend lives here (this crate already depends on
+//! `clara-lang`); the MiniC frontend lives in the `clara-c` crate; the
+//! `Lang → &dyn Frontend` registry lives in `clara-core::frontend`, the
+//! lowest layer that can see every frontend crate. Adding language N+1 is a
+//! one-crate job: implement the two traits, add a [`Lang`] variant and a
+//! registry arm.
+
+use std::fmt;
+
+use clara_lang::{expr_to_string, parse_program, Expr, ProblemSpec, SourceProgram, TestCase};
+
+use crate::builder::LowerError;
+use crate::exec::{execute, Fuel, TraceStatus};
+use crate::lower::lower_entry;
+use crate::program::Program;
+
+/// The source languages submissions can be written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lang {
+    /// MiniPy, the Python-ish language of `clara-lang`.
+    MiniPy,
+    /// MiniC, the C90-ish language of `clara-c`.
+    MiniC,
+}
+
+impl Lang {
+    /// The canonical wire/storage tag of the language (`"minipy"`,
+    /// `"minic"`). Stable: persisted cluster indexes and the server protocol
+    /// both use it.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Lang::MiniPy => "minipy",
+            Lang::MiniC => "minic",
+        }
+    }
+
+    /// Parses a language tag, accepting common aliases (`"python"`/`"py"`
+    /// for MiniPy, `"c"` for MiniC). Returns `None` for unknown tags.
+    pub fn from_tag(tag: &str) -> Option<Lang> {
+        match tag.to_ascii_lowercase().as_str() {
+            "minipy" | "python" | "py" => Some(Lang::MiniPy),
+            "minic" | "c" => Some(Lang::MiniC),
+            _ => None,
+        }
+    }
+
+    /// Every supported language, in a fixed order.
+    pub fn all() -> [Lang; 2] {
+        [Lang::MiniPy, Lang::MiniC]
+    }
+}
+
+impl fmt::Display for Lang {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A syntax error reported by a frontend.
+///
+/// The display string is frontend-chosen and already contains the position
+/// (each language has its own error conventions); `line` is kept separately
+/// for programmatic consumers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// 1-based source line of the problem.
+    pub line: u32,
+    /// Full human-readable description (including position).
+    pub message: String,
+}
+
+impl FrontendError {
+    /// Creates a frontend error at `line`.
+    pub fn new(line: u32, message: impl Into<String>) -> Self {
+        FrontendError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// A successfully parsed submission, ready to be hashed, graded or lowered.
+pub trait ParsedSubmission {
+    /// Lowers the submission's `entry` function into the program model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LowerError`] when the submission uses constructs the
+    /// model does not support.
+    fn lower(&self, entry: &str) -> Result<Program, LowerError>;
+
+    /// A formatting-insensitive hash of the submission: whitespace, comments
+    /// and redundant parentheses do not change it, any structural difference
+    /// does. The feedback service keys its result cache on this.
+    fn structural_hash(&self) -> u64;
+
+    /// Total number of expression AST nodes (the paper's "AST size").
+    fn ast_size(&self) -> usize;
+
+    /// Grades the submission against a specification using the
+    /// language-appropriate execution engine.
+    fn passes(&self, spec: &ProblemSpec) -> bool;
+}
+
+/// A source-language frontend: parsing plus source-syntax rendering.
+pub trait Frontend: Send + Sync {
+    /// The language this frontend accepts.
+    fn lang(&self) -> Lang;
+
+    /// Parses source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrontendError`] describing the first syntax error.
+    fn parse(&self, source: &str) -> Result<Box<dyn ParsedSubmission>, FrontendError>;
+
+    /// Renders a model expression in this language's surface syntax, so
+    /// feedback shows C students C expressions and Python students Python
+    /// expressions. Model builtins (`ite`, `head`, ...) render in whatever
+    /// form is most natural for the language.
+    fn render_expr(&self, expr: &Expr) -> String;
+}
+
+/// Grades an already-lowered model program against a specification by
+/// executing the *model* (Definition 3.5) on every test input — the
+/// language-agnostic grading path used by frontends without a dedicated
+/// interpreter. Mirrors `ProblemSpec::is_correct`: it stops at the first
+/// failing test.
+pub fn model_passes(program: &Program, spec: &ProblemSpec) -> bool {
+    let fuel = grading_fuel(spec);
+    spec.tests.iter().all(|test| model_passes_test(program, test, fuel))
+}
+
+/// Grades one test case by model execution (see [`model_passes`]). The
+/// acceptance rule is [`clara_lang::Expected::matches`] — the same one the
+/// MiniPy interpreter grading applies.
+pub fn model_passes_test(program: &Program, test: &TestCase, fuel: Fuel) -> bool {
+    let trace = execute(program, &test.args, fuel);
+    if trace.status != TraceStatus::Completed {
+        return false;
+    }
+    test.expected.matches(&trace.return_value(), &trace.output())
+}
+
+/// The execution fuel corresponding to a specification's grading limits.
+pub fn grading_fuel(spec: &ProblemSpec) -> Fuel {
+    Fuel { max_steps: spec.limits.max_steps as usize, ..Fuel::default() }
+}
+
+/// The MiniPy frontend: wraps the `clara-lang` parser, pretty-printer and
+/// interpreter-based grading behind the language-agnostic traits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MiniPyFrontend;
+
+/// The shared MiniPy frontend instance.
+pub static MINIPY: MiniPyFrontend = MiniPyFrontend;
+
+struct MiniPyParsed(SourceProgram);
+
+impl ParsedSubmission for MiniPyParsed {
+    fn lower(&self, entry: &str) -> Result<Program, LowerError> {
+        lower_entry(&self.0, entry)
+    }
+
+    fn structural_hash(&self) -> u64 {
+        self.0.structural_hash()
+    }
+
+    fn ast_size(&self) -> usize {
+        self.0.ast_size()
+    }
+
+    fn passes(&self, spec: &ProblemSpec) -> bool {
+        // MiniPy has a direct interpreter; grading through it (rather than
+        // the model) also accepts submissions the model cannot lower, e.g.
+        // ones with helper functions.
+        spec.is_correct(&self.0)
+    }
+}
+
+impl Frontend for MiniPyFrontend {
+    fn lang(&self) -> Lang {
+        Lang::MiniPy
+    }
+
+    fn parse(&self, source: &str) -> Result<Box<dyn ParsedSubmission>, FrontendError> {
+        match parse_program(source) {
+            Ok(parsed) => Ok(Box::new(MiniPyParsed(parsed))),
+            Err(e) => Err(FrontendError::new(e.line, e.to_string())),
+        }
+    }
+
+    fn render_expr(&self, expr: &Expr) -> String {
+        expr_to_string(expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clara_lang::Value;
+
+    #[test]
+    fn lang_tags_roundtrip() {
+        for lang in Lang::all() {
+            assert_eq!(Lang::from_tag(lang.as_str()), Some(lang));
+        }
+        assert_eq!(Lang::from_tag("c"), Some(Lang::MiniC));
+        assert_eq!(Lang::from_tag("Python"), Some(Lang::MiniPy));
+        assert_eq!(Lang::from_tag("fortran"), None);
+        assert_eq!(Lang::MiniC.to_string(), "minic");
+    }
+
+    #[test]
+    fn minipy_frontend_parses_hashes_and_lowers() {
+        let frontend = &MINIPY;
+        assert_eq!(frontend.lang(), Lang::MiniPy);
+        let parsed = frontend.parse("def f(x):\n    return x + 1\n").unwrap();
+        let reformatted = frontend.parse("def f(x):\n    # c\n    return (x + 1)\n").unwrap();
+        assert_eq!(parsed.structural_hash(), reformatted.structural_hash());
+        let program = parsed.lower("f").unwrap();
+        assert_eq!(program.name, "f");
+        assert!(parsed.ast_size() > 0);
+        let err = frontend.parse("def f(:\n").err().expect("syntax error expected");
+        assert!(err.to_string().contains("parse error"), "{err}");
+    }
+
+    #[test]
+    fn model_grading_agrees_with_the_interpreter_on_a_simple_spec() {
+        let spec =
+            ProblemSpec::new("inc", "f", vec![TestCase::returning(vec![Value::Int(1)], Value::Int(2))]);
+        let parsed = MINIPY.parse("def f(x):\n    return x + 1\n").unwrap();
+        assert!(parsed.passes(&spec));
+        let program = parsed.lower("f").unwrap();
+        assert!(model_passes(&program, &spec));
+        let wrong = MINIPY.parse("def f(x):\n    return x\n").unwrap();
+        assert!(!wrong.passes(&spec));
+        assert!(!model_passes(&wrong.lower("f").unwrap(), &spec));
+    }
+}

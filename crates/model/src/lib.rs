@@ -39,15 +39,21 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod builder;
 pub mod exec;
+pub mod frontend;
 pub mod lower;
 pub mod program;
+pub mod surface;
 
+pub use builder::ModelBuilder;
 pub use exec::{
     execute, execute_from, execute_on_inputs, initial_memory, Fuel, Memory, Step, Trace, TraceStatus,
 };
-pub use lower::{lower_entry, lower_function, LowerError};
+pub use frontend::{Frontend, FrontendError, Lang, MiniPyFrontend, ParsedSubmission, MINIPY};
+pub use lower::{lower_entry, lower_function, surface_function, LowerError};
 pub use program::{special, Loc, LocInfo, LocKind, Program, StructSig, Succ};
+pub use surface::{SurfaceFunction, SurfaceStmt};
 
 #[cfg(test)]
 mod tests {

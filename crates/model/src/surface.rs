@@ -1,0 +1,167 @@
+//! The language-neutral surface IR consumed by the [`ModelBuilder`].
+//!
+//! A frontend (MiniPy in `clara-lang`, MiniC in `clara-c`, ...) parses source
+//! text into its own AST and then *desugars* it into this small statement
+//! language. Everything language-specific — augmented assignments, `print`
+//! versus `printf`, C `for(init; cond; step)` loops, method-call effects like
+//! `xs.append(e)` — is resolved by the frontend; everything model-specific —
+//! block collapsing, loop desugaring, the `#ret`/`#out`/`#brk` special
+//! variables, symbolic substitution — lives in the builder. Adding a new
+//! source language therefore never touches the lowering machinery.
+//!
+//! Expressions reuse [`clara_lang::Expr`], which doubles as the expression
+//! language of the program model itself (the model only adds builtins such as
+//! `ite`, `head`, `tail`, `store` and `concat`).
+//!
+//! [`ModelBuilder`]: crate::builder::ModelBuilder
+
+use clara_lang::ast::Expr;
+
+/// A function in the surface IR: what a frontend hands to the builder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurfaceFunction {
+    /// Function name (becomes [`crate::Program::name`]).
+    pub name: String,
+    /// Parameter names, in declaration order.
+    pub params: Vec<String>,
+    /// The function body.
+    pub body: Vec<SurfaceStmt>,
+    /// 1-based source line of the function header.
+    pub line: u32,
+}
+
+/// A statement of the language-neutral surface IR.
+///
+/// Every variant carries the 1-based source line it originates from; the
+/// builder anchors model locations and update expressions at these lines so
+/// feedback can point back into the student's source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SurfaceStmt {
+    /// `var = value`. Augmented assignments, index assignments and
+    /// effectful method calls are desugared into this form by the frontend
+    /// (e.g. `x += e` → `x = x + e`, `a[i] = e` → `a = store(a, i, e)`,
+    /// `xs.append(e)` → `xs = append(xs, e)`).
+    Assign {
+        /// Assigned variable.
+        var: String,
+        /// Right-hand side over the pre-statement values.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// A conditional with both branches (an absent `else` is an empty body).
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Statements of the then branch.
+        then_body: Vec<SurfaceStmt>,
+        /// Statements of the else branch.
+        else_body: Vec<SurfaceStmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// A condition-controlled loop.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<SurfaceStmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// An iterator-style loop over a sequence value (MiniPy `for x in e`).
+    /// Frontends whose `for` is sugar for a `while` (MiniC) desugar it
+    /// themselves and never emit this variant.
+    ForEach {
+        /// Loop variable.
+        var: String,
+        /// Iterated expression.
+        iter: Expr,
+        /// Loop body.
+        body: Vec<SurfaceStmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `return value`; a frontend encodes a bare `return` as an explicit
+    /// null literal.
+    Return {
+        /// Returned expression.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// Append the given pieces to the program output `#out`, in order.
+    /// The frontend fully renders its output statement into pieces (string
+    /// conversions, separators, trailing newline); the builder only prefixes
+    /// the current output value and concatenates.
+    Output {
+        /// The appended string pieces.
+        pieces: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `break` out of the innermost enclosing loop.
+    Break {
+        /// Source line.
+        line: u32,
+    },
+    /// `continue` with the next iteration of the innermost enclosing loop.
+    Continue {
+        /// Source line.
+        line: u32,
+    },
+    /// A statement with no observable effect in the model (`pass`, a bare
+    /// expression statement, an uninitialised declaration). Kept — rather
+    /// than dropped by the frontend — so block locations stay anchored at
+    /// the first source line of their chunk.
+    Nop {
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl SurfaceStmt {
+    /// The 1-based source line the statement starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            SurfaceStmt::Assign { line, .. }
+            | SurfaceStmt::If { line, .. }
+            | SurfaceStmt::While { line, .. }
+            | SurfaceStmt::ForEach { line, .. }
+            | SurfaceStmt::Return { line, .. }
+            | SurfaceStmt::Output { line, .. }
+            | SurfaceStmt::Break { line }
+            | SurfaceStmt::Continue { line }
+            | SurfaceStmt::Nop { line } => *line,
+        }
+    }
+
+    /// Returns `true` if the statement contains a loop anywhere inside it
+    /// (the builder splits location blocks at these statements).
+    pub fn contains_loop(&self) -> bool {
+        match self {
+            SurfaceStmt::While { .. } | SurfaceStmt::ForEach { .. } => true,
+            SurfaceStmt::If { then_body, else_body, .. } => {
+                then_body.iter().any(SurfaceStmt::contains_loop)
+                    || else_body.iter().any(SurfaceStmt::contains_loop)
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_loop_descends_into_branches() {
+        let inner =
+            SurfaceStmt::While { cond: Expr::bool(true), body: vec![SurfaceStmt::Nop { line: 3 }], line: 2 };
+        let stmt =
+            SurfaceStmt::If { cond: Expr::bool(true), then_body: vec![inner], else_body: vec![], line: 1 };
+        assert!(stmt.contains_loop());
+        assert!(!SurfaceStmt::Nop { line: 1 }.contains_loop());
+        assert_eq!(stmt.line(), 1);
+    }
+}

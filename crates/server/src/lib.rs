@@ -35,6 +35,7 @@
 //! let response = service.handle(&Request {
 //!     id: 1,
 //!     problem: "derivatives".into(),
+//!     lang: None,
 //!     source: "def computeDeriv(poly):\n    new = []\n    for i in xrange(1,len(poly)):\n        new.append(float(i*poly[i]))\n    if new==[]:\n        return 0.0\n    return new\n".into(),
 //!     learn: None,
 //! });
@@ -44,6 +45,7 @@
 //! let dup = service.handle(&Request {
 //!     id: 2,
 //!     problem: "derivatives".into(),
+//!     lang: None,
 //!     source: "def computeDeriv(poly):\n\n    new = []\n    for i in xrange(1,len(poly)):\n        new.append(float(i*poly[i]))\n    if new==[]:\n        return 0.0\n    return new\n".into(),
 //!     learn: None,
 //! });
@@ -64,6 +66,6 @@ pub mod store;
 pub use cache::LruCache;
 pub use pool::{PoolClosed, WorkerPool};
 pub use protocol::{parse_request, render_response, Request, Response, Status};
-pub use serve::{run_ndjson, serve_http, Server, ServerConfig};
+pub use serve::{default_workers, run_ndjson, serve_http, Server, ServerConfig};
 pub use service::{FeedbackService, ServiceConfig, ServiceStats};
 pub use store::{ClusterStore, StoreError, STORE_FORMAT_VERSION};

@@ -19,6 +19,11 @@ pub struct Request {
     pub id: u64,
     /// Problem name (see `clara-cli problems`).
     pub problem: String,
+    /// Language tag of the submission (`"minipy"`/`"python"`/`"minic"`/
+    /// `"c"`). Optional: each problem has exactly one language, so the tag
+    /// is validation — a request whose tag contradicts the problem's
+    /// language is rejected instead of producing a confusing syntax error.
+    pub lang: Option<String>,
     /// The submission text.
     pub source: String,
     /// When `true` and the submission is correct, insert it into the

@@ -24,9 +24,22 @@ pub struct ServerConfig {
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
-        ServerConfig { workers: workers.clamp(2, 8), queue_capacity: 64 }
+        ServerConfig { workers: default_workers(), queue_capacity: 64 }
     }
+}
+
+/// The default worker count: the `CLARA_WORKERS` environment variable when
+/// set (and a positive integer), otherwise the detected core count capped at
+/// 8. The default is clamped to the cores actually present — on a 1-core
+/// box one worker, not a hardcoded floor of two threads contending for the
+/// same core. `serve --workers N` overrides both.
+pub fn default_workers() -> usize {
+    if let Some(n) =
+        std::env::var("CLARA_WORKERS").ok().and_then(|v| v.parse::<usize>().ok()).filter(|n| *n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
 }
 
 type Job = (Request, Box<dyn FnOnce(Response) + Send>);
@@ -158,40 +171,53 @@ fn handle_http_connection(service: &FeedbackService, stream: TcpStream) -> std::
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
 
-    let mut content_length = 0usize;
-    loop {
+    // Header parsing is bounded and strict: an absurd or malformed
+    // Content-Length is a client error answered with a clean 400 JSON body,
+    // never a zero-length fallback or an unbounded allocation.
+    const MAX_HEADERS: usize = 100;
+    let mut content_length: Option<Result<usize, ()>> = None;
+    for _ in 0..=MAX_HEADERS {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
             break;
         }
         if let Some(value) = header.to_ascii_lowercase().strip_prefix("content-length:") {
-            content_length = value.trim().parse().unwrap_or(0);
+            content_length = Some(value.trim().parse::<usize>().map_err(|_| ()));
         }
     }
 
     const MAX_BODY: usize = 1 << 20;
+    let bad_request = |message: String| ("400 Bad Request", render_response(&Response::error(0, message)));
     let (status, body) = match (method, path) {
         ("GET", "/health") => {
             let stats = service.stats();
             ("200 OK", serde_json::to_string(&stats).expect("stats serialize"))
         }
-        ("POST", "/repair") if content_length > MAX_BODY => {
-            ("413 Payload Too Large", render_response(&Response::error(0, "body too large")))
-        }
-        ("POST", "/repair") => {
-            let mut body = vec![0u8; content_length];
-            reader.read_exact(&mut body)?;
-            match std::str::from_utf8(&body)
-                .map_err(|e| e.to_string())
-                .and_then(|s| parse_request(s).map_err(|e| e.to_string()))
-            {
-                Ok(request) => ("200 OK", render_response(&service.handle(&request))),
-                Err(message) => (
-                    "400 Bad Request",
-                    render_response(&Response::error(0, format!("malformed request: {message}"))),
-                ),
+        ("POST", "/repair") => match content_length {
+            None => bad_request("missing Content-Length header".to_owned()),
+            Some(Err(())) => bad_request("invalid Content-Length header".to_owned()),
+            Some(Ok(n)) if n > MAX_BODY => {
+                ("413 Payload Too Large", render_response(&Response::error(0, "body too large")))
             }
-        }
+            Some(Ok(n)) => {
+                // Bounded read that tolerates short bodies: a client that
+                // announces more bytes than it sends gets a 400, not a
+                // hung connection torn down without a response.
+                let mut body = Vec::with_capacity(n.min(MAX_BODY));
+                let read = (&mut reader).take(n as u64).read_to_end(&mut body);
+                match read {
+                    Ok(got) if got == n => match std::str::from_utf8(&body)
+                        .map_err(|e| e.to_string())
+                        .and_then(|s| parse_request(s).map_err(|e| e.to_string()))
+                    {
+                        Ok(request) => ("200 OK", render_response(&service.handle(&request))),
+                        Err(message) => bad_request(format!("malformed request: {message}")),
+                    },
+                    Ok(got) => bad_request(format!("truncated body: got {got} of {n} bytes")),
+                    Err(_) => bad_request(format!("truncated body: fewer than {n} bytes arrived")),
+                }
+            }
+        },
         _ => ("404 Not Found", render_response(&Response::error(0, format!("no route {method} {path}")))),
     };
 
@@ -225,6 +251,7 @@ mod tests {
         render_request(&Request {
             id,
             problem: "derivatives".to_owned(),
+            lang: None,
             source: source.to_owned(),
             learn: None,
         })
@@ -280,6 +307,7 @@ mod tests {
                     Request {
                         id,
                         problem: "derivatives".to_owned(),
+                        lang: None,
                         source: derivatives().seeds[0].to_owned(),
                         learn: None,
                     },
@@ -335,5 +363,67 @@ mod tests {
         let mut reply = String::new();
         stream.read_to_string(&mut reply).unwrap();
         assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
+    }
+
+    #[test]
+    fn http_malformed_requests_get_clean_400s() {
+        let server = test_server(ServerConfig { workers: 1, queue_capacity: 4 });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let service = Arc::clone(server.service());
+        std::thread::spawn(move || {
+            let _ = serve_http(&service, listener);
+        });
+
+        let roundtrip = |raw: &str| -> String {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(raw.as_bytes()).unwrap();
+            // Half-close the write side so truncated bodies hit EOF instead
+            // of the 10s read timeout.
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut reply = String::new();
+            stream.read_to_string(&mut reply).unwrap();
+            reply
+        };
+        let json_error = |reply: &str| -> Response {
+            let json = reply.split("\r\n\r\n").nth(1).expect("a body");
+            serde_json::from_str(json).expect("a JSON error body")
+        };
+
+        // Malformed JSON body.
+        let reply = roundtrip("POST /repair HTTP/1.1\r\nContent-Length: 8\r\n\r\nnot json");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        assert!(json_error(&reply).error.unwrap().contains("malformed request"));
+
+        // Truncated body: fewer bytes than announced.
+        let reply = roundtrip("POST /repair HTTP/1.1\r\nContent-Length: 500\r\n\r\n{\"id\":1");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        assert!(json_error(&reply).error.unwrap().contains("truncated body"));
+
+        // An absurd Content-Length that does not even parse as usize.
+        let reply = roundtrip("POST /repair HTTP/1.1\r\nContent-Length: 99999999999999999999999\r\n\r\n{}");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        assert!(json_error(&reply).error.unwrap().contains("invalid Content-Length"));
+
+        // A parseable but oversized Content-Length is bounded, not allocated.
+        let reply = roundtrip("POST /repair HTTP/1.1\r\nContent-Length: 1073741824\r\n\r\n{}");
+        assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+
+        // Missing Content-Length entirely.
+        let reply = roundtrip("POST /repair HTTP/1.1\r\nHost: localhost\r\n\r\n{}");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        assert!(json_error(&reply).error.unwrap().contains("missing Content-Length"));
+    }
+
+    #[test]
+    fn default_worker_count_respects_the_machine() {
+        let workers = ServerConfig::default().workers;
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert!(workers >= 1);
+        // CLARA_WORKERS may raise it in exotic environments; without the
+        // env var the default never exceeds min(cores, 8).
+        if std::env::var("CLARA_WORKERS").is_err() {
+            assert!(workers <= cores.min(8), "workers {workers} vs cores {cores}");
+        }
     }
 }

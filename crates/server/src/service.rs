@@ -14,9 +14,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 use std::time::Instant;
 
-use clara_core::{AnalysisError, ClaraConfig};
+use clara_core::{frontend, ClaraConfig};
 use clara_corpus::Problem;
-use clara_lang::parse_program;
+use clara_model::frontend::Lang;
 use serde::Serialize;
 
 use crate::cache::LruCache;
@@ -169,14 +169,33 @@ impl FeedbackService {
             );
         };
         let shard = &self.shards[shard_index];
+        let lang = shard.problem.lang;
+
+        // The language tag is validation: each problem has exactly one
+        // language, and a contradicting tag is a client error worth naming
+        // (not a confusing downstream syntax error).
+        if let Some(tag) = &request.lang {
+            match Lang::from_tag(tag) {
+                Some(requested) if requested == lang => {}
+                Some(requested) => {
+                    return Response::error(
+                        request.id,
+                        format!("problem `{}` expects {lang} submissions, not {requested}", request.problem),
+                    );
+                }
+                None => {
+                    return Response::error(request.id, format!("unknown language tag `{tag}`"));
+                }
+            }
+        }
 
         // Unparseable submissions have no structural hash and bypass the
         // cache; parsing is also the cheapest stage, so this costs little.
-        let parsed = match parse_program(&request.source) {
+        let parsed = match frontend(lang).parse(&request.source) {
             Ok(parsed) => parsed,
             Err(e) => return Response::error(request.id, format!("syntax error: {e}")),
         };
-        let key = cache_key(shard_index, parsed.structural_hash());
+        let key = cache_key(shard_index, lang, parsed.structural_hash());
 
         if let Some(cached) = self.cache.lock().expect("cache lock poisoned").get(key).cloned() {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -196,7 +215,7 @@ impl FeedbackService {
             };
         }
 
-        let correct = shard.problem.spec.is_correct(&parsed);
+        let correct = parsed.passes(&shard.problem.spec);
         let mut learned = false;
         let outcome = if correct {
             // Online clustering (§2): verified-correct submissions grow the
@@ -219,18 +238,15 @@ impl FeedbackService {
                         error: None,
                     }
                 }
-                Err(AnalysisError::Parse(e)) => CachedOutcome {
-                    status: Status::Error,
-                    feedback: Vec::new(),
-                    cost: None,
-                    error: Some(format!("syntax error: {e}")),
-                },
-                Err(AnalysisError::Unsupported(e)) => CachedOutcome {
-                    status: Status::Error,
-                    feedback: Vec::new(),
-                    cost: None,
-                    error: Some(format!("unsupported: {e}")),
-                },
+                Err(err) => {
+                    let label = if err.is_syntax_error() { "syntax error" } else { "unsupported" };
+                    CachedOutcome {
+                        status: Status::Error,
+                        feedback: Vec::new(),
+                        cost: None,
+                        error: Some(format!("{label}: {err}")),
+                    }
+                }
             }
         };
 
@@ -275,10 +291,13 @@ impl FeedbackService {
     }
 }
 
-/// Combines the shard index and structural hash into one cache key.
-fn cache_key(shard_index: usize, structural_hash: u64) -> u64 {
-    // splitmix64-style mixing so that shard and hash both disturb all bits.
-    let mut x = structural_hash ^ (shard_index as u64).wrapping_mul(0x9E3779B97F4A7C15);
+/// Combines the shard index, language and structural hash into one cache
+/// key. The language participates so that a MiniPy and a MiniC submission
+/// can never collide, whatever their per-frontend hashes do.
+fn cache_key(shard_index: usize, lang: Lang, structural_hash: u64) -> u64 {
+    // splitmix64-style mixing so that every input disturbs all bits.
+    let salt = (shard_index as u64) ^ ((lang as u64 + 1) << 56);
+    let mut x = structural_hash ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58476D1CE4E5B9);
     x ^= x >> 27;
@@ -298,7 +317,7 @@ mod tests {
     }
 
     fn request(id: u64, source: &str) -> Request {
-        Request { id, problem: "derivatives".to_owned(), source: source.to_owned(), learn: None }
+        Request { id, problem: "derivatives".to_owned(), lang: None, source: source.to_owned(), learn: None }
     }
 
     const INCORRECT: &str = "\
@@ -368,6 +387,69 @@ def computeDeriv(poly):
     }
 
     #[test]
+    fn minic_shards_serve_c_submissions_with_c_feedback() {
+        let problem = clara_corpus::minic::fibonacci_c();
+        let seeds: Vec<&str> = problem.seeds.clone();
+        let (store, usable) = ClusterStore::build(&problem, seeds, ClaraConfig::default());
+        assert!(usable >= 2, "C seeds must cluster");
+        let service = FeedbackService::new(vec![store], ServiceConfig::default());
+        let buggy = clara_corpus::minic::fibonacci_c_incorrect()[0];
+        let response = service.handle(&Request {
+            id: 1,
+            problem: "fibonacci_c".to_owned(),
+            lang: Some("c".to_owned()),
+            source: buggy.to_owned(),
+            learn: None,
+        });
+        assert_eq!(response.status, Status::Repaired, "{:?}", response.error);
+        let text = response.feedback.join("\n");
+        assert!(text.contains("<="), "feedback should show the C condition repair: {text}");
+        assert!(!text.contains(" and "), "C feedback must not use Python operators: {text}");
+        // Correct submissions are recognised through model-execution grading.
+        let correct = service.handle(&Request {
+            id: 2,
+            problem: "fibonacci_c".to_owned(),
+            lang: None,
+            source: problem.seeds[1].to_owned(),
+            learn: None,
+        });
+        assert_eq!(correct.status, Status::Correct);
+        // Structural duplicates (reformatted C) hit the cache.
+        let dup = service.handle(&Request {
+            id: 3,
+            problem: "fibonacci_c".to_owned(),
+            lang: None,
+            source: buggy.replace("    int a = 1;", "    /* init */\n    int a = 1;"),
+            learn: None,
+        });
+        assert!(dup.cache_hit, "reformatted C submission must hit the cache");
+        assert_eq!(dup.feedback, response.feedback);
+    }
+
+    #[test]
+    fn matching_language_tags_pass_validation() {
+        let service = service();
+        let mut request = request(1, "def computeDeriv(poly):\n    return poly\n");
+        request.lang = Some("python".to_owned());
+        let response = service.handle(&request);
+        assert_ne!(response.status, Status::Error, "{:?}", response.error);
+    }
+
+    #[test]
+    fn contradicting_or_unknown_language_tags_are_rejected() {
+        let service = service();
+        let mut request = request(1, "def computeDeriv(poly):\n    return poly\n");
+        request.lang = Some("c".to_owned());
+        let response = service.handle(&request);
+        assert_eq!(response.status, Status::Error);
+        assert!(response.error.unwrap().contains("expects minipy submissions"), "wrong-lang error");
+        request.lang = Some("cobol".to_owned());
+        let response = service.handle(&request);
+        assert_eq!(response.status, Status::Error);
+        assert!(response.error.unwrap().contains("unknown language tag"));
+    }
+
+    #[test]
     fn pathological_submissions_are_rejected_not_crashed() {
         let service = service();
         let garbage = service.handle(&request(1, "def broken(:\n    return ][\n"));
@@ -376,6 +458,7 @@ def computeDeriv(poly):
         let unknown = service.handle(&Request {
             id: 2,
             problem: "nope".to_owned(),
+            lang: None,
             source: "def f(x):\n    return x\n".to_owned(),
             learn: None,
         });

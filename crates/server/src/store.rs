@@ -24,7 +24,8 @@ use clara_lang::Expr;
 use serde::{Deserialize, Serialize};
 
 /// On-disk format version; bumped when the stored shape changes.
-pub const STORE_FORMAT_VERSION: u32 = 1;
+/// Version 2 added the `lang` tag (multi-frontend indexes).
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 /// Why a store could not be saved or loaded.
 #[derive(Debug)]
@@ -80,6 +81,8 @@ struct StoredCluster {
 struct StoredIndex {
     format_version: u32,
     problem: String,
+    /// The language tag of the indexed submissions (`"minipy"`/`"minic"`).
+    lang: String,
     entry: String,
     correct_count: usize,
     clusters: Vec<StoredCluster>,
@@ -108,7 +111,7 @@ impl ClusterStore {
     ) -> (Self, usize) {
         let mut store = ClusterStore {
             problem: problem.clone(),
-            engine: Clara::new(problem.entry, problem.inputs(), config),
+            engine: Clara::new_in(problem.lang, problem.entry, problem.inputs(), config),
             rep_sources: Vec::new(),
         };
         let mut usable = 0usize;
@@ -159,6 +162,7 @@ impl ClusterStore {
         let stored = StoredIndex {
             format_version: STORE_FORMAT_VERSION,
             problem: self.problem.name.to_owned(),
+            lang: self.problem.lang.as_str().to_owned(),
             entry: self.problem.entry.to_owned(),
             correct_count: self.engine.correct_count(),
             clusters: self
@@ -204,11 +208,18 @@ impl ClusterStore {
                 stored.problem, stored.entry, problem.name, problem.entry
             )));
         }
+        if stored.lang != problem.lang.as_str() {
+            return Err(StoreError::Mismatch(format!(
+                "index is for {} submissions, problem `{}` is {}",
+                stored.lang, problem.name, problem.lang
+            )));
+        }
         let inputs = problem.inputs();
         let mut clusters = Vec::with_capacity(stored.clusters.len());
         let mut rep_sources = Vec::with_capacity(stored.clusters.len());
         for cluster in stored.clusters {
-            let representative = AnalyzedProgram::from_text(
+            let representative = AnalyzedProgram::from_text_in(
+                problem.lang,
                 &cluster.representative,
                 problem.entry,
                 &inputs,
@@ -220,7 +231,8 @@ impl ClusterStore {
             clusters.push(Cluster::from_parts(representative, cluster.member_ids, slots));
             rep_sources.push(cluster.representative);
         }
-        let engine = Clara::restore(problem.entry, inputs, config, clusters, stored.correct_count);
+        let engine =
+            Clara::restore_in(problem.lang, problem.entry, inputs, config, clusters, stored.correct_count);
         Ok(ClusterStore { problem: problem.clone(), engine, rep_sources })
     }
 

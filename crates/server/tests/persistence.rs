@@ -41,6 +41,7 @@ fn warm_loaded_store_yields_byte_identical_feedback_on_the_smoke_dataset() {
         let request = Request {
             id: attempt.id as u64,
             problem: dataset.problem.name.to_owned(),
+            lang: None,
             source: attempt.source.clone(),
             learn: None,
         };

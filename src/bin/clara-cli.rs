@@ -1,16 +1,21 @@
 //! `clara-cli` — command-line front end for the Clara pipeline.
 //!
 //! ```text
-//! clara-cli problems                      # list the built-in assignments
+//! clara-cli problems [--lang L]           # list the built-in assignments
 //! clara-cli grade  <problem> <file>       # run the grading test suite on an attempt
-//! clara-cli repair <problem> <file>       # grade and, if incorrect, print repair feedback
+//! clara-cli repair [--lang L] <problem> <file>   # grade and, if incorrect, print repair feedback
 //! clara-cli clusters <problem> [n]        # cluster a synthetic pool of n correct solutions
 //! clara-cli serve [options] [problem...]  # run the feedback service (NDJSON on stdio)
-//! clara-cli batch <problem> <file...>     # repair many attempts through one shared index
+//! clara-cli batch [--lang L] <problem> <file...> # repair many attempts through one shared index
 //! ```
 //!
-//! The `<problem>` argument is one of the nine assignment names from the
-//! paper's Appendix A (see `clara-cli problems`). Attempts are MiniPy files.
+//! The `<problem>` argument is one of the assignment names listed by
+//! `clara-cli problems`: the nine MiniPy assignments from the paper's
+//! Appendix A plus the MiniC translations (`fibonacci_c`, ...). Each problem
+//! has exactly one submission language; `--lang minipy|minic` (aliases
+//! `python`, `c`) filters the listing / the served problem set and, on
+//! `repair`/`batch`, asserts the problem's language — a mismatch is a usage
+//! error rather than a confusing syntax error.
 //!
 //! Exit codes (asserted by the integration smoke test): `0` — the attempt is
 //! correct or a repair was found (for `batch`: all attempts), `1` — no
@@ -44,28 +49,71 @@ use clara_server::{
 
 fn usage() -> ExitCode {
     eprintln!("usage:");
-    eprintln!("  clara-cli problems");
-    eprintln!("  clara-cli grade  <problem> <attempt.py>");
-    eprintln!("  clara-cli repair <problem> <attempt.py>");
+    eprintln!("  clara-cli problems [--lang minipy|minic]");
+    eprintln!("  clara-cli grade  <problem> <attempt.py|attempt.c>");
+    eprintln!("  clara-cli repair [--lang L] <problem> <attempt.py|attempt.c>");
     eprintln!("  clara-cli clusters <problem> [pool-size]");
     eprintln!("  clara-cli serve [--index-dir DIR] [--http ADDR] [--pool-size N]");
-    eprintln!("                  [--workers N] [--queue N] [--no-learn] [problem...]");
-    eprintln!("  clara-cli batch <problem> <attempt.py>...");
+    eprintln!("                  [--workers N] [--queue N] [--no-learn] [--lang L] [problem...]");
+    eprintln!("  clara-cli batch [--lang L] <problem> <attempt.py|attempt.c>...");
     ExitCode::from(2)
 }
 
 fn find_problem(name: &str) -> Option<Problem> {
-    clara::corpus::all_problems().into_iter().find(|p| p.name == name)
+    clara::corpus::all_problems_all_langs().into_iter().find(|p| p.name == name)
+}
+
+/// Extracts a leading/interspersed `--lang VALUE` pair from `args`.
+/// `Ok(None)` when absent; `Err(())` when the value is missing or unknown.
+fn extract_lang(args: &mut Vec<String>) -> Result<Option<Lang>, ()> {
+    let Some(index) = args.iter().position(|a| a == "--lang") else { return Ok(None) };
+    if index + 1 >= args.len() {
+        eprintln!("--lang needs a value (minipy|minic)");
+        return Err(());
+    }
+    let value = args.remove(index + 1);
+    args.remove(index);
+    match Lang::from_tag(&value) {
+        Some(lang) => Ok(Some(lang)),
+        None => {
+            eprintln!("unknown language `{value}` (use minipy|minic)");
+            Err(())
+        }
+    }
+}
+
+/// Checks a `--lang` assertion against the resolved problem.
+fn lang_matches(problem: &Problem, lang: Option<Lang>) -> bool {
+    match lang {
+        Some(lang) if lang != problem.lang => {
+            eprintln!("problem `{}` is a {} assignment, not {}", problem.name, problem.lang, lang);
+            false
+        }
+        _ => true,
+    }
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().cloned();
+    let lang = match command.as_deref() {
+        // `serve` parses its own options (including --lang).
+        Some("serve") => None,
+        _ => match extract_lang(&mut args) {
+            Ok(lang) => lang,
+            Err(()) => return usage(),
+        },
+    };
+    match command.as_deref() {
         Some("problems") => {
-            for problem in clara::corpus::all_problems() {
+            for problem in clara::corpus::all_problems_all_langs() {
+                if lang.is_some_and(|l| l != problem.lang) {
+                    continue;
+                }
                 println!(
-                    "{:<20} entry `{}`, {} tests — {}",
+                    "{:<22} [{}] entry `{}`, {} tests — {}",
                     problem.name,
+                    problem.lang,
                     problem.entry,
                     problem.spec.tests.len(),
                     problem.statement
@@ -73,14 +121,14 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Some("grade") if args.len() == 3 => grade(&args[1], &args[2]),
-        Some("repair") if args.len() == 3 => repair(&args[1], &args[2]),
+        Some("grade") if args.len() == 3 => grade(&args[1], &args[2], lang),
+        Some("repair") if args.len() == 3 => repair(&args[1], &args[2], lang),
         Some("clusters") if args.len() >= 2 => {
             let pool = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60);
-            clusters(&args[1], pool)
+            clusters(&args[1], pool, lang)
         }
         Some("serve") => serve(&args[1..]),
-        Some("batch") if args.len() >= 3 => batch(&args[1], &args[2..]),
+        Some("batch") if args.len() >= 3 => batch(&args[1], &args[2..], lang),
         _ => usage(),
     }
 }
@@ -95,41 +143,46 @@ fn load(path: &str) -> Option<String> {
     }
 }
 
-fn grade(problem_name: &str, path: &str) -> ExitCode {
+fn grade(problem_name: &str, path: &str, lang: Option<Lang>) -> ExitCode {
     let Some(problem) = find_problem(problem_name) else {
         eprintln!("unknown problem `{problem_name}` (see `clara-cli problems`)");
         return ExitCode::from(2);
     };
+    if !lang_matches(&problem, lang) {
+        return ExitCode::from(2);
+    }
     let Some(source) = load(path) else { return ExitCode::from(2) };
-    match parse_program(&source) {
-        Err(err) => {
-            println!("syntax error: {err}");
-            ExitCode::from(2)
+    let Some(report) = problem.grade_report(&source) else {
+        // Re-parse only on the error path, to name the syntax error.
+        let err = clara::core::frontend(problem.lang)
+            .parse(&source)
+            .err()
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "unparseable submission".to_owned());
+        println!("syntax error: {err}");
+        return ExitCode::from(2);
+    };
+    println!("{} / {} tests passed", report.passed_count(), problem.spec.tests.len());
+    if report.all_passed() {
+        println!("the attempt is correct");
+        ExitCode::SUCCESS
+    } else {
+        if let Some(index) = report.first_failure() {
+            let test = &problem.spec.tests[index];
+            println!(
+                "first failing test: arguments {:?}",
+                test.args.iter().map(ToString::to_string).collect::<Vec<_>>()
+            );
         }
-        Ok(parsed) => {
-            let report = problem.spec.grade(&parsed);
-            println!("{} / {} tests passed", report.passed_count(), problem.spec.tests.len());
-            if report.all_passed() {
-                println!("the attempt is correct");
-                ExitCode::SUCCESS
-            } else {
-                if let Some(index) = report.first_failure() {
-                    let test = &problem.spec.tests[index];
-                    println!(
-                        "first failing test: arguments {:?}",
-                        test.args.iter().map(ToString::to_string).collect::<Vec<_>>()
-                    );
-                }
-                ExitCode::FAILURE
-            }
-        }
+        ExitCode::FAILURE
     }
 }
 
 /// Builds the correct-solution pool for a problem the way a course would use
-/// its archive: the problem's seeds plus a synthetic expansion.
+/// its archive: the problem's seeds plus a synthetic expansion (MiniPy) or
+/// the seed-cycling MiniC pool.
 fn build_store(problem: &Problem, pool: usize) -> ClusterStore {
-    let dataset = generate_dataset(
+    let dataset = generate_dataset_for(
         problem,
         DatasetConfig { correct_count: pool, incorrect_count: 0, seed: 4242, ..DatasetConfig::default() },
     );
@@ -141,13 +194,16 @@ fn build_store(problem: &Problem, pool: usize) -> ClusterStore {
     store
 }
 
-fn repair(problem_name: &str, path: &str) -> ExitCode {
+fn repair(problem_name: &str, path: &str, lang: Option<Lang>) -> ExitCode {
     let Some(problem) = find_problem(problem_name) else {
         eprintln!("unknown problem `{problem_name}` (see `clara-cli problems`)");
         return ExitCode::from(2);
     };
+    if !lang_matches(&problem, lang) {
+        return ExitCode::from(2);
+    }
     let Some(source) = load(path) else { return ExitCode::from(2) };
-    if let Err(err) = parse_program(&source) {
+    if let Err(err) = clara::core::frontend(problem.lang).parse(&source) {
         println!("syntax error: {err}");
         return ExitCode::from(2);
     }
@@ -193,11 +249,14 @@ fn repair(problem_name: &str, path: &str) -> ExitCode {
     }
 }
 
-fn clusters(problem_name: &str, pool: usize) -> ExitCode {
+fn clusters(problem_name: &str, pool: usize, lang: Option<Lang>) -> ExitCode {
     let Some(problem) = find_problem(problem_name) else {
         eprintln!("unknown problem `{problem_name}` (see `clara-cli problems`)");
         return ExitCode::from(2);
     };
+    if !lang_matches(&problem, lang) {
+        return ExitCode::from(2);
+    }
     let store = build_store(&problem, pool);
     let stats = store.stats();
     println!(
@@ -222,6 +281,7 @@ struct ServeOptions {
     workers: Option<usize>,
     queue: Option<usize>,
     learn: bool,
+    lang: Option<Lang>,
 }
 
 fn parse_serve_options(args: &[String]) -> Option<ServeOptions> {
@@ -233,6 +293,7 @@ fn parse_serve_options(args: &[String]) -> Option<ServeOptions> {
         workers: None,
         queue: None,
         learn: true,
+        lang: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -243,6 +304,7 @@ fn parse_serve_options(args: &[String]) -> Option<ServeOptions> {
             "--workers" => options.workers = Some(iter.next()?.parse().ok()?),
             "--queue" => options.queue = Some(iter.next()?.parse().ok()?),
             "--no-learn" => options.learn = false,
+            "--lang" => options.lang = Some(Lang::from_tag(iter.next()?)?),
             flag if flag.starts_with("--") => return None,
             name => options.problems.push(name.to_owned()),
         }
@@ -252,14 +314,21 @@ fn parse_serve_options(args: &[String]) -> Option<ServeOptions> {
 
 fn serve(args: &[String]) -> ExitCode {
     let Some(options) = parse_serve_options(args) else { return usage() };
-    let all = clara::corpus::all_problems();
+    let all = clara::corpus::all_problems_all_langs();
     let selected: Vec<Problem> = if options.problems.is_empty() {
-        all
+        all.into_iter().filter(|p| options.lang.is_none_or(|l| l == p.lang)).collect()
     } else {
         let mut selected = Vec::new();
         for name in &options.problems {
             match all.iter().find(|p| p.name == *name) {
-                Some(problem) => selected.push(problem.clone()),
+                Some(problem) => {
+                    // An explicit name contradicting --lang is a usage
+                    // error, not a silent override.
+                    if !lang_matches(problem, options.lang) {
+                        return ExitCode::from(2);
+                    }
+                    selected.push(problem.clone());
+                }
                 None => {
                     eprintln!("unknown problem `{name}` (see `clara-cli problems`)");
                     return ExitCode::from(2);
@@ -367,11 +436,14 @@ fn serve(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn batch(problem_name: &str, paths: &[String]) -> ExitCode {
+fn batch(problem_name: &str, paths: &[String], lang: Option<Lang>) -> ExitCode {
     let Some(problem) = find_problem(problem_name) else {
         eprintln!("unknown problem `{problem_name}` (see `clara-cli problems`)");
         return ExitCode::from(2);
     };
+    if !lang_matches(&problem, lang) {
+        return ExitCode::from(2);
+    }
     let store = build_store(&problem, 60);
     let service = FeedbackService::new(vec![store], ServiceConfig::default());
 
@@ -387,6 +459,7 @@ fn batch(problem_name: &str, paths: &[String]) -> ExitCode {
         let response = service.handle(&Request {
             id: index as u64,
             problem: problem.name.to_owned(),
+            lang: Some(problem.lang.as_str().to_owned()),
             source,
             learn: None,
         });

@@ -16,7 +16,8 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`lang`] | MiniPy — the student-program language (lexer, parser, AST, values, interpreter, grading) |
-//! | [`model`] | the Clara program model: locations, update expressions, traces (§3) |
+//! | [`c`] | MiniC — the C90-ish second frontend, lowering into the same model |
+//! | [`model`] | the Clara program model: locations, update expressions, traces (§3), the language-neutral surface IR and the `Frontend` abstraction |
 //! | [`ted`] | Zhang–Shasha tree edit distance (the repair cost metric) |
 //! | [`ilp`] | exact 0-1 ILP branch-and-bound solver (Definition 5.5) |
 //! | [`core`] | matching, clustering, repair and feedback (§4–§5, the paper's contribution) |
@@ -54,6 +55,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use clara_autograder as autograder;
+pub use clara_c as c;
 pub use clara_core as core;
 pub use clara_corpus as corpus;
 pub use clara_ilp as ilp;
@@ -66,11 +68,11 @@ pub use clara_ted as ted;
 pub mod prelude {
     pub use clara_autograder::{AutoGrader, AutoGraderConfig, ErrorModel};
     pub use clara_core::{
-        cluster_programs, find_matching, repair_attempt, AnalyzedProgram, Clara, ClaraConfig, Cluster,
-        Feedback, FeedbackOptions, RepairAction, RepairConfig, RepairResult,
+        cluster_programs, find_matching, frontend, repair_attempt, AnalyzedProgram, Clara, ClaraConfig,
+        Cluster, Feedback, FeedbackOptions, RepairAction, RepairConfig, RepairResult,
     };
-    pub use clara_corpus::{generate_dataset, Dataset, DatasetConfig, Problem};
+    pub use clara_corpus::{generate_dataset, generate_dataset_for, Dataset, DatasetConfig, Problem};
     pub use clara_lang::{parse_program, ProblemSpec, SourceProgram, TestCase, Value};
-    pub use clara_model::{execute, lower_entry, Fuel, Program, Trace};
+    pub use clara_model::{execute, lower_entry, Fuel, Lang, Program, Trace};
     pub use clara_ted::expr_edit_distance;
 }

@@ -44,14 +44,51 @@ def computeDeriv(poly):
 
 const GARBAGE: &str = "def broken(:\n    return ][\n";
 
-fn request_line(id: u64, source: &str) -> String {
+const BUGGY_FIB_C: &str = "\
+int fib(int k) {
+    int a = 1;
+    int b = 1;
+    int n = 1;
+    while (b < k) {
+        int c = a + b;
+        a = b;
+        b = c;
+        n = n + 1;
+    }
+    printf(\"%d\\n\", n);
+    return 0;
+}
+";
+
+const CORRECT_FIB_C: &str = "\
+int fib(int k) {
+    int prev = 1;
+    int cur = 1;
+    int count = 1;
+    while (cur <= k) {
+        int temp = cur;
+        cur = cur + prev;
+        prev = temp;
+        count = count + 1;
+    }
+    printf(\"%d\\n\", count);
+    return 0;
+}
+";
+
+fn request_line_for(id: u64, problem: &str, lang: Option<&str>, source: &str) -> String {
     serde_json::to_string(&clara_server::Request {
         id,
-        problem: "derivatives".to_owned(),
+        problem: problem.to_owned(),
+        lang: lang.map(str::to_owned),
         source: source.to_owned(),
         learn: None,
     })
     .unwrap()
+}
+
+fn request_line(id: u64, source: &str) -> String {
+    request_line_for(id, "derivatives", None, source)
 }
 
 #[test]
@@ -97,6 +134,58 @@ fn serve_answers_ndjson_requests_and_shuts_down_cleanly() {
     let garbage = by_id(3);
     assert_eq!(garbage.status, Status::Error);
     assert!(garbage.error.as_deref().unwrap_or("").contains("syntax error"), "{garbage:?}");
+
+    let status = child.wait().expect("waiting for clara-cli serve");
+    assert!(status.success(), "serve must exit 0 on EOF, got {status:?}");
+}
+
+/// The MiniC end-to-end smoke: `clara-cli serve` brings a MiniC problem
+/// online (parse → cluster), repairs a buggy C submission through the same
+/// NDJSON protocol, and the feedback renders expressions in C syntax.
+#[test]
+fn serve_handles_minic_submissions_end_to_end() {
+    let mut child = Command::new(CLI)
+        .args(["serve", "fibonacci_c", "--pool-size", "8", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning clara-cli serve");
+
+    {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        let lines = [
+            request_line_for(1, "fibonacci_c", Some("c"), BUGGY_FIB_C),
+            request_line_for(2, "fibonacci_c", None, CORRECT_FIB_C),
+            // A Python submission tagged as such against a C problem is a
+            // named client error, not a syntax error.
+            request_line_for(3, "fibonacci_c", Some("python"), CORRECT),
+        ];
+        for line in lines {
+            writeln!(stdin, "{line}").expect("writing request");
+        }
+    }
+    drop(child.stdin.take());
+
+    let stdout = child.stdout.take().expect("piped stdout");
+    let responses: Vec<Response> = BufReader::new(stdout)
+        .lines()
+        .map(|line| {
+            let line = line.expect("reading response line");
+            serde_json::from_str(&line).unwrap_or_else(|e| panic!("malformed response `{line}`: {e}"))
+        })
+        .collect();
+    assert_eq!(responses.len(), 3, "one response per request: {responses:?}");
+    let by_id = |id: u64| responses.iter().find(|r| r.id == id).expect("response by id");
+
+    let repaired = by_id(1);
+    assert_eq!(repaired.status, Status::Repaired, "{repaired:?}");
+    let text = repaired.feedback.join("\n");
+    assert!(text.contains("`b <= k`"), "expected the C-syntax condition fix, got: {text}");
+    assert_eq!(by_id(2).status, Status::Correct, "{:?}", by_id(2));
+    let mismatch = by_id(3);
+    assert_eq!(mismatch.status, Status::Error);
+    assert!(mismatch.error.as_deref().unwrap_or("").contains("expects minic submissions"), "{mismatch:?}");
 
     let status = child.wait().expect("waiting for clara-cli serve");
     assert!(status.success(), "serve must exit 0 on EOF, got {status:?}");
