@@ -1,0 +1,233 @@
+//! Differential repair oracle over generated buggy corpora
+//! (`BENCH_mutation.json`).
+//!
+//! For every problem the surface-IR mutation engine derives buggy variants
+//! of the correct seeds, the grader sorts them into `still-correct` /
+//! `wrong-answer` / `crashes-or-diverges` buckets, and the differential
+//! oracle runs the full cluster → match → repair pipeline on each
+//! wrong-answer variant, asserting **soundness** (a claimed repair must make
+//! the specification pass — Theorem 5.3 made executable) and reporting
+//! repair rate and mean relative patch size *per mutation operator*.
+//!
+//! The binary exits non-zero on any soundness violation, so the CI
+//! bench-smoke job fails if the pipeline ever claims an unsound repair. In
+//! `--smoke` mode it also enforces the corpus contract: ≥ 25 distinct
+//! wrong-answer mutants per problem across ≥ 2 problems in each language.
+
+use clara_bench::{emit_json_report, RunMode};
+use clara_core::{ClaraConfig, DifferentialOracle, OracleVerdict};
+use clara_corpus::minic::{fibonacci_c, special_number_c};
+use clara_corpus::study::{fibonacci, special_number};
+use clara_corpus::{
+    all_problems_all_langs, derive_mutants, MutantBucket, MutationConfig, MutationOp, Problem, SurfaceMutant,
+};
+use serde::Serialize;
+
+/// Per-operator aggregate over one problem's mutants.
+#[derive(Serialize, Default, Clone)]
+struct OperatorReport {
+    op: String,
+    generated: usize,
+    still_correct: usize,
+    wrong_answer: usize,
+    crashes_or_diverges: usize,
+    repaired: usize,
+    unsupported: usize,
+    soundness_violations: usize,
+    repair_rate: f64,
+    mean_relative_patch_size: f64,
+}
+
+#[derive(Serialize)]
+struct ProblemReport {
+    problem: String,
+    lang: String,
+    seeds: usize,
+    usable_references: usize,
+    mutants: usize,
+    distinct_wrong_answer: usize,
+    still_correct: usize,
+    crashes_or_diverges: usize,
+    mutation_attempts: usize,
+    operators: Vec<OperatorReport>,
+    soundness_violations: usize,
+}
+
+#[derive(Serialize)]
+struct MutationQualityReport {
+    corpus: String,
+    problems: Vec<ProblemReport>,
+    total_wrong_answer: usize,
+    total_repaired: usize,
+    total_soundness_violations: usize,
+}
+
+fn run_problem(problem: &Problem, config: &MutationConfig) -> ProblemReport {
+    let (mutants, stats) = derive_mutants(problem, config);
+    let (oracle, usable) = DifferentialOracle::new(
+        problem.lang,
+        problem.spec.clone(),
+        problem.seeds.iter().copied(),
+        ClaraConfig::default(),
+    );
+
+    let mut operators: Vec<OperatorReport> = MutationOp::all()
+        .iter()
+        .map(|op| OperatorReport { op: op.name().to_owned(), ..OperatorReport::default() })
+        .collect();
+    let index_of = |op: MutationOp| MutationOp::all().iter().position(|o| *o == op).expect("catalog op");
+
+    let mut violations = 0usize;
+    let mut relative_sizes: Vec<Vec<f64>> = vec![Vec::new(); operators.len()];
+    for mutant in &mutants {
+        let entry = &mut operators[index_of(mutant.op)];
+        entry.generated += 1;
+        match mutant.bucket {
+            MutantBucket::StillCorrect => entry.still_correct += 1,
+            MutantBucket::WrongAnswer => entry.wrong_answer += 1,
+            MutantBucket::CrashesOrDiverges => entry.crashes_or_diverges += 1,
+        }
+        if mutant.bucket != MutantBucket::WrongAnswer {
+            continue;
+        }
+        match oracle.check(&mutant.source) {
+            OracleVerdict::Repaired(check) => {
+                // An unsound claim is a pipeline bug, not a repair: it must
+                // not inflate the per-operator repair rate it invalidates.
+                if check.sound {
+                    entry.repaired += 1;
+                    if check.relative_size.is_finite() {
+                        relative_sizes[index_of(mutant.op)].push(check.relative_size);
+                    }
+                } else {
+                    entry.soundness_violations += 1;
+                    violations += 1;
+                    eprintln!(
+                        "SOUNDNESS VIOLATION [{} / {}]:\n{}",
+                        problem.name,
+                        mutant.op.name(),
+                        mutant.source
+                    );
+                }
+            }
+            OracleVerdict::Unsupported => entry.unsupported += 1,
+            OracleVerdict::NotRepaired { .. } => {}
+        }
+    }
+    for (entry, sizes) in operators.iter_mut().zip(&relative_sizes) {
+        entry.repair_rate =
+            if entry.wrong_answer > 0 { entry.repaired as f64 / entry.wrong_answer as f64 } else { 0.0 };
+        entry.mean_relative_patch_size =
+            if sizes.is_empty() { 0.0 } else { sizes.iter().sum::<f64>() / sizes.len() as f64 };
+    }
+    operators.retain(|o| o.generated > 0);
+
+    let bucket_count = |b: MutantBucket| mutants.iter().filter(|m: &&SurfaceMutant| m.bucket == b).count();
+    ProblemReport {
+        problem: problem.name.to_owned(),
+        lang: problem.lang.as_str().to_owned(),
+        seeds: problem.seeds.len(),
+        usable_references: usable,
+        mutants: mutants.len(),
+        distinct_wrong_answer: bucket_count(MutantBucket::WrongAnswer),
+        still_correct: bucket_count(MutantBucket::StillCorrect),
+        crashes_or_diverges: bucket_count(MutantBucket::CrashesOrDiverges),
+        mutation_attempts: stats.attempts,
+        operators,
+        soundness_violations: violations,
+    }
+}
+
+fn main() {
+    let mode = RunMode::from_env_and_args();
+    // Smoke: two problems per language, the acceptance floor of 25
+    // wrong-answer mutants each. Full: every problem of every frontend with
+    // a deeper pool.
+    let (problems, config) = if mode.smoke {
+        (
+            vec![fibonacci(), special_number(), fibonacci_c(), special_number_c()],
+            MutationConfig { seed: 0xB0661E5, target_wrong_answer: 25, max_attempts: 4_000 },
+        )
+    } else {
+        (
+            all_problems_all_langs(),
+            MutationConfig { seed: 0xB0661E5, target_wrong_answer: 60, max_attempts: 10_000 },
+        )
+    };
+
+    let mut report = MutationQualityReport {
+        corpus: format!(
+            "{} problems, ≥{} wrong-answer mutants each (mutation seed {:#x})",
+            problems.len(),
+            config.target_wrong_answer,
+            config.seed
+        ),
+        problems: Vec::new(),
+        total_wrong_answer: 0,
+        total_repaired: 0,
+        total_soundness_violations: 0,
+    };
+
+    println!("Differential repair oracle over generated buggy corpora:");
+    for problem in &problems {
+        let problem_report = run_problem(problem, &config);
+        let repaired: usize = problem_report.operators.iter().map(|o| o.repaired).sum();
+        println!(
+            "  {:22} [{}]: {:3} mutants ({} wrong-answer / {} still-correct / {} diverging), {} repaired, {} violations",
+            problem_report.problem,
+            problem_report.lang,
+            problem_report.mutants,
+            problem_report.distinct_wrong_answer,
+            problem_report.still_correct,
+            problem_report.crashes_or_diverges,
+            repaired,
+            problem_report.soundness_violations,
+        );
+        for op in &problem_report.operators {
+            if op.wrong_answer > 0 {
+                println!(
+                    "      {:20} {:3} wrong-answer, repair rate {:>5.1}%, mean relative patch {:.3}",
+                    op.op,
+                    op.wrong_answer,
+                    100.0 * op.repair_rate,
+                    op.mean_relative_patch_size,
+                );
+            }
+        }
+        report.total_wrong_answer += problem_report.distinct_wrong_answer;
+        report.total_repaired += repaired;
+        report.total_soundness_violations += problem_report.soundness_violations;
+        report.problems.push(problem_report);
+    }
+    println!(
+        "TOTAL: {} wrong-answer mutants, {} repaired, {} soundness violations",
+        report.total_wrong_answer, report.total_repaired, report.total_soundness_violations
+    );
+
+    if mode.smoke {
+        // The corpus contract of the smoke gate: every problem reaches the
+        // 25-distinct floor and both languages field ≥ 2 problems.
+        for problem in &report.problems {
+            assert!(
+                problem.distinct_wrong_answer >= 25,
+                "{}: only {} distinct wrong-answer mutants",
+                problem.problem,
+                problem.distinct_wrong_answer
+            );
+        }
+        for lang in ["minipy", "minic"] {
+            let count = report.problems.iter().filter(|p| p.lang == lang).count();
+            assert!(count >= 2, "smoke must cover ≥2 {lang} problems, has {count}");
+        }
+    }
+
+    emit_json_report("mutation", mode, &report);
+
+    if report.total_soundness_violations > 0 {
+        eprintln!(
+            "{} soundness violations: the repair pipeline claimed repairs that fail the spec",
+            report.total_soundness_violations
+        );
+        std::process::exit(1);
+    }
+}

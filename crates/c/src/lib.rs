@@ -17,9 +17,10 @@
 //!
 //! Subset limits (rejected with clear errors, like the paper's "unsupported
 //! feature" failures in §6.2): helper functions, pointers, string variables,
-//! scalar-only declarations, `continue` directly inside a `for` body (the
-//! model cannot express C's jump-to-step), and `break`/`continue` under
-//! nested loops (a model restriction shared with MiniPy).
+//! scalar-only declarations, and `break`/`continue` under nested loops (a
+//! model restriction shared with MiniPy). `continue` directly inside a `for`
+//! body is supported by duplicating the loop step before each `continue`
+//! during desugaring, so C's jump-to-step semantics is preserved.
 //!
 //! ## Example
 //!
@@ -47,14 +48,17 @@ pub mod lexer;
 pub mod lower;
 pub mod parser;
 pub mod pretty;
+pub mod unparse;
 
 pub use ast::{CFunction, CParam, CProgram, CStmt, CType};
 pub use lower::{lower_entry, lower_function, surface_function};
 pub use parser::{parse_c_expression, parse_c_program, ParseCError};
 pub use pretty::{c_expr_to_string, c_function_to_string, c_program_to_string, c_stmt_to_string};
+pub use unparse::{minic_function, minic_source};
 
 use clara_lang::{Expr, ProblemSpec};
 use clara_model::frontend::{model_passes, Frontend, FrontendError, Lang, ParsedSubmission};
+use clara_model::surface::SurfaceFunction;
 use clara_model::{LowerError, Program};
 
 /// The MiniC frontend: parsing, C-syntax expression rendering and
@@ -91,6 +95,14 @@ impl ParsedSubmission for MiniCParsed {
             Err(_) => false,
         }
     }
+
+    fn surface(&self, entry: &str) -> Result<SurfaceFunction, LowerError> {
+        let function = self
+            .0
+            .function(entry)
+            .ok_or_else(|| LowerError::new(1, format!("entry function `{entry}` is not defined")))?;
+        surface_function(function)
+    }
 }
 
 impl Frontend for MiniCFrontend {
@@ -107,6 +119,10 @@ impl Frontend for MiniCFrontend {
 
     fn render_expr(&self, expr: &Expr) -> String {
         c_expr_to_string(expr)
+    }
+
+    fn render_function(&self, function: &SurfaceFunction) -> Result<String, FrontendError> {
+        minic_source(function).map_err(|e| FrontendError::new(e.line, e.to_string()))
     }
 }
 

@@ -11,8 +11,10 @@
 //! * `x op= e`, `x++`, `a[i] = e` desugar exactly like their MiniPy
 //!   counterparts (`store` for index writes),
 //! * `for (init; cond; step)` is C sugar for `init; while (cond) { body;
-//!   step; }` — `continue` directly inside such a body is rejected, because
-//!   the model's `continue` would skip the step C still executes,
+//!   step; }` — a `continue` directly inside such a body would skip the
+//!   step C still executes, so the desugaring duplicates the step
+//!   immediately before each `continue` (a `continue` belonging to a
+//!   nested loop is left alone),
 //! * `printf(fmt, args)` splits the format string into literal chunks and
 //!   `%`-conversions, becoming one `Output` statement.
 
@@ -29,7 +31,7 @@ use crate::ast::{CFunction, CProgram, CStmt};
 ///
 /// Returns a [`LowerError`] when the entry function is missing or the
 /// program uses a construct the model does not support (helper functions,
-/// `continue` inside a `for` body, `break` under nested loops, ...).
+/// `break` under nested loops, ...).
 pub fn lower_entry(program: &CProgram, entry: &str) -> Result<Program, LowerError> {
     let function = program
         .function(entry)
@@ -57,7 +59,7 @@ pub fn lower_function(function: &CFunction) -> Result<Program, LowerError> {
 /// # Errors
 ///
 /// Returns a [`LowerError`] for MiniC constructs without a surface-IR
-/// meaning (`continue` in a `for` body, unsupported printf conversions).
+/// meaning (unsupported printf conversions, format/argument mismatches).
 pub fn surface_function(function: &CFunction) -> Result<SurfaceFunction, LowerError> {
     Ok(SurfaceFunction {
         name: function.name.clone(),
@@ -94,18 +96,18 @@ fn surface_stmt(stmt: &CStmt, out: &mut Vec<SurfaceStmt>) -> Result<(), LowerErr
             out.push(SurfaceStmt::While { cond: cond.clone(), body: surface_stmts(body)?, line: *line })
         }
         CStmt::For { init, cond, step, body, line } => {
-            if contains_direct_continue(body) {
-                return Err(LowerError::new(
-                    *line,
-                    "continue inside a for loop is not supported (it would skip the loop step)",
-                ));
-            }
             if let Some(init) = init {
                 surface_stmt(init, out)?;
             }
             let mut loop_body = surface_stmts(body)?;
             if let Some(step) = step {
-                surface_stmt(step, &mut loop_body)?;
+                let mut step_surface = Vec::new();
+                surface_stmt(step, &mut step_surface)?;
+                // C's `continue` jumps to the step, the model's `continue`
+                // jumps to the condition — duplicating the step before each
+                // direct `continue` makes the two agree.
+                prefix_step_before_continues(&mut loop_body, &step_surface);
+                loop_body.extend(step_surface);
             }
             let cond = cond.clone().unwrap_or(Expr::Lit(Lit::Bool(true)));
             out.push(SurfaceStmt::While { cond, body: loop_body, line: *line });
@@ -197,16 +199,38 @@ fn printf_pieces(format: &str, args: &[Expr], line: u32) -> Result<Vec<Expr>, Lo
     Ok(pieces)
 }
 
-fn contains_direct_continue(stmts: &[CStmt]) -> bool {
-    stmts.iter().any(|s| match s {
-        CStmt::Continue { .. } => true,
-        CStmt::If { then_body, else_body, .. } => {
-            contains_direct_continue(then_body) || contains_direct_continue(else_body)
+/// Inserts a copy of the desugared `for` step immediately before every
+/// `continue` that belongs to this loop (descending into branches but not
+/// into nested loops, whose `continue`s are their own). The copies are
+/// re-anchored at the `continue`'s source line, so feedback about the
+/// duplicated update points at the `continue` the student wrote.
+fn prefix_step_before_continues(stmts: &mut Vec<SurfaceStmt>, step: &[SurfaceStmt]) {
+    let mut i = 0;
+    while i < stmts.len() {
+        match &mut stmts[i] {
+            SurfaceStmt::Continue { line } => {
+                let at = *line;
+                let copies: Vec<SurfaceStmt> = step.iter().cloned().map(|s| reanchor(s, at)).collect();
+                let inserted = copies.len();
+                stmts.splice(i..i, copies);
+                i += inserted + 1;
+            }
+            SurfaceStmt::If { then_body, else_body, .. } => {
+                prefix_step_before_continues(then_body, step);
+                prefix_step_before_continues(else_body, step);
+                i += 1;
+            }
+            // A continue inside a nested loop belongs to that loop.
+            _ => i += 1,
         }
-        // continue inside a nested loop belongs to that loop.
-        CStmt::While { .. } | CStmt::For { .. } => false,
-        _ => false,
-    })
+    }
+}
+
+fn reanchor(stmt: SurfaceStmt, line: u32) -> SurfaceStmt {
+    match stmt {
+        SurfaceStmt::Assign { var, value, .. } => SurfaceStmt::Assign { var, value, line },
+        other => other,
+    }
 }
 
 #[cfg(test)]
@@ -260,8 +284,10 @@ void count(int n) {
     }
 
     #[test]
-    fn continue_in_for_is_rejected_but_fine_in_while() {
-        let bad = "\
+    fn continue_in_for_duplicates_the_step() {
+        // `continue` in a C `for` jumps to the *step*; the desugaring must
+        // duplicate `i++` before the `continue` so the loop still advances.
+        let src = "\
 void f(int n) {
     int i;
     for (i = 0; i < n; i++) {
@@ -272,25 +298,95 @@ void f(int n) {
     }
 }
 ";
-        let program = parse_c_program(bad).unwrap();
-        let err = lower_entry(&program, "f").unwrap_err();
-        assert!(err.message.contains("continue inside a for loop"), "{err}");
-        let good = "\
-void f(int n) {
-    int i = 0;
-    while (i < n) {
-        i = i + 1;
-        if (i == 2) {
+        let program = parse_c_program(src).unwrap();
+        let model = lower_entry(&program, "f").unwrap();
+        let trace = execute(&model, &[Value::Int(5)], Fuel::default());
+        assert_eq!(trace.status, TraceStatus::Completed, "loop must not hang on continue");
+        assert_eq!(trace.output(), "0\n1\n3\n4\n");
+    }
+
+    #[test]
+    fn continue_in_for_is_trace_equivalent_to_the_hand_desugared_while() {
+        // The ROADMAP's reference desugaring: duplicate the step expression
+        // before each `continue` of the equivalent `while` form. Both
+        // programs must produce identical traces on every input.
+        let with_for = "\
+int f(int n) {
+    int skipped = 0;
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        if (i % 3 == 0) {
+            skipped = skipped + 1;
             continue;
         }
         printf(\"%d\\n\", i);
     }
+    return skipped;
 }
 ";
-        let program = parse_c_program(good).unwrap();
-        let model = lower_entry(&program, "f").unwrap();
+        let hand_desugared = "\
+int f(int n) {
+    int skipped = 0;
+    int i = 0;
+    while (i < n) {
+        if (i % 3 == 0) {
+            skipped = skipped + 1;
+            i = i + 1;
+            continue;
+        }
+        printf(\"%d\\n\", i);
+        i = i + 1;
+    }
+    return skipped;
+}
+";
+        let for_model = lower_entry(&parse_c_program(with_for).unwrap(), "f").unwrap();
+        let while_model = lower_entry(&parse_c_program(hand_desugared).unwrap(), "f").unwrap();
+        assert_eq!(
+            StructSig::sequence_key(&for_model.signature),
+            StructSig::sequence_key(&while_model.signature),
+            "desugared control flow must match the hand-written while form"
+        );
+        for n in 0..10 {
+            let a = execute(&for_model, &[Value::Int(n)], Fuel::default());
+            let b = execute(&while_model, &[Value::Int(n)], Fuel::default());
+            assert_eq!(a.status, TraceStatus::Completed, "n={n}");
+            assert_eq!(a.status, b.status, "n={n}");
+            assert_eq!(a.output(), b.output(), "n={n}");
+            assert_eq!(a.return_value(), b.return_value(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn continue_in_a_nested_while_keeps_the_outer_for_step_single() {
+        // The continue belongs to the inner while; the for step must not be
+        // duplicated into the inner loop. (The model rejects break/continue
+        // under nested loops only when the *same* body contains both, so the
+        // inner loop here is continue-free from the for's point of view.)
+        let src = "\
+int f(int n) {
+    int total = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        int j = 0;
+        while (j < i) {
+            j = j + 1;
+            if (j == 1) {
+                continue;
+            }
+            total = total + 1;
+        }
+    }
+    return total;
+}
+";
+        let model = lower_entry(&parse_c_program(src).unwrap(), "f").unwrap();
         let trace = execute(&model, &[Value::Int(4)], Fuel::default());
-        assert_eq!(trace.output(), "1\n3\n4\n");
+        assert_eq!(trace.status, TraceStatus::Completed);
+        // i=0 -> 0, i=1 -> j=1 skipped, i=2 -> j=2, i=3 -> j∈{2,3}: total 3.
+        // If the outer step leaked into the inner continue, i would advance
+        // inside the inner loop and the count would differ.
+        assert_eq!(trace.return_value(), Value::Int(3));
     }
 
     #[test]

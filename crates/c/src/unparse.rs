@@ -1,0 +1,310 @@
+//! Un-desugaring of the surface IR back into MiniC source text.
+//!
+//! The mutation engine of `clara-corpus` rewrites programs at the
+//! language-neutral surface-IR level; this module renders the rewritten
+//! function back as compilable-looking MiniC so the variant re-parses
+//! through [`crate::parser`] like any student submission. It inverts the
+//! desugarings of [`crate::lower`]:
+//!
+//! * the first assignment of each non-parameter variable becomes a
+//!   declaration with initialiser (`int s = 0;`); later assignments stay
+//!   plain assignments,
+//! * `x = store(x, i, e)` becomes `x[i] = e;`,
+//! * an [`SurfaceStmt::Output`] piece list becomes one `printf`: literal
+//!   pieces concatenate into the format string (`%` doubled), `str(e)`
+//!   conversions become `%d` specifiers consuming one argument.
+//!
+//! Types are reconstructed heuristically — MiniC erases them during
+//! lowering (declarations are modelled as assignments), so the renderer
+//! declares `float` where a float literal appears in the initialiser and
+//! `int` otherwise, and marks parameters used as index bases as arrays.
+//! The heuristic is exact for the integer corpus problems; it only affects
+//! spelling, never model semantics (the lowering ignores declared types).
+
+use std::collections::HashSet;
+
+use clara_lang::ast::{Expr, Lit, Target};
+use clara_model::surface::{SurfaceFunction, SurfaceStmt};
+use clara_model::LowerError;
+
+use crate::ast::{CFunction, CParam, CProgram, CStmt, CType};
+use crate::pretty::c_program_to_string;
+
+/// Renders a surface function as MiniC source text.
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] when the function contains a construct with no
+/// MiniC spelling (a `ForEach` loop, or output pieces that cannot be folded
+/// into one `printf`).
+pub fn minic_source(function: &SurfaceFunction) -> Result<String, LowerError> {
+    let function = minic_function(function)?;
+    Ok(c_program_to_string(&CProgram { functions: vec![function] }))
+}
+
+/// Un-desugars a surface function into a MiniC AST function.
+///
+/// # Errors
+///
+/// See [`minic_source`].
+pub fn minic_function(function: &SurfaceFunction) -> Result<CFunction, LowerError> {
+    let mut array_params = HashSet::new();
+    collect_indexed_names(&function.body, &mut array_params);
+    let params: Vec<CParam> = function
+        .params
+        .iter()
+        .map(|name| CParam { name: name.clone(), ty: CType::Int, array: array_params.contains(name) })
+        .collect();
+    let mut declared: HashSet<String> = function.params.iter().cloned().collect();
+    let body = unparse_stmts(&function.body, &mut declared)?;
+    Ok(CFunction {
+        name: function.name.clone(),
+        ret: return_type(&function.body),
+        params,
+        body,
+        line: function.line,
+    })
+}
+
+/// `int` unless every `return` in the function is the bare-`return`
+/// encoding (a `None` literal), in which case the function is `void`.
+fn return_type(body: &[SurfaceStmt]) -> CType {
+    fn any_value_return(body: &[SurfaceStmt]) -> bool {
+        body.iter().any(|stmt| match stmt {
+            SurfaceStmt::Return { value, .. } => *value != Expr::Lit(Lit::None),
+            SurfaceStmt::If { then_body, else_body, .. } => {
+                any_value_return(then_body) || any_value_return(else_body)
+            }
+            SurfaceStmt::While { body, .. } | SurfaceStmt::ForEach { body, .. } => any_value_return(body),
+            _ => false,
+        })
+    }
+    if any_value_return(body) {
+        CType::Int
+    } else {
+        CType::Void
+    }
+}
+
+fn collect_indexed_names(body: &[SurfaceStmt], out: &mut HashSet<String>) {
+    fn walk_expr(expr: &Expr, out: &mut HashSet<String>) {
+        if let Expr::Index(base, _) = expr {
+            if let Expr::Var(name) = base.as_ref() {
+                out.insert(name.clone());
+            }
+        }
+        match expr {
+            Expr::Lit(_) | Expr::Var(_) => {}
+            Expr::List(items) | Expr::Tuple(items) => items.iter().for_each(|e| walk_expr(e, out)),
+            Expr::Unary(_, inner) => walk_expr(inner, out),
+            Expr::Binary(_, lhs, rhs) => {
+                walk_expr(lhs, out);
+                walk_expr(rhs, out);
+            }
+            Expr::Index(base, idx) => {
+                walk_expr(base, out);
+                walk_expr(idx, out);
+            }
+            Expr::Slice(base, lo, hi) => {
+                walk_expr(base, out);
+                if let Some(lo) = lo {
+                    walk_expr(lo, out);
+                }
+                if let Some(hi) = hi {
+                    walk_expr(hi, out);
+                }
+            }
+            Expr::Call(_, args) => args.iter().for_each(|e| walk_expr(e, out)),
+            Expr::Method(recv, _, args) => {
+                walk_expr(recv, out);
+                args.iter().for_each(|e| walk_expr(e, out));
+            }
+        }
+    }
+    for stmt in body {
+        match stmt {
+            SurfaceStmt::Assign { value, .. } => walk_expr(value, out),
+            SurfaceStmt::If { cond, then_body, else_body, .. } => {
+                walk_expr(cond, out);
+                collect_indexed_names(then_body, out);
+                collect_indexed_names(else_body, out);
+            }
+            SurfaceStmt::While { cond, body, .. } => {
+                walk_expr(cond, out);
+                collect_indexed_names(body, out);
+            }
+            SurfaceStmt::ForEach { iter, body, .. } => {
+                walk_expr(iter, out);
+                collect_indexed_names(body, out);
+            }
+            SurfaceStmt::Return { value, .. } => walk_expr(value, out),
+            SurfaceStmt::Output { pieces, .. } => pieces.iter().for_each(|e| walk_expr(e, out)),
+            _ => {}
+        }
+    }
+}
+
+fn contains_float_literal(expr: &Expr) -> bool {
+    match expr {
+        Expr::Lit(Lit::Float(_)) => true,
+        Expr::Lit(_) | Expr::Var(_) => false,
+        Expr::List(items) | Expr::Tuple(items) => items.iter().any(contains_float_literal),
+        Expr::Unary(_, inner) => contains_float_literal(inner),
+        Expr::Binary(_, lhs, rhs) => contains_float_literal(lhs) || contains_float_literal(rhs),
+        Expr::Index(base, idx) => contains_float_literal(base) || contains_float_literal(idx),
+        Expr::Slice(base, lo, hi) => {
+            contains_float_literal(base)
+                || lo.as_deref().is_some_and(contains_float_literal)
+                || hi.as_deref().is_some_and(contains_float_literal)
+        }
+        Expr::Call(_, args) => args.iter().any(contains_float_literal),
+        Expr::Method(recv, _, args) => {
+            contains_float_literal(recv) || args.iter().any(contains_float_literal)
+        }
+    }
+}
+
+fn unparse_stmts(stmts: &[SurfaceStmt], declared: &mut HashSet<String>) -> Result<Vec<CStmt>, LowerError> {
+    stmts.iter().map(|stmt| unparse_stmt(stmt, declared)).collect()
+}
+
+fn unparse_stmt(stmt: &SurfaceStmt, declared: &mut HashSet<String>) -> Result<CStmt, LowerError> {
+    Ok(match stmt {
+        SurfaceStmt::Assign { var, value, line } => {
+            // `x = store(x, i, e)` is the desugared index assignment.
+            if let Expr::Call(name, args) = value {
+                if name == "store" && args.len() == 3 && args[0] == Expr::var(var.as_str()) {
+                    return Ok(CStmt::Assign {
+                        target: Target::Index(var.clone(), args[1].clone()),
+                        op: None,
+                        value: args[2].clone(),
+                        line: *line,
+                    });
+                }
+            }
+            if declared.insert(var.clone()) {
+                let ty = if contains_float_literal(value) { CType::Float } else { CType::Int };
+                CStmt::Decl { name: var.clone(), ty, init: Some(value.clone()), line: *line }
+            } else {
+                CStmt::Assign {
+                    target: Target::Name(var.clone()),
+                    op: None,
+                    value: value.clone(),
+                    line: *line,
+                }
+            }
+        }
+        SurfaceStmt::If { cond, then_body, else_body, line } => CStmt::If {
+            cond: cond.clone(),
+            then_body: unparse_stmts(then_body, declared)?,
+            else_body: unparse_stmts(else_body, declared)?,
+            line: *line,
+        },
+        SurfaceStmt::While { cond, body, line } => {
+            CStmt::While { cond: cond.clone(), body: unparse_stmts(body, declared)?, line: *line }
+        }
+        SurfaceStmt::ForEach { line, .. } => {
+            return Err(LowerError::new(*line, "MiniC has no iterator-style for loop"));
+        }
+        SurfaceStmt::Return { value, line } => {
+            let value = if *value == Expr::Lit(Lit::None) { None } else { Some(value.clone()) };
+            CStmt::Return { value, line: *line }
+        }
+        SurfaceStmt::Output { pieces, line } => printf_stmt(pieces, *line)?,
+        SurfaceStmt::Break { line } => CStmt::Break { line: *line },
+        SurfaceStmt::Continue { line } => CStmt::Continue { line: *line },
+        SurfaceStmt::Nop { line } => CStmt::Empty { line: *line },
+    })
+}
+
+/// Folds an output piece list back into one `printf`: literal pieces extend
+/// the format string (with `%` escaped as `%%`), `str(e)` conversions become
+/// `%d` specifiers. Mirrors [`crate::lower`]'s `printf_pieces`.
+fn printf_stmt(pieces: &[Expr], line: u32) -> Result<CStmt, LowerError> {
+    let mut format = String::new();
+    let mut args = Vec::new();
+    for piece in pieces {
+        match piece {
+            Expr::Lit(Lit::Str(text)) => format.push_str(&text.replace('%', "%%")),
+            Expr::Call(name, inner) if name == "str" && inner.len() == 1 => {
+                format.push_str("%d");
+                args.push(inner[0].clone());
+            }
+            other => {
+                return Err(LowerError::new(line, format!("output piece has no printf spelling: {other:?}")));
+            }
+        }
+    }
+    Ok(CStmt::Printf { format, args, line })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::surface_function;
+    use crate::parser::parse_c_program;
+
+    /// Parsing, desugaring to the surface IR and rendering back must
+    /// preserve the canonical (pretty-printed) structure, modulo the
+    /// documented normalisations (`for` becomes `while`, bare declarations
+    /// become `;`).
+    #[test]
+    fn desugar_then_unparse_round_trips_the_corpus_shapes() {
+        for src in [
+            "int fib(int k) {\n    int a = 1;\n    int b = 1;\n    int n = 1;\n    while (b <= k) {\n        int c = a + b;\n        a = b;\n        b = c;\n        n = n + 1;\n    }\n    printf(\"%d\\n\", n);\n    return 0;\n}\n",
+            "int special(int n) {\n    int s = 0;\n    int m = n;\n    while (m > 0) {\n        int d = m % 10;\n        s = s + d * d * d;\n        m = m / 10;\n    }\n    if (s == n) {\n        printf(\"YES\\n\");\n    } else {\n        printf(\"NO\\n\");\n    }\n    return 0;\n}\n",
+        ] {
+            let parsed = parse_c_program(src).unwrap();
+            let surface = surface_function(&parsed.functions[0]).unwrap();
+            let rendered = minic_source(&surface).unwrap();
+            let reparsed = parse_c_program(&rendered).expect("rendered source re-parses");
+            assert_eq!(
+                c_program_to_string(&reparsed),
+                c_program_to_string(&parsed),
+                "round trip changed structure for:\n{src}\n->\n{rendered}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_loops_render_in_their_desugared_while_form() {
+        let src = "\
+int revdiff(int n) {
+    int m = n;
+    int r = 0;
+    for (; m > 0; m = m / 10) {
+        r = r * 10 + m % 10;
+    }
+    printf(\"%d\\n\", n - r);
+    return 0;
+}
+";
+        let parsed = parse_c_program(src).unwrap();
+        let surface = surface_function(&parsed.functions[0]).unwrap();
+        let rendered = minic_source(&surface).unwrap();
+        assert!(rendered.contains("while (m > 0)"), "{rendered}");
+        let reparsed = parse_c_program(&rendered).unwrap();
+        // The rendered form is its own fixpoint: pretty -> parse -> pretty is
+        // stable.
+        assert_eq!(c_program_to_string(&reparsed), rendered);
+    }
+
+    #[test]
+    fn array_params_percent_escapes_and_index_stores_render() {
+        let src = "\
+void f(int xs[], int n) {
+    xs[0] = n;
+    printf(\"100%% of %d\\n\", xs[0]);
+}
+";
+        let parsed = parse_c_program(src).unwrap();
+        let surface = surface_function(&parsed.functions[0]).unwrap();
+        let rendered = minic_source(&surface).unwrap();
+        assert!(rendered.contains("int xs[]"), "{rendered}");
+        assert!(rendered.contains("xs[0] = n;"), "{rendered}");
+        assert!(rendered.contains("100%%"), "{rendered}");
+        assert!(rendered.starts_with("void f"), "{rendered}");
+        let reparsed = parse_c_program(&rendered).unwrap();
+        assert_eq!(c_program_to_string(&reparsed), rendered);
+    }
+}

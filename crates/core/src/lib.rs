@@ -49,6 +49,7 @@ pub mod cluster;
 pub mod feedback;
 pub mod frontends;
 pub mod matching;
+pub mod oracle;
 pub mod repair;
 pub mod sigcache;
 
@@ -57,6 +58,7 @@ pub use cluster::{cluster_programs, clustering_stats, Cluster, ClusteringStats};
 pub use feedback::{generic_strategy, render_feedback, Feedback, FeedbackOptions};
 pub use frontends::frontend;
 pub use matching::{apply_var_map, exprs_match, find_matching, VarMap};
+pub use oracle::{DifferentialOracle, OracleVerdict, RepairCheck};
 pub use repair::{
     repair_against_cluster, repair_attempt, ClusterRepair, RepairAction, RepairConfig, RepairFailure,
     RepairResult,

@@ -153,7 +153,7 @@ pub struct DatasetStats {
 
 /// Generates a deterministic synthetic corpus for `problem`.
 pub fn generate_dataset(problem: &Problem, config: DatasetConfig) -> Dataset {
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ hash_name(problem.name));
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ crate::stable_name_hash(problem.name));
     let mut correct = Vec::with_capacity(config.correct_count);
     let mut incorrect = Vec::with_capacity(config.incorrect_count);
     let mut id = 0usize;
@@ -258,14 +258,6 @@ pub fn generate_dataset(problem: &Problem, config: DatasetConfig) -> Dataset {
 /// The fault kinds available to the mutator (re-exported for reporting).
 pub fn fault_kinds() -> &'static [FaultKind] {
     FaultKind::all()
-}
-
-fn hash_name(name: &str) -> u64 {
-    use std::collections::hash_map::DefaultHasher;
-    use std::hash::{Hash, Hasher};
-    let mut hasher = DefaultHasher::new();
-    name.hash(&mut hasher);
-    hasher.finish()
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@
 pub mod dataset;
 pub mod minic;
 pub mod mooc;
+pub mod mutate;
 pub mod mutation;
 pub mod problem;
 pub mod study;
@@ -39,12 +40,31 @@ pub mod workload;
 
 pub use dataset::{generate_dataset, Attempt, AttemptKind, Dataset, DatasetConfig, DatasetStats};
 pub use minic::{all_minic_problems, generate_minic_dataset, minic_incorrect_attempts};
+pub use mutate::{
+    classify, derive_mutants, frontend_for, MutantBucket, MutationConfig, MutationOp, MutationStats,
+    SurfaceMutant,
+};
 pub use mutation::{empty_attempt, mutate, unsupported_attempt, FaultKind, Mutant};
 pub use problem::{GradingMode, Problem};
 pub use variation::{rename_variables, rename_with, tweak_expressions, vary_seed};
 pub use workload::{duplicate_fraction, generate_workload, RequestKind, WorkloadConfig, WorkloadRequest};
 
 use clara_model::frontend::Lang;
+
+/// A stable FNV-1a hash of a problem name, used to derive independent
+/// per-problem RNG streams from one corpus seed. Hand-rolled on purpose:
+/// `DefaultHasher` is only documented as deterministic within a process, so
+/// keying RNG streams on it would let a std upgrade silently change every
+/// "seeded" corpus. Byte-identical datasets across builds require a hash
+/// that is ours.
+pub(crate) fn stable_name_hash(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
 
 /// All nine MiniPy problems of the paper's evaluation (Table 1 + Table 2).
 pub fn all_problems() -> Vec<Problem> {
@@ -75,6 +95,51 @@ pub fn generate_dataset_for(problem: &Problem, config: DatasetConfig) -> Dataset
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stream_seeds_are_pinned_to_the_specified_fnv1a() {
+        // The per-problem RNG streams are keyed on FNV-1a of the problem
+        // name. FNV-1a is a fixed public algorithm, so these values must
+        // never change — a change means every "seeded" corpus silently
+        // regenerated differently (the bug this replaced `DefaultHasher`
+        // over).
+        assert_eq!(stable_name_hash("fibonacci"), 0x76c50fd017aaf2c3);
+        assert_eq!(stable_name_hash("fibonacci_c"), 0xd6b3c7a644b9d735);
+    }
+
+    #[test]
+    fn datasets_are_byte_identical_across_lang_mixes_and_generation_order() {
+        // Regression: two runs with the same DatasetConfig::seed must
+        // produce byte-identical per-problem datasets no matter which other
+        // problems (or languages) are generated around them, in what order.
+        let config = DatasetConfig {
+            correct_count: 12,
+            incorrect_count: 8,
+            seed: 0xD15EED,
+            ..DatasetConfig::default()
+        };
+        let fingerprint = |d: &dataset::Dataset| {
+            d.correct
+                .iter()
+                .chain(&d.incorrect)
+                .map(|a| (a.id, a.source.clone(), a.is_correct))
+                .collect::<Vec<_>>()
+        };
+        let mut mixed = all_problems_all_langs();
+        let solo: Vec<_> = mixed.iter().map(|p| fingerprint(&generate_dataset_for(p, config))).collect();
+        // Same problems, reversed generation order, interleaving the
+        // languages differently.
+        mixed.reverse();
+        let reversed: Vec<_> = mixed.iter().map(|p| fingerprint(&generate_dataset_for(p, config))).collect();
+        for (i, problem) in mixed.iter().enumerate() {
+            let original = &solo[solo.len() - 1 - i];
+            assert_eq!(
+                &reversed[i], original,
+                "`{}` generated differently depending on corpus mix/order",
+                problem.name
+            );
+        }
+    }
 
     #[test]
     fn there_are_nine_problems() {

@@ -4,9 +4,10 @@
 //! submissions; these are faithful C90-ish translations of the integer
 //! problems — `fibonacci`, `special_number` and `reverse_difference` — with
 //! seed solutions mirroring the strategy diversity of their MiniPy
-//! counterparts and hand-written buggy attempts standing in for the
-//! fault-injected mutants of the MiniPy corpus (the mutation engine is
-//! MiniPy-AST-based).
+//! counterparts. Incorrect attempts are synthesised by the language-neutral
+//! surface-IR mutation engine ([`crate::mutate`]); the hand-written buggy
+//! attempts below remain as curated regression cases and as the fallback
+//! population when a tiny mutation budget runs dry.
 //!
 //! The seeds are written so that the reference solutions lower to model
 //! programs *isomorphic* to the MiniPy references (same location structure,
@@ -407,11 +408,14 @@ pub fn minic_incorrect_attempts(problem_name: &str) -> Vec<&'static str> {
 
 /// Builds a deterministic MiniC dataset: the correct pool cycles the seeds
 /// (duplicate resubmission is the dominant MOOC pattern, so verbatim
-/// repetition is realistic traffic), the incorrect pool cycles the
-/// hand-written buggy attempts. The MiniPy variation/mutation engines are
-/// AST-specific and do not apply here; `config.seed` is accepted for
-/// interface symmetry but the generation is deterministic regardless.
+/// repetition is realistic traffic); the incorrect pool is *synthesised* by
+/// the surface-IR mutation engine ([`crate::mutate`]) from `config.seed` —
+/// every failing bucket qualifies (wrong answers and diverging attempts are
+/// both realistic traffic) — topped up by cycling the hand-written buggy
+/// attempts when the engine's budget runs dry.
 pub fn generate_minic_dataset(problem: &Problem, config: DatasetConfig) -> Dataset {
+    use crate::mutate::{derive_mutants, MutantBucket, MutationConfig};
+
     let buggy = minic_incorrect_attempts(problem.name);
     assert!(!buggy.is_empty(), "`{}` is not a MiniC problem with attempts", problem.name);
     let mut id = 0usize;
@@ -431,9 +435,23 @@ pub fn generate_minic_dataset(problem: &Problem, config: DatasetConfig) -> Datas
         let kind = if i < problem.seeds.len() { AttemptKind::Seed } else { AttemptKind::Variant };
         push(&mut correct, source, true, kind);
     }
+    let mutation_config = MutationConfig {
+        seed: config.seed,
+        target_wrong_answer: config.incorrect_count,
+        max_attempts: (config.incorrect_count * 40).max(400),
+    };
+    let (mutants, _) = derive_mutants(problem, &mutation_config);
     let mut incorrect = Vec::with_capacity(config.incorrect_count);
-    for i in 0..config.incorrect_count {
+    for mutant in mutants.iter().filter(|m| m.bucket != MutantBucket::StillCorrect) {
+        if incorrect.len() >= config.incorrect_count {
+            break;
+        }
+        push(&mut incorrect, &mutant.source, false, AttemptKind::Mutant);
+    }
+    let mut i = 0usize;
+    while incorrect.len() < config.incorrect_count {
         push(&mut incorrect, buggy[i % buggy.len()], false, AttemptKind::Mutant);
+        i += 1;
     }
     Dataset { problem: problem.clone(), correct, incorrect, config }
 }
@@ -477,11 +495,32 @@ mod tests {
         }
         for attempt in &dataset.incorrect {
             assert!(!attempt.is_correct);
+            assert_eq!(dataset.problem.grade_source(&attempt.source), Some(false), "{}", attempt.source);
         }
         // Ids are unique across both pools.
         let ids: std::collections::HashSet<usize> =
             dataset.correct.iter().chain(&dataset.incorrect).map(|a| a.id).collect();
         assert_eq!(ids.len(), 16);
+    }
+
+    #[test]
+    fn minic_incorrect_pools_are_synthesised_not_hand_cycled() {
+        // With the surface mutation engine in place the incorrect pool is no
+        // longer limited to the 3 hand-written attempts per problem.
+        let problem = fibonacci_c();
+        let config = DatasetConfig { correct_count: 5, incorrect_count: 12, ..DatasetConfig::default() };
+        let dataset = generate_minic_dataset(&problem, config);
+        let distinct: std::collections::HashSet<&str> =
+            dataset.incorrect.iter().map(|a| a.source.as_str()).collect();
+        assert!(
+            distinct.len() > fibonacci_c_incorrect().len(),
+            "only {} distinct incorrect attempts",
+            distinct.len()
+        );
+        // A different corpus seed produces a different incorrect pool.
+        let other = generate_minic_dataset(&problem, DatasetConfig { seed: config.seed + 1, ..config });
+        let texts = |d: &Dataset| d.incorrect.iter().map(|a| a.source.clone()).collect::<Vec<_>>();
+        assert_ne!(texts(&dataset), texts(&other));
     }
 
     #[test]

@@ -1,0 +1,664 @@
+//! The language-neutral mutation engine: unbounded, reproducible buggy
+//! populations over the surface IR.
+//!
+//! The paper's evaluation leans on thousands of real incorrect student
+//! attempts; the AST-level [`crate::mutation`] engine substitutes for them in
+//! MiniPy only. This module plays the same role for *every* frontend — the
+//! part the C-Pack of IPAs benchmark plays for C repair tools: it desugars a
+//! correct seed program into the language-neutral surface IR (via its
+//! [`Frontend`]), applies one of a catalog of student-realistic
+//! [`MutationOp`]s, renders the rewritten function back through the same
+//! frontend's pretty-printer (so variants are *real source files* that
+//! re-parse), and classifies each variant with the problem's grader into
+//! [`MutantBucket`]s:
+//!
+//! * `still-correct` — the perturbation happened to preserve behaviour on
+//!   the test suite (these are discarded by corpus generation but counted,
+//!   they calibrate operator strength);
+//! * `wrong-answer` — every test completes, at least one disagrees with the
+//!   expectation (the population the repair pipeline is evaluated on);
+//! * `crashes-or-diverges` — at least one test crashes, exhausts its step
+//!   budget or gets stuck (dropped loop increments, negated loop bounds).
+//!
+//! Generation is fully deterministic given [`MutationConfig::seed`]: the
+//! only randomness source is a `ChaCha8Rng`, candidates are deduplicated by
+//! structural hash through a `HashSet` that is never iterated, and seeds and
+//! operators are visited in fixed round-robin order.
+
+use std::collections::HashSet;
+
+use clara_lang::ast::{BinOp, Expr, Lit, UnOp};
+use clara_model::frontend::{grading_fuel, Frontend, Lang};
+use clara_model::surface::{
+    assigned_vars, expr_slots_mut, for_each_block_mut, rename_vars, SurfaceFunction, SurfaceStmt,
+};
+use clara_model::{execute, TraceStatus};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::mutation::{children_of, rebuild};
+use crate::problem::Problem;
+
+/// The catalog of student-realistic mutation operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationOp {
+    /// Perturb a loop bound by one (`b <= k` → `b <= k - 1`, or a
+    /// `range(...)` bound for iterator loops).
+    OffByOneBound,
+    /// Replace a comparison operator (`<` → `<=`, `==` → `!=`, ...).
+    FlipComparison,
+    /// Swap two variables throughout the function.
+    SwapVariables,
+    /// Remove one simple statement from a block.
+    DropStatement,
+    /// Swap two adjacent statements in a block.
+    ReorderStatements,
+    /// Perturb a literal initialiser (`0` → `1`, `1` → `0`, `k` → `k±1`).
+    WrongInitializer,
+    /// Remove a `return` statement.
+    DropReturn,
+    /// Remove an output statement.
+    DropOutput,
+    /// Negate a branch condition.
+    NegateBranch,
+    /// Replace an arithmetic operator (`+` → `-`, `%` → `/`, ...).
+    FlipArithmetic,
+}
+
+impl MutationOp {
+    /// Every operator of the catalog, in a fixed order.
+    pub fn all() -> &'static [MutationOp] {
+        &[
+            MutationOp::OffByOneBound,
+            MutationOp::FlipComparison,
+            MutationOp::SwapVariables,
+            MutationOp::DropStatement,
+            MutationOp::ReorderStatements,
+            MutationOp::WrongInitializer,
+            MutationOp::DropReturn,
+            MutationOp::DropOutput,
+            MutationOp::NegateBranch,
+            MutationOp::FlipArithmetic,
+        ]
+    }
+
+    /// Stable kebab-case name, used in reports and JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationOp::OffByOneBound => "off-by-one-bound",
+            MutationOp::FlipComparison => "flip-comparison",
+            MutationOp::SwapVariables => "swap-variables",
+            MutationOp::DropStatement => "drop-statement",
+            MutationOp::ReorderStatements => "reorder-statements",
+            MutationOp::WrongInitializer => "wrong-initializer",
+            MutationOp::DropReturn => "drop-return",
+            MutationOp::DropOutput => "drop-output",
+            MutationOp::NegateBranch => "negate-branch",
+            MutationOp::FlipArithmetic => "flip-arithmetic",
+        }
+    }
+}
+
+/// How the problem's grader classified a generated variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutantBucket {
+    /// Passes the full test suite.
+    StillCorrect,
+    /// Completes on every test, fails at least one.
+    WrongAnswer,
+    /// Crashes, exhausts the step budget or gets stuck on some test.
+    CrashesOrDiverges,
+}
+
+impl MutantBucket {
+    /// Stable kebab-case name, used in reports and JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutantBucket::StillCorrect => "still-correct",
+            MutantBucket::WrongAnswer => "wrong-answer",
+            MutantBucket::CrashesOrDiverges => "crashes-or-diverges",
+        }
+    }
+}
+
+/// One generated variant: real source text plus its provenance.
+#[derive(Debug, Clone)]
+pub struct SurfaceMutant {
+    /// The rendered source text (re-parses through the problem's frontend).
+    pub source: String,
+    /// The operator that produced it.
+    pub op: MutationOp,
+    /// The grader's classification.
+    pub bucket: MutantBucket,
+    /// Formatting-insensitive hash of the re-parsed variant (distinctness
+    /// witness).
+    pub structural_hash: u64,
+    /// Index of the seed solution the variant was derived from.
+    pub seed_index: usize,
+}
+
+/// Generation parameters of [`derive_mutants`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationConfig {
+    /// RNG seed; generation is fully deterministic given it.
+    pub seed: u64,
+    /// Stop once this many *distinct wrong-answer* mutants were produced.
+    pub target_wrong_answer: usize,
+    /// Hard cap on mutation attempts (a seed pool that cannot produce the
+    /// target must still terminate).
+    pub max_attempts: usize,
+}
+
+impl Default for MutationConfig {
+    fn default() -> Self {
+        MutationConfig { seed: 0xB0661E5, target_wrong_answer: 25, max_attempts: 4_000 }
+    }
+}
+
+/// Bookkeeping of one [`derive_mutants`] run (every discarded candidate is
+/// counted — silent truncation would read as coverage).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MutationStats {
+    /// Mutation attempts made.
+    pub attempts: usize,
+    /// Attempts where the operator found no applicable site.
+    pub inapplicable: usize,
+    /// Variants the frontend could not render back to source.
+    pub unrenderable: usize,
+    /// Rendered variants that failed to re-parse (must stay 0; asserted by
+    /// tests).
+    pub reparse_failures: usize,
+    /// Variants structurally identical to a seed or an earlier variant.
+    pub duplicates: usize,
+    /// Variants that re-parsed but could not be graded (unsupported by the
+    /// problem's execution engine).
+    pub ungradable: usize,
+}
+
+/// The frontend serving `lang`. A local registry: `clara-corpus` sits below
+/// `clara-core` (where the canonical registry lives) but already depends on
+/// both frontend crates.
+pub fn frontend_for(lang: Lang) -> &'static dyn Frontend {
+    match lang {
+        Lang::MiniPy => &clara_model::frontend::MINIPY,
+        Lang::MiniC => &clara_c::MINIC,
+    }
+}
+
+/// Derives buggy variants of every seed solution of `problem`, cycling
+/// seeds and operators round-robin until [`MutationConfig::target_wrong_answer`]
+/// distinct wrong-answer mutants exist (or the attempt budget runs out).
+/// All three buckets are returned; callers filter.
+pub fn derive_mutants(problem: &Problem, config: &MutationConfig) -> (Vec<SurfaceMutant>, MutationStats) {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.seed ^ crate::stable_name_hash(problem.name));
+    let frontend = frontend_for(problem.lang);
+
+    // Desugar every seed once; seeds that fail to desugar are skipped (the
+    // built-in corpora all desugar, asserted by tests).
+    let surfaces: Vec<(usize, SurfaceFunction)> = problem
+        .seeds
+        .iter()
+        .enumerate()
+        .filter_map(|(i, seed)| {
+            let parsed = frontend.parse(seed).ok()?;
+            Some((i, parsed.surface(problem.entry).ok()?))
+        })
+        .collect();
+    assert!(!surfaces.is_empty(), "`{}` has no seed that desugars to the surface IR", problem.name);
+
+    // Seen hashes start with the seeds themselves: a "mutant" structurally
+    // identical to any correct seed is not a mutant.
+    let mut seen: HashSet<u64> = problem
+        .seeds
+        .iter()
+        .filter_map(|seed| frontend.parse(seed).ok().map(|p| p.structural_hash()))
+        .collect();
+
+    let ops = MutationOp::all();
+    let mut mutants = Vec::new();
+    let mut stats = MutationStats::default();
+    let mut wrong_answer = 0usize;
+    while wrong_answer < config.target_wrong_answer && stats.attempts < config.max_attempts {
+        let op = ops[stats.attempts % ops.len()];
+        let (seed_index, surface) = &surfaces[(stats.attempts / ops.len()) % surfaces.len()];
+        stats.attempts += 1;
+
+        let mut mutated = surface.clone();
+        if !apply_op(&mut mutated, op, &mut rng) {
+            stats.inapplicable += 1;
+            continue;
+        }
+        let source = match frontend.render_function(&mutated) {
+            Ok(source) => source,
+            Err(_) => {
+                stats.unrenderable += 1;
+                continue;
+            }
+        };
+        let reparsed = match frontend.parse(&source) {
+            Ok(parsed) => parsed,
+            Err(_) => {
+                stats.reparse_failures += 1;
+                continue;
+            }
+        };
+        let structural_hash = reparsed.structural_hash();
+        if !seen.insert(structural_hash) {
+            stats.duplicates += 1;
+            continue;
+        }
+        let Some(bucket) = classify(problem, &source) else {
+            stats.ungradable += 1;
+            continue;
+        };
+        if bucket == MutantBucket::WrongAnswer {
+            wrong_answer += 1;
+        }
+        mutants.push(SurfaceMutant { source, op, bucket, structural_hash, seed_index: *seed_index });
+    }
+    (mutants, stats)
+}
+
+/// Classifies a source text with the problem's grader: the MiniPy
+/// interpreter (its real grading engine) or MiniC model execution (ditto).
+/// Returns `None` when the text does not parse or cannot be executed.
+pub fn classify(problem: &Problem, source: &str) -> Option<MutantBucket> {
+    match problem.lang {
+        Lang::MiniPy => {
+            let parsed = clara_lang::parse_program(source).ok()?;
+            let report = problem.spec.grade(&parsed);
+            Some(if report.results.iter().any(|r| r.error.is_some()) {
+                MutantBucket::CrashesOrDiverges
+            } else if report.all_passed() {
+                MutantBucket::StillCorrect
+            } else {
+                MutantBucket::WrongAnswer
+            })
+        }
+        Lang::MiniC => {
+            let parsed = clara_c::parse_c_program(source).ok()?;
+            let program = clara_c::lower_entry(&parsed, problem.entry).ok()?;
+            let fuel = grading_fuel(&problem.spec);
+            let mut wrong = false;
+            for test in &problem.spec.tests {
+                let trace = execute(&program, &test.args, fuel);
+                if trace.status != TraceStatus::Completed {
+                    return Some(MutantBucket::CrashesOrDiverges);
+                }
+                if !test.expected.matches(&trace.return_value(), &trace.output()) {
+                    wrong = true;
+                }
+            }
+            Some(if wrong { MutantBucket::WrongAnswer } else { MutantBucket::StillCorrect })
+        }
+    }
+}
+
+/// Applies `op` at a random applicable site of `function`. Returns `false`
+/// when the function has no site for this operator.
+pub fn apply_op<R: Rng>(function: &mut SurfaceFunction, op: MutationOp, rng: &mut R) -> bool {
+    match op {
+        MutationOp::OffByOneBound => off_by_one_bound(function, rng),
+        MutationOp::FlipComparison => rewrite_random_expr(function, rng, &mut |expr, rng| match expr {
+            Expr::Binary(op, lhs, rhs) if op.is_comparison() => {
+                let alternatives = [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne];
+                let choices: Vec<BinOp> = alternatives.iter().copied().filter(|o| o != op).collect();
+                let new_op = *choices.choose(rng)?;
+                Some(Expr::Binary(new_op, lhs.clone(), rhs.clone()))
+            }
+            _ => None,
+        }),
+        MutationOp::SwapVariables => swap_variables(function, rng),
+        MutationOp::DropStatement => drop_statement(function, rng),
+        MutationOp::ReorderStatements => reorder_statements(function, rng),
+        MutationOp::WrongInitializer => wrong_initializer(function, rng),
+        MutationOp::DropReturn => drop_kind(function, rng, &|s| matches!(s, SurfaceStmt::Return { .. })),
+        MutationOp::DropOutput => drop_kind(function, rng, &|s| matches!(s, SurfaceStmt::Output { .. })),
+        MutationOp::NegateBranch => negate_branch(function, rng),
+        MutationOp::FlipArithmetic => rewrite_random_expr(function, rng, &mut |expr, _| match expr {
+            Expr::Binary(op, lhs, rhs) => {
+                let new_op = match op {
+                    BinOp::Add => BinOp::Sub,
+                    BinOp::Sub => BinOp::Add,
+                    BinOp::Mul => BinOp::Add,
+                    BinOp::Div | BinOp::FloorDiv => BinOp::Mul,
+                    BinOp::Mod => BinOp::FloorDiv,
+                    _ => return None,
+                };
+                Some(Expr::Binary(new_op, lhs.clone(), rhs.clone()))
+            }
+            _ => None,
+        }),
+    }
+}
+
+/// Applies `f` to one random expression node of the function: every
+/// expression slot is a candidate root, and within a slot the rewrite is
+/// tried at the node itself first, then inside a random child.
+fn rewrite_random_expr<R: Rng>(
+    function: &mut SurfaceFunction,
+    rng: &mut R,
+    f: &mut dyn FnMut(&Expr, &mut R) -> Option<Expr>,
+) -> bool {
+    let mut slots = Vec::new();
+    expr_slots_mut(&mut function.body, &mut slots);
+    slots.shuffle(rng);
+    for slot in slots {
+        if let Some(rewritten) = rewrite_expr_node(slot, rng, f) {
+            *slot = rewritten;
+            return true;
+        }
+    }
+    false
+}
+
+fn rewrite_expr_node<R: Rng>(
+    expr: &Expr,
+    rng: &mut R,
+    f: &mut dyn FnMut(&Expr, &mut R) -> Option<Expr>,
+) -> Option<Expr> {
+    if let Some(rewritten) = f(expr, rng) {
+        return Some(rewritten);
+    }
+    let children = children_of(expr);
+    if children.is_empty() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..children.len()).collect();
+    order.shuffle(rng);
+    for child_index in order {
+        if let Some(new_child) = rewrite_expr_node(&children[child_index], rng, f) {
+            let mut new_children = children.clone();
+            new_children[child_index] = new_child;
+            return Some(rebuild(expr, &new_children));
+        }
+    }
+    None
+}
+
+/// Off-by-one in a loop bound: a comparison operand inside a `while`
+/// condition gains a `± 1`, or a `range(...)` bound of an iterator loop is
+/// shifted/dropped (the MiniPy spelling of the same student bug).
+fn off_by_one_bound<R: Rng>(function: &mut SurfaceFunction, rng: &mut R) -> bool {
+    // Collect the loop-head expression slots only.
+    fn loop_heads<'a>(body: &'a mut [SurfaceStmt], out: &mut Vec<(&'a mut Expr, bool)>) {
+        for stmt in body {
+            match stmt {
+                SurfaceStmt::While { cond, body, .. } => {
+                    out.push((cond, false));
+                    loop_heads(body, out);
+                }
+                SurfaceStmt::ForEach { iter, body, .. } => {
+                    out.push((iter, true));
+                    loop_heads(body, out);
+                }
+                SurfaceStmt::If { then_body, else_body, .. } => {
+                    loop_heads(then_body, out);
+                    loop_heads(else_body, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut heads = Vec::new();
+    loop_heads(&mut function.body, &mut heads);
+    heads.shuffle(rng);
+    for (slot, is_iter) in heads {
+        if is_iter {
+            // `range(a, b)` -> `range(b)` / `range(a)` / `range(a, b - 1)`.
+            if let Expr::Call(name, args) = &*slot {
+                if (name == "range" || name == "xrange") && !args.is_empty() {
+                    let last = args.len() - 1;
+                    let mut new_args = args.clone();
+                    match rng.gen_range(0..2u32) {
+                        0 if args.len() == 2 => new_args = vec![args[1].clone()],
+                        _ => new_args[last] = Expr::bin(BinOp::Sub, new_args[last].clone(), Expr::int(1)),
+                    }
+                    *slot = Expr::Call(name.clone(), new_args);
+                    return true;
+                }
+            }
+        } else if let Expr::Binary(op, lhs, rhs) = &*slot {
+            if op.is_comparison() {
+                let delta = if rng.gen_bool(0.5) { BinOp::Add } else { BinOp::Sub };
+                let new_rhs = Expr::bin(delta, (**rhs).clone(), Expr::int(1));
+                *slot = Expr::Binary(*op, lhs.clone(), Box::new(new_rhs));
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn swap_variables<R: Rng>(function: &mut SurfaceFunction, rng: &mut R) -> bool {
+    let mut vars: Vec<String> = function.params.clone();
+    assigned_vars(&function.body, &mut vars);
+    if vars.len() < 2 {
+        return false;
+    }
+    vars.shuffle(rng);
+    let (a, b) = (vars[0].clone(), vars[1].clone());
+    // Only the *uses* are swapped (params keep their declared order), which
+    // is exactly the "used the wrong accumulator" student bug.
+    let mapping = std::collections::HashMap::from([(a.clone(), b.clone()), (b, a)]);
+    rename_vars(&mut function.body, &mapping);
+    true
+}
+
+/// Picks one statement position satisfying `pred` uniformly over all blocks
+/// and replaces it with the result of `replace` (or removes it).
+fn edit_random_stmt<R: Rng>(
+    function: &mut SurfaceFunction,
+    rng: &mut R,
+    pred: &dyn Fn(&[SurfaceStmt], usize) -> bool,
+    edit: &dyn Fn(&mut Vec<SurfaceStmt>, usize),
+) -> bool {
+    // First pass: count candidate positions.
+    let mut candidates = 0usize;
+    for_each_block_mut(&mut function.body, &mut |block| {
+        for i in 0..block.len() {
+            if pred(block, i) {
+                candidates += 1;
+            }
+        }
+    });
+    if candidates == 0 {
+        return false;
+    }
+    let chosen = rng.gen_range(0..candidates);
+    // Second pass: apply at the chosen ordinal (block visit order is
+    // deterministic).
+    let mut ordinal = 0usize;
+    let mut done = false;
+    for_each_block_mut(&mut function.body, &mut |block| {
+        if done {
+            return;
+        }
+        for i in 0..block.len() {
+            if pred(block, i) {
+                if ordinal == chosen {
+                    edit(block, i);
+                    done = true;
+                    return;
+                }
+                ordinal += 1;
+            }
+        }
+    });
+    done
+}
+
+fn drop_statement<R: Rng>(function: &mut SurfaceFunction, rng: &mut R) -> bool {
+    edit_random_stmt(
+        function,
+        rng,
+        &|block, i| {
+            block.len() > 1
+                && matches!(
+                    block[i],
+                    SurfaceStmt::Assign { .. } | SurfaceStmt::Output { .. } | SurfaceStmt::Return { .. }
+                )
+        },
+        &|block, i| {
+            block.remove(i);
+        },
+    )
+}
+
+fn drop_kind<R: Rng>(
+    function: &mut SurfaceFunction,
+    rng: &mut R,
+    kind: &dyn Fn(&SurfaceStmt) -> bool,
+) -> bool {
+    edit_random_stmt(function, rng, &|block, i| kind(&block[i]), &|block, i| {
+        // Keep the block non-empty (an empty branch renders fine, but an
+        // empty function body would not grade meaningfully).
+        let line = block[i].line();
+        block[i] = SurfaceStmt::Nop { line };
+    })
+}
+
+fn reorder_statements<R: Rng>(function: &mut SurfaceFunction, rng: &mut R) -> bool {
+    fn swappable(stmt: &SurfaceStmt) -> bool {
+        matches!(
+            stmt,
+            SurfaceStmt::Assign { .. }
+                | SurfaceStmt::Output { .. }
+                | SurfaceStmt::If { .. }
+                | SurfaceStmt::While { .. }
+                | SurfaceStmt::ForEach { .. }
+        )
+    }
+    edit_random_stmt(
+        function,
+        rng,
+        &|block, i| i + 1 < block.len() && swappable(&block[i]) && swappable(&block[i + 1]),
+        &|block, i| block.swap(i, i + 1),
+    )
+}
+
+fn wrong_initializer<R: Rng>(function: &mut SurfaceFunction, rng: &mut R) -> bool {
+    let flip = rng.gen_bool(0.5);
+    edit_random_stmt(
+        function,
+        rng,
+        &|block, i| {
+            matches!(
+                &block[i],
+                SurfaceStmt::Assign { value, .. }
+                    if matches!(value, Expr::Lit(Lit::Int(_)) | Expr::Lit(Lit::Float(_)))
+                        || *value == Expr::List(vec![])
+            )
+        },
+        &|block, i| {
+            if let SurfaceStmt::Assign { value, .. } = &mut block[i] {
+                *value = match &*value {
+                    Expr::Lit(Lit::Int(0)) => Expr::int(1),
+                    Expr::Lit(Lit::Int(1)) => Expr::int(0),
+                    Expr::Lit(Lit::Int(k)) => Expr::int(k + if flip { 1 } else { -1 }),
+                    Expr::Lit(Lit::Float(f)) => Expr::float(f + 1.0),
+                    _ => Expr::int(0), // the empty list
+                };
+            }
+        },
+    )
+}
+
+fn negate_branch<R: Rng>(function: &mut SurfaceFunction, rng: &mut R) -> bool {
+    edit_random_stmt(function, rng, &|block, i| matches!(block[i], SurfaceStmt::If { .. }), &|block, i| {
+        if let SurfaceStmt::If { cond, .. } = &mut block[i] {
+            *cond = Expr::Unary(UnOp::Not, Box::new(cond.clone()));
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minic::{all_minic_problems, fibonacci_c};
+    use crate::mooc::derivatives;
+    use crate::study::{fibonacci, special_number};
+
+    fn small_config() -> MutationConfig {
+        MutationConfig { seed: 7, target_wrong_answer: 10, max_attempts: 600 }
+    }
+
+    #[test]
+    fn derive_mutants_reaches_the_wrong_answer_target_in_both_languages() {
+        for problem in [fibonacci(), fibonacci_c()] {
+            let (mutants, stats) = derive_mutants(&problem, &small_config());
+            let wrong = mutants.iter().filter(|m| m.bucket == MutantBucket::WrongAnswer).count();
+            assert!(wrong >= 10, "{}: only {wrong} wrong-answer mutants ({stats:?})", problem.name);
+            assert_eq!(stats.reparse_failures, 0, "{}: every mutant must re-parse", problem.name);
+        }
+    }
+
+    #[test]
+    fn every_mutant_reparses_and_its_bucket_matches_the_grader() {
+        for problem in [special_number(), fibonacci_c()] {
+            let (mutants, _) = derive_mutants(&problem, &small_config());
+            assert!(!mutants.is_empty());
+            let frontend = frontend_for(problem.lang);
+            for mutant in &mutants {
+                let parsed = frontend.parse(&mutant.source).expect("mutant re-parses");
+                assert_eq!(parsed.structural_hash(), mutant.structural_hash);
+                let graded = problem.grade_source(&mutant.source);
+                match mutant.bucket {
+                    MutantBucket::StillCorrect => assert_eq!(graded, Some(true), "{}", mutant.source),
+                    _ => assert_eq!(graded, Some(false), "{}", mutant.source),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutants_are_structurally_distinct_from_each_other_and_the_seeds() {
+        let problem = fibonacci_c();
+        let (mutants, _) = derive_mutants(&problem, &small_config());
+        let mut hashes = HashSet::new();
+        for seed in &problem.seeds {
+            hashes.insert(frontend_for(problem.lang).parse(seed).unwrap().structural_hash());
+        }
+        for mutant in &mutants {
+            assert!(hashes.insert(mutant.structural_hash), "duplicate mutant:\n{}", mutant.source);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_given_the_seed() {
+        let problem = derivatives();
+        let (a, _) = derive_mutants(&problem, &small_config());
+        let (b, _) = derive_mutants(&problem, &small_config());
+        let texts = |ms: &[SurfaceMutant]| ms.iter().map(|m| m.source.clone()).collect::<Vec<_>>();
+        assert_eq!(texts(&a), texts(&b));
+        let (c, _) = derive_mutants(&problem, &MutationConfig { seed: 8, ..small_config() });
+        assert_ne!(texts(&a), texts(&c), "a different seed must change the stream");
+    }
+
+    #[test]
+    fn the_catalog_is_exercised_broadly() {
+        // Across the MiniC problems with a generous budget, most operators
+        // of the catalog produce at least one graded mutant.
+        let config = MutationConfig { seed: 3, target_wrong_answer: 40, max_attempts: 2_000 };
+        let mut ops_seen: HashSet<MutationOp> = HashSet::new();
+        for problem in all_minic_problems() {
+            let (mutants, _) = derive_mutants(&problem, &config);
+            ops_seen.extend(mutants.iter().map(|m| m.op));
+        }
+        assert!(ops_seen.len() >= 6, "only {} operators produced mutants: {:?}", ops_seen.len(), ops_seen);
+    }
+
+    #[test]
+    fn buckets_cover_divergence() {
+        // Dropping the `m = m / 10` style loop update must eventually
+        // produce a crashes-or-diverges mutant.
+        let config = MutationConfig { seed: 11, target_wrong_answer: 30, max_attempts: 2_000 };
+        let mut diverging = 0usize;
+        for problem in all_minic_problems() {
+            let (mutants, _) = derive_mutants(&problem, &config);
+            diverging += mutants.iter().filter(|m| m.bucket == MutantBucket::CrashesOrDiverges).count();
+        }
+        assert!(diverging > 0, "no diverging mutant across the MiniC corpus");
+    }
+}

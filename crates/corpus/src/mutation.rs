@@ -253,7 +253,7 @@ fn mutate_node<R: Rng>(expr: &Expr, kind: FaultKind, rng: &mut R) -> Option<Expr
     }
 }
 
-fn children_of(expr: &Expr) -> Vec<Expr> {
+pub(crate) fn children_of(expr: &Expr) -> Vec<Expr> {
     match expr {
         Expr::Lit(_) | Expr::Var(_) => Vec::new(),
         Expr::List(items) | Expr::Tuple(items) => items.clone(),
@@ -279,7 +279,7 @@ fn children_of(expr: &Expr) -> Vec<Expr> {
     }
 }
 
-fn rebuild(expr: &Expr, children: &[Expr]) -> Expr {
+pub(crate) fn rebuild(expr: &Expr, children: &[Expr]) -> Expr {
     match expr {
         Expr::Lit(_) | Expr::Var(_) => expr.clone(),
         Expr::List(_) => Expr::List(children.to_vec()),

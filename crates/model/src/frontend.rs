@@ -24,6 +24,8 @@ use crate::builder::LowerError;
 use crate::exec::{execute, Fuel, TraceStatus};
 use crate::lower::lower_entry;
 use crate::program::Program;
+use crate::surface::SurfaceFunction;
+use crate::unparse::minipy_source;
 
 /// The source languages submissions can be written in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -116,6 +118,17 @@ pub trait ParsedSubmission {
     /// Grades the submission against a specification using the
     /// language-appropriate execution engine.
     fn passes(&self, spec: &ProblemSpec) -> bool;
+
+    /// Desugars the submission's `entry` function into the language-neutral
+    /// surface IR *without* building the model — the representation the
+    /// corpus mutation engine rewrites and renders back through
+    /// [`Frontend::render_function`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LowerError`] when the entry function is missing or uses a
+    /// construct without a surface-IR meaning.
+    fn surface(&self, entry: &str) -> Result<SurfaceFunction, LowerError>;
 }
 
 /// A source-language frontend: parsing plus source-syntax rendering.
@@ -135,6 +148,18 @@ pub trait Frontend: Send + Sync {
     /// expressions. Model builtins (`ite`, `head`, ...) render in whatever
     /// form is most natural for the language.
     fn render_expr(&self, expr: &Expr) -> String;
+
+    /// Renders a surface function as source text in this language — the
+    /// inverse of [`ParsedSubmission::surface`]. The corpus mutation engine
+    /// uses it to turn rewritten surface IR back into real source files
+    /// that re-parse through [`Frontend::parse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrontendError`] when the function contains a construct
+    /// the language cannot spell (e.g. an output statement whose pieces no
+    /// longer form a valid `print`/`printf`); callers discard such variants.
+    fn render_function(&self, function: &SurfaceFunction) -> Result<String, FrontendError>;
 }
 
 /// Grades an already-lowered model program against a specification by
@@ -192,6 +217,14 @@ impl ParsedSubmission for MiniPyParsed {
         // ones with helper functions.
         spec.is_correct(&self.0)
     }
+
+    fn surface(&self, entry: &str) -> Result<SurfaceFunction, LowerError> {
+        let function = self
+            .0
+            .function(entry)
+            .ok_or_else(|| LowerError::new(1, format!("entry function `{entry}` is not defined")))?;
+        crate::lower::surface_function(function)
+    }
 }
 
 impl Frontend for MiniPyFrontend {
@@ -208,6 +241,10 @@ impl Frontend for MiniPyFrontend {
 
     fn render_expr(&self, expr: &Expr) -> String {
         expr_to_string(expr)
+    }
+
+    fn render_function(&self, function: &SurfaceFunction) -> Result<String, FrontendError> {
+        minipy_source(function).map_err(|e| FrontendError::new(e.line, e.to_string()))
     }
 }
 

@@ -45,6 +45,7 @@ pub mod frontend;
 pub mod lower;
 pub mod program;
 pub mod surface;
+pub mod unparse;
 
 pub use builder::ModelBuilder;
 pub use exec::{
@@ -54,6 +55,7 @@ pub use frontend::{Frontend, FrontendError, Lang, MiniPyFrontend, ParsedSubmissi
 pub use lower::{lower_entry, lower_function, surface_function, LowerError};
 pub use program::{special, Loc, LocInfo, LocKind, Program, StructSig, Succ};
 pub use surface::{SurfaceFunction, SurfaceStmt};
+pub use unparse::{minipy_function, minipy_source, UnparseError};
 
 #[cfg(test)]
 mod tests {

@@ -150,6 +150,137 @@ impl SurfaceStmt {
     }
 }
 
+impl SurfaceFunction {
+    /// Total number of statements in the function (nested blocks included).
+    pub fn stmt_count(&self) -> usize {
+        stmt_count(&self.body)
+    }
+}
+
+/// Total number of statements in `body`, nested blocks included.
+pub fn stmt_count(body: &[SurfaceStmt]) -> usize {
+    body.iter()
+        .map(|stmt| match stmt {
+            SurfaceStmt::If { then_body, else_body, .. } => 1 + stmt_count(then_body) + stmt_count(else_body),
+            SurfaceStmt::While { body, .. } | SurfaceStmt::ForEach { body, .. } => 1 + stmt_count(body),
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Calls `f` on `body` and on every nested statement block (branch and loop
+/// bodies), outermost first. The statement-level mutation operators (drop,
+/// reorder) use this to pick a block uniformly over the whole function.
+pub fn for_each_block_mut(body: &mut Vec<SurfaceStmt>, f: &mut dyn FnMut(&mut Vec<SurfaceStmt>)) {
+    f(body);
+    for stmt in body {
+        match stmt {
+            SurfaceStmt::If { then_body, else_body, .. } => {
+                for_each_block_mut(then_body, f);
+                for_each_block_mut(else_body, f);
+            }
+            SurfaceStmt::While { body, .. } | SurfaceStmt::ForEach { body, .. } => {
+                for_each_block_mut(body, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Collects mutable references to every expression slot of `body`, in source
+/// order: assignment right-hand sides, branch and loop conditions, iterated
+/// expressions, return values and output pieces. The expression-level
+/// mutation operators rewrite through these slots.
+pub fn expr_slots_mut<'a>(body: &'a mut [SurfaceStmt], out: &mut Vec<&'a mut Expr>) {
+    for stmt in body {
+        match stmt {
+            SurfaceStmt::Assign { value, .. } => out.push(value),
+            SurfaceStmt::If { cond, then_body, else_body, .. } => {
+                out.push(cond);
+                expr_slots_mut(then_body, out);
+                expr_slots_mut(else_body, out);
+            }
+            SurfaceStmt::While { cond, body, .. } => {
+                out.push(cond);
+                expr_slots_mut(body, out);
+            }
+            SurfaceStmt::ForEach { iter, body, .. } => {
+                out.push(iter);
+                expr_slots_mut(body, out);
+            }
+            SurfaceStmt::Return { value, .. } => out.push(value),
+            SurfaceStmt::Output { pieces, .. } => out.extend(pieces.iter_mut()),
+            SurfaceStmt::Break { .. } | SurfaceStmt::Continue { .. } | SurfaceStmt::Nop { .. } => {}
+        }
+    }
+}
+
+/// The variables assigned anywhere in `body` (including loop variables), in
+/// order of first assignment, deduplicated.
+pub fn assigned_vars(body: &[SurfaceStmt], out: &mut Vec<String>) {
+    let push = |name: &str, out: &mut Vec<String>| {
+        if !out.iter().any(|v| v == name) {
+            out.push(name.to_owned());
+        }
+    };
+    for stmt in body {
+        match stmt {
+            SurfaceStmt::Assign { var, .. } => push(var, out),
+            SurfaceStmt::If { then_body, else_body, .. } => {
+                assigned_vars(then_body, out);
+                assigned_vars(else_body, out);
+            }
+            SurfaceStmt::While { body, .. } => assigned_vars(body, out),
+            SurfaceStmt::ForEach { var, body, .. } => {
+                push(var, out);
+                assigned_vars(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Applies a variable renaming to `body`: assignment targets, loop variables
+/// and every variable occurrence inside expressions. The mapping need not be
+/// injective — `{a → b, b → a}` swaps two variables in one pass (the
+/// `swapped-variables` mutation operator).
+pub fn rename_vars(body: &mut [SurfaceStmt], mapping: &std::collections::HashMap<String, String>) {
+    let rename_name = |name: &mut String| {
+        if let Some(new_name) = mapping.get(name.as_str()) {
+            *name = new_name.clone();
+        }
+    };
+    for stmt in body {
+        match stmt {
+            SurfaceStmt::Assign { var, value, .. } => {
+                rename_name(var);
+                *value = value.rename(mapping);
+            }
+            SurfaceStmt::If { cond, then_body, else_body, .. } => {
+                *cond = cond.rename(mapping);
+                rename_vars(then_body, mapping);
+                rename_vars(else_body, mapping);
+            }
+            SurfaceStmt::While { cond, body, .. } => {
+                *cond = cond.rename(mapping);
+                rename_vars(body, mapping);
+            }
+            SurfaceStmt::ForEach { var, iter, body, .. } => {
+                rename_name(var);
+                *iter = iter.rename(mapping);
+                rename_vars(body, mapping);
+            }
+            SurfaceStmt::Return { value, .. } => *value = value.rename(mapping),
+            SurfaceStmt::Output { pieces, .. } => {
+                for piece in pieces {
+                    *piece = piece.rename(mapping);
+                }
+            }
+            SurfaceStmt::Break { .. } | SurfaceStmt::Continue { .. } | SurfaceStmt::Nop { .. } => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +294,60 @@ mod tests {
         assert!(stmt.contains_loop());
         assert!(!SurfaceStmt::Nop { line: 1 }.contains_loop());
         assert_eq!(stmt.line(), 1);
+    }
+
+    fn sample_body() -> Vec<SurfaceStmt> {
+        vec![
+            SurfaceStmt::Assign { var: "a".into(), value: Expr::int(1), line: 2 },
+            SurfaceStmt::While {
+                cond: Expr::bin(clara_lang::BinOp::Lt, Expr::var("a"), Expr::var("k")),
+                body: vec![
+                    SurfaceStmt::If {
+                        cond: Expr::var("a"),
+                        then_body: vec![SurfaceStmt::Break { line: 5 }],
+                        else_body: vec![],
+                        line: 4,
+                    },
+                    SurfaceStmt::Assign {
+                        var: "a".into(),
+                        value: Expr::bin(clara_lang::BinOp::Add, Expr::var("a"), Expr::int(1)),
+                        line: 6,
+                    },
+                ],
+                line: 3,
+            },
+            SurfaceStmt::Return { value: Expr::var("a"), line: 7 },
+        ]
+    }
+
+    #[test]
+    fn visitors_cover_every_block_and_expression_slot() {
+        let mut body = sample_body();
+        assert_eq!(stmt_count(&body), 6);
+        let mut blocks = 0;
+        for_each_block_mut(&mut body, &mut |_| blocks += 1);
+        // Function body + while body + then branch + else branch.
+        assert_eq!(blocks, 4);
+        let mut slots = Vec::new();
+        expr_slots_mut(&mut body, &mut slots);
+        // a=1, while cond, if cond, a=a+1, return a.
+        assert_eq!(slots.len(), 5);
+    }
+
+    #[test]
+    fn assigned_vars_and_renaming() {
+        let mut body = sample_body();
+        let mut vars = Vec::new();
+        assigned_vars(&body, &mut vars);
+        assert_eq!(vars, vec!["a".to_owned()]);
+        let mapping = std::collections::HashMap::from([("a".to_owned(), "x".to_owned())]);
+        rename_vars(&mut body, &mapping);
+        let mut renamed = Vec::new();
+        assigned_vars(&body, &mut renamed);
+        assert_eq!(renamed, vec!["x".to_owned()]);
+        match &body[2] {
+            SurfaceStmt::Return { value, .. } => assert_eq!(value, &Expr::var("x")),
+            other => panic!("unexpected tail statement {other:?}"),
+        }
     }
 }

@@ -1,0 +1,200 @@
+//! Un-desugaring of the surface IR back into MiniPy source text.
+//!
+//! The mutation engine of `clara-corpus` rewrites programs at the
+//! language-neutral surface-IR level and then needs *real source files* that
+//! re-parse through the original frontend. For MiniPy that means inverting
+//! the desugarings of [`crate::lower`]: `x = append(x, e)` becomes
+//! `x.append(e)`, `x = store(x, i, e)` becomes `x[i] = e`, and an
+//! [`SurfaceStmt::Output`] piece list of the canonical
+//! `str(a), " ", str(b), "\n"` shape becomes `print(a, b)`.
+//!
+//! The inversion is partial by design: a mutation can produce an `Output`
+//! piece list no `print` statement desugars to (e.g. after its trailing
+//! newline was dropped). Such functions are not expressible as MiniPy source
+//! and rendering returns an error — the mutation engine simply discards the
+//! variant, keeping the guarantee that every emitted mutant re-parses.
+
+use clara_lang::ast::{Expr, Function, Lit, SourceProgram, Stmt, Target};
+use clara_lang::program_to_string;
+
+use crate::surface::{SurfaceFunction, SurfaceStmt};
+
+/// Why a surface function could not be rendered as MiniPy source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnparseError {
+    /// 1-based source line of the statement that failed to render.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl UnparseError {
+    fn new(line: u32, message: impl Into<String>) -> Self {
+        UnparseError { line, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for UnparseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for UnparseError {}
+
+/// Renders a surface function as MiniPy source text.
+///
+/// # Errors
+///
+/// Returns an [`UnparseError`] when the function contains a construct with
+/// no MiniPy spelling (see the module docs).
+pub fn minipy_source(function: &SurfaceFunction) -> Result<String, UnparseError> {
+    let function = minipy_function(function)?;
+    Ok(program_to_string(&SourceProgram { functions: vec![function] }))
+}
+
+/// Un-desugars a surface function into a MiniPy AST function.
+///
+/// # Errors
+///
+/// See [`minipy_source`].
+pub fn minipy_function(function: &SurfaceFunction) -> Result<Function, UnparseError> {
+    Ok(Function {
+        name: function.name.clone(),
+        params: function.params.clone(),
+        body: unparse_stmts(&function.body)?,
+        line: function.line,
+    })
+}
+
+fn unparse_stmts(stmts: &[SurfaceStmt]) -> Result<Vec<Stmt>, UnparseError> {
+    stmts.iter().map(unparse_stmt).collect()
+}
+
+fn unparse_stmt(stmt: &SurfaceStmt) -> Result<Stmt, UnparseError> {
+    Ok(match stmt {
+        SurfaceStmt::Assign { var, value, line } => unparse_assign(var, value, *line),
+        SurfaceStmt::If { cond, then_body, else_body, line } => Stmt::If {
+            cond: cond.clone(),
+            then_body: unparse_stmts(then_body)?,
+            else_body: unparse_stmts(else_body)?,
+            line: *line,
+        },
+        SurfaceStmt::While { cond, body, line } => {
+            Stmt::While { cond: cond.clone(), body: unparse_stmts(body)?, line: *line }
+        }
+        SurfaceStmt::ForEach { var, iter, body, line } => {
+            Stmt::For { var: var.clone(), iter: iter.clone(), body: unparse_stmts(body)?, line: *line }
+        }
+        SurfaceStmt::Return { value, line } => {
+            let value = if *value == Expr::Lit(Lit::None) { None } else { Some(value.clone()) };
+            Stmt::Return { value, line: *line }
+        }
+        SurfaceStmt::Output { pieces, line } => Stmt::Print { args: print_args(pieces, *line)?, line: *line },
+        SurfaceStmt::Break { line } => Stmt::Break { line: *line },
+        SurfaceStmt::Continue { line } => Stmt::Continue { line: *line },
+        SurfaceStmt::Nop { line } => Stmt::Pass { line: *line },
+    })
+}
+
+/// Inverts the assignment desugarings of `lower`: `append`/`store` calls on
+/// the assigned variable itself come from `xs.append(e)` / `a[i] = e`.
+fn unparse_assign(var: &str, value: &Expr, line: u32) -> Stmt {
+    match value {
+        Expr::Call(name, args) if name == "append" && args.len() == 2 && args[0] == Expr::var(var) => {
+            Stmt::ExprStmt {
+                expr: Expr::Method(Box::new(Expr::var(var)), "append".to_owned(), vec![args[1].clone()]),
+                line,
+            }
+        }
+        Expr::Call(name, args) if name == "store" && args.len() == 3 && args[0] == Expr::var(var) => {
+            Stmt::Assign {
+                target: Target::Index(var.to_owned(), args[1].clone()),
+                op: None,
+                value: args[2].clone(),
+                line,
+            }
+        }
+        Expr::Method(recv, name, args) if name == "pop" && args.is_empty() && **recv == Expr::var(var) => {
+            Stmt::ExprStmt {
+                expr: Expr::Method(Box::new(Expr::var(var)), "pop".to_owned(), Vec::new()),
+                line,
+            }
+        }
+        _ => Stmt::Assign { target: Target::Name(var.to_owned()), op: None, value: value.clone(), line },
+    }
+}
+
+/// Inverts the `print` desugaring: the canonical piece list is
+/// `str(a₁), " ", str(a₂), ..., "\n"`.
+fn print_args(pieces: &[Expr], line: u32) -> Result<Vec<Expr>, UnparseError> {
+    let Some((last, rest)) = pieces.split_last() else {
+        return Err(UnparseError::new(line, "output without a trailing newline piece"));
+    };
+    if *last != Expr::str("\n") {
+        return Err(UnparseError::new(line, "output without a trailing newline piece"));
+    }
+    let mut args = Vec::new();
+    for (i, piece) in rest.iter().enumerate() {
+        if i % 2 == 1 {
+            // Separator slot.
+            if *piece != Expr::str(" ") {
+                return Err(UnparseError::new(line, "output pieces are not print-shaped"));
+            }
+            continue;
+        }
+        match piece {
+            Expr::Call(name, inner) if name == "str" && inner.len() == 1 => args.push(inner[0].clone()),
+            _ => return Err(UnparseError::new(line, "output piece is not a str(...) conversion")),
+        }
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::surface_function;
+    use clara_lang::parse_program;
+
+    /// Parsing, desugaring to the surface IR and rendering back must be the
+    /// identity on canonical source (the pretty-printer's own output).
+    #[test]
+    fn desugar_then_unparse_round_trips_canonical_sources() {
+        for src in [
+            "def f(x):\n    return x + 1\n",
+            "def f(xs):\n    out = []\n    for x in xs:\n        out.append(float(x))\n    return out\n",
+            "def f(a):\n    a[0] = 1\n    a.pop()\n    return a\n",
+            "def f(n):\n    i = 0\n    while i < n:\n        print(i, n)\n        i = i + 1\n    return i\n",
+            "def f(n):\n    if n > 0:\n        print(n)\n    else:\n        pass\n    return 0\n",
+        ] {
+            let parsed = parse_program(src).unwrap();
+            let canonical = program_to_string(&parsed);
+            let surface = surface_function(&parsed.functions[0]).unwrap();
+            let rendered = minipy_source(&surface).unwrap();
+            let reparsed = parse_program(&rendered).expect("rendered source re-parses");
+            assert_eq!(program_to_string(&reparsed), canonical, "round trip changed structure for:\n{src}");
+        }
+    }
+
+    #[test]
+    fn augmented_assignments_survive_as_plain_assignments() {
+        let parsed = parse_program("def f(x):\n    x += 2\n    return x\n").unwrap();
+        let surface = surface_function(&parsed.functions[0]).unwrap();
+        let rendered = minipy_source(&surface).unwrap();
+        assert!(rendered.contains("x = x + 2"), "{rendered}");
+        assert!(parse_program(&rendered).is_ok());
+    }
+
+    #[test]
+    fn malformed_output_pieces_are_rejected() {
+        let function = SurfaceFunction {
+            name: "f".into(),
+            params: vec![],
+            body: vec![SurfaceStmt::Output { pieces: vec![Expr::str("no newline")], line: 2 }],
+            line: 1,
+        };
+        let err = minipy_source(&function).unwrap_err();
+        assert!(err.to_string().contains("newline"), "{err}");
+    }
+}

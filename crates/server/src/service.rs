@@ -450,6 +450,57 @@ def computeDeriv(poly):
     }
 
     #[test]
+    fn cache_keys_are_lang_salted_and_shard_salted() {
+        // Two structurally identical programs in different languages must
+        // never share a cache entry: the per-frontend structural hashes are
+        // independent hash spaces, so even an accidental collision between a
+        // MiniPy and a MiniC hash must be separated by the language salt.
+        for hash in [0u64, 1, 0xDEADBEEF, u64::MAX] {
+            assert_ne!(
+                cache_key(0, Lang::MiniPy, hash),
+                cache_key(0, Lang::MiniC, hash),
+                "lang salt missing for hash {hash:#x}"
+            );
+            // Different shards (problems) never share entries either.
+            assert_ne!(cache_key(0, Lang::MiniPy, hash), cache_key(1, Lang::MiniPy, hash));
+        }
+        // The key still depends on the hash itself.
+        assert_ne!(cache_key(0, Lang::MiniPy, 1), cache_key(0, Lang::MiniPy, 2));
+    }
+
+    #[test]
+    fn result_cache_eviction_is_observable_and_correct() {
+        // A capacity-1 cache: the second distinct submission evicts the
+        // first, so resubmitting the first misses (and recomputes the same
+        // feedback); resubmitting the still-cached entry hits.
+        let problem = derivatives();
+        let seeds: Vec<&str> = problem.seeds.clone();
+        let (store, _) = ClusterStore::build(&problem, seeds, ClaraConfig::default());
+        let config = ServiceConfig { cache_capacity: 1, ..ServiceConfig::default() };
+        let service = FeedbackService::new(vec![store], config);
+
+        let other = "def computeDeriv(poly):\n    return poly\n";
+        let first = service.handle(&request(1, INCORRECT));
+        assert!(!first.cache_hit);
+        let second = service.handle(&request(2, other));
+        assert!(!second.cache_hit);
+        // INCORRECT was evicted by `other`.
+        let third = service.handle(&request(3, INCORRECT));
+        assert!(!third.cache_hit, "evicted entry must not hit");
+        assert_eq!(third.feedback, first.feedback, "recomputed feedback is identical");
+        assert_eq!(third.cost, first.cost);
+        // `other` was evicted in turn by the INCORRECT recomputation.
+        let fourth = service.handle(&request(4, other));
+        assert!(!fourth.cache_hit);
+        // ... and INCORRECT again misses, but an immediate duplicate hits.
+        let fifth = service.handle(&request(5, INCORRECT));
+        assert!(!fifth.cache_hit);
+        let sixth = service.handle(&request(6, INCORRECT));
+        assert!(sixth.cache_hit);
+        assert_eq!(service.stats().cache_hits, 1);
+    }
+
+    #[test]
     fn pathological_submissions_are_rejected_not_crashed() {
         let service = service();
         let garbage = service.handle(&request(1, "def broken(:\n    return ][\n"));

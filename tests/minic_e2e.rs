@@ -59,6 +59,36 @@ fn every_minic_problem_repairs_every_buggy_attempt_or_degrades_gracefully() {
     }
 }
 
+#[test]
+fn generated_minic_mutants_are_judged_sound_by_the_differential_oracle() {
+    // End-to-end over the second frontend: the surface-IR mutation engine
+    // synthesises wrong-answer C variants, and every repair the pipeline
+    // claims on them must make the spec pass (Theorem 5.3, executable).
+    let problem = special_number_c();
+    let config = clara_corpus::MutationConfig { seed: 21, target_wrong_answer: 8, max_attempts: 800 };
+    let (mutants, _) = clara_corpus::derive_mutants(&problem, &config);
+    let wrong: Vec<_> =
+        mutants.iter().filter(|m| m.bucket == clara_corpus::MutantBucket::WrongAnswer).collect();
+    assert!(wrong.len() >= 8, "only {} wrong-answer C mutants", wrong.len());
+    let (oracle, usable) = clara_core::DifferentialOracle::new(
+        Lang::MiniC,
+        problem.spec.clone(),
+        problem.seeds.iter().copied(),
+        ClaraConfig::default(),
+    );
+    assert_eq!(usable, problem.seeds.len());
+    let mut repaired = 0usize;
+    for mutant in &wrong {
+        let verdict = oracle.check(&mutant.source);
+        assert!(!verdict.is_soundness_violation(), "unsound C repair for:\n{}", mutant.source);
+        if let clara_core::OracleVerdict::Repaired(check) = verdict {
+            assert!(check.cost > 0, "a wrong-answer mutant cannot be repaired for free");
+            repaired += 1;
+        }
+    }
+    assert!(repaired * 2 >= wrong.len(), "only {repaired}/{} mutants repaired", wrong.len());
+}
+
 /// The parity property behind the whole refactor: the MiniPy and MiniC
 /// references of a translated pair lower to isomorphic model programs.
 #[test]

@@ -76,6 +76,52 @@ proptest! {
         }
     }
 
+    /// Round-trip closure under mutation: every mutant the surface-IR
+    /// engine emits pretty-prints and re-parses through its own frontend to
+    /// the same structural hash, for both MiniPy and MiniC. (The engine
+    /// guarantees mutants re-parse; this property pins the stronger
+    /// invariant that the re-parsed form is a pretty-printer fixpoint, so
+    /// the structural hash — the server's cache key — is stable across a
+    /// resubmission of the canonical text.)
+    #[test]
+    fn mutants_round_trip_through_their_own_frontend(problem_index in 0usize..12, rng_seed in 0u64..400) {
+        let problems = clara::corpus::all_problems_all_langs();
+        let problem = &problems[problem_index % problems.len()];
+        let config = clara::corpus::MutationConfig {
+            seed: rng_seed,
+            target_wrong_answer: 3,
+            max_attempts: 60,
+        };
+        let (mutants, stats) = clara::corpus::derive_mutants(problem, &config);
+        prop_assert_eq!(stats.reparse_failures, 0, "unparseable mutant emitted for {}", problem.name);
+        for mutant in &mutants {
+            let (canonical, canonical_hash) = match problem.lang {
+                clara_model::frontend::Lang::MiniPy => {
+                    let parsed = clara_lang::parse_program(&mutant.source).expect("mutant re-parses");
+                    prop_assert_eq!(parsed.structural_hash(), mutant.structural_hash);
+                    let pretty = clara_lang::program_to_string(&parsed);
+                    let reparsed = clara_lang::parse_program(&pretty).expect("pretty output re-parses");
+                    (pretty, reparsed.structural_hash())
+                }
+                clara_model::frontend::Lang::MiniC => {
+                    let parsed = clara_c::parse_c_program(&mutant.source).expect("mutant re-parses");
+                    prop_assert_eq!(parsed.structural_hash(), mutant.structural_hash);
+                    let pretty = clara_c::c_program_to_string(&parsed);
+                    let reparsed = clara_c::parse_c_program(&pretty).expect("pretty output re-parses");
+                    (pretty, reparsed.structural_hash())
+                }
+            };
+            prop_assert_eq!(
+                canonical_hash,
+                mutant.structural_hash,
+                "pretty -> re-parse changed the structural hash of a {} mutant:\n{}\n->\n{}",
+                problem.name,
+                &mutant.source,
+                &canonical
+            );
+        }
+    }
+
     /// Grading is deterministic and consistent between the spec-level API and
     /// the engine-level zero-cost-repair check.
     #[test]
