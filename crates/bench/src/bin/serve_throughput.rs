@@ -1,24 +1,41 @@
-//! Serving throughput: the feedback service under Zipf-style MOOC traffic.
+//! Serving throughput: the feedback service under Zipf-style MOOC traffic,
+//! in-process and across a multi-process shard fleet.
 //!
-//! This is the trajectory benchmark for the serving layer introduced in
-//! PR 3: it builds the per-problem cluster indexes cold, persists them,
-//! warm-loads them back (asserting byte-identical feedback), then replays a
-//! deterministic duplicate-heavy workload through the worker pool and
-//! reports requests/sec, p50/p95 latency, the cache hit rate and the warm
-//! vs cold index bring-up times. In `--smoke` mode the JSON report is
-//! mirrored to stdout and `BENCH_serve.json`.
+//! Part one is the single-process trajectory benchmark from PR 3: build the
+//! per-problem cluster indexes cold, persist them, warm-load them back
+//! (asserting byte-identical feedback), then replay a deterministic
+//! duplicate-heavy workload through the worker pool and report requests/sec,
+//! p50/p95 latency and the cache hit rate.
+//!
+//! Part two is the fleet benchmark for the PR 6 serving layer: spawn real
+//! `clara-cli serve --listen … --shard i/N` processes for N ∈ {1, 2, 4},
+//! partition a mixed-language Zipf workload across them with the same
+//! consistent-hash ring the fleet uses, replay it over TCP with closed-loop
+//! clients, and report per-shard and aggregate req/s plus latency
+//! percentiles. In `--smoke` mode the JSON report is mirrored to stdout and
+//! `BENCH_serve.json`; CI guards the aggregate req/s against the committed
+//! baseline.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use clara_bench::{emit_json_report, median_f64, paper_counts, RunMode};
 use clara_core::ClaraConfig;
 use clara_corpus::mooc::all_mooc_problems;
 use clara_corpus::{
-    duplicate_fraction, generate_dataset, generate_workload, Dataset, DatasetConfig, WorkloadConfig,
+    all_minic_problems, duplicate_fraction, generate_dataset, generate_minic_dataset, generate_workload,
+    partition_workload, Dataset, DatasetConfig, Problem, WorkloadConfig, WorkloadRequest,
 };
-use clara_server::{ClusterStore, FeedbackService, Request, Server, ServerConfig, ServiceConfig, Status};
+use clara_model::frontend::Lang;
+use clara_server::{
+    ClusterStore, FeedbackService, HashRing, Request, Response, Server, ServerConfig, ServiceConfig,
+    StatsReport, Status,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -26,7 +43,10 @@ struct ServeReport {
     corpus: String,
     problems: usize,
     requests: usize,
-    /// End-to-end requests per second through the worker pool.
+    /// Logical cores of the benchmark machine (scaling context: on one core
+    /// a 2-shard fleet cannot beat one shard).
+    cores: usize,
+    /// End-to-end requests per second through the in-process worker pool.
     requests_per_sec: f64,
     /// Per-request latency percentiles (enqueue → response), milliseconds.
     p50_latency_ms: f64,
@@ -56,6 +76,34 @@ struct ServeReport {
     errors: u64,
     /// Jobs lost to worker panics (must be 0).
     worker_panics: u64,
+    /// Multi-process fleet runs (empty when `clara-cli` was not found next
+    /// to this benchmark binary).
+    shard_scaling: Vec<ShardScalePoint>,
+    /// Aggregate req/s at 2 shards over 1 shard (0 when not measured).
+    scaling_2x: f64,
+}
+
+/// One fleet size of the multi-process benchmark.
+#[derive(Serialize)]
+struct ShardScalePoint {
+    shards: usize,
+    requests: usize,
+    /// Total requests / wall-clock of the parallel replay.
+    aggregate_rps: f64,
+    p50_latency_ms: f64,
+    p95_latency_ms: f64,
+    per_shard: Vec<ShardSide>,
+}
+
+/// Per-shard slice of a fleet run.
+#[derive(Serialize)]
+struct ShardSide {
+    shard: String,
+    addr: String,
+    requests: usize,
+    /// This shard's requests / its own replay elapsed.
+    rps: f64,
+    cache_hit_rate: f64,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -66,31 +114,219 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[index]
 }
 
+/// The mixed-language problem set: both frontends must appear so the fleet
+/// splits MiniPy and MiniC indexes across shards.
+fn select_problems(mode: RunMode) -> Vec<Problem> {
+    if mode.smoke {
+        let mut problems: Vec<Problem> = all_mooc_problems().into_iter().take(2).collect();
+        problems.extend(all_minic_problems().into_iter().take(2));
+        problems
+    } else {
+        let mut problems = mode.problems(all_mooc_problems());
+        problems.extend(all_minic_problems());
+        problems
+    }
+}
+
+fn build_dataset(problem: &Problem, config: DatasetConfig) -> Dataset {
+    match problem.lang {
+        Lang::MiniPy => generate_dataset(problem, config),
+        Lang::MiniC => generate_minic_dataset(problem, config),
+    }
+}
+
+/// `clara-cli` next to the running benchmark binary (both live in the same
+/// cargo target directory; bench binaries may sit one level down in
+/// `deps/`).
+fn find_clara_cli() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?.to_path_buf();
+    if dir.file_name().is_some_and(|n| n == "deps") {
+        dir.pop();
+    }
+    let candidate = dir.join("clara-cli");
+    candidate.is_file().then_some(candidate)
+}
+
+struct ShardProc {
+    child: Child,
+    addr: String,
+}
+
+/// Spawns one shard process and waits for its NDJSON endpoint line.
+fn spawn_shard(cli: &Path, index: usize, count: usize, problems: &[String], pool_size: usize) -> ShardProc {
+    let mut command = Command::new(cli);
+    command
+        .arg("serve")
+        .args(["--listen", "127.0.0.1:0"])
+        .args(["--shard", &format!("{index}/{count}")])
+        .args(["--pool-size", &pool_size.to_string()])
+        .args(["--workers", "2", "--queue", "64", "--no-learn"])
+        .args(problems)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    let mut child = command.spawn().expect("spawning clara-cli serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let (tx, rx) = channel::<String>();
+    std::thread::spawn(move || {
+        // Forward the endpoint line, then keep draining so the child never
+        // blocks on a full stderr pipe.
+        for line in BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            if let Some(rest) = line.strip_prefix("(ndjson endpoint on ") {
+                let _ = tx.send(rest.trim_end_matches(')').to_owned());
+            }
+        }
+    });
+    let addr = rx
+        .recv_timeout(Duration::from_secs(300))
+        .expect("shard process reports its NDJSON endpoint (index build may be slow, not absent)");
+    ShardProc { child, addr }
+}
+
+/// Replays `chunk` over one closed-loop TCP connection; returns per-request
+/// latencies in milliseconds.
+fn replay_chunk(addr: &str, chunk: &[WorkloadRequest]) -> Vec<f64> {
+    let stream = TcpStream::connect(addr).expect("connecting to shard");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("cloning stream");
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::with_capacity(chunk.len());
+    let mut line = String::new();
+    for request in chunk {
+        let payload = serde_json::to_string(&Request {
+            id: request.id as u64,
+            problem: request.problem.clone(),
+            lang: Some(request.lang.clone()),
+            source: request.source.clone(),
+            learn: None,
+        })
+        .expect("request serializes");
+        let sent = Instant::now();
+        writeln!(writer, "{payload}").expect("writing request");
+        line.clear();
+        reader.read_line(&mut line).expect("reading response");
+        let _: Response = serde_json::from_str(line.trim()).expect("well-formed response");
+        latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+    }
+    latencies
+}
+
+/// One `{"stats":true}` probe against a shard.
+fn probe_stats(addr: &str) -> Option<StatsReport> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    writeln!(writer, r#"{{"id":0,"stats":true}}"#).ok()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).ok()?;
+    serde_json::from_str(line.trim()).ok()
+}
+
+const CLIENTS_PER_SHARD: usize = 2;
+
+/// Runs the workload against a fleet of `shards` real serve processes.
+fn run_fleet(
+    cli: &Path,
+    shards: usize,
+    problem_names: &[String],
+    pool_size: usize,
+    workload: &[WorkloadRequest],
+) -> ShardScalePoint {
+    let ring = HashRing::new(shards);
+    let partitions = partition_workload(workload, shards, |r| ring.owner(&r.problem, &r.lang));
+
+    let procs: Vec<ShardProc> =
+        (0..shards).map(|i| spawn_shard(cli, i, shards, problem_names, pool_size)).collect();
+
+    // Closed-loop replay: every shard serves its partition concurrently,
+    // split over a few connections each.
+    let replay_start = Instant::now();
+    let mut handles = Vec::new();
+    for (shard, partition) in partitions.iter().enumerate() {
+        if partition.is_empty() {
+            continue;
+        }
+        let addr = procs[shard].addr.clone();
+        let chunks: Vec<Vec<WorkloadRequest>> = (0..CLIENTS_PER_SHARD)
+            .map(|c| partition.iter().skip(c).step_by(CLIENTS_PER_SHARD).cloned().collect())
+            .collect();
+        handles.push(std::thread::spawn(move || {
+            let shard_start = Instant::now();
+            let mut clients = Vec::new();
+            for chunk in chunks {
+                let addr = addr.clone();
+                clients.push(std::thread::spawn(move || replay_chunk(&addr, &chunk)));
+            }
+            let latencies: Vec<f64> =
+                clients.into_iter().flat_map(|c| c.join().expect("client thread")).collect();
+            (shard, latencies, shard_start.elapsed().as_secs_f64())
+        }));
+    }
+    let mut all_latencies: Vec<f64> = Vec::with_capacity(workload.len());
+    let mut per_shard_elapsed = vec![0.0f64; shards];
+    for handle in handles {
+        let (shard, latencies, elapsed) = handle.join().expect("shard replay thread");
+        per_shard_elapsed[shard] = elapsed;
+        all_latencies.extend(latencies);
+    }
+    let wall = replay_start.elapsed().as_secs_f64();
+
+    let per_shard: Vec<ShardSide> = procs
+        .iter()
+        .enumerate()
+        .map(|(i, proc)| {
+            let stats = probe_stats(&proc.addr);
+            ShardSide {
+                shard: format!("{i}/{shards}"),
+                addr: proc.addr.clone(),
+                requests: partitions[i].len(),
+                rps: if per_shard_elapsed[i] > 0.0 {
+                    partitions[i].len() as f64 / per_shard_elapsed[i]
+                } else {
+                    0.0
+                },
+                cache_hit_rate: stats.map(|s| s.cache_hit_rate).unwrap_or(0.0),
+            }
+        })
+        .collect();
+
+    // stdin EOF is the shutdown signal.
+    for mut proc in procs {
+        drop(proc.child.stdin.take());
+        let _ = proc.child.wait();
+    }
+
+    all_latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    assert_eq!(all_latencies.len(), workload.len(), "every fleet request must be answered");
+    ShardScalePoint {
+        shards,
+        requests: workload.len(),
+        aggregate_rps: workload.len() as f64 / wall.max(1e-9),
+        p50_latency_ms: median_f64(all_latencies.clone()),
+        p95_latency_ms: percentile(&all_latencies, 0.95),
+        per_shard,
+    }
+}
+
 fn main() {
     let mode = RunMode::from_env_and_args();
     let scale = mode.scale();
     let corpus_label = if mode.smoke {
-        "smoke subset: 2 problems, 40 correct + 8 incorrect each, 150 requests".to_owned()
+        "smoke subset: 2 MiniPy + 2 MiniC problems, 40 correct + 8 incorrect each, 150 requests".to_owned()
     } else {
-        mode.corpus_label(scale)
+        format!("{} + MiniC translations", mode.corpus_label(scale))
     };
-    println!("Serve throughput — feedback service under Zipf traffic ({corpus_label}):");
+    println!("Serve throughput — feedback service under mixed-language Zipf traffic ({corpus_label}):");
 
-    // Traffic-model corpora: duplicate-heavy incorrect pools, mixed problems
-    // (two problems even in smoke mode — sharding with one shard would not
-    // exercise the problem-routing path).
-    let problems = if mode.smoke {
-        all_mooc_problems().into_iter().take(2).collect()
-    } else {
-        mode.problems(all_mooc_problems())
-    };
+    let problems = select_problems(mode);
     let datasets: Vec<Dataset> = problems
         .iter()
         .map(|problem| {
             let (paper_correct, paper_incorrect) = paper_counts(problem.name);
             let config = if mode.smoke {
                 // Large enough that cold clustering visibly dominates warm
-                // representative re-analysis, small enough for a <5 s smoke.
+                // representative re-analysis, small enough for a fast smoke.
                 DatasetConfig {
                     correct_count: 40,
                     incorrect_count: 8,
@@ -107,7 +343,7 @@ fn main() {
                     ..DatasetConfig::default()
                 }
             };
-            generate_dataset(problem, config)
+            build_dataset(problem, config)
         })
         .collect();
     let dataset_dedup_rate = {
@@ -170,7 +406,7 @@ fn main() {
         }
     }
 
-    // Replay the Zipf workload through the pooled service.
+    // Replay the Zipf workload through the pooled in-process service.
     let workload_config = if mode.smoke {
         WorkloadConfig { requests: 150, ..WorkloadConfig::default() }
     } else {
@@ -180,7 +416,10 @@ fn main() {
     let workload_duplicate_fraction = duplicate_fraction(&workload);
 
     let service = Arc::new(FeedbackService::new(warm_stores, ServiceConfig::default()));
-    let mut server = Server::new(Arc::clone(&service), ServerConfig { workers: 4, queue_capacity: 32 });
+    let mut server = Server::new(
+        Arc::clone(&service),
+        ServerConfig { workers: 4, queue_capacity: 32, ..ServerConfig::default() },
+    );
     let (reply, responses) = channel::<(Status, f64)>();
     let replay_start = Instant::now();
     for request in &workload {
@@ -211,11 +450,33 @@ fn main() {
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     let count_status = |status: Status| collected.iter().filter(|(s, _)| *s == status).count() as u64;
 
+    // The multi-process fleet: 1/2/4 shard processes over TCP.
+    let problem_names: Vec<String> = problems.iter().map(|p| p.name.to_owned()).collect();
+    let fleet_sizes: &[usize] = if mode.smoke { &[1, 2] } else { &[1, 2, 4] };
+    let fleet_pool_size = if mode.smoke { 12 } else { 40 };
+    let shard_scaling: Vec<ShardScalePoint> = match find_clara_cli() {
+        Some(cli) => fleet_sizes
+            .iter()
+            .map(|&n| {
+                println!("(fleet: replaying {} requests against {n} shard process(es))", workload.len());
+                run_fleet(&cli, n, &problem_names, fleet_pool_size, &workload)
+            })
+            .collect(),
+        None => {
+            println!("(fleet: clara-cli not found next to this binary — skipping multi-process runs)");
+            Vec::new()
+        }
+    };
+    let rps_at =
+        |n: usize| shard_scaling.iter().find(|p| p.shards == n).map(|p| p.aggregate_rps).unwrap_or(0.0);
+    let scaling_2x = if rps_at(1) > 0.0 { rps_at(2) / rps_at(1) } else { 0.0 };
+
     let stats = service.stats();
     let report = ServeReport {
         corpus: corpus_label,
         problems: datasets.len(),
         requests: workload.len(),
+        cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         requests_per_sec: workload.len() as f64 / replay_seconds,
         p50_latency_ms: median_f64(latencies.clone()),
         p95_latency_ms: percentile(&latencies, 0.95),
@@ -231,10 +492,12 @@ fn main() {
         no_repair: count_status(Status::NoRepair),
         errors: count_status(Status::Error),
         worker_panics: server.panic_count(),
+        shard_scaling,
+        scaling_2x,
     };
 
     println!("{:<28} {:>10}", "requests", report.requests);
-    println!("{:<28} {:>10.1}", "requests/sec", report.requests_per_sec);
+    println!("{:<28} {:>10.1}", "requests/sec (in-process)", report.requests_per_sec);
     println!("{:<28} {:>10.2}", "p50 latency (ms)", report.p50_latency_ms);
     println!("{:<28} {:>10.2}", "p95 latency (ms)", report.p95_latency_ms);
     println!("{:<28} {:>9.1}%", "cache hit rate", report.cache_hit_rate * 100.0);
@@ -243,6 +506,27 @@ fn main() {
     println!("{:<28} {:>10.3}", "warm load (s)", report.warm_load_seconds);
     println!("{:<28} {:>9.1}x", "warm speedup", report.warm_speedup);
     println!("{:<28} {:>10}", "warm == cold feedback", report.warm_cold_identical);
+    for point in &report.shard_scaling {
+        println!(
+            "{:<28} {:>10.1}  (p50 {:.2} ms, p95 {:.2} ms)",
+            format!("fleet req/s @ {} shard(s)", point.shards),
+            point.aggregate_rps,
+            point.p50_latency_ms,
+            point.p95_latency_ms
+        );
+        for side in &point.per_shard {
+            println!(
+                "    shard {:<6} {:>6} reqs {:>9.1} req/s  cache {:>5.1}%",
+                side.shard,
+                side.requests,
+                side.rps,
+                side.cache_hit_rate * 100.0
+            );
+        }
+    }
+    if report.scaling_2x > 0.0 {
+        println!("{:<28} {:>9.2}x  ({} cores)", "2-shard scaling", report.scaling_2x, report.cores);
+    }
     println!();
     println!("The cache hit rate is bounded above by the workload duplicate fraction; the");
     println!("gap is the (problem, structural-hash) pairs evicted or not yet seen.");

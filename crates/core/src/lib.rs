@@ -52,6 +52,7 @@ pub mod matching;
 pub mod oracle;
 pub mod repair;
 pub mod sigcache;
+pub mod snapshot;
 
 pub use analysis::{AnalysisError, AnalyzedProgram};
 pub use cluster::{cluster_programs, clustering_stats, Cluster, ClusteringStats};
@@ -64,6 +65,7 @@ pub use repair::{
     RepairResult,
 };
 pub use sigcache::{SignatureCache, ValueSignature};
+pub use snapshot::{Snapshot, SnapshotCell};
 
 use clara_lang::Value;
 use clara_model::frontend::Lang;

@@ -47,7 +47,10 @@ pub use mutate::{
 pub use mutation::{empty_attempt, mutate, unsupported_attempt, FaultKind, Mutant};
 pub use problem::{GradingMode, Problem};
 pub use variation::{rename_variables, rename_with, tweak_expressions, vary_seed};
-pub use workload::{duplicate_fraction, generate_workload, RequestKind, WorkloadConfig, WorkloadRequest};
+pub use workload::{
+    duplicate_fraction, generate_workload, language_mix, partition_workload, RequestKind, WorkloadConfig,
+    WorkloadRequest,
+};
 
 use clara_model::frontend::Lang;
 

@@ -162,6 +162,39 @@ fn pathological_request<R: Rng>(id: usize, datasets: &[Dataset], rng: &mut R) ->
     WorkloadRequest { id, problem, lang, source, kind }
 }
 
+/// Splits a request stream into per-shard streams under an arbitrary
+/// assignment (typically the serving fleet's consistent-hash ring over
+/// problem×language keys, injected as a closure so the corpus crate stays
+/// independent of the server). Stream order is preserved within each
+/// bucket; an assignment outside `0..buckets` panics.
+///
+/// # Panics
+///
+/// Panics when `assign` returns an index `>= buckets`.
+pub fn partition_workload(
+    requests: &[WorkloadRequest],
+    buckets: usize,
+    assign: impl Fn(&WorkloadRequest) -> usize,
+) -> Vec<Vec<WorkloadRequest>> {
+    let mut shards: Vec<Vec<WorkloadRequest>> = (0..buckets).map(|_| Vec::new()).collect();
+    for request in requests {
+        let bucket = assign(request);
+        assert!(bucket < buckets, "assignment {bucket} out of range for {buckets} buckets");
+        shards[bucket].push(request.clone());
+    }
+    shards
+}
+
+/// Per-language request counts of a stream (tag → requests), for checking
+/// that a fleet benchmark really exercises every frontend.
+pub fn language_mix(requests: &[WorkloadRequest]) -> std::collections::BTreeMap<String, usize> {
+    let mut mix = std::collections::BTreeMap::new();
+    for request in requests {
+        *mix.entry(request.lang.clone()).or_insert(0) += 1;
+    }
+    mix
+}
+
 /// Fraction of requests whose submission text already occurred earlier in
 /// the stream — the share of traffic a perfect result cache could answer
 /// without running repair.
@@ -250,6 +283,24 @@ mod tests {
         assert!(requests.iter().any(|r| matches!(r.kind, RequestKind::Unsupported | RequestKind::Empty)));
         assert!(requests.iter().any(|r| r.kind == RequestKind::Correct));
         assert!(requests.iter().any(|r| r.kind == RequestKind::Incorrect));
+    }
+
+    #[test]
+    fn partitioning_preserves_order_and_covers_every_request() {
+        let requests =
+            generate_workload(&datasets(), WorkloadConfig { requests: 300, ..WorkloadConfig::default() });
+        // A stand-in for the serving ring: any deterministic function of the
+        // problem×language key.
+        let assign = |r: &WorkloadRequest| (r.problem.len() + r.lang.len()) % 3;
+        let shards = partition_workload(&requests, 3, assign);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), requests.len());
+        for (bucket, shard) in shards.iter().enumerate() {
+            // Every request landed where the assignment says, in stream order.
+            assert!(shard.windows(2).all(|w| w[0].id < w[1].id), "bucket {bucket} out of order");
+            assert!(shard.iter().all(|r| assign(r) == bucket));
+        }
+        let mix = language_mix(&requests);
+        assert_eq!(mix.values().sum::<usize>(), requests.len());
     }
 
     #[test]

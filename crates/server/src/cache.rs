@@ -11,8 +11,17 @@
 //! `HashMap` for lookup plus a lazily compacted access queue (each access
 //! pushes a fresh `(key, stamp)` ticket; stale tickets are skipped during
 //! eviction). Eviction is amortised O(1).
+//!
+//! For concurrent serving the cache is wrapped in a [`StripedCache`]: `N`
+//! independently locked LRU segments selected by key bits, so workers
+//! handling unrelated submissions never contend on one global cache mutex
+//! (the pre-sharding design funnelled every request through a single
+//! `Mutex<LruCache>`; under 8 workers that lock was the top contention
+//! point after the store `RwLock`).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// A bounded least-recently-used map from `u64` keys to `V`.
 #[derive(Debug)]
@@ -106,6 +115,87 @@ impl<V> LruCache<V> {
     }
 }
 
+/// A lock-striped result cache: `N` independent [`LruCache`] segments, each
+/// behind its own mutex, selected by the key's low bits. The per-key
+/// structural hashes are splitmix-style mixed upstream, so the low bits
+/// distribute uniformly and each segment sees ~1/N of the traffic.
+///
+/// Values are cloned out on hit (they are `Arc`-light response outcomes),
+/// so segment locks are held only for the map operation itself — never
+/// while a repair runs.
+#[derive(Debug)]
+pub struct StripedCache<V> {
+    segments: Vec<Mutex<LruCache<V>>>,
+    /// Segment-selection mask (`segments.len() - 1`; length is a power of
+    /// two).
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Clone> StripedCache<V> {
+    /// Creates a cache of `capacity` total entries split over `stripes`
+    /// segments. `stripes` is rounded up to a power of two; a capacity of 0
+    /// disables caching entirely.
+    pub fn new(capacity: usize, stripes: usize) -> Self {
+        let stripes = stripes.max(1).next_power_of_two();
+        let per_segment = capacity.div_ceil(stripes);
+        let segments = (0..stripes)
+            .map(|_| Mutex::new(LruCache::new(if capacity == 0 { 0 } else { per_segment })))
+            .collect();
+        StripedCache {
+            segments,
+            mask: (stripes - 1) as u64,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn segment(&self, key: u64) -> &Mutex<LruCache<V>> {
+        &self.segments[(key & self.mask) as usize]
+    }
+
+    /// Looks up `key`, cloning the value out on a hit.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let value = self.segment(key).lock().expect("cache segment poisoned").get(key).cloned();
+        match value {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key` in its segment.
+    pub fn insert(&self, key: u64, value: V) {
+        self.segment(key).lock().expect("cache segment poisoned").insert(key, value);
+    }
+
+    /// Total live entries across all segments.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.lock().expect("cache segment poisoned").len()).sum()
+    }
+
+    /// `true` when every segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of segments (always a power of two).
+    pub fn stripes(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Cache-wide (hits, misses) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +273,72 @@ mod tests {
         assert!(cache.len() <= 8);
         // The lazily compacted queue must not grow with the access count.
         assert!(cache.queue.len() <= 8 * 4 + 16, "queue grew to {}", cache.queue.len());
+    }
+
+    #[test]
+    fn striped_cache_routes_keys_to_independent_segments() {
+        let cache = StripedCache::new(64, 4);
+        assert_eq!(cache.stripes(), 4);
+        for key in 0..32u64 {
+            cache.insert(key, key * 10);
+        }
+        assert_eq!(cache.len(), 32);
+        for key in 0..32u64 {
+            assert_eq!(cache.get(key), Some(key * 10));
+        }
+        assert_eq!(cache.get(999), None);
+        assert_eq!(cache.counters(), (32, 1));
+    }
+
+    #[test]
+    fn striped_capacity_is_split_across_segments() {
+        // 8 entries over 4 stripes: each segment holds 2; keys that share a
+        // segment (same low bits) evict each other, unrelated keys do not.
+        let cache = StripedCache::new(8, 4);
+        for round in 0..4u64 {
+            cache.insert(round * 4, round); // all land in segment 0
+        }
+        assert!(cache.len() <= 8);
+        assert_eq!(cache.get(0), None, "oldest same-segment key evicted");
+        assert_eq!(cache.get(12), Some(3));
+    }
+
+    #[test]
+    fn striped_zero_capacity_disables_caching() {
+        let cache: StripedCache<()> = StripedCache::new(0, 8);
+        cache.insert(7, ());
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(7), None);
+    }
+
+    #[test]
+    fn striped_stripe_counts_round_up_to_powers_of_two() {
+        assert_eq!(StripedCache::<()>::new(16, 3).stripes(), 4);
+        assert_eq!(StripedCache::<()>::new(16, 1).stripes(), 1);
+        assert_eq!(StripedCache::<()>::new(16, 0).stripes(), 1);
+    }
+
+    #[test]
+    fn striped_cache_is_coherent_under_concurrent_access() {
+        use std::sync::Arc;
+        let cache = Arc::new(StripedCache::new(1024, 8));
+        let workers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let key = (t * 2_000 + i) % 512;
+                        cache.insert(key, key);
+                        if let Some(v) = cache.get(key) {
+                            assert_eq!(v, key, "value under wrong key");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("cache worker panicked");
+        }
+        assert!(cache.len() <= 1024);
     }
 }

@@ -57,15 +57,23 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod net;
 pub mod pool;
 pub mod protocol;
+pub mod router;
 pub mod serve;
 pub mod service;
+pub mod shard;
 pub mod store;
 
-pub use cache::LruCache;
+pub use cache::{LruCache, StripedCache};
+pub use net::{Backend, EventLoop, EventLoopConfig, LoopHandle};
 pub use pool::{PoolClosed, WorkerPool};
-pub use protocol::{parse_request, render_response, Request, Response, Status};
+pub use protocol::{
+    parse_incoming, parse_request, render_response, Incoming, Request, Response, StatsReport, Status,
+};
+pub use router::{Router, RouterConfig, RouterReport};
 pub use serve::{default_workers, run_ndjson, serve_http, Server, ServerConfig};
-pub use service::{FeedbackService, ServiceConfig, ServiceStats};
+pub use service::{FeedbackService, ServiceConfig, ServiceStats, ShardStat};
+pub use shard::{HashRing, ShardSpec, ShardSpecError};
 pub use store::{ClusterStore, StoreError, STORE_FORMAT_VERSION};

@@ -1,17 +1,30 @@
 //! A hand-rolled worker pool over `std::thread` and channels.
 //!
 //! The build environment is offline, so there is no tokio; the serving
-//! pipeline instead uses the classic shared-receiver pool: a bounded
-//! [`sync_channel`](std::sync::mpsc::sync_channel) job queue (submission
-//! blocks when the queue is full — natural backpressure toward the front
-//! end) drained by `N` worker threads. Workers are panic-isolated: a job
-//! whose handler panics is counted and dropped, and the worker keeps
-//! serving subsequent jobs.
+//! pipeline instead uses a fixed pool of panic-isolated worker threads.
+//! Dispatch is **per-worker**: every worker owns its own bounded
+//! [`sync_channel`](std::sync::mpsc::sync_channel) and submissions are
+//! spread round-robin across them, skipping workers whose queue is full.
+//! The earlier design funnelled all workers through one shared
+//! `Arc<Mutex<Receiver>>` — every dequeue serialized the whole pool on that
+//! lock, so idle workers woke up just to contend for it. With per-worker
+//! queues a dequeue is lock-free from the pool's point of view and workers
+//! only ever touch their own channel.
+//!
+//! Workers drain in **batches**: after blocking for the first job, a worker
+//! opportunistically takes up to `max_batch - 1` more already-queued jobs
+//! and hands the whole batch to the handler in one call. Batch handlers
+//! amortise per-wakeup costs — the feedback service loads each problem's
+//! index snapshot once per batch and deduplicates structurally identical
+//! submissions within it.
+//!
+//! Workers are panic-isolated: a batch whose handler panics is counted and
+//! dropped, and the worker keeps serving subsequent jobs.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Error returned when submitting to a pool that has shut down.
@@ -26,64 +39,120 @@ impl std::fmt::Display for PoolClosed {
 
 impl std::error::Error for PoolClosed {}
 
-/// A fixed-size pool of panic-isolated worker threads draining a bounded
-/// job queue.
+/// A fixed-size pool of panic-isolated worker threads, each draining its
+/// own bounded job queue in batches.
 pub struct WorkerPool<J: Send + 'static> {
-    sender: Option<SyncSender<J>>,
+    /// One bounded sender per worker; `None` after shutdown.
+    senders: Vec<SyncSender<J>>,
+    /// Round-robin dispatch cursor.
+    cursor: AtomicUsize,
     workers: Vec<JoinHandle<()>>,
     panics: Arc<AtomicU64>,
+    /// Jobs submitted but not yet picked up by a worker (the queue-depth
+    /// gauge exposed via `/stats`).
+    queued: Arc<AtomicU64>,
 }
 
 impl<J: Send + 'static> WorkerPool<J> {
-    /// Spawns `workers` threads handling jobs with `handler`. At most
-    /// `queue_capacity` jobs wait in the queue; further submissions block
-    /// (backpressure).
+    /// Spawns `workers` threads handling one job per call with `handler`.
+    /// At most `queue_capacity` jobs wait per worker; submissions prefer
+    /// idle workers and block only when every queue is full (backpressure).
     pub fn new(workers: usize, queue_capacity: usize, handler: impl Fn(J) + Send + Sync + 'static) -> Self {
+        // max_batch = 1 keeps the one-job-at-a-time contract (and its
+        // per-job panic accounting) for callers that don't batch.
+        Self::new_batched(workers, queue_capacity, 1, move |batch| {
+            for job in batch {
+                handler(job);
+            }
+        })
+    }
+
+    /// Spawns `workers` threads handling jobs in batches of up to
+    /// `max_batch` with `handler`. A worker blocks for its first job, then
+    /// drains whatever else is already queued (up to the batch limit) and
+    /// hands the whole batch to one handler call.
+    pub fn new_batched(
+        workers: usize,
+        queue_capacity: usize,
+        max_batch: usize,
+        handler: impl Fn(Vec<J>) + Send + Sync + 'static,
+    ) -> Self {
         let workers = workers.max(1);
-        let (sender, receiver) = sync_channel::<J>(queue_capacity.max(1));
-        let receiver = Arc::new(Mutex::new(receiver));
+        let max_batch = max_batch.max(1);
         let handler = Arc::new(handler);
         let panics = Arc::new(AtomicU64::new(0));
+        let queued = Arc::new(AtomicU64::new(0));
+        let mut senders = Vec::with_capacity(workers);
         let handles = (0..workers)
             .map(|index| {
-                let receiver = Arc::clone(&receiver);
+                let (sender, receiver) = sync_channel::<J>(queue_capacity.max(1));
+                senders.push(sender);
                 let handler = Arc::clone(&handler);
                 let panics = Arc::clone(&panics);
+                let queued = Arc::clone(&queued);
                 std::thread::Builder::new()
                     .name(format!("clara-worker-{index}"))
-                    .spawn(move || worker_loop(&receiver, handler.as_ref(), &panics))
+                    .spawn(move || worker_loop(&receiver, max_batch, handler.as_ref(), &panics, &queued))
                     .expect("spawning a worker thread")
             })
             .collect();
-        WorkerPool { sender: Some(sender), workers: handles, panics }
+        WorkerPool { senders, cursor: AtomicUsize::new(0), workers: handles, panics, queued }
     }
 
-    /// Submits a job, blocking while the queue is full.
+    /// One round-robin pass over every queue. `Ok(Err(job))` hands the job
+    /// back when all queues are full.
+    fn offer(&self, mut job: J) -> Result<Result<(), J>, PoolClosed> {
+        if self.senders.is_empty() {
+            return Err(PoolClosed);
+        }
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        for offset in 0..self.senders.len() {
+            let sender = &self.senders[(start + offset) % self.senders.len()];
+            match sender.try_send(job) {
+                Ok(()) => {
+                    self.queued.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Ok(()));
+                }
+                Err(TrySendError::Full(returned)) => job = returned,
+                Err(TrySendError::Disconnected(_)) => return Err(PoolClosed),
+            }
+        }
+        Ok(Err(job))
+    }
+
+    /// Submits a job: tries every worker queue round-robin starting at the
+    /// dispatch cursor; while all are full, keeps retrying across *all*
+    /// queues with a short backoff. Committing to one specific queue would
+    /// wait on one specific worker — if that worker is stuck on a slow job
+    /// the submitter deadlocks against it even though its siblings drain.
     ///
     /// # Errors
     ///
     /// Returns [`PoolClosed`] when the pool has shut down.
     pub fn submit(&self, job: J) -> Result<(), PoolClosed> {
-        match &self.sender {
-            Some(sender) => sender.send(job).map_err(|_| PoolClosed),
-            None => Err(PoolClosed),
+        let mut job = job;
+        loop {
+            match self.offer(job)? {
+                Ok(()) => return Ok(()),
+                Err(returned) => {
+                    job = returned;
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            }
         }
     }
 
-    /// Submits a job without blocking; `Ok(false)` signals a full queue
-    /// (the caller can shed load instead of waiting).
+    /// Submits a job without blocking; `Ok(false)` signals that every
+    /// worker queue is full (the caller can shed load instead of waiting —
+    /// the job itself is dropped, so callers keep their own copy to retry).
     ///
     /// # Errors
     ///
     /// Returns [`PoolClosed`] when the pool has shut down.
     pub fn try_submit(&self, job: J) -> Result<bool, PoolClosed> {
-        match &self.sender {
-            Some(sender) => match sender.try_send(job) {
-                Ok(()) => Ok(true),
-                Err(TrySendError::Full(_)) => Ok(false),
-                Err(TrySendError::Disconnected(_)) => Err(PoolClosed),
-            },
-            None => Err(PoolClosed),
+        match self.offer(job)? {
+            Ok(()) => Ok(true),
+            Err(_dropped) => Ok(false),
         }
     }
 
@@ -93,9 +162,20 @@ impl<J: Send + 'static> WorkerPool<J> {
         self.panics.load(Ordering::Relaxed)
     }
 
-    /// Closes the queue, drains the remaining jobs and joins all workers.
+    /// Jobs currently waiting in worker queues (submitted, not yet picked
+    /// up). The queue-depth gauge of the `/stats` endpoint.
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Closes the queues, drains the remaining jobs and joins all workers.
     pub fn shutdown(&mut self) {
-        self.sender = None;
+        self.senders.clear();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -108,20 +188,30 @@ impl<J: Send + 'static> Drop for WorkerPool<J> {
     }
 }
 
-fn worker_loop<J>(receiver: &Mutex<Receiver<J>>, handler: &(impl Fn(J) + ?Sized), panics: &AtomicU64) {
+fn worker_loop<J>(
+    receiver: &Receiver<J>,
+    max_batch: usize,
+    handler: &(impl Fn(Vec<J>) + ?Sized),
+    panics: &AtomicU64,
+    queued: &AtomicU64,
+) {
     loop {
-        // Hold the lock only for the dequeue, never while handling.
-        let job = match receiver.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return, // a sibling worker panicked *inside recv* — unreachable in practice
-        };
-        match job {
-            Ok(job) => {
-                if catch_unwind(AssertUnwindSafe(|| handler(job))).is_err() {
-                    panics.fetch_add(1, Ordering::Relaxed);
-                }
+        // Block for the first job; queue closed and drained means exit.
+        let Ok(first) = receiver.recv() else { return };
+        let mut batch = Vec::with_capacity(max_batch.min(16));
+        batch.push(first);
+        // Opportunistic drain: whatever is already queued rides along in
+        // this wakeup, up to the batch limit.
+        while batch.len() < max_batch {
+            match receiver.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
             }
-            Err(_) => return, // queue closed and drained
+        }
+        queued.fetch_sub(batch.len() as u64, Ordering::Relaxed);
+        let lost = batch.len() as u64;
+        if catch_unwind(AssertUnwindSafe(|| handler(batch))).is_err() {
+            panics.fetch_add(lost, Ordering::Relaxed);
         }
     }
 }
@@ -131,6 +221,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
     use std::sync::mpsc::channel;
+    use std::sync::Mutex;
 
     #[test]
     fn jobs_are_processed_by_multiple_workers() {
@@ -145,6 +236,7 @@ mod tests {
         pool.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 100);
         assert_eq!(pool.panic_count(), 0);
+        assert_eq!(pool.queued(), 0);
     }
 
     #[test]
@@ -165,7 +257,7 @@ mod tests {
     }
 
     #[test]
-    fn try_submit_signals_a_full_queue() {
+    fn try_submit_signals_when_every_queue_is_full() {
         let (release, gate) = channel::<()>();
         let gate = Mutex::new(gate);
         let mut pool = WorkerPool::new(1, 1, move |_: usize| {
@@ -190,5 +282,100 @@ mod tests {
         pool.shutdown();
         assert_eq!(pool.submit(1), Err(PoolClosed));
         assert_eq!(pool.try_submit(1), Err(PoolClosed));
+    }
+
+    #[test]
+    fn full_queues_route_to_idle_workers() {
+        // Per-worker queues trade the old shared queue's work-conservation
+        // for contention-free dispatch; head-of-line blocking behind a slow
+        // worker is bounded by its queue capacity. With capacity 1, at most
+        // one quick job can sit behind the blocked worker — the rest must
+        // route to the idle worker and finish while job 0 is still stuck.
+        let (release, gate) = channel::<()>();
+        let gate = Mutex::new(Some(gate));
+        let (reply, done) = channel::<usize>();
+        let mut pool = WorkerPool::new(2, 1, move |n: usize| {
+            if n == 0 {
+                // Only the first job blocks (takes the gate receiver).
+                if let Some(gate) = gate.lock().unwrap().take() {
+                    let _ = gate.recv();
+                }
+            }
+            reply.send(n).unwrap();
+        });
+        pool.submit(0).unwrap();
+        for n in 1..=5 {
+            pool.submit(n).unwrap();
+        }
+        // At least four of the five quick jobs complete while job 0 blocks.
+        let quick: Vec<usize> = (0..4)
+            .map(|_| {
+                done.recv_timeout(std::time::Duration::from_secs(10))
+                    .expect("quick jobs must not starve behind the blocked worker")
+            })
+            .collect();
+        assert!(!quick.contains(&0), "job 0 is still blocked: {quick:?}");
+        release.send(()).unwrap();
+        // The blocked job and any stragglers behind it drain on release.
+        let mut all = quick;
+        while all.len() < 6 {
+            all.push(done.recv_timeout(std::time::Duration::from_secs(10)).unwrap());
+        }
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn batched_workers_drain_queued_jobs_in_one_wakeup() {
+        let batches: Arc<Mutex<Vec<usize>>> = Arc::default();
+        let seen = Arc::clone(&batches);
+        let (release, gate) = channel::<()>();
+        let gate = Mutex::new(gate);
+        let mut pool = WorkerPool::new_batched(1, 16, 8, move |batch: Vec<usize>| {
+            seen.lock().unwrap().push(batch.len());
+            let _ = gate.lock().unwrap().recv();
+        });
+        // First job wakes the worker (batch of 1, then blocks in the
+        // handler); nine more queue up behind it and must drain as two
+        // batches of 8 and 1.
+        pool.submit(0).unwrap();
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        for n in 1..10 {
+            pool.submit(n).unwrap();
+        }
+        for _ in 0..3 {
+            release.send(()).unwrap();
+        }
+        pool.shutdown();
+        let sizes = batches.lock().unwrap().clone();
+        assert_eq!(sizes.iter().sum::<usize>(), 10, "every job handled: {sizes:?}");
+        assert!(sizes.len() < 10, "queued jobs must coalesce into batches: {sizes:?}");
+        assert!(sizes.iter().all(|s| *s <= 8), "batch limit respected: {sizes:?}");
+    }
+
+    #[test]
+    fn queue_depth_gauge_tracks_waiting_jobs() {
+        let (release, gate) = channel::<()>();
+        let gate = Mutex::new(gate);
+        let mut pool = WorkerPool::new(1, 8, move |_: usize| {
+            let _ = gate.lock().unwrap().recv();
+        });
+        pool.submit(0).unwrap();
+        // Wait until the worker picked the first job up.
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        for n in 1..=3 {
+            pool.submit(n).unwrap();
+        }
+        assert_eq!(pool.queued(), 3, "three jobs waiting behind the blocked worker");
+        for _ in 0..4 {
+            release.send(()).unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(pool.queued(), 0);
     }
 }

@@ -12,6 +12,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::service::{ServiceStats, ShardStat};
+
 /// A feedback request: one student submission for one problem.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Request {
@@ -122,6 +124,58 @@ impl Response {
     }
 }
 
+/// An operational-stats report: the payload of `GET /stats` and of NDJSON
+/// `{"id":…,"stats":true}` control lines. One report describes one serve
+/// process; fleet-wide numbers are aggregated client-side (the router and
+/// the benchmark sum the per-shard reports).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Correlation id of the stats request (0 over HTTP).
+    pub id: u64,
+    /// This process's fleet position as `i/N` (`0/1` when unsharded).
+    pub shard: String,
+    /// Highest index-snapshot generation across the problem shards; bumps
+    /// on every online insertion.
+    pub snapshot_generation: u64,
+    /// Jobs currently waiting in the worker queues.
+    pub queue_depth: u64,
+    /// Worker threads serving this process.
+    pub workers: u64,
+    /// Result-cache hits since startup.
+    pub cache_hits: u64,
+    /// Result-cache misses since startup.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, 0 when idle.
+    pub cache_hit_rate: f64,
+    /// Jobs lost to handler panics.
+    pub worker_panics: u64,
+    /// The monotonic service counters.
+    pub service: ServiceStats,
+    /// Per-problem request counts and index generations.
+    pub problems: Vec<ShardStat>,
+}
+
+/// A parsed incoming NDJSON line: either a feedback request or a control
+/// request.
+#[derive(Debug, Clone)]
+pub enum Incoming {
+    /// A student submission to analyse.
+    Feedback(Request),
+    /// A `{"id":…,"stats":true}` probe answered with a [`StatsReport`].
+    Stats {
+        /// Correlation id echoed in the report.
+        id: u64,
+    },
+}
+
+/// The shape probed before full request parsing: any line carrying
+/// `"stats":true` is a control request, whatever else it contains.
+#[derive(Debug, Deserialize)]
+struct ControlProbe {
+    id: Option<u64>,
+    stats: Option<bool>,
+}
+
 /// Parses one NDJSON request line.
 ///
 /// # Errors
@@ -129,6 +183,20 @@ impl Response {
 /// Returns a human-readable description of the malformation.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     serde_json::from_str(line).map_err(|e| e.to_string())
+}
+
+/// Parses one NDJSON line into a feedback or control request.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the malformation.
+pub fn parse_incoming(line: &str) -> Result<Incoming, String> {
+    if let Ok(probe) = serde_json::from_str::<ControlProbe>(line) {
+        if probe.stats == Some(true) {
+            return Ok(Incoming::Stats { id: probe.id.unwrap_or(0) });
+        }
+    }
+    parse_request(line).map(Incoming::Feedback)
 }
 
 /// Renders a response as one NDJSON line (no trailing newline; compact JSON
@@ -164,6 +232,51 @@ mod tests {
         assert!(parse_request("").is_err());
         assert!(parse_request("{\"id\":}").is_err());
         assert!(parse_request(r#"{"problem":"p","source":"s"}"#).is_err(), "missing id");
+    }
+
+    #[test]
+    fn stats_lines_parse_as_control_requests() {
+        match parse_incoming(r#"{"id":9,"stats":true}"#).unwrap() {
+            Incoming::Stats { id } => assert_eq!(id, 9),
+            other => panic!("expected a stats request, got {other:?}"),
+        }
+        // `stats:false` (or absent) falls through to feedback parsing.
+        assert!(parse_incoming(r#"{"id":1,"stats":false}"#).is_err(), "not a feedback request either");
+        match parse_incoming(r#"{"id":2,"problem":"p","source":"s"}"#).unwrap() {
+            Incoming::Feedback(request) => assert_eq!(request.problem, "p"),
+            other => panic!("expected a feedback request, got {other:?}"),
+        }
+        // Malformed lines still error with a description.
+        assert!(parse_incoming("not json").is_err());
+    }
+
+    #[test]
+    fn stats_reports_roundtrip() {
+        let report = StatsReport {
+            id: 4,
+            shard: "1/2".to_owned(),
+            snapshot_generation: 3,
+            queue_depth: 5,
+            workers: 2,
+            cache_hits: 10,
+            cache_misses: 30,
+            cache_hit_rate: 0.25,
+            worker_panics: 0,
+            service: ServiceStats { requests: 40, ..ServiceStats::default() },
+            problems: vec![ShardStat {
+                problem: "derivatives".to_owned(),
+                lang: "minipy".to_owned(),
+                requests: 40,
+                generation: 3,
+            }],
+        };
+        let line = serde_json::to_string(&report).unwrap();
+        assert!(!line.contains('\n'));
+        let back: StatsReport = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.shard, "1/2");
+        assert_eq!(back.problems.len(), 1);
+        assert_eq!(back.problems[0].requests, 40);
+        assert_eq!(back.service.requests, 40);
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! The thin router: forwards each request to the shard owning its
+//! problem×language key.
+//!
+//! A router process holds no cluster indexes. It derives the same
+//! [`HashRing`] every shard derives from the fleet size, resolves each
+//! request's canonical language from the problem catalog (clients may omit
+//! or alias the `lang` tag, but ring keys must be canonical or router and
+//! shard would disagree), and forwards the NDJSON line to the owning shard
+//! over a persistent upstream connection. Responses come back on the same
+//! line framing with the client's `id` intact, so the router never
+//! rewrites payloads.
+//!
+//! Forwarding runs on the router's own [`WorkerPool`]; each upstream
+//! connection is serialized by a mutex held across the write/read pair, so
+//! exactly one request is in flight per upstream and the next line read is
+//! its response. A dead upstream is reconnected once per job; if that also
+//! fails the client gets an explicit error naming the shard.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::pool::{PoolClosed, WorkerPool};
+use crate::protocol::{render_response, Request, Response};
+use crate::shard::HashRing;
+
+/// Router tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Forwarding worker threads (each blocks on one upstream exchange).
+    pub workers: usize,
+    /// Per-worker queue capacity.
+    pub queue_capacity: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig { workers: 4, queue_capacity: 64 }
+    }
+}
+
+/// One shard process the router forwards to.
+struct Upstream {
+    addr: String,
+    /// The persistent connection, lazily (re)established. The mutex is held
+    /// across the write/read pair: one request in flight per upstream.
+    conn: Mutex<Option<BufReader<TcpStream>>>,
+    forwarded: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Upstream {
+    fn new(addr: String) -> Upstream {
+        Upstream { addr, conn: Mutex::new(None), forwarded: AtomicU64::new(0), errors: AtomicU64::new(0) }
+    }
+}
+
+/// Stats payload of a router process (`GET /stats`, NDJSON `stats` probes).
+/// The `router` marker distinguishes it from a shard's `StatsReport`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouterReport {
+    /// Correlation id of the stats request.
+    pub id: u64,
+    /// Always `true`: marks this process as a router.
+    pub router: bool,
+    /// Fleet size the ring was built for.
+    pub shards: u64,
+    /// Requests forwarded successfully since startup.
+    pub forwarded: u64,
+    /// Forwarding failures (upstream unreachable / broken exchange).
+    pub upstream_errors: u64,
+    /// Per-upstream forwarding counts.
+    pub upstreams: Vec<UpstreamStat>,
+}
+
+/// Per-upstream slice of a [`RouterReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UpstreamStat {
+    /// The shard's NDJSON listen address.
+    pub addr: String,
+    /// Requests forwarded to this shard.
+    pub forwarded: u64,
+    /// Failed exchanges with this shard.
+    pub errors: u64,
+}
+
+type RouterJob = (usize, Request, Box<dyn FnOnce(String) + Send>);
+
+/// A forwarding router over a fleet of shard processes.
+pub struct Router {
+    upstreams: Arc<Vec<Upstream>>,
+    ring: HashRing,
+    /// problem name → canonical language tag, from the problem catalog.
+    catalog: HashMap<String, String>,
+    pool: WorkerPool<RouterJob>,
+}
+
+impl Router {
+    /// Builds a router over shards listening at `addrs` (index = shard
+    /// index). `catalog` maps every known problem to its canonical language
+    /// tag; requests for unknown problems are still routed (deterministically
+    /// by whatever tag the client sent) and answered by the owning shard's
+    /// unknown-problem error.
+    pub fn new(
+        addrs: Vec<String>,
+        catalog: impl IntoIterator<Item = (String, String)>,
+        config: RouterConfig,
+    ) -> Router {
+        let upstreams: Arc<Vec<Upstream>> = Arc::new(addrs.into_iter().map(Upstream::new).collect());
+        let ring = HashRing::new(upstreams.len());
+        let pool_upstreams = Arc::clone(&upstreams);
+        let pool = WorkerPool::new(
+            config.workers.max(1),
+            config.queue_capacity.max(1),
+            move |(index, request, reply): RouterJob| {
+                let upstream = &pool_upstreams[index];
+                let line = serde_json::to_string(&request).expect("request serialization is infallible");
+                match forward(upstream, &line) {
+                    Ok(response) => {
+                        upstream.forwarded.fetch_add(1, Ordering::Relaxed);
+                        reply(response);
+                    }
+                    Err(e) => {
+                        upstream.errors.fetch_add(1, Ordering::Relaxed);
+                        reply(render_response(&Response::error(
+                            request.id,
+                            format!("shard {index} ({}) unreachable: {e}", upstream.addr),
+                        )));
+                    }
+                }
+            },
+        );
+        Router { upstreams, ring, catalog: catalog.into_iter().collect(), pool }
+    }
+
+    /// The shard index owning `request`'s problem×language key. The
+    /// catalog's canonical tag wins over the client's alias — shards load
+    /// their indexes under canonical tags, and router and shard must hash
+    /// identical keys.
+    pub fn route(&self, request: &Request) -> usize {
+        let lang =
+            self.catalog.get(&request.problem).map(String::as_str).or(request.lang.as_deref()).unwrap_or("");
+        self.ring.owner(&request.problem, lang)
+    }
+
+    /// Queues `request` for forwarding; `reply` receives the upstream's
+    /// response line (or a local error line). `Ok(false)` means every
+    /// forwarding queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolClosed`] after [`Router::shutdown`].
+    pub fn try_submit(
+        &self,
+        request: Request,
+        reply: Box<dyn FnOnce(String) + Send>,
+    ) -> Result<bool, PoolClosed> {
+        let index = self.route(&request);
+        self.pool.try_submit((index, request, reply))
+    }
+
+    /// Blocking forward for synchronous callers (tests, CLI probes).
+    ///
+    /// # Errors
+    ///
+    /// [`PoolClosed`] after [`Router::shutdown`].
+    pub fn submit(&self, request: Request, reply: Box<dyn FnOnce(String) + Send>) -> Result<(), PoolClosed> {
+        let index = self.route(&request);
+        self.pool.submit((index, request, reply))
+    }
+
+    /// The router's stats report.
+    pub fn report(&self, id: u64) -> RouterReport {
+        let upstreams: Vec<UpstreamStat> = self
+            .upstreams
+            .iter()
+            .map(|u| UpstreamStat {
+                addr: u.addr.clone(),
+                forwarded: u.forwarded.load(Ordering::Relaxed),
+                errors: u.errors.load(Ordering::Relaxed),
+            })
+            .collect();
+        RouterReport {
+            id,
+            router: true,
+            shards: self.upstreams.len() as u64,
+            forwarded: upstreams.iter().map(|u| u.forwarded).sum(),
+            upstream_errors: upstreams.iter().map(|u| u.errors).sum(),
+            upstreams,
+        }
+    }
+
+    /// The stats report as one JSON line.
+    pub fn stats_line(&self, id: u64) -> String {
+        serde_json::to_string(&self.report(id)).expect("report serialization is infallible")
+    }
+
+    /// Closes the forwarding queues and joins the workers.
+    pub fn shutdown(&mut self) {
+        self.pool.shutdown();
+    }
+}
+
+/// One request/response exchange with a shard, reconnecting once on a
+/// broken connection.
+fn forward(upstream: &Upstream, line: &str) -> io::Result<String> {
+    let mut guard = upstream.conn.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut last_error = None;
+    for _attempt in 0..2 {
+        if guard.is_none() {
+            match connect(&upstream.addr) {
+                Ok(stream) => *guard = Some(BufReader::new(stream)),
+                Err(e) => {
+                    last_error = Some(e);
+                    continue;
+                }
+            }
+        }
+        let reader = guard.as_mut().expect("connected above");
+        match exchange(reader, line) {
+            Ok(response) => return Ok(response),
+            Err(e) => {
+                // Broken pipe / EOF / timeout: drop the connection so the
+                // next attempt reconnects fresh.
+                *guard = None;
+                last_error = Some(e);
+            }
+        }
+    }
+    Err(last_error.unwrap_or_else(|| io::Error::other("forwarding failed")))
+}
+
+fn connect(addr: &str) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    Ok(stream)
+}
+
+fn exchange(reader: &mut BufReader<TcpStream>, line: &str) -> io::Result<String> {
+    let stream = reader.get_mut();
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut response = String::new();
+    if reader.read_line(&mut response)? == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "shard closed the connection"));
+    }
+    Ok(response.trim_end().to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+    use std::net::TcpListener;
+    use std::sync::mpsc;
+
+    fn request(id: u64, problem: &str) -> Request {
+        Request {
+            id,
+            problem: problem.to_owned(),
+            lang: None,
+            source: "def f(x):\n    return x\n".to_owned(),
+            learn: None,
+        }
+    }
+
+    /// A fake shard: accepts connections, echoes every request line back as
+    /// an error response tagged with the shard's name.
+    fn fake_shard(name: &'static str) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { return };
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    while reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                        let id = parse_request(line.trim()).map(|r| r.id).unwrap_or(0);
+                        let response = render_response(&Response::error(id, format!("answered by {name}")));
+                        if writeln!(writer, "{response}").is_err() {
+                            return;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn requests_reach_the_shard_owning_their_key() {
+        let addrs = vec![fake_shard("shard-zero"), fake_shard("shard-one")];
+        let catalog = vec![
+            ("derivatives".to_owned(), "minipy".to_owned()),
+            ("fibonacci_c".to_owned(), "minic".to_owned()),
+        ];
+        let router = Router::new(addrs, catalog, RouterConfig { workers: 2, queue_capacity: 8 });
+        let ring = HashRing::new(2);
+
+        for (id, problem, lang) in [(1, "derivatives", "minipy"), (2, "fibonacci_c", "minic")] {
+            let expected = ring.owner(problem, lang);
+            let (tx, rx) = mpsc::channel();
+            router.submit(request(id, problem), Box::new(move |line| tx.send(line).unwrap())).unwrap();
+            let line = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            let response: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(response.id, id);
+            let expected_name = if expected == 0 { "shard-zero" } else { "shard-one" };
+            assert!(
+                response.error.as_deref().unwrap_or("").contains(expected_name),
+                "request {id} should reach shard {expected}: {line}"
+            );
+        }
+
+        let report = router.report(7);
+        assert!(report.router);
+        assert_eq!(report.id, 7);
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.forwarded, 2);
+        assert_eq!(report.upstream_errors, 0);
+    }
+
+    #[test]
+    fn canonical_language_wins_over_client_aliases() {
+        // Clients may tag MiniPy submissions "python"; the ring key must use
+        // the canonical catalog tag or the router would hash a different key
+        // than the shard that loaded the index.
+        let catalog = vec![("derivatives".to_owned(), "minipy".to_owned())];
+        let router = Router::new(
+            vec!["127.0.0.1:1".to_owned(); 4],
+            catalog,
+            RouterConfig { workers: 1, queue_capacity: 1 },
+        );
+        let canonical = HashRing::new(4).owner("derivatives", "minipy");
+        let mut aliased = request(1, "derivatives");
+        aliased.lang = Some("python".to_owned());
+        assert_eq!(router.route(&aliased), canonical);
+        assert_eq!(router.route(&request(2, "derivatives")), canonical);
+    }
+
+    #[test]
+    fn unreachable_shards_produce_explicit_errors() {
+        // Nothing listens on this address (port 1 is reserved and unbound).
+        let router = Router::new(
+            vec!["127.0.0.1:1".to_owned()],
+            Vec::new(),
+            RouterConfig { workers: 1, queue_capacity: 2 },
+        );
+        let (tx, rx) = mpsc::channel();
+        router.submit(request(9, "whatever"), Box::new(move |line| tx.send(line).unwrap())).unwrap();
+        let line = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let response: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(response.id, 9);
+        assert!(response.error.as_deref().unwrap_or("").contains("unreachable"), "{line}");
+        assert_eq!(router.report(0).upstream_errors, 1);
+    }
+}

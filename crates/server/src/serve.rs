@@ -1,16 +1,20 @@
-//! Front ends: the pooled server wrapper, the stdin/stdout NDJSON loop and
-//! a minimal HTTP endpoint over `std::net::TcpListener`.
+//! Front ends: the batched server wrapper, the stdin/stdout NDJSON loop and
+//! the HTTP endpoint (served by the poll(2) event loop in [`crate::net`]).
 //!
-//! Both front ends funnel requests through the same [`WorkerPool`] into the
-//! shared [`FeedbackService`]; the bounded job queue gives the service
-//! backpressure (a flooding client blocks instead of ballooning memory).
+//! All front ends funnel requests through the same [`WorkerPool`] into the
+//! shared [`FeedbackService`]; the bounded per-worker queues give the
+//! service backpressure (a flooding client blocks or is shed instead of
+//! ballooning memory). Workers drain requests in batches, so the service
+//! amortises snapshot resolution and deduplicates identical submissions
+//! arriving close together.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::io::{BufRead, BufWriter, Write};
+use std::net::TcpListener;
+use std::sync::mpsc::{channel, Sender, TryRecvError};
+use std::sync::Arc;
 
 use crate::pool::{PoolClosed, WorkerPool};
-use crate::protocol::{parse_request, render_response, Request, Response};
+use crate::protocol::{parse_incoming, render_response, Incoming, Request, Response, StatsReport};
 use crate::service::FeedbackService;
 
 /// Worker-pool sizing of a [`Server`].
@@ -18,13 +22,18 @@ use crate::service::FeedbackService;
 pub struct ServerConfig {
     /// Number of worker threads.
     pub workers: usize,
-    /// Bounded job-queue capacity (submission blocks when full).
+    /// Bounded job-queue capacity **per worker** (submission blocks or is
+    /// shed when every queue is full).
     pub queue_capacity: usize,
+    /// Most requests one worker drains per wakeup; the whole batch is
+    /// answered with one service call (one snapshot resolution per shard,
+    /// batch-local dedup of identical submissions).
+    pub max_batch: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: default_workers(), queue_capacity: 64 }
+        ServerConfig { workers: default_workers(), queue_capacity: 64, max_batch: 16 }
     }
 }
 
@@ -44,7 +53,8 @@ pub fn default_workers() -> usize {
 
 type Job = (Request, Box<dyn FnOnce(Response) + Send>);
 
-/// A [`FeedbackService`] behind a panic-isolated worker pool.
+/// A [`FeedbackService`] behind a panic-isolated, batch-draining worker
+/// pool.
 pub struct Server {
     service: Arc<FeedbackService>,
     pool: WorkerPool<Job>,
@@ -54,9 +64,18 @@ impl Server {
     /// Spawns the worker pool over `service`.
     pub fn new(service: Arc<FeedbackService>, config: ServerConfig) -> Self {
         let handler_service = Arc::clone(&service);
-        let pool = WorkerPool::new(config.workers, config.queue_capacity, move |(request, reply): Job| {
-            reply(handler_service.handle(&request));
-        });
+        let pool = WorkerPool::new_batched(
+            config.workers,
+            config.queue_capacity,
+            config.max_batch,
+            move |jobs: Vec<Job>| {
+                let (requests, replies): (Vec<Request>, Vec<_>) = jobs.into_iter().unzip();
+                let responses = handler_service.handle_batch(&requests);
+                for (reply, response) in replies.into_iter().zip(responses) {
+                    reply(response);
+                }
+            },
+        );
         Server { service, pool }
     }
 
@@ -66,7 +85,7 @@ impl Server {
     }
 
     /// Enqueues a request; `on_response` runs on a worker thread when the
-    /// request completes. Blocks while the job queue is full.
+    /// request completes. Blocks while every worker queue is full.
     ///
     /// # Errors
     ///
@@ -79,8 +98,23 @@ impl Server {
         self.pool.submit((request, Box::new(on_response)))
     }
 
+    /// Enqueues a request without blocking; `Ok(false)` signals that every
+    /// worker queue is full (the caller sheds or retries — the event loop
+    /// parks the request in its pending ring).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolClosed`] after [`Server::shutdown`].
+    pub fn try_submit(
+        &self,
+        request: Request,
+        on_response: impl FnOnce(Response) + Send + 'static,
+    ) -> Result<bool, PoolClosed> {
+        self.pool.try_submit((request, Box::new(on_response)))
+    }
+
     /// Handles a request synchronously on the calling thread (bypasses the
-    /// queue; used by the HTTP front end for its request/response shape).
+    /// queue; used by tests and one-shot tooling).
     pub fn handle_sync(&self, request: &Request) -> Response {
         self.service.handle(request)
     }
@@ -90,15 +124,48 @@ impl Server {
         self.pool.panic_count()
     }
 
-    /// Drains the queue and joins the workers.
+    /// Jobs currently waiting in the worker queues.
+    pub fn queued(&self) -> u64 {
+        self.pool.queued()
+    }
+
+    /// Builds the operational-stats report served by `GET /stats` and the
+    /// NDJSON `{"stats":true}` control request.
+    pub fn stats_report(&self, id: u64) -> StatsReport {
+        let service = self.service.stats();
+        let (hits, misses) = self.service.cache_counters();
+        let probes = hits + misses;
+        StatsReport {
+            id,
+            shard: self.service.shard_spec().to_string(),
+            snapshot_generation: self.service.snapshot_generation(),
+            queue_depth: self.pool.queued(),
+            workers: self.pool.worker_count() as u64,
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if probes == 0 { 0.0 } else { hits as f64 / probes as f64 },
+            worker_panics: self.pool.panic_count(),
+            service,
+            problems: self.service.shard_stats(),
+        }
+    }
+
+    /// Drains the queues and joins the workers.
     pub fn shutdown(&mut self) {
         self.pool.shutdown();
     }
 }
 
 /// Runs the NDJSON protocol: one request per `reader` line, one response
-/// per `writer` line (possibly out of order; correlate by `id`). Returns
-/// after EOF once every in-flight request has been answered.
+/// per `writer` line (possibly out of order; correlate by `id`). A
+/// `{"id":…,"stats":true}` line is answered inline with a [`StatsReport`].
+/// Returns after EOF once every in-flight request has been answered.
+///
+/// Responses are written by a dedicated writer thread through a
+/// [`BufWriter`]: workers hand finished lines to a channel instead of
+/// contending on a shared `Mutex<dyn Write>` and syscall-flushing per line;
+/// the writer flushes when the channel runs momentarily dry, so bursts of
+/// responses coalesce into few `write(2)` calls.
 ///
 /// # Errors
 ///
@@ -106,128 +173,97 @@ impl Server {
 pub fn run_ndjson(
     server: &mut Server,
     reader: impl BufRead,
-    writer: Arc<Mutex<dyn Write + Send>>,
+    writer: impl Write + Send + 'static,
 ) -> std::io::Result<()> {
+    let (line_tx, line_rx) = channel::<String>();
+    let writer_thread = std::thread::Builder::new()
+        .name("clara-ndjson-writer".to_owned())
+        .spawn(move || {
+            let mut out = BufWriter::new(writer);
+            // Block for the next response, then drain whatever else is
+            // ready before flushing once.
+            while let Ok(line) = line_rx.recv() {
+                let _ = writeln!(out, "{line}");
+                loop {
+                    match line_rx.try_recv() {
+                        Ok(line) => {
+                            let _ = writeln!(out, "{line}");
+                        }
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            let _ = out.flush();
+                            return;
+                        }
+                    }
+                }
+                let _ = out.flush();
+            }
+            let _ = out.flush();
+        })
+        .expect("spawning the writer thread");
+
+    let send_line = |tx: &Sender<String>, line: String| {
+        let _ = tx.send(line);
+    };
+
+    let mut result = Ok(());
     for line in reader.lines() {
-        let line = line?;
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        match parse_request(&line) {
-            Ok(request) => {
-                let writer = Arc::clone(&writer);
+        match parse_incoming(&line) {
+            Ok(Incoming::Stats { id }) => {
+                let report = server.stats_report(id);
+                send_line(&line_tx, serde_json::to_string(&report).expect("stats serialize"));
+            }
+            Ok(Incoming::Feedback(request)) => {
+                let tx = line_tx.clone();
                 let submitted = server.submit(request, move |response| {
-                    write_line(&writer, &response);
+                    let _ = tx.send(render_response(&response));
                 });
                 if submitted.is_err() {
                     break;
                 }
             }
             Err(message) => {
-                write_line(&writer, &Response::error(0, format!("malformed request: {message}")));
+                send_line(
+                    &line_tx,
+                    render_response(&Response::error(0, format!("malformed request: {message}"))),
+                );
             }
         }
     }
     // EOF: wait for in-flight requests so the client sees every response
     // before the stream closes.
     server.shutdown();
-    Ok(())
+    drop(line_tx);
+    let _ = writer_thread.join();
+    result
 }
 
-fn write_line(writer: &Mutex<dyn Write + Send>, response: &Response) {
-    let mut guard = writer.lock().expect("writer lock poisoned");
-    let _ = writeln!(guard, "{}", render_response(response));
-    let _ = guard.flush();
-}
-
-/// Serves the minimal HTTP API on `listener` until accept fails:
+/// Serves the HTTP API on `listener` through the nonblocking poll(2) event
+/// loop until shutdown is requested:
 ///
-/// * `POST /repair` with a request body → a response body,
-/// * `GET /health` → service stats.
-///
-/// Connections are handled sequentially (the endpoint exists for
-/// curl-ability and health checks; bulk traffic belongs on the NDJSON
-/// protocol).
+/// * `POST /repair` with a request body → a response body (handled on the
+///   worker pool, concurrently across connections),
+/// * `GET /health` → service counters,
+/// * `GET /stats` → the full [`StatsReport`].
 ///
 /// # Errors
 ///
-/// Returns the accept-loop I/O error that terminated serving.
-pub fn serve_http(service: &FeedbackService, listener: TcpListener) -> std::io::Result<()> {
-    for stream in listener.incoming() {
-        let stream = stream?;
-        // A hung client must not wedge the accept loop.
-        let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
-        let _ = handle_http_connection(service, stream);
-    }
-    Ok(())
-}
-
-fn handle_http_connection(service: &FeedbackService, stream: TcpStream) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line)? == 0 {
-        return Ok(());
-    }
-    let mut parts = request_line.split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-
-    // Header parsing is bounded and strict: an absurd or malformed
-    // Content-Length is a client error answered with a clean 400 JSON body,
-    // never a zero-length fallback or an unbounded allocation.
-    const MAX_HEADERS: usize = 100;
-    let mut content_length: Option<Result<usize, ()>> = None;
-    for _ in 0..=MAX_HEADERS {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
-            break;
-        }
-        if let Some(value) = header.to_ascii_lowercase().strip_prefix("content-length:") {
-            content_length = Some(value.trim().parse::<usize>().map_err(|_| ()));
-        }
-    }
-
-    const MAX_BODY: usize = 1 << 20;
-    let bad_request = |message: String| ("400 Bad Request", render_response(&Response::error(0, message)));
-    let (status, body) = match (method, path) {
-        ("GET", "/health") => {
-            let stats = service.stats();
-            ("200 OK", serde_json::to_string(&stats).expect("stats serialize"))
-        }
-        ("POST", "/repair") => match content_length {
-            None => bad_request("missing Content-Length header".to_owned()),
-            Some(Err(())) => bad_request("invalid Content-Length header".to_owned()),
-            Some(Ok(n)) if n > MAX_BODY => {
-                ("413 Payload Too Large", render_response(&Response::error(0, "body too large")))
-            }
-            Some(Ok(n)) => {
-                // Bounded read that tolerates short bodies: a client that
-                // announces more bytes than it sends gets a 400, not a
-                // hung connection torn down without a response.
-                let mut body = Vec::with_capacity(n.min(MAX_BODY));
-                let read = (&mut reader).take(n as u64).read_to_end(&mut body);
-                match read {
-                    Ok(got) if got == n => match std::str::from_utf8(&body)
-                        .map_err(|e| e.to_string())
-                        .and_then(|s| parse_request(s).map_err(|e| e.to_string()))
-                    {
-                        Ok(request) => ("200 OK", render_response(&service.handle(&request))),
-                        Err(message) => bad_request(format!("malformed request: {message}")),
-                    },
-                    Ok(got) => bad_request(format!("truncated body: got {got} of {n} bytes")),
-                    Err(_) => bad_request(format!("truncated body: fewer than {n} bytes arrived")),
-                }
-            }
-        },
-        _ => ("404 Not Found", render_response(&Response::error(0, format!("no route {method} {path}")))),
-    };
-
-    let mut stream = reader.into_inner();
-    write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    )?;
-    stream.flush()
+/// Returns the event-loop I/O error that terminated serving.
+pub fn serve_http(server: Arc<Server>, listener: TcpListener) -> std::io::Result<()> {
+    let backend = crate::net::Backend::local(server);
+    crate::net::EventLoop::new(backend, crate::net::EventLoopConfig::default())?
+        .with_http_listener(listener)?
+        .run()
 }
 
 #[cfg(test)]
@@ -237,7 +273,10 @@ mod tests {
     use crate::store::ClusterStore;
     use clara_core::ClaraConfig;
     use clara_corpus::mooc::derivatives;
+    use std::io::Read;
+    use std::net::TcpStream;
     use std::sync::mpsc::{channel, Sender};
+    use std::sync::Mutex;
 
     fn test_server(config: ServerConfig) -> Server {
         let problem = derivatives();
@@ -261,31 +300,41 @@ mod tests {
         serde_json::to_string(request).unwrap()
     }
 
+    /// A `Write` handle appending into a shared buffer, for capturing the
+    /// writer thread's output.
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
     #[test]
     fn ndjson_round_trip_over_in_memory_pipes() {
-        let mut server = test_server(ServerConfig { workers: 2, queue_capacity: 4 });
+        let mut server = test_server(ServerConfig { workers: 2, queue_capacity: 4, max_batch: 4 });
         let input = [
             ndjson_request(1, "def computeDeriv(poly):\n    return poly\n"),
             "not json".to_owned(),
             ndjson_request(2, derivatives().seeds[0]),
+            r#"{"id":77,"stats":true}"#.to_owned(),
         ]
         .join("\n");
         let output: Arc<Mutex<Vec<u8>>> = Arc::default();
-        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
-        impl Write for SharedBuf {
-            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                self.0.lock().unwrap().extend_from_slice(buf);
-                Ok(buf.len())
-            }
-            fn flush(&mut self) -> std::io::Result<()> {
-                Ok(())
+        run_ndjson(&mut server, input.as_bytes(), SharedBuf(Arc::clone(&output))).unwrap();
+        let text = String::from_utf8(output.lock().unwrap().clone()).unwrap();
+        let mut responses = Vec::new();
+        let mut stats = Vec::new();
+        for line in text.lines() {
+            if line.contains("\"snapshot_generation\"") {
+                stats.push(serde_json::from_str::<StatsReport>(line).expect(line));
+            } else {
+                responses.push(serde_json::from_str::<Response>(line).expect(line));
             }
         }
-        let sink: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(SharedBuf(Arc::clone(&output))));
-        run_ndjson(&mut server, input.as_bytes(), sink).unwrap();
-        let text = String::from_utf8(output.lock().unwrap().clone()).unwrap();
-        let responses: Vec<Response> =
-            text.lines().map(|line| serde_json::from_str(line).expect(line)).collect();
         assert_eq!(responses.len(), 3);
         // The malformed line gets id 0; the real requests echo their ids.
         let mut ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
@@ -294,11 +343,16 @@ mod tests {
         let by_id = |id: u64| responses.iter().find(|r| r.id == id).unwrap();
         assert_eq!(by_id(2).status, crate::protocol::Status::Correct);
         assert_eq!(by_id(0).status, crate::protocol::Status::Error);
+        // The stats control line got a report with its id echoed.
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].id, 77);
+        assert_eq!(stats[0].workers, 2);
+        assert_eq!(stats[0].problems.len(), 1);
     }
 
     #[test]
     fn submit_delivers_responses_through_the_pool() {
-        let mut server = test_server(ServerConfig { workers: 2, queue_capacity: 8 });
+        let mut server = test_server(ServerConfig { workers: 2, queue_capacity: 8, max_batch: 4 });
         let (reply, responses) = channel::<Response>();
         for id in 0..6u64 {
             let reply: Sender<Response> = reply.clone();
@@ -322,18 +376,18 @@ mod tests {
         let collected: Vec<Response> = responses.iter().collect();
         assert_eq!(collected.len(), 6);
         assert!(collected.iter().all(|r| r.status == crate::protocol::Status::Correct));
-        // All but the first are structural duplicates → cache hits.
+        // All but the first are structural duplicates → cache or batch hits.
         assert_eq!(collected.iter().filter(|r| r.cache_hit).count(), 5);
     }
 
     #[test]
-    fn http_endpoint_answers_repair_and_health() {
-        let server = test_server(ServerConfig { workers: 1, queue_capacity: 4 });
+    fn http_endpoint_answers_repair_health_and_stats() {
+        let server = Arc::new(test_server(ServerConfig { workers: 1, queue_capacity: 4, max_batch: 4 }));
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let service = Arc::clone(server.service());
+        let loop_server = Arc::clone(&server);
         std::thread::spawn(move || {
-            let _ = serve_http(&service, listener);
+            let _ = serve_http(loop_server, listener);
         });
 
         let body = ndjson_request(9, "def computeDeriv(poly):\n    return poly\n");
@@ -359,6 +413,17 @@ mod tests {
         assert!(reply.contains("\"requests\""), "{reply}");
 
         let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /stats HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        let json = reply.split("\r\n\r\n").nth(1).unwrap();
+        let report: StatsReport = serde_json::from_str(json).unwrap();
+        assert_eq!(report.shard, "0/1");
+        assert_eq!(report.problems.len(), 1);
+        assert!(report.service.requests >= 1, "the repair above is counted");
+
+        let mut stream = TcpStream::connect(addr).unwrap();
         write!(stream, "GET /nope HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
         let mut reply = String::new();
         stream.read_to_string(&mut reply).unwrap();
@@ -366,20 +431,47 @@ mod tests {
     }
 
     #[test]
-    fn http_malformed_requests_get_clean_400s() {
-        let server = test_server(ServerConfig { workers: 1, queue_capacity: 4 });
+    fn http_connections_are_served_concurrently() {
+        // The old front end accepted sequentially: a slow client blocked
+        // everyone behind it. The event loop multiplexes: a connection that
+        // has sent only half its request must not delay a complete one.
+        let server = Arc::new(test_server(ServerConfig { workers: 1, queue_capacity: 4, max_batch: 4 }));
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let service = Arc::clone(server.service());
+        let loop_server = Arc::clone(&server);
         std::thread::spawn(move || {
-            let _ = serve_http(&service, listener);
+            let _ = serve_http(loop_server, listener);
+        });
+
+        // A slow connection: headers announced, body never sent.
+        let mut slow = TcpStream::connect(addr).unwrap();
+        write!(slow, "POST /repair HTTP/1.1\r\nHost: x\r\nContent-Length: 500\r\n\r\n").unwrap();
+
+        // A complete request right behind it must be answered promptly.
+        let mut fast = TcpStream::connect(addr).unwrap();
+        fast.set_read_timeout(Some(std::time::Duration::from_secs(30))).unwrap();
+        write!(fast, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        fast.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "slow client starved the loop: {reply}");
+        drop(slow);
+    }
+
+    #[test]
+    fn http_malformed_requests_get_clean_400s() {
+        let server = Arc::new(test_server(ServerConfig { workers: 1, queue_capacity: 4, max_batch: 4 }));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let loop_server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let _ = serve_http(loop_server, listener);
         });
 
         let roundtrip = |raw: &str| -> String {
             let mut stream = TcpStream::connect(addr).unwrap();
             stream.write_all(raw.as_bytes()).unwrap();
             // Half-close the write side so truncated bodies hit EOF instead
-            // of the 10s read timeout.
+            // of the idle timeout.
             stream.shutdown(std::net::Shutdown::Write).unwrap();
             let mut reply = String::new();
             stream.read_to_string(&mut reply).unwrap();
@@ -413,6 +505,27 @@ mod tests {
         let reply = roundtrip("POST /repair HTTP/1.1\r\nHost: localhost\r\n\r\n{}");
         assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
         assert!(json_error(&reply).error.unwrap().contains("missing Content-Length"));
+    }
+
+    #[test]
+    fn stats_report_tracks_queue_and_cache() {
+        let server = test_server(ServerConfig { workers: 1, queue_capacity: 4, max_batch: 4 });
+        let request = Request {
+            id: 1,
+            problem: "derivatives".to_owned(),
+            lang: None,
+            source: derivatives().seeds[0].to_owned(),
+            learn: None,
+        };
+        let _ = server.handle_sync(&request);
+        let _ = server.handle_sync(&request);
+        let report = server.stats_report(5);
+        assert_eq!(report.id, 5);
+        assert_eq!(report.service.requests, 2);
+        assert_eq!(report.cache_hits, 1);
+        assert!(report.cache_hit_rate > 0.0 && report.cache_hit_rate < 1.0);
+        assert_eq!(report.queue_depth, 0);
+        assert_eq!(report.problems[0].requests, 2);
     }
 
     #[test]

@@ -1,54 +1,82 @@
-//! The sharded, cache-fronted feedback service.
+//! The snapshot-fronted, sharded feedback service.
 //!
-//! A [`FeedbackService`] owns one shard per problem — each shard an
-//! independently locked [`ClusterStore`] — plus a shared LRU result cache
-//! keyed by the structural program hash. Repairs take a shard read lock
-//! (concurrent repairs on the same problem proceed in parallel); online
-//! learning takes the write lock only when a verified-correct submission is
-//! actually inserted. The cache sits in front of everything: duplicate
-//! submissions — the dominant case in MOOC traffic — are answered in O(1)
-//! without running analysis or repair.
+//! A [`FeedbackService`] owns one shard per problem. Each shard publishes
+//! its [`ClusterStore`] through a [`SnapshotCell`]: readers (`handle` /
+//! `handle_batch`) grab an immutable `Arc` snapshot and run the whole
+//! repair pipeline against it **without holding any lock** — a learn that
+//! republishes the index never stalls an in-flight repair, and a repair
+//! never delays a learn. Writers serialize on a small per-shard mutex,
+//! clone-and-extend the store off-path ([`ClusterStore::with_learned`]) and
+//! publish the successor with one atomic pointer swap.
+//!
+//! The result cache in front is a [`StripedCache`]: independently locked
+//! LRU segments keyed by a splitmix-mixed combination of shard, language,
+//! **snapshot generation** and structural program hash. Folding the
+//! generation into the key makes cache invalidation free: publishing a new
+//! index rotates that shard's keys, so stale feedback simply stops being
+//! addressable and ages out of the LRU — no scan, no epoch bookkeeping.
+//!
+//! Batches amortise the remaining per-request costs: a worker draining `K`
+//! queued requests resolves each shard's snapshot once and answers
+//! structurally identical submissions within the batch from the first
+//! computation.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use clara_core::{frontend, ClaraConfig};
+use clara_core::{frontend, ClaraConfig, Snapshot, SnapshotCell};
 use clara_corpus::Problem;
 use clara_model::frontend::Lang;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-use crate::cache::LruCache;
+use crate::cache::StripedCache;
 use crate::protocol::{Request, Response, Status};
+use crate::shard::ShardSpec;
 use crate::store::ClusterStore;
 
 /// Service-wide configuration.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Capacity of the structural-hash result cache (0 disables it).
+    /// Approximate capacity of the structural-hash result cache (0 disables
+    /// it; rounded up to a multiple of `cache_stripes`).
     pub cache_capacity: usize,
+    /// Lock stripes of the result cache (rounded up to a power of two).
+    pub cache_stripes: usize,
     /// Whether `learn` requests may insert verified-correct submissions
     /// into the cluster index.
     pub learn: bool,
+    /// This process's position in the fleet; requests for problems owned by
+    /// another shard are rejected with a routing error.
+    pub shard: ShardSpec,
     /// Engine configuration used for analysis and repair.
     pub clara: ClaraConfig,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { cache_capacity: 4096, learn: true, clara: ClaraConfig::default() }
+        ServiceConfig {
+            cache_capacity: 4096,
+            cache_stripes: 8,
+            learn: true,
+            shard: ShardSpec::solo(),
+            clara: ClaraConfig::default(),
+        }
     }
 }
 
-/// Monotonic service counters, exposed via `GET /health` and the benchmark
-/// report.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+/// Monotonic service counters, exposed via `GET /health`, `GET /stats` and
+/// the benchmark report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceStats {
     /// Requests handled (including malformed ones).
     pub requests: u64,
-    /// Requests answered from the result cache.
+    /// Requests answered from the result cache (including batch-local
+    /// duplicates).
     pub cache_hits: u64,
+    /// Duplicates answered within one worker batch without a cache probe.
+    pub batch_dedup: u64,
     /// Requests that ran the repair pipeline and produced a repair.
     pub repaired: u64,
     /// Requests whose submission was already correct.
@@ -58,14 +86,30 @@ pub struct ServiceStats {
     /// Submissions rejected (syntax errors, unsupported features, unknown
     /// problems, malformed requests).
     pub errors: u64,
-    /// Correct submissions inserted into the cluster index online.
+    /// Correct submissions inserted into the cluster index online (each
+    /// insertion publishes a new index snapshot).
     pub learned: u64,
+}
+
+/// Per-problem counters for the stats endpoints.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStat {
+    /// Problem name.
+    pub problem: String,
+    /// Language of the problem's submissions.
+    pub lang: String,
+    /// Requests routed to this problem shard.
+    pub requests: u64,
+    /// Snapshot generation of the problem's cluster index (bumps on every
+    /// online insertion).
+    pub generation: u64,
 }
 
 #[derive(Default)]
 struct Counters {
     requests: AtomicU64,
     cache_hits: AtomicU64,
+    batch_dedup: AtomicU64,
     repaired: AtomicU64,
     correct: AtomicU64,
     no_repair: AtomicU64,
@@ -82,17 +126,21 @@ struct CachedOutcome {
     error: Option<String>,
 }
 
-/// One problem shard: the cluster store behind its own lock.
-struct Shard {
+/// One problem shard: the cluster store published through a snapshot cell.
+/// Readers load the current snapshot lock-free; writers serialize on
+/// `write`, build the successor store off-path and publish it.
+struct ProblemShard {
     problem: Problem,
-    store: RwLock<ClusterStore>,
+    cell: SnapshotCell<ClusterStore>,
+    write: Mutex<()>,
+    requests: AtomicU64,
 }
 
-/// The sharded, cache-fronted feedback service.
+/// The snapshot-fronted, sharded feedback service.
 pub struct FeedbackService {
-    shards: Vec<Shard>,
+    shards: Vec<ProblemShard>,
     by_problem: HashMap<String, usize>,
-    cache: Mutex<LruCache<CachedOutcome>>,
+    cache: StripedCache<CachedOutcome>,
     counters: Counters,
     config: ServiceConfig,
 }
@@ -100,15 +148,20 @@ pub struct FeedbackService {
 impl FeedbackService {
     /// Builds a service from per-problem cluster stores.
     pub fn new(stores: Vec<ClusterStore>, config: ServiceConfig) -> Self {
-        let shards: Vec<Shard> = stores
+        let shards: Vec<ProblemShard> = stores
             .into_iter()
-            .map(|store| Shard { problem: store.problem().clone(), store: RwLock::new(store) })
+            .map(|store| ProblemShard {
+                problem: store.problem().clone(),
+                cell: SnapshotCell::new(store),
+                write: Mutex::new(()),
+                requests: AtomicU64::new(0),
+            })
             .collect();
         let by_problem = shards.iter().enumerate().map(|(i, s)| (s.problem.name.to_owned(), i)).collect();
         FeedbackService {
             shards,
             by_problem,
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            cache: StripedCache::new(config.cache_capacity, config.cache_stripes),
             counters: Counters::default(),
             config,
         }
@@ -119,17 +172,42 @@ impl FeedbackService {
         self.shards.iter().map(|s| &s.problem).collect()
     }
 
+    /// This process's position in the fleet.
+    pub fn shard_spec(&self) -> ShardSpec {
+        self.config.shard
+    }
+
     /// Snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             requests: self.counters.requests.load(Ordering::Relaxed),
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            batch_dedup: self.counters.batch_dedup.load(Ordering::Relaxed),
             repaired: self.counters.repaired.load(Ordering::Relaxed),
             correct: self.counters.correct.load(Ordering::Relaxed),
             no_repair: self.counters.no_repair.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
             learned: self.counters.learned.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-problem request counts and index generations.
+    pub fn shard_stats(&self) -> Vec<ShardStat> {
+        self.shards
+            .iter()
+            .map(|shard| ShardStat {
+                problem: shard.problem.name.to_owned(),
+                lang: shard.problem.lang.to_string(),
+                requests: shard.requests.load(Ordering::Relaxed),
+                generation: shard.cell.generation(),
+            })
+            .collect()
+    }
+
+    /// The highest index-snapshot generation across the problem shards
+    /// (0 until the first online insertion).
+    pub fn snapshot_generation(&self) -> u64 {
+        self.shards.iter().map(|s| s.cell.generation()).max().unwrap_or(0)
     }
 
     /// Persists every shard's cluster index under `dir`.
@@ -139,36 +217,66 @@ impl FeedbackService {
     /// Returns the first save failure.
     pub fn save_indexes(&self, dir: &std::path::Path) -> Result<(), crate::store::StoreError> {
         for shard in &self.shards {
-            shard.store.read().expect("store lock poisoned").save(dir)?;
+            shard.cell.load().data().save(dir)?;
         }
         Ok(())
     }
 
-    /// Handles one request synchronously (the worker-pool entry point).
+    /// Handles one request synchronously (a batch of one).
     pub fn handle(&self, request: &Request) -> Response {
-        let start = Instant::now();
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let mut response = self.handle_inner(request);
-        response.id = request.id;
-        response.elapsed_us = start.elapsed().as_micros() as u64;
-        match response.status {
-            Status::Correct => &self.counters.correct,
-            Status::Repaired => &self.counters.repaired,
-            Status::NoRepair => &self.counters.no_repair,
-            Status::Error => &self.counters.errors,
-        }
-        .fetch_add(1, Ordering::Relaxed);
-        response
+        self.handle_batch(std::slice::from_ref(request)).pop().expect("one response per request")
     }
 
-    fn handle_inner(&self, request: &Request) -> Response {
+    /// Handles a batch of requests, answering each in order. A worker
+    /// draining `K` queued requests calls this once: each shard's snapshot
+    /// is resolved once for the whole batch, and structurally identical
+    /// submissions within the batch are computed once (the duplicates are
+    /// answered from the first result and marked as cache hits).
+    pub fn handle_batch(&self, requests: &[Request]) -> Vec<Response> {
+        // Snapshots resolved so far in this batch, by shard index. Loading
+        // is cheap (two atomics) but not free; a batch of duplicates for a
+        // hot problem resolves it once.
+        let mut snapshots: HashMap<usize, Arc<Snapshot<ClusterStore>>> = HashMap::new();
+        // Cache key -> index into `responses` of the first computation.
+        let mut computed: HashMap<u64, usize> = HashMap::new();
+        let mut responses: Vec<Response> = Vec::with_capacity(requests.len());
+
+        for request in requests {
+            let start = Instant::now();
+            self.counters.requests.fetch_add(1, Ordering::Relaxed);
+            let mut response = self.handle_one(request, &mut snapshots, &mut computed, &responses);
+            response.id = request.id;
+            response.elapsed_us = start.elapsed().as_micros() as u64;
+            match response.status {
+                Status::Correct => &self.counters.correct,
+                Status::Repaired => &self.counters.repaired,
+                Status::NoRepair => &self.counters.no_repair,
+                Status::Error => &self.counters.errors,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+            responses.push(response);
+        }
+        responses
+    }
+
+    fn handle_one(
+        &self,
+        request: &Request,
+        snapshots: &mut HashMap<usize, Arc<Snapshot<ClusterStore>>>,
+        computed: &mut HashMap<u64, usize>,
+        responses: &[Response],
+    ) -> Response {
         let Some(&shard_index) = self.by_problem.get(&request.problem) else {
-            return Response::error(
-                request.id,
-                format!("unknown problem `{}` (see `clara-cli problems`)", request.problem),
-            );
+            let spec = self.config.shard;
+            let detail = if spec.is_solo() {
+                String::from("see `clara-cli problems`")
+            } else {
+                format!("not loaded on shard {spec}; check the fleet routing")
+            };
+            return Response::error(request.id, format!("unknown problem `{}` ({detail})", request.problem));
         };
         let shard = &self.shards[shard_index];
+        shard.requests.fetch_add(1, Ordering::Relaxed);
         let lang = shard.problem.lang;
 
         // The language tag is validation: each problem has exactly one
@@ -195,9 +303,36 @@ impl FeedbackService {
             Ok(parsed) => parsed,
             Err(e) => return Response::error(request.id, format!("syntax error: {e}")),
         };
-        let key = cache_key(shard_index, lang, parsed.structural_hash());
 
-        if let Some(cached) = self.cache.lock().expect("cache lock poisoned").get(key).cloned() {
+        // One snapshot resolution per shard per batch; everything below runs
+        // against this immutable index without any lock.
+        let snapshot =
+            Arc::clone(snapshots.entry(shard_index).or_insert_with(|| self.shards[shard_index].cell.load()));
+        let key = cache_key(shard_index, snapshot.generation(), lang, parsed.structural_hash());
+
+        // Batch-local dedup: a structurally identical submission earlier in
+        // this batch already computed the outcome — answer from it without
+        // even probing the cache. Learn requests fall through (the index
+        // insertion must still happen).
+        if !request.learn.unwrap_or(false) {
+            if let Some(&first) = computed.get(&key) {
+                let first = &responses[first];
+                self.counters.batch_dedup.fetch_add(1, Ordering::Relaxed);
+                self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Response {
+                    id: request.id,
+                    status: first.status,
+                    feedback: first.feedback.clone(),
+                    cost: first.cost,
+                    cache_hit: true,
+                    learned: false,
+                    error: first.error.clone(),
+                    elapsed_us: 0,
+                };
+            }
+        }
+
+        if let Some(cached) = self.cache.get(key) {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             // A cache hit answers the *feedback* question, but a learn
             // request must still reach the index — the first occurrence may
@@ -223,11 +358,10 @@ impl FeedbackService {
             learned = self.learn_if_requested(request, shard);
             CachedOutcome { status: Status::Correct, feedback: Vec::new(), cost: None, error: None }
         } else {
-            let result = {
-                let store = shard.store.read().expect("store lock poisoned");
-                store.engine().repair_source(&request.source)
-            };
-            match result {
+            // The repair runs against the immutable snapshot: no read lock,
+            // so a concurrent learn (publishing a successor index) never
+            // stalls this — the answer reflects the snapshot's generation.
+            match snapshot.data().engine().repair_source(&request.source) {
                 Ok(outcome) => {
                     let status =
                         if outcome.result.best.is_some() { Status::Repaired } else { Status::NoRepair };
@@ -250,11 +384,19 @@ impl FeedbackService {
             }
         };
 
-        // Repair is deterministic given the index, so the outcome is safe to
-        // cache. Feedback cached before an online insertion may reflect the
-        // pre-insertion index — the same approximation a production service
-        // makes (an insertion only ever *adds* candidate expressions).
-        self.cache.lock().expect("cache lock poisoned").insert(key, outcome.clone());
+        // Repair is deterministic given the index snapshot, and the
+        // generation is part of the key: feedback computed against
+        // generation `g` is only ever served to requests that resolved
+        // generation `g`. A learn that published `g+1` (possibly our own,
+        // just above) leaves entries keyed at `g` unreachable — they age out
+        // of the LRU instead of serving stale feedback.
+        let insert_key = if learned {
+            cache_key(shard_index, shard.cell.generation(), lang, parsed.structural_hash())
+        } else {
+            key
+        };
+        self.cache.insert(insert_key, outcome.clone());
+        computed.insert(insert_key, responses.len());
 
         Response {
             id: request.id,
@@ -269,37 +411,47 @@ impl FeedbackService {
     }
 
     /// Inserts a verified-correct submission into the shard's cluster index
-    /// when the request asks for it and learning is enabled. Returns whether
-    /// an insertion happened.
-    fn learn_if_requested(&self, request: &Request, shard: &Shard) -> bool {
+    /// when the request asks for it and learning is enabled. The insertion
+    /// is copy-on-write: the successor store is built off-path under the
+    /// shard's writer mutex and published with one pointer swap, so readers
+    /// never block. Returns whether an insertion happened.
+    fn learn_if_requested(&self, request: &Request, shard: &ProblemShard) -> bool {
         if !(self.config.learn && request.learn.unwrap_or(false)) {
             return false;
         }
-        let mut store = shard.store.write().expect("store lock poisoned");
-        if store.insert_correct(&request.source).is_ok() {
-            self.counters.learned.fetch_add(1, Ordering::Relaxed);
-            true
-        } else {
-            false
+        // Writers serialize here; the snapshot cell itself only orders
+        // publishes, not the read-modify-write around them.
+        let _writer = shard.write.lock().expect("shard writer lock poisoned");
+        let current = shard.cell.load();
+        match current.data().with_learned(&request.source) {
+            Ok((next, _cluster)) => {
+                shard.cell.publish(next);
+                self.counters.learned.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => false,
         }
     }
 
-    /// Cache hit/miss counters of the result cache.
+    /// Cache hit/miss counters of the result cache (misses exclude the
+    /// batch-local duplicates answered without a probe).
     pub fn cache_counters(&self) -> (u64, u64) {
-        let cache = self.cache.lock().expect("cache lock poisoned");
-        (cache.hits(), cache.misses())
+        self.cache.counters()
     }
 }
 
-/// Combines the shard index, language and structural hash into one cache
-/// key. The language participates so that a MiniPy and a MiniC submission
-/// can never collide, whatever their per-frontend hashes do.
-fn cache_key(shard_index: usize, lang: Lang, structural_hash: u64) -> u64 {
+/// Combines the shard index, index-snapshot generation, language and
+/// structural hash into one cache key. The language participates so that a
+/// MiniPy and a MiniC submission can never collide, whatever their
+/// per-frontend hashes do; the generation participates so that publishing a
+/// new index invalidates the shard's entries by construction.
+fn cache_key(shard_index: usize, generation: u64, lang: Lang, structural_hash: u64) -> u64 {
     // splitmix64-style mixing so that every input disturbs all bits.
-    let salt = (shard_index as u64) ^ ((lang as u64 + 1) << 56);
-    let mut x = structural_hash ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+    let salt =
+        (shard_index as u64) ^ ((lang as u64 + 1) << 56) ^ generation.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    let mut x = structural_hash ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 27;
     x
 }
@@ -366,6 +518,8 @@ def computeDeriv(poly):
         assert_eq!(response.status, Status::Correct);
         assert!(response.learned);
         assert_eq!(service.stats().learned, 1);
+        // The insertion published a new index snapshot.
+        assert_eq!(service.snapshot_generation(), 1);
     }
 
     #[test]
@@ -384,6 +538,64 @@ def computeDeriv(poly):
         assert!(hit.cache_hit);
         assert!(hit.learned, "learn must not be swallowed by the cache");
         assert_eq!(service.stats().learned, 1);
+    }
+
+    #[test]
+    fn learning_publishes_a_new_snapshot_and_rotates_cache_keys() {
+        // The generation participates in the cache key: after an online
+        // insertion the shard's cached outcomes stop being addressable, so
+        // later duplicates recompute against the new index instead of
+        // serving feedback from the superseded one.
+        let service = service();
+        let problem = derivatives();
+        let first = service.handle(&request(1, INCORRECT));
+        assert!(!first.cache_hit);
+        let hit = service.handle(&request(2, INCORRECT));
+        assert!(hit.cache_hit, "pre-learn duplicate hits");
+
+        let mut learn = request(3, problem.seeds[1]);
+        learn.learn = Some(true);
+        assert!(service.handle(&learn).learned);
+        assert_eq!(service.snapshot_generation(), 1);
+
+        let after = service.handle(&request(4, INCORRECT));
+        assert!(!after.cache_hit, "the learn must invalidate the shard's cached outcomes");
+        let again = service.handle(&request(5, INCORRECT));
+        assert!(again.cache_hit, "the recomputed outcome is cached under the new generation");
+    }
+
+    #[test]
+    fn batches_compute_structural_duplicates_once() {
+        let service = service();
+        let reformatted = INCORRECT.replace("    if new==[]:", "\n    if new==[]:");
+        let other = "def computeDeriv(poly):\n    return poly\n";
+        let batch =
+            [request(1, INCORRECT), request(2, &reformatted), request(3, other), request(4, INCORRECT)];
+        let responses = service.handle_batch(&batch);
+        assert_eq!(responses.len(), 4);
+        assert_eq!(responses.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert!(!responses[0].cache_hit);
+        assert!(responses[1].cache_hit, "batch-local duplicate");
+        assert!(!responses[2].cache_hit, "distinct program computes");
+        assert!(responses[3].cache_hit);
+        assert_eq!(responses[1].feedback, responses[0].feedback);
+        assert_eq!(responses[3].feedback, responses[0].feedback);
+        let stats = service.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.cache_hits, 2);
+        assert!(stats.batch_dedup >= 1, "at least one duplicate answered batch-locally");
+    }
+
+    #[test]
+    fn per_shard_request_counts_are_tracked() {
+        let service = service();
+        let _ = service.handle(&request(1, INCORRECT));
+        let _ = service.handle(&request(2, INCORRECT));
+        let shard_stats = service.shard_stats();
+        assert_eq!(shard_stats.len(), 1);
+        assert_eq!(shard_stats[0].problem, "derivatives");
+        assert_eq!(shard_stats[0].requests, 2);
+        assert_eq!(shard_stats[0].generation, 0);
     }
 
     #[test]
@@ -450,33 +662,35 @@ def computeDeriv(poly):
     }
 
     #[test]
-    fn cache_keys_are_lang_salted_and_shard_salted() {
+    fn cache_keys_are_salted_by_shard_lang_and_generation() {
         // Two structurally identical programs in different languages must
         // never share a cache entry: the per-frontend structural hashes are
         // independent hash spaces, so even an accidental collision between a
         // MiniPy and a MiniC hash must be separated by the language salt.
         for hash in [0u64, 1, 0xDEADBEEF, u64::MAX] {
             assert_ne!(
-                cache_key(0, Lang::MiniPy, hash),
-                cache_key(0, Lang::MiniC, hash),
+                cache_key(0, 0, Lang::MiniPy, hash),
+                cache_key(0, 0, Lang::MiniC, hash),
                 "lang salt missing for hash {hash:#x}"
             );
             // Different shards (problems) never share entries either.
-            assert_ne!(cache_key(0, Lang::MiniPy, hash), cache_key(1, Lang::MiniPy, hash));
+            assert_ne!(cache_key(0, 0, Lang::MiniPy, hash), cache_key(1, 0, Lang::MiniPy, hash));
+            // Publishing a new index generation rotates the keys.
+            assert_ne!(cache_key(0, 0, Lang::MiniPy, hash), cache_key(0, 1, Lang::MiniPy, hash));
         }
         // The key still depends on the hash itself.
-        assert_ne!(cache_key(0, Lang::MiniPy, 1), cache_key(0, Lang::MiniPy, 2));
+        assert_ne!(cache_key(0, 0, Lang::MiniPy, 1), cache_key(0, 0, Lang::MiniPy, 2));
     }
 
     #[test]
     fn result_cache_eviction_is_observable_and_correct() {
-        // A capacity-1 cache: the second distinct submission evicts the
-        // first, so resubmitting the first misses (and recomputes the same
-        // feedback); resubmitting the still-cached entry hits.
+        // A capacity-1, single-stripe cache: the second distinct submission
+        // evicts the first, so resubmitting the first misses (and recomputes
+        // the same feedback); resubmitting the still-cached entry hits.
         let problem = derivatives();
         let seeds: Vec<&str> = problem.seeds.clone();
         let (store, _) = ClusterStore::build(&problem, seeds, ClaraConfig::default());
-        let config = ServiceConfig { cache_capacity: 1, ..ServiceConfig::default() };
+        let config = ServiceConfig { cache_capacity: 1, cache_stripes: 1, ..ServiceConfig::default() };
         let service = FeedbackService::new(vec![store], config);
 
         let other = "def computeDeriv(poly):\n    return poly\n";
@@ -501,6 +715,25 @@ def computeDeriv(poly):
     }
 
     #[test]
+    fn sharded_services_name_the_shard_in_routing_errors() {
+        let problem = derivatives();
+        let seeds: Vec<&str> = problem.seeds.clone();
+        let (store, _) = ClusterStore::build(&problem, seeds, ClaraConfig::default());
+        let config = ServiceConfig { shard: ShardSpec { index: 1, count: 4 }, ..ServiceConfig::default() };
+        let service = FeedbackService::new(vec![store], config);
+        let response = service.handle(&Request {
+            id: 1,
+            problem: "not_here".to_owned(),
+            lang: None,
+            source: "def f(x):\n    return x\n".to_owned(),
+            learn: None,
+        });
+        assert_eq!(response.status, Status::Error);
+        let message = response.error.unwrap();
+        assert!(message.contains("shard 1/4"), "routing errors name the shard: {message}");
+    }
+
+    #[test]
     fn pathological_submissions_are_rejected_not_crashed() {
         let service = service();
         let garbage = service.handle(&request(1, "def broken(:\n    return ][\n"));
@@ -521,5 +754,57 @@ def computeDeriv(poly):
         ));
         assert_eq!(unsupported.status, Status::Error);
         assert!(unsupported.error.unwrap().contains("unsupported"));
+    }
+
+    #[test]
+    fn concurrent_learns_and_repairs_do_not_block_each_other() {
+        // Readers run repairs against immutable snapshots while a writer
+        // thread publishes successive index generations; every response must
+        // be well-formed and the final generation must count every learn.
+        let problem = derivatives();
+        let seeds: Vec<&str> = problem.seeds.clone();
+        let (store, _) = ClusterStore::build(&problem, seeds[..2].iter().copied(), ClaraConfig::default());
+        let service = Arc::new(FeedbackService::new(vec![store], ServiceConfig::default()));
+
+        let writer = {
+            let service = Arc::clone(&service);
+            let sources: Vec<String> = seeds.iter().skip(2).take(3).map(|s| (*s).to_owned()).collect();
+            std::thread::spawn(move || {
+                for (i, source) in sources.iter().enumerate() {
+                    let mut learn = Request {
+                        id: 100 + i as u64,
+                        problem: "derivatives".to_owned(),
+                        lang: None,
+                        source: source.clone(),
+                        learn: Some(true),
+                    };
+                    learn.learn = Some(true);
+                    let response = service.handle(&learn);
+                    assert_ne!(response.status, Status::Error, "{:?}", response.error);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..2)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    for i in 0..4u64 {
+                        let response = service.handle(&request(t * 10 + i, INCORRECT));
+                        assert!(
+                            matches!(response.status, Status::Repaired | Status::NoRepair),
+                            "{:?}",
+                            response.error
+                        );
+                    }
+                })
+            })
+            .collect();
+        writer.join().expect("writer panicked");
+        for reader in readers {
+            reader.join().expect("reader panicked");
+        }
+        let generation = service.snapshot_generation();
+        assert_eq!(generation as usize, service.stats().learned as usize);
+        assert!(generation >= 1, "at least one learn must land");
     }
 }

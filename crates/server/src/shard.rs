@@ -1,0 +1,251 @@
+//! Consistent-hash sharding of problem×language keys across serve processes.
+//!
+//! A fleet deployment runs `N` shard processes (`clara-cli serve --shard
+//! i/N`), each holding only the cluster indexes it owns, plus optional thin
+//! routers that forward requests to the owning shard. Ownership is decided
+//! by a consistent-hash ring: every shard contributes
+//! [`VIRTUAL_NODES`] points on a `u64` circle, and a key belongs to the
+//! shard owning the first point at or clockwise of the key's hash.
+//!
+//! Consistent hashing (rather than `hash % N`) keeps assignment *stable*
+//! under fleet resizes: growing from `N` to `N + 1` shards only moves the
+//! keys claimed by the new shard's points — everything else stays put, so
+//! existing shards keep their warm indexes and caches. The property is
+//! pinned down by a proptest in this module.
+//!
+//! Hashing is FNV-1a over the raw key/point bytes: stable across processes
+//! and platforms (unlike `DefaultHasher`, whose seeds are randomized per
+//! process — router and shard must agree on every hash).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Points each shard contributes to the ring. More points smooth the load
+/// split (the std-dev of per-shard key share shrinks with `1/sqrt(points)`)
+/// at the cost of a larger sorted table; 64 keeps the imbalance under a few
+/// percent for small fleets.
+pub const VIRTUAL_NODES: usize = 64;
+
+/// This process's position in a fleet: shard `index` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Zero-based index of this shard.
+    pub index: usize,
+    /// Total shard processes in the fleet.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// A single-process deployment (shard 0 of 1, owns everything).
+    pub fn solo() -> Self {
+        ShardSpec { index: 0, count: 1 }
+    }
+
+    /// `true` when this spec describes the whole fleet.
+    pub fn is_solo(&self) -> bool {
+        self.count == 1
+    }
+
+    /// `true` when this shard owns the given problem×language key.
+    pub fn owns(&self, problem: &str, lang: &str) -> bool {
+        self.count == 1 || HashRing::new(self.count).owner(problem, lang) == self.index
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Error parsing a `--shard i/N` argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpecError(String);
+
+impl fmt::Display for ShardSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid shard spec {:?}: expected i/N with 0 <= i < N", self.0)
+    }
+}
+
+impl std::error::Error for ShardSpecError {}
+
+impl FromStr for ShardSpec {
+    type Err = ShardSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ShardSpecError(s.to_string());
+        let (index, count) = s.split_once('/').ok_or_else(err)?;
+        let index: usize = index.trim().parse().map_err(|_| err())?;
+        let count: usize = count.trim().parse().map_err(|_| err())?;
+        if count == 0 || index >= count {
+            return Err(err());
+        }
+        Ok(ShardSpec { index, count })
+    }
+}
+
+/// A consistent-hash ring mapping problem×language keys to shard indexes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    shards: usize,
+    /// `(point, shard)` sorted by point; ties broken toward the lower shard
+    /// index so every process builds the identical table.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Builds the ring for a fleet of `shards` processes. Deterministic:
+    /// every router and shard process derives the same ring from `N` alone.
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut points = Vec::with_capacity(shards * VIRTUAL_NODES);
+        for shard in 0..shards {
+            for replica in 0..VIRTUAL_NODES {
+                points.push((point_hash(shard, replica), shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing { shards, points }
+    }
+
+    /// Number of shards in the fleet.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `problem` in `lang`: the first ring point at or
+    /// clockwise of the key hash (wrapping to the lowest point).
+    pub fn owner(&self, problem: &str, lang: &str) -> usize {
+        let key = key_hash(problem, lang);
+        let at = self.points.partition_point(|(point, _)| *point < key);
+        self.points[at % self.points.len()].1
+    }
+}
+
+/// FNV-1a over the key bytes; a NUL separator keeps `("ab","c")` and
+/// `("a","bc")` distinct.
+fn key_hash(problem: &str, lang: &str) -> u64 {
+    let mut hash = fnv(FNV_OFFSET, problem.as_bytes());
+    hash = fnv(hash, &[0]);
+    fnv(hash, lang.as_bytes())
+}
+
+fn point_hash(shard: usize, replica: usize) -> u64 {
+    let mut hash = fnv(FNV_OFFSET, &(shard as u64).to_le_bytes());
+    hash = fnv(hash, &(replica as u64).to_le_bytes());
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(mut hash: u64, bytes: &[u8]) -> u64 {
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shard_specs_parse_and_validate() {
+        assert_eq!("0/1".parse::<ShardSpec>().unwrap(), ShardSpec::solo());
+        assert_eq!("2/4".parse::<ShardSpec>().unwrap(), ShardSpec { index: 2, count: 4 });
+        for bad in ["", "1", "4/4", "5/4", "-1/4", "a/b", "1/0", "1/"] {
+            assert!(bad.parse::<ShardSpec>().is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn every_process_derives_the_same_ring() {
+        let a = HashRing::new(4);
+        let b = HashRing::new(4);
+        for (problem, lang) in [("max3", "minipy"), ("max3", "minic"), ("sumto", "minipy")] {
+            assert_eq!(a.owner(problem, lang), b.owner(problem, lang));
+        }
+    }
+
+    #[test]
+    fn languages_of_one_problem_may_live_on_different_shards() {
+        // The key is problem×lang, not problem alone: a sharded fleet splits
+        // a problem's MiniPy and MiniC indexes independently.
+        let ring = HashRing::new(8);
+        let mut split = false;
+        for problem in ["max3", "sumto", "absdiff", "clamp", "median5"] {
+            if ring.owner(problem, "minipy") != ring.owner(problem, "minic") {
+                split = true;
+            }
+        }
+        assert!(split, "with 8 shards some problem should split across languages");
+    }
+
+    #[test]
+    fn load_split_is_roughly_balanced() {
+        let ring = HashRing::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..4_000 {
+            counts[ring.owner(&format!("problem-{i}"), "minipy")] += 1;
+        }
+        for (shard, count) in counts.iter().enumerate() {
+            assert!((500..=1_600).contains(count), "shard {shard} owns {count} of 4000 keys: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn solo_spec_owns_everything() {
+        let spec = ShardSpec::solo();
+        assert!(spec.owns("anything", "minipy"));
+        assert!(spec.is_solo());
+    }
+
+    #[test]
+    fn exactly_one_shard_owns_each_key() {
+        let specs: Vec<ShardSpec> = (0..4).map(|index| ShardSpec { index, count: 4 }).collect();
+        for problem in ["max3", "sumto", "absdiff"] {
+            for lang in ["minipy", "minic"] {
+                let owners = specs.iter().filter(|s| s.owns(problem, lang)).count();
+                assert_eq!(owners, 1, "{problem}/{lang} must have exactly one owner");
+            }
+        }
+    }
+
+    proptest! {
+        /// Consistent hashing's defining property: growing the fleet from N
+        /// to N+1 shards moves a key only if the *new* shard claims it —
+        /// never between two pre-existing shards.
+        #[test]
+        fn growing_the_fleet_only_moves_keys_to_the_new_shard(
+            key in 0u64..1_000_000,
+            lang in prop::sample::select(vec!["minipy", "minic"]),
+            shards in 1usize..12,
+        ) {
+            let problem = format!("problem_{key}");
+            let before = HashRing::new(shards).owner(&problem, lang);
+            let after = HashRing::new(shards + 1).owner(&problem, lang);
+            prop_assert!(
+                after == before || after == shards,
+                "key moved between old shards: {before} -> {after} at N={shards}"
+            );
+        }
+
+        /// Assignment is a pure function of (key, N): repeated lookups and
+        /// independently built rings always agree.
+        #[test]
+        fn assignment_is_deterministic(
+            key in 0u64..1_000_000,
+            shards in 1usize..12,
+        ) {
+            let problem = format!("problem_{key}");
+            let ring = HashRing::new(shards);
+            let owner = ring.owner(&problem, "minipy");
+            prop_assert!(owner < shards);
+            prop_assert_eq!(owner, HashRing::new(shards).owner(&problem, "minipy"));
+        }
+    }
+}

@@ -157,6 +157,23 @@ impl ClusterStore {
         Ok(index)
     }
 
+    /// Copy-on-write insertion: builds the *next* index containing `source`
+    /// without mutating this one, returning the new store and the index of
+    /// the cluster the solution joined. This is the snapshot writer's path:
+    /// the clone and the matching run off the hot path while readers keep
+    /// serving from the current snapshot, and the returned store is then
+    /// published with one atomic pointer swap.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AnalysisError`] when the solution cannot be analysed
+    /// (no new store is built).
+    pub fn with_learned(&self, source: &str) -> Result<(Self, usize), AnalysisError> {
+        let mut next = self.clone();
+        let cluster = next.insert_correct(source)?;
+        Ok((next, cluster))
+    }
+
     /// Serializes the index to a JSON string.
     pub fn to_json(&self) -> String {
         let stored = StoredIndex {
@@ -324,6 +341,22 @@ mod tests {
         assert!(matches!(err, StoreError::Mismatch(_)), "{err}");
         let err = ClusterStore::from_json("{]", &derivatives(), ClaraConfig::default()).unwrap_err();
         assert!(matches!(err, StoreError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn copy_on_write_insertion_leaves_the_source_store_untouched() {
+        let problem = derivatives();
+        let (store, _) = ClusterStore::build(&problem, [problem.seeds[0]], ClaraConfig::default());
+        let before_json = store.to_json();
+        let (next, cluster) = store.with_learned(problem.seeds[1]).unwrap();
+        // The original is bit-identical; the successor has the insertion.
+        assert_eq!(store.to_json(), before_json);
+        assert_eq!(store.engine().correct_count(), 1);
+        assert_eq!(next.engine().correct_count(), 2);
+        assert!(cluster <= next.engine().clusters().len());
+        // Unanalysable sources build no successor at all.
+        assert!(store.with_learned("def broken(:\n").is_err());
+        assert_eq!(store.to_json(), before_json);
     }
 
     #[test]

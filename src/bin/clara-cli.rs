@@ -30,21 +30,35 @@
 //!
 //! * `--index-dir DIR` — persist/load cluster indexes under `DIR` (warm
 //!   start: only cluster representatives are re-analysed);
-//! * `--http ADDR` — additionally serve `POST /repair` / `GET /health` on
-//!   `ADDR` (e.g. `127.0.0.1:8077`);
+//! * `--listen ADDR` — serve the NDJSON protocol over TCP on `ADDR`
+//!   through the nonblocking poll(2) event loop (the fleet protocol);
+//! * `--http ADDR` — serve `POST /repair` / `GET /health` / `GET /stats`
+//!   on `ADDR` (e.g. `127.0.0.1:8077`);
+//! * `--shard i/N` — fleet position: load only the problems this shard
+//!   owns on the consistent-hash ring and reject the rest with a routing
+//!   error;
+//! * `--router --shards a:p1,b:p2,…` — hold no indexes; forward each
+//!   request to the shard owning its problem×language key (the addresses
+//!   are the shards' `--listen` endpoints, in shard-index order);
 //! * `--pool-size N` — correct-solution pool built per problem when no
 //!   stored index exists (default 60);
 //! * `--workers N` / `--queue N` — worker pool sizing;
 //! * `--no-learn` — reject online insertion of correct submissions.
+//!
+//! Without `--listen`/`--http` the NDJSON protocol runs on stdin/stdout
+//! exactly as before. With either listener the process serves over TCP
+//! instead, prints each bound address to stderr as `(… endpoint on ADDR)`
+//! (bind to port 0 for an ephemeral port), and treats stdin EOF as the
+//! shutdown signal.
 
 use std::io::Write as _;
 use std::process::ExitCode;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use clara::prelude::*;
 use clara_server::{
-    run_ndjson, serve_http, ClusterStore, FeedbackService, Request, Server, ServerConfig, ServiceConfig,
-    Status,
+    run_ndjson, Backend, ClusterStore, EventLoop, EventLoopConfig, FeedbackService, Request, Router,
+    RouterConfig, Server, ServerConfig, ServiceConfig, ShardSpec, Status,
 };
 
 fn usage() -> ExitCode {
@@ -53,7 +67,8 @@ fn usage() -> ExitCode {
     eprintln!("  clara-cli grade  <problem> <attempt.py|attempt.c>");
     eprintln!("  clara-cli repair [--lang L] <problem> <attempt.py|attempt.c>");
     eprintln!("  clara-cli clusters <problem> [pool-size]");
-    eprintln!("  clara-cli serve [--index-dir DIR] [--http ADDR] [--pool-size N]");
+    eprintln!("  clara-cli serve [--index-dir DIR] [--listen ADDR] [--http ADDR] [--shard i/N]");
+    eprintln!("                  [--router --shards ADDR,ADDR,...] [--pool-size N]");
     eprintln!("                  [--workers N] [--queue N] [--no-learn] [--lang L] [problem...]");
     eprintln!("  clara-cli batch [--lang L] <problem> <attempt.py|attempt.c>...");
     ExitCode::from(2)
@@ -276,7 +291,11 @@ fn clusters(problem_name: &str, pool: usize, lang: Option<Lang>) -> ExitCode {
 struct ServeOptions {
     problems: Vec<String>,
     index_dir: Option<std::path::PathBuf>,
+    listen: Option<String>,
     http: Option<String>,
+    shard: ShardSpec,
+    router: bool,
+    shards: Vec<String>,
     pool_size: usize,
     workers: Option<usize>,
     queue: Option<usize>,
@@ -288,7 +307,11 @@ fn parse_serve_options(args: &[String]) -> Option<ServeOptions> {
     let mut options = ServeOptions {
         problems: Vec::new(),
         index_dir: None,
+        listen: None,
         http: None,
+        shard: ShardSpec::solo(),
+        router: false,
+        shards: Vec::new(),
         pool_size: 60,
         workers: None,
         queue: None,
@@ -299,7 +322,19 @@ fn parse_serve_options(args: &[String]) -> Option<ServeOptions> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--index-dir" => options.index_dir = Some(iter.next()?.into()),
+            "--listen" => options.listen = Some(iter.next()?.clone()),
             "--http" => options.http = Some(iter.next()?.clone()),
+            "--shard" => options.shard = iter.next()?.parse().ok()?,
+            "--router" => options.router = true,
+            "--shards" => {
+                options.shards = iter
+                    .next()?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
             "--pool-size" => options.pool_size = iter.next()?.parse().ok()?,
             "--workers" => options.workers = Some(iter.next()?.parse().ok()?),
             "--queue" => options.queue = Some(iter.next()?.parse().ok()?),
@@ -312,8 +347,111 @@ fn parse_serve_options(args: &[String]) -> Option<ServeOptions> {
     Some(options)
 }
 
+/// Binds a listener and reports the actual bound address (so `:0` requests
+/// an ephemeral port and the caller learns which one).
+fn bind_reported(kind: &str, addr: &str) -> Result<std::net::TcpListener, ExitCode> {
+    match std::net::TcpListener::bind(addr) {
+        Ok(listener) => {
+            let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| addr.to_owned());
+            eprintln!("({kind} endpoint on {bound})");
+            Ok(listener)
+        }
+        Err(err) => {
+            eprintln!("cannot bind `{addr}`: {err}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+/// Runs an event loop over `backend` with the requested listeners; stdin
+/// EOF (watched from a helper thread) requests shutdown.
+fn run_event_loop(backend: Backend, listen: Option<&str>, http: Option<&str>) -> Result<(), ExitCode> {
+    let mut event_loop = match EventLoop::new(backend, EventLoopConfig::default()) {
+        Ok(event_loop) => event_loop,
+        Err(err) => {
+            eprintln!("cannot start the event loop: {err}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let attach = |result: std::io::Result<EventLoop>| {
+        result.map_err(|err| {
+            eprintln!("cannot attach listener: {err}");
+            ExitCode::FAILURE
+        })
+    };
+    if let Some(addr) = listen {
+        let listener = bind_reported("ndjson", addr)?;
+        event_loop = attach(event_loop.with_ndjson_listener(listener))?;
+    }
+    if let Some(addr) = http {
+        let listener = bind_reported("http", addr)?;
+        event_loop = attach(event_loop.with_http_listener(listener))?;
+    }
+    let handle = event_loop.handle();
+    std::thread::Builder::new()
+        .name("clara-stdin-anchor".to_owned())
+        .spawn(move || {
+            // stdin is the process lifetime anchor: consume it to EOF, then
+            // ask the loop to drain and exit.
+            let mut sink = String::new();
+            let stdin = std::io::stdin();
+            loop {
+                sink.clear();
+                match stdin.read_line(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            handle.request_shutdown();
+        })
+        .expect("spawning the stdin anchor");
+    eprintln!("(serving on the event loop; stdin EOF shuts down)");
+    if let Err(err) = event_loop.run() {
+        eprintln!("serve error: {err}");
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(())
+}
+
+/// `serve --router`: a thin forwarding process holding no indexes.
+fn serve_router(options: &ServeOptions) -> ExitCode {
+    if options.shards.is_empty() {
+        eprintln!(
+            "--router needs --shards ADDR,ADDR,... (one NDJSON address per shard, in shard-index order)"
+        );
+        return ExitCode::from(2);
+    }
+    if options.listen.is_none() && options.http.is_none() {
+        eprintln!("--router needs --listen and/or --http to accept clients");
+        return ExitCode::from(2);
+    }
+    let catalog = clara::corpus::all_problems_all_langs()
+        .into_iter()
+        .map(|p| (p.name.to_owned(), p.lang.as_str().to_owned()));
+    let router = Arc::new(Router::new(
+        options.shards.clone(),
+        catalog,
+        RouterConfig { workers: options.workers.unwrap_or(4), queue_capacity: options.queue.unwrap_or(64) },
+    ));
+    eprintln!("(router over {} shard(s): {})", options.shards.len(), options.shards.join(", "));
+    let outcome = run_event_loop(
+        Backend::router(Arc::clone(&router)),
+        options.listen.as_deref(),
+        options.http.as_deref(),
+    );
+    let report = router.report(0);
+    eprintln!("(forwarded {} request(s), {} upstream error(s))", report.forwarded, report.upstream_errors);
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
+    }
+}
+
 fn serve(args: &[String]) -> ExitCode {
     let Some(options) = parse_serve_options(args) else { return usage() };
+    if options.router {
+        return serve_router(&options);
+    }
     let all = clara::corpus::all_problems_all_langs();
     let selected: Vec<Problem> = if options.problems.is_empty() {
         all.into_iter().filter(|p| options.lang.is_none_or(|l| l == p.lang)).collect()
@@ -336,6 +474,20 @@ fn serve(args: &[String]) -> ExitCode {
             }
         }
         selected
+    };
+
+    // A fleet shard loads only the problems it owns on the consistent-hash
+    // ring; everything else is answered with a routing error pointing at
+    // the owning shard.
+    let spec = options.shard;
+    let selected: Vec<Problem> = if spec.is_solo() {
+        selected
+    } else {
+        let total = selected.len();
+        let owned: Vec<Problem> =
+            selected.into_iter().filter(|p| spec.owns(p.name, p.lang.as_str())).collect();
+        eprintln!("(shard {spec}: owns {} of {total} problem indexes)", owned.len());
+        owned
     };
 
     // Bring every shard online: warm-load a stored index when possible,
@@ -379,7 +531,7 @@ fn serve(args: &[String]) -> ExitCode {
 
     let service = Arc::new(FeedbackService::new(
         stores,
-        ServiceConfig { learn: options.learn, ..ServiceConfig::default() },
+        ServiceConfig { learn: options.learn, shard: spec, ..ServiceConfig::default() },
     ));
     let mut server_config = ServerConfig::default();
     if let Some(workers) = options.workers {
@@ -390,28 +542,29 @@ fn serve(args: &[String]) -> ExitCode {
     }
     let mut server = Server::new(Arc::clone(&service), server_config);
 
-    if let Some(addr) = &options.http {
-        match std::net::TcpListener::bind(addr) {
-            Ok(listener) => {
-                eprintln!("(http endpoint on {addr})");
-                let http_service = Arc::clone(&service);
-                std::thread::spawn(move || {
-                    let _ = serve_http(&http_service, listener);
-                });
-            }
-            Err(err) => {
-                eprintln!("cannot bind `{addr}`: {err}");
-                return ExitCode::from(2);
-            }
+    if options.listen.is_some() || options.http.is_some() {
+        // Fleet mode: all traffic over TCP through the poll(2) event loop;
+        // stdin only anchors the process lifetime.
+        let server = Arc::new(server);
+        let outcome = run_event_loop(
+            Backend::local(Arc::clone(&server)),
+            options.listen.as_deref(),
+            options.http.as_deref(),
+        );
+        // The loop has exited and dropped its backend; joining the workers
+        // (pool drop) guarantees in-flight learns reach the index before we
+        // persist it below.
+        drop(server);
+        if let Err(code) = outcome {
+            return code;
         }
-    }
-
-    eprintln!("(serving NDJSON on stdin/stdout; EOF shuts down)");
-    let stdin = std::io::stdin();
-    let stdout: Arc<Mutex<dyn std::io::Write + Send>> = Arc::new(Mutex::new(std::io::stdout()));
-    if let Err(err) = run_ndjson(&mut server, stdin.lock(), stdout) {
-        eprintln!("serve error: {err}");
-        return ExitCode::FAILURE;
+    } else {
+        eprintln!("(serving NDJSON on stdin/stdout; EOF shuts down)");
+        let stdin = std::io::stdin();
+        if let Err(err) = run_ndjson(&mut server, stdin.lock(), std::io::stdout()) {
+            eprintln!("serve error: {err}");
+            return ExitCode::FAILURE;
+        }
     }
     let stats = service.stats();
     // Persist what was learned online, so the next warm start sees it.

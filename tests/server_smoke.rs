@@ -191,6 +191,152 @@ fn serve_handles_minic_submissions_end_to_end() {
     assert!(status.success(), "serve must exit 0 on EOF, got {status:?}");
 }
 
+/// Correct `special_number_c` submission (the problem's reference); at two
+/// shards the consistent-hash ring places `special_number_c` on shard 0 and
+/// `derivatives`/`fibonacci_c` on shard 1, so this request set exercises
+/// both sides of the fleet.
+const CORRECT_SPECIAL_C: &str = "\
+int special(int n) {
+    int s = 0;
+    int m = n;
+    while (m > 0) {
+        int d = m % 10;
+        s = s + d * d * d;
+        m = m / 10;
+    }
+    if (s == n) {
+        printf(\"YES\\n\");
+    } else {
+        printf(\"NO\\n\");
+    }
+    return 0;
+}
+";
+
+/// Spawns `clara-cli serve` with `args`, keeping stdin open (EOF is the
+/// shutdown signal), and returns the child plus the NDJSON endpoint it
+/// reported on stderr.
+fn spawn_listener(args: &[String]) -> (std::process::Child, String) {
+    let mut child = Command::new(CLI)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning clara-cli serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        // Forward the endpoint line, then keep draining so the child never
+        // blocks on a full stderr pipe.
+        for line in BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            if let Some(rest) = line.strip_prefix("(ndjson endpoint on ") {
+                let _ = tx.send(rest.trim_end_matches(')').to_owned());
+            }
+        }
+    });
+    let addr = rx
+        .recv_timeout(std::time::Duration::from_secs(120))
+        .expect("serve process reports its NDJSON endpoint");
+    (child, addr)
+}
+
+/// The PR 6 fleet smoke: two real `--shard i/2` serve processes plus a
+/// router process, all over loopback TCP. Requests for problems owned by
+/// each shard round-trip through the router with their ids intact, and the
+/// router's own stats report accounts for every forwarded request.
+#[test]
+fn router_forwards_to_two_shard_processes_over_tcp() {
+    let problems = ["derivatives", "fibonacci_c", "special_number_c"];
+    let shard_procs: Vec<(std::process::Child, String)> = (0..2)
+        .map(|i| {
+            let mut args: Vec<String> = vec!["serve".into()];
+            args.extend(problems.iter().map(|p| p.to_string()));
+            args.extend(
+                ["--listen", "127.0.0.1:0", "--pool-size", "8", "--workers", "1", "--no-learn"]
+                    .map(String::from),
+            );
+            args.extend(["--shard".into(), format!("{i}/2")]);
+            spawn_listener(&args)
+        })
+        .collect();
+
+    // Both shards must own at least one of the three problems, or the test
+    // silently stops covering the fleet path.
+    let ring = clara_server::HashRing::new(2);
+    let owners: Vec<usize> =
+        [("derivatives", "minipy"), ("fibonacci_c", "minic"), ("special_number_c", "minic")]
+            .iter()
+            .map(|(p, l)| ring.owner(p, l))
+            .collect();
+    assert!(owners.contains(&0) && owners.contains(&1), "ring no longer splits {owners:?}");
+
+    let shard_addrs: Vec<String> = shard_procs.iter().map(|(_, addr)| addr.clone()).collect();
+    let router_args: Vec<String> =
+        ["serve", "--router", "--shards", &shard_addrs.join(","), "--listen", "127.0.0.1:0"]
+            .map(String::from)
+            .to_vec();
+    let (mut router, router_addr) = spawn_listener(&router_args);
+
+    let stream = std::net::TcpStream::connect(&router_addr).expect("connecting to router");
+    let mut writer = stream.try_clone().expect("cloning stream");
+    let mut reader = BufReader::new(stream);
+    let lines = [
+        request_line_for(1, "derivatives", None, CORRECT),
+        request_line_for(2, "derivatives", Some("python"), INCORRECT),
+        request_line_for(3, "fibonacci_c", Some("c"), BUGGY_FIB_C),
+        request_line_for(4, "special_number_c", None, CORRECT_SPECIAL_C),
+    ];
+    for line in &lines {
+        writeln!(writer, "{line}").expect("writing request");
+    }
+    let responses: Vec<Response> = (0..lines.len())
+        .map(|_| {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("reading response line");
+            serde_json::from_str(line.trim()).unwrap_or_else(|e| panic!("malformed response `{line}`: {e}"))
+        })
+        .collect();
+    let by_id = |id: u64| {
+        responses
+            .iter()
+            .find(|r| r.id == id)
+            .unwrap_or_else(|| panic!("no response with id {id}: {responses:?}"))
+    };
+    assert_eq!(by_id(1).status, Status::Correct, "{:?}", by_id(1));
+    assert_eq!(by_id(2).status, Status::Repaired, "{:?}", by_id(2));
+    let fib = by_id(3);
+    assert_eq!(fib.status, Status::Repaired, "{fib:?}");
+    assert!(fib.feedback.join("\n").contains("`b <= k`"), "{fib:?}");
+    assert_eq!(by_id(4).status, Status::Correct, "{:?}", by_id(4));
+
+    // A stats request against the router is answered by the router itself
+    // and accounts for every forwarded feedback request.
+    writeln!(writer, r#"{{"id":9,"stats":true}}"#).expect("writing stats request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reading stats line");
+    let stats: clara_server::RouterReport = serde_json::from_str(line.trim()).expect("stats json");
+    assert!(stats.router, "{stats:?}");
+    assert_eq!(stats.shards, 2, "{stats:?}");
+    assert_eq!(stats.forwarded, 4, "{stats:?}");
+    assert_eq!(stats.upstream_errors, 0, "{stats:?}");
+    assert!(stats.upstreams.iter().all(|u| u.forwarded > 0), "every shard must see traffic: {stats:?}");
+
+    // stdin EOF shuts each process down in dependency order: router first
+    // (so it stops holding upstream connections), then the shards.
+    drop(writer);
+    drop(reader);
+    drop(router.stdin.take());
+    let status = router.wait().expect("waiting for router");
+    assert!(status.success(), "router must exit 0 on EOF, got {status:?}");
+    for (mut shard, _) in shard_procs {
+        drop(shard.stdin.take());
+        let status = shard.wait().expect("waiting for shard");
+        assert!(status.success(), "shard must exit 0 on EOF, got {status:?}");
+    }
+}
+
 fn run_repair(source: &str) -> i32 {
     let dir = std::env::temp_dir();
     let path = dir.join(format!("clara-smoke-{}-{:x}.py", std::process::id(), source.len()));
