@@ -33,8 +33,8 @@ use clara_corpus::{
 };
 use clara_model::frontend::Lang;
 use clara_server::{
-    ClusterStore, FeedbackService, HashRing, Request, Response, Server, ServerConfig, ServiceConfig,
-    StatsReport, Status,
+    ClusterStore, FeedbackService, HashRing, Request, Response, RouterReport, Server, ServerConfig,
+    ServiceConfig, StatsReport, Status,
 };
 use serde::Serialize;
 
@@ -153,19 +153,45 @@ struct ShardProc {
     addr: String,
 }
 
-/// Spawns one shard process and waits for its NDJSON endpoint line.
-fn spawn_shard(cli: &Path, index: usize, count: usize, problems: &[String], pool_size: usize) -> ShardProc {
+/// Extra knobs of a spawned serve process (the chaos scenario uses all of
+/// them; the plain fleet benchmark uses none).
+#[derive(Default, Clone)]
+struct SpawnOptions {
+    /// Bind this concrete address instead of an ephemeral port (a restarted
+    /// shard must come back on the address the router holds).
+    listen: Option<String>,
+    /// `--faults` spec armed on the process.
+    faults: Option<String>,
+    /// Allow online learning (`--no-learn` is passed otherwise).
+    learn: bool,
+}
+
+/// Spawns one serve process and waits for its NDJSON endpoint line.
+/// Returns `None` when the process exits before reporting an endpoint
+/// (e.g. its port is still in TIME_WAIT after a kill) — callers may retry.
+fn try_spawn_serve(
+    cli: &Path,
+    role_args: &[String],
+    problems: &[String],
+    options: &SpawnOptions,
+) -> Option<ShardProc> {
+    let listen = options.listen.clone().unwrap_or_else(|| "127.0.0.1:0".to_owned());
     let mut command = Command::new(cli);
     command
         .arg("serve")
-        .args(["--listen", "127.0.0.1:0"])
-        .args(["--shard", &format!("{index}/{count}")])
-        .args(["--pool-size", &pool_size.to_string()])
-        .args(["--workers", "2", "--queue", "64", "--no-learn"])
+        .args(["--listen", &listen])
+        .args(role_args)
+        .args(["--workers", "2", "--queue", "64"])
         .args(problems)
         .stdin(Stdio::piped())
         .stdout(Stdio::null())
         .stderr(Stdio::piped());
+    if !options.learn {
+        command.arg("--no-learn");
+    }
+    if let Some(spec) = &options.faults {
+        command.args(["--faults", spec]);
+    }
     let mut child = command.spawn().expect("spawning clara-cli serve");
     let stderr = child.stderr.take().expect("piped stderr");
     let (tx, rx) = channel::<String>();
@@ -179,10 +205,56 @@ fn spawn_shard(cli: &Path, index: usize, count: usize, problems: &[String], pool
             }
         }
     });
-    let addr = rx
-        .recv_timeout(Duration::from_secs(300))
-        .expect("shard process reports its NDJSON endpoint (index build may be slow, not absent)");
-    ShardProc { child, addr }
+    for _ in 0..1200 {
+        match rx.recv_timeout(Duration::from_millis(250)) {
+            Ok(addr) => return Some(ShardProc { child, addr }),
+            Err(_) => {
+                if let Ok(Some(_status)) = child.try_wait() {
+                    return None; // bind failed (or the process died early)
+                }
+                // Still building its indexes; keep waiting (index builds
+                // are slow, not absent).
+            }
+        }
+    }
+    let _ = child.kill();
+    panic!("serve process never reported its NDJSON endpoint");
+}
+
+/// Spawns one shard process and waits for its NDJSON endpoint line.
+fn spawn_shard(cli: &Path, index: usize, count: usize, problems: &[String], pool_size: usize) -> ShardProc {
+    spawn_shard_with(cli, index, count, problems, pool_size, &SpawnOptions::default())
+}
+
+fn spawn_shard_with(
+    cli: &Path,
+    index: usize,
+    count: usize,
+    problems: &[String],
+    pool_size: usize,
+    options: &SpawnOptions,
+) -> ShardProc {
+    let role = vec![
+        "--shard".to_owned(),
+        format!("{index}/{count}"),
+        "--pool-size".to_owned(),
+        pool_size.to_string(),
+    ];
+    // A freshly killed shard's port can linger in TIME_WAIT; rebinding it
+    // deserves a few patient attempts before giving up.
+    for _ in 0..40 {
+        if let Some(proc) = try_spawn_serve(cli, &role, problems, options) {
+            return proc;
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    panic!("shard {index}/{count} never came up on {:?}", options.listen);
+}
+
+/// Spawns a router process over the given shard addresses.
+fn spawn_router(cli: &Path, shard_addrs: &[String]) -> ShardProc {
+    let role = vec!["--router".to_owned(), "--shards".to_owned(), shard_addrs.join(",")];
+    try_spawn_serve(cli, &role, &[], &SpawnOptions::default()).expect("router process comes up")
 }
 
 /// Replays `chunk` over one closed-loop TCP connection; returns per-request
@@ -221,6 +293,143 @@ fn probe_stats(addr: &str) -> Option<StatsReport> {
     let mut line = String::new();
     BufReader::new(stream).read_line(&mut line).ok()?;
     serde_json::from_str(line.trim()).ok()
+}
+
+/// One `{"stats":true}` probe against a router.
+fn probe_router_stats(addr: &str) -> Option<RouterReport> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    writeln!(writer, r#"{{"id":0,"stats":true}}"#).ok()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).ok()?;
+    serde_json::from_str(line.trim()).ok()
+}
+
+/// A chaos-aware NDJSON client: reconnects on broken exchanges, retries
+/// transient error responses with a small backoff, and counts what it had
+/// to absorb. This is what a sane fleet client looks like, and it is the
+/// measurement instrument for "bounded client-visible error rate".
+struct ResilientClient {
+    addr: String,
+    conn: Option<(TcpStream, BufReader<TcpStream>)>,
+    /// Extra attempts beyond each request's first.
+    retries: u64,
+    /// Requests that stayed failed after the whole retry budget.
+    errors: u64,
+}
+
+impl ResilientClient {
+    fn new(addr: &str) -> ResilientClient {
+        ResilientClient { addr: addr.to_owned(), conn: None, retries: 0, errors: 0 }
+    }
+
+    fn connect(&mut self) -> Option<&mut (TcpStream, BufReader<TcpStream>)> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr).ok()?;
+            stream.set_nodelay(true).ok()?;
+            stream.set_read_timeout(Some(Duration::from_secs(60))).ok()?;
+            let reader = BufReader::new(stream.try_clone().ok()?);
+            self.conn = Some((stream, reader));
+        }
+        self.conn.as_mut()
+    }
+
+    fn exchange_once(&mut self, payload: &str) -> Option<Response> {
+        let (writer, reader) = self.connect()?;
+        if writeln!(writer, "{payload}").is_err() {
+            self.conn = None;
+            return None;
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => match serde_json::from_str::<Response>(line.trim()) {
+                Ok(response) => Some(response),
+                Err(_) => {
+                    // A garbled line poisons the stream framing; reconnect.
+                    self.conn = None;
+                    None
+                }
+            },
+            _ => {
+                self.conn = None;
+                None
+            }
+        }
+    }
+
+    /// Sends one request with up to `attempts` tries; `None` only after the
+    /// whole budget failed (counted in `errors`).
+    fn call(&mut self, request: &Request, attempts: u32) -> Option<Response> {
+        let payload = serde_json::to_string(request).expect("request serializes");
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retries += 1;
+                std::thread::sleep(Duration::from_millis(25 * u64::from(attempt)));
+            }
+            // A broken exchange (`None`) reconnects and retries; a reply is
+            // returned unless it names a transient fleet condition.
+            if let Some(response) = self.exchange_once(&payload) {
+                let transient = response.status == Status::Error
+                    && response.error.as_deref().is_some_and(|e| {
+                        e.contains("unreachable")
+                            || e.contains("overloaded")
+                            || e.contains("shutting down")
+                            || e.contains("circuit breaker")
+                            || e.contains("timed out")
+                    });
+                if !transient {
+                    return Some(response);
+                }
+            }
+        }
+        self.errors += 1;
+        None
+    }
+}
+
+/// The JSON contract of the `--chaos` run (`BENCH_serve_chaos.json`): a
+/// three-shard fleet behind a router, deterministic net-layer faults on
+/// every shard, one owner shard killed and restarted mid-workload.
+#[derive(Serialize)]
+struct ChaosReport {
+    corpus: String,
+    shards: usize,
+    fault_spec: String,
+    /// Feedback requests replayed through the router (all phases).
+    requests: usize,
+    /// Client-side extra attempts absorbed by retry/reconnect.
+    client_retries: u64,
+    /// Requests still failed after the client's whole retry budget.
+    client_errors: u64,
+    /// `client_errors / requests`.
+    error_rate: f64,
+    /// Learn requests sent / acknowledged (`learned: true` responses);
+    /// `lost_learns` must be 0 — replication's acceptance criterion.
+    learn_attempts: usize,
+    learn_acks: usize,
+    lost_learns: usize,
+    /// Concurrent duplicate novel submissions in the single-flight probe
+    /// and how many of the `N-1` followers were answered without a
+    /// duplicate repair (coalesced in flight or served from cache).
+    coalesce_probe_requests: usize,
+    coalesced: u64,
+    coalesce_cache_hits: u64,
+    coalescing_hit_rate: f64,
+    /// The killed owner shard and how long until the first successful
+    /// response for one of its problems (served by the ring successor).
+    killed_shard: String,
+    recovery_seconds: f64,
+    /// Successful responses for the dead shard's problems while it was down.
+    served_during_outage: usize,
+    /// Router counters at the end of the run.
+    router_forwarded: u64,
+    router_retries: u64,
+    router_failovers: u64,
+    router_replicated_learns: u64,
+    router_upstream_errors: u64,
+    shed_requests: u64,
+    /// Worker panics summed over every surviving process (must be 0).
+    worker_panics: u64,
 }
 
 const CLIENTS_PER_SHARD: usize = 2;
@@ -309,8 +518,315 @@ fn run_fleet(
     }
 }
 
+/// Sums a per-shard counter over every reachable shard.
+fn sum_shard_stats(addrs: &[String], pick: impl Fn(&StatsReport) -> u64) -> u64 {
+    addrs.iter().filter_map(|a| probe_stats(a)).map(|s| pick(&s)).sum()
+}
+
+/// The `--chaos` scenario: a 3-shard fleet behind a router, deterministic
+/// net-layer faults on every shard, one owner shard killed and restarted
+/// mid-workload. Asserts the PR's acceptance criteria directly: zero lost
+/// learns, failover to the ring successor within the retry budget, bounded
+/// client-visible error rate, and effective single-flight coalescing.
+fn run_chaos(mode: RunMode) {
+    const SHARDS: usize = 3;
+    const FAULT_SPEC: &str = "seed=11,close=0.02,garble=0.03,delay=0.1,delay_ms=5";
+    const LEARNS: usize = 8;
+    const COALESCE_CLIENTS: usize = 8;
+    let request_budget = if mode.smoke { 120 } else { 600 };
+
+    let Some(cli) = find_clara_cli() else {
+        eprintln!("chaos: clara-cli not found next to this binary — build it first");
+        std::process::exit(1);
+    };
+
+    let corpus_label = format!("chaos fleet: {SHARDS} shards + router, faults {FAULT_SPEC}");
+    println!("Serve chaos — fault-injected fleet with shard kill/restart ({corpus_label}):");
+
+    let problems = select_problems(RunMode { smoke: true, chaos: true });
+    let datasets: Vec<Dataset> = problems
+        .iter()
+        .map(|problem| {
+            build_dataset(
+                problem,
+                DatasetConfig {
+                    correct_count: 20,
+                    incorrect_count: 6,
+                    seed: 0x53E5,
+                    duplicate_rate: 0.3,
+                    ..DatasetConfig::default()
+                },
+            )
+        })
+        .collect();
+    let workload = generate_workload(
+        &datasets,
+        WorkloadConfig { requests: request_budget, ..WorkloadConfig::default() },
+    );
+    // Novel sources the main workload never saw: correct ones to learn,
+    // an incorrect one for the single-flight probe.
+    let extra: Vec<Dataset> = problems
+        .iter()
+        .map(|problem| {
+            build_dataset(
+                problem,
+                DatasetConfig {
+                    correct_count: LEARNS,
+                    incorrect_count: 2,
+                    seed: 0xC0A1,
+                    ..DatasetConfig::default()
+                },
+            )
+        })
+        .collect();
+
+    let problem_names: Vec<String> = problems.iter().map(|p| p.name.to_owned()).collect();
+    let shard_options = SpawnOptions { listen: None, faults: Some(FAULT_SPEC.to_owned()), learn: true };
+    println!("(spawning {SHARDS} fault-injected shard(s) and a router)");
+    let mut shards: Vec<ShardProc> =
+        (0..SHARDS).map(|i| spawn_shard_with(&cli, i, SHARDS, &problem_names, 12, &shard_options)).collect();
+    let shard_addrs: Vec<String> = shards.iter().map(|s| s.addr.clone()).collect();
+    let router = spawn_router(&cli, &shard_addrs);
+
+    let ring = HashRing::new(SHARDS);
+    let victim = ring.owner(problems[0].name, problems[0].lang.as_str());
+    let dead_owned: Vec<&Problem> =
+        problems.iter().filter(|p| ring.owner(p.name, p.lang.as_str()) == victim).collect();
+
+    let mut client = ResilientClient::new(&router.addr);
+    let third = workload.len() / 3;
+    let mut next_id = 1_000_000u64;
+    let replay = |client: &mut ResilientClient, slice: &[WorkloadRequest]| -> usize {
+        let mut answered = 0usize;
+        for request in slice {
+            let ok = client
+                .call(
+                    &Request {
+                        id: request.id as u64,
+                        problem: request.problem.clone(),
+                        lang: Some(request.lang.clone()),
+                        source: request.source.clone(),
+                        learn: None,
+                    },
+                    5,
+                )
+                .is_some();
+            answered += usize::from(ok);
+        }
+        answered
+    };
+
+    // Phase A — healthy fleet: first third of the workload, then the learns
+    // (each replicated by the router to owner AND ring successor).
+    println!("(phase A: healthy replay + {LEARNS} learns per problem's extra pool)");
+    replay(&mut client, &workload[..third]);
+    let mut learn_attempts = 0usize;
+    let mut learn_acks = 0usize;
+    let mut learned_sources: Vec<(String, String, String)> = Vec::new();
+    for (problem, dataset) in problems.iter().zip(&extra) {
+        for attempt in dataset.correct.iter().take(LEARNS / problems.len().max(1) + 1) {
+            learn_attempts += 1;
+            next_id += 1;
+            let response = client.call(
+                &Request {
+                    id: next_id,
+                    problem: problem.name.to_owned(),
+                    lang: Some(problem.lang.as_str().to_owned()),
+                    source: attempt.source.clone(),
+                    learn: Some(true),
+                },
+                6,
+            );
+            if response.is_some_and(|r| r.status == Status::Correct) {
+                learn_acks += 1;
+                learned_sources.push((
+                    problem.name.to_owned(),
+                    problem.lang.as_str().to_owned(),
+                    attempt.source.clone(),
+                ));
+            }
+        }
+    }
+
+    // Single-flight probe: concurrent duplicates of one novel incorrect
+    // submission must share one repair (coalesced or cache-hit followers).
+    println!("(coalescing probe: {COALESCE_CLIENTS} concurrent duplicates of a novel submission)");
+    let before_coalesced = sum_shard_stats(&shard_addrs, |s| s.service.coalesced);
+    let before_hits = sum_shard_stats(&shard_addrs, |s| s.cache_hits);
+    let probe_problem = &problems[0];
+    let probe_source = extra[0]
+        .incorrect
+        .first()
+        .map(|a| a.source.clone())
+        .unwrap_or_else(|| extra[0].correct.last().expect("extra pool is non-empty").source.clone());
+    let router_addr = router.addr.clone();
+    let coalesce_threads: Vec<_> = (0..COALESCE_CLIENTS)
+        .map(|i| {
+            let addr = router_addr.clone();
+            let problem = probe_problem.name.to_owned();
+            let lang = probe_problem.lang.as_str().to_owned();
+            let source = probe_source.clone();
+            std::thread::spawn(move || {
+                let mut client = ResilientClient::new(&addr);
+                client
+                    .call(
+                        &Request { id: 2_000_000 + i as u64, problem, lang: Some(lang), source, learn: None },
+                        5,
+                    )
+                    .is_some()
+            })
+        })
+        .collect();
+    let coalesce_answered = coalesce_threads.into_iter().map(false_on_panic).filter(|&ok| ok).count();
+    let coalesced = sum_shard_stats(&shard_addrs, |s| s.service.coalesced) - before_coalesced;
+    let coalesce_cache_hits = sum_shard_stats(&shard_addrs, |s| s.cache_hits) - before_hits;
+    let coalescing_hit_rate =
+        (coalesced + coalesce_cache_hits) as f64 / (COALESCE_CLIENTS.saturating_sub(1)).max(1) as f64;
+
+    // Kill the owner of the first problem; the ring successor holds the
+    // replica and must serve its problems within the retry budget.
+    println!(
+        "(killing shard {victim}/{SHARDS} — owner of {})",
+        dead_owned.iter().map(|p| p.name).collect::<Vec<_>>().join(", ")
+    );
+    let _ = shards[victim].child.kill();
+    let _ = shards[victim].child.wait();
+    let killed_at = Instant::now();
+    next_id += 1;
+    let recovery_probe = Request {
+        id: next_id,
+        problem: probe_problem.name.to_owned(),
+        lang: Some(probe_problem.lang.as_str().to_owned()),
+        source: datasets[0].correct[0].source.clone(),
+        learn: None,
+    };
+    let recovered = client.call(&recovery_probe, 8).is_some();
+    let recovery_seconds = killed_at.elapsed().as_secs_f64();
+
+    // Phase B — outage: second third of the workload against 2 live shards.
+    println!("(phase B: replay during the outage)");
+    let outage_slice = &workload[third..2 * third];
+    let served_during_outage = replay(&mut client, outage_slice) + usize::from(recovered);
+
+    // Restart the dead shard on the address the router still holds; its
+    // breaker half-opens after the cooldown and the probe re-closes it.
+    println!("(restarting shard {victim}/{SHARDS} on {})", shard_addrs[victim]);
+    let restart_options = SpawnOptions {
+        listen: Some(shard_addrs[victim].clone()),
+        faults: Some(FAULT_SPEC.to_owned()),
+        learn: true,
+    };
+    shards[victim] = spawn_shard_with(&cli, victim, SHARDS, &problem_names, 12, &restart_options);
+
+    // Phase C — recovered fleet: the rest of the workload, then verify every
+    // acknowledged learn is still served (the successor kept the replica).
+    println!("(phase C: replay after restart + learn verification)");
+    replay(&mut client, &workload[2 * third..]);
+    let mut reread_failures = 0usize;
+    for (problem, lang, source) in &learned_sources {
+        next_id += 1;
+        let response = client.call(
+            &Request {
+                id: next_id,
+                problem: problem.clone(),
+                lang: Some(lang.clone()),
+                source: source.clone(),
+                learn: None,
+            },
+            6,
+        );
+        if !response.is_some_and(|r| r.status == Status::Correct) {
+            reread_failures += 1;
+        }
+    }
+    let lost_learns = (learn_attempts - learn_acks) + reread_failures;
+
+    let router_report = probe_router_stats(&router.addr);
+    let worker_panics = sum_shard_stats(&shard_addrs, |s| s.worker_panics);
+    let shard_shed = sum_shard_stats(&shard_addrs, |s| s.shed_requests);
+    let total_requests = workload.len() + learn_attempts + learned_sources.len() + COALESCE_CLIENTS + 1;
+    let report = ChaosReport {
+        corpus: corpus_label,
+        shards: SHARDS,
+        fault_spec: FAULT_SPEC.to_owned(),
+        requests: total_requests,
+        client_retries: client.retries,
+        client_errors: client.errors + (COALESCE_CLIENTS - coalesce_answered) as u64,
+        error_rate: (client.errors as f64 + (COALESCE_CLIENTS - coalesce_answered) as f64)
+            / total_requests as f64,
+        learn_attempts,
+        learn_acks,
+        lost_learns,
+        coalesce_probe_requests: COALESCE_CLIENTS,
+        coalesced,
+        coalesce_cache_hits,
+        coalescing_hit_rate,
+        killed_shard: format!("{victim}/{SHARDS}"),
+        recovery_seconds,
+        served_during_outage,
+        router_forwarded: router_report.as_ref().map_or(0, |r| r.forwarded),
+        router_retries: router_report.as_ref().map_or(0, |r| r.retries),
+        router_failovers: router_report.as_ref().map_or(0, |r| r.failovers),
+        router_replicated_learns: router_report.as_ref().map_or(0, |r| r.replicated_learns),
+        router_upstream_errors: router_report.as_ref().map_or(0, |r| r.upstream_errors),
+        shed_requests: router_report.as_ref().map_or(0, |r| r.shed_requests) + shard_shed,
+        worker_panics,
+    };
+
+    // Shut the fleet down before asserting, so failures don't leak children.
+    let mut procs = shards;
+    procs.push(router);
+    for mut proc in procs {
+        drop(proc.child.stdin.take());
+        let _ = proc.child.wait();
+    }
+
+    println!("{:<28} {:>10}", "requests (all phases)", report.requests);
+    println!("{:<28} {:>10}", "client retries", report.client_retries);
+    println!("{:<28} {:>10}", "client errors", report.client_errors);
+    println!("{:<28} {:>9.2}%", "error rate", report.error_rate * 100.0);
+    println!("{:<28} {:>7}/{:<2}", "learn acks", report.learn_acks, report.learn_attempts);
+    println!("{:<28} {:>10}", "lost learns", report.lost_learns);
+    println!("{:<28} {:>9.1}%", "coalescing hit rate", report.coalescing_hit_rate * 100.0);
+    println!("{:<28} {:>10.2}", "failover recovery (s)", report.recovery_seconds);
+    println!("{:<28} {:>10}", "served during outage", report.served_during_outage);
+    println!("{:<28} {:>10}", "router failovers", report.router_failovers);
+    println!("{:<28} {:>10}", "router retries", report.router_retries);
+    println!("{:<28} {:>10}", "replicated learns", report.router_replicated_learns);
+    println!("{:<28} {:>10}", "worker panics", report.worker_panics);
+
+    emit_json_report("serve_chaos", mode, &report);
+
+    assert_eq!(report.lost_learns, 0, "replication must lose zero learns");
+    assert_eq!(report.worker_panics, 0, "no worker may panic under chaos");
+    assert!(recovered, "the ring successor must serve the dead shard's problems");
+    assert!(
+        report.error_rate <= 0.05,
+        "client-visible error rate {:.3} exceeds the 5% chaos budget",
+        report.error_rate
+    );
+    assert!(report.router_failovers >= 1, "the outage must be served via failover");
+    assert!(report.router_replicated_learns >= 1, "learns must reach a second replica");
+    assert!(
+        report.coalescing_hit_rate >= 0.5,
+        "single-flight must absorb most duplicate followers (got {:.2})",
+        report.coalescing_hit_rate
+    );
+    println!();
+    println!("chaos run passed: zero lost learns, failover within budget, coalescing effective");
+}
+
+/// `thread::join` as a boolean: a panicked probe thread counts as failure.
+fn false_on_panic(handle: std::thread::JoinHandle<bool>) -> bool {
+    handle.join().unwrap_or(false)
+}
+
 fn main() {
     let mode = RunMode::from_env_and_args();
+    if mode.chaos {
+        run_chaos(mode);
+        return;
+    }
     let scale = mode.scale();
     let corpus_label = if mode.smoke {
         "smoke subset: 2 MiniPy + 2 MiniC problems, 40 correct + 8 incorrect each, 150 requests".to_owned()

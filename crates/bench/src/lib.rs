@@ -70,15 +70,20 @@ impl Scale {
 pub struct RunMode {
     /// Whether the tiny smoke subset was requested.
     pub smoke: bool,
+    /// Whether the fault-injection chaos scenario was requested
+    /// (`--chaos` / `CLARA_CHAOS`; honoured by `serve_throughput`).
+    pub chaos: bool,
 }
 
 impl RunMode {
     /// Reads `--smoke` from the command line or `CLARA_SMOKE` from the
-    /// environment (any value except empty/`0` enables it).
+    /// environment (any value except empty/`0` enables it); likewise
+    /// `--chaos` / `CLARA_CHAOS` for the fault-injection scenario.
     pub fn from_env_and_args() -> Self {
-        let smoke = std::env::args().any(|arg| arg == "--smoke")
-            || std::env::var("CLARA_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
-        RunMode { smoke }
+        let flag = |arg: &str, var: &str| {
+            std::env::args().any(|a| a == arg) || std::env::var(var).is_ok_and(|v| !v.is_empty() && v != "0")
+        };
+        RunMode { smoke: flag("--smoke", "CLARA_SMOKE"), chaos: flag("--chaos", "CLARA_CHAOS") }
     }
 
     /// The corpus scale for this mode (smoke keeps the default).

@@ -57,9 +57,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod fault;
 pub mod net;
 pub mod pool;
 pub mod protocol;
+pub mod retry;
 pub mod router;
 pub mod serve;
 pub mod service;
@@ -67,13 +69,15 @@ pub mod shard;
 pub mod store;
 
 pub use cache::{LruCache, StripedCache};
+pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultPlanError};
 pub use net::{Backend, EventLoop, EventLoopConfig, LoopHandle};
 pub use pool::{PoolClosed, WorkerPool};
 pub use protocol::{
     parse_incoming, parse_request, render_response, Incoming, Request, Response, StatsReport, Status,
 };
+pub use retry::{BreakerState, CircuitBreaker, RetryPolicy, SplitMix64};
 pub use router::{Router, RouterConfig, RouterReport};
 pub use serve::{default_workers, run_ndjson, serve_http, Server, ServerConfig};
 pub use service::{FeedbackService, ServiceConfig, ServiceStats, ShardStat};
-pub use shard::{HashRing, ShardSpec, ShardSpecError};
+pub use shard::{HashRing, ShardSpec, ShardSpecError, REPLICATION_FACTOR};
 pub use store::{ClusterStore, StoreError, STORE_FORMAT_VERSION};

@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::fault::{FaultAction, FaultInjector, FaultPlan};
 use crate::pool::PoolClosed;
 use crate::protocol::{parse_incoming, render_response, Incoming, Request, Response};
 use crate::router::Router;
@@ -94,11 +95,19 @@ pub struct EventLoopConfig {
     pub max_pending: usize,
     /// Connections idle longer than this mid-request are dropped.
     pub idle_timeout: Duration,
+    /// Deterministic fault injection applied to parsed NDJSON feedback
+    /// requests (chaos testing); `None` serves faithfully.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EventLoopConfig {
     fn default() -> Self {
-        EventLoopConfig { max_buffer: 1 << 20, max_pending: 256, idle_timeout: Duration::from_secs(10) }
+        EventLoopConfig {
+            max_buffer: 1 << 20,
+            max_pending: 256,
+            idle_timeout: Duration::from_secs(10),
+            faults: None,
+        }
     }
 }
 
@@ -142,7 +151,7 @@ impl Backend {
     fn stats_line(&self, id: u64) -> String {
         match self {
             Backend::Local(server) => {
-                serde_json::to_string(&server.stats_report(id)).expect("stats serialize")
+                serde_json::to_string(&server.stats_report(id)).unwrap_or_else(|e| stats_error_line(id, &e))
             }
             Backend::Router(router) => router.stats_line(id),
         }
@@ -153,11 +162,25 @@ impl Backend {
     fn health_line(&self) -> String {
         match self {
             Backend::Local(server) => {
-                serde_json::to_string(&server.service().stats()).expect("stats serialize")
+                serde_json::to_string(&server.service().stats()).unwrap_or_else(|e| stats_error_line(0, &e))
             }
             Backend::Router(router) => router.stats_line(0),
         }
     }
+
+    /// Records one request shed at the front door (pending ring full).
+    fn note_shed(&self) {
+        match self {
+            Backend::Local(server) => server.note_shed(),
+            Backend::Router(router) => router.note_shed(),
+        }
+    }
+}
+
+/// A well-formed fallback line when a stats report fails to serialize (our
+/// own structs never should, but the front door must not panic for it).
+fn stats_error_line(id: u64, error: &impl std::fmt::Display) -> String {
+    render_response(&Response::error(id, format!("stats serialization failed: {error}")))
 }
 
 /// Wakes the event loop from worker threads: one byte down a loopback TCP
@@ -184,7 +207,9 @@ struct Completions {
 
 impl Completions {
     fn push(&self, conn: u64, payload: String) {
-        self.ready.lock().expect("completion queue poisoned").push((conn, payload));
+        // A worker that panicked while holding the lock left a usable queue
+        // behind; losing completions is worse than seeing its partial state.
+        self.ready.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).push((conn, payload));
         self.waker.wake();
     }
 }
@@ -282,6 +307,10 @@ pub struct EventLoop {
     next_conn: u64,
     /// Requests parked while the pool was full, retried each iteration.
     pending: VecDeque<(u64, Request)>,
+    /// The seeded fault schedule, when chaos testing is enabled.
+    injector: Option<FaultInjector>,
+    /// Fault-delayed requests waiting for their release instant.
+    delayed: VecDeque<(Instant, u64, Request)>,
 }
 
 /// A connected loopback TCP pair (the poll waker; `pipe(2)` would need a
@@ -309,6 +338,7 @@ impl EventLoop {
             waker: Waker { tx },
             shutdown: AtomicBool::new(false),
         });
+        let injector = config.faults.filter(|plan| !plan.is_noop()).map(|plan| plan.injector());
         Ok(EventLoop {
             backend,
             config,
@@ -319,6 +349,8 @@ impl EventLoop {
             conns: HashMap::new(),
             next_conn: 0,
             pending: VecDeque::new(),
+            injector,
+            delayed: VecDeque::new(),
         })
     }
 
@@ -400,7 +432,11 @@ impl EventLoop {
                 }
             }
 
-            let timeout = if self.pending.is_empty() { 200 } else { 20 };
+            let mut timeout = if self.pending.is_empty() { 200 } else { 20 };
+            if let Some(due) = self.delayed.iter().map(|(at, _, _)| *at).min() {
+                let until = due.saturating_duration_since(Instant::now()).as_millis() as i32;
+                timeout = timeout.min(until.max(1));
+            }
             poll_fds(&mut fds, timeout)?;
 
             // Waker bytes: drain and discard (their meaning is "look at the
@@ -411,6 +447,7 @@ impl EventLoop {
             }
 
             self.drain_completions();
+            self.release_due_delays();
             self.retry_pending();
 
             for (fd, tag) in fds.iter().zip(&tags).skip(1) {
@@ -467,7 +504,7 @@ impl EventLoop {
 
     fn drain_completions(&mut self) {
         let ready = {
-            let mut queue = self.completions.ready.lock().expect("completion queue poisoned");
+            let mut queue = self.completions.ready.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
             std::mem::take(&mut *queue)
         };
         for (id, payload) in ready {
@@ -522,6 +559,59 @@ impl EventLoop {
         }
     }
 
+    /// Re-enqueues fault-delayed requests whose release instant has passed.
+    fn release_due_delays(&mut self) {
+        let now = Instant::now();
+        for _ in 0..self.delayed.len() {
+            let Some((due, conn_id, request)) = self.delayed.pop_front() else { break };
+            if due > now {
+                self.delayed.push_back((due, conn_id, request));
+                continue;
+            }
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                // Drop the park-time hold; `enqueue` re-counts the request.
+                conn.inflight = conn.inflight.saturating_sub(1);
+                self.enqueue(conn_id, request);
+            }
+        }
+    }
+
+    /// Applies the fault schedule to a freshly parsed feedback request.
+    /// Returns `true` when the request was consumed by a fault.
+    fn inject_fault(&mut self, conn_id: u64, request: &Request) -> bool {
+        let Some(injector) = self.injector.as_mut() else { return false };
+        match injector.decide() {
+            FaultAction::None => false,
+            FaultAction::Drop => true, // swallowed: the client sees silence
+            FaultAction::Close => {
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    // Abrupt close: pending output and owed responses are
+                    // abandoned, exactly like a crash mid-exchange.
+                    conn.input_done = true;
+                    conn.read_buf.clear();
+                    conn.write_buf.clear();
+                    conn.write_pos = 0;
+                    conn.inflight = 0;
+                }
+                true
+            }
+            FaultAction::Garble => {
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    respond(conn, "200 OK", "{\"garbled\":tru"); // deliberately unparseable
+                }
+                true
+            }
+            FaultAction::Delay(by) => {
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    // Hold the connection open while the request is parked.
+                    conn.inflight += 1;
+                    self.delayed.push_back((Instant::now() + by, conn_id, request.clone()));
+                }
+                true
+            }
+        }
+    }
+
     /// Enqueues a freshly parsed request: submit, park, or shed.
     fn enqueue(&mut self, conn_id: u64, request: Request) {
         if let Some(conn) = self.conns.get_mut(&conn_id) {
@@ -530,6 +620,7 @@ impl EventLoop {
         if self.pending.len() >= self.config.max_pending {
             // The pending ring is the overload buffer; past it, shed with an
             // explicit error so clients can back off.
+            self.backend.note_shed();
             if let Some(conn) = self.conns.get_mut(&conn_id) {
                 conn.inflight = conn.inflight.saturating_sub(1);
                 respond(
@@ -605,7 +696,11 @@ impl EventLoop {
                     conn.write_buf.push(b'\n');
                     flush_conn(conn);
                 }
-                Ok(Incoming::Feedback(request)) => self.enqueue(id, request),
+                Ok(Incoming::Feedback(request)) => {
+                    if !self.inject_fault(id, &request) {
+                        self.enqueue(id, request);
+                    }
+                }
                 Err(message) => {
                     let error = render_response(&Response::error(0, format!("malformed request: {message}")));
                     let Some(conn) = self.conns.get_mut(&id) else { return };
@@ -972,6 +1067,55 @@ mod tests {
         // The connection is closed after the error.
         let mut rest = String::new();
         assert_eq!(reader.read_line(&mut rest).unwrap(), 0);
+        handle.request_shutdown();
+    }
+
+    #[test]
+    fn fault_injection_garbles_feedback_lines_but_not_control_probes() {
+        let problem = derivatives();
+        let seeds: Vec<&str> = problem.seeds.clone();
+        let (store, _) = ClusterStore::build(&problem, seeds, ClaraConfig::default());
+        let service = Arc::new(FeedbackService::new(vec![store], ServiceConfig::default()));
+        let server =
+            Arc::new(Server::new(service, ServerConfig { workers: 1, queue_capacity: 4, max_batch: 4 }));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let config = EventLoopConfig {
+            faults: Some("seed=3,garble=1".parse().unwrap()),
+            ..EventLoopConfig::default()
+        };
+        let event_loop =
+            EventLoop::new(Backend::local(server), config).unwrap().with_ndjson_listener(listener).unwrap();
+        let handle = event_loop.handle();
+        std::thread::spawn(move || {
+            let _ = event_loop.run();
+        });
+
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let request = serde_json::to_string(&Request {
+            id: 1,
+            problem: "derivatives".to_owned(),
+            lang: None,
+            source: "def computeDeriv(poly):\n    return poly\n".to_owned(),
+            learn: None,
+        })
+        .unwrap();
+        writeln!(writer, "{request}").unwrap();
+        let mut garbled = String::new();
+        reader.read_line(&mut garbled).unwrap();
+        assert!(
+            serde_json::from_str::<Response>(garbled.trim()).is_err(),
+            "a garble fault must produce an unparseable response line: {garbled}"
+        );
+        // Control probes bypass the fault schedule: stats stay observable
+        // even under chaos, so the harness can always read counters.
+        writeln!(writer, r#"{{"id":9,"stats":true}}"#).unwrap();
+        let mut stats = String::new();
+        reader.read_line(&mut stats).unwrap();
+        assert!(stats.contains("\"snapshot_generation\""), "{stats}");
         handle.request_shutdown();
     }
 }

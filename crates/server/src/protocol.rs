@@ -149,6 +149,9 @@ pub struct StatsReport {
     pub cache_hit_rate: f64,
     /// Jobs lost to handler panics.
     pub worker_panics: u64,
+    /// Requests shed at the front door (event-loop pending ring and worker
+    /// queues both full).
+    pub shed_requests: u64,
     /// The monotonic service counters.
     pub service: ServiceStats,
     /// Per-problem request counts and index generations.
@@ -262,6 +265,7 @@ mod tests {
             cache_misses: 30,
             cache_hit_rate: 0.25,
             worker_panics: 0,
+            shed_requests: 2,
             service: ServiceStats { requests: 40, ..ServiceStats::default() },
             problems: vec![ShardStat {
                 problem: "derivatives".to_owned(),

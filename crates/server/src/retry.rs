@@ -1,0 +1,351 @@
+//! Retry budgets and per-upstream health: the policy half of fault
+//! tolerance.
+//!
+//! Two pieces, both deliberately dependency-free and deterministic under a
+//! seed so chaos runs replay exactly:
+//!
+//! * [`RetryPolicy`] — bounded attempts with exponential backoff and full
+//!   jitter, all fitted inside a per-request deadline. The deadline is
+//!   threaded through the router's `forward()` path and becomes each
+//!   attempt's socket timeout, replacing the old hard-coded 60 s read
+//!   timeout.
+//! * [`CircuitBreaker`] — per-upstream consecutive-failure health state.
+//!   After `threshold` consecutive failures the breaker *opens* and the
+//!   upstream is skipped (its ring successor serves instead). After
+//!   `cooldown` it becomes *half-open* and admits exactly one probe; the
+//!   probe's outcome closes the breaker or re-opens it for another
+//!   cooldown.
+//!
+//! Jitter comes from [`SplitMix64`], a tiny hand-rolled PRNG (the server
+//! crate takes no `rand` dependency); seeding it from the request id keeps
+//! backoff schedules reproducible in tests and chaos runs.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// SplitMix64: a tiny, seedable, statistically solid PRNG (Steele et al.,
+/// OOPSLA 2014). Used for backoff jitter and fault-injection decisions.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits, the standard u64 -> f64 construction.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform value in `[0, bound)`; 0 when `bound` is 0.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            // Modulo bias is irrelevant for jitter purposes.
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Bounded retries with exponential backoff + full jitter under a deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum attempts per upstream (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per subsequent attempt.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Total budget per client request, across all attempts and failovers.
+    /// Also bounds each attempt's socket read timeout.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(250),
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before attempt `attempt` (0-based; attempt 0 has
+    /// no backoff). Full jitter: uniform in `[0, min(base * 2^(n-1), max)]`.
+    pub fn backoff(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let exp = self.base_backoff.saturating_mul(1u32 << (attempt - 1).min(16)).min(self.max_backoff);
+        Duration::from_micros(rng.next_below(exp.as_micros() as u64 + 1))
+    }
+
+    /// Time left of `deadline` since `start`, `None` once exhausted.
+    pub fn remaining(&self, start: Instant) -> Option<Duration> {
+        let spent = start.elapsed();
+        if spent >= self.deadline {
+            None
+        } else {
+            Some(self.deadline - spent)
+        }
+    }
+}
+
+/// Observable health of a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe request is admitted.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lower-case name for stats payloads.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// When an open breaker may admit its half-open probe.
+    open_until: Option<Instant>,
+    /// A half-open probe is in flight; hold further traffic until it lands.
+    probe_inflight: bool,
+}
+
+/// Consecutive-failure circuit breaker with half-open probing.
+///
+/// All transitions are driven by the callers' clock (`Instant::now()` at
+/// call sites, injectable in tests): no timer thread.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens after `threshold` consecutive failures and
+    /// half-opens `cooldown` later.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                open_until: None,
+                probe_inflight: false,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Whether a request may proceed at `now`. An open breaker whose
+    /// cooldown has elapsed transitions to half-open and admits the caller
+    /// as the single probe.
+    pub fn allow_at(&self, now: Instant) -> bool {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if inner.open_until.is_some_and(|until| now >= until) {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_inflight = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_inflight {
+                    false
+                } else {
+                    inner.probe_inflight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// [`CircuitBreaker::allow_at`] with the real clock.
+    pub fn allow(&self) -> bool {
+        self.allow_at(Instant::now())
+    }
+
+    /// Records a successful exchange: closes the breaker and resets the
+    /// failure count.
+    pub fn on_success(&self) {
+        let mut inner = self.lock();
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.open_until = None;
+        inner.probe_inflight = false;
+    }
+
+    /// Records a failed exchange at `now`: opens the breaker once the
+    /// consecutive-failure threshold is reached, or immediately if this was
+    /// the half-open probe.
+    pub fn on_failure_at(&self, now: Instant) {
+        let mut inner = self.lock();
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        let trip = inner.state == BreakerState::HalfOpen || inner.consecutive_failures >= self.threshold;
+        if trip {
+            inner.state = BreakerState::Open;
+            inner.open_until = Some(now + self.cooldown);
+            inner.probe_inflight = false;
+        }
+    }
+
+    /// [`CircuitBreaker::on_failure_at`] with the real clock.
+    pub fn on_failure(&self) {
+        self.on_failure_at(Instant::now());
+    }
+
+    /// Current state (for stats payloads; racy by nature).
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Current consecutive-failure count.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.lock().consecutive_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+        for _ in 0..100 {
+            let f = a.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(a.next_below(10) < 10);
+        }
+        assert_eq!(a.next_below(0), 0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_respects_the_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
+            deadline: Duration::from_secs(1),
+        };
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(policy.backoff(0, &mut rng), Duration::ZERO);
+        for attempt in 1..8 {
+            let cap = Duration::from_millis(10 * (1 << (attempt - 1))).min(Duration::from_millis(40));
+            for _ in 0..32 {
+                assert!(policy.backoff(attempt, &mut rng) <= cap, "attempt {attempt} exceeded {cap:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_remaining_shrinks_to_none() {
+        let policy = RetryPolicy { deadline: Duration::from_millis(50), ..RetryPolicy::default() };
+        let start = Instant::now();
+        assert!(policy.remaining(start).is_some());
+        let past = start - Duration::from_millis(100);
+        assert!(policy.remaining(past).is_none());
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_consecutive_failures() {
+        let breaker = CircuitBreaker::new(3, Duration::from_secs(10));
+        let now = Instant::now();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        breaker.on_failure_at(now);
+        breaker.on_failure_at(now);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.allow_at(now));
+        breaker.on_failure_at(now);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(!breaker.allow_at(now), "open breaker rejects before cooldown");
+        assert_eq!(breaker.consecutive_failures(), 3);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let breaker = CircuitBreaker::new(3, Duration::from_secs(10));
+        let now = Instant::now();
+        breaker.on_failure_at(now);
+        breaker.on_failure_at(now);
+        breaker.on_success();
+        breaker.on_failure_at(now);
+        breaker.on_failure_at(now);
+        assert_eq!(breaker.state(), BreakerState::Closed, "streak must reset on success");
+    }
+
+    #[test]
+    fn cooldown_half_opens_and_admits_exactly_one_probe() {
+        let breaker = CircuitBreaker::new(1, Duration::from_millis(100));
+        let now = Instant::now();
+        breaker.on_failure_at(now);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(!breaker.allow_at(now + Duration::from_millis(50)));
+        let later = now + Duration::from_millis(150);
+        assert!(breaker.allow_at(later), "cooldown elapsed: probe admitted");
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(!breaker.allow_at(later), "only one probe in flight");
+    }
+
+    #[test]
+    fn probe_success_closes_and_probe_failure_reopens() {
+        let breaker = CircuitBreaker::new(1, Duration::from_millis(100));
+        let now = Instant::now();
+        breaker.on_failure_at(now);
+        let later = now + Duration::from_millis(150);
+        assert!(breaker.allow_at(later));
+        breaker.on_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.allow_at(later));
+
+        breaker.on_failure_at(later);
+        let again = later + Duration::from_millis(150);
+        assert!(breaker.allow_at(again));
+        breaker.on_failure_at(again);
+        assert_eq!(breaker.state(), BreakerState::Open, "failed probe re-opens");
+        assert!(!breaker.allow_at(again + Duration::from_millis(50)));
+        assert!(breaker.allow_at(again + Duration::from_millis(150)), "re-opened breaker half-opens again");
+    }
+}

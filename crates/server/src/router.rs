@@ -1,33 +1,44 @@
-//! The thin router: forwards each request to the shard owning its
-//! problem×language key.
+//! The fault-tolerant router: forwards each request to the replica set
+//! owning its problem×language key.
 //!
 //! A router process holds no cluster indexes. It derives the same
 //! [`HashRing`] every shard derives from the fleet size, resolves each
 //! request's canonical language from the problem catalog (clients may omit
 //! or alias the `lang` tag, but ring keys must be canonical or router and
 //! shard would disagree), and forwards the NDJSON line to the owning shard
-//! over a persistent upstream connection. Responses come back on the same
-//! line framing with the client's `id` intact, so the router never
-//! rewrites payloads.
+//! over a pooled upstream connection. Responses come back on the same line
+//! framing with the client's `id` intact, so the router never rewrites
+//! payloads.
 //!
-//! Forwarding runs on the router's own [`WorkerPool`]; each upstream
-//! connection is serialized by a mutex held across the write/read pair, so
-//! exactly one request is in flight per upstream and the next line read is
-//! its response. A dead upstream is reconnected once per job; if that also
-//! fails the client gets an explicit error naming the shard.
+//! Fault tolerance (see [`crate::retry`]):
+//!
+//! * every upstream has a small **connection pool** — one slow exchange no
+//!   longer serializes the whole upstream behind a mutex;
+//! * every exchange runs under a [`RetryPolicy`]: bounded attempts,
+//!   exponential backoff with seeded jitter, and a per-request deadline
+//!   that becomes each attempt's socket timeout;
+//! * every upstream has a consecutive-failure [`CircuitBreaker`]; an open
+//!   breaker short-circuits straight to the ring successor instead of
+//!   burning the deadline on a shard known to be down;
+//! * **reads fail over**: if the owner is down, the same key's first ring
+//!   successor — which holds a replica of the index (see
+//!   [`REPLICATION_FACTOR`]) — serves the request;
+//! * **learns replicate**: a `learn` request is written to the owner *and*
+//!   its successor, so a later owner crash loses no learned solutions.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
 use crate::pool::{PoolClosed, WorkerPool};
 use crate::protocol::{render_response, Request, Response};
-use crate::shard::HashRing;
+use crate::retry::{CircuitBreaker, RetryPolicy, SplitMix64};
+use crate::shard::{HashRing, REPLICATION_FACTOR};
 
 /// Router tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -36,27 +47,66 @@ pub struct RouterConfig {
     pub workers: usize,
     /// Per-worker queue capacity.
     pub queue_capacity: usize,
+    /// Retry/backoff/deadline budget for each client request.
+    pub retry: RetryPolicy,
+    /// Consecutive failures before an upstream's breaker opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects before admitting a half-open probe.
+    pub breaker_cooldown: Duration,
+    /// Idle connections kept per upstream.
+    pub pool_per_upstream: usize,
+    /// Seed for backoff jitter (mixed with each request id).
+    pub seed: u64,
 }
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        RouterConfig { workers: 4, queue_capacity: 64 }
+        RouterConfig {
+            workers: 4,
+            queue_capacity: 64,
+            retry: RetryPolicy::default(),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(500),
+            pool_per_upstream: 4,
+            seed: 0,
+        }
     }
 }
 
 /// One shard process the router forwards to.
 struct Upstream {
     addr: String,
-    /// The persistent connection, lazily (re)established. The mutex is held
-    /// across the write/read pair: one request in flight per upstream.
-    conn: Mutex<Option<BufReader<TcpStream>>>,
+    /// Idle pooled connections; an exchange checks one out (or dials a new
+    /// one) and returns it on success, so concurrent exchanges with the
+    /// same shard proceed in parallel.
+    idle: Mutex<Vec<BufReader<TcpStream>>>,
+    breaker: CircuitBreaker,
     forwarded: AtomicU64,
     errors: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl Upstream {
-    fn new(addr: String) -> Upstream {
-        Upstream { addr, conn: Mutex::new(None), forwarded: AtomicU64::new(0), errors: AtomicU64::new(0) }
+    fn new(addr: String, config: &RouterConfig) -> Upstream {
+        Upstream {
+            addr,
+            idle: Mutex::new(Vec::new()),
+            breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
+            forwarded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    fn checkout(&self) -> Option<BufReader<TcpStream>> {
+        self.idle.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).pop()
+    }
+
+    fn checkin(&self, conn: BufReader<TcpStream>, cap: usize) {
+        let mut idle = self.idle.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if idle.len() < cap {
+            idle.push(conn);
+        }
     }
 }
 
@@ -74,7 +124,17 @@ pub struct RouterReport {
     pub forwarded: u64,
     /// Forwarding failures (upstream unreachable / broken exchange).
     pub upstream_errors: u64,
-    /// Per-upstream forwarding counts.
+    /// Re-attempts after a failed exchange (beyond each first try).
+    pub retries: u64,
+    /// Requests served by a ring successor after the owner failed.
+    pub failovers: u64,
+    /// Learn requests successfully written to a second replica.
+    pub replicated_learns: u64,
+    /// Learn requests whose replica write failed (primary still answered).
+    pub replication_errors: u64,
+    /// Requests shed at the front door (forwarding queues full).
+    pub shed_requests: u64,
+    /// Per-upstream forwarding counts and breaker state.
     pub upstreams: Vec<UpstreamStat>,
 }
 
@@ -87,9 +147,24 @@ pub struct UpstreamStat {
     pub forwarded: u64,
     /// Failed exchanges with this shard.
     pub errors: u64,
+    /// Re-attempts against this shard.
+    pub retries: u64,
+    /// Circuit-breaker state: `closed`, `open` or `half-open`.
+    pub breaker: String,
+    /// Consecutive failures currently recorded by the breaker.
+    pub consecutive_failures: u64,
 }
 
-type RouterJob = (usize, Request, Box<dyn FnOnce(String) + Send>);
+type RouterJob = (Request, Box<dyn FnOnce(String) + Send>);
+
+/// Cross-upstream resilience counters.
+#[derive(Default)]
+struct RouterCounters {
+    failovers: AtomicU64,
+    replicated_learns: AtomicU64,
+    replication_errors: AtomicU64,
+    shed: AtomicU64,
+}
 
 /// A forwarding router over a fleet of shard processes.
 pub struct Router {
@@ -97,7 +172,17 @@ pub struct Router {
     ring: HashRing,
     /// problem name → canonical language tag, from the problem catalog.
     catalog: HashMap<String, String>,
+    counters: Arc<RouterCounters>,
     pool: WorkerPool<RouterJob>,
+}
+
+/// Everything a forwarding worker needs, shared across workers.
+struct Forwarder {
+    upstreams: Arc<Vec<Upstream>>,
+    ring: HashRing,
+    catalog: HashMap<String, String>,
+    counters: Arc<RouterCounters>,
+    config: RouterConfig,
 }
 
 impl Router {
@@ -111,31 +196,26 @@ impl Router {
         catalog: impl IntoIterator<Item = (String, String)>,
         config: RouterConfig,
     ) -> Router {
-        let upstreams: Arc<Vec<Upstream>> = Arc::new(addrs.into_iter().map(Upstream::new).collect());
+        let upstreams: Arc<Vec<Upstream>> =
+            Arc::new(addrs.into_iter().map(|addr| Upstream::new(addr, &config)).collect());
         let ring = HashRing::new(upstreams.len());
-        let pool_upstreams = Arc::clone(&upstreams);
+        let catalog: HashMap<String, String> = catalog.into_iter().collect();
+        let counters = Arc::new(RouterCounters::default());
+        let forwarder = Arc::new(Forwarder {
+            upstreams: Arc::clone(&upstreams),
+            ring: ring.clone(),
+            catalog: catalog.clone(),
+            counters: Arc::clone(&counters),
+            config,
+        });
         let pool = WorkerPool::new(
             config.workers.max(1),
             config.queue_capacity.max(1),
-            move |(index, request, reply): RouterJob| {
-                let upstream = &pool_upstreams[index];
-                let line = serde_json::to_string(&request).expect("request serialization is infallible");
-                match forward(upstream, &line) {
-                    Ok(response) => {
-                        upstream.forwarded.fetch_add(1, Ordering::Relaxed);
-                        reply(response);
-                    }
-                    Err(e) => {
-                        upstream.errors.fetch_add(1, Ordering::Relaxed);
-                        reply(render_response(&Response::error(
-                            request.id,
-                            format!("shard {index} ({}) unreachable: {e}", upstream.addr),
-                        )));
-                    }
-                }
+            move |(request, reply): RouterJob| {
+                reply(forwarder.handle(&request));
             },
         );
-        Router { upstreams, ring, catalog: catalog.into_iter().collect(), pool }
+        Router { upstreams, ring, catalog, counters, pool }
     }
 
     /// The shard index owning `request`'s problem×language key. The
@@ -143,9 +223,13 @@ impl Router {
     /// their indexes under canonical tags, and router and shard must hash
     /// identical keys.
     pub fn route(&self, request: &Request) -> usize {
-        let lang =
-            self.catalog.get(&request.problem).map(String::as_str).or(request.lang.as_deref()).unwrap_or("");
-        self.ring.owner(&request.problem, lang)
+        self.ring.owner(&request.problem, canonical_lang(&self.catalog, request))
+    }
+
+    /// The replica set for `request`'s key: owner first, then its distinct
+    /// ring successors.
+    pub fn replicas(&self, request: &Request) -> Vec<usize> {
+        self.ring.owners(&request.problem, canonical_lang(&self.catalog, request), REPLICATION_FACTOR)
     }
 
     /// Queues `request` for forwarding; `reply` receives the upstream's
@@ -160,8 +244,7 @@ impl Router {
         request: Request,
         reply: Box<dyn FnOnce(String) + Send>,
     ) -> Result<bool, PoolClosed> {
-        let index = self.route(&request);
-        self.pool.try_submit((index, request, reply))
+        self.pool.try_submit((request, reply))
     }
 
     /// Blocking forward for synchronous callers (tests, CLI probes).
@@ -170,8 +253,13 @@ impl Router {
     ///
     /// [`PoolClosed`] after [`Router::shutdown`].
     pub fn submit(&self, request: Request, reply: Box<dyn FnOnce(String) + Send>) -> Result<(), PoolClosed> {
-        let index = self.route(&request);
-        self.pool.submit((index, request, reply))
+        self.pool.submit((request, reply))
+    }
+
+    /// Records a request shed at the front door (queues full). Called by
+    /// the event loop so overload shows up in `/stats`.
+    pub fn note_shed(&self) {
+        self.counters.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The router's stats report.
@@ -183,6 +271,9 @@ impl Router {
                 addr: u.addr.clone(),
                 forwarded: u.forwarded.load(Ordering::Relaxed),
                 errors: u.errors.load(Ordering::Relaxed),
+                retries: u.retries.load(Ordering::Relaxed),
+                breaker: u.breaker.state().name().to_owned(),
+                consecutive_failures: u64::from(u.breaker.consecutive_failures()),
             })
             .collect();
         RouterReport {
@@ -191,6 +282,11 @@ impl Router {
             shards: self.upstreams.len() as u64,
             forwarded: upstreams.iter().map(|u| u.forwarded).sum(),
             upstream_errors: upstreams.iter().map(|u| u.errors).sum(),
+            retries: upstreams.iter().map(|u| u.retries).sum(),
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
+            replicated_learns: self.counters.replicated_learns.load(Ordering::Relaxed),
+            replication_errors: self.counters.replication_errors.load(Ordering::Relaxed),
+            shed_requests: self.counters.shed.load(Ordering::Relaxed),
             upstreams,
         }
     }
@@ -206,39 +302,192 @@ impl Router {
     }
 }
 
-/// One request/response exchange with a shard, reconnecting once on a
-/// broken connection.
-fn forward(upstream: &Upstream, line: &str) -> io::Result<String> {
-    let mut guard = upstream.conn.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-    let mut last_error = None;
-    for _attempt in 0..2 {
-        if guard.is_none() {
-            match connect(&upstream.addr) {
-                Ok(stream) => *guard = Some(BufReader::new(stream)),
+fn canonical_lang<'a>(catalog: &'a HashMap<String, String>, request: &'a Request) -> &'a str {
+    catalog.get(&request.problem).map(String::as_str).or(request.lang.as_deref()).unwrap_or("")
+}
+
+impl Forwarder {
+    /// Forwards one request to its replica set and renders the response
+    /// line. Reads try the owner then fail over to successors; learns are
+    /// written to every replica.
+    fn handle(&self, request: &Request) -> String {
+        let replicas =
+            self.ring.owners(&request.problem, canonical_lang(&self.catalog, request), REPLICATION_FACTOR);
+        let line = serde_json::to_string(request).expect("request serialization is infallible");
+        let start = Instant::now();
+        // Jitter stream is deterministic per (router seed, request id).
+        let mut rng = SplitMix64::new(self.config.seed ^ request.id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+
+        if request.learn == Some(true) {
+            self.handle_learn(request, &replicas, &line, start, &mut rng)
+        } else {
+            self.handle_read(request, &replicas, &line, start, &mut rng)
+        }
+    }
+
+    /// Reads: first replica that answers wins; answering from a non-owner
+    /// counts as a failover.
+    fn handle_read(
+        &self,
+        request: &Request,
+        replicas: &[usize],
+        line: &str,
+        start: Instant,
+        rng: &mut SplitMix64,
+    ) -> String {
+        let mut last_error: Option<(usize, io::Error)> = None;
+        for (rank, &index) in replicas.iter().enumerate() {
+            match self.exchange_with_retries(index, line, start, rng) {
+                Ok(response) => {
+                    if rank > 0 {
+                        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return response;
+                }
+                Err(e) => last_error = Some((index, e)),
+            }
+        }
+        let (index, e) = last_error.expect("at least one replica attempted");
+        render_response(&Response::error(
+            request.id,
+            format!(
+                "shard {index} ({}) unreachable after {} replica(s): {e}",
+                self.upstreams[index].addr,
+                replicas.len()
+            ),
+        ))
+    }
+
+    /// Learns: written to every replica so an owner crash loses nothing.
+    /// The owner's response is preferred; any replica's success answers the
+    /// client.
+    fn handle_learn(
+        &self,
+        request: &Request,
+        replicas: &[usize],
+        line: &str,
+        start: Instant,
+        rng: &mut SplitMix64,
+    ) -> String {
+        let mut first_success: Option<(usize, String)> = None;
+        let mut last_error: Option<(usize, io::Error)> = None;
+        for (rank, &index) in replicas.iter().enumerate() {
+            match self.exchange_with_retries(index, line, start, rng) {
+                Ok(response) => {
+                    if rank > 0 && first_success.is_some() {
+                        self.counters.replicated_learns.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if first_success.is_none() {
+                        if rank > 0 {
+                            self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                        }
+                        first_success = Some((rank, response));
+                    }
+                }
                 Err(e) => {
-                    last_error = Some(e);
-                    continue;
+                    if first_success.is_some() {
+                        self.counters.replication_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    last_error = Some((index, e));
                 }
             }
         }
-        let reader = guard.as_mut().expect("connected above");
-        match exchange(reader, line) {
-            Ok(response) => return Ok(response),
-            Err(e) => {
-                // Broken pipe / EOF / timeout: drop the connection so the
-                // next attempt reconnects fresh.
-                *guard = None;
-                last_error = Some(e);
+        match first_success {
+            Some((_, response)) => response,
+            None => {
+                let (index, e) = last_error.expect("at least one replica attempted");
+                render_response(&Response::error(
+                    request.id,
+                    format!(
+                        "shard {index} ({}) unreachable after {} replica(s): {e}",
+                        self.upstreams[index].addr,
+                        replicas.len()
+                    ),
+                ))
             }
         }
     }
-    Err(last_error.unwrap_or_else(|| io::Error::other("forwarding failed")))
+
+    /// Runs the retry loop against one upstream: bounded attempts, jittered
+    /// backoff, per-attempt socket timeouts carved from the remaining
+    /// deadline, breaker consulted before every attempt.
+    fn exchange_with_retries(
+        &self,
+        index: usize,
+        line: &str,
+        start: Instant,
+        rng: &mut SplitMix64,
+    ) -> io::Result<String> {
+        let upstream = &self.upstreams[index];
+        let policy = self.config.retry;
+        let mut last_error: Option<io::Error> = None;
+        for attempt in 0..policy.max_attempts {
+            let Some(remaining) = policy.remaining(start) else {
+                return Err(last_error.unwrap_or_else(|| {
+                    io::Error::new(io::ErrorKind::TimedOut, "request deadline exhausted")
+                }));
+            };
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff(attempt, rng).min(remaining));
+                upstream.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            if !upstream.breaker.allow() {
+                return Err(last_error.unwrap_or_else(|| {
+                    io::Error::new(io::ErrorKind::ConnectionRefused, "circuit breaker open")
+                }));
+            }
+            // Split the remaining budget over the attempts left so a hung
+            // exchange (e.g. an injected drop) can't eat the whole deadline.
+            let attempt_timeout = remaining / (policy.max_attempts - attempt);
+            match self.exchange_once(upstream, line, attempt_timeout) {
+                Ok(response) => {
+                    upstream.breaker.on_success();
+                    upstream.forwarded.fetch_add(1, Ordering::Relaxed);
+                    return Ok(response);
+                }
+                Err(e) => {
+                    upstream.breaker.on_failure();
+                    last_error = Some(e);
+                }
+            }
+        }
+        upstream.errors.fetch_add(1, Ordering::Relaxed);
+        Err(last_error.unwrap_or_else(|| io::Error::other("forwarding failed")))
+    }
+
+    /// One request/response exchange over a pooled (or fresh) connection.
+    /// The connection returns to the pool only after a clean round trip; any
+    /// error discards it so the next attempt dials fresh.
+    fn exchange_once(&self, upstream: &Upstream, line: &str, timeout: Duration) -> io::Result<String> {
+        let timeout = timeout.max(Duration::from_millis(1));
+        let mut conn = match upstream.checkout() {
+            Some(conn) => conn,
+            None => BufReader::new(connect(&upstream.addr, timeout)?),
+        };
+        conn.get_ref().set_read_timeout(Some(timeout))?;
+        conn.get_ref().set_write_timeout(Some(timeout))?;
+        match exchange(&mut conn, line) {
+            Ok(response) => {
+                // A response the fleet can't parse (e.g. injected garbage)
+                // is a failed exchange, not a payload to forward.
+                if serde_json::from_str::<Response>(&response).is_err() {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "unparseable upstream response"));
+                }
+                upstream.checkin(conn, self.config.pool_per_upstream);
+                Ok(response)
+            }
+            Err(e) => Err(e),
+        }
+    }
 }
 
-fn connect(addr: &str) -> io::Result<TcpStream> {
-    let stream = TcpStream::connect(addr)?;
+fn connect(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let resolved = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::AddrNotAvailable, "address resolved to nothing"))?;
+    let stream = TcpStream::connect_timeout(&resolved, timeout)?;
     let _ = stream.set_nodelay(true);
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
     Ok(stream)
 }
 
@@ -267,6 +516,20 @@ mod tests {
             lang: None,
             source: "def f(x):\n    return x\n".to_owned(),
             learn: None,
+        }
+    }
+
+    fn fast_config(workers: usize, queue_capacity: usize) -> RouterConfig {
+        RouterConfig {
+            workers,
+            queue_capacity,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(10),
+                deadline: Duration::from_secs(10),
+            },
+            ..RouterConfig::default()
         }
     }
 
@@ -303,7 +566,7 @@ mod tests {
             ("derivatives".to_owned(), "minipy".to_owned()),
             ("fibonacci_c".to_owned(), "minic".to_owned()),
         ];
-        let router = Router::new(addrs, catalog, RouterConfig { workers: 2, queue_capacity: 8 });
+        let router = Router::new(addrs, catalog, fast_config(2, 8));
         let ring = HashRing::new(2);
 
         for (id, problem, lang) in [(1, "derivatives", "minipy"), (2, "fibonacci_c", "minic")] {
@@ -326,6 +589,8 @@ mod tests {
         assert_eq!(report.shards, 2);
         assert_eq!(report.forwarded, 2);
         assert_eq!(report.upstream_errors, 0);
+        assert_eq!(report.failovers, 0);
+        assert!(report.upstreams.iter().all(|u| u.breaker == "closed"));
     }
 
     #[test]
@@ -334,32 +599,99 @@ mod tests {
         // the canonical catalog tag or the router would hash a different key
         // than the shard that loaded the index.
         let catalog = vec![("derivatives".to_owned(), "minipy".to_owned())];
-        let router = Router::new(
-            vec!["127.0.0.1:1".to_owned(); 4],
-            catalog,
-            RouterConfig { workers: 1, queue_capacity: 1 },
-        );
+        let router = Router::new(vec!["127.0.0.1:1".to_owned(); 4], catalog, fast_config(1, 1));
         let canonical = HashRing::new(4).owner("derivatives", "minipy");
         let mut aliased = request(1, "derivatives");
         aliased.lang = Some("python".to_owned());
         assert_eq!(router.route(&aliased), canonical);
         assert_eq!(router.route(&request(2, "derivatives")), canonical);
+        let replicas = router.replicas(&aliased);
+        assert_eq!(replicas.len(), REPLICATION_FACTOR);
+        assert_eq!(replicas[0], canonical);
     }
 
     #[test]
     fn unreachable_shards_produce_explicit_errors() {
         // Nothing listens on this address (port 1 is reserved and unbound).
-        let router = Router::new(
-            vec!["127.0.0.1:1".to_owned()],
-            Vec::new(),
-            RouterConfig { workers: 1, queue_capacity: 2 },
-        );
+        let router = Router::new(vec!["127.0.0.1:1".to_owned()], Vec::new(), fast_config(1, 2));
         let (tx, rx) = mpsc::channel();
         router.submit(request(9, "whatever"), Box::new(move |line| tx.send(line).unwrap())).unwrap();
         let line = rx.recv_timeout(Duration::from_secs(30)).unwrap();
         let response: Response = serde_json::from_str(&line).unwrap();
         assert_eq!(response.id, 9);
         assert!(response.error.as_deref().unwrap_or("").contains("unreachable"), "{line}");
-        assert_eq!(router.report(0).upstream_errors, 1);
+        let report = router.report(0);
+        assert_eq!(report.upstream_errors, 1);
+        assert!(report.retries >= 1, "a failed exchange must be retried before giving up");
+    }
+
+    #[test]
+    fn reads_fail_over_to_the_ring_successor() {
+        // Two-shard fleet where one shard is dead: every key's replica set
+        // contains both shards, so the live one must answer regardless of
+        // which is the owner.
+        let live = fake_shard("survivor");
+        let dead = "127.0.0.1:1".to_owned();
+        for owner_is_dead in [true, false] {
+            let addrs = if owner_is_dead {
+                vec![dead.clone(), live.clone()]
+            } else {
+                vec![live.clone(), dead.clone()]
+            };
+            let router = Router::new(addrs, Vec::new(), fast_config(1, 4));
+            // Find a problem owned by shard 0 so the scenario is forced.
+            let ring = HashRing::new(2);
+            let problem = (0..100)
+                .map(|i| format!("p{i}"))
+                .find(|p| ring.owner(p, "") == 0)
+                .expect("some key lands on shard 0");
+            let (tx, rx) = mpsc::channel();
+            router.submit(request(5, &problem), Box::new(move |line| tx.send(line).unwrap())).unwrap();
+            let line = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            let response: Response = serde_json::from_str(&line).unwrap();
+            assert!(
+                response.error.as_deref().unwrap_or("").contains("answered by survivor"),
+                "the live shard must answer: {line}"
+            );
+            let report = router.report(0);
+            if owner_is_dead {
+                assert_eq!(report.failovers, 1, "successor served: counts as failover");
+            } else {
+                assert_eq!(report.failovers, 0, "owner served: no failover");
+            }
+        }
+    }
+
+    #[test]
+    fn learns_are_replicated_to_owner_and_successor() {
+        let addrs = vec![fake_shard("a"), fake_shard("b")];
+        let router = Router::new(addrs, Vec::new(), fast_config(1, 4));
+        let mut learn = request(3, "some_problem");
+        learn.learn = Some(true);
+        let (tx, rx) = mpsc::channel();
+        router.submit(learn, Box::new(move |line| tx.send(line).unwrap())).unwrap();
+        rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let report = router.report(0);
+        assert_eq!(report.forwarded, 2, "learn must reach both replicas");
+        assert_eq!(report.replicated_learns, 1);
+        assert!(report.upstreams.iter().all(|u| u.forwarded == 1), "{report:?}");
+    }
+
+    #[test]
+    fn breaker_opens_after_repeated_failures_and_skips_the_dead_shard() {
+        let config = RouterConfig {
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_secs(60),
+            ..fast_config(1, 8)
+        };
+        let router = Router::new(vec!["127.0.0.1:1".to_owned()], Vec::new(), config);
+        for id in 0..3 {
+            let (tx, rx) = mpsc::channel();
+            router.submit(request(id, "p"), Box::new(move |line| tx.send(line).unwrap())).unwrap();
+            rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        }
+        let report = router.report(0);
+        assert_eq!(report.upstreams[0].breaker, "open", "{report:?}");
+        assert!(report.upstreams[0].consecutive_failures >= 2);
     }
 }

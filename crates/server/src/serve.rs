@@ -10,6 +10,7 @@
 
 use std::io::{BufRead, BufWriter, Write};
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender, TryRecvError};
 use std::sync::Arc;
 
@@ -58,6 +59,7 @@ type Job = (Request, Box<dyn FnOnce(Response) + Send>);
 pub struct Server {
     service: Arc<FeedbackService>,
     pool: WorkerPool<Job>,
+    shed: AtomicU64,
 }
 
 impl Server {
@@ -76,7 +78,7 @@ impl Server {
                 }
             },
         );
-        Server { service, pool }
+        Server { service, pool, shed: AtomicU64::new(0) }
     }
 
     /// The underlying service (for stats and persistence).
@@ -129,6 +131,17 @@ impl Server {
         self.pool.queued()
     }
 
+    /// Records a request shed at the front door (pending ring overflow).
+    /// Called by the event loop so overload shows up in `/stats`.
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
     /// Builds the operational-stats report served by `GET /stats` and the
     /// NDJSON `{"stats":true}` control request.
     pub fn stats_report(&self, id: u64) -> StatsReport {
@@ -145,6 +158,7 @@ impl Server {
             cache_misses: misses,
             cache_hit_rate: if probes == 0 { 0.0 } else { hits as f64 / probes as f64 },
             worker_panics: self.pool.panic_count(),
+            shed_requests: self.shed.load(Ordering::Relaxed),
             service,
             problems: self.service.shard_stats(),
         }

@@ -21,9 +21,10 @@
 //! structurally identical submissions within the batch from the first
 //! computation.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 use clara_core::{frontend, ClaraConfig, Snapshot, SnapshotCell};
@@ -77,6 +78,9 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Duplicates answered within one worker batch without a cache probe.
     pub batch_dedup: u64,
+    /// Concurrent duplicates that waited for an in-flight computation
+    /// instead of recomputing it (single-flight coalescing).
+    pub coalesced: u64,
     /// Requests that ran the repair pipeline and produced a repair.
     pub repaired: u64,
     /// Requests whose submission was already correct.
@@ -110,6 +114,7 @@ struct Counters {
     requests: AtomicU64,
     cache_hits: AtomicU64,
     batch_dedup: AtomicU64,
+    coalesced: AtomicU64,
     repaired: AtomicU64,
     correct: AtomicU64,
     no_repair: AtomicU64,
@@ -124,6 +129,112 @@ struct CachedOutcome {
     feedback: Vec<String>,
     cost: Option<i64>,
     error: Option<String>,
+}
+
+/// State of one in-flight computation slot.
+enum FlightState {
+    /// The leader is still computing.
+    Pending,
+    /// The leader finished; followers take the outcome.
+    Done(CachedOutcome),
+    /// The leader died (panicked) without completing; followers re-join and
+    /// one of them becomes the new leader.
+    Abandoned,
+}
+
+struct FlightSlot {
+    state: Mutex<FlightState>,
+    ready: Condvar,
+}
+
+/// Single-flight registry: at most one computation per cache key is in
+/// flight at a time. Concurrent structural duplicates of a *novel*
+/// submission — the measured cause of serve throughput bimodality, each one
+/// recomputing the same ~1 s repair — instead wait for the leader's result.
+#[derive(Default)]
+struct Flights {
+    inflight: Mutex<HashMap<u64, Arc<FlightSlot>>>,
+}
+
+/// What [`Flights::join`] resolved to.
+enum Flight<'a> {
+    /// This caller computes; it MUST settle the guard (drop = abandoned).
+    Leader(FlightGuard<'a>),
+    /// Another caller computed; here is its outcome.
+    Coalesced(CachedOutcome),
+}
+
+/// The leader's obligation to publish an outcome. Dropping without
+/// [`FlightGuard::complete`] (e.g. a panic unwinding through the repair
+/// pipeline) marks the slot abandoned so waiting followers recompute
+/// instead of hanging.
+struct FlightGuard<'a> {
+    flights: &'a Flights,
+    key: u64,
+    slot: Arc<FlightSlot>,
+    settled: bool,
+}
+
+impl Flights {
+    fn lock_map(&self) -> MutexGuard<'_, HashMap<u64, Arc<FlightSlot>>> {
+        self.inflight.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Joins the flight for `key`: the first caller becomes the leader,
+    /// later callers block until the leader settles. An abandoned flight is
+    /// re-joined until some leader completes.
+    fn join(&self, key: u64) -> Flight<'_> {
+        loop {
+            let slot = {
+                let mut map = self.lock_map();
+                match map.entry(key) {
+                    Entry::Vacant(entry) => {
+                        let slot = Arc::new(FlightSlot {
+                            state: Mutex::new(FlightState::Pending),
+                            ready: Condvar::new(),
+                        });
+                        entry.insert(Arc::clone(&slot));
+                        return Flight::Leader(FlightGuard { flights: self, key, slot, settled: false });
+                    }
+                    Entry::Occupied(entry) => Arc::clone(entry.get()),
+                }
+            };
+            let mut state = slot.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            loop {
+                match &*state {
+                    FlightState::Pending => {
+                        state = slot.ready.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner());
+                    }
+                    FlightState::Done(outcome) => return Flight::Coalesced(outcome.clone()),
+                    FlightState::Abandoned => break,
+                }
+            }
+        }
+    }
+}
+
+impl FlightGuard<'_> {
+    /// Publishes the leader's outcome and releases every follower.
+    fn complete(mut self, outcome: CachedOutcome) {
+        self.settle(FlightState::Done(outcome));
+    }
+
+    fn settle(&mut self, state: FlightState) {
+        self.settled = true;
+        // Unregister first: a caller arriving after this point starts a
+        // fresh flight (and will hit the result cache anyway).
+        self.flights.lock_map().remove(&self.key);
+        *self.slot.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) = state;
+        self.slot.ready.notify_all();
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.settled {
+            self.settle(FlightState::Abandoned);
+        }
+    }
 }
 
 /// One problem shard: the cluster store published through a snapshot cell.
@@ -141,6 +252,7 @@ pub struct FeedbackService {
     shards: Vec<ProblemShard>,
     by_problem: HashMap<String, usize>,
     cache: StripedCache<CachedOutcome>,
+    flights: Flights,
     counters: Counters,
     config: ServiceConfig,
 }
@@ -162,6 +274,7 @@ impl FeedbackService {
             shards,
             by_problem,
             cache: StripedCache::new(config.cache_capacity, config.cache_stripes),
+            flights: Flights::default(),
             counters: Counters::default(),
             config,
         }
@@ -183,6 +296,7 @@ impl FeedbackService {
             requests: self.counters.requests.load(Ordering::Relaxed),
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
             batch_dedup: self.counters.batch_dedup.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
             repaired: self.counters.repaired.load(Ordering::Relaxed),
             correct: self.counters.correct.load(Ordering::Relaxed),
             no_repair: self.counters.no_repair.load(Ordering::Relaxed),
@@ -350,60 +464,83 @@ impl FeedbackService {
             };
         }
 
-        let correct = parsed.passes(&shard.problem.spec);
-        let mut learned = false;
-        let outcome = if correct {
-            // Online clustering (§2): verified-correct submissions grow the
-            // index when the client asks for it and the service allows it.
-            learned = self.learn_if_requested(request, shard);
-            CachedOutcome { status: Status::Correct, feedback: Vec::new(), cost: None, error: None }
-        } else {
-            // The repair runs against the immutable snapshot: no read lock,
-            // so a concurrent learn (publishing a successor index) never
-            // stalls this — the answer reflects the snapshot's generation.
-            match snapshot.data().engine().repair_source(&request.source) {
-                Ok(outcome) => {
-                    let status =
-                        if outcome.result.best.is_some() { Status::Repaired } else { Status::NoRepair };
-                    CachedOutcome {
-                        status,
-                        feedback: outcome.feedback.lines(),
-                        cost: outcome.result.best.as_ref().map(|r| r.total_cost),
-                        error: None,
+        let compute = || {
+            if parsed.passes(&shard.problem.spec) {
+                CachedOutcome { status: Status::Correct, feedback: Vec::new(), cost: None, error: None }
+            } else {
+                // The repair runs against the immutable snapshot: no read
+                // lock, so a concurrent learn (publishing a successor index)
+                // never stalls this — the answer reflects the snapshot's
+                // generation.
+                match snapshot.data().engine().repair_source(&request.source) {
+                    Ok(outcome) => {
+                        let status =
+                            if outcome.result.best.is_some() { Status::Repaired } else { Status::NoRepair };
+                        CachedOutcome {
+                            status,
+                            feedback: outcome.feedback.lines(),
+                            cost: outcome.result.best.as_ref().map(|r| r.total_cost),
+                            error: None,
+                        }
                     }
-                }
-                Err(err) => {
-                    let label = if err.is_syntax_error() { "syntax error" } else { "unsupported" };
-                    CachedOutcome {
-                        status: Status::Error,
-                        feedback: Vec::new(),
-                        cost: None,
-                        error: Some(format!("{label}: {err}")),
+                    Err(err) => {
+                        let label = if err.is_syntax_error() { "syntax error" } else { "unsupported" };
+                        CachedOutcome {
+                            status: Status::Error,
+                            feedback: Vec::new(),
+                            cost: None,
+                            error: Some(format!("{label}: {err}")),
+                        }
                     }
                 }
             }
         };
 
-        // Repair is deterministic given the index snapshot, and the
-        // generation is part of the key: feedback computed against
-        // generation `g` is only ever served to requests that resolved
-        // generation `g`. A learn that published `g+1` (possibly our own,
-        // just above) leaves entries keyed at `g` unreachable — they age out
-        // of the LRU instead of serving stale feedback.
-        let insert_key = if learned {
-            cache_key(shard_index, shard.cell.generation(), lang, parsed.structural_hash())
-        } else {
-            key
+        // Single-flight: concurrent workers computing the same key share
+        // one computation. The first joiner leads and computes; the rest
+        // block on the slot (the ~1 s repair dominates the wait) and take
+        // the leader's outcome instead of recomputing it.
+        let (outcome, coalesced) = match self.flights.join(key) {
+            Flight::Coalesced(outcome) => {
+                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                (outcome, true)
+            }
+            Flight::Leader(guard) => {
+                let outcome = compute();
+                guard.complete(outcome.clone());
+                (outcome, false)
+            }
         };
-        self.cache.insert(insert_key, outcome.clone());
-        computed.insert(insert_key, responses.len());
+
+        // Online clustering (§2): verified-correct submissions grow the
+        // index when the client asks for it and the service allows it. Runs
+        // per request, never under the flight slot: a coalesced learn must
+        // still insert, and the leader must not hold followers hostage to
+        // the writer mutex.
+        let learned = outcome.status == Status::Correct && self.learn_if_requested(request, shard);
+
+        if !coalesced {
+            // Repair is deterministic given the index snapshot, and the
+            // generation is part of the key: feedback computed against
+            // generation `g` is only ever served to requests that resolved
+            // generation `g`. A learn that published `g+1` (possibly our
+            // own, just above) leaves entries keyed at `g` unreachable —
+            // they age out of the LRU instead of serving stale feedback.
+            let insert_key = if learned {
+                cache_key(shard_index, shard.cell.generation(), lang, parsed.structural_hash())
+            } else {
+                key
+            };
+            self.cache.insert(insert_key, outcome.clone());
+            computed.insert(insert_key, responses.len());
+        }
 
         Response {
             id: request.id,
             status: outcome.status,
             feedback: outcome.feedback,
             cost: outcome.cost,
-            cache_hit: false,
+            cache_hit: coalesced,
             learned,
             error: outcome.error,
             elapsed_us: 0,
@@ -420,8 +557,11 @@ impl FeedbackService {
             return false;
         }
         // Writers serialize here; the snapshot cell itself only orders
-        // publishes, not the read-modify-write around them.
-        let _writer = shard.write.lock().expect("shard writer lock poisoned");
+        // publishes, not the read-modify-write around them. A poisoned lock
+        // (a panicked writer) must not take the shard's learns down with it:
+        // the store itself is copy-on-write, so the guard data is always
+        // consistent.
+        let _writer = shard.write.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         let current = shard.cell.load();
         match current.data().with_learned(&request.source) {
             Ok((next, _cluster)) => {
@@ -584,6 +724,64 @@ def computeDeriv(poly):
         assert_eq!(stats.requests, 4);
         assert_eq!(stats.cache_hits, 2);
         assert!(stats.batch_dedup >= 1, "at least one duplicate answered batch-locally");
+    }
+
+    #[test]
+    fn concurrent_duplicates_of_a_novel_submission_coalesce() {
+        // Four threads submit the same novel incorrect program at once. The
+        // leader runs the ~1 s repair; the other three must share it via
+        // single-flight (or, if they lose the race entirely, via the result
+        // cache) — the repair pipeline runs exactly once.
+        let service = Arc::new(service());
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    service.handle(&request(t, INCORRECT))
+                })
+            })
+            .collect();
+        let responses: Vec<Response> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for response in &responses {
+            assert_eq!(response.status, Status::Repaired, "{:?}", response.error);
+            assert_eq!(response.feedback, responses[0].feedback);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.coalesced + stats.cache_hits, 3, "exactly one computation for four requests");
+        assert!(stats.coalesced >= 1, "concurrent duplicates must coalesce: {stats:?}");
+        assert_eq!(responses.iter().filter(|r| !r.cache_hit).count(), 1);
+    }
+
+    #[test]
+    fn abandoned_flights_release_their_followers() {
+        // A leader that dies without completing (panic in the repair
+        // pipeline) must not strand followers: they re-join and recompute.
+        let flights = Arc::new(Flights::default());
+        let Flight::Leader(guard) = flights.join(7) else {
+            panic!("first joiner must lead");
+        };
+        let follower = std::thread::spawn({
+            let flights = Arc::clone(&flights);
+            move || match flights.join(7) {
+                Flight::Leader(guard) => {
+                    guard.complete(CachedOutcome {
+                        status: Status::Correct,
+                        feedback: Vec::new(),
+                        cost: None,
+                        error: None,
+                    });
+                    true
+                }
+                Flight::Coalesced(_) => false,
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(guard); // leader dies without completing
+        assert!(follower.join().unwrap(), "follower must take over an abandoned flight");
+        assert!(flights.lock_map().is_empty(), "settled flights unregister");
     }
 
     #[test]

@@ -26,6 +26,12 @@ use std::str::FromStr;
 /// percent for small fleets.
 pub const VIRTUAL_NODES: usize = 64;
 
+/// Copies of each problem×language index the fleet keeps: the ring owner
+/// plus its first distinct clockwise successor. The router replicates
+/// `learn`s to all holders and fails reads over to the successor when the
+/// owner is down.
+pub const REPLICATION_FACTOR: usize = 2;
+
 /// This process's position in a fleet: shard `index` of `count`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardSpec {
@@ -49,6 +55,14 @@ impl ShardSpec {
     /// `true` when this shard owns the given problem×language key.
     pub fn owns(&self, problem: &str, lang: &str) -> bool {
         self.count == 1 || HashRing::new(self.count).owner(problem, lang) == self.index
+    }
+
+    /// `true` when this shard holds a replica of the key: it is the ring
+    /// owner or one of the `replicas - 1` distinct clockwise successors.
+    /// Shards load every index they hold so failover reads can be served
+    /// locally.
+    pub fn holds(&self, problem: &str, lang: &str, replicas: usize) -> bool {
+        self.count == 1 || HashRing::new(self.count).owners(problem, lang, replicas).contains(&self.index)
     }
 }
 
@@ -120,6 +134,27 @@ impl HashRing {
         let key = key_hash(problem, lang);
         let at = self.points.partition_point(|(point, _)| *point < key);
         self.points[at % self.points.len()].1
+    }
+
+    /// The first `replicas` *distinct* shards at or clockwise of the key:
+    /// the owner first, then each successor shard in ring order. Walking
+    /// clockwise past every point visits all shards, so the result has
+    /// `min(replicas, N)` entries. This is the fleet's replica placement:
+    /// stable under resize for the same reason [`HashRing::owner`] is.
+    pub fn owners(&self, problem: &str, lang: &str, replicas: usize) -> Vec<usize> {
+        let key = key_hash(problem, lang);
+        let start = self.points.partition_point(|(point, _)| *point < key);
+        let mut owners = Vec::with_capacity(replicas.min(self.shards));
+        for step in 0..self.points.len() {
+            let shard = self.points[(start + step) % self.points.len()].1;
+            if !owners.contains(&shard) {
+                owners.push(shard);
+                if owners.len() >= replicas.min(self.shards) {
+                    break;
+                }
+            }
+        }
+        owners
     }
 }
 
@@ -202,6 +237,37 @@ mod tests {
         let spec = ShardSpec::solo();
         assert!(spec.owns("anything", "minipy"));
         assert!(spec.is_solo());
+    }
+
+    #[test]
+    fn replica_owners_are_distinct_and_led_by_the_owner() {
+        let ring = HashRing::new(4);
+        for problem in ["max3", "sumto", "absdiff", "clamp"] {
+            for lang in ["minipy", "minic"] {
+                let owners = ring.owners(problem, lang, REPLICATION_FACTOR);
+                assert_eq!(owners.len(), 2);
+                assert_eq!(owners[0], ring.owner(problem, lang));
+                assert_ne!(owners[0], owners[1], "{problem}/{lang} replicas must differ");
+            }
+        }
+        // Asking for more replicas than shards yields every shard once.
+        let mut all = ring.owners("max3", "minipy", 10);
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        assert_eq!(HashRing::new(1).owners("max3", "minipy", REPLICATION_FACTOR), vec![0]);
+    }
+
+    #[test]
+    fn exactly_replication_factor_shards_hold_each_key() {
+        let specs: Vec<ShardSpec> = (0..4).map(|index| ShardSpec { index, count: 4 }).collect();
+        for problem in ["max3", "sumto", "absdiff"] {
+            for lang in ["minipy", "minic"] {
+                let holders = specs.iter().filter(|s| s.holds(problem, lang, REPLICATION_FACTOR)).count();
+                assert_eq!(holders, REPLICATION_FACTOR, "{problem}/{lang} must have exactly 2 holders");
+                let owner = HashRing::new(4).owner(problem, lang);
+                assert!(specs[owner].holds(problem, lang, REPLICATION_FACTOR), "owner always holds");
+            }
+        }
     }
 
     #[test]

@@ -291,6 +291,44 @@ impl ClusterStore {
         };
         Self::from_json(&json, problem, config).map(Some)
     }
+
+    /// Crash-safe variant of [`ClusterStore::load`]: a truncated, corrupt or
+    /// stale index file is *recovered from* instead of erroring — the bad
+    /// file is quarantined as `<name>.clusters.json.corrupt` (best effort),
+    /// a warning goes to stderr, and `None` is returned so the caller
+    /// rebuilds from the seed pool exactly as on a cold start. Only a
+    /// missing-but-unreadable filesystem (permission errors and the like)
+    /// still returns an error, since rebuilding would not help.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError::Io`] for filesystem errors other than
+    /// `NotFound`.
+    pub fn load_or_recover(
+        dir: &Path,
+        problem: &Problem,
+        config: ClaraConfig,
+    ) -> Result<Option<Self>, StoreError> {
+        match Self::load(dir, problem, config) {
+            Ok(found) => Ok(found),
+            Err(StoreError::Io(e)) => Err(StoreError::Io(e)),
+            Err(e) => {
+                let path = Self::index_path(dir, problem.name);
+                let quarantine = path.with_extension("json.corrupt");
+                let moved = std::fs::rename(&path, &quarantine).is_ok();
+                eprintln!(
+                    "warning: index for `{}` is unusable ({e}); {} and rebuilding from seeds",
+                    problem.name,
+                    if moved {
+                        format!("quarantined as {}", quarantine.display())
+                    } else {
+                        "leaving the file in place".to_owned()
+                    }
+                );
+                Ok(None)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -341,6 +379,36 @@ mod tests {
         assert!(matches!(err, StoreError::Mismatch(_)), "{err}");
         let err = ClusterStore::from_json("{]", &derivatives(), ClaraConfig::default()).unwrap_err();
         assert!(matches!(err, StoreError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn corrupt_index_files_are_quarantined_and_rebuilt_from_cold() {
+        let dir = std::env::temp_dir().join(format!("clara-store-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let problem = derivatives();
+        let path = ClusterStore::index_path(&dir, problem.name);
+
+        // A truncated write (simulated torn crash mid-save before the atomic
+        // rename existed) must not brick startup: load errors, recover warns
+        // and reports a cold start.
+        let store = store_with_seeds();
+        let json = store.to_json();
+        std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+        let err = ClusterStore::load(&dir, &problem, ClaraConfig::default()).unwrap_err();
+        assert!(matches!(err, StoreError::Format(_)), "{err}");
+        let recovered = ClusterStore::load_or_recover(&dir, &problem, ClaraConfig::default()).unwrap();
+        assert!(recovered.is_none(), "corrupt index reads as a cold start");
+        assert!(!path.exists(), "the bad file is moved out of the way");
+        assert!(path.with_extension("json.corrupt").exists(), "…and kept for post-mortem");
+
+        // After the quarantine a rebuilt index saves and loads normally.
+        store.save(&dir).unwrap();
+        let reloaded = ClusterStore::load_or_recover(&dir, &problem, ClaraConfig::default())
+            .unwrap()
+            .expect("healthy index loads");
+        assert_eq!(reloaded.stats(), store.stats());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -35,15 +35,18 @@
 //! * `--http ADDR` — serve `POST /repair` / `GET /health` / `GET /stats`
 //!   on `ADDR` (e.g. `127.0.0.1:8077`);
 //! * `--shard i/N` — fleet position: load only the problems this shard
-//!   owns on the consistent-hash ring and reject the rest with a routing
-//!   error;
+//!   holds on the consistent-hash ring (as owner or as the ring-successor
+//!   replica) and reject the rest with a routing error;
 //! * `--router --shards a:p1,b:p2,…` — hold no indexes; forward each
 //!   request to the shard owning its problem×language key (the addresses
 //!   are the shards' `--listen` endpoints, in shard-index order);
 //! * `--pool-size N` — correct-solution pool built per problem when no
 //!   stored index exists (default 60);
 //! * `--workers N` / `--queue N` — worker pool sizing;
-//! * `--no-learn` — reject online insertion of correct submissions.
+//! * `--no-learn` — reject online insertion of correct submissions;
+//! * `--faults SPEC` (or `CLARA_FAULTS`) — deterministic fault injection
+//!   at the net layer for chaos testing, e.g.
+//!   `seed=7,drop=0.02,close=0.01,garble=0.02,delay=0.1,delay_ms=5`.
 //!
 //! Without `--listen`/`--http` the NDJSON protocol runs on stdin/stdout
 //! exactly as before. With either listener the process serves over TCP
@@ -57,8 +60,8 @@ use std::sync::Arc;
 
 use clara::prelude::*;
 use clara_server::{
-    run_ndjson, Backend, ClusterStore, EventLoop, EventLoopConfig, FeedbackService, Request, Router,
-    RouterConfig, Server, ServerConfig, ServiceConfig, ShardSpec, Status,
+    run_ndjson, Backend, ClusterStore, EventLoop, EventLoopConfig, FaultPlan, FeedbackService, Request,
+    Router, RouterConfig, Server, ServerConfig, ServiceConfig, ShardSpec, Status, REPLICATION_FACTOR,
 };
 
 fn usage() -> ExitCode {
@@ -69,7 +72,10 @@ fn usage() -> ExitCode {
     eprintln!("  clara-cli clusters <problem> [pool-size]");
     eprintln!("  clara-cli serve [--index-dir DIR] [--listen ADDR] [--http ADDR] [--shard i/N]");
     eprintln!("                  [--router --shards ADDR,ADDR,...] [--pool-size N]");
-    eprintln!("                  [--workers N] [--queue N] [--no-learn] [--lang L] [problem...]");
+    eprintln!("                  [--workers N] [--queue N] [--no-learn] [--lang L]");
+    eprintln!("                  [--faults SPEC] [problem...]");
+    eprintln!("                  (SPEC e.g. seed=7,drop=0.02,close=0.01,garble=0.02,delay=0.1,delay_ms=5;");
+    eprintln!("                   also read from CLARA_FAULTS)");
     eprintln!("  clara-cli batch [--lang L] <problem> <attempt.py|attempt.c>...");
     ExitCode::from(2)
 }
@@ -301,6 +307,7 @@ struct ServeOptions {
     queue: Option<usize>,
     learn: bool,
     lang: Option<Lang>,
+    faults: Option<FaultPlan>,
 }
 
 fn parse_serve_options(args: &[String]) -> Option<ServeOptions> {
@@ -317,6 +324,7 @@ fn parse_serve_options(args: &[String]) -> Option<ServeOptions> {
         queue: None,
         learn: true,
         lang: None,
+        faults: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -340,8 +348,28 @@ fn parse_serve_options(args: &[String]) -> Option<ServeOptions> {
             "--queue" => options.queue = Some(iter.next()?.parse().ok()?),
             "--no-learn" => options.learn = false,
             "--lang" => options.lang = Some(Lang::from_tag(iter.next()?)?),
+            "--faults" => match iter.next()?.parse() {
+                Ok(plan) => options.faults = Some(plan),
+                Err(err) => {
+                    eprintln!("bad --faults spec: {err}");
+                    return None;
+                }
+            },
             flag if flag.starts_with("--") => return None,
             name => options.problems.push(name.to_owned()),
+        }
+    }
+    if options.faults.is_none() {
+        if let Ok(spec) = std::env::var("CLARA_FAULTS") {
+            if !spec.is_empty() {
+                match spec.parse() {
+                    Ok(plan) => options.faults = Some(plan),
+                    Err(err) => {
+                        eprintln!("bad CLARA_FAULTS spec: {err}");
+                        return None;
+                    }
+                }
+            }
         }
     }
     Some(options)
@@ -365,8 +393,17 @@ fn bind_reported(kind: &str, addr: &str) -> Result<std::net::TcpListener, ExitCo
 
 /// Runs an event loop over `backend` with the requested listeners; stdin
 /// EOF (watched from a helper thread) requests shutdown.
-fn run_event_loop(backend: Backend, listen: Option<&str>, http: Option<&str>) -> Result<(), ExitCode> {
-    let mut event_loop = match EventLoop::new(backend, EventLoopConfig::default()) {
+fn run_event_loop(
+    backend: Backend,
+    listen: Option<&str>,
+    http: Option<&str>,
+    faults: Option<FaultPlan>,
+) -> Result<(), ExitCode> {
+    if let Some(plan) = &faults {
+        eprintln!("(fault injection armed: {plan:?})");
+    }
+    let config = EventLoopConfig { faults, ..EventLoopConfig::default() };
+    let mut event_loop = match EventLoop::new(backend, config) {
         Ok(event_loop) => event_loop,
         Err(err) => {
             eprintln!("cannot start the event loop: {err}");
@@ -431,16 +468,24 @@ fn serve_router(options: &ServeOptions) -> ExitCode {
     let router = Arc::new(Router::new(
         options.shards.clone(),
         catalog,
-        RouterConfig { workers: options.workers.unwrap_or(4), queue_capacity: options.queue.unwrap_or(64) },
+        RouterConfig {
+            workers: options.workers.unwrap_or(4),
+            queue_capacity: options.queue.unwrap_or(64),
+            ..RouterConfig::default()
+        },
     ));
     eprintln!("(router over {} shard(s): {})", options.shards.len(), options.shards.join(", "));
     let outcome = run_event_loop(
         Backend::router(Arc::clone(&router)),
         options.listen.as_deref(),
         options.http.as_deref(),
+        options.faults,
     );
     let report = router.report(0);
-    eprintln!("(forwarded {} request(s), {} upstream error(s))", report.forwarded, report.upstream_errors);
+    eprintln!(
+        "(forwarded {} request(s), {} upstream error(s), {} retr(ies), {} failover(s))",
+        report.forwarded, report.upstream_errors, report.retries, report.failovers
+    );
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(code) => code,
@@ -476,18 +521,24 @@ fn serve(args: &[String]) -> ExitCode {
         selected
     };
 
-    // A fleet shard loads only the problems it owns on the consistent-hash
-    // ring; everything else is answered with a routing error pointing at
-    // the owning shard.
+    // A fleet shard loads the problems it *holds* on the consistent-hash
+    // ring — those it owns plus those it carries as the ring successor
+    // (replica), so reads and learns survive the owner's death. Everything
+    // else is answered with a routing error pointing at the owning shard.
     let spec = options.shard;
     let selected: Vec<Problem> = if spec.is_solo() {
         selected
     } else {
         let total = selected.len();
-        let owned: Vec<Problem> =
-            selected.into_iter().filter(|p| spec.owns(p.name, p.lang.as_str())).collect();
-        eprintln!("(shard {spec}: owns {} of {total} problem indexes)", owned.len());
-        owned
+        let held: Vec<Problem> = selected
+            .into_iter()
+            .filter(|p| spec.holds(p.name, p.lang.as_str(), REPLICATION_FACTOR))
+            .collect();
+        eprintln!(
+            "(shard {spec}: holds {} of {total} problem indexes at replication factor {REPLICATION_FACTOR})",
+            held.len()
+        );
+        held
     };
 
     // Bring every shard online: warm-load a stored index when possible,
@@ -496,7 +547,10 @@ fn serve(args: &[String]) -> ExitCode {
     let mut stores = Vec::with_capacity(selected.len());
     for problem in &selected {
         let loaded = options.index_dir.as_deref().and_then(|dir| {
-            match ClusterStore::load(dir, problem, ClaraConfig::default()) {
+            // Crash-safe load: a truncated or corrupt index file is
+            // quarantined and rebuilt from seeds instead of refusing to
+            // start (or silently re-tripping on it every launch).
+            match ClusterStore::load_or_recover(dir, problem, ClaraConfig::default()) {
                 Ok(store) => store,
                 Err(err) => {
                     eprintln!("({}: ignoring stored index: {err})", problem.name);
@@ -550,6 +604,7 @@ fn serve(args: &[String]) -> ExitCode {
             Backend::local(Arc::clone(&server)),
             options.listen.as_deref(),
             options.http.as_deref(),
+            options.faults,
         );
         // The loop has exited and dropped its backend; joining the workers
         // (pool drop) guarantees in-flight learns reach the index before we

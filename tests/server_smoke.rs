@@ -337,6 +337,105 @@ fn router_forwards_to_two_shard_processes_over_tcp() {
     }
 }
 
+/// A correct `derivatives` solution the seed pool never saw (renamed
+/// variables): the learn-replication probe of the failover test.
+const NOVEL_CORRECT: &str = "\
+def computeDeriv(poly):
+    deriv = []
+    for k in range(1, len(poly)):
+        deriv.append(float(poly[k]*k))
+    if deriv == []:
+        return [0.0]
+    return deriv
+";
+
+/// The PR 7 failover smoke, three real processes over loopback TCP: two
+/// `--shard i/2` serve processes (at replication factor 2 each holds the
+/// other's replica) plus a router. A learn is replicated to both shards;
+/// then the shard owning `derivatives` is killed and the router must serve
+/// the problem from the ring successor within its retry budget.
+#[test]
+fn router_fails_over_to_the_ring_successor_when_the_owner_dies() {
+    let mut shard_procs: Vec<(std::process::Child, String)> = (0..2)
+        .map(|i| {
+            let mut args: Vec<String> = vec!["serve".into(), "derivatives".into()];
+            args.extend(["--listen", "127.0.0.1:0", "--pool-size", "8", "--workers", "1"].map(String::from));
+            args.extend(["--shard".into(), format!("{i}/2")]);
+            spawn_listener(&args)
+        })
+        .collect();
+    let shard_addrs: Vec<String> = shard_procs.iter().map(|(_, addr)| addr.clone()).collect();
+    let router_args: Vec<String> =
+        ["serve", "--router", "--shards", &shard_addrs.join(","), "--listen", "127.0.0.1:0"]
+            .map(String::from)
+            .to_vec();
+    let (mut router, router_addr) = spawn_listener(&router_args);
+
+    let stream = std::net::TcpStream::connect(&router_addr).expect("connecting to router");
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(120))).expect("read timeout");
+    let mut writer = stream.try_clone().expect("cloning stream");
+    let mut reader = BufReader::new(stream);
+    fn exchange(
+        writer: &mut std::net::TcpStream,
+        reader: &mut BufReader<std::net::TcpStream>,
+        line: &str,
+    ) -> Response {
+        writeln!(writer, "{line}").expect("writing request");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reading response line");
+        serde_json::from_str(reply.trim()).unwrap_or_else(|e| panic!("malformed response `{reply}`: {e}"))
+    }
+
+    // A healthy read, then a learn: the router writes the learn to the
+    // owner AND the ring successor, so the coming crash loses nothing.
+    let healthy = exchange(&mut writer, &mut reader, &request_line_for(1, "derivatives", None, CORRECT));
+    assert_eq!(healthy.status, Status::Correct, "{healthy:?}");
+    let learn = serde_json::to_string(&clara_server::Request {
+        id: 2,
+        problem: "derivatives".to_owned(),
+        lang: None,
+        source: NOVEL_CORRECT.to_owned(),
+        learn: Some(true),
+    })
+    .unwrap();
+    let learned = exchange(&mut writer, &mut reader, &learn);
+    assert_eq!(learned.status, Status::Correct, "{learned:?}");
+
+    writeln!(writer, r#"{{"id":3,"stats":true}}"#).expect("writing stats request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reading stats line");
+    let stats: clara_server::RouterReport = serde_json::from_str(line.trim()).expect("stats json");
+    assert_eq!(stats.replicated_learns, 1, "the learn must reach the successor too: {stats:?}");
+    assert_eq!(stats.failovers, 0, "{stats:?}");
+
+    // Kill the owner. Reads must fail over to the successor's replica.
+    let owner = clara_server::HashRing::new(2).owner("derivatives", "minipy");
+    shard_procs[owner].0.kill().expect("killing the owner shard");
+    shard_procs[owner].0.wait().expect("reaping the owner shard");
+
+    let survived = exchange(&mut writer, &mut reader, &request_line_for(4, "derivatives", None, INCORRECT));
+    assert_eq!(survived.status, Status::Repaired, "served by the successor: {survived:?}");
+    let relearned =
+        exchange(&mut writer, &mut reader, &request_line_for(5, "derivatives", None, NOVEL_CORRECT));
+    assert_eq!(relearned.status, Status::Correct, "the replicated learn survives: {relearned:?}");
+
+    writeln!(writer, r#"{{"id":6,"stats":true}}"#).expect("writing stats request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reading stats line");
+    let stats: clara_server::RouterReport = serde_json::from_str(line.trim()).expect("stats json");
+    assert!(stats.failovers >= 1, "the outage must be served via failover: {stats:?}");
+
+    drop(writer);
+    drop(reader);
+    drop(router.stdin.take());
+    let status = router.wait().expect("waiting for router");
+    assert!(status.success(), "router must exit 0 on EOF, got {status:?}");
+    let (mut survivor, _) = shard_procs.remove(1 - owner);
+    drop(survivor.stdin.take());
+    let status = survivor.wait().expect("waiting for the surviving shard");
+    assert!(status.success(), "survivor must exit 0 on EOF, got {status:?}");
+}
+
 fn run_repair(source: &str) -> i32 {
     let dir = std::env::temp_dir();
     let path = dir.join(format!("clara-smoke-{}-{:x}.py", std::process::id(), source.len()));
