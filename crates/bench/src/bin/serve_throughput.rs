@@ -81,6 +81,21 @@ struct ServeReport {
     shard_scaling: Vec<ShardScalePoint>,
     /// Aggregate req/s at 2 shards over 1 shard (0 when not measured).
     scaling_2x: f64,
+    /// Per-stage latency quantiles from the process-global stage histograms
+    /// (`clara_stage_duration_us`), measured over the in-process replay.
+    latency_breakdown: Vec<StageLatency>,
+}
+
+/// Microsecond latency summary of one pipeline stage.
+#[derive(Serialize)]
+struct StageLatency {
+    stage: String,
+    count: u64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    mean_us: f64,
 }
 
 /// One fleet size of the multi-process benchmark.
@@ -273,6 +288,7 @@ fn replay_chunk(addr: &str, chunk: &[WorkloadRequest]) -> Vec<f64> {
             lang: Some(request.lang.clone()),
             source: request.source.clone(),
             learn: None,
+            trace: None,
         })
         .expect("request serializes");
         let sent = Instant::now();
@@ -607,6 +623,7 @@ fn run_chaos(mode: RunMode) {
                         lang: Some(request.lang.clone()),
                         source: request.source.clone(),
                         learn: None,
+                        trace: None,
                     },
                     5,
                 )
@@ -634,6 +651,7 @@ fn run_chaos(mode: RunMode) {
                     lang: Some(problem.lang.as_str().to_owned()),
                     source: attempt.source.clone(),
                     learn: Some(true),
+                    trace: None,
                 },
                 6,
             );
@@ -670,7 +688,14 @@ fn run_chaos(mode: RunMode) {
                 let mut client = ResilientClient::new(&addr);
                 client
                     .call(
-                        &Request { id: 2_000_000 + i as u64, problem, lang: Some(lang), source, learn: None },
+                        &Request {
+                            id: 2_000_000 + i as u64,
+                            problem,
+                            lang: Some(lang),
+                            source,
+                            learn: None,
+                            trace: None,
+                        },
                         5,
                     )
                     .is_some()
@@ -699,6 +724,7 @@ fn run_chaos(mode: RunMode) {
         lang: Some(probe_problem.lang.as_str().to_owned()),
         source: datasets[0].correct[0].source.clone(),
         learn: None,
+        trace: None,
     };
     let recovered = client.call(&recovery_probe, 8).is_some();
     let recovery_seconds = killed_at.elapsed().as_secs_f64();
@@ -732,6 +758,7 @@ fn run_chaos(mode: RunMode) {
                 lang: Some(lang.clone()),
                 source: source.clone(),
                 learn: None,
+                trace: None,
             },
             6,
         );
@@ -912,6 +939,7 @@ fn main() {
                 lang: None,
                 source: attempt.source.clone(),
                 learn: None,
+                trace: None,
             };
             let cold = cold_service.handle(&request);
             let warm = probe_service.handle(&request);
@@ -949,6 +977,7 @@ fn main() {
                     lang: Some(request.lang.clone()),
                     source: request.source.clone(),
                     learn: None,
+                    trace: None,
                 },
                 move |response| {
                     let _ = reply.send((response.status, submitted.elapsed().as_secs_f64() * 1e3));
@@ -987,6 +1016,26 @@ fn main() {
         |n: usize| shard_scaling.iter().find(|p| p.shards == n).map(|p| p.aggregate_rps).unwrap_or(0.0);
     let scaling_2x = if rps_at(1) > 0.0 { rps_at(2) / rps_at(1) } else { 0.0 };
 
+    // Per-stage latency breakdown from the process-global registry. The
+    // fleet runs are separate processes, so this reflects exactly the
+    // in-process traffic above (warm/cold probes plus the replay).
+    let latency_breakdown: Vec<StageLatency> = clara_server::Registry::global()
+        .dump(0)
+        .histograms
+        .iter()
+        .filter(|h| h.name == "clara_stage_duration_us")
+        .map(|h| StageLatency {
+            stage: h.labels.first().map(|l| l.v.clone()).unwrap_or_default(),
+            count: h.hist.count,
+            p50_us: h.hist.quantile(0.5),
+            p90_us: h.hist.quantile(0.9),
+            p99_us: h.hist.quantile(0.99),
+            max_us: h.hist.max,
+            mean_us: h.hist.mean(),
+        })
+        .filter(|s| s.count > 0)
+        .collect();
+
     let stats = service.stats();
     let report = ServeReport {
         corpus: corpus_label,
@@ -1010,6 +1059,7 @@ fn main() {
         worker_panics: server.panic_count(),
         shard_scaling,
         scaling_2x,
+        latency_breakdown,
     };
 
     println!("{:<28} {:>10}", "requests", report.requests);
@@ -1042,6 +1092,15 @@ fn main() {
     }
     if report.scaling_2x > 0.0 {
         println!("{:<28} {:>9.2}x  ({} cores)", "2-shard scaling", report.scaling_2x, report.cores);
+    }
+    if !report.latency_breakdown.is_empty() {
+        println!("per-stage latency (us):");
+        for stage in &report.latency_breakdown {
+            println!(
+                "    {:<16} n={:<7} p50 {:>8} p90 {:>8} p99 {:>8} max {:>9}",
+                stage.stage, stage.count, stage.p50_us, stage.p90_us, stage.p99_us, stage.max_us
+            );
+        }
     }
     println!();
     println!("The cache hit rate is bounded above by the workload duplicate fraction; the");

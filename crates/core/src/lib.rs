@@ -53,6 +53,7 @@ pub mod oracle;
 pub mod repair;
 pub mod sigcache;
 pub mod snapshot;
+pub mod timing;
 
 pub use analysis::{AnalysisError, AnalyzedProgram};
 pub use cluster::{cluster_programs, clustering_stats, Cluster, ClusteringStats};
@@ -66,6 +67,7 @@ pub use repair::{
 };
 pub use sigcache::{SignatureCache, ValueSignature};
 pub use snapshot::{Snapshot, SnapshotCell};
+pub use timing::{Span, Stage, StageSink, StageTimer};
 
 use clara_lang::Value;
 use clara_model::frontend::Lang;

@@ -60,6 +60,7 @@ pub(crate) fn vars_compatible(q_var: &str, p_var: &str, q_params: &[String], p_p
 /// Finds the matching witness `τ : V_Q → V_P` of Definition 4.4, if the two
 /// programs match on the analysed inputs (the algorithm of Fig. 4).
 pub fn find_matching(p: &AnalyzedProgram, q: &AnalyzedProgram) -> Option<VarMap> {
+    let _timer = crate::timing::StageTimer::start(crate::timing::Stage::ClusterMatch);
     if !p.program.same_control_flow(&q.program) {
         return None;
     }

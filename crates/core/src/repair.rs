@@ -259,17 +259,24 @@ pub fn repair_attempt(
                 .chunks(chunk_size)
                 .map(|chunk| {
                     scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|(index, cluster)| {
-                                repair_against_cluster(cluster, *index, attempt, inputs, cluster_config)
-                            })
-                            .collect::<Vec<_>>()
+                        // Stage timers record to a thread-local collector;
+                        // capture this worker's spans so the parent can
+                        // adopt them into the request's span tree.
+                        crate::timing::collect(|| {
+                            chunk
+                                .iter()
+                                .map(|(index, cluster)| {
+                                    repair_against_cluster(cluster, *index, attempt, inputs, cluster_config)
+                                })
+                                .collect::<Vec<_>>()
+                        })
                     })
                 })
                 .collect();
             for handle in handles {
-                results.extend(handle.join().expect("repair worker panicked"));
+                let (chunk_results, spans) = handle.join().expect("repair worker panicked");
+                crate::timing::adopt(spans);
+                results.extend(chunk_results);
             }
         });
         results
@@ -283,6 +290,7 @@ pub fn repair_attempt(
     let mut best = repairs.into_iter().flatten().min_by_key(|r| (r.total_cost, r.cluster_index));
     if config.verify {
         if let Some(repair) = best.as_mut() {
+            let _timer = crate::timing::StageTimer::start(crate::timing::Stage::Verify);
             let analyzed = AnalyzedProgram::from_program(repair.repaired.clone(), inputs, config.fuel);
             let rep = &clusters[repair.cluster_index].representative;
             repair.verified = Some(find_matching(rep, &analyzed).is_some());
@@ -737,6 +745,9 @@ pub fn repair_against_cluster(
     // ------------------------------------------------------------------
     // Step 2: encode constraints (1)–(4) of Definition 5.5 as a 0-1 ILP.
     // ------------------------------------------------------------------
+    // The ILP stage covers encoding and solving; the guard drops right
+    // after the solver returns (or on an early bail-out).
+    let ilp_timer = crate::timing::StageTimer::start(crate::timing::Stage::Ilp);
     let mut ilp = IlpBuilder::new();
     let mut pair_vars: HashMap<(String, String), VarId> = HashMap::new(); // (rep, impl)
     let mut add_vars: HashMap<String, VarId> = HashMap::new(); // rep var → x_add
@@ -833,6 +844,7 @@ pub fn repair_against_cluster(
     // Step 3: solve and decode.
     // ------------------------------------------------------------------
     let solution = ilp.solve_with_limits(config.ilp_limits).ok()??;
+    drop(ilp_timer);
 
     let mut var_map = VarMap::new();
     for ((v1, v2), id) in &pair_vars {

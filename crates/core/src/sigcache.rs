@@ -78,6 +78,9 @@ impl<'t> SignatureCache<'t> {
         if let Some(sig) = entry.table.get(expr) {
             return sig.clone();
         }
+        // Only cache misses pay for evaluation; time them so the sigcache
+        // stage histogram reflects real work, not memo lookups.
+        let _timer = crate::timing::StageTimer::start(crate::timing::Stage::SigCache);
         let values: Vec<Value> =
             entry.memories.iter().map(|m| eval_expr(expr, *m).unwrap_or(Value::Undef)).collect();
         let mut hasher = DefaultHasher::new();

@@ -1,0 +1,234 @@
+//! Stage-timing seam: where a repair request spends its time.
+//!
+//! The serving layer needs to attribute each request's latency to the
+//! pipeline stages of the paper — parse/analysis, cluster matching (§4),
+//! the ILP minimal-repair solve (§5), Theorem 5.3 verification — plus the
+//! service-side stages around them (cache probe, snapshot resolve, learn).
+//! `clara-core` cannot depend on the server crate, so this module is the
+//! seam between the two: the core pipeline drops lightweight [`StageTimer`]
+//! guards around its stages, and whoever hosts the process installs a
+//! [`StageSink`] (once, at startup) to receive `(stage, nanos)` samples.
+//!
+//! Two consumers observe every sample:
+//!
+//! * the **global sink** — process-wide latency histograms, thread-safe,
+//!   fed from any thread (including the scoped threads of a parallel
+//!   per-cluster repair);
+//! * an optional **thread-local collector** — the per-request span list
+//!   ("span tree") captured by [`collect`] around one request, used for
+//!   slow-request dumps. Work farmed out to other threads is re-attached
+//!   with [`adopt`].
+//!
+//! With no sink installed and no collector active, a timer costs two
+//! `Instant::now()` calls and two thread-local reads — cheap enough to
+//! leave in release builds.
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A pipeline stage a request can spend time in.
+///
+/// The wire/metric names (see [`Stage::as_str`]) are stable: they appear in
+/// Prometheus label values, span dumps and the benchmark's
+/// `latency_breakdown` section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Frontend parsing of the submission source.
+    Parse,
+    /// Result-cache probe (striped LRU lookup).
+    CacheProbe,
+    /// Cluster-index snapshot resolution.
+    SnapshotResolve,
+    /// Dynamic-equivalence matching against cluster representatives (§4).
+    ClusterMatch,
+    /// Semantic-signature evaluation for expression matching (Def. 4.5).
+    SigCache,
+    /// Building and solving the 0-1 ILP for a minimal repair (§5).
+    Ilp,
+    /// Theorem 5.3 verification of the winning repair.
+    Verify,
+    /// Online insertion of a verified-correct submission into the index.
+    Learn,
+    /// Router-side replication of a learn to the ring successor.
+    Replicate,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order (drives metric registration and the
+    /// benchmark's breakdown table).
+    pub const ALL: [Stage; 9] = [
+        Stage::Parse,
+        Stage::CacheProbe,
+        Stage::SnapshotResolve,
+        Stage::ClusterMatch,
+        Stage::SigCache,
+        Stage::Ilp,
+        Stage::Verify,
+        Stage::Learn,
+        Stage::Replicate,
+    ];
+
+    /// The stable metric/label name of the stage.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::CacheProbe => "cache_probe",
+            Stage::SnapshotResolve => "snapshot_resolve",
+            Stage::ClusterMatch => "cluster_match",
+            Stage::SigCache => "sigcache",
+            Stage::Ilp => "ilp",
+            Stage::Verify => "verify",
+            Stage::Learn => "learn",
+            Stage::Replicate => "replicate",
+        }
+    }
+}
+
+/// Receiver of stage-duration samples. Implemented by the serving layer's
+/// metrics registry; must be callable from any thread.
+pub trait StageSink: Send + Sync {
+    /// One completed stage took `nanos` nanoseconds.
+    fn record(&self, stage: Stage, nanos: u64);
+}
+
+static SINK: OnceLock<&'static dyn StageSink> = OnceLock::new();
+
+/// Installs the process-wide stage sink. The first installation wins (the
+/// seam is set up once at startup); returns whether this call installed it.
+pub fn install_sink(sink: &'static dyn StageSink) -> bool {
+    SINK.set(sink).is_ok()
+}
+
+/// One recorded stage duration within a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// The stage the time was spent in.
+    pub stage: Stage,
+    /// Duration in nanoseconds.
+    pub nanos: u64,
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Option<Vec<Span>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with a fresh span collector active on this thread and returns
+/// its result together with every span recorded during the call (in
+/// completion order — nested guards complete innermost-first). Collections
+/// nest: an inner `collect` temporarily shadows the outer one.
+pub fn collect<R>(f: impl FnOnce() -> R) -> (R, Vec<Span>) {
+    let previous = COLLECTOR.with(|c| c.borrow_mut().replace(Vec::new()));
+    let result = f();
+    let spans = COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        let spans = slot.take().unwrap_or_default();
+        *slot = previous;
+        spans
+    });
+    (result, spans)
+}
+
+/// Appends spans recorded elsewhere (typically on a scoped worker thread of
+/// a parallel per-cluster repair) to this thread's active collector. A
+/// no-op when no collection is active.
+pub fn adopt(spans: Vec<Span>) {
+    if spans.is_empty() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(active) = c.borrow_mut().as_mut() {
+            active.extend(spans);
+        }
+    });
+}
+
+/// A drop guard timing one stage: construct at stage entry, drop at exit.
+/// On drop the duration is delivered to the installed [`StageSink`] and to
+/// this thread's active collector (if any).
+#[derive(Debug)]
+pub struct StageTimer {
+    stage: Stage,
+    start: Instant,
+}
+
+impl StageTimer {
+    /// Starts timing `stage`.
+    pub fn start(stage: Stage) -> StageTimer {
+        StageTimer { stage, start: Instant::now() }
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if let Some(sink) = SINK.get() {
+            sink.record(self.stage, nanos);
+        }
+        COLLECTOR.with(|c| {
+            if let Some(active) = c.borrow_mut().as_mut() {
+                active.push(Span { stage: self.stage, nanos });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_stable_and_distinct() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names.len(), 9);
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate stage name in {names:?}");
+        assert!(names.contains(&"ilp") && names.contains(&"verify"));
+    }
+
+    #[test]
+    fn collect_captures_spans_in_completion_order() {
+        let ((), spans) = collect(|| {
+            let _outer = StageTimer::start(Stage::ClusterMatch);
+            let inner = StageTimer::start(Stage::Ilp);
+            drop(inner);
+        });
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].stage, Stage::Ilp, "inner guard completes first");
+        assert_eq!(spans[1].stage, Stage::ClusterMatch);
+    }
+
+    #[test]
+    fn timers_outside_a_collection_are_dropped_silently() {
+        drop(StageTimer::start(Stage::Parse));
+        let ((), spans) = collect(|| {});
+        assert!(spans.is_empty());
+    }
+
+    #[test]
+    fn nested_collections_shadow_and_restore() {
+        let ((), outer) = collect(|| {
+            drop(StageTimer::start(Stage::Parse));
+            let ((), inner) = collect(|| drop(StageTimer::start(Stage::Verify)));
+            assert_eq!(inner.len(), 1);
+            assert_eq!(inner[0].stage, Stage::Verify);
+            drop(StageTimer::start(Stage::Learn));
+        });
+        let stages: Vec<Stage> = outer.iter().map(|s| s.stage).collect();
+        assert_eq!(stages, [Stage::Parse, Stage::Learn], "inner collection's spans stay inner");
+    }
+
+    #[test]
+    fn adopt_merges_spans_from_other_threads() {
+        let ((), spans) = collect(|| {
+            let child = std::thread::spawn(|| collect(|| drop(StageTimer::start(Stage::Ilp))).1);
+            adopt(child.join().expect("child thread"));
+        });
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].stage, Stage::Ilp);
+        // Adopting outside any collection is a quiet no-op.
+        adopt(vec![Span { stage: Stage::Parse, nanos: 1 }]);
+    }
+}

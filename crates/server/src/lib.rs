@@ -38,6 +38,7 @@
 //!     lang: None,
 //!     source: "def computeDeriv(poly):\n    new = []\n    for i in xrange(1,len(poly)):\n        new.append(float(i*poly[i]))\n    if new==[]:\n        return 0.0\n    return new\n".into(),
 //!     learn: None,
+//!     trace: None,
 //! });
 //! assert_eq!(response.status, Status::Repaired);
 //! assert!(!response.feedback.is_empty());
@@ -48,6 +49,7 @@
 //!     lang: None,
 //!     source: "def computeDeriv(poly):\n\n    new = []\n    for i in xrange(1,len(poly)):\n        new.append(float(i*poly[i]))\n    if new==[]:\n        return 0.0\n    return new\n".into(),
 //!     learn: None,
+//!     trace: None,
 //! });
 //! assert!(dup.cache_hit);
 //! assert_eq!(dup.feedback, response.feedback);
@@ -59,6 +61,7 @@
 pub mod cache;
 pub mod fault;
 pub mod net;
+pub mod obs;
 pub mod pool;
 pub mod protocol;
 pub mod retry;
@@ -71,6 +74,9 @@ pub mod store;
 pub use cache::{LruCache, StripedCache};
 pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultPlanError};
 pub use net::{Backend, EventLoop, EventLoopConfig, LoopHandle};
+pub use obs::{
+    mint_trace_id, render_prometheus, Counter, Gauge, Histogram, HistogramSnapshot, MetricsDump, Registry,
+};
 pub use pool::{PoolClosed, WorkerPool};
 pub use protocol::{
     parse_incoming, parse_request, render_response, Incoming, Request, Response, StatsReport, Status,

@@ -31,6 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::fault::{FaultAction, FaultInjector, FaultPlan};
+use crate::obs::{render_prometheus, Registry};
 use crate::pool::PoolClosed;
 use crate::protocol::{parse_incoming, render_response, Incoming, Request, Response};
 use crate::router::Router;
@@ -165,6 +166,24 @@ impl Backend {
                 serde_json::to_string(&server.service().stats()).unwrap_or_else(|e| stats_error_line(0, &e))
             }
             Backend::Router(router) => router.stats_line(0),
+        }
+    }
+
+    /// The one-line JSON metrics dump (NDJSON `{"metrics":true}`): this
+    /// process's registry for a shard, the merged fleet view for a router.
+    fn metrics_line(&self, id: u64) -> String {
+        match self {
+            Backend::Local(_) => serde_json::to_string(&Registry::global().dump(id))
+                .unwrap_or_else(|e| stats_error_line(id, &e)),
+            Backend::Router(router) => router.metrics_line(id),
+        }
+    }
+
+    /// The `GET /metrics` body in Prometheus text format.
+    fn metrics_text(&self) -> String {
+        match self {
+            Backend::Local(_) => render_prometheus(&Registry::global().dump(0)),
+            Backend::Router(router) => router.metrics_text(),
         }
     }
 
@@ -305,8 +324,10 @@ pub struct EventLoop {
     completions: Arc<Completions>,
     conns: HashMap<u64, Conn>,
     next_conn: u64,
-    /// Requests parked while the pool was full, retried each iteration.
-    pending: VecDeque<(u64, Request)>,
+    /// Requests parked while the pool was full, retried each iteration
+    /// (tagged with their accept instant so shed/shutdown errors report the
+    /// real time the request spent waiting).
+    pending: VecDeque<(u64, Instant, Request)>,
     /// The seeded fault schedule, when chaos testing is enabled.
     injector: Option<FaultInjector>,
     /// Fault-delayed requests waiting for their release instant.
@@ -524,14 +545,14 @@ impl EventLoop {
     /// Retries parked requests against the pool; what still doesn't fit
     /// stays parked.
     fn retry_pending(&mut self) {
-        while let Some((id, request)) = self.pending.pop_front() {
+        while let Some((id, accepted, request)) = self.pending.pop_front() {
             if !self.conns.contains_key(&id) {
                 continue;
             }
-            match self.submit(id, request) {
+            match self.submit(id, accepted, request) {
                 Submitted::Yes => {}
                 Submitted::Parked(request) => {
-                    self.pending.push_front((id, request));
+                    self.pending.push_front((id, accepted, request));
                     return;
                 }
                 Submitted::Closed => return,
@@ -539,7 +560,7 @@ impl EventLoop {
         }
     }
 
-    fn submit(&mut self, conn_id: u64, request: Request) -> Submitted {
+    fn submit(&mut self, conn_id: u64, accepted: Instant, request: Request) -> Submitted {
         let completions = Arc::clone(&self.completions);
         let reply: Box<dyn FnOnce(String) + Send> = Box::new(move |line| completions.push(conn_id, line));
         match self.backend.try_submit(request.clone(), reply) {
@@ -548,11 +569,10 @@ impl EventLoop {
             Err(PoolClosed) => {
                 if let Some(conn) = self.conns.get_mut(&conn_id) {
                     conn.inflight = conn.inflight.saturating_sub(1);
-                    respond(
-                        conn,
-                        "503 Service Unavailable",
-                        &render_response(&Response::error(request.id, "service is shutting down")),
-                    );
+                    let error = Response::error(request.id, "service is shutting down")
+                        .with_elapsed(accepted.elapsed().as_micros() as u64)
+                        .with_trace(request.trace.clone());
+                    respond(conn, "503 Service Unavailable", &render_response(&error));
                 }
                 Submitted::Closed
             }
@@ -614,6 +634,7 @@ impl EventLoop {
 
     /// Enqueues a freshly parsed request: submit, park, or shed.
     fn enqueue(&mut self, conn_id: u64, request: Request) {
+        let accepted = Instant::now();
         if let Some(conn) = self.conns.get_mut(&conn_id) {
             conn.inflight += 1;
         }
@@ -623,21 +644,20 @@ impl EventLoop {
             self.backend.note_shed();
             if let Some(conn) = self.conns.get_mut(&conn_id) {
                 conn.inflight = conn.inflight.saturating_sub(1);
-                respond(
-                    conn,
-                    "503 Service Unavailable",
-                    &render_response(&Response::error(request.id, "server overloaded, retry later")),
-                );
+                let error = Response::error(request.id, "server overloaded, retry later")
+                    .with_elapsed(accepted.elapsed().as_micros() as u64)
+                    .with_trace(request.trace.clone());
+                respond(conn, "503 Service Unavailable", &render_response(&error));
             }
             return;
         }
         if !self.pending.is_empty() {
             // Preserve submission order behind already-parked requests.
-            self.pending.push_back((conn_id, request));
+            self.pending.push_back((conn_id, accepted, request));
             return;
         }
-        if let Submitted::Parked(request) = self.submit(conn_id, request) {
-            self.pending.push_back((conn_id, request));
+        if let Submitted::Parked(request) = self.submit(conn_id, accepted, request) {
+            self.pending.push_back((conn_id, accepted, request));
         }
     }
 
@@ -693,6 +713,15 @@ impl EventLoop {
                     let stats = self.backend.stats_line(request_id);
                     let Some(conn) = self.conns.get_mut(&id) else { return };
                     conn.write_buf.extend_from_slice(stats.as_bytes());
+                    conn.write_buf.push(b'\n');
+                    flush_conn(conn);
+                }
+                // Metrics probes, like stats, bypass fault injection: the
+                // fleet must stay observable under chaos.
+                Ok(Incoming::Metrics { id: request_id }) => {
+                    let dump = self.backend.metrics_line(request_id);
+                    let Some(conn) = self.conns.get_mut(&id) else { return };
+                    conn.write_buf.extend_from_slice(dump.as_bytes());
                     conn.write_buf.push(b'\n');
                     flush_conn(conn);
                 }
@@ -757,6 +786,12 @@ impl EventLoop {
                 let body = self.backend.stats_line(0);
                 let Some(conn) = self.conns.get_mut(&id) else { return };
                 respond(conn, "200 OK", &body);
+            }
+            ("GET", "/metrics") => {
+                let body = self.backend.metrics_text();
+                let Some(conn) = self.conns.get_mut(&id) else { return };
+                append_http_with_type(conn, "200 OK", "text/plain; version=0.0.4", &body);
+                flush_conn(conn);
             }
             ("POST", "/repair") => match conn.http.content_length {
                 None => {
@@ -845,8 +880,14 @@ enum Tag {
 /// Appends an HTTP response envelope around `body` and marks the exchange
 /// finished.
 fn append_http(conn: &mut Conn, status: &str, body: &str) {
+    append_http_with_type(conn, status, "application/json", body);
+}
+
+/// [`append_http`] with an explicit content type (`GET /metrics` serves
+/// Prometheus text, not JSON).
+fn append_http_with_type(conn: &mut Conn, status: &str, content_type: &str, body: &str) {
     let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     conn.write_buf.extend_from_slice(head.as_bytes());
@@ -977,6 +1018,7 @@ mod tests {
             lang: None,
             source: "def computeDeriv(poly):\n    return poly\n".to_owned(),
             learn: None,
+            trace: None,
         })
         .unwrap();
         writeln!(writer, "{request}").unwrap();
@@ -1101,6 +1143,7 @@ mod tests {
             lang: None,
             source: "def computeDeriv(poly):\n    return poly\n".to_owned(),
             learn: None,
+            trace: None,
         })
         .unwrap();
         writeln!(writer, "{request}").unwrap();
@@ -1116,6 +1159,59 @@ mod tests {
         let mut stats = String::new();
         reader.read_line(&mut stats).unwrap();
         assert!(stats.contains("\"snapshot_generation\""), "{stats}");
+        // Metrics probes are exempt too and answer with a parseable dump.
+        writeln!(writer, r#"{{"id":11,"metrics":true}}"#).unwrap();
+        let mut metrics = String::new();
+        reader.read_line(&mut metrics).unwrap();
+        let dump: crate::obs::MetricsDump = serde_json::from_str(metrics.trim()).unwrap();
+        assert!(dump.metrics_dump);
+        assert_eq!(dump.id, 11);
+        handle.request_shutdown();
+    }
+
+    #[test]
+    fn ndjson_metrics_probes_return_request_histograms() {
+        let (addr, handle) = spawn_ndjson_server();
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        let request = serde_json::to_string(&Request {
+            id: 1,
+            problem: "derivatives".to_owned(),
+            lang: None,
+            source: "def computeDeriv(poly):\n    return poly\n".to_owned(),
+            learn: None,
+            trace: Some("feedbeeffeedbeef".to_owned()),
+        })
+        .unwrap();
+        writeln!(writer, "{request}").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response: Response = serde_json::from_str(line.trim()).unwrap();
+        assert_eq!(response.trace.as_deref(), Some("feedbeeffeedbeef"), "trace echoed over the wire");
+
+        writeln!(writer, r#"{{"id":2,"metrics":true}}"#).unwrap();
+        let mut metrics = String::new();
+        reader.read_line(&mut metrics).unwrap();
+        let dump: crate::obs::MetricsDump = serde_json::from_str(metrics.trim()).unwrap();
+        let requests: u64 =
+            dump.counters.iter().filter(|c| c.name == "clara_requests_total").map(|c| c.value).sum();
+        assert!(requests >= 1, "the request must be counted: {dump:?}");
+        // The registry is process-global and other tests run in parallel,
+        // so assert presence and sanity, not exact counts.
+        let duration = dump
+            .histograms
+            .iter()
+            .find(|h| h.name == "clara_request_duration_us")
+            .expect("request duration histogram present");
+        assert!(duration.hist.count >= 1);
+        assert!(duration.hist.quantile(0.5) <= duration.hist.quantile(0.99).max(1));
+        assert!(
+            dump.histograms.iter().any(|h| h.name == "clara_stage_duration_us"),
+            "stage histograms registered"
+        );
         handle.request_shutdown();
     }
 }

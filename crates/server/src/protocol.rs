@@ -32,6 +32,11 @@ pub struct Request {
     /// cluster index (online clustering). Requires learning to be enabled
     /// service-side.
     pub learn: Option<bool>,
+    /// Request trace id (16 hex digits). Minted at ingress when absent —
+    /// by the router on forwards, or by the shard for direct traffic — and
+    /// carried through retries and failovers so one request is traceable
+    /// across the fleet's structured logs.
+    pub trace: Option<String>,
 }
 
 /// Outcome category of a feedback request.
@@ -104,12 +109,18 @@ pub struct Response {
     /// Error description when `status` is `error`.
     pub error: Option<String>,
     /// Service-side processing time in microseconds (cache hits report the
-    /// lookup time, not the original repair time).
+    /// lookup time, not the original repair time). Error and shed responses
+    /// report the real time spent before failing, never a placeholder 0.
     pub elapsed_us: u64,
+    /// The trace id the request carried (or was assigned at ingress),
+    /// echoed so clients can correlate responses with fleet logs.
+    pub trace: Option<String>,
 }
 
 impl Response {
-    /// A malformed-request / failed-submission response.
+    /// A malformed-request / failed-submission response. Attach the real
+    /// elapsed time and trace id with [`Response::with_elapsed`] /
+    /// [`Response::with_trace`].
     pub fn error(id: u64, message: impl Into<String>) -> Response {
         Response {
             id,
@@ -120,7 +131,21 @@ impl Response {
             learned: false,
             error: Some(message.into()),
             elapsed_us: 0,
+            trace: None,
         }
+    }
+
+    /// Sets the measured elapsed time (error paths report real latency so
+    /// latency histograms are not polluted with zeros).
+    pub fn with_elapsed(mut self, elapsed_us: u64) -> Response {
+        self.elapsed_us = elapsed_us;
+        self
+    }
+
+    /// Sets the echoed trace id.
+    pub fn with_trace(mut self, trace: Option<String>) -> Response {
+        self.trace = trace;
+        self
     }
 }
 
@@ -169,14 +194,23 @@ pub enum Incoming {
         /// Correlation id echoed in the report.
         id: u64,
     },
+    /// A `{"id":…,"metrics":true}` probe answered with a
+    /// [`crate::obs::MetricsDump`] (full-resolution histograms; what the
+    /// router merges into fleet-level views).
+    Metrics {
+        /// Correlation id echoed in the dump.
+        id: u64,
+    },
 }
 
 /// The shape probed before full request parsing: any line carrying
-/// `"stats":true` is a control request, whatever else it contains.
+/// `"stats":true` or `"metrics":true` is a control request, whatever else
+/// it contains.
 #[derive(Debug, Deserialize)]
 struct ControlProbe {
     id: Option<u64>,
     stats: Option<bool>,
+    metrics: Option<bool>,
 }
 
 /// Parses one NDJSON request line.
@@ -197,6 +231,9 @@ pub fn parse_incoming(line: &str) -> Result<Incoming, String> {
     if let Ok(probe) = serde_json::from_str::<ControlProbe>(line) {
         if probe.stats == Some(true) {
             return Ok(Incoming::Stats { id: probe.id.unwrap_or(0) });
+        }
+        if probe.metrics == Some(true) {
+            return Ok(Incoming::Metrics { id: probe.id.unwrap_or(0) });
         }
     }
     parse_request(line).map(Incoming::Feedback)
@@ -228,6 +265,17 @@ mod tests {
     fn learn_defaults_to_absent() {
         let request = parse_request(r#"{"id":1,"problem":"p","source":"s"}"#).unwrap();
         assert_eq!(request.learn, None);
+        assert_eq!(request.trace, None, "trace is optional for old clients");
+    }
+
+    #[test]
+    fn trace_ids_ride_along() {
+        let request =
+            parse_request(r#"{"id":1,"problem":"p","source":"s","trace":"00c0ffee00c0ffee"}"#).unwrap();
+        assert_eq!(request.trace.as_deref(), Some("00c0ffee00c0ffee"));
+        let line = serde_json::to_string(&request).unwrap();
+        let back = parse_request(&line).unwrap();
+        assert_eq!(back.trace, request.trace);
     }
 
     #[test]
@@ -251,6 +299,15 @@ mod tests {
         }
         // Malformed lines still error with a description.
         assert!(parse_incoming("not json").is_err());
+    }
+
+    #[test]
+    fn metrics_lines_parse_as_control_requests() {
+        match parse_incoming(r#"{"id":5,"metrics":true}"#).unwrap() {
+            Incoming::Metrics { id } => assert_eq!(id, 5),
+            other => panic!("expected a metrics request, got {other:?}"),
+        }
+        assert!(parse_incoming(r#"{"id":5,"metrics":false}"#).is_err(), "not a feedback request either");
     }
 
     #[test]
@@ -294,6 +351,7 @@ mod tests {
             learned: false,
             error: None,
             elapsed_us: 42,
+            trace: Some("00c0ffee00c0ffee".to_owned()),
         };
         let line = render_response(&response);
         assert!(!line.contains('\n'), "NDJSON framing: {line}");
@@ -302,5 +360,13 @@ mod tests {
         assert_eq!(back.status, Status::Repaired);
         assert_eq!(back.feedback, response.feedback);
         assert_eq!(back.cost, Some(2));
+        assert_eq!(back.trace, response.trace);
+    }
+
+    #[test]
+    fn error_responses_carry_real_elapsed_and_trace() {
+        let response = Response::error(1, "boom").with_elapsed(17).with_trace(Some("ff".to_owned()));
+        assert_eq!(response.elapsed_us, 17);
+        assert_eq!(response.trace.as_deref(), Some("ff"));
     }
 }

@@ -33,8 +33,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use clara_core::timing::{Stage, StageTimer};
 use serde::{Deserialize, Serialize};
 
+use crate::obs::{self, render_prometheus, CounterDump, LabelDump, MetricsDump, Registry};
 use crate::pool::{PoolClosed, WorkerPool};
 use crate::protocol::{render_response, Request, Response};
 use crate::retry::{CircuitBreaker, RetryPolicy, SplitMix64};
@@ -174,6 +176,7 @@ pub struct Router {
     catalog: HashMap<String, String>,
     counters: Arc<RouterCounters>,
     pool: WorkerPool<RouterJob>,
+    config: RouterConfig,
 }
 
 /// Everything a forwarding worker needs, shared across workers.
@@ -212,10 +215,11 @@ impl Router {
             config.workers.max(1),
             config.queue_capacity.max(1),
             move |(request, reply): RouterJob| {
-                reply(forwarder.handle(&request));
+                reply(forwarder.handle(request));
             },
         );
-        Router { upstreams, ring, catalog, counters, pool }
+        obs::install_stage_metrics();
+        Router { upstreams, ring, catalog, counters, pool, config }
     }
 
     /// The shard index owning `request`'s problem×language key. The
@@ -296,6 +300,58 @@ impl Router {
         serde_json::to_string(&self.report(id)).expect("report serialization is infallible")
     }
 
+    /// The fleet-level metrics view: this process's registry, the router's
+    /// own resilience counters, and every reachable shard's dump merged in
+    /// (histograms add bucket-wise — the shared fixed layout makes the
+    /// merge exact). Unreachable shards are logged and skipped; the view
+    /// stays useful in a degraded fleet.
+    pub fn metrics_dump(&self, id: u64) -> MetricsDump {
+        let mut dump = Registry::global().dump(id);
+        let report = self.report(id);
+        let fleet: [(&str, u64); 6] = [
+            ("clara_router_forwarded_total", report.forwarded),
+            ("clara_router_upstream_errors_total", report.upstream_errors),
+            ("clara_router_retries_total", report.retries),
+            ("clara_router_failovers_total", report.failovers),
+            ("clara_router_replicated_learns_total", report.replicated_learns),
+            ("clara_router_shed_total", report.shed_requests),
+        ];
+        for (name, value) in fleet {
+            dump.counters.push(CounterDump { name: name.to_owned(), labels: Vec::new(), value });
+        }
+        for upstream_stat in &report.upstreams {
+            dump.counters.push(CounterDump {
+                name: "clara_router_upstream_forwarded_total".to_owned(),
+                labels: vec![LabelDump { k: "upstream".to_owned(), v: upstream_stat.addr.clone() }],
+                value: upstream_stat.forwarded,
+            });
+        }
+        let timeout = Duration::from_secs(2);
+        for upstream in self.upstreams.iter() {
+            match probe_upstream_metrics(upstream, timeout, self.config.pool_per_upstream) {
+                Ok(shard_dump) => dump.merge(&shard_dump),
+                Err(e) => obs::log("warn", "metrics_probe_failed")
+                    .str_field("upstream", &upstream.addr)
+                    .str_field("error", &e.to_string())
+                    .emit(),
+            }
+        }
+        dump.metrics_dump = true;
+        dump.id = id;
+        dump
+    }
+
+    /// The merged metrics dump as one JSON line (NDJSON `{"metrics":true}`).
+    pub fn metrics_line(&self, id: u64) -> String {
+        serde_json::to_string(&self.metrics_dump(id))
+            .unwrap_or_else(|e| render_response(&Response::error(id, format!("metrics failed: {e}"))))
+    }
+
+    /// The merged metrics dump in Prometheus text format (`GET /metrics`).
+    pub fn metrics_text(&self) -> String {
+        render_prometheus(&self.metrics_dump(0))
+    }
+
     /// Closes the forwarding queues and joins the workers.
     pub fn shutdown(&mut self) {
         self.pool.shutdown();
@@ -309,20 +365,54 @@ fn canonical_lang<'a>(catalog: &'a HashMap<String, String>, request: &'a Request
 impl Forwarder {
     /// Forwards one request to its replica set and renders the response
     /// line. Reads try the owner then fail over to successors; learns are
-    /// written to every replica.
-    fn handle(&self, request: &Request) -> String {
+    /// written to every replica. The router is an ingress: a request
+    /// arriving without a trace id is assigned one here, and the id rides
+    /// the forwarded line so the owning shard (and any failover successor)
+    /// logs the same id.
+    fn handle(&self, mut request: Request) -> String {
+        let trace = obs::trace_or_mint(request.trace.as_deref());
+        request.trace = Some(trace.clone());
         let replicas =
-            self.ring.owners(&request.problem, canonical_lang(&self.catalog, request), REPLICATION_FACTOR);
-        let line = serde_json::to_string(request).expect("request serialization is infallible");
+            self.ring.owners(&request.problem, canonical_lang(&self.catalog, &request), REPLICATION_FACTOR);
+        let line = serde_json::to_string(&request).expect("request serialization is infallible");
         let start = Instant::now();
         // Jitter stream is deterministic per (router seed, request id).
         let mut rng = SplitMix64::new(self.config.seed ^ request.id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
 
         if request.learn == Some(true) {
-            self.handle_learn(request, &replicas, &line, start, &mut rng)
+            self.handle_learn(&request, &replicas, &line, start, &mut rng, &trace)
         } else {
-            self.handle_read(request, &replicas, &line, start, &mut rng)
+            self.handle_read(&request, &replicas, &line, start, &mut rng, &trace)
         }
+    }
+
+    /// The all-replicas-unreachable error line, with the real elapsed time
+    /// and the trace id attached.
+    fn unreachable_response(
+        &self,
+        request: &Request,
+        index: usize,
+        replica_count: usize,
+        error: &io::Error,
+        start: Instant,
+        trace: &str,
+    ) -> String {
+        obs::log("error", "upstream_unreachable")
+            .str_field("trace_id", trace)
+            .str_field("upstream", &self.upstreams[index].addr)
+            .str_field("error", &error.to_string())
+            .num_field("replicas", replica_count as u64)
+            .emit();
+        let response = Response::error(
+            request.id,
+            format!(
+                "shard {index} ({}) unreachable after {replica_count} replica(s): {error}",
+                self.upstreams[index].addr
+            ),
+        )
+        .with_elapsed(start.elapsed().as_micros() as u64)
+        .with_trace(Some(trace.to_owned()));
+        render_response(&response)
     }
 
     /// Reads: first replica that answers wins; answering from a non-owner
@@ -334,13 +424,19 @@ impl Forwarder {
         line: &str,
         start: Instant,
         rng: &mut SplitMix64,
+        trace: &str,
     ) -> String {
         let mut last_error: Option<(usize, io::Error)> = None;
         for (rank, &index) in replicas.iter().enumerate() {
-            match self.exchange_with_retries(index, line, start, rng) {
+            match self.exchange_with_retries(index, line, start, rng, trace) {
                 Ok(response) => {
                     if rank > 0 {
                         self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                        obs::log("warn", "failover")
+                            .str_field("trace_id", trace)
+                            .str_field("upstream", &self.upstreams[index].addr)
+                            .num_field("replica_rank", rank as u64)
+                            .emit();
                     }
                     return response;
                 }
@@ -348,14 +444,7 @@ impl Forwarder {
             }
         }
         let (index, e) = last_error.expect("at least one replica attempted");
-        render_response(&Response::error(
-            request.id,
-            format!(
-                "shard {index} ({}) unreachable after {} replica(s): {e}",
-                self.upstreams[index].addr,
-                replicas.len()
-            ),
-        ))
+        self.unreachable_response(request, index, replicas.len(), &e, start, trace)
     }
 
     /// Learns: written to every replica so an owner crash loses nothing.
@@ -368,18 +457,32 @@ impl Forwarder {
         line: &str,
         start: Instant,
         rng: &mut SplitMix64,
+        trace: &str,
     ) -> String {
         let mut first_success: Option<(usize, String)> = None;
         let mut last_error: Option<(usize, io::Error)> = None;
         for (rank, &index) in replicas.iter().enumerate() {
-            match self.exchange_with_retries(index, line, start, rng) {
+            // Writes beyond the first successful replica are replication.
+            let replicating = rank > 0 && first_success.is_some();
+            let exchanged = if replicating {
+                let _timer = StageTimer::start(Stage::Replicate);
+                self.exchange_with_retries(index, line, start, rng, trace)
+            } else {
+                self.exchange_with_retries(index, line, start, rng, trace)
+            };
+            match exchanged {
                 Ok(response) => {
-                    if rank > 0 && first_success.is_some() {
+                    if replicating {
                         self.counters.replicated_learns.fetch_add(1, Ordering::Relaxed);
                     }
                     if first_success.is_none() {
                         if rank > 0 {
                             self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                            obs::log("warn", "failover")
+                                .str_field("trace_id", trace)
+                                .str_field("upstream", &self.upstreams[index].addr)
+                                .num_field("replica_rank", rank as u64)
+                                .emit();
                         }
                         first_success = Some((rank, response));
                     }
@@ -387,6 +490,11 @@ impl Forwarder {
                 Err(e) => {
                     if first_success.is_some() {
                         self.counters.replication_errors.fetch_add(1, Ordering::Relaxed);
+                        obs::log("warn", "replication_failed")
+                            .str_field("trace_id", trace)
+                            .str_field("upstream", &self.upstreams[index].addr)
+                            .str_field("error", &e.to_string())
+                            .emit();
                     }
                     last_error = Some((index, e));
                 }
@@ -396,14 +504,7 @@ impl Forwarder {
             Some((_, response)) => response,
             None => {
                 let (index, e) = last_error.expect("at least one replica attempted");
-                render_response(&Response::error(
-                    request.id,
-                    format!(
-                        "shard {index} ({}) unreachable after {} replica(s): {e}",
-                        self.upstreams[index].addr,
-                        replicas.len()
-                    ),
-                ))
+                self.unreachable_response(request, index, replicas.len(), &e, start, trace)
             }
         }
     }
@@ -417,6 +518,7 @@ impl Forwarder {
         line: &str,
         start: Instant,
         rng: &mut SplitMix64,
+        trace: &str,
     ) -> io::Result<String> {
         let upstream = &self.upstreams[index];
         let policy = self.config.retry;
@@ -430,6 +532,11 @@ impl Forwarder {
             if attempt > 0 {
                 std::thread::sleep(policy.backoff(attempt, rng).min(remaining));
                 upstream.retries.fetch_add(1, Ordering::Relaxed);
+                obs::log("info", "retry")
+                    .str_field("trace_id", trace)
+                    .str_field("upstream", &upstream.addr)
+                    .num_field("attempt", u64::from(attempt))
+                    .emit();
             }
             if !upstream.breaker.allow() {
                 return Err(last_error.unwrap_or_else(|| {
@@ -439,10 +546,14 @@ impl Forwarder {
             // Split the remaining budget over the attempts left so a hung
             // exchange (e.g. an injected drop) can't eat the whole deadline.
             let attempt_timeout = remaining / (policy.max_attempts - attempt);
+            let exchange_timer = Instant::now();
             match self.exchange_once(upstream, line, attempt_timeout) {
                 Ok(response) => {
                     upstream.breaker.on_success();
                     upstream.forwarded.fetch_add(1, Ordering::Relaxed);
+                    Registry::global()
+                        .histogram("clara_forward_duration_us", &[("upstream", &upstream.addr)])
+                        .record(exchange_timer.elapsed().as_micros() as u64);
                     return Ok(response);
                 }
                 Err(e) => {
@@ -481,6 +592,26 @@ impl Forwarder {
     }
 }
 
+/// One `{"metrics":true}` probe against a shard, over a pooled (or fresh)
+/// connection.
+fn probe_upstream_metrics(
+    upstream: &Upstream,
+    timeout: Duration,
+    pool_cap: usize,
+) -> io::Result<MetricsDump> {
+    let mut conn = match upstream.checkout() {
+        Some(conn) => conn,
+        None => BufReader::new(connect(&upstream.addr, timeout)?),
+    };
+    conn.get_ref().set_read_timeout(Some(timeout))?;
+    conn.get_ref().set_write_timeout(Some(timeout))?;
+    let response = exchange(&mut conn, r#"{"id":0,"metrics":true}"#)?;
+    let dump: MetricsDump = serde_json::from_str(&response)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("unparseable metrics dump: {e}")))?;
+    upstream.checkin(conn, pool_cap);
+    Ok(dump)
+}
+
 fn connect(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
     let resolved = addr
         .to_socket_addrs()?
@@ -516,6 +647,7 @@ mod tests {
             lang: None,
             source: "def f(x):\n    return x\n".to_owned(),
             learn: None,
+            trace: None,
         }
     }
 
@@ -693,5 +825,33 @@ mod tests {
         let report = router.report(0);
         assert_eq!(report.upstreams[0].breaker, "open", "{report:?}");
         assert!(report.upstreams[0].consecutive_failures >= 2);
+    }
+
+    #[test]
+    fn metrics_dumps_survive_unprobeable_upstreams() {
+        let addrs = vec![fake_shard("metrics-shard")];
+        let catalog = vec![("derivatives".to_owned(), "minipy".to_owned())];
+        let router = Router::new(addrs, catalog, fast_config(1, 4));
+        let (tx, rx) = mpsc::channel();
+        router.submit(request(1, "derivatives"), Box::new(move |line| tx.send(line).unwrap())).unwrap();
+        rx.recv_timeout(Duration::from_secs(30)).unwrap();
+
+        // The fake shard answers the `{"metrics":true}` probe with a plain
+        // error response, not a dump: aggregation must degrade to the
+        // router's own fleet counters instead of failing the request.
+        let line = router.metrics_line(3);
+        let dump: MetricsDump = serde_json::from_str(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert!(dump.metrics_dump);
+        assert_eq!(dump.id, 3);
+        let forwarded =
+            dump.counters.iter().find(|c| c.name == "clara_router_forwarded_total").expect("fleet counter");
+        assert!(forwarded.value >= 1, "{forwarded:?}");
+        assert!(
+            dump.counters.iter().any(|c| c.name == "clara_router_upstream_forwarded_total"),
+            "per-upstream counters present"
+        );
+
+        let text = router.metrics_text();
+        assert!(text.contains("# TYPE clara_router_forwarded_total counter"), "{text}");
     }
 }

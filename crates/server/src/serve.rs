@@ -237,6 +237,10 @@ pub fn run_ndjson(
                 let report = server.stats_report(id);
                 send_line(&line_tx, serde_json::to_string(&report).expect("stats serialize"));
             }
+            Ok(Incoming::Metrics { id }) => {
+                let dump = crate::obs::Registry::global().dump(id);
+                send_line(&line_tx, serde_json::to_string(&dump).expect("metrics serialize"));
+            }
             Ok(Incoming::Feedback(request)) => {
                 let tx = line_tx.clone();
                 let submitted = server.submit(request, move |response| {
@@ -307,6 +311,7 @@ mod tests {
             lang: None,
             source: source.to_owned(),
             learn: None,
+            trace: None,
         })
     }
 
@@ -378,6 +383,7 @@ mod tests {
                         lang: None,
                         source: derivatives().seeds[0].to_owned(),
                         learn: None,
+                        trace: None,
                     },
                     move |response| {
                         let _ = reply.send(response);
@@ -436,6 +442,17 @@ mod tests {
         assert_eq!(report.shard, "0/1");
         assert_eq!(report.problems.len(), 1);
         assert!(report.service.requests >= 1, "the repair above is counted");
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        assert!(reply.contains("text/plain"), "Prometheus content type: {reply}");
+        let body = reply.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.contains("# TYPE clara_requests_total counter"), "{body}");
+        assert!(body.contains("# TYPE clara_request_duration_us histogram"), "{body}");
+        assert!(body.contains("clara_stage_duration_us_bucket{stage=\"parse\""), "{body}");
 
         let mut stream = TcpStream::connect(addr).unwrap();
         write!(stream, "GET /nope HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
@@ -530,6 +547,7 @@ mod tests {
             lang: None,
             source: derivatives().seeds[0].to_owned(),
             learn: None,
+            trace: None,
         };
         let _ = server.handle_sync(&request);
         let _ = server.handle_sync(&request);

@@ -27,12 +27,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
+use clara_core::timing::{self, Stage, StageTimer};
 use clara_core::{frontend, ClaraConfig, Snapshot, SnapshotCell};
 use clara_corpus::Problem;
 use clara_model::frontend::Lang;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::StripedCache;
+use crate::obs::{self, Registry};
 use crate::protocol::{Request, Response, Status};
 use crate::shard::ShardSpec;
 use crate::store::ClusterStore;
@@ -53,6 +55,10 @@ pub struct ServiceConfig {
     pub shard: ShardSpec,
     /// Engine configuration used for analysis and repair.
     pub clara: ClaraConfig,
+    /// Slow-request threshold in milliseconds: requests at or above it —
+    /// and failed requests — dump their full span tree as a structured log
+    /// line. `Some(0)` dumps every request; `None` disables dumps.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +69,7 @@ impl Default for ServiceConfig {
             learn: true,
             shard: ShardSpec::solo(),
             clara: ClaraConfig::default(),
+            slow_ms: None,
         }
     }
 }
@@ -270,6 +277,9 @@ impl FeedbackService {
             })
             .collect();
         let by_problem = shards.iter().enumerate().map(|(i, s)| (s.problem.name.to_owned(), i)).collect();
+        // Stage timers in the core pipeline feed the process-wide latency
+        // histograms from here on.
+        obs::install_stage_metrics();
         FeedbackService {
             shards,
             by_problem,
@@ -358,9 +368,14 @@ impl FeedbackService {
         for request in requests {
             let start = Instant::now();
             self.counters.requests.fetch_add(1, Ordering::Relaxed);
-            let mut response = self.handle_one(request, &mut snapshots, &mut computed, &responses);
+            // The trace id arrives with the request (router-forwarded or
+            // client-chosen) or is minted here at ingress for direct traffic.
+            let trace = obs::trace_or_mint(request.trace.as_deref());
+            let (mut response, spans) =
+                timing::collect(|| self.handle_one(request, &mut snapshots, &mut computed, &responses));
             response.id = request.id;
             response.elapsed_us = start.elapsed().as_micros() as u64;
+            response.trace = Some(trace.clone());
             match response.status {
                 Status::Correct => &self.counters.correct,
                 Status::Repaired => &self.counters.repaired,
@@ -368,9 +383,38 @@ impl FeedbackService {
                 Status::Error => &self.counters.errors,
             }
             .fetch_add(1, Ordering::Relaxed);
+            self.observe(request, &response, &spans, &trace);
             responses.push(response);
         }
         responses
+    }
+
+    /// Records the request in the metrics registry and dumps its span tree
+    /// when it was slow or failed (per `slow_ms`).
+    fn observe(&self, request: &Request, response: &Response, spans: &[timing::Span], trace: &str) {
+        let registry = Registry::global();
+        registry
+            .counter(
+                "clara_requests_total",
+                &[("problem", &request.problem), ("status", response.status.as_str())],
+            )
+            .inc();
+        registry
+            .histogram("clara_request_duration_us", &[("status", response.status.as_str())])
+            .record(response.elapsed_us);
+        let failed = response.status == Status::Error;
+        let dump =
+            self.config.slow_ms.is_some_and(|ms| failed || response.elapsed_us >= ms.saturating_mul(1_000));
+        if dump {
+            obs::log(if failed { "warn" } else { "info" }, "slow_request")
+                .str_field("trace_id", trace)
+                .str_field("problem", &request.problem)
+                .str_field("status", response.status.as_str())
+                .num_field("elapsed_us", response.elapsed_us)
+                .raw_field("cache_hit", if response.cache_hit { "true" } else { "false" })
+                .raw_field("spans", &obs::spans_json(spans))
+                .emit();
+        }
     }
 
     fn handle_one(
@@ -413,15 +457,21 @@ impl FeedbackService {
 
         // Unparseable submissions have no structural hash and bypass the
         // cache; parsing is also the cheapest stage, so this costs little.
-        let parsed = match frontend(lang).parse(&request.source) {
+        let parsed = {
+            let _timer = StageTimer::start(Stage::Parse);
+            frontend(lang).parse(&request.source)
+        };
+        let parsed = match parsed {
             Ok(parsed) => parsed,
             Err(e) => return Response::error(request.id, format!("syntax error: {e}")),
         };
 
         // One snapshot resolution per shard per batch; everything below runs
         // against this immutable index without any lock.
-        let snapshot =
-            Arc::clone(snapshots.entry(shard_index).or_insert_with(|| self.shards[shard_index].cell.load()));
+        let snapshot = {
+            let _timer = StageTimer::start(Stage::SnapshotResolve);
+            Arc::clone(snapshots.entry(shard_index).or_insert_with(|| self.shards[shard_index].cell.load()))
+        };
         let key = cache_key(shard_index, snapshot.generation(), lang, parsed.structural_hash());
 
         // Batch-local dedup: a structurally identical submission earlier in
@@ -442,11 +492,16 @@ impl FeedbackService {
                     learned: false,
                     error: first.error.clone(),
                     elapsed_us: 0,
+                    trace: None,
                 };
             }
         }
 
-        if let Some(cached) = self.cache.get(key) {
+        let probed = {
+            let _timer = StageTimer::start(Stage::CacheProbe);
+            self.cache.get(key)
+        };
+        if let Some(cached) = probed {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             // A cache hit answers the *feedback* question, but a learn
             // request must still reach the index — the first occurrence may
@@ -461,6 +516,7 @@ impl FeedbackService {
                 learned,
                 error: cached.error,
                 elapsed_us: 0,
+                trace: None,
             };
         }
 
@@ -544,6 +600,7 @@ impl FeedbackService {
             learned,
             error: outcome.error,
             elapsed_us: 0,
+            trace: None,
         }
     }
 
@@ -556,6 +613,7 @@ impl FeedbackService {
         if !(self.config.learn && request.learn.unwrap_or(false)) {
             return false;
         }
+        let _timer = StageTimer::start(Stage::Learn);
         // Writers serialize here; the snapshot cell itself only orders
         // publishes, not the read-modify-write around them. A poisoned lock
         // (a panicked writer) must not take the shard's learns down with it:
@@ -609,7 +667,14 @@ mod tests {
     }
 
     fn request(id: u64, source: &str) -> Request {
-        Request { id, problem: "derivatives".to_owned(), lang: None, source: source.to_owned(), learn: None }
+        Request {
+            id,
+            problem: "derivatives".to_owned(),
+            lang: None,
+            source: source.to_owned(),
+            learn: None,
+            trace: None,
+        }
     }
 
     const INCORRECT: &str = "\
@@ -785,6 +850,25 @@ def computeDeriv(poly):
     }
 
     #[test]
+    fn responses_echo_or_mint_trace_ids_and_report_elapsed() {
+        let service = service();
+        let mut traced = request(1, INCORRECT);
+        traced.trace = Some("00c0ffee00c0ffee".to_owned());
+        let response = service.handle(&traced);
+        assert_eq!(response.trace.as_deref(), Some("00c0ffee00c0ffee"), "client trace ids are echoed");
+        assert!(response.elapsed_us > 0, "a real repair takes measurable time");
+
+        let minted = service.handle(&request(2, INCORRECT)).trace.expect("a trace id is always assigned");
+        assert_eq!(minted.len(), 16);
+        assert!(minted.chars().all(|c| c.is_ascii_hexdigit()), "minted ids are hex: {minted}");
+
+        // Error responses carry a trace and a real elapsed time too.
+        let error = service.handle(&request(3, "def broken(:\n"));
+        assert_eq!(error.status, Status::Error);
+        assert!(error.trace.is_some());
+    }
+
+    #[test]
     fn per_shard_request_counts_are_tracked() {
         let service = service();
         let _ = service.handle(&request(1, INCORRECT));
@@ -810,6 +894,7 @@ def computeDeriv(poly):
             lang: Some("c".to_owned()),
             source: buggy.to_owned(),
             learn: None,
+            trace: None,
         });
         assert_eq!(response.status, Status::Repaired, "{:?}", response.error);
         let text = response.feedback.join("\n");
@@ -822,6 +907,7 @@ def computeDeriv(poly):
             lang: None,
             source: problem.seeds[1].to_owned(),
             learn: None,
+            trace: None,
         });
         assert_eq!(correct.status, Status::Correct);
         // Structural duplicates (reformatted C) hit the cache.
@@ -831,6 +917,7 @@ def computeDeriv(poly):
             lang: None,
             source: buggy.replace("    int a = 1;", "    /* init */\n    int a = 1;"),
             learn: None,
+            trace: None,
         });
         assert!(dup.cache_hit, "reformatted C submission must hit the cache");
         assert_eq!(dup.feedback, response.feedback);
@@ -925,6 +1012,7 @@ def computeDeriv(poly):
             lang: None,
             source: "def f(x):\n    return x\n".to_owned(),
             learn: None,
+            trace: None,
         });
         assert_eq!(response.status, Status::Error);
         let message = response.error.unwrap();
@@ -943,6 +1031,7 @@ def computeDeriv(poly):
             lang: None,
             source: "def f(x):\n    return x\n".to_owned(),
             learn: None,
+            trace: None,
         });
         assert_eq!(unknown.status, Status::Error);
         assert!(unknown.error.unwrap().contains("unknown problem"));
@@ -975,6 +1064,7 @@ def computeDeriv(poly):
                         lang: None,
                         source: source.clone(),
                         learn: Some(true),
+                        trace: None,
                     };
                     learn.learn = Some(true);
                     let response = service.handle(&learn);

@@ -316,15 +316,16 @@ impl ClusterStore {
                 let path = Self::index_path(dir, problem.name);
                 let quarantine = path.with_extension("json.corrupt");
                 let moved = std::fs::rename(&path, &quarantine).is_ok();
-                eprintln!(
-                    "warning: index for `{}` is unusable ({e}); {} and rebuilding from seeds",
-                    problem.name,
-                    if moved {
-                        format!("quarantined as {}", quarantine.display())
-                    } else {
-                        "leaving the file in place".to_owned()
-                    }
-                );
+                crate::obs::log("warn", "index_quarantined")
+                    .str_field("problem", problem.name)
+                    .str_field("error", &e.to_string())
+                    .str_field("path", &path.display().to_string())
+                    .str_field(
+                        "quarantined_as",
+                        &if moved { quarantine.display().to_string() } else { String::new() },
+                    )
+                    .str_field("action", "rebuilding from seeds")
+                    .emit();
                 Ok(None)
             }
         }

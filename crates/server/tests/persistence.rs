@@ -44,6 +44,7 @@ fn warm_loaded_store_yields_byte_identical_feedback_on_the_smoke_dataset() {
             lang: None,
             source: attempt.source.clone(),
             learn: None,
+            trace: None,
         };
         let cold_response = cold_service.handle(&request);
         let warm_response = warm_service.handle(&request);

@@ -44,6 +44,9 @@
 //!   stored index exists (default 60);
 //! * `--workers N` / `--queue N` — worker pool sizing;
 //! * `--no-learn` — reject online insertion of correct submissions;
+//! * `--slow-ms N` — dump a structured-log line with the per-stage span
+//!   breakdown for every request slower than `N` ms (and every failed
+//!   request); `--slow-ms 0` traces everything;
 //! * `--faults SPEC` (or `CLARA_FAULTS`) — deterministic fault injection
 //!   at the net layer for chaos testing, e.g.
 //!   `seed=7,drop=0.02,close=0.01,garble=0.02,delay=0.1,delay_ms=5`.
@@ -73,7 +76,7 @@ fn usage() -> ExitCode {
     eprintln!("  clara-cli serve [--index-dir DIR] [--listen ADDR] [--http ADDR] [--shard i/N]");
     eprintln!("                  [--router --shards ADDR,ADDR,...] [--pool-size N]");
     eprintln!("                  [--workers N] [--queue N] [--no-learn] [--lang L]");
-    eprintln!("                  [--faults SPEC] [problem...]");
+    eprintln!("                  [--slow-ms N] [--faults SPEC] [problem...]");
     eprintln!("                  (SPEC e.g. seed=7,drop=0.02,close=0.01,garble=0.02,delay=0.1,delay_ms=5;");
     eprintln!("                   also read from CLARA_FAULTS)");
     eprintln!("  clara-cli batch [--lang L] <problem> <attempt.py|attempt.c>...");
@@ -307,6 +310,7 @@ struct ServeOptions {
     queue: Option<usize>,
     learn: bool,
     lang: Option<Lang>,
+    slow_ms: Option<u64>,
     faults: Option<FaultPlan>,
 }
 
@@ -324,6 +328,7 @@ fn parse_serve_options(args: &[String]) -> Option<ServeOptions> {
         queue: None,
         learn: true,
         lang: None,
+        slow_ms: None,
         faults: None,
     };
     let mut iter = args.iter();
@@ -347,6 +352,7 @@ fn parse_serve_options(args: &[String]) -> Option<ServeOptions> {
             "--workers" => options.workers = Some(iter.next()?.parse().ok()?),
             "--queue" => options.queue = Some(iter.next()?.parse().ok()?),
             "--no-learn" => options.learn = false,
+            "--slow-ms" => options.slow_ms = Some(iter.next()?.parse().ok()?),
             "--lang" => options.lang = Some(Lang::from_tag(iter.next()?)?),
             "--faults" => match iter.next()?.parse() {
                 Ok(plan) => options.faults = Some(plan),
@@ -585,7 +591,12 @@ fn serve(args: &[String]) -> ExitCode {
 
     let service = Arc::new(FeedbackService::new(
         stores,
-        ServiceConfig { learn: options.learn, shard: spec, ..ServiceConfig::default() },
+        ServiceConfig {
+            learn: options.learn,
+            shard: spec,
+            slow_ms: options.slow_ms,
+            ..ServiceConfig::default()
+        },
     ));
     let mut server_config = ServerConfig::default();
     if let Some(workers) = options.workers {
@@ -670,6 +681,7 @@ fn batch(problem_name: &str, paths: &[String], lang: Option<Lang>) -> ExitCode {
             lang: Some(problem.lang.as_str().to_owned()),
             source,
             learn: None,
+            trace: None,
         });
         let summary = match response.status {
             Status::Correct => "correct".to_owned(),

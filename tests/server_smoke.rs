@@ -83,6 +83,7 @@ fn request_line_for(id: u64, problem: &str, lang: Option<&str>, source: &str) ->
         lang: lang.map(str::to_owned),
         source: source.to_owned(),
         learn: None,
+        trace: None,
     })
     .unwrap()
 }
@@ -396,6 +397,7 @@ fn router_fails_over_to_the_ring_successor_when_the_owner_dies() {
         lang: None,
         source: NOVEL_CORRECT.to_owned(),
         learn: Some(true),
+        trace: None,
     })
     .unwrap();
     let learned = exchange(&mut writer, &mut reader, &learn);
@@ -431,6 +433,143 @@ fn router_fails_over_to_the_ring_successor_when_the_owner_dies() {
     let status = router.wait().expect("waiting for router");
     assert!(status.success(), "router must exit 0 on EOF, got {status:?}");
     let (mut survivor, _) = shard_procs.remove(1 - owner);
+    drop(survivor.stdin.take());
+    let status = survivor.wait().expect("waiting for the surviving shard");
+    assert!(status.success(), "survivor must exit 0 on EOF, got {status:?}");
+}
+
+/// Like [`spawn_listener`], but also captures every stderr line the child
+/// emits (structured logs included) into a shared buffer for inspection.
+fn spawn_listener_logged(
+    args: &[String],
+) -> (std::process::Child, String, std::sync::Arc<std::sync::Mutex<Vec<String>>>) {
+    let mut child = Command::new(CLI)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning clara-cli serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let logs: std::sync::Arc<std::sync::Mutex<Vec<String>>> = std::sync::Arc::default();
+    let sink = std::sync::Arc::clone(&logs);
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            if let Some(rest) = line.strip_prefix("(ndjson endpoint on ") {
+                let _ = tx.send(rest.trim_end_matches(')').to_owned());
+            }
+            sink.lock().unwrap().push(line);
+        }
+    });
+    let addr = rx
+        .recv_timeout(std::time::Duration::from_secs(120))
+        .expect("serve process reports its NDJSON endpoint");
+    (child, addr, logs)
+}
+
+/// Polls a captured log buffer until a line containing every needle shows
+/// up (the capture thread races the assertion) or the deadline passes.
+fn wait_for_log_line(logs: &std::sync::Mutex<Vec<String>>, needles: &[&str]) -> Option<String> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        if let Some(line) = logs.lock().unwrap().iter().find(|line| needles.iter().all(|n| line.contains(n)))
+        {
+            return Some(line.clone());
+        }
+        if std::time::Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
+/// The PR 8 observability smoke: a client-supplied trace id must ride a
+/// request through the router into the shard fleet and come out in every
+/// process's structured logs — including on the failover path, where the
+/// retry against the dead owner and the successor's answer must both be
+/// attributable to the same trace. Shards run with `--slow-ms 0` so every
+/// request dumps its span breakdown.
+#[test]
+fn trace_ids_propagate_from_router_to_shards_across_failover() {
+    let mut shard_procs: Vec<(std::process::Child, String, _)> = (0..2)
+        .map(|i| {
+            let mut args: Vec<String> = vec!["serve".into(), "derivatives".into()];
+            args.extend(
+                ["--listen", "127.0.0.1:0", "--pool-size", "8", "--workers", "1", "--slow-ms", "0"]
+                    .map(String::from),
+            );
+            args.extend(["--shard".into(), format!("{i}/2")]);
+            spawn_listener_logged(&args)
+        })
+        .collect();
+    let shard_addrs: Vec<String> = shard_procs.iter().map(|(_, addr, _)| addr.clone()).collect();
+    let router_args: Vec<String> =
+        ["serve", "--router", "--shards", &shard_addrs.join(","), "--listen", "127.0.0.1:0"]
+            .map(String::from)
+            .to_vec();
+    let (mut router, router_addr, router_logs) = spawn_listener_logged(&router_args);
+
+    let stream = std::net::TcpStream::connect(&router_addr).expect("connecting to router");
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(120))).expect("read timeout");
+    let mut writer = stream.try_clone().expect("cloning stream");
+    let mut reader = BufReader::new(stream);
+    let traced_request = |id: u64, trace: &str| {
+        serde_json::to_string(&clara_server::Request {
+            id,
+            problem: "derivatives".to_owned(),
+            lang: None,
+            source: INCORRECT.to_owned(),
+            learn: None,
+            trace: Some(trace.to_owned()),
+        })
+        .unwrap()
+    };
+    let exchange = |writer: &mut std::net::TcpStream,
+                    reader: &mut BufReader<std::net::TcpStream>,
+                    line: &str|
+     -> Response {
+        writeln!(writer, "{line}").expect("writing request");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reading response line");
+        serde_json::from_str(reply.trim()).unwrap_or_else(|e| panic!("malformed response `{reply}`: {e}"))
+    };
+
+    // Healthy path: the trace id is echoed in the response and shows up in
+    // the owning shard's slow-request span dump.
+    let owner = clara_server::HashRing::new(2).owner("derivatives", "minipy");
+    let healthy = exchange(&mut writer, &mut reader, &traced_request(1, "feedface00000001"));
+    assert_eq!(healthy.status, Status::Repaired, "{healthy:?}");
+    assert_eq!(healthy.trace.as_deref(), Some("feedface00000001"), "{healthy:?}");
+    let owner_line = wait_for_log_line(
+        &shard_procs[owner].2,
+        &["\"event\":\"slow_request\"", "\"trace_id\":\"feedface00000001\""],
+    )
+    .expect("the owner shard logs the traced request");
+    assert!(owner_line.contains("\"spans\":"), "span breakdown attached: {owner_line}");
+
+    // Kill the owner: the router's retry/failover events and the ring
+    // successor's span dump must carry the SAME trace id the client sent.
+    shard_procs[owner].0.kill().expect("killing the owner shard");
+    shard_procs[owner].0.wait().expect("reaping the owner shard");
+    let survived = exchange(&mut writer, &mut reader, &traced_request(2, "feedface00000002"));
+    assert_eq!(survived.status, Status::Repaired, "served by the successor: {survived:?}");
+    assert_eq!(survived.trace.as_deref(), Some("feedface00000002"), "{survived:?}");
+    wait_for_log_line(&router_logs, &["\"event\":\"failover\"", "\"trace_id\":\"feedface00000002\""])
+        .expect("the router logs the failover under the client's trace id");
+    wait_for_log_line(
+        &shard_procs[1 - owner].2,
+        &["\"event\":\"slow_request\"", "\"trace_id\":\"feedface00000002\""],
+    )
+    .expect("the surviving shard logs the failed-over request under the same trace id");
+
+    drop(writer);
+    drop(reader);
+    drop(router.stdin.take());
+    let status = router.wait().expect("waiting for router");
+    assert!(status.success(), "router must exit 0 on EOF, got {status:?}");
+    let (mut survivor, _, _) = shard_procs.remove(1 - owner);
     drop(survivor.stdin.take());
     let status = survivor.wait().expect("waiting for the surviving shard");
     assert!(status.success(), "survivor must exit 0 on EOF, got {status:?}");
