@@ -74,6 +74,13 @@ struct ServeReport {
     repaired: u64,
     no_repair: u64,
     errors: u64,
+    /// Workload requests whose source fails frontend analysis (the corpus
+    /// deliberately includes submissions using constructs outside the
+    /// modelled subset, e.g. MiniC attempts defining helper functions).
+    /// Every `errors` response must come from this population and vice
+    /// versa; anything else would be a serving bug, so the replay asserts
+    /// `errors == unanalysable_requests`.
+    unanalysable_requests: u64,
     /// Jobs lost to worker panics (must be 0).
     worker_panics: u64,
     /// Multi-process fleet runs (empty when `clara-cli` was not found next
@@ -959,6 +966,28 @@ fn main() {
     let workload = generate_workload(&datasets, workload_config);
     let workload_duplicate_fraction = duplicate_fraction(&workload);
 
+    // The corpus deliberately seeds the incorrect pools with submissions
+    // using constructs outside the frontend's modelled subset (e.g. MiniC
+    // attempts defining helper functions), and the Zipf sampler replays
+    // them like any other attempt. Exactly those — the requests whose
+    // source fails frontend analysis — must come back as `Status::Error`.
+    let unanalysable_requests = {
+        let by_name: std::collections::HashMap<&str, &Problem> =
+            problems.iter().map(|p| (p.name, p)).collect();
+        workload
+            .iter()
+            .filter(|r| {
+                by_name.get(r.problem.as_str()).is_some_and(|p| {
+                    clara_core::frontend(p.lang)
+                        .parse(&r.source)
+                        .ok()
+                        .and_then(|parsed| parsed.lower(p.entry).ok())
+                        .is_none()
+                })
+            })
+            .count() as u64
+    };
+
     let service = Arc::new(FeedbackService::new(warm_stores, ServiceConfig::default()));
     let mut server = Server::new(
         Arc::clone(&service),
@@ -994,6 +1023,14 @@ fn main() {
     let mut latencies: Vec<f64> = collected.iter().map(|(_, ms)| *ms).collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     let count_status = |status: Status| collected.iter().filter(|(s, _)| *s == status).count() as u64;
+    // Classify the error responses: the service must reject exactly the
+    // deliberately-unanalysable population, nothing more (a serving bug) and
+    // nothing less (a silently swallowed rejection).
+    assert_eq!(
+        count_status(Status::Error),
+        unanalysable_requests,
+        "error responses must map 1:1 to the workload's unanalysable submissions"
+    );
 
     // The multi-process fleet: 1/2/4 shard processes over TCP.
     let problem_names: Vec<String> = problems.iter().map(|p| p.name.to_owned()).collect();
@@ -1056,6 +1093,7 @@ fn main() {
         repaired: count_status(Status::Repaired),
         no_repair: count_status(Status::NoRepair),
         errors: count_status(Status::Error),
+        unanalysable_requests,
         worker_panics: server.panic_count(),
         shard_scaling,
         scaling_2x,

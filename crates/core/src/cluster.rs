@@ -98,6 +98,25 @@ impl Cluster {
         Cluster { representative, member_ids, expressions, expression_set }
     }
 
+    /// Caps every expression slot at `max_exprs` variants, keeping the
+    /// mining order's prefix (earliest contributions — always including the
+    /// representative's own expression, mined first). Returns whether
+    /// anything was dropped. Idempotent: capping an already-capped cluster
+    /// is a no-op.
+    pub fn cap_expression_slots(&mut self, max_exprs: usize) -> bool {
+        let max_exprs = max_exprs.max(1);
+        let mut changed = false;
+        for ((loc, var), exprs) in self.expressions.iter_mut() {
+            if exprs.len() > max_exprs {
+                for dropped in exprs.drain(max_exprs..) {
+                    self.expression_set.remove(&(*loc, var.clone(), dropped));
+                }
+                changed = true;
+            }
+        }
+        changed
+    }
+
     pub(crate) fn absorb_member(&mut self, member: &AnalyzedProgram, witness: &VarMap, id: usize) {
         self.member_ids.push(id);
         let program = member.program.clone();
@@ -115,6 +134,56 @@ impl Cluster {
             }
         }
     }
+}
+
+/// Bounds on stored cluster state, applied after every insertion so
+/// warm-start memory stays bounded as the correct pool grows without limit.
+///
+/// Compaction is lossy only for mined repair-expression *variants* — the
+/// clusters themselves (the `∼_I` equivalence classes), their
+/// representatives and member counts are never merged or dropped, because
+/// matching is transitive: two clusters that could be merged would never
+/// have formed separately. Defaults are generous enough that classroom-size
+/// pools are unaffected.
+#[derive(Debug, Clone)]
+pub struct CompactionConfig {
+    /// Per-`(loc, var)` cap on mined expression variants in a full cluster.
+    pub max_exprs_per_slot: usize,
+    /// Cluster-count budget: when the pool holds more clusters than this,
+    /// clusters outside the largest-`max_full_clusters` (by member count,
+    /// earliest index winning ties) are demoted to representative-only
+    /// expression skeletons (one expression per slot).
+    pub max_full_clusters: usize,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig { max_exprs_per_slot: 64, max_full_clusters: 256 }
+    }
+}
+
+/// Applies `config` to every cluster: caps each slot, then demotes clusters
+/// beyond the count budget to skeletons. Returns the number of clusters
+/// that lost expressions. Idempotent for a fixed cluster population.
+pub fn compact_clusters(clusters: &mut [Cluster], config: &CompactionConfig) -> usize {
+    let mut touched = 0;
+    for cluster in clusters.iter_mut() {
+        if cluster.cap_expression_slots(config.max_exprs_per_slot) {
+            touched += 1;
+        }
+    }
+    if clusters.len() > config.max_full_clusters {
+        // Rank by member count (descending; ties keep the earlier cluster)
+        // and demote everything past the budget.
+        let mut order: Vec<usize> = (0..clusters.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(clusters[i].size()), i));
+        for &i in &order[config.max_full_clusters..] {
+            if clusters[i].cap_expression_slots(1) {
+                touched += 1;
+            }
+        }
+    }
+    touched
 }
 
 /// Summary statistics of a clustering run.
@@ -304,6 +373,47 @@ def computeDeriv(poly):
         // Export order is deterministic (sorted), so exporting the rebuilt
         // cluster reproduces the exact same listing.
         assert_eq!(rebuilt.export_expressions(), original.export_expressions());
+    }
+
+    #[test]
+    fn slot_capping_keeps_the_mining_prefix_and_is_idempotent() {
+        let clusters = cluster_programs(vec![analyze(C1), analyze(C2), analyze(C3)]);
+        let mut cluster = clusters[0].clone();
+        let full = cluster.expressions(Loc(2), "result").to_vec();
+        assert!(full.len() >= 3);
+
+        assert!(cluster.cap_expression_slots(2), "capping below slot size drops variants");
+        assert_eq!(cluster.expressions(Loc(2), "result"), &full[..2], "prefix survives");
+        // Idempotence: re-capping at the same bound changes nothing.
+        let exported = cluster.export_expressions();
+        assert!(!cluster.cap_expression_slots(2));
+        assert_eq!(cluster.export_expressions(), exported);
+        // The set view stays consistent: a dropped expression can be mined
+        // again by a later member without being treated as a duplicate.
+        let dropped = full[2].clone();
+        assert!(!cluster.export_expressions().iter().any(|(_, _, exprs)| exprs.contains(&dropped)));
+    }
+
+    #[test]
+    fn compaction_demotes_only_clusters_beyond_the_budget() {
+        let mut clusters =
+            cluster_programs(vec![analyze(C1), analyze(C2), analyze(C3), analyze(WHILE_VERSION)]);
+        assert_eq!(clusters.len(), 2);
+        let big_before = clusters[0].expression_count();
+        let config = CompactionConfig { max_exprs_per_slot: 64, max_full_clusters: 1 };
+        compact_clusters(&mut clusters, &config);
+        // The larger cluster (3 members) keeps its mined variants; the
+        // singleton beyond the budget shrinks to one expression per slot.
+        assert_eq!(clusters[0].expression_count(), big_before);
+        assert!(clusters[1].expression_keys().all(|(loc, var)| clusters[1].expressions(loc, var).len() == 1));
+        // Cluster identity (count, membership, order) is untouched.
+        assert_eq!(clusters[0].size(), 3);
+        assert_eq!(clusters[1].size(), 1);
+        // Idempotent on a fixed population.
+        let snapshot: Vec<_> = clusters.iter().map(Cluster::export_expressions).collect();
+        compact_clusters(&mut clusters, &config);
+        let again: Vec<_> = clusters.iter().map(Cluster::export_expressions).collect();
+        assert_eq!(snapshot, again);
     }
 
     #[test]

@@ -1,0 +1,540 @@
+//! Pre-search candidate retrieval: a two-signal index that shortlists
+//! clusters before any trace-based matching runs.
+//!
+//! Matching an incorrect attempt against the cluster pool (§4 + §5) costs
+//! time linear in the number of clusters: every representative with the
+//! attempt's control flow goes through projection matching and an ILP
+//! solve. Following the search–align–repair design of Wang et al. (arXiv
+//! 1711.07148), a [`CandidateIndex`] makes that cost sublinear: each stored
+//! cluster is summarised by two cheap signal sets, an incoming attempt is
+//! summarised the same way, and set-overlap scoring shortlists the top-k
+//! clusters — only those flow into dynamic matching and the ILP.
+//!
+//! The two signals are:
+//!
+//! 1. **Structural n-grams** ([`surface_ngrams`]): 2- and 3-grams over a
+//!    normalized token stream of the solution's surface IR (variables
+//!    collapse to one token, literals to their type), so a buggy attempt
+//!    shares most grams with solutions of the same shape even though its
+//!    `structural_hash` differs.
+//! 2. **Behaviour fingerprints** ([`behaviour_signals`]): per-testcase
+//!    location-sequence hashes and per-variable projection hashes, all
+//!    already computed at insertion by [`AnalyzedProgram`] analysis. A wrong
+//!    attempt still agrees with its nearest cluster on most intermediate
+//!    projections — exactly the overlap the matcher's keep-relations exploit.
+//!
+//! Retrieval is an *optimisation*, never a semantic gate: when overlap
+//! confidence is low ([`Retrieval::confident`] is false), or when the
+//! shortlisted clusters yield no repair, the caller falls back to the full
+//! scan, so the repaired/no-repair verdict is identical to a scan of every
+//! cluster (asserted by the retrieval-equivalence proptest in
+//! `clara-server`).
+
+use std::collections::HashMap;
+
+use clara_lang::{Expr, Lit};
+use clara_model::surface::{SurfaceFunction, SurfaceStmt};
+
+use crate::analysis::AnalyzedProgram;
+
+/// Upper bound on structural grams accumulated per cluster. Members beyond
+/// the cap stop contributing grams (the cluster is already richly
+/// described); keeps index memory bounded as a cluster absorbs thousands of
+/// members.
+const MAX_STRUCTURAL_GRAMS: usize = 4096;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn fnv1a_u64(hash: u64, value: u64) -> u64 {
+    fnv1a_bytes(hash, &value.to_le_bytes())
+}
+
+/// A stable token code for a tag string (FNV-1a; process-independent so
+/// serialized gram sets stay valid across restarts).
+fn token(tag: &str) -> u64 {
+    fnv1a_bytes(FNV_OFFSET, tag.as_bytes())
+}
+
+fn token_named(tag: &str, name: &str) -> u64 {
+    fnv1a_bytes(fnv1a_bytes(FNV_OFFSET, tag.as_bytes()), name.as_bytes())
+}
+
+fn expr_tokens(expr: &Expr, out: &mut Vec<u64>) {
+    match expr {
+        Expr::Lit(Lit::Int(_)) => out.push(token("lit:int")),
+        Expr::Lit(Lit::Float(_)) => out.push(token("lit:float")),
+        Expr::Lit(Lit::Str(_)) => out.push(token("lit:str")),
+        Expr::Lit(Lit::Bool(_)) => out.push(token("lit:bool")),
+        Expr::Lit(Lit::None) => out.push(token("lit:none")),
+        // All variables collapse to one token: solutions differing only in
+        // naming produce identical gram sets.
+        Expr::Var(_) => out.push(token("var")),
+        Expr::List(items) => {
+            out.push(token("list"));
+            for item in items {
+                expr_tokens(item, out);
+            }
+        }
+        Expr::Tuple(items) => {
+            out.push(token("tuple"));
+            for item in items {
+                expr_tokens(item, out);
+            }
+        }
+        Expr::Unary(op, inner) => {
+            out.push(token_named("unop", &format!("{op:?}")));
+            expr_tokens(inner, out);
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            out.push(token_named("binop", &format!("{op:?}")));
+            expr_tokens(lhs, out);
+            expr_tokens(rhs, out);
+        }
+        Expr::Index(base, index) => {
+            out.push(token("index"));
+            expr_tokens(base, out);
+            expr_tokens(index, out);
+        }
+        Expr::Slice(base, lo, hi) => {
+            out.push(token("slice"));
+            expr_tokens(base, out);
+            for bound in [lo, hi] {
+                match bound {
+                    Some(e) => expr_tokens(e, out),
+                    None => out.push(token("slice:open")),
+                }
+            }
+        }
+        Expr::Call(name, args) => {
+            out.push(token_named("call", name));
+            for arg in args {
+                expr_tokens(arg, out);
+            }
+        }
+        Expr::Method(receiver, name, args) => {
+            out.push(token_named("method", name));
+            expr_tokens(receiver, out);
+            for arg in args {
+                expr_tokens(arg, out);
+            }
+        }
+    }
+}
+
+fn stmt_tokens(body: &[SurfaceStmt], out: &mut Vec<u64>) {
+    for stmt in body {
+        match stmt {
+            SurfaceStmt::Assign { value, .. } => {
+                out.push(token("assign"));
+                expr_tokens(value, out);
+            }
+            SurfaceStmt::If { cond, then_body, else_body, .. } => {
+                out.push(token("if"));
+                expr_tokens(cond, out);
+                out.push(token("then"));
+                stmt_tokens(then_body, out);
+                out.push(token("else"));
+                stmt_tokens(else_body, out);
+                out.push(token("end"));
+            }
+            SurfaceStmt::While { cond, body, .. } => {
+                out.push(token("while"));
+                expr_tokens(cond, out);
+                out.push(token("do"));
+                stmt_tokens(body, out);
+                out.push(token("end"));
+            }
+            SurfaceStmt::ForEach { iter, body, .. } => {
+                out.push(token("foreach"));
+                expr_tokens(iter, out);
+                out.push(token("do"));
+                stmt_tokens(body, out);
+                out.push(token("end"));
+            }
+            SurfaceStmt::Return { value, .. } => {
+                out.push(token("return"));
+                expr_tokens(value, out);
+            }
+            SurfaceStmt::Output { pieces, .. } => {
+                out.push(token("output"));
+                for piece in pieces {
+                    expr_tokens(piece, out);
+                }
+            }
+            SurfaceStmt::Break { .. } => out.push(token("break")),
+            SurfaceStmt::Continue { .. } => out.push(token("continue")),
+            SurfaceStmt::Nop { .. } => out.push(token("nop")),
+        }
+    }
+}
+
+/// Structural-hash n-grams of a normalized surface function: 2- and 3-grams
+/// over the token stream produced by walking statements and expressions with
+/// variables collapsed and literals reduced to their type. Returned sorted
+/// and deduplicated.
+pub fn surface_ngrams(function: &SurfaceFunction) -> Vec<u64> {
+    let mut tokens = vec![fnv1a_u64(token("params"), function.params.len() as u64)];
+    stmt_tokens(&function.body, &mut tokens);
+    let mut grams = Vec::new();
+    for n in [2usize, 3] {
+        if tokens.len() < n {
+            continue;
+        }
+        for window in tokens.windows(n) {
+            let mut gram = fnv1a_u64(FNV_OFFSET, n as u64);
+            for t in window {
+                gram = fnv1a_u64(gram, *t);
+            }
+            grams.push(gram);
+        }
+    }
+    // Degenerate bodies still get one gram so every cluster is indexable.
+    if grams.is_empty() {
+        let mut gram = fnv1a_u64(FNV_OFFSET, 1);
+        for t in &tokens {
+            gram = fnv1a_u64(gram, *t);
+        }
+        grams.push(gram);
+    }
+    grams.sort_unstable();
+    grams.dedup();
+    grams
+}
+
+/// Behaviour-fingerprint signals of an analysed program: the control-flow
+/// signature key, one hash per testcase trace (its location sequence — the
+/// per-input control-flow behaviour), and one hash per variable projection
+/// (name-independent, so renamed solutions collide on purpose). All inputs
+/// are values the analysis already computed at insertion time. Returned
+/// sorted and deduplicated.
+pub fn behaviour_signals(analyzed: &AnalyzedProgram) -> Vec<u64> {
+    let mut signals = vec![fnv1a_bytes(token("sig"), analyzed.signature_key().as_bytes())];
+    for (i, trace) in analyzed.traces.iter().enumerate() {
+        let mut hash = fnv1a_u64(token("locs"), i as u64);
+        for loc in trace.locations() {
+            hash = fnv1a_u64(hash, loc.0 as u64);
+        }
+        signals.push(hash);
+    }
+    for var in &analyzed.program.vars {
+        signals.push(fnv1a_u64(token("proj"), analyzed.projection_hash(var)));
+    }
+    signals.sort_unstable();
+    signals.dedup();
+    signals
+}
+
+/// The two signal sets summarising one program — a stored solution at
+/// insertion time, or an incoming attempt at query time. Both vectors are
+/// sorted and deduplicated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuerySignals {
+    /// Structural n-grams ([`surface_ngrams`]); empty when no surface IR was
+    /// available (e.g. an attempt repaired without source text).
+    pub structural: Vec<u64>,
+    /// Behaviour fingerprints ([`behaviour_signals`]).
+    pub behaviour: Vec<u64>,
+}
+
+impl QuerySignals {
+    /// Summarises a program from its analysis and (when available) its
+    /// surface IR.
+    pub fn for_program(analyzed: &AnalyzedProgram, surface: Option<&SurfaceFunction>) -> QuerySignals {
+        QuerySignals {
+            structural: surface.map(surface_ngrams).unwrap_or_default(),
+            behaviour: behaviour_signals(analyzed),
+        }
+    }
+}
+
+/// The accumulated signal sets of one cluster (union over its members,
+/// structural grams capped at [`MAX_STRUCTURAL_GRAMS`]).
+#[derive(Debug, Clone, Default)]
+struct ClusterSignals {
+    /// Sorted, deduplicated structural grams.
+    structural: Vec<u64>,
+    /// Sorted, deduplicated behaviour fingerprints.
+    behaviour: Vec<u64>,
+}
+
+/// What a [`CandidateIndex::query`] resolved to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Retrieval {
+    /// Shortlisted cluster indices, ascending (so downstream tie-breaking by
+    /// cluster index is unaffected by retrieval order).
+    pub shortlist: Vec<usize>,
+    /// Every cluster with a non-zero overlap, best score first (ties toward
+    /// the lower index). The shortlist is the truncated head of this list;
+    /// callers whose shortlist comes up empty-handed widen along the tail
+    /// instead of jumping straight to an unordered full scan.
+    pub ranked: Vec<usize>,
+    /// Whether the overlap evidence is strong enough to trust the shortlist;
+    /// callers full-scan when this is false.
+    pub confident: bool,
+    /// Number of clusters that scored a non-zero overlap.
+    pub scored: usize,
+    /// The best overlap score observed.
+    pub best_score: u32,
+}
+
+/// The candidate retrieval index: per-cluster signal sets plus inverted
+/// buckets (`gram → posting list of cluster ids`) for set-overlap scoring
+/// that touches only the clusters sharing at least one signal with the
+/// query.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateIndex {
+    entries: Vec<ClusterSignals>,
+    structural_buckets: HashMap<u64, Vec<u32>>,
+    behaviour_buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl CandidateIndex {
+    /// An empty index.
+    pub fn new() -> CandidateIndex {
+        CandidateIndex::default()
+    }
+
+    /// Number of clusters with an entry.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges a member's signals into `cluster`'s entry (creating entries up
+    /// to `cluster` as needed) and updates the inverted buckets. Called on
+    /// every insertion, so the index rebuilds incrementally on `learn`.
+    pub fn record(&mut self, cluster: usize, signals: &QuerySignals) {
+        while self.entries.len() <= cluster {
+            self.entries.push(ClusterSignals::default());
+        }
+        let entry = &mut self.entries[cluster];
+        for &gram in &signals.structural {
+            if entry.structural.len() >= MAX_STRUCTURAL_GRAMS {
+                break;
+            }
+            if let Err(at) = entry.structural.binary_search(&gram) {
+                entry.structural.insert(at, gram);
+                push_posting(self.structural_buckets.entry(gram).or_default(), cluster as u32);
+            }
+        }
+        for &sig in &signals.behaviour {
+            if let Err(at) = entry.behaviour.binary_search(&sig) {
+                entry.behaviour.insert(at, sig);
+                push_posting(self.behaviour_buckets.entry(sig).or_default(), cluster as u32);
+            }
+        }
+    }
+
+    /// Scores every cluster sharing at least one signal with `query` and
+    /// returns the top-`k` by overlap. Behaviour overlaps weigh double:
+    /// agreeing on a projection or a per-input location sequence is much
+    /// rarer — and much stronger evidence of alignability — than sharing a
+    /// syntactic n-gram. Confidence requires the best score to reach
+    /// `min_score`; below that the overlap is noise and the caller should
+    /// full-scan.
+    pub fn query(&self, query: &QuerySignals, k: usize, min_score: u32) -> Retrieval {
+        // Stop-grams: a signal present in more than a quarter of all
+        // clusters discriminates nothing — walking its posting list would
+        // cost time linear in the pool for zero ranking information (the
+        // classic stop-word rule). Small pools are exempt so sparse-signal
+        // queries keep their confidence evidence. A query whose *whole*
+        // family is the dominant one loses all its evidence to the stop
+        // rule, so an unconfident first pass retries with the rule off —
+        // one linear scoring pass is still far cheaper than the full
+        // trace-matching scan an unconfident retrieval falls back to.
+        let stop = (self.entries.len() / 4).max(64);
+        let (mut scores, skipped) = self.score(query, stop);
+        if skipped && scores.values().copied().max().unwrap_or(0) < min_score {
+            scores = self.score(query, usize::MAX).0;
+        }
+        let mut ranked: Vec<(u32, u32)> = scores.into_iter().collect();
+        // Highest score first; ties broken towards the older (lower-index)
+        // cluster, matching the repair pipeline's own tie-breaking.
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let best_score = ranked.first().map(|&(_, s)| s).unwrap_or(0);
+        let scored = ranked.len();
+        let ranked: Vec<usize> = ranked.into_iter().map(|(c, _)| c as usize).collect();
+        let mut shortlist: Vec<usize> = ranked.iter().copied().take(k).collect();
+        shortlist.sort_unstable();
+        Retrieval { shortlist, ranked, confident: best_score >= min_score, scored, best_score }
+    }
+
+    /// One overlap-scoring pass: walks the posting list of every query
+    /// signal no longer than `stop`, returning the per-cluster scores and
+    /// whether any posting list was skipped as a stop-gram.
+    fn score(&self, query: &QuerySignals, stop: usize) -> (HashMap<u32, u32>, bool) {
+        let mut scores: HashMap<u32, u32> = HashMap::new();
+        let mut skipped = false;
+        for (signals, buckets, weight) in [
+            (&query.structural, &self.structural_buckets, 1u32),
+            (&query.behaviour, &self.behaviour_buckets, 2u32),
+        ] {
+            for signal in signals {
+                if let Some(postings) = buckets.get(signal) {
+                    if postings.len() > stop {
+                        skipped = true;
+                        continue;
+                    }
+                    for &cluster in postings {
+                        *scores.entry(cluster).or_insert(0) += weight;
+                    }
+                }
+            }
+        }
+        (scores, skipped)
+    }
+
+    /// A fingerprint of one cluster's signal *shape*: clusters built from
+    /// structural near-duplicates (e.g. thousands of trivially varied
+    /// solutions of one family) collide here, so callers widening past an
+    /// empty-handed shortlist can try one representative per shape before
+    /// wading through the duplicates. Clusters indexed without surface IR
+    /// fall back to their behaviour set (tagged differently so the two
+    /// kinds never collide).
+    pub fn shape_fingerprint(&self, cluster: usize) -> u64 {
+        self.entries.get(cluster).map_or(0, |e| {
+            let (tag, signals) = if e.structural.is_empty() { (1, &e.behaviour) } else { (2, &e.structural) };
+            signals.iter().fold(fnv1a_u64(FNV_OFFSET, tag), |h, &s| fnv1a_u64(h, s))
+        })
+    }
+
+    /// Approximate resident size of the index in bytes (entry vectors plus
+    /// inverted buckets).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let entries: usize = self
+            .entries
+            .iter()
+            .map(|e| {
+                (e.structural.len() + e.behaviour.len()) * size_of::<u64>() + size_of::<ClusterSignals>()
+            })
+            .sum();
+        let buckets: usize = self
+            .structural_buckets
+            .iter()
+            .chain(self.behaviour_buckets.iter())
+            .map(|(_, postings)| size_of::<u64>() + size_of::<Vec<u32>>() + postings.len() * size_of::<u32>())
+            .sum();
+        entries + buckets
+    }
+
+    /// Exports the per-cluster signal sets (sorted vectors, parallel to the
+    /// cluster list) for serialization.
+    pub fn export(&self) -> Vec<(Vec<u64>, Vec<u64>)> {
+        self.entries.iter().map(|e| (e.structural.clone(), e.behaviour.clone())).collect()
+    }
+
+    /// Rebuilds an index from [`CandidateIndex::export`] output (one
+    /// `(structural, behaviour)` pair per cluster, in cluster order).
+    pub fn from_parts(parts: Vec<(Vec<u64>, Vec<u64>)>) -> CandidateIndex {
+        let mut index = CandidateIndex::new();
+        for (cluster, (structural, behaviour)) in parts.into_iter().enumerate() {
+            index.record(cluster, &QuerySignals { structural, behaviour });
+        }
+        index
+    }
+}
+
+/// Appends `cluster` to a sorted posting list, keeping it sorted and
+/// duplicate-free.
+fn push_posting(postings: &mut Vec<u32>, cluster: u32) {
+    if let Err(at) = postings.binary_search(&cluster) {
+        postings.insert(at, cluster);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clara_lang::Value;
+
+    fn analyzed(source: &str) -> AnalyzedProgram {
+        let inputs = vec![vec![Value::Int(3)], vec![Value::Int(0)], vec![Value::Int(7)]];
+        AnalyzedProgram::from_text(source, "f", &inputs, clara_model::Fuel::default()).unwrap()
+    }
+
+    fn surface(source: &str) -> SurfaceFunction {
+        crate::frontends::frontend(clara_model::frontend::Lang::MiniPy)
+            .parse(source)
+            .unwrap()
+            .surface("f")
+            .unwrap()
+    }
+
+    const LOOPY: &str = "def f(n):\n    s = 0\n    for i in range(n):\n        s = s + i\n    return s\n";
+    const LOOPY_RENAMED: &str =
+        "def f(n):\n    total = 0\n    for k in range(n):\n        total = total + k\n    return total\n";
+    const STRAIGHT: &str = "def f(n):\n    return n * 2\n";
+
+    #[test]
+    fn renamed_solutions_share_all_structural_grams() {
+        let a = surface_ngrams(&surface(LOOPY));
+        let b = surface_ngrams(&surface(LOOPY_RENAMED));
+        assert_eq!(a, b, "renaming must not change the normalized gram set");
+        let c = surface_ngrams(&surface(STRAIGHT));
+        assert_ne!(a, c, "different shapes must differ");
+    }
+
+    #[test]
+    fn behaviour_signals_are_name_independent_and_behaviour_sensitive() {
+        let a = behaviour_signals(&analyzed(LOOPY));
+        let b = behaviour_signals(&analyzed(LOOPY_RENAMED));
+        assert_eq!(a, b, "renamed solutions behave identically");
+        let c = behaviour_signals(&analyzed(
+            "def f(n):\n    s = 1\n    for i in range(n):\n        s = s * 2\n    return s\n",
+        ));
+        assert_ne!(a, c, "different behaviour must differ");
+    }
+
+    #[test]
+    fn query_ranks_the_matching_cluster_first() {
+        let mut index = CandidateIndex::new();
+        let loopy = QuerySignals::for_program(&analyzed(LOOPY), Some(&surface(LOOPY)));
+        let straight = QuerySignals::for_program(&analyzed(STRAIGHT), Some(&surface(STRAIGHT)));
+        index.record(0, &straight);
+        index.record(1, &loopy);
+        let near_loopy = QuerySignals::for_program(
+            &analyzed("def f(n):\n    s = 0\n    for i in range(n):\n        s = s + 1\n    return s\n"),
+            Some(&surface("def f(n):\n    s = 0\n    for i in range(n):\n        s = s + 1\n    return s\n")),
+        );
+        let retrieval = index.query(&near_loopy, 1, 1);
+        assert!(retrieval.confident);
+        assert_eq!(retrieval.shortlist, vec![1], "the loop cluster must outrank the straight-line one");
+        assert!(retrieval.scored >= 1);
+    }
+
+    #[test]
+    fn unrelated_queries_are_unconfident() {
+        let mut index = CandidateIndex::new();
+        index.record(0, &QuerySignals::for_program(&analyzed(LOOPY), Some(&surface(LOOPY))));
+        let retrieval = index.query(&QuerySignals::default(), 4, 1);
+        assert!(!retrieval.confident, "an empty query has no overlap evidence");
+        assert!(retrieval.shortlist.is_empty());
+    }
+
+    #[test]
+    fn export_and_from_parts_roundtrip() {
+        let mut index = CandidateIndex::new();
+        index.record(0, &QuerySignals::for_program(&analyzed(LOOPY), Some(&surface(LOOPY))));
+        index.record(1, &QuerySignals::for_program(&analyzed(STRAIGHT), Some(&surface(STRAIGHT))));
+        let rebuilt = CandidateIndex::from_parts(index.export());
+        assert_eq!(rebuilt.export(), index.export());
+        assert_eq!(rebuilt.len(), 2);
+        assert!(rebuilt.resident_bytes() > 0);
+        let query = QuerySignals::for_program(&analyzed(LOOPY), Some(&surface(LOOPY)));
+        assert_eq!(rebuilt.query(&query, 2, 1), index.query(&query, 2, 1));
+    }
+}

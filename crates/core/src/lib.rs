@@ -48,6 +48,7 @@ pub mod analysis;
 pub mod cluster;
 pub mod feedback;
 pub mod frontends;
+pub mod index;
 pub mod matching;
 pub mod oracle;
 pub mod repair;
@@ -56,14 +57,17 @@ pub mod snapshot;
 pub mod timing;
 
 pub use analysis::{AnalysisError, AnalyzedProgram};
-pub use cluster::{cluster_programs, clustering_stats, Cluster, ClusteringStats};
+pub use cluster::{
+    cluster_programs, clustering_stats, compact_clusters, Cluster, ClusteringStats, CompactionConfig,
+};
 pub use feedback::{generic_strategy, render_feedback, Feedback, FeedbackOptions};
 pub use frontends::frontend;
+pub use index::{behaviour_signals, surface_ngrams, CandidateIndex, QuerySignals, Retrieval};
 pub use matching::{apply_var_map, exprs_match, find_matching, VarMap};
 pub use oracle::{DifferentialOracle, OracleVerdict, RepairCheck};
 pub use repair::{
-    repair_against_cluster, repair_attempt, ClusterRepair, RepairAction, RepairConfig, RepairFailure,
-    RepairResult,
+    repair_against_cluster, repair_attempt, repair_attempt_retrieved, ClusterRepair, RepairAction,
+    RepairConfig, RepairFailure, RepairResult, RetrievalOutcome,
 };
 pub use sigcache::{SignatureCache, ValueSignature};
 pub use snapshot::{Snapshot, SnapshotCell};
@@ -80,6 +84,8 @@ pub struct ClaraConfig {
     pub repair: RepairConfig,
     /// Feedback rendering options.
     pub feedback: FeedbackOptions,
+    /// Bounds on stored cluster state, applied after every insertion.
+    pub compaction: CompactionConfig,
 }
 
 /// The end-to-end pipeline of Fig. 1: cluster correct solutions, repair
@@ -91,6 +97,7 @@ pub struct Clara {
     inputs: Vec<Vec<Value>>,
     config: ClaraConfig,
     clusters: Vec<Cluster>,
+    index: CandidateIndex,
     correct_count: usize,
 }
 
@@ -121,7 +128,15 @@ impl Clara {
         mut config: ClaraConfig,
     ) -> Self {
         config.feedback.lang = lang;
-        Clara { entry: entry.into(), lang, inputs, config, clusters: Vec::new(), correct_count: 0 }
+        Clara {
+            entry: entry.into(),
+            lang,
+            inputs,
+            config,
+            clusters: Vec::new(),
+            index: CandidateIndex::new(),
+            correct_count: 0,
+        }
     }
 
     /// The language this engine parses and renders.
@@ -159,25 +174,59 @@ impl Clara {
             &self.inputs,
             self.config.repair.fuel,
         )?;
-        Ok(self.add_correct_analyzed(analyzed))
+        // Best-effort surface IR for the structural retrieval signal; the
+        // behaviour signal alone still indexes the cluster if lowering to
+        // surface form fails.
+        let surface = frontend(self.lang).parse(source).ok().and_then(|p| p.surface(&self.entry).ok());
+        Ok(self.add_correct_with_surface(analyzed, surface.as_ref()))
     }
 
     /// Adds an already-analysed correct solution to the cluster pool and
     /// returns the index of the cluster it was placed into.
     pub fn add_correct_analyzed(&mut self, analyzed: AnalyzedProgram) -> usize {
+        self.add_correct_with_surface(analyzed, None)
+    }
+
+    /// Adds an analysed correct solution together with its (optional)
+    /// surface IR, which feeds the structural signal of the candidate
+    /// retrieval index.
+    pub fn add_correct_with_surface(
+        &mut self,
+        analyzed: AnalyzedProgram,
+        surface: Option<&clara_model::surface::SurfaceFunction>,
+    ) -> usize {
+        let signals = QuerySignals::for_program(&analyzed, surface);
         self.correct_count += 1;
         // Incremental clustering: try to place the solution into an existing
         // cluster, otherwise open a new one.
+        let mut placed = None;
         for (index, cluster) in self.clusters.iter_mut().enumerate() {
             if cluster.representative.fingerprint == analyzed.fingerprint {
                 if let Some(witness) = find_matching(&cluster.representative, &analyzed) {
                     cluster.absorb_member(&analyzed, &witness, self.correct_count - 1);
-                    return index;
+                    placed = Some(index);
+                    break;
                 }
             }
         }
-        self.clusters.extend(cluster_programs(vec![analyzed]));
-        self.clusters.len() - 1
+        let index = placed.unwrap_or_else(|| {
+            self.clusters.extend(cluster_programs(vec![analyzed]));
+            self.clusters.len() - 1
+        });
+        self.index.record(index, &signals);
+        self.compact_after_insert(index);
+        index
+    }
+
+    /// Applies the compaction budget after an insertion into cluster
+    /// `touched`: the touched cluster's slots are capped, and when the
+    /// cluster count exceeds its budget the global demotion pass runs.
+    fn compact_after_insert(&mut self, touched: usize) {
+        let limits = self.config.compaction.clone();
+        self.clusters[touched].cap_expression_slots(limits.max_exprs_per_slot);
+        if self.clusters.len() > limits.max_full_clusters {
+            compact_clusters(&mut self.clusters, &limits);
+        }
     }
 
     /// Reconstructs a MiniPy engine from previously built clusters (the
@@ -204,7 +253,38 @@ impl Clara {
         correct_count: usize,
     ) -> Self {
         config.feedback.lang = lang;
-        Clara { entry: entry.into(), lang, inputs, config, clusters, correct_count }
+        // Seed retrieval from the representatives' behaviour signals; the
+        // host can replace this with a persisted index (carrying the full
+        // member-accumulated signals) via
+        // [`Clara::install_candidate_index`].
+        let mut index = CandidateIndex::new();
+        for (i, cluster) in clusters.iter().enumerate() {
+            index.record(i, &QuerySignals::for_program(&cluster.representative, None));
+        }
+        Clara { entry: entry.into(), lang, inputs, config, clusters, index, correct_count }
+    }
+
+    /// The candidate retrieval index over the current clusters.
+    pub fn candidate_index(&self) -> &CandidateIndex {
+        &self.index
+    }
+
+    /// Replaces the retrieval index wholesale — the warm-start path when a
+    /// persisted index (with member-accumulated signals) is available. The
+    /// index must describe the engine's clusters in order; extra trailing
+    /// entries are not permitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index covers more clusters than the engine holds.
+    pub fn install_candidate_index(&mut self, index: CandidateIndex) {
+        assert!(
+            index.len() <= self.clusters.len(),
+            "candidate index covers {} clusters but the engine holds {}",
+            index.len(),
+            self.clusters.len()
+        );
+        self.index = index;
     }
 
     /// The engine configuration.
@@ -227,12 +307,41 @@ impl Clara {
             &self.inputs,
             self.config.repair.fuel,
         )?;
-        Ok(self.repair_analyzed(&attempt))
+        let surface = if self.config.repair.use_candidate_index && !self.index.is_empty() {
+            frontend(self.lang).parse(source).ok().and_then(|p| p.surface(&self.entry).ok())
+        } else {
+            None
+        };
+        Ok(self.repair_with_surface(&attempt, surface.as_ref()))
     }
 
-    /// Repairs an already-analysed incorrect attempt.
+    /// Repairs an already-analysed incorrect attempt. Candidate retrieval
+    /// runs on the behaviour signal alone (no source text is available
+    /// here); [`Clara::repair_source`] adds the structural signal.
     pub fn repair_analyzed(&self, attempt: &AnalyzedProgram) -> RepairOutcome {
-        let result = repair_attempt(&self.clusters, attempt, &self.inputs, &self.config.repair);
+        self.repair_with_surface(attempt, None)
+    }
+
+    /// Repairs an analysed attempt, using its surface IR (when available)
+    /// for the structural half of the candidate pre-search.
+    pub fn repair_with_surface(
+        &self,
+        attempt: &AnalyzedProgram,
+        surface: Option<&clara_model::surface::SurfaceFunction>,
+    ) -> RepairOutcome {
+        let query = if self.config.repair.use_candidate_index && !self.index.is_empty() {
+            let _timer = StageTimer::start(Stage::CandidateSearch);
+            Some(QuerySignals::for_program(attempt, surface))
+        } else {
+            None
+        };
+        let result = repair_attempt_retrieved(
+            &self.clusters,
+            query.as_ref().map(|q| (&self.index, q)),
+            attempt,
+            &self.inputs,
+            &self.config.repair,
+        );
         let feedback = match &result.best {
             Some(repair) => render_feedback(repair, &attempt.program, &self.config.feedback),
             None => Feedback::GenericStrategy(generic_strategy(&attempt.program)),

@@ -108,7 +108,10 @@ impl DifferentialOracle {
             return OracleVerdict::Unsupported;
         };
         let attempt = AnalyzedProgram::from_program(program, self.clara.inputs(), self.clara.fuel());
-        let outcome = self.clara.repair_analyzed(&attempt);
+        // The same parse also feeds the structural half of candidate
+        // retrieval, so the oracle exercises the exact production path.
+        let surface = parsed.surface(&self.spec.entry).ok();
+        let outcome = self.clara.repair_with_surface(&attempt, surface.as_ref());
         match outcome.result.best {
             None => OracleVerdict::NotRepaired { failure: outcome.result.failure },
             Some(repair) => {

@@ -31,6 +31,7 @@ use clara_ted::{expr_tree_size, prepared_edit_distance, PreparedTree};
 
 use crate::analysis::AnalyzedProgram;
 use crate::cluster::Cluster;
+use crate::index::{CandidateIndex, QuerySignals};
 use crate::matching::{exprs_match, find_matching, pinned, vars_compatible, VarMap};
 use crate::sigcache::SignatureCache;
 
@@ -57,6 +58,21 @@ pub struct RepairConfig {
     /// exists so equivalence can be asserted end to end and regressions
     /// bisected.
     pub use_signature_cache: bool,
+    /// Shortlist candidate clusters through the pre-search
+    /// [`CandidateIndex`] before any trace-based matching runs
+    /// (search–align–repair). Mirrors the `use_signature_cache` seam:
+    /// retrieval never changes the repaired/no-repair verdict — a
+    /// low-confidence query or an empty-handed shortlist falls back to the
+    /// full scan — so the flag exists to assert equivalence end to end and
+    /// to bisect regressions.
+    pub use_candidate_index: bool,
+    /// How many clusters the pre-search shortlists (the top-k of the
+    /// overlap ranking).
+    pub candidate_top_k: usize,
+    /// Minimum overlap score the best-ranked cluster must reach for the
+    /// shortlist to be trusted; below it the overlap evidence is noise and
+    /// the repair scans every candidate.
+    pub candidate_min_score: u32,
 }
 
 impl Default for RepairConfig {
@@ -68,6 +84,9 @@ impl Default for RepairConfig {
             verify: true,
             parallel: true,
             use_signature_cache: true,
+            use_candidate_index: true,
+            candidate_top_k: 16,
+            candidate_min_score: 3,
         }
     }
 }
@@ -191,6 +210,21 @@ impl std::fmt::Display for RepairFailure {
     }
 }
 
+/// How the pre-search shaped one repair request (see
+/// [`repair_attempt_retrieved`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrievalOutcome {
+    /// Clusters with the attempt's control flow before shortlisting.
+    pub control_flow_candidates: usize,
+    /// Clusters the confident shortlist narrowed the scan to (equal to
+    /// `control_flow_candidates` when the pool was small enough to scan
+    /// outright).
+    pub shortlisted: usize,
+    /// Whether the full scan ran anyway — the overlap confidence was low,
+    /// or the shortlisted clusters produced no repair.
+    pub fell_back: bool,
+}
+
 /// The outcome of the top-level repair procedure.
 #[derive(Debug, Clone)]
 pub struct RepairResult {
@@ -198,8 +232,12 @@ pub struct RepairResult {
     pub best: Option<ClusterRepair>,
     /// Why no repair was found (when `best` is `None`).
     pub failure: Option<RepairFailure>,
-    /// Number of clusters with matching control flow that were tried.
+    /// Number of clusters with matching control flow that were tried
+    /// (after pre-search shortlisting, when it applied).
     pub candidate_clusters: usize,
+    /// How the candidate pre-search behaved; `None` when no index was
+    /// consulted (retrieval disabled or not wired in).
+    pub retrieval: Option<RetrievalOutcome>,
     /// Wall-clock time of the whole repair.
     pub elapsed: Duration,
 }
@@ -208,6 +246,25 @@ pub struct RepairResult {
 /// minimal-cost repair (the top-level procedure sketched in Fig. 1 and §2.2).
 pub fn repair_attempt(
     clusters: &[Cluster],
+    attempt: &AnalyzedProgram,
+    inputs: &[Vec<Value>],
+    config: &RepairConfig,
+) -> RepairResult {
+    repair_attempt_retrieved(clusters, None, attempt, inputs, config)
+}
+
+/// [`repair_attempt`] with an optional candidate pre-search: when an index
+/// and the attempt's query signals are supplied (and
+/// [`RepairConfig::use_candidate_index`] is on), overlap scoring shortlists
+/// the top-k clusters and only those go through matching and the ILP. The
+/// shortlist is an optimisation, never a semantic gate — a low-confidence
+/// query scans everything, and a shortlist that yields no repair falls back
+/// to the remaining candidates, so the repaired/no-repair verdict is
+/// identical to the full scan (the repair itself may come from a different
+/// cluster only when the shortlist misses the global cost optimum).
+pub fn repair_attempt_retrieved(
+    clusters: &[Cluster],
+    retrieval: Option<(&CandidateIndex, &QuerySignals)>,
     attempt: &AnalyzedProgram,
     inputs: &[Vec<Value>],
     config: &RepairConfig,
@@ -230,6 +287,7 @@ pub fn repair_attempt(
                     best: Some(rewrite),
                     failure: None,
                     candidate_clusters: 0,
+                    retrieval: None,
                     elapsed: start.elapsed(),
                 };
             }
@@ -238,8 +296,51 @@ pub fn repair_attempt(
             best: None,
             failure: Some(RepairFailure::NoMatchingControlFlow),
             candidate_clusters: 0,
+            retrieval: None,
             elapsed: start.elapsed(),
         };
+    }
+
+    // Pre-search (search–align–repair): score the index's buckets and keep
+    // only the top-k candidates for the expensive alignment below. Pools no
+    // larger than k are scanned outright — the shortlist would be the whole
+    // pool anyway.
+    let mut outcome: Option<RetrievalOutcome> = None;
+    let mut shortlist: Option<Vec<(usize, &Cluster)>> = None;
+    let mut ranked: Vec<usize> = Vec::new();
+    if config.use_candidate_index {
+        if let Some((index, query)) = retrieval {
+            let _timer = crate::timing::StageTimer::start(crate::timing::Stage::CandidateSearch);
+            if candidates.len() > config.candidate_top_k && !index.is_empty() {
+                let found = index.query(query, config.candidate_top_k, config.candidate_min_score);
+                let keep: Vec<(usize, &Cluster)> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|(i, _)| found.shortlist.binary_search(i).is_ok())
+                    .collect();
+                if found.confident && !keep.is_empty() && keep.len() < candidates.len() {
+                    ranked = found.ranked;
+                    outcome = Some(RetrievalOutcome {
+                        control_flow_candidates: candidates.len(),
+                        shortlisted: keep.len(),
+                        fell_back: false,
+                    });
+                    shortlist = Some(keep);
+                } else {
+                    outcome = Some(RetrievalOutcome {
+                        control_flow_candidates: candidates.len(),
+                        shortlisted: candidates.len(),
+                        fell_back: true,
+                    });
+                }
+            } else {
+                outcome = Some(RetrievalOutcome {
+                    control_flow_candidates: candidates.len(),
+                    shortlisted: candidates.len(),
+                    fell_back: false,
+                });
+            }
+        }
     }
 
     // Per-cluster repairs run with verification off: only the winning
@@ -249,8 +350,91 @@ pub fn repair_attempt(
     // every input and re-runs the matcher — as expensive as the repair
     // itself when many clusters share the attempt's control flow).
     let cluster_config = RepairConfig { verify: false, ..config.clone() };
-    let cluster_config = &cluster_config;
-    let repairs: Vec<Option<ClusterRepair>> = if config.parallel && candidates.len() > 1 {
+    let scanned = shortlist.as_ref().unwrap_or(&candidates);
+    let mut examined = scanned.len();
+    let repairs = run_candidates(scanned, attempt, inputs, &cluster_config, config.parallel);
+
+    let mut best = repairs.into_iter().flatten().min_by_key(|r| (r.total_cost, r.cluster_index));
+    if best.is_none() {
+        if let (Some(keep), Some((index, _))) = (&shortlist, retrieval) {
+            // Empty-handed shortlist: widen over the candidates it excluded
+            // so the repaired/no-repair verdict matches the full scan
+            // exactly. The widening follows the retrieval ranking in
+            // doubling tiers — a near-miss (the match ranked just past
+            // top-k) is found after one small batch, while a genuinely
+            // unrepairable attempt still degrades gracefully to the cost of
+            // the full scan it would have paid anyway.
+            let kept: HashSet<usize> = keep.iter().map(|(i, _)| *i).collect();
+            let by_index: HashMap<usize, (usize, &Cluster)> =
+                candidates.iter().map(|&(i, c)| (i, (i, c))).collect();
+            let mut queue: Vec<(usize, &Cluster)> = ranked
+                .iter()
+                .filter(|i| !kept.contains(i))
+                .filter_map(|i| by_index.get(i).copied())
+                .collect();
+            let queued: HashSet<usize> = queue.iter().map(|(i, _)| *i).collect();
+            // Zero-overlap candidates never entered the ranking; they are
+            // the least likely to align, so they form the final tier.
+            queue
+                .extend(candidates.iter().copied().filter(|(i, _)| !kept.contains(i) && !queued.contains(i)));
+            // Large pools are dominated by near-duplicates (one solution
+            // family, thousands of trivially varied members), which flatten
+            // the ranking tail: the shortlist's family already failed to
+            // align, so its duplicates will too. Examine one representative
+            // of each signal shape first — a structurally different donor
+            // is then reached after tens, not thousands, of candidates.
+            let mut seen_shapes: HashSet<u64> =
+                keep.iter().map(|&(i, _)| index.shape_fingerprint(i)).collect();
+            let mut duplicates: Vec<(usize, &Cluster)> = Vec::new();
+            let mut ordered: Vec<(usize, &Cluster)> = Vec::with_capacity(queue.len());
+            for entry in queue {
+                if seen_shapes.insert(index.shape_fingerprint(entry.0)) {
+                    ordered.push(entry);
+                } else {
+                    duplicates.push(entry);
+                }
+            }
+            ordered.extend(duplicates);
+            let queue = ordered;
+            let mut tier = config.candidate_top_k.max(1);
+            let mut offset = 0;
+            while best.is_none() && offset < queue.len() {
+                let batch = &queue[offset..(offset + tier).min(queue.len())];
+                examined += batch.len();
+                best = run_candidates(batch, attempt, inputs, &cluster_config, config.parallel)
+                    .into_iter()
+                    .flatten()
+                    .min_by_key(|r| (r.total_cost, r.cluster_index));
+                offset += batch.len();
+                tier *= 2;
+            }
+            if let Some(o) = outcome.as_mut() {
+                o.fell_back = true;
+            }
+        }
+    }
+    if config.verify {
+        if let Some(repair) = best.as_mut() {
+            let _timer = crate::timing::StageTimer::start(crate::timing::Stage::Verify);
+            let analyzed = AnalyzedProgram::from_program(repair.repaired.clone(), inputs, config.fuel);
+            let rep = &clusters[repair.cluster_index].representative;
+            repair.verified = Some(find_matching(rep, &analyzed).is_some());
+        }
+    }
+    let failure = if best.is_none() { Some(RepairFailure::SolverBudgetExhausted) } else { None };
+    RepairResult { best, failure, candidate_clusters: examined, retrieval: outcome, elapsed: start.elapsed() }
+}
+
+/// Runs the per-cluster repair over `candidates`, on multiple threads when
+/// `parallel` and the pool is big enough.
+fn run_candidates(
+    candidates: &[(usize, &Cluster)],
+    attempt: &AnalyzedProgram,
+    inputs: &[Vec<Value>],
+    cluster_config: &RepairConfig,
+    parallel: bool,
+) -> Vec<Option<ClusterRepair>> {
+    if parallel && candidates.len() > 1 {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         let chunk_size = candidates.len().div_ceil(threads);
         let mut results: Vec<Option<ClusterRepair>> = Vec::new();
@@ -285,19 +469,7 @@ pub fn repair_attempt(
             .iter()
             .map(|(index, cluster)| repair_against_cluster(cluster, *index, attempt, inputs, cluster_config))
             .collect()
-    };
-
-    let mut best = repairs.into_iter().flatten().min_by_key(|r| (r.total_cost, r.cluster_index));
-    if config.verify {
-        if let Some(repair) = best.as_mut() {
-            let _timer = crate::timing::StageTimer::start(crate::timing::Stage::Verify);
-            let analyzed = AnalyzedProgram::from_program(repair.repaired.clone(), inputs, config.fuel);
-            let rep = &clusters[repair.cluster_index].representative;
-            repair.verified = Some(find_matching(rep, &analyzed).is_some());
-        }
     }
-    let failure = if best.is_none() { Some(RepairFailure::SolverBudgetExhausted) } else { None };
-    RepairResult { best, failure, candidate_clusters: candidates.len(), elapsed: start.elapsed() }
 }
 
 /// Removes strictly dominated local repairs: two candidates for the same

@@ -40,6 +40,10 @@ pub enum Stage {
     CacheProbe,
     /// Cluster-index snapshot resolution.
     SnapshotResolve,
+    /// Pre-search candidate retrieval: scoring the cluster index's n-gram
+    /// and behaviour buckets to shortlist top-k clusters before any
+    /// trace-based matching runs (search–align–repair).
+    CandidateSearch,
     /// Dynamic-equivalence matching against cluster representatives (§4).
     ClusterMatch,
     /// Semantic-signature evaluation for expression matching (Def. 4.5).
@@ -57,10 +61,11 @@ pub enum Stage {
 impl Stage {
     /// Every stage, in pipeline order (drives metric registration and the
     /// benchmark's breakdown table).
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Parse,
         Stage::CacheProbe,
         Stage::SnapshotResolve,
+        Stage::CandidateSearch,
         Stage::ClusterMatch,
         Stage::SigCache,
         Stage::Ilp,
@@ -75,6 +80,7 @@ impl Stage {
             Stage::Parse => "parse",
             Stage::CacheProbe => "cache_probe",
             Stage::SnapshotResolve => "snapshot_resolve",
+            Stage::CandidateSearch => "candidate_search",
             Stage::ClusterMatch => "cluster_match",
             Stage::SigCache => "sigcache",
             Stage::Ilp => "ilp",
@@ -180,7 +186,7 @@ mod tests {
     #[test]
     fn stage_names_are_stable_and_distinct() {
         let names: Vec<&str> = Stage::ALL.iter().map(|s| s.as_str()).collect();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 10);
         let mut unique = names.clone();
         unique.sort_unstable();
         unique.dedup();

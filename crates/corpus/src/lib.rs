@@ -41,8 +41,8 @@ pub mod workload;
 pub use dataset::{generate_dataset, Attempt, AttemptKind, Dataset, DatasetConfig, DatasetStats};
 pub use minic::{all_minic_problems, generate_minic_dataset, minic_incorrect_attempts};
 pub use mutate::{
-    classify, derive_mutants, frontend_for, MutantBucket, MutationConfig, MutationOp, MutationStats,
-    SurfaceMutant,
+    classify, correct_pool, derive_mutants, frontend_for, MutantBucket, MutationConfig, MutationOp,
+    MutationStats, SurfaceMutant,
 };
 pub use mutation::{empty_attempt, mutate, unsupported_attempt, FaultKind, Mutant};
 pub use problem::{GradingMode, Problem};

@@ -573,6 +573,73 @@ fn negate_branch<R: Rng>(function: &mut SurfaceFunction, rng: &mut R) -> bool {
     })
 }
 
+/// Expands `problem`'s correct pool to `target` verified-correct solutions,
+/// the population size the retrieval-scaling experiments need (a classroom
+/// pool is ~60; a MOOC pool is 10k+).
+///
+/// Two generators fill the pool beyond the hand-written seeds, both fully
+/// deterministic given `seed`:
+///
+/// 1. **Still-correct mutants** of [`derive_mutants`] — perturbations the
+///    grader cannot distinguish from the seed. Their *internal* behaviour
+///    usually differs, so they open new clusters, like genuinely different
+///    student strategies.
+/// 2. **Dead-variable padding**: a fresh `pad_k = k` assignment is prepended
+///    to a seed's body. Correct by construction (the variable is never
+///    read), distinct per `k` both structurally (the literal) and
+///    dynamically (the variable's value), so each padded variant opens its
+///    own cluster — the cheap bulk that makes 10k-cluster pools tractable
+///    to generate.
+///
+/// Every generated variant is re-verified with the problem's grader;
+/// anything that does not classify as still-correct is discarded.
+pub fn correct_pool(problem: &Problem, target: usize, seed: u64) -> Vec<String> {
+    let mut pool: Vec<String> = problem.seeds.iter().map(|s| (*s).to_owned()).collect();
+    pool.truncate(target);
+    if pool.len() >= target {
+        return pool;
+    }
+
+    // Harvest still-correct mutants (bounded: each attempt runs the grader).
+    let config = MutationConfig { seed, target_wrong_answer: usize::MAX, max_attempts: 2_000 };
+    let (mutants, _) = derive_mutants(problem, &config);
+    for mutant in mutants {
+        if pool.len() >= target {
+            return pool;
+        }
+        if mutant.bucket == MutantBucket::StillCorrect {
+            pool.push(mutant.source);
+        }
+    }
+
+    // Dead-variable padding fills the rest.
+    let frontend = frontend_for(problem.lang);
+    let surfaces: Vec<SurfaceFunction> = problem
+        .seeds
+        .iter()
+        .filter_map(|s| frontend.parse(s).ok().and_then(|p| p.surface(problem.entry).ok()))
+        .collect();
+    let mut k = 0usize;
+    let mut misses = 0usize;
+    while pool.len() < target && misses < 100 {
+        let mut padded = surfaces[k % surfaces.len()].clone();
+        padded
+            .body
+            .insert(0, SurfaceStmt::Assign { var: format!("pad_{k}"), value: Expr::int(k as i64), line: 1 });
+        k += 1;
+        let Ok(source) = frontend.render_function(&padded) else {
+            misses += 1;
+            continue;
+        };
+        if classify(problem, &source) == Some(MutantBucket::StillCorrect) {
+            pool.push(source);
+        } else {
+            misses += 1;
+        }
+    }
+    pool
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,6 +689,23 @@ mod tests {
         }
         for mutant in &mutants {
             assert!(hashes.insert(mutant.structural_hash), "duplicate mutant:\n{}", mutant.source);
+        }
+    }
+
+    #[test]
+    fn correct_pool_scales_to_target_with_distinct_verified_solutions() {
+        for problem in [derivatives(), fibonacci_c()] {
+            let pool = correct_pool(&problem, 80, 11);
+            assert_eq!(pool.len(), 80, "{}", problem.name);
+            let frontend = frontend_for(problem.lang);
+            let mut hashes = HashSet::new();
+            for source in &pool {
+                assert_eq!(problem.grade_source(source), Some(true), "{}:\n{source}", problem.name);
+                hashes.insert(frontend.parse(source).unwrap().structural_hash());
+            }
+            assert!(hashes.len() >= 78, "{}: only {} distinct members", problem.name, hashes.len());
+            // Deterministic given the seed.
+            assert_eq!(correct_pool(&problem, 80, 11), pool);
         }
     }
 

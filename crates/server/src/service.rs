@@ -100,6 +100,11 @@ pub struct ServiceStats {
     /// Correct submissions inserted into the cluster index online (each
     /// insertion publishes a new index snapshot).
     pub learned: u64,
+    /// Repairs that consulted the candidate retrieval index (pre-search).
+    pub index_retrievals: u64,
+    /// Retrievals that fell back to the full candidate scan (low overlap
+    /// confidence, or the shortlist produced no repair).
+    pub index_fallbacks: u64,
 }
 
 /// Per-problem counters for the stats endpoints.
@@ -127,6 +132,8 @@ struct Counters {
     no_repair: AtomicU64,
     errors: AtomicU64,
     learned: AtomicU64,
+    index_retrievals: AtomicU64,
+    index_fallbacks: AtomicU64,
 }
 
 /// The cached portion of a response (everything except per-request fields).
@@ -312,6 +319,8 @@ impl FeedbackService {
             no_repair: self.counters.no_repair.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
             learned: self.counters.learned.load(Ordering::Relaxed),
+            index_retrievals: self.counters.index_retrievals.load(Ordering::Relaxed),
+            index_fallbacks: self.counters.index_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -530,6 +539,7 @@ impl FeedbackService {
                 // generation.
                 match snapshot.data().engine().repair_source(&request.source) {
                     Ok(outcome) => {
+                        self.record_retrieval(&outcome.result);
                         let status =
                             if outcome.result.best.is_some() { Status::Repaired } else { Status::NoRepair };
                         CachedOutcome {
@@ -602,6 +612,29 @@ impl FeedbackService {
             elapsed_us: 0,
             trace: None,
         }
+    }
+
+    /// Reports how the candidate pre-search behaved on one computed repair:
+    /// service counters for `/stats`, plus a labelled counter and the
+    /// examined-candidate-set-size histogram in the global registry (both
+    /// fleet-mergeable, rendered by `GET /metrics`).
+    fn record_retrieval(&self, result: &clara_core::RepairResult) {
+        let Some(retrieval) = &result.retrieval else { return };
+        self.counters.index_retrievals.fetch_add(1, Ordering::Relaxed);
+        if retrieval.fell_back {
+            self.counters.index_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        let outcome = if retrieval.fell_back {
+            "fallback"
+        } else if retrieval.shortlisted < retrieval.control_flow_candidates {
+            "shortlisted"
+        } else {
+            "full_scan"
+        };
+        Registry::global().counter("clara_index_retrievals_total", &[("outcome", outcome)]).inc();
+        Registry::global()
+            .histogram("clara_index_candidates_examined", &[])
+            .record(result.candidate_clusters as u64);
     }
 
     /// Inserts a verified-correct submission into the shard's cluster index

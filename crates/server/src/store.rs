@@ -18,14 +18,22 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use clara_core::{AnalysisError, AnalyzedProgram, Clara, ClaraConfig, Cluster, ClusteringStats};
+use clara_core::{
+    frontend, AnalysisError, AnalyzedProgram, CandidateIndex, Clara, ClaraConfig, Cluster, ClusteringStats,
+    QuerySignals,
+};
 use clara_corpus::Problem;
 use clara_lang::Expr;
 use serde::{Deserialize, Serialize};
 
 /// On-disk format version; bumped when the stored shape changes.
-/// Version 2 added the `lang` tag (multi-frontend indexes).
-pub const STORE_FORMAT_VERSION: u32 = 2;
+/// Version 2 added the `lang` tag (multi-frontend indexes); version 3 added
+/// the per-cluster retrieval signals (`retrieval`). Version-2 files still
+/// load: their retrieval signals are rebuilt from the representatives.
+pub const STORE_FORMAT_VERSION: u32 = 3;
+
+/// The oldest on-disk format this build still reads.
+pub const STORE_FORMAT_MIN_COMPAT: u32 = 2;
 
 /// Why a store could not be saved or loaded.
 #[derive(Debug)]
@@ -76,6 +84,16 @@ struct StoredCluster {
     expressions: Vec<StoredSlot>,
 }
 
+/// One cluster's candidate-retrieval signals (format v3), parallel to
+/// `clusters`. Persisting them matters because they accumulate over *every*
+/// member at insertion time, while only representative sources survive a
+/// round-trip — a warm start could not recompute them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StoredSignals {
+    structural: Vec<u64>,
+    behaviour: Vec<u64>,
+}
+
 /// The serialized form of a [`ClusterStore`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct StoredIndex {
@@ -86,6 +104,9 @@ struct StoredIndex {
     entry: String,
     correct_count: usize,
     clusters: Vec<StoredCluster>,
+    /// Per-cluster retrieval signals; absent in v2 files (deserializes as
+    /// `None`, in which case the signals are rebuilt from representatives).
+    retrieval: Option<Vec<StoredSignals>>,
 }
 
 /// A per-problem cluster index: the [`Clara`] engine plus everything needed
@@ -197,6 +218,14 @@ impl ClusterStore {
                         .collect(),
                 })
                 .collect(),
+            retrieval: Some(
+                self.engine
+                    .candidate_index()
+                    .export()
+                    .into_iter()
+                    .map(|(structural, behaviour)| StoredSignals { structural, behaviour })
+                    .collect(),
+            ),
         };
         serde_json::to_string(&stored).expect("index serialization is infallible")
     }
@@ -213,9 +242,9 @@ impl ClusterStore {
     pub fn from_json(json: &str, problem: &Problem, config: ClaraConfig) -> Result<Self, StoreError> {
         let stored: StoredIndex =
             serde_json::from_str(json).map_err(|e| StoreError::Format(e.to_string()))?;
-        if stored.format_version != STORE_FORMAT_VERSION {
+        if stored.format_version < STORE_FORMAT_MIN_COMPAT || stored.format_version > STORE_FORMAT_VERSION {
             return Err(StoreError::Mismatch(format!(
-                "format version {} (expected {STORE_FORMAT_VERSION})",
+                "format version {} (this build reads {STORE_FORMAT_MIN_COMPAT}..={STORE_FORMAT_VERSION})",
                 stored.format_version
             )));
         }
@@ -248,8 +277,29 @@ impl ClusterStore {
             clusters.push(Cluster::from_parts(representative, cluster.member_ids, slots));
             rep_sources.push(cluster.representative);
         }
-        let engine =
+        let mut engine =
             Clara::restore_in(problem.lang, problem.entry, inputs, config, clusters, stored.correct_count);
+        let stored_signals = stored.retrieval.filter(|signals| signals.len() == engine.clusters().len());
+        let index = match stored_signals {
+            // v3: the member-accumulated signals round-trip verbatim, so the
+            // warm index retrieves exactly like the cold-built one.
+            Some(signals) => {
+                CandidateIndex::from_parts(signals.into_iter().map(|s| (s.structural, s.behaviour)).collect())
+            }
+            // v2 migration (or a truncated signal table): rebuild both
+            // signals from the representatives — weaker than accumulated
+            // signals but self-healing, and the next save writes v3.
+            None => {
+                let mut rebuilt = CandidateIndex::new();
+                for (i, (cluster, source)) in engine.clusters().iter().zip(&rep_sources).enumerate() {
+                    let surface =
+                        frontend(problem.lang).parse(source).ok().and_then(|p| p.surface(problem.entry).ok());
+                    rebuilt.record(i, &QuerySignals::for_program(&cluster.representative, surface.as_ref()));
+                }
+                rebuilt
+            }
+        };
+        engine.install_candidate_index(index);
         Ok(ClusterStore { problem: problem.clone(), engine, rep_sources })
     }
 
@@ -355,6 +405,53 @@ mod tests {
         // Serialization is deterministic: a restored store serializes to the
         // identical JSON.
         assert_eq!(restored.to_json(), json);
+    }
+
+    #[test]
+    fn v2_indexes_migrate_with_rebuilt_retrieval_signals() {
+        let store = store_with_seeds();
+        // Reconstruct the exact v2 shape: same clusters, no retrieval table.
+        let mut stored: StoredIndex = serde_json::from_str(&store.to_json()).unwrap();
+        stored.format_version = 2;
+        stored.retrieval = None;
+        let with_null = serde_json::to_string(&stored).unwrap();
+        // A real v2 file has no `retrieval` key at all (it serializes last,
+        // so stripping the null field reproduces the historical bytes).
+        let v2_json = with_null.replace(",\"retrieval\":null}", "}");
+        assert_ne!(v2_json, with_null, "retrieval field expected at the end of the JSON");
+
+        for json in [with_null, v2_json] {
+            let migrated = ClusterStore::from_json(&json, &derivatives(), ClaraConfig::default()).unwrap();
+            assert_eq!(migrated.stats(), store.stats());
+            // The retrieval signals were rebuilt from the representatives:
+            // every cluster is indexed again.
+            let index = migrated.engine().candidate_index();
+            assert_eq!(index.len(), migrated.engine().clusters().len());
+            // Saving the migrated store writes the current format.
+            let upgraded = migrated.to_json();
+            assert!(upgraded.contains("\"format_version\":3"), "{upgraded:.60}");
+            assert!(upgraded.contains("\"retrieval\":["));
+        }
+
+        // Versions outside the compat window are still rejected.
+        for bad in [1, STORE_FORMAT_VERSION + 1] {
+            stored.format_version = bad;
+            let json = serde_json::to_string(&stored).unwrap();
+            let err = ClusterStore::from_json(&json, &derivatives(), ClaraConfig::default()).unwrap_err();
+            assert!(matches!(err, StoreError::Mismatch(_)), "version {bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn warm_loaded_retrieval_signals_round_trip_verbatim() {
+        let store = store_with_seeds();
+        let json = store.to_json();
+        let restored = ClusterStore::from_json(&json, &derivatives(), ClaraConfig::default()).unwrap();
+        assert_eq!(
+            restored.engine().candidate_index().export(),
+            store.engine().candidate_index().export(),
+            "warm index must retrieve exactly like the cold-built one"
+        );
     }
 
     #[test]

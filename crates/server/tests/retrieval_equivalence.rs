@@ -1,0 +1,164 @@
+//! Equivalence contract of candidate retrieval: the pre-search index is a
+//! *performance* seam, never a *semantics* seam. For every problem in the
+//! corpus — both languages — an engine with `use_candidate_index = true`
+//! must reach the same repaired/not-repaired verdict as a full scan, even
+//! under an adversarially tiny `candidate_top_k` that forces shortlisting
+//! on pools the default configuration would scan outright. Feedback and
+//! cost are additionally byte-identical whenever the shortlist did not
+//! narrow the scan (the default configuration on seed-sized pools).
+
+use proptest::prelude::*;
+
+use clara_core::{Clara, ClaraConfig};
+use clara_corpus::{all_problems_all_langs, derive_mutants, MutationConfig, Problem};
+
+/// Builds an engine from the problem's seeds with the given retrieval
+/// settings. Returns the engine and how many seeds were usable.
+fn engine_for(problem: &Problem, use_index: bool, top_k: usize) -> (Clara, usize) {
+    let mut config = ClaraConfig::default();
+    config.repair.use_candidate_index = use_index;
+    config.repair.candidate_top_k = top_k;
+    let mut engine = Clara::new_in(problem.lang, problem.entry.to_owned(), problem.spec.inputs(), config);
+    let mut usable = 0;
+    for seed in &problem.seeds {
+        if engine.add_correct_solution(seed).is_ok() {
+            usable += 1;
+        }
+    }
+    (engine, usable)
+}
+
+/// Repairs every derived mutant of `problem` through an indexed engine and
+/// a full-scan engine and asserts verdict equivalence. `top_k = 1` forces
+/// the shortlist path even on seed-sized cluster pools.
+fn assert_verdicts_agree(problem: &Problem, mutation_seed: u64, top_k: usize) {
+    let (indexed, usable_indexed) = engine_for(problem, true, top_k);
+    let (full, usable_full) = engine_for(problem, false, top_k);
+    // Ingestion must be oblivious to the retrieval flag.
+    assert_eq!(usable_indexed, usable_full, "{}: usable seeds diverged", problem.name);
+    assert_eq!(indexed.clusters().len(), full.clusters().len(), "{}: cluster pool diverged", problem.name);
+    assert_eq!(
+        indexed.candidate_index().len(),
+        indexed.clusters().len(),
+        "{}: index must cover every cluster",
+        problem.name
+    );
+
+    let (mutants, _) = derive_mutants(
+        problem,
+        &MutationConfig { seed: mutation_seed, target_wrong_answer: 6, max_attempts: 800 },
+    );
+    let mut checked = 0usize;
+    let mut retrieved = 0usize;
+    for mutant in &mutants {
+        let Ok(with_index) = indexed.repair_source(&mutant.source) else {
+            assert!(
+                full.repair_source(&mutant.source).is_err(),
+                "{}: analysability diverged on a mutant",
+                problem.name
+            );
+            continue;
+        };
+        let scan = full.repair_source(&mutant.source).expect("full scan must analyse the same source");
+        checked += 1;
+
+        // The contract: identical repaired/not-repaired verdict, identical
+        // failure classification.
+        assert_eq!(
+            with_index.result.best.is_some(),
+            scan.result.best.is_some(),
+            "{}: verdict diverged (seed {mutation_seed}, top_k {top_k}) on:\n{}",
+            problem.name,
+            mutant.source
+        );
+        assert_eq!(with_index.result.failure, scan.result.failure, "{}: failure diverged", problem.name);
+
+        if let Some(retrieval) = with_index.result.retrieval {
+            retrieved += 1;
+            assert!(
+                retrieval.shortlisted <= retrieval.control_flow_candidates,
+                "{}: shortlist larger than the candidate set",
+                problem.name
+            );
+            // When the shortlist did not actually narrow the scan, the whole
+            // outcome — cost and rendered feedback — must be byte-identical.
+            if retrieval.shortlisted == retrieval.control_flow_candidates && !retrieval.fell_back {
+                assert_eq!(
+                    with_index.result.best.as_ref().map(|r| r.total_cost),
+                    scan.result.best.as_ref().map(|r| r.total_cost),
+                    "{}: cost diverged without shortlisting",
+                    problem.name
+                );
+                assert_eq!(
+                    with_index.feedback, scan.feedback,
+                    "{}: feedback diverged without shortlisting",
+                    problem.name
+                );
+            }
+        }
+        // The full-scan engine must never report a retrieval outcome.
+        assert_eq!(scan.result.retrieval, None, "{}: full scan recorded retrieval", problem.name);
+    }
+    assert!(checked > 0, "{}: no analysable mutants were derived", problem.name);
+    // With more than one cluster the indexed engine must have consulted the
+    // index (small pools record a degenerate full-scan outcome, but an
+    // outcome nonetheless).
+    if indexed.clusters().len() > 1 {
+        assert!(retrieved > 0, "{}: index was never consulted", problem.name);
+    }
+}
+
+#[test]
+fn indexed_and_full_scan_verdicts_agree_on_every_problem_both_languages() {
+    let problems = all_problems_all_langs();
+    assert_eq!(problems.len(), 12, "corpus should expose twelve problems across both frontends");
+    for problem in &problems {
+        // top_k = 1 squeezes the shortlist as hard as possible; the
+        // empty-handed fallback is what keeps verdicts equal.
+        assert_verdicts_agree(problem, 0x5EED_CAFE, 1);
+    }
+}
+
+#[test]
+fn default_configuration_is_byte_identical_on_seed_sized_pools() {
+    // With the default top_k (larger than any seed pool) shortlisting never
+    // engages, so the indexed engine must be indistinguishable — including
+    // feedback bytes — from the full scan.
+    for problem in all_problems_all_langs() {
+        let (indexed, _) = engine_for(&problem, true, 16);
+        let (full, _) = engine_for(&problem, false, 16);
+        let (mutants, _) = derive_mutants(
+            &problem,
+            &MutationConfig { seed: 0xD0_0DAD, target_wrong_answer: 4, max_attempts: 600 },
+        );
+        for mutant in &mutants {
+            let Ok(with_index) = indexed.repair_source(&mutant.source) else { continue };
+            let Ok(scan) = full.repair_source(&mutant.source) else {
+                panic!("{}: analysability diverged", problem.name)
+            };
+            assert_eq!(with_index.feedback, scan.feedback, "{}: feedback diverged", problem.name);
+            assert_eq!(
+                with_index.result.best.as_ref().map(|r| r.total_cost),
+                scan.result.best.as_ref().map(|r| r.total_cost),
+                "{}: cost diverged",
+                problem.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Randomised seeds and shortlist widths on one problem per language:
+    /// the verdict contract holds for any (seed, top_k), not just the
+    /// hand-picked ones above.
+    #[test]
+    fn verdicts_agree_under_random_seeds_and_shortlist_widths(
+        mutation_seed in 0u64..u64::from(u32::MAX),
+        top_k in 1usize..6,
+    ) {
+        assert_verdicts_agree(&clara_corpus::mooc::derivatives(), mutation_seed, top_k);
+        assert_verdicts_agree(&clara_corpus::minic::fibonacci_c(), mutation_seed, top_k);
+    }
+}
