@@ -1,0 +1,467 @@
+//! Flexible CFG alignment — the fallback for the structure-mismatch
+//! repair-failure mode.
+//!
+//! §6.2 (1) and §7 of the paper report the dominant repair failure as
+//! attempts whose control flow diverges from every cluster representative:
+//! [`find_matching`](crate::matching::find_matching) requires exact
+//! loop-structure correspondence, so a student who duplicated a loop,
+//! wrapped one in a redundant guard, or split one loop into two is
+//! unrepairable even when the computation is otherwise aligned. This module
+//! relaxes that gate without touching the matcher: when the strict repair
+//! fails with [`RepairFailure::NoMatchingControlFlow`], the attempt's
+//! *surface* IR is normalized through a small set of semantics-preserving
+//! structural rewrites (each the inverse of a way students distort control
+//! flow), every normalization is re-lowered and re-executed, candidates
+//! whose observable traces disagree with the original attempt are discarded,
+//! and the strict repair is retried on the survivors. The cheapest repair
+//! across surviving candidates wins.
+//!
+//! Soundness (Theorem 5.3) is preserved by construction: a repair found
+//! through a normalized attempt is still a repair the matcher verified
+//! against its cluster, and — because candidates must agree with the
+//! original attempt on the status, return value and output of every grading
+//! input — the differential oracle's spec check is unaffected by the
+//! alignment step. The rewrites themselves are *candidates*, not trusted
+//! transformations: an unsound rewrite (one that changes behaviour) is
+//! filtered out by the trace-agreement gate before any repair runs.
+//!
+//! The rewrite set pairs with the structural mutation operators of
+//! `clara-corpus` (`duplicate-loop`, `guard-loop`) and with the loop
+//! unrolling/merging tolerance of CLEVER-style flexible alignment:
+//!
+//! * **drop-loop** — delete one loop statement (inverse of a duplicated or
+//!   spurious extra loop);
+//! * **unwrap-guard** — splice the body of an `if` with an empty `else`
+//!   whose then-branch contains a loop (inverse of a redundant guard; the
+//!   guard's truth on all inputs is exactly what the trace gate checks);
+//! * **merge-loops** — fuse two adjacent `while` loops with the same
+//!   condition into one (inverse of a split loop).
+
+use clara_lang::Value;
+use clara_model::surface::{SurfaceFunction, SurfaceStmt};
+use clara_model::ModelBuilder;
+
+use crate::analysis::AnalyzedProgram;
+use crate::cluster::Cluster;
+use crate::repair::{repair_attempt, RepairConfig, RepairResult};
+
+/// Maximum number of rewrite layers applied to one attempt: depth 1 undoes
+/// a single structural distortion, depth 2 a pair (the multi-fault corpus
+/// composes 2–4 faults, of which at most two are structural in practice).
+const MAX_DEPTH: usize = 2;
+
+/// Generates the normalization candidates of `surface`: every distinct
+/// result of applying at most [`MAX_DEPTH`] structural rewrites, shallowest
+/// first, capped at `max` candidates. The input itself is not included.
+pub fn alignment_candidates(surface: &SurfaceFunction, max: usize) -> Vec<SurfaceFunction> {
+    let mut out: Vec<SurfaceFunction> = Vec::new();
+    let mut frontier: Vec<SurfaceFunction> = vec![surface.clone()];
+    for _depth in 0..MAX_DEPTH {
+        let mut next: Vec<SurfaceFunction> = Vec::new();
+        for candidate in &frontier {
+            for rewritten in single_rewrites(candidate) {
+                if out.len() >= max {
+                    return out;
+                }
+                let fresh =
+                    !stmts_eq(&rewritten, surface) && !out.iter().any(|seen| stmts_eq(seen, &rewritten));
+                if fresh {
+                    out.push(rewritten.clone());
+                    next.push(rewritten);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    out
+}
+
+fn stmts_eq(a: &SurfaceFunction, b: &SurfaceFunction) -> bool {
+    clara_model::surface::stmts_struct_eq(&a.body, &b.body)
+}
+
+/// Every result of applying exactly one structural rewrite somewhere in the
+/// function, in block order.
+fn single_rewrites(surface: &SurfaceFunction) -> Vec<SurfaceFunction> {
+    let mut rewrites: Vec<SurfaceFunction> = Vec::new();
+    // Count the blocks first, then regenerate the function once per concrete
+    // rewrite site so each candidate carries exactly one change.
+    let sites = collect_sites(&surface.body, &mut Vec::new());
+    for site in sites {
+        let mut candidate = surface.clone();
+        apply_site(&mut candidate.body, &site.path, 0, &site.kind);
+        rewrites.push(candidate);
+    }
+    rewrites
+}
+
+/// A concrete rewrite site: the path of block-child indices from the
+/// function body down to the block holding the statement, plus what to do
+/// at which index inside that block.
+struct Site {
+    path: Vec<usize>,
+    kind: SiteKind,
+}
+
+enum SiteKind {
+    /// Replace the loop at `index` with a `Nop`.
+    DropLoop { index: usize },
+    /// Splice the then-branch of the guard `if` at `index` into the block.
+    UnwrapGuard { index: usize },
+    /// Fuse the `while` at `index` with the equal-condition `while` at
+    /// `index + 1`.
+    MergeLoops { index: usize },
+}
+
+/// Walks every block of `body` (identified by the path of child indices
+/// that leads to it) and records each applicable rewrite.
+fn collect_sites(body: &[SurfaceStmt], path: &mut Vec<usize>) -> Vec<Site> {
+    let mut sites = Vec::new();
+    for (index, stmt) in body.iter().enumerate() {
+        match stmt {
+            SurfaceStmt::While { cond, .. } => {
+                sites.push(Site { path: path.clone(), kind: SiteKind::DropLoop { index } });
+                if let Some(SurfaceStmt::While { cond: next_cond, .. }) = body.get(index + 1) {
+                    if cond == next_cond {
+                        sites.push(Site { path: path.clone(), kind: SiteKind::MergeLoops { index } });
+                    }
+                }
+                // A duplicated loop is also droppable as "the second copy";
+                // dropping either copy yields struct-equal candidates, which
+                // the caller deduplicates.
+            }
+            SurfaceStmt::ForEach { .. } => {
+                sites.push(Site { path: path.clone(), kind: SiteKind::DropLoop { index } });
+            }
+            SurfaceStmt::If { then_body, else_body, .. }
+                if else_body.is_empty() && then_body.iter().any(SurfaceStmt::contains_loop) =>
+            {
+                sites.push(Site { path: path.clone(), kind: SiteKind::UnwrapGuard { index } });
+            }
+            _ => {}
+        }
+        // Descend into nested blocks.
+        match stmt {
+            SurfaceStmt::If { then_body, else_body, .. } => {
+                path.push(child_slot(index, 0));
+                sites.extend(collect_sites(then_body, path));
+                path.pop();
+                path.push(child_slot(index, 1));
+                sites.extend(collect_sites(else_body, path));
+                path.pop();
+            }
+            SurfaceStmt::While { body, .. } | SurfaceStmt::ForEach { body, .. } => {
+                path.push(child_slot(index, 0));
+                sites.extend(collect_sites(body, path));
+                path.pop();
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
+/// Encodes "child block `slot` of the statement at `index`" as one path
+/// component (a statement has at most two child blocks).
+fn child_slot(index: usize, slot: usize) -> usize {
+    index * 2 + slot
+}
+
+/// Follows `path` down to its block and applies the rewrite there.
+fn apply_site(body: &mut Vec<SurfaceStmt>, path: &[usize], depth: usize, kind: &SiteKind) {
+    if depth == path.len() {
+        match *kind {
+            SiteKind::DropLoop { index } => {
+                let line = body[index].line();
+                body[index] = SurfaceStmt::Nop { line };
+            }
+            SiteKind::UnwrapGuard { index } => {
+                if let SurfaceStmt::If { then_body, .. } = body[index].clone() {
+                    body.splice(index..=index, then_body);
+                }
+            }
+            SiteKind::MergeLoops { index } => {
+                if let SurfaceStmt::While { body: second, .. } = body.remove(index + 1) {
+                    if let SurfaceStmt::While { body: first, .. } = &mut body[index] {
+                        first.extend(second);
+                    }
+                }
+            }
+        }
+        return;
+    }
+    let component = path[depth];
+    let (index, slot) = (component / 2, component % 2);
+    match &mut body[index] {
+        SurfaceStmt::If { then_body, else_body, .. } => {
+            let block = if slot == 0 { then_body } else { else_body };
+            apply_site(block, path, depth + 1, kind);
+        }
+        SurfaceStmt::While { body: block, .. } | SurfaceStmt::ForEach { body: block, .. } => {
+            apply_site(block, path, depth + 1, kind);
+        }
+        _ => {}
+    }
+}
+
+/// Exact observable agreement of two analysed programs on every grading
+/// input: same termination status, same return value, same output. This is
+/// the gate that makes an aggressive rewrite set safe — a normalization
+/// that changed behaviour on any input is rejected here, before any repair
+/// is attempted against it.
+pub fn traces_agree(a: &AnalyzedProgram, b: &AnalyzedProgram) -> bool {
+    a.traces.len() == b.traces.len()
+        && a.traces.iter().zip(&b.traces).all(|(x, y)| {
+            x.status == y.status && x.return_value() == y.return_value() && x.output() == y.output()
+        })
+}
+
+/// The flexible-alignment fallback: normalizes the attempt's surface IR,
+/// keeps the candidates whose traces agree with the original attempt, and
+/// retries the strict repair on each. Returns the cheapest successful
+/// repair together with the normalized program it was found through (the
+/// program feedback must be rendered against), or `None` when no candidate
+/// aligns. The returned result has [`RepairResult::realigned`] set.
+pub fn realign_attempt(
+    clusters: &[Cluster],
+    attempt: &AnalyzedProgram,
+    surface: &SurfaceFunction,
+    inputs: &[Vec<Value>],
+    config: &RepairConfig,
+) -> Option<(RepairResult, AnalyzedProgram)> {
+    if !config.flexible_alignment {
+        return None;
+    }
+    let mut best: Option<(RepairResult, AnalyzedProgram)> = None;
+    for candidate in alignment_candidates(surface, config.max_alignment_candidates) {
+        let Ok(program) = ModelBuilder::build(&candidate) else { continue };
+        let analyzed = AnalyzedProgram::from_program(program, inputs, config.fuel);
+        if !traces_agree(attempt, &analyzed) {
+            continue;
+        }
+        let result = repair_attempt(clusters, &analyzed, inputs, config);
+        let Some(repair) = &result.best else { continue };
+        // Shallower candidates come first, so strict improvement keeps the
+        // least-normalized alignment on cost ties.
+        let improves = match &best {
+            Some((current, _)) => {
+                repair.total_cost < current.best.as_ref().map_or(i64::MAX, |r| r.total_cost)
+            }
+            None => true,
+        };
+        if improves {
+            best = Some((result, analyzed));
+        }
+    }
+    if let Some((result, _)) = best.as_mut() {
+        result.realigned = true;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clara_lang::Expr;
+
+    fn func(body: Vec<SurfaceStmt>) -> SurfaceFunction {
+        SurfaceFunction { name: "f".into(), params: vec!["n".into()], body, line: 1 }
+    }
+
+    fn simple_loop(line: u32) -> SurfaceStmt {
+        SurfaceStmt::While {
+            cond: Expr::bin(clara_lang::BinOp::Lt, Expr::var("i"), Expr::var("n")),
+            body: vec![SurfaceStmt::Assign {
+                var: "i".into(),
+                value: Expr::bin(clara_lang::BinOp::Add, Expr::var("i"), Expr::int(1)),
+                line: line + 1,
+            }],
+            line,
+        }
+    }
+
+    #[test]
+    fn duplicated_loops_yield_a_drop_candidate() {
+        let surface = func(vec![
+            SurfaceStmt::Assign { var: "i".into(), value: Expr::int(0), line: 2 },
+            simple_loop(3),
+            simple_loop(5),
+            SurfaceStmt::Return { value: Expr::var("i"), line: 7 },
+        ]);
+        let candidates = alignment_candidates(&surface, 16);
+        assert!(!candidates.is_empty());
+        // One candidate drops a loop copy; another merges the equal-cond
+        // adjacent pair.
+        let has_single_loop = candidates
+            .iter()
+            .any(|c| c.body.iter().filter(|s| matches!(s, SurfaceStmt::While { .. })).count() == 1);
+        assert!(has_single_loop, "no candidate reduced the loop count");
+    }
+
+    #[test]
+    fn guarded_loops_are_unwrapped() {
+        let guarded = SurfaceStmt::If {
+            cond: Expr::bin(clara_lang::BinOp::Gt, Expr::var("n"), Expr::int(0)),
+            then_body: vec![simple_loop(4)],
+            else_body: vec![],
+            line: 3,
+        };
+        let surface = func(vec![
+            SurfaceStmt::Assign { var: "i".into(), value: Expr::int(0), line: 2 },
+            guarded,
+            SurfaceStmt::Return { value: Expr::var("i"), line: 6 },
+        ]);
+        let candidates = alignment_candidates(&surface, 16);
+        assert!(candidates.iter().any(|c| {
+            c.body.iter().any(|s| matches!(s, SurfaceStmt::While { .. }))
+                && !c.body.iter().any(|s| matches!(s, SurfaceStmt::If { .. }))
+        }));
+    }
+
+    #[test]
+    fn candidates_are_distinct_capped_and_exclude_the_input() {
+        let surface = func(vec![
+            SurfaceStmt::Assign { var: "i".into(), value: Expr::int(0), line: 2 },
+            simple_loop(3),
+            simple_loop(5),
+            simple_loop(7),
+            SurfaceStmt::Return { value: Expr::var("i"), line: 9 },
+        ]);
+        let candidates = alignment_candidates(&surface, 4);
+        assert!(candidates.len() <= 4);
+        for (i, a) in candidates.iter().enumerate() {
+            assert!(!stmts_eq(a, &surface), "candidate {i} is the input");
+            for b in &candidates[i + 1..] {
+                assert!(!stmts_eq(a, b), "duplicate candidates");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_sites_are_reached() {
+        // A duplicated loop nested inside a branch must still be found.
+        let inner = func(vec![SurfaceStmt::If {
+            cond: Expr::bool(true),
+            then_body: vec![simple_loop(3), simple_loop(5)],
+            else_body: vec![],
+            line: 2,
+        }]);
+        let candidates = alignment_candidates(&inner, 16);
+        assert!(candidates.iter().any(|c| {
+            let SurfaceStmt::If { then_body, .. } = &c.body[0] else { return false };
+            then_body.iter().filter(|s| matches!(s, SurfaceStmt::While { .. })).count() == 1
+        }));
+    }
+
+    use crate::repair::RepairFailure;
+    use crate::{Clara, ClaraConfig, Feedback};
+    use clara_lang::Value;
+
+    fn sum_engine(flexible: bool) -> Clara {
+        let mut config = ClaraConfig::default();
+        config.repair.flexible_alignment = flexible;
+        let inputs = vec![vec![Value::Int(0)], vec![Value::Int(3)], vec![Value::Int(5)]];
+        let mut clara = Clara::new("f", inputs, config);
+        clara
+            .add_correct_solution(
+                "def f(n):\n    s = 0\n    i = 0\n    while i < n:\n        s = s + i\n        i = i + 1\n    return s\n",
+            )
+            .unwrap();
+        clara
+    }
+
+    // A duplicated (dead) loop plus a seeded bug: strictly unrepairable —
+    // two loops match no single-loop cluster — but the second loop never
+    // runs, so dropping it preserves the attempt's traces exactly.
+    const DUPLICATED: &str = "def f(n):\n    s = 0\n    i = 0\n    while i < n:\n        s = s + i\n        i = i + 1\n    while i < n:\n        s = s + i\n        i = i + 1\n    return s + 1\n";
+
+    // The same bug behind a redundant loop guard (`if n > 0:` around a
+    // `while i < n` loop starting from i = 0 is a no-op).
+    const GUARDED: &str = "def f(n):\n    s = 0\n    i = 0\n    if n > 0:\n        while i < n:\n            s = s + i\n            i = i + 1\n    return s + 1\n";
+
+    #[test]
+    fn structure_divergent_attempts_fail_without_alignment() {
+        // The baseline this PR's flexible alignment improves over: with the
+        // fallback off, both distortions are terminal.
+        let clara = sum_engine(false);
+        for attempt in [DUPLICATED, GUARDED] {
+            let outcome = clara.repair_source(attempt).unwrap();
+            assert!(outcome.result.best.is_none());
+            assert!(!outcome.result.realigned);
+            assert_eq!(outcome.result.failure, Some(RepairFailure::NoMatchingControlFlow));
+        }
+    }
+
+    #[test]
+    fn duplicated_and_guarded_loops_realign_and_repair() {
+        let clara = sum_engine(true);
+        for attempt in [DUPLICATED, GUARDED] {
+            let outcome = clara.repair_source(attempt).unwrap();
+            let repair = outcome.result.best.as_ref().unwrap_or_else(|| {
+                panic!("alignment must recover this attempt:\n{attempt}\n{:?}", outcome.result.failure)
+            });
+            assert!(outcome.result.realigned);
+            assert_eq!(repair.verified, Some(true), "Theorem 5.3 must hold through alignment");
+            assert!(repair.total_cost > 0, "the seeded bug still needs a real fix");
+            assert!(outcome.feedback.is_repair_feedback() || matches!(outcome.feedback, Feedback::Correct));
+        }
+    }
+
+    #[test]
+    fn behaviour_changing_normalizations_are_rejected() {
+        // Here the second loop is NOT dead: i is reset, so both copies run
+        // and dropping either changes the attempt's observable traces. The
+        // trace gate must reject every candidate and leave the strict
+        // verdict in place rather than repair against a program the student
+        // did not write.
+        let live = "def f(n):\n    s = 0\n    i = 0\n    while i < n:\n        s = s + i\n        i = i + 1\n    i = 0\n    while i < n:\n        s = s + i\n        i = i + 1\n    return s + 1\n";
+        let clara = sum_engine(true);
+        let outcome = clara.repair_source(live).unwrap();
+        assert!(outcome.result.best.is_none(), "no trace-agreeing candidate exists");
+        assert!(!outcome.result.realigned);
+        assert_eq!(outcome.result.failure, Some(RepairFailure::NoMatchingControlFlow));
+    }
+
+    #[test]
+    fn traces_agree_is_exact_observable_agreement() {
+        let inputs = vec![vec![Value::Int(2)], vec![Value::Int(4)]];
+        let frontend = crate::frontends::frontend(clara_model::frontend::Lang::MiniPy);
+        let analyze = |src: &str| {
+            let program = frontend.parse(src).unwrap().lower("f").unwrap();
+            AnalyzedProgram::from_program(program, &inputs, clara_model::Fuel::default())
+        };
+        let double = analyze("def f(x):\n    return x * 2\n");
+        let also_double = analyze("def f(y):\n    return y + y\n");
+        let triple = analyze("def f(x):\n    return x * 3\n");
+        assert!(traces_agree(&double, &also_double), "same observable behaviour must agree");
+        assert!(!traces_agree(&double, &triple), "different return values must not");
+    }
+
+    #[test]
+    fn merge_preserves_statement_order() {
+        let first = SurfaceStmt::While {
+            cond: Expr::var("c"),
+            body: vec![SurfaceStmt::Assign { var: "a".into(), value: Expr::int(1), line: 3 }],
+            line: 2,
+        };
+        let second = SurfaceStmt::While {
+            cond: Expr::var("c"),
+            body: vec![SurfaceStmt::Assign { var: "b".into(), value: Expr::int(2), line: 5 }],
+            line: 4,
+        };
+        let surface = func(vec![first, second]);
+        let candidates = alignment_candidates(&surface, 16);
+        let merged = candidates
+            .iter()
+            .find_map(|c| match c.body.as_slice() {
+                [SurfaceStmt::While { body, .. }] if body.len() == 2 => Some(body.clone()),
+                _ => None,
+            })
+            .expect("a merged candidate exists");
+        assert!(matches!(&merged[0], SurfaceStmt::Assign { var, .. } if var == "a"));
+        assert!(matches!(&merged[1], SurfaceStmt::Assign { var, .. } if var == "b"));
+    }
+}

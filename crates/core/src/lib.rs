@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod align;
 pub mod analysis;
 pub mod cluster;
 pub mod feedback;
@@ -56,6 +57,7 @@ pub mod sigcache;
 pub mod snapshot;
 pub mod timing;
 
+pub use align::{alignment_candidates, realign_attempt, traces_agree};
 pub use analysis::{AnalysisError, AnalyzedProgram};
 pub use cluster::{
     cluster_programs, clustering_stats, compact_clusters, Cluster, ClusteringStats, CompactionConfig,
@@ -307,7 +309,11 @@ impl Clara {
             &self.inputs,
             self.config.repair.fuel,
         )?;
-        let surface = if self.config.repair.use_candidate_index && !self.index.is_empty() {
+        // The surface IR feeds both the structural retrieval signal and the
+        // flexible-alignment fallback, so it is built whenever either is on.
+        let wants_surface = (self.config.repair.use_candidate_index && !self.index.is_empty())
+            || self.config.repair.flexible_alignment;
+        let surface = if wants_surface {
             frontend(self.lang).parse(source).ok().and_then(|p| p.surface(&self.entry).ok())
         } else {
             None
@@ -335,15 +341,41 @@ impl Clara {
         } else {
             None
         };
-        let result = repair_attempt_retrieved(
+        let mut result = repair_attempt_retrieved(
             &self.clusters,
             query.as_ref().map(|q| (&self.index, q)),
             attempt,
             &self.inputs,
             &self.config.repair,
         );
+        // Structure-mismatch fallback (§6.2 (1)): when no cluster shares the
+        // attempt's control flow, normalize the attempt's surface IR and
+        // retry. Soundness is preserved — the repair the fallback returns
+        // was matcher-verified against its cluster, and the normalized
+        // program agrees with the attempt on every grading input.
+        let mut normalized: Option<AnalyzedProgram> = None;
+        if result.best.is_none()
+            && result.failure == Some(RepairFailure::NoMatchingControlFlow)
+            && self.config.repair.flexible_alignment
+        {
+            if let Some(surface) = surface {
+                if let Some((aligned, program)) = align::realign_attempt(
+                    &self.clusters,
+                    attempt,
+                    surface,
+                    &self.inputs,
+                    &self.config.repair,
+                ) {
+                    result = aligned;
+                    normalized = Some(program);
+                }
+            }
+        }
+        // Feedback lines must point into the program the repair actions
+        // refer to: the normalized program when the alignment fallback ran.
+        let feedback_program = normalized.as_ref().map_or(&attempt.program, |n| &n.program);
         let feedback = match &result.best {
-            Some(repair) => render_feedback(repair, &attempt.program, &self.config.feedback),
+            Some(repair) => render_feedback(repair, feedback_program, &self.config.feedback),
             None => Feedback::GenericStrategy(generic_strategy(&attempt.program)),
         };
         RepairOutcome { result, feedback }

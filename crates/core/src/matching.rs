@@ -59,6 +59,14 @@ pub(crate) fn vars_compatible(q_var: &str, p_var: &str, q_params: &[String], p_p
 
 /// Finds the matching witness `τ : V_Q → V_P` of Definition 4.4, if the two
 /// programs match on the analysed inputs (the algorithm of Fig. 4).
+///
+/// Matching requires exact control-flow correspondence (same structural
+/// signature, same location sequence) — the fundamental limitation of
+/// §6.2 (1). Attempts rejected here for structure mismatch get a second
+/// chance through the flexible-alignment fallback ([`crate::align`]), which
+/// normalizes the attempt's surface control flow (trace-agreement-gated)
+/// and re-enters this strict matcher; the matcher itself is deliberately
+/// never relaxed.
 pub fn find_matching(p: &AnalyzedProgram, q: &AnalyzedProgram) -> Option<VarMap> {
     let _timer = crate::timing::StageTimer::start(crate::timing::Stage::ClusterMatch);
     if !p.program.same_control_flow(&q.program) {

@@ -56,6 +56,10 @@ pub struct RepairCheck {
     pub modified_expressions: usize,
     /// Whether the repair is the whole-program rewrite fallback.
     pub is_rewrite: bool,
+    /// Whether the repair was found through the flexible-alignment fallback
+    /// (the attempt's control flow matched no cluster until normalization;
+    /// see [`crate::align`]).
+    pub realigned: bool,
 }
 
 impl OracleVerdict {
@@ -112,6 +116,7 @@ impl DifferentialOracle {
         // retrieval, so the oracle exercises the exact production path.
         let surface = parsed.surface(&self.spec.entry).ok();
         let outcome = self.clara.repair_with_surface(&attempt, surface.as_ref());
+        let realigned = outcome.result.realigned;
         match outcome.result.best {
             None => OracleVerdict::NotRepaired { failure: outcome.result.failure },
             Some(repair) => {
@@ -125,6 +130,7 @@ impl DifferentialOracle {
                     relative_size: repair.relative_size(parsed.ast_size()),
                     modified_expressions: repair.modified_expression_count(),
                     is_rewrite: repair.is_rewrite,
+                    realigned,
                 })
             }
         }

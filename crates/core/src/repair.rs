@@ -73,6 +73,16 @@ pub struct RepairConfig {
     /// shortlist to be trusted; below it the overlap evidence is noise and
     /// the repair scans every candidate.
     pub candidate_min_score: u32,
+    /// When the strict repair fails with
+    /// [`RepairFailure::NoMatchingControlFlow`], retry through the
+    /// flexible-alignment fallback (see [`crate::align`]): the attempt's
+    /// surface IR is normalized through loop drop/unwrap/merge rewrites,
+    /// trace-agreement-gated, and re-repaired. Soundness (Theorem 5.3) is
+    /// unaffected — the matcher still verifies every accepted repair.
+    pub flexible_alignment: bool,
+    /// Cap on the number of normalization candidates the alignment fallback
+    /// lowers and re-executes per attempt.
+    pub max_alignment_candidates: usize,
 }
 
 impl Default for RepairConfig {
@@ -87,6 +97,8 @@ impl Default for RepairConfig {
             use_candidate_index: true,
             candidate_top_k: 16,
             candidate_min_score: 3,
+            flexible_alignment: true,
+            max_alignment_candidates: 16,
         }
     }
 }
@@ -238,6 +250,11 @@ pub struct RepairResult {
     /// How the candidate pre-search behaved; `None` when no index was
     /// consulted (retrieval disabled or not wired in).
     pub retrieval: Option<RetrievalOutcome>,
+    /// `true` when the repair was found through the flexible-alignment
+    /// fallback (the attempt's control flow was normalized before matching;
+    /// see [`crate::align`]). Action locations then refer to the normalized
+    /// program.
+    pub realigned: bool,
     /// Wall-clock time of the whole repair.
     pub elapsed: Duration,
 }
@@ -288,6 +305,7 @@ pub fn repair_attempt_retrieved(
                     failure: None,
                     candidate_clusters: 0,
                     retrieval: None,
+                    realigned: false,
                     elapsed: start.elapsed(),
                 };
             }
@@ -297,6 +315,7 @@ pub fn repair_attempt_retrieved(
             failure: Some(RepairFailure::NoMatchingControlFlow),
             candidate_clusters: 0,
             retrieval: None,
+            realigned: false,
             elapsed: start.elapsed(),
         };
     }
@@ -422,7 +441,14 @@ pub fn repair_attempt_retrieved(
         }
     }
     let failure = if best.is_none() { Some(RepairFailure::SolverBudgetExhausted) } else { None };
-    RepairResult { best, failure, candidate_clusters: examined, retrieval: outcome, elapsed: start.elapsed() }
+    RepairResult {
+        best,
+        failure,
+        candidate_clusters: examined,
+        retrieval: outcome,
+        realigned: false,
+        elapsed: start.elapsed(),
+    }
 }
 
 /// Runs the per-cluster repair over `candidates`, on multiple threads when

@@ -34,6 +34,7 @@ pub mod mooc;
 pub mod mutate;
 pub mod mutation;
 pub mod problem;
+pub mod regression;
 pub mod study;
 pub mod variation;
 pub mod workload;
@@ -41,11 +42,16 @@ pub mod workload;
 pub use dataset::{generate_dataset, Attempt, AttemptKind, Dataset, DatasetConfig, DatasetStats};
 pub use minic::{all_minic_problems, generate_minic_dataset, minic_incorrect_attempts};
 pub use mutate::{
-    classify, correct_pool, derive_mutants, frontend_for, MutantBucket, MutationConfig, MutationOp,
-    MutationStats, SurfaceMutant,
+    apply_step, chain_still_fails, classify, correct_pool, derive_multi_fault_mutants, derive_mutants,
+    frontend_for, minimize_steps, realize_variant, replay_steps, FaultStep, MultiFaultConfig,
+    MultiFaultMutant, MutantBucket, MutationConfig, MutationOp, MutationStats, SurfaceMutant,
 };
 pub use mutation::{empty_attempt, mutate, unsupported_attempt, FaultKind, Mutant};
 pub use problem::{GradingMode, Problem};
+pub use regression::{
+    load_regression_dir, regression_dir, replay_entry, save_regression_file, RegressionEntry, RegressionFile,
+    RegressionStep, ReplayOutcome, REGRESSION_FORMAT_VERSION,
+};
 pub use variation::{rename_variables, rename_with, tweak_expressions, vary_seed};
 pub use workload::{
     duplicate_fraction, generate_workload, language_mix, partition_workload, RequestKind, WorkloadConfig,

@@ -1,0 +1,252 @@
+//! The persistent on-disk regression corpus of minimized killed mutants.
+//!
+//! Every wrong-answer mutant the multi-fault engine produces is shrunk to
+//! its smallest still-failing operator core ([`crate::mutate::minimize_steps`]);
+//! distinct cores are *promoted* into this corpus — one JSON file per
+//! problem under `corpus/regression/` at the repository root, committed to
+//! version control and replayed on every CI run. Each entry records the
+//! exact fault chain (operator names + per-step RNG seeds), the rendered
+//! source it produced, and whether the repair pipeline fixed it at
+//! promotion time. Replay then asserts three things:
+//!
+//! 1. **reproducibility** — the chain still renders byte-identical source
+//!    from its seed solution (the mutation engine did not silently drift);
+//! 2. **the mutant is still killed** — the grader still classifies it
+//!    wrong-answer (the corpus stays a corpus of bugs);
+//! 3. at a higher layer (the workspace `regression_corpus` test), the
+//!    differential oracle re-judges every entry: a previously-repaired
+//!    mutant that stops repairing, or any unsound claimed repair, fails CI.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::mutate::{classify, replay_steps, FaultStep, MutantBucket, MutationOp};
+use crate::problem::Problem;
+
+/// On-disk format version; bumped when the stored shape changes.
+pub const REGRESSION_FORMAT_VERSION: u32 = 1;
+
+/// One recorded operator application, stored by stable operator *name* so
+/// the files stay human-readable and survive enum reordering.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegressionStep {
+    /// Stable kebab-case operator name ([`MutationOp::name`]).
+    pub op: String,
+    /// Seed of the per-step site-selection RNG.
+    pub seed: u64,
+}
+
+impl RegressionStep {
+    /// Converts back to the replayable [`FaultStep`]; `None` for operator
+    /// names this build no longer knows.
+    pub fn to_fault_step(&self) -> Option<FaultStep> {
+        Some(FaultStep { op: MutationOp::from_name(&self.op)?, seed: self.seed })
+    }
+}
+
+/// One minimized killed mutant of the regression corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionEntry {
+    /// Index of the seed solution the chain starts from.
+    pub seed_index: usize,
+    /// The minimized fault chain, in application order.
+    pub steps: Vec<RegressionStep>,
+    /// The rendered source the chain produced at promotion time (replay
+    /// must reproduce it byte-identically).
+    pub source: String,
+    /// Structural hash of the source at promotion time (distinctness
+    /// witness within the file; intra-build only, the authoritative
+    /// reproducibility check is the source text).
+    pub structural_hash: u64,
+    /// Whether the repair pipeline produced a sound repair at promotion
+    /// time. Replay fails CI when a previously-repaired mutant regresses.
+    pub repaired: bool,
+}
+
+/// The per-problem regression corpus file (`corpus/regression/<problem>.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionFile {
+    /// On-disk format version ([`REGRESSION_FORMAT_VERSION`]).
+    pub version: u32,
+    /// Problem name the entries belong to.
+    pub problem: String,
+    /// Canonical language tag of the problem.
+    pub lang: String,
+    /// The multi-fault generation seed the corpus was promoted from.
+    pub mutation_seed: u64,
+    /// The minimized killed mutants.
+    pub entries: Vec<RegressionEntry>,
+}
+
+/// What replaying one entry established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// The chain reproduced its recorded source and the grader still kills
+    /// it: the entry holds.
+    Reproduced,
+    /// The chain no longer applies (an operator name is unknown, a step
+    /// found no site, or the round trip broke) — the mutation engine
+    /// drifted incompatibly.
+    ChainBroken,
+    /// The chain replayed but rendered different source than recorded —
+    /// seeded generation is no longer deterministic across builds.
+    SourceDrift {
+        /// What the chain renders today.
+        replayed: String,
+    },
+    /// The replayed mutant is no longer classified wrong-answer (the
+    /// grader or the problem definition changed under the corpus).
+    NoLongerFailing,
+}
+
+/// Replays one entry against its problem (reproducibility + still-killed;
+/// the oracle-level checks live in the workspace replay test, which has the
+/// full repair pipeline in scope).
+pub fn replay_entry(problem: &Problem, entry: &RegressionEntry) -> ReplayOutcome {
+    let Some(steps) = entry.steps.iter().map(RegressionStep::to_fault_step).collect::<Option<Vec<_>>>()
+    else {
+        return ReplayOutcome::ChainBroken;
+    };
+    let Some((source, _)) = replay_steps(problem, entry.seed_index, &steps) else {
+        return ReplayOutcome::ChainBroken;
+    };
+    if source != entry.source {
+        return ReplayOutcome::SourceDrift { replayed: source };
+    }
+    if classify(problem, &source) != Some(MutantBucket::WrongAnswer) {
+        return ReplayOutcome::NoLongerFailing;
+    }
+    ReplayOutcome::Reproduced
+}
+
+/// The committed regression corpus directory (`corpus/regression/` at the
+/// repository root), resolved relative to this crate so tests and binaries
+/// find it regardless of their working directory.
+pub fn regression_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..").join("corpus").join("regression")
+}
+
+/// Writes one problem's corpus file as pretty JSON, creating the directory
+/// if needed. Returns the written path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_regression_file(dir: &Path, file: &RegressionFile) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", file.problem));
+    let json = serde_json::to_string_pretty(file)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+/// Loads every `*.json` corpus file under `dir`, sorted by problem name.
+/// A missing directory is an empty corpus, not an error; a file that does
+/// not parse as a [`RegressionFile`] (or has a future format version) is.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and malformed corpus files.
+pub fn load_regression_dir(dir: &Path) -> io::Result<Vec<RegressionFile>> {
+    let mut files = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(files),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = fs::read_to_string(&path)?;
+        let file: RegressionFile = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display())))?;
+        if file.version > REGRESSION_FORMAT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: format version {} is newer than this build", path.display(), file.version),
+            ));
+        }
+        files.push(file);
+    }
+    files.sort_by(|a, b| a.problem.cmp(&b.problem));
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutate::{derive_multi_fault_mutants, minimize_steps, MultiFaultConfig};
+    use crate::study::fibonacci;
+
+    fn sample_file() -> RegressionFile {
+        let problem = fibonacci();
+        let config = MultiFaultConfig { target_wrong_answer: 3, max_attempts: 400, ..Default::default() };
+        let (mutants, _) = derive_multi_fault_mutants(&problem, &config);
+        let entries: Vec<RegressionEntry> = mutants
+            .iter()
+            .filter(|m| m.bucket == crate::MutantBucket::WrongAnswer)
+            .map(|m| {
+                let steps = minimize_steps(&problem, m.seed_index, &m.steps);
+                let (source, structural_hash) =
+                    crate::replay_steps(&problem, m.seed_index, &steps).expect("minimized chain replays");
+                RegressionEntry {
+                    seed_index: m.seed_index,
+                    steps: steps
+                        .iter()
+                        .map(|s| RegressionStep { op: s.op.name().to_owned(), seed: s.seed })
+                        .collect(),
+                    source,
+                    structural_hash,
+                    repaired: false,
+                }
+            })
+            .collect();
+        assert!(!entries.is_empty(), "fibonacci must yield killed multi-fault mutants");
+        RegressionFile {
+            version: REGRESSION_FORMAT_VERSION,
+            problem: problem.name.to_owned(),
+            lang: problem.lang.as_str().to_owned(),
+            mutation_seed: config.seed,
+            entries,
+        }
+    }
+
+    #[test]
+    fn corpus_files_roundtrip_and_replay() {
+        let dir = std::env::temp_dir().join(format!("clara-regression-{}", std::process::id()));
+        let file = sample_file();
+        let path = save_regression_file(&dir, &file).unwrap();
+        assert!(path.ends_with("fibonacci.json"));
+        let loaded = load_regression_dir(&dir).unwrap();
+        assert_eq!(loaded, vec![file.clone()]);
+        let problem = fibonacci();
+        for entry in &file.entries {
+            assert_eq!(replay_entry(&problem, entry), ReplayOutcome::Reproduced, "{}", entry.source);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drifted_entries_are_detected() {
+        let problem = fibonacci();
+        let file = sample_file();
+        let mut entry = file.entries[0].clone();
+        entry.source = format!("{}\n# drifted", entry.source);
+        assert!(matches!(replay_entry(&problem, &entry), ReplayOutcome::SourceDrift { .. }));
+        let mut broken = file.entries[0].clone();
+        broken.steps[0].op = "no-such-operator".to_owned();
+        assert_eq!(replay_entry(&problem, &broken), ReplayOutcome::ChainBroken);
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = Path::new("/nonexistent/clara-regression");
+        assert_eq!(load_regression_dir(dir).unwrap(), Vec::new());
+    }
+}

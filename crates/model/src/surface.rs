@@ -240,6 +240,43 @@ pub fn assigned_vars(body: &[SurfaceStmt], out: &mut Vec<String>) {
     }
 }
 
+/// Line-insensitive structural equality of two statements. The derived
+/// `PartialEq` compares source lines too, which is right for round-trip
+/// tests but wrong for structural rewriting: the flexible-alignment
+/// normalizer (clara-core) needs to recognise "same statement, different
+/// provenance" — e.g. two adjacent loops with equal conditions that came
+/// from different source lines.
+pub fn stmt_struct_eq(a: &SurfaceStmt, b: &SurfaceStmt) -> bool {
+    match (a, b) {
+        (SurfaceStmt::Assign { var: va, value: ea, .. }, SurfaceStmt::Assign { var: vb, value: eb, .. }) => {
+            va == vb && ea == eb
+        }
+        (
+            SurfaceStmt::If { cond: ca, then_body: ta, else_body: fa, .. },
+            SurfaceStmt::If { cond: cb, then_body: tb, else_body: fb, .. },
+        ) => ca == cb && stmts_struct_eq(ta, tb) && stmts_struct_eq(fa, fb),
+        (SurfaceStmt::While { cond: ca, body: ba, .. }, SurfaceStmt::While { cond: cb, body: bb, .. }) => {
+            ca == cb && stmts_struct_eq(ba, bb)
+        }
+        (
+            SurfaceStmt::ForEach { var: va, iter: ia, body: ba, .. },
+            SurfaceStmt::ForEach { var: vb, iter: ib, body: bb, .. },
+        ) => va == vb && ia == ib && stmts_struct_eq(ba, bb),
+        (SurfaceStmt::Return { value: ea, .. }, SurfaceStmt::Return { value: eb, .. }) => ea == eb,
+        (SurfaceStmt::Output { pieces: pa, .. }, SurfaceStmt::Output { pieces: pb, .. }) => pa == pb,
+        (SurfaceStmt::Break { .. }, SurfaceStmt::Break { .. }) => true,
+        (SurfaceStmt::Continue { .. }, SurfaceStmt::Continue { .. }) => true,
+        (SurfaceStmt::Nop { .. }, SurfaceStmt::Nop { .. }) => true,
+        _ => false,
+    }
+}
+
+/// Line-insensitive structural equality of two statement blocks
+/// (see [`stmt_struct_eq`]).
+pub fn stmts_struct_eq(a: &[SurfaceStmt], b: &[SurfaceStmt]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| stmt_struct_eq(x, y))
+}
+
 /// Applies a variable renaming to `body`: assignment targets, loop variables
 /// and every variable occurrence inside expressions. The mapping need not be
 /// injective — `{a → b, b → a}` swaps two variables in one pass (the
@@ -332,6 +369,36 @@ mod tests {
         expr_slots_mut(&mut body, &mut slots);
         // a=1, while cond, if cond, a=a+1, return a.
         assert_eq!(slots.len(), 5);
+    }
+
+    #[test]
+    fn struct_eq_ignores_source_lines_only() {
+        let a = sample_body();
+        let mut b = sample_body();
+        // Shift every line: still structurally equal.
+        fn shift(body: &mut Vec<SurfaceStmt>) {
+            for_each_block_mut(body, &mut |block| {
+                for stmt in block.iter_mut() {
+                    match stmt {
+                        SurfaceStmt::Assign { line, .. }
+                        | SurfaceStmt::If { line, .. }
+                        | SurfaceStmt::While { line, .. }
+                        | SurfaceStmt::ForEach { line, .. }
+                        | SurfaceStmt::Return { line, .. }
+                        | SurfaceStmt::Output { line, .. }
+                        | SurfaceStmt::Break { line }
+                        | SurfaceStmt::Continue { line }
+                        | SurfaceStmt::Nop { line } => *line += 10,
+                    }
+                }
+            });
+        }
+        shift(&mut b);
+        assert_ne!(a, b, "derived equality sees the shifted lines");
+        assert!(stmts_struct_eq(&a, &b), "struct equality must not");
+        // But a real structural difference is still a difference.
+        b.push(SurfaceStmt::Nop { line: 99 });
+        assert!(!stmts_struct_eq(&a, &b));
     }
 
     #[test]

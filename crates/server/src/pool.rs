@@ -24,8 +24,9 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Error returned when submitting to a pool that has shut down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +40,26 @@ impl std::fmt::Display for PoolClosed {
 
 impl std::error::Error for PoolClosed {}
 
+/// Where submitters wait while every worker queue is full.
+///
+/// Workers bump the generation counter under the lock after draining jobs
+/// from their queue, then notify. A submitter that re-offers *while holding
+/// the lock* and still finds every queue full therefore cannot miss a
+/// wakeup: any slot freed after its failed pass bumps the generation only
+/// once the submitter is waiting on the condvar.
+struct ParkLot {
+    /// Generation counter of freed queue slots.
+    slots_freed: Mutex<u64>,
+    freed: Condvar,
+}
+
+/// First park interval when every queue is full. Doubles per consecutive
+/// failed pass up to [`MAX_PARK`]; the condvar wakes parked submitters
+/// early as soon as a worker drains its queue, so the timeout only bounds
+/// recovery when a wakeup races shutdown.
+const MIN_PARK: Duration = Duration::from_millis(1);
+const MAX_PARK: Duration = Duration::from_millis(50);
+
 /// A fixed-size pool of panic-isolated worker threads, each draining its
 /// own bounded job queue in batches.
 pub struct WorkerPool<J: Send + 'static> {
@@ -51,6 +72,11 @@ pub struct WorkerPool<J: Send + 'static> {
     /// Jobs submitted but not yet picked up by a worker (the queue-depth
     /// gauge exposed via `/stats`).
     queued: Arc<AtomicU64>,
+    /// Condvar-backed waiting room for submitters that found every queue
+    /// full.
+    park: Arc<ParkLot>,
+    /// Times a `submit` call parked because every queue was full.
+    submit_parks: Arc<AtomicU64>,
 }
 
 impl<J: Send + 'static> WorkerPool<J> {
@@ -82,6 +108,7 @@ impl<J: Send + 'static> WorkerPool<J> {
         let handler = Arc::new(handler);
         let panics = Arc::new(AtomicU64::new(0));
         let queued = Arc::new(AtomicU64::new(0));
+        let park = Arc::new(ParkLot { slots_freed: Mutex::new(0), freed: Condvar::new() });
         let mut senders = Vec::with_capacity(workers);
         let handles = (0..workers)
             .map(|index| {
@@ -90,13 +117,24 @@ impl<J: Send + 'static> WorkerPool<J> {
                 let handler = Arc::clone(&handler);
                 let panics = Arc::clone(&panics);
                 let queued = Arc::clone(&queued);
+                let park = Arc::clone(&park);
                 std::thread::Builder::new()
                     .name(format!("clara-worker-{index}"))
-                    .spawn(move || worker_loop(&receiver, max_batch, handler.as_ref(), &panics, &queued))
+                    .spawn(move || {
+                        worker_loop(&receiver, max_batch, handler.as_ref(), &panics, &queued, &park)
+                    })
                     .expect("spawning a worker thread")
             })
             .collect();
-        WorkerPool { senders, cursor: AtomicUsize::new(0), workers: handles, panics, queued }
+        WorkerPool {
+            senders,
+            cursor: AtomicUsize::new(0),
+            workers: handles,
+            panics,
+            queued,
+            park,
+            submit_parks: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// One round-robin pass over every queue. `Ok(Err(job))` hands the job
@@ -121,24 +159,48 @@ impl<J: Send + 'static> WorkerPool<J> {
     }
 
     /// Submits a job: tries every worker queue round-robin starting at the
-    /// dispatch cursor; while all are full, keeps retrying across *all*
-    /// queues with a short backoff. Committing to one specific queue would
-    /// wait on one specific worker — if that worker is stuck on a slow job
-    /// the submitter deadlocks against it even though its siblings drain.
+    /// dispatch cursor; while all are full, parks on a condvar until a
+    /// worker drains its queue (with a bounded exponential timeout as a
+    /// safety net) and retries across *all* queues. Committing to one
+    /// specific queue would wait on one specific worker — if that worker is
+    /// stuck on a slow job the submitter deadlocks against it even though
+    /// its siblings drain. Parking instead of the earlier 200µs sleep loop
+    /// matters when a handler wedges for seconds: a spinning submitter
+    /// burned a core re-polling every queue thousands of times per second
+    /// without making progress.
     ///
     /// # Errors
     ///
     /// Returns [`PoolClosed`] when the pool has shut down.
     pub fn submit(&self, job: J) -> Result<(), PoolClosed> {
-        let mut job = job;
+        // Fast path: lock-free round-robin pass.
+        let mut job = match self.offer(job)? {
+            Ok(()) => return Ok(()),
+            Err(returned) => returned,
+        };
+        let mut backoff = MIN_PARK;
         loop {
+            // Re-offer under the park lock: a slot freed after the failed
+            // lock-free pass bumps the generation under this same lock, so
+            // either the retry here sees the free slot or the wait below
+            // observes the bump — a wakeup cannot fall between the two.
+            let mut slots = self.park.slots_freed.lock().expect("park lock poisoned");
             match self.offer(job)? {
                 Ok(()) => return Ok(()),
-                Err(returned) => {
-                    job = returned;
-                    std::thread::sleep(std::time::Duration::from_micros(200));
+                Err(returned) => job = returned,
+            }
+            let generation = *slots;
+            self.submit_parks.fetch_add(1, Ordering::Relaxed);
+            while *slots == generation {
+                let (guard, timeout) =
+                    self.park.freed.wait_timeout(slots, backoff).expect("park lock poisoned");
+                slots = guard;
+                if timeout.timed_out() {
+                    break;
                 }
             }
+            drop(slots);
+            backoff = (backoff * 2).min(MAX_PARK);
         }
     }
 
@@ -168,6 +230,13 @@ impl<J: Send + 'static> WorkerPool<J> {
         self.queued.load(Ordering::Relaxed)
     }
 
+    /// Times a [`submit`](Self::submit) call parked because every worker
+    /// queue was full. A backpressure gauge: parks growing much faster
+    /// than submissions means the pool is chronically undersized.
+    pub fn submit_park_count(&self) -> u64 {
+        self.submit_parks.load(Ordering::Relaxed)
+    }
+
     /// Number of worker threads.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
@@ -194,6 +263,7 @@ fn worker_loop<J>(
     handler: &(impl Fn(Vec<J>) + ?Sized),
     panics: &AtomicU64,
     queued: &AtomicU64,
+    park: &ParkLot,
 ) {
     loop {
         // Block for the first job; queue closed and drained means exit.
@@ -209,6 +279,15 @@ fn worker_loop<J>(
             }
         }
         queued.fetch_sub(batch.len() as u64, Ordering::Relaxed);
+        // Every received job freed a queue slot; wake submitters parked on
+        // full queues. The generation bump must happen under the lock (see
+        // `ParkLot`) or a submitter between its failed pass and its wait
+        // would sleep through this notification.
+        {
+            let mut slots = park.slots_freed.lock().expect("park lock poisoned");
+            *slots += 1;
+        }
+        park.freed.notify_all();
         let lost = batch.len() as u64;
         if catch_unwind(AssertUnwindSafe(|| handler(batch))).is_err() {
             panics.fetch_add(lost, Ordering::Relaxed);
@@ -323,7 +402,46 @@ mod tests {
         }
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        // The submits above may park briefly while the idle worker drains,
+        // but must not degenerate into a poll loop.
+        assert!(pool.submit_park_count() < 64, "submit is spinning: {} parks", pool.submit_park_count());
         pool.shutdown();
+    }
+
+    #[test]
+    fn blocked_submitters_park_instead_of_spinning() {
+        // Regression test: `submit` against a wedged pool used to retry
+        // every 200µs — ~2000 full round-robin passes during the 400ms this
+        // test holds the worker, all burning CPU without progress. The
+        // condvar park reaches its 50ms timeout cap after ~6 doublings, so
+        // a genuinely wedged wait accounts for at most ~a dozen wakeups.
+        let (release, gate) = channel::<()>();
+        let gate = Mutex::new(gate);
+        let pool = Arc::new(WorkerPool::new(1, 1, move |_: usize| {
+            let _ = gate.lock().unwrap().recv();
+        }));
+        pool.submit(0).unwrap();
+        // Wait until the worker picked job 0 up, then fill its queue.
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        pool.submit(1).unwrap();
+        assert_eq!(pool.submit_park_count(), 0, "uncontended submits must not park");
+        let submitter = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.submit(2))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        let parks = pool.submit_park_count();
+        assert!(parks >= 1, "the third submit must park while the pool is wedged");
+        assert!(parks <= 32, "submit is spinning, not parking: {parks} parks in 400ms");
+        // Unwedge: the worker drains job 0 then job 1; freeing the slot
+        // must wake the parked submitter so job 2 lands and completes.
+        for _ in 0..3 {
+            release.send(()).unwrap();
+        }
+        submitter.join().unwrap().unwrap();
+        drop(release);
     }
 
     #[test]

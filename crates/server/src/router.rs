@@ -59,6 +59,15 @@ pub struct RouterConfig {
     pub pool_per_upstream: usize,
     /// Seed for backoff jitter (mixed with each request id).
     pub seed: u64,
+    /// Connect/read/write timeout for each per-shard `/metrics` probe.
+    /// Was hard-coded to 2s, which made fleet-wide metrics scrapes stall
+    /// for `2s × shards` behind upstreams that accept but never answer.
+    pub metrics_probe_timeout: Duration,
+    /// Total wall-clock budget for one metrics aggregation pass across
+    /// *all* upstreams. Probes that would start (or run) past the budget
+    /// are cut short or skipped, so `/metrics` latency stays bounded no
+    /// matter how many shards are wedged.
+    pub metrics_probe_budget: Duration,
 }
 
 impl Default for RouterConfig {
@@ -71,6 +80,8 @@ impl Default for RouterConfig {
             breaker_cooldown: Duration::from_millis(500),
             pool_per_upstream: 4,
             seed: 0,
+            metrics_probe_timeout: Duration::from_secs(2),
+            metrics_probe_budget: Duration::from_secs(5),
         }
     }
 }
@@ -326,8 +337,20 @@ impl Router {
                 value: upstream_stat.forwarded,
             });
         }
-        let timeout = Duration::from_secs(2);
+        // Each probe gets the configured per-shard timeout, clipped to
+        // whatever is left of the total budget; once the budget is spent
+        // the remaining shards are skipped outright. Without the cap a
+        // fleet of N wedged shards held every scrape for N × timeout.
+        let probe_start = Instant::now();
         for upstream in self.upstreams.iter() {
+            let remaining = self.config.metrics_probe_budget.saturating_sub(probe_start.elapsed());
+            let timeout = self.config.metrics_probe_timeout.min(remaining);
+            if timeout.is_zero() {
+                obs::log("warn", "metrics_probe_budget_exhausted")
+                    .str_field("upstream", &upstream.addr)
+                    .emit();
+                continue;
+            }
             match probe_upstream_metrics(upstream, timeout, self.config.pool_per_upstream) {
                 Ok(shard_dump) => dump.merge(&shard_dump),
                 Err(e) => obs::log("warn", "metrics_probe_failed")
@@ -689,6 +712,49 @@ mod tests {
             }
         });
         addr
+    }
+
+    /// An upstream that accepts connections but never answers: the worst
+    /// case for the metrics probe, which must rely on its read timeout.
+    fn silent_shard() -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { return };
+                held.push(stream);
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn metrics_probes_are_configurable_and_budgeted() {
+        // Regression test: the per-shard probe timeout was hard-coded to
+        // 2s, so three accepting-but-mute shards held every `/metrics`
+        // scrape for 6s. With a configurable timeout and a total budget
+        // the whole pass must finish well under the old single-shard cost
+        // and still produce the router's own counters.
+        let addrs = vec![silent_shard(), silent_shard(), silent_shard()];
+        let catalog = vec![("derivatives".to_owned(), "minipy".to_owned())];
+        let config = RouterConfig {
+            metrics_probe_timeout: Duration::from_millis(150),
+            metrics_probe_budget: Duration::from_millis(250),
+            ..fast_config(1, 4)
+        };
+        let router = Router::new(addrs, catalog, config);
+        let start = Instant::now();
+        let line = router.metrics_line(7);
+        let elapsed = start.elapsed();
+        let dump: MetricsDump = serde_json::from_str(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert!(dump.metrics_dump);
+        assert_eq!(dump.id, 7);
+        assert!(
+            dump.counters.iter().any(|c| c.name == "clara_router_forwarded_total"),
+            "fleet counters must survive unprobeable shards"
+        );
+        assert!(elapsed < Duration::from_secs(2), "metrics pass blew its probe budget: {elapsed:?}");
     }
 
     #[test]
